@@ -1,0 +1,33 @@
+# Convenience targets for the CrowdLearn reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench artefacts report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/service/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus ablations into ./artefacts.
+artefacts:
+	$(GO) run ./cmd/crowdlearn -out artefacts all
+
+# Regenerate the paper-vs-measured markdown report.
+report:
+	$(GO) run ./cmd/crowdlearn report | sed -n '/# CrowdLearn/,/^Deterministic/p' > REPORT.md
+
+clean:
+	rm -rf artefacts

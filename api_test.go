@@ -1,0 +1,152 @@
+package crowdlearn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce sync.Once
+	apiLab  *Lab
+	apiErr  error
+)
+
+func apiEnv(t *testing.T) *Lab {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiLab, apiErr = NewLab(DefaultLabConfig())
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiLab
+}
+
+func TestPublicQuickstartPath(t *testing.T) {
+	env := apiEnv(t)
+	sys, err := env.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := RunCampaign(sys, env.Dataset.Test, DefaultCampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(result.TrueLabels(), result.PredictedLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F1 < 0.75 {
+		t.Errorf("quickstart F1 %.3f implausibly low", m.F1)
+	}
+	if sys.Name() != "crowdlearn" {
+		t.Errorf("system name %q", sys.Name())
+	}
+}
+
+func TestPublicDatasetGeneration(t *testing.T) {
+	ds, err := GenerateDataset(DefaultDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 560 || len(ds.Test) != 400 {
+		t.Errorf("dataset split %d/%d, want 560/400", len(ds.Train), len(ds.Test))
+	}
+	if !NoDamage.Valid() || !SevereDamage.Valid() {
+		t.Error("re-exported label constants broken")
+	}
+}
+
+func TestPublicPlatformConstruction(t *testing.T) {
+	p, err := NewPlatform(DefaultPlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() == 0 {
+		t.Error("platform has no workers")
+	}
+	if Morning.String() != "morning" || Midnight.String() != "midnight" {
+		t.Error("re-exported context constants broken")
+	}
+}
+
+func TestPublicSystemConstruction(t *testing.T) {
+	p, err := NewPlatform(DefaultPlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DefaultSystemConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbootstrapped systems refuse to run — the API must surface this.
+	env := apiEnv(t)
+	if _, err := sys.RunCycle(CycleInput{Context: Morning, Images: env.Dataset.Test[:3]}); err == nil {
+		t.Error("unbootstrapped system must refuse RunCycle")
+	}
+}
+
+func TestPublicExperimentRunnersRender(t *testing.T) {
+	env := apiEnv(t)
+	fig5, err := RunFig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5.String(), "morning") {
+		t.Error("fig5 render missing context rows")
+	}
+	fig6, err := RunFig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6.String(), "wilcoxon") {
+		t.Error("fig6 render missing significance column")
+	}
+	table1, err := RunTable1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table1.Overall("cqc") <= 0 {
+		t.Error("table1 overall missing")
+	}
+	fig8, err := RunFig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig8.String(), "ipd") {
+		t.Error("fig8 render missing policies")
+	}
+}
+
+func TestPublicRobustnessRunners(t *testing.T) {
+	env := apiEnv(t)
+	spam, err := RunSpamRobustness(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spam.Fractions) == 0 {
+		t.Error("spam sweep empty")
+	}
+	churn, err := RunChurnRobustness(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(churn.ChurnRates) == 0 {
+		t.Error("churn sweep empty")
+	}
+	cq, err := RunCQCAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.FullAccuracy <= 0 {
+		t.Error("cqc ablation empty")
+	}
+	ba, err := RunBanditAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ba.ContextAware) == 0 {
+		t.Error("bandit ablation empty")
+	}
+}

@@ -1,0 +1,234 @@
+package crowdlearn
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section (Section V). Each benchmark's measured unit is one
+// full regeneration of the artefact from the shared lab environment:
+//
+//	go test -bench=. -benchmem
+//
+// The lab (dataset generation + pilot study) is built once outside the
+// timed region. Run a single artefact with e.g. -bench=BenchmarkTable2.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *Lab
+	benchErr  error
+)
+
+func lab(b *testing.B) *Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchLab, benchErr = NewLab(DefaultLabConfig())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+// BenchmarkFig5PilotDelay regenerates Figure 5 (crowd response time vs
+// incentive per temporal context).
+func BenchmarkFig5PilotDelay(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PilotQuality regenerates Figure 6 (label quality vs
+// incentive with Wilcoxon tests).
+func BenchmarkFig6PilotQuality(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig6(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1CQC regenerates Table I (aggregated label accuracy of
+// CQC vs Voting, TD-EM, Filtering).
+func BenchmarkTable1CQC(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTable1(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Accuracy regenerates Table II (classification metrics
+// for all seven schemes) via a full campaign set.
+func BenchmarkTable2Accuracy(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := RunCampaignSet(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7ROC regenerates Figure 7 (macro-average ROC curves).
+func BenchmarkFig7ROC(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := RunCampaignSet(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Delay regenerates Table III (algorithm + crowd delay per
+// sensing cycle).
+func BenchmarkTable3Delay(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := RunCampaignSet(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = set.Table3()
+	}
+}
+
+// BenchmarkFig8IncentivePolicies regenerates Figure 8 (crowd delay per
+// temporal context for IPD vs fixed vs random incentives).
+func BenchmarkFig8IncentivePolicies(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig8(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9QuerySetSize regenerates Figure 9 (query-set size vs F1).
+func BenchmarkFig9QuerySetSize(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFig9(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10BudgetF1 regenerates Figure 10 (budget vs F1); the sweep
+// also yields Figure 11.
+func BenchmarkFig10BudgetF1(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBudgetSweep(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11BudgetDelay regenerates Figure 11 (budget vs crowd
+// delay). It shares the sweep with Figure 10 but is kept as a separate
+// target so every paper artefact has a named benchmark.
+func BenchmarkFig11BudgetDelay(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunBudgetSweep(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CrowdDelay) == 0 {
+			b.Fatal("budget sweep produced no delays")
+		}
+	}
+}
+
+// BenchmarkAblationMIC runs the CrowdLearn design-choice ablations
+// (DESIGN.md §5): exploration, expert weights, retraining, offloading.
+func BenchmarkAblationMIC(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAblations(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCQCQuestionnaire runs the CQC questionnaire ablation.
+func BenchmarkAblationCQCQuestionnaire(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCQCAblation(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationContextBlindBandit runs the IPD context ablation.
+func BenchmarkAblationContextBlindBandit(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBanditAblation(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationQSSStrategies runs a full campaign per QSS selection
+// strategy (entropy / margin / least-confidence / disagreement).
+func BenchmarkAblationQSSStrategies(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStrategyComparison(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpamRobustness runs the failure-injection sweep: quality
+// control vs spammer fractions.
+func BenchmarkSpamRobustness(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSpamRobustness(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnRobustness runs the worker-turnover sweep.
+func BenchmarkChurnRobustness(b *testing.B) {
+	env := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunChurnRobustness(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package crowdlearn is the public API of the CrowdLearn reproduction: a
+// crowd-AI hybrid system for deep-learning-based disaster damage
+// assessment (Zhang et al., ICDCS 2019).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the synthetic disaster-imagery substrate (Dataset, Image, Label);
+//   - the simulated crowdsourcing platform (Platform, PilotData);
+//   - the CrowdLearn system itself (System) and the paper's baseline
+//     schemes, all runnable through the sensing-cycle campaign protocol;
+//   - the experiment runners that regenerate every table and figure of
+//     the paper's evaluation section.
+//
+// Quick start:
+//
+//	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+//	// handle err
+//	sys, err := lab.NewSystem()
+//	// handle err
+//	result, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test, crowdlearn.DefaultCampaignConfig())
+//
+// See examples/ for complete programs and cmd/crowdlearn for the CLI that
+// regenerates the paper's tables and figures.
+package crowdlearn
+
+import (
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+	"github.com/crowdlearn/crowdlearn/internal/experiments"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+// Re-exported imagery types: the dataset substrate.
+type (
+	// Dataset is a generated corpus with train/test splits.
+	Dataset = imagery.Dataset
+	// DatasetConfig parameterises dataset generation.
+	DatasetConfig = imagery.Config
+	// Image is one synthetic social-media disaster report.
+	Image = imagery.Image
+	// Label is a damage-severity class.
+	Label = imagery.Label
+	// FailureMode classifies why AI experts fail on an image.
+	FailureMode = imagery.FailureMode
+)
+
+// Damage severity classes.
+const (
+	NoDamage       = imagery.NoDamage
+	ModerateDamage = imagery.ModerateDamage
+	SevereDamage   = imagery.SevereDamage
+	// NumLabels is the number of severity classes.
+	NumLabels = imagery.NumLabels
+)
+
+// Re-exported crowd types: the simulated MTurk platform.
+type (
+	// Platform is the simulated crowdsourcing marketplace.
+	Platform = crowd.Platform
+	// PlatformConfig parameterises the platform.
+	PlatformConfig = crowd.Config
+	// PilotData is the pilot-study record used to characterise the
+	// black-box platform.
+	PilotData = crowd.PilotData
+	// TemporalContext is the time-of-day regime of a query.
+	TemporalContext = crowd.TemporalContext
+	// Cents is a monetary incentive.
+	Cents = crowd.Cents
+)
+
+// Temporal contexts.
+const (
+	Morning   = crowd.Morning
+	Afternoon = crowd.Afternoon
+	Evening   = crowd.Evening
+	Midnight  = crowd.Midnight
+)
+
+// Re-exported core types: the system and campaign protocol.
+type (
+	// System is the closed-loop CrowdLearn system (QSS + IPD + CQC + MIC).
+	System = core.CrowdLearn
+	// SystemConfig assembles a System.
+	SystemConfig = core.Config
+	// Scheme is any damage-assessment system runnable through campaigns.
+	Scheme = core.Scheme
+	// CycleInput is one sensing cycle's workload.
+	CycleInput = core.CycleInput
+	// CycleOutput is a scheme's assessment of one cycle.
+	CycleOutput = core.CycleOutput
+	// CampaignConfig drives the 40x10 evaluation protocol.
+	CampaignConfig = core.CampaignConfig
+	// CampaignResult aggregates a campaign run.
+	CampaignResult = core.CampaignResult
+	// Metrics holds accuracy / precision / recall / F1.
+	Metrics = eval.Metrics
+	// Sample is one training sample (image + target distribution); used
+	// by System.RestoreState to re-seed the retraining replay pool.
+	Sample = classifier.Sample
+)
+
+// SamplesFromImages builds hard-labelled training samples from ground
+// truth — the argument System.RestoreState expects for its replay pool.
+func SamplesFromImages(images []*Image) []Sample {
+	return classifier.SamplesFromImages(images)
+}
+
+// Lab is the assembled evaluation environment: dataset, platform
+// configuration and pilot study, ready to build systems and run
+// experiments.
+type Lab = experiments.Env
+
+// LabConfig parameterises the Lab.
+type LabConfig = experiments.Config
+
+// DefaultLabConfig reproduces the paper's evaluation setup: 960 images
+// (560 train / 400 test), a 240-worker platform, the 7-level x 4-context
+// pilot study, and the 40x10 campaign protocol.
+func DefaultLabConfig() LabConfig { return experiments.DefaultConfig() }
+
+// NewLab generates the dataset and runs the pilot study.
+func NewLab(cfg LabConfig) (*Lab, error) { return experiments.NewEnv(cfg) }
+
+// GenerateDataset builds a synthetic disaster-image corpus.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return imagery.Generate(cfg) }
+
+// DefaultDatasetConfig mirrors the paper's 960-image corpus shape.
+func DefaultDatasetConfig() DatasetConfig { return imagery.DefaultConfig() }
+
+// NewPlatform builds a simulated crowdsourcing platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) { return crowd.NewPlatform(cfg) }
+
+// DefaultPlatformConfig mirrors the paper's MTurk setup (5 assignments
+// per query).
+func DefaultPlatformConfig() PlatformConfig { return crowd.DefaultConfig() }
+
+// DefaultSystemConfig mirrors the paper's CrowdLearn configuration.
+func DefaultSystemConfig() SystemConfig { return core.DefaultConfig() }
+
+// NewSystem assembles a CrowdLearn system against a platform. Call
+// Bootstrap on the result before running cycles.
+func NewSystem(cfg SystemConfig, platform *Platform) (*System, error) {
+	return core.New(cfg, platform)
+}
+
+// DefaultCampaignConfig mirrors the paper's 40-cycle protocol.
+func DefaultCampaignConfig() CampaignConfig { return core.DefaultCampaignConfig() }
+
+// RunCampaign drives a scheme through the sensing-cycle protocol.
+func RunCampaign(scheme Scheme, test []*Image, cfg CampaignConfig) (*CampaignResult, error) {
+	return core.RunCampaign(scheme, test, cfg)
+}
+
+// ComputeMetrics derives Table II-style metrics from parallel label
+// slices.
+func ComputeMetrics(truths, preds []Label) (Metrics, error) {
+	return eval.Compute(truths, preds)
+}

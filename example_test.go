@@ -1,0 +1,61 @@
+package crowdlearn_test
+
+import (
+	"fmt"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+// Example demonstrates the minimal end-to-end path: build the lab,
+// bootstrap the system, run one sensing cycle.
+func Example() {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		fmt.Println("lab:", err)
+		return
+	}
+	sys, err := lab.NewSystem()
+	if err != nil {
+		fmt.Println("system:", err)
+		return
+	}
+	out, err := sys.RunCycle(crowdlearn.CycleInput{
+		Context: crowdlearn.Evening,
+		Images:  lab.Dataset.Test[:10],
+	})
+	if err != nil {
+		fmt.Println("cycle:", err)
+		return
+	}
+	fmt.Printf("assessed %d images, queried %d from the crowd\n",
+		len(out.Distributions), len(out.Queried))
+	// Output:
+	// assessed 10 images, queried 5 from the crowd
+}
+
+// ExampleGenerateDataset shows the corpus shape of the default
+// configuration.
+func ExampleGenerateDataset() {
+	ds, err := crowdlearn.GenerateDataset(crowdlearn.DefaultDatasetConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d train / %d test\n", len(ds.Train), len(ds.Test))
+	// Output:
+	// 560 train / 400 test
+}
+
+// ExampleComputeMetrics scores a toy prediction set.
+func ExampleComputeMetrics() {
+	truths := []crowdlearn.Label{crowdlearn.NoDamage, crowdlearn.SevereDamage, crowdlearn.SevereDamage}
+	preds := []crowdlearn.Label{crowdlearn.NoDamage, crowdlearn.SevereDamage, crowdlearn.ModerateDamage}
+	m, err := crowdlearn.ComputeMetrics(truths, preds)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("accuracy %.2f\n", m.Accuracy)
+	// Output:
+	// accuracy 0.67
+}

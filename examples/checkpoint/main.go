@@ -1,0 +1,97 @@
+// Checkpoint: operating CrowdLearn across process restarts. The system
+// runs half a campaign, checkpoints every piece of learned state (expert
+// weights and parameters, bandit statistics, budget position, the trained
+// CQC model) to a file, then a "new process" restores the checkpoint and
+// finishes the campaign — without retraining and without resetting the
+// crowdsourcing budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		return err
+	}
+	sys, err := lab.NewSystem()
+	if err != nil {
+		return err
+	}
+
+	half := crowdlearn.CampaignConfig{Cycles: 20, ImagesPerCycle: 10}
+	first, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test[:200], half)
+	if err != nil {
+		return err
+	}
+	m1, err := crowdlearn.ComputeMetrics(first.TrueLabels(), first.PredictedLabels())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 1: 20 cycles, accuracy %.3f, spent $%.2f, budget left $%.2f\n",
+		m1.Accuracy, first.TotalSpend(), sys.Policy().RemainingBudget())
+
+	// Checkpoint to disk.
+	path := filepath.Join(os.TempDir(), "crowdlearn-checkpoint.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveState(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed learned state to %s (%d bytes)\n", path, info.Size())
+
+	// "Restart": construct a fresh system and restore.
+	platformCfg := crowdlearn.DefaultPlatformConfig()
+	platformCfg.Seed = 99 // a different crowd: state must still transfer
+	platform, err := crowdlearn.NewPlatform(platformCfg)
+	if err != nil {
+		return err
+	}
+	restored, err := crowdlearn.NewSystem(crowdlearn.DefaultSystemConfig(), platform)
+	if err != nil {
+		return err
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	if err := restored.RestoreState(g, crowdlearn.SamplesFromImages(lab.Dataset.Train)); err != nil {
+		return err
+	}
+	fmt.Printf("restored: budget left $%.2f (carried over)\n", restored.Policy().RemainingBudget())
+
+	second, err := crowdlearn.RunCampaign(restored, lab.Dataset.Test[200:400], half)
+	if err != nil {
+		return err
+	}
+	m2, err := crowdlearn.ComputeMetrics(second.TrueLabels(), second.PredictedLabels())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 2 (after restart): 20 cycles, accuracy %.3f, total spend $%.2f\n",
+		m2.Accuracy, first.TotalSpend()+second.TotalSpend())
+	return nil
+}

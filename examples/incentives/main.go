@@ -1,0 +1,58 @@
+// Incentives: the IPD module in isolation. Watch the constrained
+// contextual bandit learn the crowd's incentive-delay surface and
+// allocate a fixed budget across temporal contexts, compared against the
+// fixed- and random-incentive policies the paper evaluates in Figure 8.
+//
+// This example is for operators tuning crowdsourcing spend: it shows why
+// paying a flat rate wastes money at night and starves the morning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("The pilot study's view of the platform (Figure 5):")
+	fig5, err := crowdlearn.RunFig5(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig5)
+
+	fmt.Println("...and what each incentive level buys in label quality (Figure 6):")
+	fig6, err := crowdlearn.RunFig6(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig6)
+
+	fmt.Println("Now the live comparison: 40 rounds of 5 queries, $20 budget each (Figure 8):")
+	start := time.Now()
+	fig8, err := crowdlearn.RunFig8(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig8)
+	fmt.Printf("comparison completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("Reading the result: the bandit pays up in the morning where workers")
+	fmt.Println("are scarce and selective, and drops to a few cents at night where a")
+	fmt.Println("1-cent task is answered almost as fast as a 10-cent one. The fixed")
+	fmt.Println("policy spends the same total but leaves morning queries waiting.")
+	return nil
+}

@@ -1,0 +1,46 @@
+// Qualitycontrol: the CQC module in isolation. One batch of real
+// (simulated) crowd responses — including deceptive images the majority
+// of workers get wrong — aggregated by CQC and by the three baselines
+// from the paper's Table I, with a per-image breakdown showing where the
+// questionnaire evidence overturns a wrong majority.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Table I on this lab's crowd:")
+	table1, err := crowdlearn.RunTable1(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table1)
+
+	fmt.Println("Why the questionnaire matters — deceptive-image batch:")
+	ablation, err := crowdlearn.RunCQCAblation(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ablation)
+
+	fmt.Println("A photoshopped 'collapsed road' collects severe-damage votes from")
+	fmt.Println("workers who miss the fake, but the questionnaire answers ('is this")
+	fmt.Println("image photoshopped?') carry the evidence the boosted-tree model")
+	fmt.Println("needs to overturn the majority. Majority voting cannot recover.")
+	return nil
+}

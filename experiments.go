@@ -1,0 +1,118 @@
+package crowdlearn
+
+import (
+	"github.com/crowdlearn/crowdlearn/internal/experiments"
+)
+
+// Re-exported experiment result types: one per table/figure of the
+// paper's evaluation section, plus the ablation batteries. Every result
+// implements fmt.Stringer, rendering the same rows/series the paper
+// reports.
+type (
+	// Fig5Result is Figure 5: crowd response time vs incentive x context.
+	Fig5Result = experiments.Fig5Result
+	// Fig6Result is Figure 6: label quality vs incentive with Wilcoxon
+	// significance tests.
+	Fig6Result = experiments.Fig6Result
+	// Table1Result is Table I: aggregated label accuracy (CQC vs Voting,
+	// TD-EM, Filtering).
+	Table1Result = experiments.Table1Result
+	// CampaignSet is one full campaign per scheme; Table II, Figure 7 and
+	// Table III derive from it.
+	CampaignSet = experiments.CampaignSet
+	// Table2Result is Table II: classification metrics per scheme.
+	Table2Result = experiments.Table2Result
+	// Fig7Result is Figure 7: macro-average ROC curves.
+	Fig7Result = experiments.Fig7Result
+	// Table3Result is Table III: algorithm and crowd delay per cycle.
+	Table3Result = experiments.Table3Result
+	// Fig8Result is Figure 8: crowd delay per context per incentive
+	// policy.
+	Fig8Result = experiments.Fig8Result
+	// Fig9Result is Figure 9: query-set size vs F1.
+	Fig9Result = experiments.Fig9Result
+	// BudgetSweepResult is Figures 10-11: budget vs F1 and crowd delay.
+	BudgetSweepResult = experiments.BudgetSweepResult
+	// AblationResult is the CrowdLearn design-choice ablation battery.
+	AblationResult = experiments.AblationResult
+	// CQCAblationResult quantifies the questionnaire features'
+	// contribution to CQC.
+	CQCAblationResult = experiments.CQCAblationResult
+	// BanditAblationResult compares context-aware and context-blind
+	// incentive bandits.
+	BanditAblationResult = experiments.BanditAblationResult
+	// StrategyComparisonResult compares QSS exploitation scores end to
+	// end.
+	StrategyComparisonResult = experiments.StrategyComparisonResult
+	// MultiSeedResult reports Table II as mean ± std across seeds.
+	MultiSeedResult = experiments.MultiSeedResult
+	// SpamRobustnessResult measures quality-control degradation under
+	// injected spammer populations.
+	SpamRobustnessResult = experiments.SpamRobustnessResult
+	// ChurnRobustnessResult measures quality control under worker
+	// identity turnover.
+	ChurnRobustnessResult = experiments.ChurnRobustnessResult
+	// Report is the regenerable markdown paper-vs-measured summary.
+	Report = experiments.Report
+)
+
+// RunFig5 regenerates Figure 5 from the lab's pilot study.
+func RunFig5(lab *Lab) (*Fig5Result, error) { return experiments.RunFig5(lab) }
+
+// RunFig6 regenerates Figure 6 from the lab's pilot study.
+func RunFig6(lab *Lab) (*Fig6Result, error) { return experiments.RunFig6(lab) }
+
+// RunTable1 regenerates Table I.
+func RunTable1(lab *Lab) (*Table1Result, error) { return experiments.RunTable1(lab) }
+
+// RunCampaignSet runs the paper's 40x10 campaign for every scheme of
+// Table II; Table2, Fig7 and Table3 derive from the returned set.
+func RunCampaignSet(lab *Lab) (*CampaignSet, error) { return experiments.RunCampaignSet(lab) }
+
+// RunFig8 regenerates Figure 8 (incentive policies vs crowd delay).
+func RunFig8(lab *Lab) (*Fig8Result, error) { return experiments.RunFig8(lab) }
+
+// RunFig9 regenerates Figure 9 (query-set size sweep).
+func RunFig9(lab *Lab) (*Fig9Result, error) { return experiments.RunFig9(lab) }
+
+// RunBudgetSweep regenerates Figures 10 and 11 (budget sweep).
+func RunBudgetSweep(lab *Lab) (*BudgetSweepResult, error) { return experiments.RunBudgetSweep(lab) }
+
+// RunAblations runs the CrowdLearn design-choice ablations of DESIGN.md.
+func RunAblations(lab *Lab) (*AblationResult, error) { return experiments.RunAblations(lab) }
+
+// RunCQCAblation quantifies the CQC questionnaire features' value.
+func RunCQCAblation(lab *Lab) (*CQCAblationResult, error) { return experiments.RunCQCAblation(lab) }
+
+// RunBanditAblation compares context-aware and context-blind bandits.
+func RunBanditAblation(lab *Lab) (*BanditAblationResult, error) {
+	return experiments.RunBanditAblation(lab)
+}
+
+// RunStrategyComparison runs one CrowdLearn campaign per QSS strategy.
+func RunStrategyComparison(lab *Lab) (*StrategyComparisonResult, error) {
+	return experiments.RunStrategyComparison(lab)
+}
+
+// RunMultiSeed re-runs the Table II campaign set under each seed and
+// reports mean ± std — the statistically honest Table II.
+func RunMultiSeed(cfg LabConfig, seeds []int64) (*MultiSeedResult, error) {
+	return experiments.RunMultiSeed(cfg, seeds)
+}
+
+// RunSpamRobustness sweeps the spammer fraction and measures each
+// quality-control scheme's degradation.
+func RunSpamRobustness(lab *Lab) (*SpamRobustnessResult, error) {
+	return experiments.RunSpamRobustness(lab)
+}
+
+// RunChurnRobustness sweeps worker identity turnover and measures which
+// quality-control schemes depend on per-worker reputation.
+func RunChurnRobustness(lab *Lab) (*ChurnRobustnessResult, error) {
+	return experiments.RunChurnRobustness(lab)
+}
+
+// RunReport regenerates the markdown paper-vs-measured report.
+func RunReport(lab *Lab) (*Report, error) {
+	return experiments.RunReport(lab)
+}

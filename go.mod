@@ -1,0 +1,3 @@
+module github.com/crowdlearn/crowdlearn
+
+go 1.22

@@ -1,0 +1,118 @@
+package crowdlearn
+
+// End-to-end integration scenarios that cross package boundaries: a
+// deployment that checkpoints the learned system state mid-campaign,
+// restarts from the checkpoint, and continues assessing — the workflow an
+// operator relies on when the assessment service is redeployed during a
+// disaster.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+)
+
+func TestCheckpointRestartMidCampaign(t *testing.T) {
+	env := apiEnv(t)
+
+	sys, err := env.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: run the first half of the campaign.
+	half := CampaignConfig{Cycles: 20, ImagesPerCycle: 10}
+	firstHalf, err := RunCampaign(sys, env.Dataset.Test[:200], half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstHalf.QueriedCount() == 0 {
+		t.Fatal("first half posted no crowd queries")
+	}
+
+	// Checkpoint.
+	var checkpoint bytes.Buffer
+	if err := sys.SaveState(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Redeploy": a fresh process constructs the system from scratch and
+	// restores the checkpoint.
+	restored, err := NewSystem(DefaultSystemConfig(), mustPlatform(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSamples := classifier.SamplesFromImages(env.Dataset.Train)
+	if err := restored.RestoreState(bytes.NewReader(checkpoint.Bytes()), trainSamples); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored system's remaining budget must match the original's.
+	if got, want := restored.Policy().RemainingBudget(), sys.Policy().RemainingBudget(); got != want {
+		t.Fatalf("restored budget %v, want %v", got, want)
+	}
+
+	// Phase 2: the restored system finishes the campaign on fresh images.
+	secondHalf, err := RunCampaign(restored, env.Dataset.Test[200:400], half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ComputeMetrics(secondHalf.TrueLabels(), secondHalf.PredictedLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Accuracy < 0.75 {
+		t.Errorf("restored system second-half accuracy %.3f; learned state lost?", m2.Accuracy)
+	}
+	// The combined spend must respect the single shared budget.
+	total := firstHalf.TotalSpend() + secondHalf.TotalSpend()
+	if budget := DefaultSystemConfig().Bandit.BudgetDollars; total > budget+1e-9 {
+		t.Errorf("combined spend %.2f exceeds the checkpointed budget %.2f", total, budget)
+	}
+}
+
+func mustPlatform(t *testing.T) *Platform {
+	t.Helper()
+	cfg := DefaultPlatformConfig()
+	cfg.Seed = 8
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The full seven-scheme evaluation through the public API, asserting the
+// deliverable the repository exists for: the paper's headline ordering.
+func TestFullEvaluationHeadline(t *testing.T) {
+	env := apiEnv(t)
+	set, err := RunCampaignSet(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2, err := set.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := table2.Metrics["crowdlearn"]
+	for name, m := range table2.Metrics {
+		if name == "crowdlearn" {
+			continue
+		}
+		if cl.F1 <= m.F1 {
+			t.Errorf("crowdlearn F1 %.3f must beat %s %.3f", cl.F1, name, m.F1)
+		}
+	}
+	// Export every campaign; the JSON must parse implicitly via Export's
+	// own encoder (errors surface here).
+	for name, res := range set.Results {
+		var buf bytes.Buffer
+		if err := res.Export(&buf); err != nil {
+			t.Errorf("export %s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("export %s produced no bytes", name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func TestEfficientFrontierBasic(t *testing.T) {
+	// Costs ascending; utilities with one dominated point (index 1) and
+	// one non-concave point (index 3).
+	costs := []float64{1, 2, 3, 4, 5}
+	utility := []float64{0.2, 0.1, 0.6, 0.61, 0.9}
+	hull := efficientFrontier(utility, costs)
+	// Index 1 dominated (utility drops); index 3 eliminated by concavity
+	// (slope 2->3 is 0.01, slope 3->4 is 0.29 which is larger).
+	want := []int{0, 2, 4}
+	if len(hull) != len(want) {
+		t.Fatalf("hull %v, want %v", hull, want)
+	}
+	for i, arm := range want {
+		if hull[i] != arm {
+			t.Fatalf("hull %v, want %v", hull, want)
+		}
+	}
+}
+
+func TestEfficientFrontierSingleArm(t *testing.T) {
+	hull := efficientFrontier([]float64{0.5}, []float64{3})
+	if len(hull) != 1 || hull[0] != 0 {
+		t.Fatalf("hull %v", hull)
+	}
+}
+
+func TestEfficientFrontierEqualCosts(t *testing.T) {
+	// Two arms at the same cost: only the better one can appear.
+	hull := efficientFrontier([]float64{0.3, 0.8}, []float64{2, 2})
+	if len(hull) != 1 || hull[0] != 1 {
+		t.Fatalf("hull %v, want just arm 1", hull)
+	}
+}
+
+// solveALP invariants: mixtures are distributions, the expected cost
+// respects rho (when feasible), and a generous rho buys the best arm in
+// every context.
+func TestSolveALPGenerousBudget(t *testing.T) {
+	utility := [][]float64{
+		{0.1, 0.5, 0.9},
+		{0.2, 0.3, 0.4},
+	}
+	costs := []float64{1, 2, 3}
+	probs := []float64{0.5, 0.5}
+	mix := solveALP(utility, costs, probs, 100)
+	for z := range mix {
+		if mix[z][2] != 1 {
+			t.Errorf("context %d should take the best arm under generous budget: %v", z, mix[z])
+		}
+	}
+}
+
+func TestSolveALPTightBudgetTakesCheapest(t *testing.T) {
+	utility := [][]float64{{0.1, 0.9}}
+	costs := []float64{1, 10}
+	mix := solveALP(utility, costs, []float64{1}, 1.0)
+	if mix[0][0] != 1 {
+		t.Errorf("budget equal to cheapest cost must stay on the cheapest arm: %v", mix[0])
+	}
+}
+
+func TestSolveALPFractionalSplit(t *testing.T) {
+	// One context, two arms: cost 1 (u 0.2) and cost 3 (u 0.8); rho = 2
+	// should split 50/50 so expected cost is exactly 2.
+	utility := [][]float64{{0.2, 0.8}}
+	costs := []float64{1, 3}
+	mix := solveALP(utility, costs, []float64{1}, 2.0)
+	if math.Abs(mix[0][0]-0.5) > 1e-9 || math.Abs(mix[0][1]-0.5) > 1e-9 {
+		t.Errorf("expected 50/50 split, got %v", mix[0])
+	}
+}
+
+func TestSolveALPPrefersSteepestUpgrade(t *testing.T) {
+	// Context 0 upgrade: +0.6 utility per +1 cost. Context 1 upgrade:
+	// +0.1 per +1. Budget allows exactly one upgrade in expectation.
+	utility := [][]float64{
+		{0.1, 0.7},
+		{0.1, 0.2},
+	}
+	costs := []float64{1, 2}
+	probs := []float64{0.5, 0.5}
+	// Base spend = 1; rho = 1.5 affords one half-weighted upgrade
+	// (0.5 * (2-1) = 0.5).
+	mix := solveALP(utility, costs, probs, 1.5)
+	if mix[0][1] != 1 {
+		t.Errorf("steep context should upgrade fully: %v", mix[0])
+	}
+	if mix[1][1] != 0 {
+		t.Errorf("shallow context should stay cheap: %v", mix[1])
+	}
+}
+
+func TestSolveALPInvariantsProperty(t *testing.T) {
+	rng := mathx.NewRand(9)
+	for trial := 0; trial < 300; trial++ {
+		numContexts := 1 + rng.Intn(4)
+		k := 2 + rng.Intn(5)
+		costs := make([]float64, k)
+		for i := range costs {
+			costs[i] = 0.1 + rng.Float64()*2
+		}
+		utility := make([][]float64, numContexts)
+		for z := range utility {
+			utility[z] = make([]float64, k)
+			for i := range utility[z] {
+				utility[z][i] = rng.Float64()
+			}
+		}
+		probs := make([]float64, numContexts)
+		for z := range probs {
+			probs[z] = 1 / float64(numContexts)
+		}
+		minCost := mathx.Min(costs)
+		rho := minCost + rng.Float64()*3
+
+		mix := solveALP(utility, costs, probs, rho)
+
+		expectedCost := 0.0
+		for z := range mix {
+			sum := 0.0
+			for arm, w := range mix[z] {
+				if w < -1e-12 || w > 1+1e-12 {
+					t.Fatalf("weight %v out of range", w)
+				}
+				sum += w
+				expectedCost += probs[z] * w * costs[arm]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("context %d mixture sums to %v", z, sum)
+			}
+		}
+		// Feasible when rho covers the all-cheapest base; allow epsilon.
+		baseCost := 0.0
+		for z := 0; z < numContexts; z++ {
+			baseCost += probs[z] * minCost
+		}
+		if rho >= baseCost && expectedCost > rho+1e-9 {
+			t.Fatalf("expected cost %v exceeds pace %v", expectedCost, rho)
+		}
+	}
+}
+
+// Monotonicity: increasing rho never decreases the LP's expected utility.
+func TestSolveALPUtilityMonotoneInBudgetProperty(t *testing.T) {
+	rng := mathx.NewRand(10)
+	for trial := 0; trial < 100; trial++ {
+		k := 3 + rng.Intn(4)
+		costs := make([]float64, k)
+		utility := [][]float64{make([]float64, k), make([]float64, k)}
+		for i := range costs {
+			costs[i] = 0.1 + rng.Float64()
+			utility[0][i] = rng.Float64()
+			utility[1][i] = rng.Float64()
+		}
+		probs := []float64{0.5, 0.5}
+		value := func(rho float64) float64 {
+			mix := solveALP(utility, costs, probs, rho)
+			v := 0.0
+			for z := range mix {
+				for arm, w := range mix[z] {
+					v += probs[z] * w * utility[z][arm]
+				}
+			}
+			return v
+		}
+		lo := value(0.2)
+		hi := value(2.0)
+		if hi+1e-9 < lo {
+			t.Fatalf("LP value decreased with budget: %v -> %v", lo, hi)
+		}
+	}
+}

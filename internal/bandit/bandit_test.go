@@ -1,0 +1,352 @@
+package bandit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no levels", func(c *Config) { c.Levels = nil }},
+		{"negative level", func(c *Config) { c.Levels = []crowd.Cents{-1} }},
+		{"zero budget", func(c *Config) { c.BudgetDollars = 0 }},
+		{"zero rounds", func(c *Config) { c.TotalRounds = 0 }},
+		{"zero queries", func(c *Config) { c.QueriesPerRound = 0 }},
+		{"zero delay scale", func(c *Config) { c.DelayScale = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := NewUCBALP(cfg); err == nil {
+				t.Errorf("%s should be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestPayoffNormalization(t *testing.T) {
+	u, err := NewUCBALP(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := u.payoffOf(0); p != 1 {
+		t.Errorf("zero delay payoff %v, want 1", p)
+	}
+	if p := u.payoffOf(10 * time.Minute); p != 0.5 {
+		t.Errorf("half-scale delay payoff %v, want 0.5", p)
+	}
+	if p := u.payoffOf(2 * time.Hour); p != 0 {
+		t.Errorf("over-scale delay payoff %v, want 0 (clamped)", p)
+	}
+}
+
+func TestForcedExplorationCoversArms(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 1000 // affordable everywhere
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[crowd.Cents]bool)
+	for i := 0; i < len(cfg.Levels); i++ {
+		inc, err := u.SelectIncentive(crowd.Morning)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[inc] = true
+		u.Observe(crowd.Morning, inc, 5*time.Minute, cfg.QueriesPerRound)
+	}
+	if len(seen) != len(cfg.Levels) {
+		t.Errorf("forced exploration visited %d arms, want %d", len(seen), len(cfg.Levels))
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 2.0
+	cfg.TotalRounds = 100
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0.0
+	for i := 0; i < cfg.TotalRounds; i++ {
+		inc, err := u.SelectIncentive(crowd.Evening)
+		if errors.Is(err, ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := inc.Dollars() * float64(cfg.QueriesPerRound)
+		if cost > u.RemainingBudget()+1e-9 {
+			t.Fatalf("policy selected unaffordable arm: cost %v remaining %v", cost, u.RemainingBudget())
+		}
+		spent += cost
+		u.Observe(crowd.Evening, inc, 5*time.Minute, cfg.QueriesPerRound)
+	}
+	if spent > cfg.BudgetDollars+1e-9 {
+		t.Fatalf("total spend %v exceeds budget %v", spent, cfg.BudgetDollars)
+	}
+}
+
+// The core IPD claim: with delays that fall sharply with incentive in the
+// morning but are flat in the evening, a trained policy should pay more in
+// the morning than in the evening.
+func TestLearnsContextDependentPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 200
+	cfg.TotalRounds = 2000
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic environment mirroring the Figure 5 surface.
+	delayFor := func(ctx crowd.TemporalContext, inc crowd.Cents) time.Duration {
+		switch ctx {
+		case crowd.Morning:
+			return time.Duration(1000-40*int(inc)) * time.Second
+		default: // evening: flat
+			return 280 * time.Second
+		}
+	}
+	morningSpend, eveningSpend := 0.0, 0.0
+	morningRounds, eveningRounds := 0, 0
+	for i := 0; i < cfg.TotalRounds; i++ {
+		ctx := crowd.Morning
+		if i%2 == 1 {
+			ctx = crowd.Evening
+		}
+		inc, err := u.SelectIncentive(ctx)
+		if errors.Is(err, ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Observe(ctx, inc, delayFor(ctx, inc), cfg.QueriesPerRound)
+		if ctx == crowd.Morning {
+			morningSpend += float64(inc)
+			morningRounds++
+		} else {
+			eveningSpend += float64(inc)
+			eveningRounds++
+		}
+	}
+	if morningRounds < 100 || eveningRounds < 100 {
+		t.Fatalf("too few rounds: morning %d evening %d", morningRounds, eveningRounds)
+	}
+	mAvg := morningSpend / float64(morningRounds)
+	eAvg := eveningSpend / float64(eveningRounds)
+	if mAvg <= eAvg {
+		t.Errorf("policy should pay more in the morning: morning avg %.2fc evening avg %.2fc", mAvg, eAvg)
+	}
+}
+
+func TestWarmStartUsesPilotData(t *testing.T) {
+	ds := mustDataset(t)
+	platform := crowd.MustNewPlatform(crowd.DefaultConfig())
+	pilot, err := crowd.RunPilot(platform, ds, crowd.DefaultPilotConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.WarmStart(pilot)
+	for z := 0; z < crowd.NumContexts; z++ {
+		for arm := range cfg.Levels {
+			if u.count[z][arm] == 0 {
+				t.Fatalf("warm start left (ctx %d, arm %d) unvisited", z, arm)
+			}
+		}
+	}
+	// A warm-started policy must not re-run forced exploration: its first
+	// choice in the morning should not be the never-optimal 1-cent arm.
+	inc, err := u.SelectIncentive(crowd.Morning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc == 1 {
+		t.Error("warm-started policy picked the 1-cent arm in the morning")
+	}
+}
+
+func TestSelectInvalidContext(t *testing.T) {
+	u, err := NewUCBALP(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.SelectIncentive(crowd.TemporalContext(11)); err == nil {
+		t.Error("invalid context must be rejected")
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	f, err := NewFixed(10, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := f.SelectIncentive(crowd.Morning)
+	if err != nil || inc != 10 {
+		t.Fatalf("fixed select = %v, %v", inc, err)
+	}
+	f.Observe(crowd.Morning, 10, time.Minute, 2) // 20 cents
+	if got := f.RemainingBudget(); mathxAbs(got-0.10) > 1e-9 {
+		t.Errorf("remaining %v, want 0.10", got)
+	}
+	f.Observe(crowd.Morning, 10, time.Minute, 1) // 10 cents: exhausted
+	if _, err := f.SelectIncentive(crowd.Morning); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+func TestNewFixedValidation(t *testing.T) {
+	if _, err := NewFixed(0, 1); err == nil {
+		t.Error("zero incentive must be rejected")
+	}
+	if _, err := NewFixed(5, 0); err == nil {
+		t.Error("zero budget must be rejected")
+	}
+}
+
+func TestNewFixedMaxMatchesPaperArithmetic(t *testing.T) {
+	// Paper: fixed incentive = total budget / number of queries.
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 40 // 200 queries -> 20c each
+	cfg.TotalRounds = 40
+	cfg.QueriesPerRound = 5
+	f, err := NewFixedMax(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Incentive() != 20 {
+		t.Errorf("fixed-max incentive %v, want 20c", f.Incentive())
+	}
+	cfg.BudgetDollars = 2 // -> 1c each
+	f, err = NewFixedMax(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Incentive() != 1 {
+		t.Errorf("fixed-max incentive %v, want 1c", f.Incentive())
+	}
+}
+
+func TestRandomPolicyStaysAffordable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 1.0
+	r, err := NewRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spent := 0.0
+	for {
+		inc, err := r.SelectIncentive(crowd.Midnight)
+		if errors.Is(err, ErrBudgetExhausted) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := inc.Dollars() * float64(cfg.QueriesPerRound)
+		if cost > r.RemainingBudget()+1e-9 {
+			t.Fatalf("random policy exceeded budget")
+		}
+		spent += cost
+		r.Observe(crowd.Midnight, inc, time.Minute, cfg.QueriesPerRound)
+	}
+	if spent > cfg.BudgetDollars+1e-9 {
+		t.Fatalf("spend %v exceeds budget", spent)
+	}
+}
+
+func TestRandomPolicyCoversLevels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 10000
+	r, err := NewRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[crowd.Cents]bool)
+	for i := 0; i < 200; i++ {
+		inc, err := r.SelectIncentive(crowd.Morning)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[inc] = true
+	}
+	if len(seen) != len(cfg.Levels) {
+		t.Errorf("random policy visited %d levels, want %d", len(seen), len(cfg.Levels))
+	}
+}
+
+func TestContextBlindIgnoresContext(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 1000
+	cb, err := NewContextBlind(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed observations only via Evening; the inner learner must still
+	// accumulate them (under its single collapsed context).
+	for i := 0; i < 10; i++ {
+		inc, err := cb.SelectIncentive(crowd.Evening)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb.Observe(crowd.Evening, inc, time.Minute, 1)
+	}
+	total := 0
+	for _, c := range cb.inner.count[crowd.Morning] {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("context-blind learner recorded %d observations under its collapsed context, want 10", total)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	u, _ := NewUCBALP(DefaultConfig())
+	if u.Name() != "ucb-alp" {
+		t.Error("UCBALP name wrong")
+	}
+	f, _ := NewFixed(5, 1)
+	if f.Name() != "fixed-5c" {
+		t.Errorf("fixed name %q", f.Name())
+	}
+	r, _ := NewRandom(DefaultConfig())
+	if r.Name() != "random" {
+		t.Error("random name wrong")
+	}
+	cb, _ := NewContextBlind(DefaultConfig())
+	if cb.Name() != "ucb-context-blind" {
+		t.Error("context-blind name wrong")
+	}
+}
+
+func mustDataset(t *testing.T) []*imagery.Image {
+	t.Helper()
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Train
+}
+
+func mathxAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

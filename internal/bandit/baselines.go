@@ -1,0 +1,154 @@
+package bandit
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Fixed always offers the same incentive — the policy used by Hybrid-Para
+// and Hybrid-AL in the paper, which set it to the maximum the budget
+// allows (total budget / number of queries).
+type Fixed struct {
+	incentive crowd.Cents
+	remaining float64
+}
+
+var _ Policy = (*Fixed)(nil)
+
+// NewFixed builds a fixed policy at the given incentive with a budget.
+func NewFixed(incentive crowd.Cents, budgetDollars float64) (*Fixed, error) {
+	if incentive <= 0 {
+		return nil, fmt.Errorf("bandit: fixed incentive must be positive, got %d", incentive)
+	}
+	if budgetDollars <= 0 {
+		return nil, fmt.Errorf("bandit: budget must be positive, got %v", budgetDollars)
+	}
+	return &Fixed{incentive: incentive, remaining: budgetDollars}, nil
+}
+
+// NewFixedMax builds the paper's fixed baseline: the whole budget divided
+// evenly over the expected number of queries, snapped down to the nearest
+// available level (or the minimum level if the budget is tiny).
+func NewFixedMax(cfg Config) (*Fixed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	totalQueries := cfg.TotalRounds * cfg.QueriesPerRound
+	perQueryCents := cfg.BudgetDollars * 100 / float64(totalQueries)
+	best := cfg.Levels[0]
+	for _, l := range cfg.Levels {
+		if float64(l) <= perQueryCents && l > best {
+			best = l
+		}
+	}
+	return NewFixed(best, cfg.BudgetDollars)
+}
+
+// Name implements Policy.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%s", f.incentive) }
+
+// Incentive returns the constant incentive level.
+func (f *Fixed) Incentive() crowd.Cents { return f.incentive }
+
+// SelectIncentive implements Policy.
+func (f *Fixed) SelectIncentive(crowd.TemporalContext) (crowd.Cents, error) {
+	if f.incentive.Dollars() > f.remaining+1e-12 {
+		return 0, ErrBudgetExhausted
+	}
+	return f.incentive, nil
+}
+
+// Observe implements Policy.
+func (f *Fixed) Observe(_ crowd.TemporalContext, incentive crowd.Cents, _ time.Duration, queries int) {
+	f.remaining -= incentive.Dollars() * float64(queries)
+	if f.remaining < 0 {
+		f.remaining = 0
+	}
+}
+
+// RemainingBudget implements Policy.
+func (f *Fixed) RemainingBudget() float64 { return f.remaining }
+
+// Random assigns incentives uniformly at random among the affordable
+// levels — the heuristic baseline in Figure 8.
+type Random struct {
+	cfg       Config
+	rng       *rand.Rand
+	remaining float64
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom builds the random policy.
+func NewRandom(cfg Config) (*Random, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Random{cfg: cfg, rng: mathx.NewRand(cfg.Seed), remaining: cfg.BudgetDollars}, nil
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// SelectIncentive implements Policy.
+func (r *Random) SelectIncentive(crowd.TemporalContext) (crowd.Cents, error) {
+	affordable := make([]crowd.Cents, 0, len(r.cfg.Levels))
+	for _, l := range r.cfg.Levels {
+		if l.Dollars()*float64(r.cfg.QueriesPerRound) <= r.remaining+1e-12 {
+			affordable = append(affordable, l)
+		}
+	}
+	if len(affordable) == 0 {
+		return 0, ErrBudgetExhausted
+	}
+	return affordable[r.rng.Intn(len(affordable))], nil
+}
+
+// Observe implements Policy.
+func (r *Random) Observe(_ crowd.TemporalContext, incentive crowd.Cents, _ time.Duration, queries int) {
+	r.remaining -= incentive.Dollars() * float64(queries)
+	if r.remaining < 0 {
+		r.remaining = 0
+	}
+}
+
+// RemainingBudget implements Policy.
+func (r *Random) RemainingBudget() float64 { return r.remaining }
+
+// ContextBlind wraps a UCB-ALP learner but collapses every context to a
+// single cell. It exists for the ablation benchmark quantifying the value
+// of context-awareness (DESIGN.md §5); it is not part of the paper.
+type ContextBlind struct {
+	inner *UCBALP
+}
+
+var _ Policy = (*ContextBlind)(nil)
+
+// NewContextBlind builds the ablated policy.
+func NewContextBlind(cfg Config) (*ContextBlind, error) {
+	inner, err := NewUCBALP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ContextBlind{inner: inner}, nil
+}
+
+// Name implements Policy.
+func (c *ContextBlind) Name() string { return "ucb-context-blind" }
+
+// SelectIncentive implements Policy, ignoring the real context.
+func (c *ContextBlind) SelectIncentive(crowd.TemporalContext) (crowd.Cents, error) {
+	return c.inner.SelectIncentive(crowd.Morning)
+}
+
+// Observe implements Policy, ignoring the real context.
+func (c *ContextBlind) Observe(_ crowd.TemporalContext, incentive crowd.Cents, meanDelay time.Duration, queries int) {
+	c.inner.Observe(crowd.Morning, incentive, meanDelay, queries)
+}
+
+// RemainingBudget implements Policy.
+func (c *ContextBlind) RemainingBudget() float64 { return c.inner.RemainingBudget() }

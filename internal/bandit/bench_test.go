@@ -1,0 +1,49 @@
+package bandit
+
+import (
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+)
+
+func BenchmarkSelectIncentive(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.BudgetDollars = 1e6 // never exhausts during the benchmark
+	cfg.TotalRounds = 1 << 30
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Cover all arms so selection exercises the LP path, not forced
+	// exploration.
+	for z := 0; z < crowd.NumContexts; z++ {
+		for _, l := range cfg.Levels {
+			u.Observe(crowd.TemporalContext(z), l, 5*time.Minute, 1)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.SelectIncentive(crowd.TemporalContext(i % crowd.NumContexts)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveALP(b *testing.B) {
+	utility := make([][]float64, crowd.NumContexts)
+	costs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0}
+	for z := range utility {
+		utility[z] = make([]float64, len(costs))
+		for k := range utility[z] {
+			utility[z][k] = float64(k) / float64(len(costs))
+		}
+	}
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solveALP(utility, costs, probs, 0.3)
+	}
+}

@@ -1,0 +1,75 @@
+package bandit
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// State is the serialisable form of a UCBALP policy: learned statistics,
+// budget position and configuration. The RNG is reseeded from Config.Seed
+// on restore.
+type State struct {
+	Config    Config
+	Remaining float64
+	Rounds    int
+	Count     [crowd.NumContexts][]int
+	Payoff    [crowd.NumContexts][]float64
+}
+
+// State captures the policy.
+func (u *UCBALP) State() State {
+	s := State{Config: u.cfg, Remaining: u.remaining, Rounds: u.rounds}
+	for z := 0; z < crowd.NumContexts; z++ {
+		s.Count[z] = append([]int(nil), u.count[z]...)
+		s.Payoff[z] = mathx.Clone(u.payoff[z])
+	}
+	return s
+}
+
+// FromState reconstructs a policy from a snapshot.
+func FromState(s State) (*UCBALP, error) {
+	u, err := NewUCBALP(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	k := len(s.Config.Levels)
+	for z := 0; z < crowd.NumContexts; z++ {
+		if len(s.Count[z]) != k || len(s.Payoff[z]) != k {
+			return nil, fmt.Errorf("bandit: state context %d has %d/%d arm stats, want %d",
+				z, len(s.Count[z]), len(s.Payoff[z]), k)
+		}
+		copy(u.count[z], s.Count[z])
+		copy(u.payoff[z], s.Payoff[z])
+	}
+	if s.Remaining < 0 || s.Remaining > s.Config.BudgetDollars+1e-9 {
+		return nil, fmt.Errorf("bandit: state remaining budget %v outside [0, %v]",
+			s.Remaining, s.Config.BudgetDollars)
+	}
+	if s.Rounds < 0 {
+		return nil, fmt.Errorf("bandit: state rounds %d negative", s.Rounds)
+	}
+	u.remaining = s.Remaining
+	u.rounds = s.Rounds
+	return u, nil
+}
+
+// Save writes the policy state to w using encoding/gob.
+func (u *UCBALP) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(u.State()); err != nil {
+		return fmt.Errorf("bandit: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a policy previously written with Save.
+func Load(r io.Reader) (*UCBALP, error) {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bandit: load: %w", err)
+	}
+	return FromState(s)
+}

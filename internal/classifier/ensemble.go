@@ -1,0 +1,148 @@
+package classifier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Ensemble aggregates the three AI experts with confidence-rated boosting
+// weights (Schapire & Singer), the paper's AI-only Ensemble baseline.
+//
+// Training fits every member, then computes each member's weighted
+// training error and assigns the classic boosting weight
+// alpha_m = log((1 - err_m) / err_m); prediction is the alpha-weighted sum
+// of member vote distributions, renormalised. The simulated per-image cost
+// reflects that the ensemble evaluates members sequentially with partial
+// early-exit, matching the Table III delay ordering.
+type Ensemble struct {
+	members []Expert
+	alphas  []float64
+	cost    time.Duration
+}
+
+var _ Expert = (*Ensemble)(nil)
+
+// NewEnsemble builds the boosting aggregation of the given members. The
+// standard paper configuration passes VGG16, BoVW and DDM.
+func NewEnsemble(members ...Expert) (*Ensemble, error) {
+	if len(members) == 0 {
+		return nil, errors.New("classifier: ensemble needs at least one member")
+	}
+	return &Ensemble{
+		members: members,
+		alphas:  make([]float64, len(members)),
+		cost:    8582 * time.Millisecond,
+	}, nil
+}
+
+// Name implements Expert.
+func (e *Ensemble) Name() string { return "ensemble" }
+
+// PerImageCost implements Expert.
+func (e *Ensemble) PerImageCost() time.Duration { return e.cost }
+
+// Members exposes the underlying experts (read-only use).
+func (e *Ensemble) Members() []Expert { return e.members }
+
+// Alphas returns a copy of the boosting weights.
+func (e *Ensemble) Alphas() []float64 { return mathx.Clone(e.alphas) }
+
+// Train implements Expert: fit all members, then set boosting weights
+// from their training error.
+func (e *Ensemble) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return errors.New("classifier: no training samples")
+	}
+	for _, m := range e.members {
+		if err := m.Train(samples); err != nil {
+			return fmt.Errorf("ensemble member %s: %w", m.Name(), err)
+		}
+	}
+	e.reweight(samples)
+	return nil
+}
+
+// Update implements Expert: incremental pass on all members followed by
+// reweighting.
+func (e *Ensemble) Update(samples []Sample) error {
+	if len(samples) == 0 {
+		return errors.New("classifier: no update samples")
+	}
+	for _, m := range e.members {
+		if err := m.Update(samples); err != nil {
+			return fmt.Errorf("ensemble member %s: %w", m.Name(), err)
+		}
+	}
+	e.reweight(samples)
+	return nil
+}
+
+// reweight computes confidence-rated boosting weights from member errors
+// on the given samples.
+func (e *Ensemble) reweight(samples []Sample) {
+	const floor = 0.01 // keep alphas finite for perfect/terrible members
+	for i, m := range e.members {
+		wrong := 0
+		for _, s := range samples {
+			if mathx.ArgMax(m.Predict(s.Image)) != mathx.ArgMax(s.Target) {
+				wrong++
+			}
+		}
+		err := mathx.Clamp(float64(wrong)/float64(len(samples)), floor, 1-floor)
+		e.alphas[i] = math.Log((1 - err) / err)
+		if e.alphas[i] < 0 {
+			// A worse-than-chance member contributes nothing rather than
+			// being inverted; inverting distributions is not meaningful
+			// for multiclass vote aggregation.
+			e.alphas[i] = 0
+		}
+	}
+}
+
+// Predict implements Expert.
+func (e *Ensemble) Predict(im *imagery.Image) []float64 {
+	agg := make([]float64, imagery.NumLabels)
+	anyWeight := false
+	for i, m := range e.members {
+		if e.alphas[i] <= 0 {
+			continue
+		}
+		anyWeight = true
+		mathx.AddScaled(agg, e.alphas[i], m.Predict(im))
+	}
+	if !anyWeight {
+		// Untrained or fully down-weighted: uniform abstention.
+		mathx.Fill(agg, 1/float64(imagery.NumLabels))
+		return agg
+	}
+	mathx.Normalize(agg)
+	return agg
+}
+
+// Clone implements Expert.
+func (e *Ensemble) Clone() Expert {
+	cp := &Ensemble{
+		members: make([]Expert, len(e.members)),
+		alphas:  mathx.Clone(e.alphas),
+		cost:    e.cost,
+	}
+	for i, m := range e.members {
+		cp.members[i] = m.Clone()
+	}
+	return cp
+}
+
+// StandardCommittee builds the paper's committee — VGG16, BoVW and DDM —
+// with distinct seeds derived from the given base seed.
+func StandardCommittee(dims imagery.Dims, seed int64) []Expert {
+	return []Expert{
+		NewVGG16(dims, Options{Seed: seed}),
+		NewBoVW(dims, Options{Seed: seed + 1}),
+		NewDDM(dims, Options{Seed: seed + 2}),
+	}
+}

@@ -1,0 +1,132 @@
+package classifier
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/neural"
+)
+
+// PersistentExpert is an Expert whose learned state can be checkpointed
+// and restored. All experts in this package implement it; LoadState must
+// be called on an expert constructed with the same architecture (name and
+// feature view) as the one that saved.
+type PersistentExpert interface {
+	Expert
+	// SaveState writes the expert's learned parameters.
+	SaveState(w io.Writer) error
+	// LoadState replaces the expert's learned parameters.
+	LoadState(r io.Reader) error
+}
+
+var (
+	_ PersistentExpert = (*mlpExpert)(nil)
+	_ PersistentExpert = (*Ensemble)(nil)
+)
+
+// mlpExpertState is the gob envelope for a single MLP expert.
+type mlpExpertState struct {
+	Name    string
+	Trained bool
+	Net     neural.State
+}
+
+// SaveState implements PersistentExpert.
+func (e *mlpExpert) SaveState(w io.Writer) error {
+	s := mlpExpertState{Name: e.name, Trained: e.net != nil}
+	if e.net != nil {
+		s.Net = e.net.State()
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("classifier: save %s: %w", e.name, err)
+	}
+	return nil
+}
+
+// LoadState implements PersistentExpert.
+func (e *mlpExpert) LoadState(r io.Reader) error {
+	var s mlpExpertState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("classifier: load %s: %w", e.name, err)
+	}
+	if s.Name != e.name {
+		return fmt.Errorf("classifier: state is for %q, expert is %q", s.Name, e.name)
+	}
+	if !s.Trained {
+		e.net = nil
+		return nil
+	}
+	if s.Net.InDim != e.inDim {
+		return fmt.Errorf("classifier: %s state input dim %d, want %d", e.name, s.Net.InDim, e.inDim)
+	}
+	net, err := neural.FromState(s.Net)
+	if err != nil {
+		return fmt.Errorf("classifier: load %s: %w", e.name, err)
+	}
+	e.net = net
+	return nil
+}
+
+// ensembleState is the gob envelope for the Ensemble.
+type ensembleState struct {
+	Alphas  []float64
+	Members []mlpExpertState
+}
+
+// SaveState implements PersistentExpert. Only ensembles whose members are
+// the package's MLP experts can be persisted.
+func (e *Ensemble) SaveState(w io.Writer) error {
+	s := ensembleState{Alphas: mathx.Clone(e.alphas)}
+	for _, m := range e.members {
+		mlp, ok := m.(*mlpExpert)
+		if !ok {
+			return fmt.Errorf("classifier: ensemble member %s is not persistable", m.Name())
+		}
+		ms := mlpExpertState{Name: mlp.name, Trained: mlp.net != nil}
+		if mlp.net != nil {
+			ms.Net = mlp.net.State()
+		}
+		s.Members = append(s.Members, ms)
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("classifier: save ensemble: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements PersistentExpert.
+func (e *Ensemble) LoadState(r io.Reader) error {
+	var s ensembleState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("classifier: load ensemble: %w", err)
+	}
+	if len(s.Members) != len(e.members) {
+		return fmt.Errorf("classifier: ensemble state has %d members, want %d", len(s.Members), len(e.members))
+	}
+	if len(s.Alphas) != len(e.alphas) {
+		return errors.New("classifier: ensemble state alpha count mismatch")
+	}
+	for i, ms := range s.Members {
+		mlp, ok := e.members[i].(*mlpExpert)
+		if !ok {
+			return fmt.Errorf("classifier: ensemble member %d is not persistable", i)
+		}
+		if ms.Name != mlp.name {
+			return fmt.Errorf("classifier: ensemble member %d state is for %q, expert is %q", i, ms.Name, mlp.name)
+		}
+		if !ms.Trained {
+			mlp.net = nil
+			continue
+		}
+		net, err := neural.FromState(ms.Net)
+		if err != nil {
+			return fmt.Errorf("classifier: load ensemble member %s: %w", ms.Name, err)
+		}
+		mlp.net = net
+	}
+	copy(e.alphas, s.Alphas)
+	return nil
+}

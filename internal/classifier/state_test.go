@@ -1,0 +1,134 @@
+package classifier
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+func TestExpertSaveLoadRoundtrip(t *testing.T) {
+	ds := dataset(t)
+	e := NewVGG16(imagery.DefaultDims, Options{Seed: 1, Epochs: 20})
+	if err := e.Train(SamplesFromImages(ds.Train[:200])); err != nil {
+		t.Fatal(err)
+	}
+	pe, ok := e.(PersistentExpert)
+	if !ok {
+		t.Fatal("vgg16 must be persistable")
+	}
+	var buf bytes.Buffer
+	if err := pe.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewVGG16(imagery.DefaultDims, Options{Seed: 99}).(PersistentExpert)
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range ds.Test[:20] {
+		a, b := e.Predict(im), fresh.Predict(im)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("restored expert predicts differently")
+			}
+		}
+	}
+}
+
+func TestExpertLoadRejectsWrongArchitecture(t *testing.T) {
+	ds := dataset(t)
+	vgg := NewVGG16(imagery.DefaultDims, Options{Seed: 1, Epochs: 5})
+	if err := vgg.Train(SamplesFromImages(ds.Train[:100])); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vgg.(PersistentExpert).SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bovw := NewBoVW(imagery.DefaultDims, Options{Seed: 1}).(PersistentExpert)
+	if err := bovw.LoadState(&buf); err == nil {
+		t.Error("loading a vgg16 state into bovw must fail")
+	}
+}
+
+func TestUntrainedExpertRoundtrip(t *testing.T) {
+	ds := dataset(t)
+	e := NewDDM(imagery.DefaultDims, Options{Seed: 1}).(PersistentExpert)
+	var buf bytes.Buffer
+	if err := e.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDDM(imagery.DefaultDims, Options{Seed: 2}).(PersistentExpert)
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Still uniform (untrained).
+	p := fresh.Predict(ds.Test[0])
+	for _, x := range p {
+		if x != p[0] {
+			t.Fatal("restored untrained expert must abstain uniformly")
+		}
+	}
+}
+
+func TestEnsembleSaveLoadRoundtrip(t *testing.T) {
+	ds := dataset(t)
+	ens, err := NewEnsemble(StandardCommittee(imagery.DefaultDims, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Train(SamplesFromImages(ds.Train[:200])); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEnsemble(StandardCommittee(imagery.DefaultDims, 55)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range ds.Test[:20] {
+		a, b := ens.Predict(im), fresh.Predict(im)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("restored ensemble predicts differently")
+			}
+		}
+	}
+	aa, ab := ens.Alphas(), fresh.Alphas()
+	for i := range aa {
+		if aa[i] != ab[i] {
+			t.Fatal("ensemble alphas differ after restore")
+		}
+	}
+}
+
+func TestEnsembleLoadRejectsMemberMismatch(t *testing.T) {
+	ds := dataset(t)
+	ens, err := NewEnsemble(StandardCommittee(imagery.DefaultDims, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Train(SamplesFromImages(ds.Train[:100])); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Two-member ensemble cannot accept a three-member checkpoint.
+	small, err := NewEnsemble(
+		NewVGG16(imagery.DefaultDims, Options{Seed: 1}),
+		NewBoVW(imagery.DefaultDims, Options{Seed: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.LoadState(&buf); err == nil {
+		t.Error("member-count mismatch must be rejected")
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+// CampaignConfig drives a scheme through the paper's evaluation protocol:
+// 40 sensing cycles of 10 test images each, 10 cycles per temporal
+// context (Section V-B).
+type CampaignConfig struct {
+	// Cycles is the number of sensing cycles (paper: 40).
+	Cycles int
+	// ImagesPerCycle is the batch size per cycle (paper: 10).
+	ImagesPerCycle int
+	// ContextOf maps a cycle index to its temporal context; nil uses a
+	// round-robin schedule (cycle mod 4), which gives the paper's 10
+	// cycles per context over 40 cycles while keeping the context stream
+	// stationary — the regime the contextual bandit's adaptive LP is
+	// designed for.
+	ContextOf func(cycle int) crowd.TemporalContext
+}
+
+// DefaultCampaignConfig mirrors the paper: 40 cycles x 10 images.
+func DefaultCampaignConfig() CampaignConfig {
+	return CampaignConfig{Cycles: 40, ImagesPerCycle: 10}
+}
+
+// Validate checks the configuration against the available test set size.
+func (c CampaignConfig) Validate(testSize int) error {
+	if c.Cycles <= 0 {
+		return errors.New("core: Cycles must be positive")
+	}
+	if c.ImagesPerCycle <= 0 {
+		return errors.New("core: ImagesPerCycle must be positive")
+	}
+	if need := c.Cycles * c.ImagesPerCycle; need > testSize {
+		return fmt.Errorf("core: campaign needs %d images but test set has %d", need, testSize)
+	}
+	return nil
+}
+
+// contextOf resolves the context schedule.
+func (c CampaignConfig) contextOf(cycle int) crowd.TemporalContext {
+	if c.ContextOf != nil {
+		return c.ContextOf(cycle)
+	}
+	return crowd.TemporalContext(cycle % crowd.NumContexts)
+}
+
+// CycleRecord pairs a cycle's input with the scheme's output.
+type CycleRecord struct {
+	Input  CycleInput
+	Output CycleOutput
+}
+
+// CampaignResult aggregates a full run.
+type CampaignResult struct {
+	SchemeName string
+	Records    []CycleRecord
+}
+
+// RunCampaign drives the scheme through the test images under the
+// campaign schedule. Images are consumed in order, ImagesPerCycle at a
+// time, emulating the unseen data arriving during each sensing cycle.
+func RunCampaign(scheme Scheme, test []*imagery.Image, cfg CampaignConfig) (*CampaignResult, error) {
+	if scheme == nil {
+		return nil, errors.New("core: nil scheme")
+	}
+	if err := cfg.Validate(len(test)); err != nil {
+		return nil, err
+	}
+	result := &CampaignResult{SchemeName: scheme.Name(), Records: make([]CycleRecord, 0, cfg.Cycles)}
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		in := CycleInput{
+			Index:   cycle,
+			Context: cfg.contextOf(cycle),
+			Images:  test[cycle*cfg.ImagesPerCycle : (cycle+1)*cfg.ImagesPerCycle],
+		}
+		out, err := scheme.RunCycle(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), cycle, err)
+		}
+		if len(out.Distributions) != len(in.Images) {
+			return nil, fmt.Errorf("core: %s cycle %d returned %d distributions for %d images",
+				scheme.Name(), cycle, len(out.Distributions), len(in.Images))
+		}
+		result.Records = append(result.Records, CycleRecord{Input: in, Output: out})
+	}
+	return result, nil
+}
+
+// TrueLabels returns the ground-truth labels of every image in campaign
+// order.
+func (r *CampaignResult) TrueLabels() []imagery.Label {
+	var out []imagery.Label
+	for _, rec := range r.Records {
+		for _, im := range rec.Input.Images {
+			out = append(out, im.TrueLabel)
+		}
+	}
+	return out
+}
+
+// PredictedLabels returns the scheme's hard labels in campaign order.
+func (r *CampaignResult) PredictedLabels() []imagery.Label {
+	var out []imagery.Label
+	for _, rec := range r.Records {
+		out = append(out, rec.Output.Labels()...)
+	}
+	return out
+}
+
+// Distributions returns the scheme's label distributions in campaign
+// order.
+func (r *CampaignResult) Distributions() [][]float64 {
+	var out [][]float64
+	for _, rec := range r.Records {
+		out = append(out, rec.Output.Distributions...)
+	}
+	return out
+}
+
+// MeanAlgorithmDelay averages the per-cycle simulated compute delay.
+func (r *CampaignResult) MeanAlgorithmDelay() time.Duration {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, rec := range r.Records {
+		total += rec.Output.AlgorithmDelay
+	}
+	return total / time.Duration(len(r.Records))
+}
+
+// MeanCrowdDelay averages the per-cycle crowd delay over cycles that
+// actually posted queries; returns 0 if none did.
+func (r *CampaignResult) MeanCrowdDelay() time.Duration {
+	var total time.Duration
+	n := 0
+	for _, rec := range r.Records {
+		if len(rec.Output.Queried) > 0 {
+			total += rec.Output.CrowdDelay
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// CrowdDelayByContext averages crowd delay per temporal context.
+func (r *CampaignResult) CrowdDelayByContext() map[crowd.TemporalContext]time.Duration {
+	totals := make(map[crowd.TemporalContext]time.Duration, crowd.NumContexts)
+	counts := make(map[crowd.TemporalContext]int, crowd.NumContexts)
+	for _, rec := range r.Records {
+		if len(rec.Output.Queried) > 0 {
+			totals[rec.Input.Context] += rec.Output.CrowdDelay
+			counts[rec.Input.Context]++
+		}
+	}
+	out := make(map[crowd.TemporalContext]time.Duration, len(totals))
+	for ctx, total := range totals {
+		out[ctx] = total / time.Duration(counts[ctx])
+	}
+	return out
+}
+
+// TotalSpend sums the crowdsourcing dollars across cycles.
+func (r *CampaignResult) TotalSpend() float64 {
+	var total float64
+	for _, rec := range r.Records {
+		total += rec.Output.SpentDollars
+	}
+	return total
+}
+
+// QueriedCount sums the number of crowd queries across cycles.
+func (r *CampaignResult) QueriedCount() int {
+	n := 0
+	for _, rec := range r.Records {
+		n += len(rec.Output.Queried)
+	}
+	return n
+}

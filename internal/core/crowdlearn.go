@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/cqc"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mic"
+	"github.com/crowdlearn/crowdlearn/internal/qss"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// Config assembles the full CrowdLearn system.
+type Config struct {
+	// Dims are the feature-view dimensionalities of the dataset.
+	Dims imagery.Dims
+	// Seed derives all component seeds.
+	Seed int64
+	// Epsilon is QSS's exploration probability in [0, 1]. Zero disables
+	// exploration (the QSS ablation); DefaultConfig uses 0.2.
+	Epsilon float64
+	// Strategy is the QSS exploitation score; nil uses the paper's
+	// committee entropy. Alternatives (margin, least-confidence,
+	// disagreement) exist for the selection-strategy ablation.
+	Strategy qss.Strategy
+	// QuerySize is the number of images sent to the crowd per cycle
+	// (paper: 5 of 10).
+	QuerySize int
+	// Bandit configures the IPD policy; its TotalRounds/QueriesPerRound
+	// must match the campaign.
+	Bandit bandit.Config
+	// CQC configures quality control.
+	CQC cqc.Config
+	// MIC configures calibration.
+	MIC mic.Config
+	// CommitteeOverheadPerImage is the extra simulated compute per image
+	// for running QSS/IPD/CQC/MIC on top of the (parallel) committee —
+	// calibrated so Table III's CrowdLearn algorithm delay is reproduced.
+	CommitteeOverheadPerImage time.Duration
+	// DisableWeightUpdate freezes expert weights at uniform — the MIC
+	// weight-adaptation ablation (DESIGN.md §5).
+	DisableWeightUpdate bool
+	// DisableRetraining turns off the model-retraining strategy.
+	DisableRetraining bool
+	// DisableOffloading turns off the crowd-offloading strategy.
+	DisableOffloading bool
+}
+
+// DefaultConfig mirrors the paper's main experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Dims:                      imagery.DefaultDims,
+		Seed:                      1,
+		Epsilon:                   0.2,
+		QuerySize:                 5,
+		Bandit:                    bandit.DefaultConfig(),
+		CQC:                       cqc.DefaultConfig(),
+		MIC:                       mic.DefaultConfig(),
+		CommitteeOverheadPerImage: 305 * time.Millisecond,
+	}
+}
+
+// CrowdLearn is the closed-loop crowd-AI hybrid system (Figure 4).
+type CrowdLearn struct {
+	cfg        Config
+	committee  *qss.Committee
+	selector   *qss.StrategySelector
+	policy     *bandit.UCBALP
+	quality    *cqc.CQC
+	calibrator *mic.Calibrator
+	platform   *crowd.Platform
+
+	maxMemberCost time.Duration
+	bootstrapped  bool
+	replay        *replayBuffer
+}
+
+var _ Scheme = (*CrowdLearn)(nil)
+
+// New assembles a CrowdLearn system against the given crowdsourcing
+// platform. Call Bootstrap before the first RunCycle.
+func New(cfg Config, platform *crowd.Platform) (*CrowdLearn, error) {
+	if platform == nil {
+		return nil, errors.New("core: nil platform")
+	}
+	if cfg.QuerySize < 0 {
+		return nil, errors.New("core: QuerySize must be non-negative")
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		return nil, errors.New("core: Epsilon must be in [0, 1]")
+	}
+	committee, err := qss.NewCommittee(classifier.StandardCommittee(cfg.Dims, cfg.Seed)...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = qss.EntropyStrategy{}
+	}
+	selector, err := qss.NewStrategySelector(cfg.Strategy, cfg.Epsilon, cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Bandit.Seed = cfg.Seed + 202
+	cfg.Bandit.QueriesPerRound = max(cfg.QuerySize, 1)
+	policy, err := bandit.NewUCBALP(cfg.Bandit)
+	if err != nil {
+		return nil, err
+	}
+	calibrator, err := mic.New(cfg.MIC)
+	if err != nil {
+		return nil, err
+	}
+	cl := &CrowdLearn{
+		cfg:        cfg,
+		committee:  committee,
+		selector:   selector,
+		policy:     policy,
+		quality:    cqc.New(cfg.CQC),
+		calibrator: calibrator,
+		platform:   platform,
+	}
+	for _, e := range committee.Experts() {
+		if c := e.PerImageCost(); c > cl.maxMemberCost {
+			cl.maxMemberCost = c
+		}
+	}
+	return cl, nil
+}
+
+// Committee exposes the underlying committee (read-mostly; used by
+// experiments to inspect expert weights).
+func (cl *CrowdLearn) Committee() *qss.Committee { return cl.committee }
+
+// Policy exposes the IPD policy for budget inspection.
+func (cl *CrowdLearn) Policy() *bandit.UCBALP { return cl.policy }
+
+// Bootstrap prepares the system exactly as Section V-B prescribes for the
+// training split: train the committee experts on golden labels, train CQC
+// on the pilot-study responses, and warm-start the IPD bandit from the
+// pilot delays.
+func (cl *CrowdLearn) Bootstrap(train []*imagery.Image, pilot *crowd.PilotData) error {
+	if len(train) == 0 {
+		return errors.New("core: empty training set")
+	}
+	trainSamples := classifier.SamplesFromImages(train)
+	if err := cl.committee.Train(trainSamples); err != nil {
+		return err
+	}
+	cl.replay = newReplayBuffer(trainSamples, cl.cfg.Seed+303)
+	if pilot != nil {
+		if err := cl.quality.Train(pilot.AllResults()); err != nil {
+			return err
+		}
+		cl.policy.WarmStart(pilot)
+	}
+	cl.bootstrapped = true
+	return nil
+}
+
+// Name implements Scheme.
+func (cl *CrowdLearn) Name() string { return "crowdlearn" }
+
+// RunCycle implements Scheme: the full closed loop of Figure 4.
+//
+//	(1) the committee votes on every image (committee entropy computed by
+//	    QSS); (2) QSS selects the query set and IPD prices it; (3) the
+//	    crowd answers and CQC distils truthful labels; (4) MIC updates
+//	    expert weights, retrains the experts, and the truthful labels
+//	    replace the AI's on the queried images (crowd offloading).
+func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
+	if err := in.Validate(); err != nil {
+		return CycleOutput{}, err
+	}
+	if !cl.bootstrapped {
+		return CycleOutput{}, errors.New("core: CrowdLearn not bootstrapped")
+	}
+
+	out := CycleOutput{Distributions: make([][]float64, len(in.Images))}
+	// (1) Committee vote per image. The committee runs its members in
+	// parallel, so the compute cost per image is the slowest member plus
+	// the CrowdLearn module overhead (Table III cost model).
+	for i, im := range in.Images {
+		out.Distributions[i] = cl.committee.Vote(im)
+	}
+	out.AlgorithmDelay = time.Duration(len(in.Images)) * (cl.maxMemberCost + cl.cfg.CommitteeOverheadPerImage)
+
+	if cl.cfg.QuerySize == 0 || !cl.quality.Trained() {
+		// Pure-AI degenerate mode (Figure 9's 0% point).
+		return out, nil
+	}
+
+	// (2) QSS selects the query set; IPD prices it.
+	queried := cl.selector.Select(cl.committee, in.Images, cl.cfg.QuerySize)
+	incentive, err := cl.policy.SelectIncentive(in.Context)
+	if errors.Is(err, bandit.ErrBudgetExhausted) {
+		// No budget left: fall back to AI-only for the rest of the run.
+		return out, nil
+	}
+	if err != nil {
+		return CycleOutput{}, err
+	}
+
+	queries := make([]crowd.Query, len(queried))
+	for qi, idx := range queried {
+		queries[qi] = crowd.Query{Image: in.Images[idx], Incentive: incentive}
+	}
+
+	// (3) The crowd answers; CQC distils truthful label distributions.
+	results, err := cl.platform.Submit(simclock.New(), in.Context, queries)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	out.Queried = queried
+	out.Incentive = incentive
+	out.SpentDollars = incentive.Dollars() * float64(len(queries))
+	out.CrowdDelay = crowd.MeanCompletionDelay(results)
+	cl.policy.Observe(in.Context, incentive, out.CrowdDelay, len(queries))
+
+	truths, err := cl.quality.Aggregate(results)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+
+	// (4) MIC: weight update, retraining, crowd offloading.
+	queriedImages := make([]*imagery.Image, len(queried))
+	for qi, idx := range queried {
+		queriedImages[qi] = in.Images[idx]
+	}
+	if !cl.cfg.DisableWeightUpdate {
+		if _, err := cl.calibrator.UpdateWeights(cl.committee, queriedImages, truths); err != nil {
+			return CycleOutput{}, err
+		}
+	}
+	if !cl.cfg.DisableRetraining {
+		samples, err := mic.RetrainSamples(queriedImages, truths)
+		if err != nil {
+			return CycleOutput{}, err
+		}
+		// Interleave replayed training data so the incremental pass does
+		// not catastrophically forget the original task.
+		cl.replay.add(samples)
+		if err := cl.calibrator.Retrain(cl.committee, cl.replay.batch()); err != nil {
+			return CycleOutput{}, err
+		}
+	}
+	if !cl.cfg.DisableOffloading {
+		for qi, idx := range queried {
+			out.Distributions[idx] = truths[qi]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+)
+
+// cycleJSON is the wire form of one sensing cycle's record.
+type cycleJSON struct {
+	Cycle             int     `json:"cycle"`
+	Context           string  `json:"context"`
+	ImageIDs          []int   `json:"imageIds"`
+	TrueLabels        []int   `json:"trueLabels"`
+	PredictedLabels   []int   `json:"predictedLabels"`
+	QueriedImageIDs   []int   `json:"queriedImageIds"`
+	IncentiveCents    int     `json:"incentiveCents"`
+	AlgorithmDelaySec float64 `json:"algorithmDelaySeconds"`
+	CrowdDelaySec     float64 `json:"crowdDelaySeconds"`
+	SpentDollars      float64 `json:"spentDollars"`
+}
+
+// campaignJSON is the wire form of a CampaignResult.
+type campaignJSON struct {
+	Scheme  string       `json:"scheme"`
+	Cycles  []cycleJSON  `json:"cycles"`
+	Summary *summaryJSON `json:"summary"`
+}
+
+// summaryJSON carries the headline aggregates so consumers need not
+// recompute them.
+type summaryJSON struct {
+	Accuracy          float64 `json:"accuracy"`
+	Precision         float64 `json:"precision"`
+	Recall            float64 `json:"recall"`
+	F1                float64 `json:"f1"`
+	CrowdQueries      int     `json:"crowdQueries"`
+	TotalSpentDollars float64 `json:"totalSpentDollars"`
+	MeanAlgDelaySec   float64 `json:"meanAlgorithmDelaySeconds"`
+	MeanCrowdDelaySec float64 `json:"meanCrowdDelaySeconds"`
+}
+
+// Export writes the campaign as a JSON report: one record per sensing
+// cycle plus headline aggregates — the artefact an analyst would archive
+// next to the paper's tables.
+func (r *CampaignResult) Export(w io.Writer) error {
+	out := campaignJSON{Scheme: r.SchemeName}
+	for _, rec := range r.Records {
+		labels := rec.Output.Labels()
+		cj := cycleJSON{
+			Cycle:             rec.Input.Index,
+			Context:           rec.Input.Context.String(),
+			IncentiveCents:    int(rec.Output.Incentive),
+			AlgorithmDelaySec: rec.Output.AlgorithmDelay.Seconds(),
+			CrowdDelaySec:     rec.Output.CrowdDelay.Seconds(),
+			SpentDollars:      rec.Output.SpentDollars,
+		}
+		for i, im := range rec.Input.Images {
+			cj.ImageIDs = append(cj.ImageIDs, im.ID)
+			cj.TrueLabels = append(cj.TrueLabels, int(im.TrueLabel))
+			cj.PredictedLabels = append(cj.PredictedLabels, int(labels[i]))
+		}
+		for _, idx := range rec.Output.Queried {
+			cj.QueriedImageIDs = append(cj.QueriedImageIDs, rec.Input.Images[idx].ID)
+		}
+		out.Cycles = append(out.Cycles, cj)
+	}
+	if len(r.Records) > 0 {
+		m, err := eval.Compute(r.TrueLabels(), r.PredictedLabels())
+		if err != nil {
+			return fmt.Errorf("core: export: %w", err)
+		}
+		out.Summary = &summaryJSON{
+			Accuracy:          m.Accuracy,
+			Precision:         m.Precision,
+			Recall:            m.Recall,
+			F1:                m.F1,
+			CrowdQueries:      r.QueriedCount(),
+			TotalSpentDollars: r.TotalSpend(),
+			MeanAlgDelaySec:   r.MeanAlgorithmDelay().Seconds(),
+			MeanCrowdDelaySec: r.MeanCrowdDelay().Seconds(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("core: export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+func TestCampaignExport(t *testing.T) {
+	f := sharedFixture(t)
+	expert := classifier.NewBoVW(imagery.DefaultDims, classifier.Options{Seed: 77, Epochs: 15})
+	if err := expert.Train(classifier.SamplesFromImages(f.ds.Train)); err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := NewAIOnly(expert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig{Cycles: 4, ImagesPerCycle: 10}
+	res, err := RunCampaign(scheme, f.ds.Test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded struct {
+		Scheme string `json:"scheme"`
+		Cycles []struct {
+			Cycle           int    `json:"cycle"`
+			Context         string `json:"context"`
+			ImageIDs        []int  `json:"imageIds"`
+			TrueLabels      []int  `json:"trueLabels"`
+			PredictedLabels []int  `json:"predictedLabels"`
+		} `json:"cycles"`
+		Summary struct {
+			Accuracy     float64 `json:"accuracy"`
+			F1           float64 `json:"f1"`
+			CrowdQueries int     `json:"crowdQueries"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Scheme != "bovw" {
+		t.Errorf("scheme %q", decoded.Scheme)
+	}
+	if len(decoded.Cycles) != 4 {
+		t.Fatalf("cycles %d, want 4", len(decoded.Cycles))
+	}
+	for i, c := range decoded.Cycles {
+		if c.Cycle != i {
+			t.Errorf("cycle %d index %d", i, c.Cycle)
+		}
+		if len(c.ImageIDs) != 10 || len(c.TrueLabels) != 10 || len(c.PredictedLabels) != 10 {
+			t.Errorf("cycle %d record lengths wrong", i)
+		}
+		if c.Context == "" {
+			t.Errorf("cycle %d missing context", i)
+		}
+	}
+	if decoded.Summary.Accuracy <= 0 || decoded.Summary.Accuracy > 1 {
+		t.Errorf("summary accuracy %v", decoded.Summary.Accuracy)
+	}
+	if decoded.Summary.CrowdQueries != 0 {
+		t.Errorf("AI-only campaign reports %d crowd queries", decoded.Summary.CrowdQueries)
+	}
+	// Summary accuracy must match a recomputation from the records.
+	correct, total := 0, 0
+	for _, c := range decoded.Cycles {
+		for i := range c.TrueLabels {
+			total++
+			if c.TrueLabels[i] == c.PredictedLabels[i] {
+				correct++
+			}
+		}
+	}
+	if got := float64(correct) / float64(total); got != decoded.Summary.Accuracy {
+		t.Errorf("summary accuracy %v disagrees with records %v", decoded.Summary.Accuracy, got)
+	}
+}
+
+func TestCampaignExportEmpty(t *testing.T) {
+	res := &CampaignResult{SchemeName: "x"}
+	var buf bytes.Buffer
+	if err := res.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"scheme": "x"`)) {
+		t.Error("empty campaign export missing scheme")
+	}
+}

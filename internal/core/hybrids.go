@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/mic"
+	"github.com/crowdlearn/crowdlearn/internal/qss"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+// HybridPara is the Hybrid-Para baseline (Jarrett et al.): humans and AI
+// label images independently and their results are integrated through a
+// complexity index. Images the AI finds complex (high prediction entropy)
+// take the human answer; the rest keep the AI answer. The crowd subset is
+// chosen uniformly at random, incentives are fixed, and quality control is
+// plain majority voting — the baseline neither troubleshoots the AI nor
+// learns an incentive policy.
+type HybridPara struct {
+	expert    classifier.Expert
+	policy    bandit.Policy
+	platform  *crowd.Platform
+	querySize int
+	rng       *rand.Rand
+	// complexityThreshold is the entropy fraction above which an image is
+	// "complex" and the human answer wins.
+	complexityThreshold float64
+	overheadPerImage    time.Duration
+}
+
+var _ Scheme = (*HybridPara)(nil)
+
+// NewHybridPara builds the baseline around a trained expert (the paper
+// pairs the crowd with the strongest AI-only configuration).
+func NewHybridPara(expert classifier.Expert, policy bandit.Policy, platform *crowd.Platform, querySize int, seed int64) (*HybridPara, error) {
+	if expert == nil || policy == nil || platform == nil {
+		return nil, errors.New("core: hybrid-para needs expert, policy and platform")
+	}
+	if querySize < 0 {
+		return nil, errors.New("core: querySize must be non-negative")
+	}
+	return &HybridPara{
+		expert:              expert,
+		policy:              policy,
+		platform:            platform,
+		querySize:           querySize,
+		rng:                 mathx.NewRand(seed),
+		complexityThreshold: 0.55,
+		overheadPerImage:    846 * time.Millisecond,
+	}, nil
+}
+
+// Name implements Scheme.
+func (h *HybridPara) Name() string { return "hybrid-para" }
+
+// RunCycle implements Scheme.
+func (h *HybridPara) RunCycle(in CycleInput) (CycleOutput, error) {
+	if err := in.Validate(); err != nil {
+		return CycleOutput{}, err
+	}
+	out := CycleOutput{Distributions: make([][]float64, len(in.Images))}
+	for i, im := range in.Images {
+		out.Distributions[i] = h.expert.Predict(im)
+	}
+	out.AlgorithmDelay = time.Duration(len(in.Images)) * (h.expert.PerImageCost() + h.overheadPerImage)
+
+	queried, results, incentive, err := postRandomQueries(h.rng, h.policy, h.platform, in, h.querySize)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	if len(queried) == 0 {
+		return out, nil
+	}
+	out.Queried = queried
+	out.Incentive = incentive
+	out.SpentDollars = incentive.Dollars() * float64(len(queried))
+	out.CrowdDelay = crowd.MeanCompletionDelay(results)
+
+	humanDists, err := truth.MajorityVoting{}.Aggregate(results)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	// Complexity-index integration: human answers override the AI on
+	// complex (high-entropy) images only.
+	maxH := mathx.MaxEntropy(imagery.NumLabels)
+	for qi, idx := range queried {
+		if mathx.Entropy(out.Distributions[idx])/maxH >= h.complexityThreshold {
+			out.Distributions[idx] = humanDists[qi]
+		}
+	}
+	return out, nil
+}
+
+// HybridAL is the Hybrid-AL baseline (Laws et al.): a crowdsourcing-based
+// active-learning loop. Each cycle the most uncertain images (by the AI's
+// own prediction entropy) are sent to the crowd at a fixed incentive; the
+// majority-voted labels retrain the AI for subsequent cycles. The AI's
+// predictions are always the final output — crowd labels are training
+// signal only, which is why the baseline cannot fix the AI's innate
+// failure modes (Section V-C1).
+type HybridAL struct {
+	expert    classifier.Expert
+	policy    bandit.Policy
+	platform  *crowd.Platform
+	querySize int
+	// selector reuses QSS's machinery with epsilon=0: pure uncertainty
+	// sampling over a single-expert committee.
+	committee        *qss.Committee
+	selector         *qss.Selector
+	overheadPerImage time.Duration
+	replay           *replayBuffer
+	seed             int64
+}
+
+var _ Scheme = (*HybridAL)(nil)
+
+// NewHybridAL builds the baseline around a trained expert.
+func NewHybridAL(expert classifier.Expert, policy bandit.Policy, platform *crowd.Platform, querySize int, seed int64) (*HybridAL, error) {
+	if expert == nil || policy == nil || platform == nil {
+		return nil, errors.New("core: hybrid-al needs expert, policy and platform")
+	}
+	if querySize < 0 {
+		return nil, errors.New("core: querySize must be non-negative")
+	}
+	committee, err := qss.NewCommittee(expert)
+	if err != nil {
+		return nil, err
+	}
+	selector, err := qss.NewSelector(0, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridAL{
+		expert:           expert,
+		policy:           policy,
+		platform:         platform,
+		querySize:        querySize,
+		committee:        committee,
+		selector:         selector,
+		overheadPerImage: 97 * time.Millisecond,
+		seed:             seed,
+	}, nil
+}
+
+// SetReplayPool provides the original training samples that retraining
+// passes interleave with crowd labels to avoid catastrophic forgetting.
+// Call once after construction; without a pool the baseline retrains on
+// crowd labels alone (and degrades accordingly).
+func (h *HybridAL) SetReplayPool(pool []classifier.Sample) {
+	h.replay = newReplayBuffer(pool, h.seed+909)
+}
+
+// Name implements Scheme.
+func (h *HybridAL) Name() string { return "hybrid-al" }
+
+// RunCycle implements Scheme.
+func (h *HybridAL) RunCycle(in CycleInput) (CycleOutput, error) {
+	if err := in.Validate(); err != nil {
+		return CycleOutput{}, err
+	}
+	out := CycleOutput{Distributions: make([][]float64, len(in.Images))}
+	for i, im := range in.Images {
+		out.Distributions[i] = h.expert.Predict(im)
+	}
+	out.AlgorithmDelay = time.Duration(len(in.Images)) * (h.expert.PerImageCost() + h.overheadPerImage)
+
+	if h.querySize == 0 {
+		return out, nil
+	}
+	queried := h.selector.Select(h.committee, in.Images, h.querySize)
+	incentive, err := h.policy.SelectIncentive(in.Context)
+	if errors.Is(err, bandit.ErrBudgetExhausted) {
+		return out, nil
+	}
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	queries := make([]crowd.Query, len(queried))
+	for qi, idx := range queried {
+		queries[qi] = crowd.Query{Image: in.Images[idx], Incentive: incentive}
+	}
+	results, err := h.platform.Submit(simclock.New(), in.Context, queries)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	out.Queried = queried
+	out.Incentive = incentive
+	out.SpentDollars = incentive.Dollars() * float64(len(queries))
+	out.CrowdDelay = crowd.MeanCompletionDelay(results)
+	h.policy.Observe(in.Context, incentive, out.CrowdDelay, len(queries))
+
+	humanDists, err := truth.MajorityVoting{}.Aggregate(results)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	queriedImages := make([]*imagery.Image, len(queried))
+	for qi, idx := range queried {
+		queriedImages[qi] = in.Images[idx]
+	}
+	samples, err := mic.RetrainSamples(queriedImages, humanDists)
+	if err != nil {
+		return CycleOutput{}, err
+	}
+	if h.replay != nil {
+		h.replay.add(samples)
+		samples = h.replay.batch()
+	}
+	if err := h.expert.Update(samples); err != nil {
+		return CycleOutput{}, fmt.Errorf("core: hybrid-al retrain: %w", err)
+	}
+	return out, nil
+}
+
+// postRandomQueries selects querySize images uniformly at random, prices
+// them with the policy, and submits them — the crowd pathway shared by
+// Hybrid-Para.
+func postRandomQueries(rng *rand.Rand, policy bandit.Policy, platform *crowd.Platform, in CycleInput, querySize int) ([]int, []crowd.QueryResult, crowd.Cents, error) {
+	if querySize == 0 {
+		return nil, nil, 0, nil
+	}
+	if querySize > len(in.Images) {
+		querySize = len(in.Images)
+	}
+	incentive, err := policy.SelectIncentive(in.Context)
+	if errors.Is(err, bandit.ErrBudgetExhausted) {
+		return nil, nil, 0, nil
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	perm := rng.Perm(len(in.Images))
+	queried := perm[:querySize]
+	queries := make([]crowd.Query, len(queried))
+	for qi, idx := range queried {
+		queries[qi] = crowd.Query{Image: in.Images[idx], Incentive: incentive}
+	}
+	results, err := platform.Submit(simclock.New(), in.Context, queries)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	policy.Observe(in.Context, incentive, crowd.MeanCompletionDelay(results), len(queries))
+	return queried, results, incentive, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+func trainedDDM(t *testing.T, f fixture, seed int64) classifier.Expert {
+	t.Helper()
+	e := classifier.NewDDM(imagery.DefaultDims, classifier.Options{Seed: seed, Epochs: 20})
+	if err := e.Train(classifier.SamplesFromImages(f.ds.Train)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestHybridALBudgetExhaustionFallsBackToAI(t *testing.T) {
+	f := sharedFixture(t)
+	expert := trainedDDM(t, f, 81)
+	policy, err := bandit.NewFixed(10, 0.50) // one 5-query cycle at 10c
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybridAL(expert, policy, freshPlatform(), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queried := 0
+	for cycle := 0; cycle < 3; cycle++ {
+		out, err := h.RunCycle(CycleInput{
+			Index:   cycle,
+			Context: crowd.Evening,
+			Images:  f.ds.Test[cycle*10 : cycle*10+10],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queried += len(out.Queried)
+		if len(out.Distributions) != 10 {
+			t.Fatalf("cycle %d distributions %d", cycle, len(out.Distributions))
+		}
+	}
+	// $0.50 buys exactly one 5-query cycle at 10c.
+	if queried != 5 {
+		t.Errorf("queried %d images under a one-cycle budget, want 5", queried)
+	}
+}
+
+func TestHybridParaBudgetExhaustionFallsBackToAI(t *testing.T) {
+	f := sharedFixture(t)
+	expert := trainedDDM(t, f, 82)
+	policy, err := bandit.NewFixed(10, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybridPara(expert, policy, freshPlatform(), 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queried := 0
+	for cycle := 0; cycle < 3; cycle++ {
+		out, err := h.RunCycle(CycleInput{
+			Index:   cycle,
+			Context: crowd.Morning,
+			Images:  f.ds.Test[cycle*10 : cycle*10+10],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queried += len(out.Queried)
+	}
+	if queried != 5 {
+		t.Errorf("queried %d images under a one-cycle budget, want 5", queried)
+	}
+}
+
+func TestHybridZeroQuerySizeIsAIOnly(t *testing.T) {
+	f := sharedFixture(t)
+	expert := trainedDDM(t, f, 83)
+	policy, err := bandit.NewFixed(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewHybridAL(expert, policy, freshPlatform(), 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := al.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) != 0 || out.SpentDollars != 0 || out.CrowdDelay != 0 {
+		t.Error("hybrid-al with query size 0 must not touch the crowd")
+	}
+	para, err := NewHybridPara(expert, policy, freshPlatform(), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = para.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) != 0 || out.SpentDollars != 0 {
+		t.Error("hybrid-para with query size 0 must not touch the crowd")
+	}
+}
+
+func TestHybridQuerySizeClampedToBatch(t *testing.T) {
+	f := sharedFixture(t)
+	expert := trainedDDM(t, f, 84)
+	policy, err := bandit.NewFixed(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	para, err := NewHybridPara(expert, policy, freshPlatform(), 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := para.RunCycle(CycleInput{Context: crowd.Evening, Images: f.ds.Test[:6]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) != 6 {
+		t.Errorf("oversized query size should clamp to batch: %d", len(out.Queried))
+	}
+	seen := make(map[int]bool)
+	for _, idx := range out.Queried {
+		if idx < 0 || idx >= 6 || seen[idx] {
+			t.Fatalf("invalid or duplicate queried index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestHybridDelayModel(t *testing.T) {
+	f := sharedFixture(t)
+	expert := trainedDDM(t, f, 85)
+	policy, err := bandit.NewFixed(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewHybridAL(expert, policy, freshPlatform(), 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := al.RunCycle(CycleInput{Context: crowd.Evening, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III cost model: 10 x (5.257 + 0.097) = 53.54s.
+	want := 10 * (5257 + 97) * time.Millisecond
+	if out.AlgorithmDelay != want {
+		t.Errorf("hybrid-al algorithm delay %v, want %v", out.AlgorithmDelay, want)
+	}
+}

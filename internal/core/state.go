@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+)
+
+// systemState is the gob envelope for a CrowdLearn system checkpoint. It
+// captures every piece of learned state: expert parameters, committee
+// weights, the bandit's statistics and budget position, and the trained
+// CQC model. The replay buffer's acquired crowd samples are deliberately
+// not persisted — they reference live image objects and only shape future
+// retraining batches; a restored system rebuilds them as new crowd labels
+// arrive.
+type systemState struct {
+	Experts      map[string][]byte
+	Weights      []float64
+	Bandit       bandit.State
+	CQC          []byte
+	CQCTrained   bool
+	Bootstrapped bool
+}
+
+// SaveState checkpoints the system's learned state to w.
+func (cl *CrowdLearn) SaveState(w io.Writer) error {
+	s := systemState{
+		Experts:      make(map[string][]byte),
+		Weights:      cl.committee.Weights(),
+		Bandit:       cl.policy.State(),
+		Bootstrapped: cl.bootstrapped,
+	}
+	for _, e := range cl.committee.Experts() {
+		pe, ok := e.(classifier.PersistentExpert)
+		if !ok {
+			return fmt.Errorf("core: expert %s is not persistable", e.Name())
+		}
+		var buf bytes.Buffer
+		if err := pe.SaveState(&buf); err != nil {
+			return err
+		}
+		s.Experts[e.Name()] = buf.Bytes()
+	}
+	var cqcBuf bytes.Buffer
+	if err := cl.quality.SaveState(&cqcBuf); err != nil {
+		return err
+	}
+	s.CQC = cqcBuf.Bytes()
+	s.CQCTrained = cl.quality.Trained()
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("core: save state: %w", err)
+	}
+	return nil
+}
+
+// RestoreState restores a checkpoint written by SaveState into a system
+// constructed with the same configuration. trainSamples
+// re-seeds the retraining replay pool (pass the same training samples
+// used at Bootstrap); it may be empty, in which case future retraining
+// uses crowd samples alone.
+func (cl *CrowdLearn) RestoreState(r io.Reader, trainSamples []classifier.Sample) error {
+	var s systemState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("core: restore state: %w", err)
+	}
+	for _, e := range cl.committee.Experts() {
+		pe, ok := e.(classifier.PersistentExpert)
+		if !ok {
+			return fmt.Errorf("core: expert %s is not persistable", e.Name())
+		}
+		raw, ok := s.Experts[e.Name()]
+		if !ok {
+			return fmt.Errorf("core: checkpoint missing expert %s", e.Name())
+		}
+		if err := pe.LoadState(bytes.NewReader(raw)); err != nil {
+			return err
+		}
+	}
+	if err := cl.committee.SetWeights(s.Weights); err != nil {
+		return err
+	}
+	policy, err := bandit.FromState(s.Bandit)
+	if err != nil {
+		return err
+	}
+	cl.policy = policy
+	if err := cl.quality.LoadState(bytes.NewReader(s.CQC)); err != nil {
+		return err
+	}
+	cl.replay = newReplayBuffer(trainSamples, cl.cfg.Seed+303)
+	cl.bootstrapped = s.Bootstrapped
+	return nil
+}

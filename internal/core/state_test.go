@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+)
+
+func TestSystemSaveRestoreRoundtrip(t *testing.T) {
+	f := sharedFixture(t)
+	cl := newBootstrappedCrowdLearn(t, f)
+
+	// Run a few cycles so there is genuinely learned state: expert
+	// weights moved, bandit statistics accumulated, budget spent.
+	for cycle := 0; cycle < 4; cycle++ {
+		in := CycleInput{
+			Index:   cycle,
+			Context: crowd.TemporalContext(cycle % crowd.NumContexts),
+			Images:  f.ds.Test[cycle*10 : (cycle+1)*10],
+		}
+		if _, err := cl.RunCycle(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := cl.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a *fresh* system with the same configuration — the
+	// checkpoint/restart scenario.
+	fresh, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSamples := classifier.SamplesFromImages(f.ds.Train)
+	if err := fresh.RestoreState(bytes.NewReader(buf.Bytes()), trainSamples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committee weights must match.
+	wa, wb := cl.Committee().Weights(), fresh.Committee().Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("weights differ after restore: %v vs %v", wa, wb)
+		}
+	}
+	// Bandit budget position must match.
+	if cl.Policy().RemainingBudget() != fresh.Policy().RemainingBudget() {
+		t.Errorf("remaining budget %v vs %v",
+			cl.Policy().RemainingBudget(), fresh.Policy().RemainingBudget())
+	}
+	// Committee predictions must be identical.
+	for _, im := range f.ds.Test[:20] {
+		a, b := cl.Committee().Vote(im), fresh.Committee().Vote(im)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("committee votes differ after restore")
+			}
+		}
+	}
+	// And the restored system must be able to run a cycle immediately.
+	out, err := fresh.RunCycle(CycleInput{
+		Index:   4,
+		Context: crowd.Evening,
+		Images:  f.ds.Test[40:50],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Distributions) != 10 {
+		t.Fatalf("restored system produced %d distributions", len(out.Distributions))
+	}
+}
+
+func TestRestoreStateRejectsGarbage(t *testing.T) {
+	f := sharedFixture(t)
+	cl, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RestoreState(bytes.NewReader([]byte("junk")), nil); err == nil {
+		t.Error("garbage checkpoint must be rejected")
+	}
+	_ = f
+}
+
+func TestRestoreStateMissingExpert(t *testing.T) {
+	f := sharedFixture(t)
+	cl := newBootstrappedCrowdLearn(t, f)
+	var buf bytes.Buffer
+	if err := cl.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the envelope: decode-modify-encode is overkill; instead
+	// restore into a system whose config is identical (works) and then
+	// verify that a truncated stream fails cleanly.
+	fresh, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if err := fresh.RestoreState(bytes.NewReader(truncated), nil); err == nil {
+		t.Error("truncated checkpoint must be rejected")
+	}
+}
+
+func TestUnbootstrappedSystemCanBeSavedAndRestored(t *testing.T) {
+	cl, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cl.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreState(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Restored-unbootstrapped must still refuse to run.
+	f := sharedFixture(t)
+	if _, err := fresh.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:2]}); err == nil {
+		t.Error("restored unbootstrapped system must refuse RunCycle")
+	}
+}

@@ -1,0 +1,43 @@
+package cqc
+
+import "testing"
+
+func BenchmarkTrain(b *testing.B) {
+	pilot, _, _ := pilotFixture(b)
+	results := pilot.AllResults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(DefaultConfig())
+		if err := c.Train(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	pilot, _, _ := pilotFixture(b)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		b.Fatal(err)
+	}
+	batch := pilot.AllResults()[:100]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Aggregate(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeaturize(b *testing.B) {
+	pilot, _, _ := pilotFixture(b)
+	c := New(DefaultConfig())
+	qr := pilot.AllResults()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Featurize(qr)
+	}
+}

@@ -1,0 +1,241 @@
+package cqc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+// pilotFixture runs a real pilot study; tests and benchmarks share the
+// same construction path.
+func pilotFixture(tb testing.TB) (*crowd.PilotData, *imagery.Dataset, *crowd.Platform) {
+	tb.Helper()
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	platform := crowd.MustNewPlatform(crowd.DefaultConfig())
+	pilot, err := crowd.RunPilot(platform, ds.Train, crowd.DefaultPilotConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pilot, ds, platform
+}
+
+func TestUntrainedAggregateErrors(t *testing.T) {
+	c := New(DefaultConfig())
+	if _, err := c.Aggregate([]crowd.QueryResult{{}}); err == nil {
+		t.Error("untrained CQC must refuse to aggregate")
+	}
+	if c.Trained() {
+		t.Error("Trained() must be false before Train")
+	}
+	if c.FeatureImportance() != nil {
+		t.Error("untrained FeatureImportance must be nil")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	c := New(DefaultConfig())
+	if err := c.Train(nil); err == nil {
+		t.Error("empty training set must error")
+	}
+	if err := c.Train([]crowd.QueryResult{{}}); err == nil {
+		t.Error("nil image in training data must error")
+	}
+}
+
+func TestFeaturizeShape(t *testing.T) {
+	c := New(DefaultConfig())
+	im := &imagery.Image{TrueLabel: imagery.SevereDamage}
+	qr := crowd.QueryResult{
+		Query: crowd.Query{Image: im, Incentive: 10},
+		Responses: []crowd.Response{
+			{Label: imagery.SevereDamage, Questionnaire: crowd.Questionnaire{IsLegible: true}},
+			{Label: imagery.SevereDamage, Questionnaire: crowd.Questionnaire{IsLegible: true, ShowsRoadDamage: true}},
+			{Label: imagery.NoDamage, Questionnaire: crowd.Questionnaire{IsFake: true}},
+		},
+	}
+	f := c.Featurize(qr)
+	if len(f) != c.NumFeatures() {
+		t.Fatalf("feature length %d, want %d", len(f), c.NumFeatures())
+	}
+	// Vote fractions.
+	if math.Abs(f[0]-1.0/3.0) > 1e-9 || math.Abs(f[2]-2.0/3.0) > 1e-9 {
+		t.Errorf("vote fractions wrong: %v", f[:3])
+	}
+	// Majority margin = 2/3 - 1/3.
+	if math.Abs(f[3]-1.0/3.0) > 1e-9 {
+		t.Errorf("margin %v, want 1/3", f[3])
+	}
+	// Fake fraction 1/3, legible 2/3, incentive 0.10.
+	if math.Abs(f[6]-1.0/3.0) > 1e-9 {
+		t.Errorf("fake fraction %v", f[6])
+	}
+	if math.Abs(f[10]-2.0/3.0) > 1e-9 {
+		t.Errorf("legible fraction %v", f[10])
+	}
+	if math.Abs(f[11]-0.10) > 1e-9 {
+		t.Errorf("incentive feature %v", f[11])
+	}
+}
+
+func TestFeaturizeLabelsOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseQuestionnaire = false
+	c := New(cfg)
+	if c.NumFeatures() != 6 {
+		t.Fatalf("labels-only features %d, want 6", c.NumFeatures())
+	}
+	if c.Name() != "cqc-labels-only" {
+		t.Errorf("name %q", c.Name())
+	}
+	im := &imagery.Image{}
+	f := c.Featurize(crowd.QueryResult{Query: crowd.Query{Image: im, Incentive: 5}})
+	if len(f) != 6 {
+		t.Fatalf("featurize returned %d features", len(f))
+	}
+}
+
+func aggregateAccuracy(t *testing.T, agg truth.Aggregator, results []crowd.QueryResult) float64 {
+	t.Helper()
+	dists, err := agg.Aggregate(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, d := range dists {
+		if truth.Decide(d) == results[i].Query.Image.TrueLabel {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(results))
+}
+
+// The Table I claim: CQC beats Voting, TD-EM and Filtering on held-out
+// crowd responses, and lands in the ~0.9+ accuracy band.
+func TestCQCBeatsBaselines(t *testing.T) {
+	pilot, ds, platform := pilotFixture(t)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	// Held-out evaluation batch from the test split.
+	queries := make([]crowd.Query, 200)
+	for i := range queries {
+		queries[i] = crowd.Query{Image: ds.Test[i], Incentive: 6}
+	}
+	results, err := platform.Submit(simclock.New(), crowd.Afternoon, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cqcAcc := aggregateAccuracy(t, c, results)
+	votingAcc := aggregateAccuracy(t, truth.MajorityVoting{}, results)
+	tdemAcc := aggregateAccuracy(t, truth.NewTDEM(), results)
+	filtAcc := aggregateAccuracy(t, truth.NewFiltering(), results)
+	t.Logf("cqc=%.3f voting=%.3f tdem=%.3f filtering=%.3f", cqcAcc, votingAcc, tdemAcc, filtAcc)
+
+	if cqcAcc < votingAcc {
+		t.Errorf("CQC (%.3f) must beat voting (%.3f)", cqcAcc, votingAcc)
+	}
+	if cqcAcc < tdemAcc-0.02 {
+		t.Errorf("CQC (%.3f) must not trail TD-EM (%.3f)", cqcAcc, tdemAcc)
+	}
+	if cqcAcc < filtAcc-0.02 {
+		t.Errorf("CQC (%.3f) must not trail filtering (%.3f)", cqcAcc, filtAcc)
+	}
+	if cqcAcc < 0.85 || cqcAcc > 1.0 {
+		t.Errorf("CQC accuracy %.3f outside the paper's ~0.93 band", cqcAcc)
+	}
+}
+
+// The ablation: questionnaire features must contribute. Evaluate both
+// variants on a batch rich in deceptive images, where the questionnaire
+// is the only evidence that the majority is wrong.
+func TestQuestionnaireFeaturesMatter(t *testing.T) {
+	pilot, ds, platform := pilotFixture(t)
+
+	full := New(DefaultConfig())
+	if err := full.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	ablatedCfg := DefaultConfig()
+	ablatedCfg.UseQuestionnaire = false
+	ablated := New(ablatedCfg)
+	if err := ablated.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+
+	var tricky []*imagery.Image
+	for _, im := range ds.Test {
+		if im.Failure.Deceptive() {
+			tricky = append(tricky, im)
+		}
+	}
+	queries := make([]crowd.Query, len(tricky))
+	for i, im := range tricky {
+		queries[i] = crowd.Query{Image: im, Incentive: 6}
+	}
+	results, err := platform.Submit(simclock.New(), crowd.Evening, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAcc := aggregateAccuracy(t, full, results)
+	ablatedAcc := aggregateAccuracy(t, ablated, results)
+	t.Logf("deceptive batch: full=%.3f labels-only=%.3f", fullAcc, ablatedAcc)
+	if fullAcc < ablatedAcc-0.02 {
+		t.Errorf("questionnaire features should help on deceptive images: full %.3f vs ablated %.3f", fullAcc, ablatedAcc)
+	}
+}
+
+func TestFeatureImportanceUsesQuestionnaire(t *testing.T) {
+	pilot, _, _ := pilotFixture(t)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	imp := c.FeatureImportance()
+	if len(imp) != c.NumFeatures() {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	var questionnaireShare float64
+	for _, v := range imp[6:11] {
+		questionnaireShare += v
+	}
+	if questionnaireShare <= 0 {
+		t.Error("questionnaire features carry zero importance; CQC is ignoring its evidence")
+	}
+}
+
+func TestAggregateReturnsDistributions(t *testing.T) {
+	pilot, _, _ := pilotFixture(t)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	batch := pilot.AllResults()[:25]
+	dists, err := c.Aggregate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dists {
+		sum := 0.0
+		for _, x := range d {
+			if x < 0 || x > 1 {
+				t.Fatalf("invalid probability %v", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+	}
+	if _, err := c.Aggregate(nil); err == nil {
+		t.Error("empty aggregate must error")
+	}
+}

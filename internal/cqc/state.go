@@ -1,0 +1,56 @@
+package cqc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/gbdt"
+)
+
+// stateEnvelope is the gob form of a trained CQC module.
+type stateEnvelope struct {
+	UseQuestionnaire bool
+	Trained          bool
+	Model            gbdt.State
+}
+
+// SaveState writes the trained quality-control model. Untrained modules
+// can be saved and restored (they remain untrained).
+func (c *CQC) SaveState(w io.Writer) error {
+	env := stateEnvelope{UseQuestionnaire: c.cfg.UseQuestionnaire, Trained: c.model != nil}
+	if c.model != nil {
+		env.Model = c.model.State()
+	}
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("cqc: save: %w", err)
+	}
+	return nil
+}
+
+// LoadState replaces the module's trained model. The questionnaire flag
+// must match the module's configuration: the feature layout depends on
+// it.
+func (c *CQC) LoadState(r io.Reader) error {
+	var env stateEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("cqc: load: %w", err)
+	}
+	if env.UseQuestionnaire != c.cfg.UseQuestionnaire {
+		return errors.New("cqc: state questionnaire flag does not match configuration")
+	}
+	if !env.Trained {
+		c.model = nil
+		return nil
+	}
+	model, err := gbdt.FromState(env.Model)
+	if err != nil {
+		return fmt.Errorf("cqc: load: %w", err)
+	}
+	if model.NumFeatures() != c.NumFeatures() {
+		return fmt.Errorf("cqc: state model has %d features, want %d", model.NumFeatures(), c.NumFeatures())
+	}
+	c.model = model
+	return nil
+}

@@ -1,0 +1,86 @@
+package cqc
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+func TestCQCSaveLoadRoundtrip(t *testing.T) {
+	pilot, _, _ := pilotFixture(t)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(DefaultConfig())
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Trained() {
+		t.Fatal("restored CQC must be trained")
+	}
+	batch := pilot.AllResults()[:40]
+	a, err := c.Aggregate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Aggregate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if truth.Decide(a[i]) != truth.Decide(b[i]) {
+			t.Fatal("restored CQC decides differently")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("restored CQC distribution differs")
+			}
+		}
+	}
+}
+
+func TestCQCLoadRejectsFlagMismatch(t *testing.T) {
+	pilot, _, _ := pilotFixture(t)
+	c := New(DefaultConfig())
+	if err := c.Train(pilot.AllResults()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.UseQuestionnaire = false
+	ablated := New(cfg)
+	if err := ablated.LoadState(&buf); err == nil {
+		t.Error("questionnaire-flag mismatch must be rejected")
+	}
+}
+
+func TestCQCUntrainedRoundtrip(t *testing.T) {
+	c := New(DefaultConfig())
+	var buf bytes.Buffer
+	if err := c.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(DefaultConfig())
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Trained() {
+		t.Error("restored untrained CQC must stay untrained")
+	}
+}
+
+func TestCQCLoadRejectsGarbage(t *testing.T) {
+	c := New(DefaultConfig())
+	if err := c.LoadState(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage must be rejected")
+	}
+}

@@ -1,0 +1,71 @@
+package crowd
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func TestAbandonRateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AbandonRate = -0.1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("negative abandon rate must be rejected")
+	}
+	cfg.AbandonRate = 1.0
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("abandon rate of 1 must be rejected (HITs would never complete)")
+	}
+}
+
+func TestAbandonmentIncreasesDelayButCompletes(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	queries := make([]Query, 60)
+	for i := range queries {
+		queries[i] = Query{Image: ds.Train[i], Incentive: 6}
+	}
+	meanDelay := func(rate float64) float64 {
+		cfg := DefaultConfig()
+		cfg.AbandonRate = rate
+		cfg.Seed = 11
+		p := MustNewPlatform(cfg)
+		results, err := p.Submit(simclock.New(), Evening, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qr := range results {
+			if len(qr.Responses) != cfg.WorkersPerQuery {
+				t.Fatalf("abandonment lost responses: %d", len(qr.Responses))
+			}
+		}
+		return MeanCompletionDelay(results).Seconds()
+	}
+	calm := meanDelay(0)
+	flaky := meanDelay(0.5)
+	if flaky <= calm {
+		t.Errorf("50%% abandonment should raise delay: %.1fs vs %.1fs", flaky, calm)
+	}
+	// A 50% abandon rate roughly adds one 0.4-weight partial wait per
+	// assignment in expectation; delays should grow well under 3x.
+	if flaky > 3*calm {
+		t.Errorf("abandonment delay blow-up implausible: %.1fs vs %.1fs", flaky, calm)
+	}
+}
+
+func TestAbandonmentBoundedReposts(t *testing.T) {
+	// Even at an extreme abandon rate, assignments complete (the repost
+	// cap guarantees progress).
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.AbandonRate = 0.95
+	cfg.Seed = 12
+	p := MustNewPlatform(cfg)
+	results, err := p.Submit(simclock.New(), Midnight, []Query{{Image: ds.Train[0], Incentive: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Responses) != cfg.WorkersPerQuery {
+		t.Fatalf("extreme abandonment lost responses: %d", len(results[0].Responses))
+	}
+}

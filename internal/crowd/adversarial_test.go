@@ -1,0 +1,111 @@
+package crowd
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func TestAdversarialFractionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AdversarialFraction = -0.1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("negative adversarial fraction must be rejected")
+	}
+	cfg.AdversarialFraction = 1.5
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("fraction above 1 must be rejected")
+	}
+}
+
+func TestAdversarialPopulationShare(t *testing.T) {
+	cfg := Config{NumWorkers: 1000, WorkersPerQuery: 5, AdversarialFraction: 0.3, Seed: 1}
+	p := MustNewPlatform(cfg)
+	bad := 0
+	for _, w := range p.workers {
+		if w.Adversarial {
+			bad++
+		}
+	}
+	frac := float64(bad) / float64(len(p.workers))
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("adversarial share %.3f, want ~0.30", frac)
+	}
+}
+
+func TestAdversarialWorkerBehaviour(t *testing.T) {
+	rng := mathx.NewRand(3)
+	w := &Worker{ID: 1, Reliability: 0.9, ContextSkill: 0.9, Adversarial: true}
+	// A fake image: appearance severe, truth no-damage. The spammer's
+	// labels are uniform noise: all three classes appear.
+	im := &imagery.Image{
+		TrueLabel:     imagery.NoDamage,
+		ApparentLabel: imagery.SevereDamage,
+		Failure:       imagery.FailureFake,
+		Scene:         imagery.SceneAttributes{IsFake: true, IsLegible: true},
+	}
+	seen := make(map[imagery.Label]int)
+	for i := 0; i < 300; i++ {
+		seen[w.AnswerLabel(rng, im, 10)]++
+	}
+	for l := imagery.NoDamage; l < imagery.NumLabels; l++ {
+		if seen[l] < 50 {
+			t.Fatalf("spam labels not uniform: %v", seen)
+		}
+	}
+	// Questionnaire is inverted: a highly skilled adversary mostly denies
+	// the fake.
+	denies := 0
+	for i := 0; i < 200; i++ {
+		if !w.AnswerQuestionnaire(rng, im, 10).IsFake {
+			denies++
+		}
+	}
+	if denies < 150 {
+		t.Errorf("adversary denied the fake only %d/200 times", denies)
+	}
+}
+
+// Quality-control robustness: worker accuracy degrades roughly linearly
+// with the adversarial fraction, and the platform still produces
+// complete, well-formed responses.
+func TestAdversarialDegradation(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	queries := make([]Query, 100)
+	for i := range queries {
+		queries[i] = Query{Image: ds.Train[i], Incentive: 6}
+	}
+	accuracyAt := func(fraction float64) float64 {
+		cfg := DefaultConfig()
+		cfg.AdversarialFraction = fraction
+		cfg.Seed = 5
+		p := MustNewPlatform(cfg)
+		results, err := p.Submit(simclock.New(), Evening, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct, total := 0, 0
+		for _, qr := range results {
+			if len(qr.Responses) != cfg.WorkersPerQuery {
+				t.Fatalf("incomplete responses under adversaries: %d", len(qr.Responses))
+			}
+			for _, r := range qr.Responses {
+				total++
+				if r.Label == qr.Query.Image.TrueLabel {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	clean := accuracyAt(0)
+	polluted := accuracyAt(0.4)
+	if polluted >= clean-0.1 {
+		t.Errorf("40%% adversaries should visibly hurt accuracy: clean %.3f vs polluted %.3f", clean, polluted)
+	}
+	if polluted < 0.3 {
+		t.Errorf("honest majority should keep accuracy above chance: %.3f", polluted)
+	}
+}

@@ -1,0 +1,45 @@
+package crowd
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func benchImages(b *testing.B) []*imagery.Image {
+	b.Helper()
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds.Train
+}
+
+func BenchmarkSubmitBatch(b *testing.B) {
+	images := benchImages(b)
+	p := MustNewPlatform(DefaultConfig())
+	queries := make([]Query, 10)
+	for i := range queries {
+		queries[i] = Query{Image: images[i], Incentive: 6}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Submit(simclock.New(), Evening, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPilot(b *testing.B) {
+	images := benchImages(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := MustNewPlatform(DefaultConfig())
+		if _, err := RunPilot(p, images, DefaultPilotConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

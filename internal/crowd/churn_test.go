@@ -1,0 +1,111 @@
+package crowd
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func TestChurnValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChurnRate = -0.1
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("negative churn must be rejected")
+	}
+	cfg.ChurnRate = 1.5
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Error("churn above 1 must be rejected")
+	}
+}
+
+func TestChurnReplacesIdentities(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ChurnRate = 0.5
+	cfg.Seed = 7
+	p := MustNewPlatform(cfg)
+
+	before := make(map[int]bool, len(p.workers))
+	for _, w := range p.workers {
+		before[w.ID] = true
+	}
+	queries := []Query{{Image: ds.Train[0], Incentive: 4}}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Submit(simclock.New(), Evening, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replaced := 0
+	for _, w := range p.workers {
+		if !before[w.ID] {
+			replaced++
+		}
+	}
+	// After 4 batches at 50% churn, ~94% of identities should be new.
+	if frac := float64(replaced) / float64(len(p.workers)); frac < 0.8 {
+		t.Errorf("only %.2f of identities replaced after heavy churn", frac)
+	}
+	// Population size must be invariant.
+	if len(p.workers) != cfg.NumWorkers {
+		t.Errorf("population size drifted to %d", len(p.workers))
+	}
+	// IDs must never repeat.
+	seen := make(map[int]bool)
+	for _, w := range p.workers {
+		if seen[w.ID] {
+			t.Fatalf("duplicate worker id %d", w.ID)
+		}
+		seen[w.ID] = true
+	}
+}
+
+func TestZeroChurnKeepsIdentities(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	p := MustNewPlatform(DefaultConfig())
+	before := make([]int, len(p.workers))
+	for i, w := range p.workers {
+		before[i] = w.ID
+	}
+	queries := []Query{{Image: ds.Train[0], Incentive: 4}}
+	if _, err := p.Submit(simclock.New(), Morning, queries); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.workers {
+		if w.ID != before[i] {
+			t.Fatal("zero churn must keep identities")
+		}
+	}
+}
+
+// Population statistics stay stationary under churn: the aggregate delay
+// surface should not drift even when every identity has turned over.
+func TestChurnPreservesPopulationStatistics(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ChurnRate = 0.3
+	cfg.Seed = 9
+	p := MustNewPlatform(cfg)
+	queries := make([]Query, 20)
+	for i := range queries {
+		queries[i] = Query{Image: ds.Train[i], Incentive: 6}
+	}
+	early, err := p.Submit(simclock.New(), Evening, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn through many churn rounds.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Submit(simclock.New(), Evening, queries[:2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late, err := p.Submit(simclock.New(), Evening, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, l := MeanCompletionDelay(early).Seconds(), MeanCompletionDelay(late).Seconds()
+	if ratio := l / e; ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("delay statistics drifted under churn: early %.1fs late %.1fs", e, l)
+	}
+}

@@ -1,0 +1,79 @@
+// Package crowd simulates the black-box crowdsourcing platform (Amazon
+// Mechanical Turk in the paper) that CrowdLearn queries for human labels.
+//
+// The simulator reproduces the two empirical properties the paper's pilot
+// study establishes (Figures 5 and 6):
+//
+//  1. Response delay depends on the temporal context and on incentive in a
+//     non-linear way — in the morning and afternoon delay falls steadily as
+//     the incentive rises, while in the evening and at midnight workers are
+//     plentiful and delay is nearly flat except at the extremes.
+//  2. Label quality is poor at very low incentives (1–2 cents) and then
+//     plateaus around 80%: paying more does not buy better labels.
+//
+// Workers are modelled individually with heterogeneous reliability,
+// context-perception skill, and activity patterns, because the CQC module
+// (and its TD-EM / Filtering baselines) specifically exploit worker-level
+// structure. All timing is on the discrete-event clock in
+// internal/simclock, so simulations are fast and deterministic.
+package crowd
+
+import "fmt"
+
+// TemporalContext is the time-of-day regime a query is posted under. The
+// paper uses exactly these four contexts as the contextual-bandit context
+// set (Definition 10).
+type TemporalContext int
+
+// The four temporal contexts.
+const (
+	Morning TemporalContext = iota
+	Afternoon
+	Evening
+	Midnight
+)
+
+// NumContexts is the size of the context set.
+const NumContexts = 4
+
+// Contexts lists all temporal contexts in canonical order.
+func Contexts() []TemporalContext {
+	return []TemporalContext{Morning, Afternoon, Evening, Midnight}
+}
+
+// String returns the context name.
+func (c TemporalContext) String() string {
+	switch c {
+	case Morning:
+		return "morning"
+	case Afternoon:
+		return "afternoon"
+	case Evening:
+		return "evening"
+	case Midnight:
+		return "midnight"
+	default:
+		return fmt.Sprintf("context(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is one of the four defined contexts.
+func (c TemporalContext) Valid() bool {
+	return c >= Morning && c < NumContexts
+}
+
+// Cents is a monetary incentive in US cents, the action space of the
+// incentive policy (Definition 11).
+type Cents int
+
+// DefaultIncentiveLevels is the action set used throughout the paper:
+// {1, 2, 4, 6, 8, 10, 20} cents.
+func DefaultIncentiveLevels() []Cents {
+	return []Cents{1, 2, 4, 6, 8, 10, 20}
+}
+
+// Dollars converts cents to dollars.
+func (c Cents) Dollars() float64 { return float64(c) / 100 }
+
+// String formats the incentive, e.g. "4c".
+func (c Cents) String() string { return fmt.Sprintf("%dc", int(c)) }

@@ -1,0 +1,347 @@
+package crowd
+
+import (
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func testImages(t *testing.T) []*imagery.Image {
+	t.Helper()
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Train
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero workers", Config{NumWorkers: 0, WorkersPerQuery: 5}},
+		{"zero per query", Config{NumWorkers: 10, WorkersPerQuery: 0}},
+		{"per query exceeds pool", Config{NumWorkers: 3, WorkersPerQuery: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPlatform(tt.cfg); err == nil {
+				t.Errorf("%s should be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestSubmitBasics(t *testing.T) {
+	images := testImages(t)
+	p := MustNewPlatform(DefaultConfig())
+	clk := simclock.New()
+	queries := []Query{
+		{Image: images[0], Incentive: 4},
+		{Image: images[1], Incentive: 4},
+	}
+	results, err := p.Submit(clk, Evening, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for qi, r := range results {
+		if len(r.Responses) != 5 {
+			t.Errorf("query %d got %d responses, want 5", qi, len(r.Responses))
+		}
+		seen := make(map[int]bool)
+		var maxDelay time.Duration
+		for _, resp := range r.Responses {
+			if resp.QueryIndex != qi {
+				t.Errorf("response cross-wired: index %d in result %d", resp.QueryIndex, qi)
+			}
+			if seen[resp.WorkerID] {
+				t.Errorf("worker %d answered query %d twice", resp.WorkerID, qi)
+			}
+			seen[resp.WorkerID] = true
+			if resp.Delay <= 0 {
+				t.Errorf("non-positive delay %v", resp.Delay)
+			}
+			if resp.Delay > maxDelay {
+				maxDelay = resp.Delay
+			}
+			if !resp.Label.Valid() {
+				t.Errorf("invalid label %v", resp.Label)
+			}
+			if resp.Context != Evening || resp.Incentive != 4 {
+				t.Errorf("response metadata wrong: %+v", resp)
+			}
+		}
+		if r.CompletionDelay != maxDelay {
+			t.Errorf("completion delay %v != max response delay %v", r.CompletionDelay, maxDelay)
+		}
+	}
+}
+
+func TestSubmitChargesBudget(t *testing.T) {
+	images := testImages(t)
+	p := MustNewPlatform(DefaultConfig())
+	queries := []Query{{Image: images[0], Incentive: 10}}
+	if _, err := p.Submit(simclock.New(), Morning, queries); err != nil {
+		t.Fatal(err)
+	}
+	// One query at 10 cents: the HIT price covers all assignments.
+	if got := p.Spent(); got != 0.10 {
+		t.Errorf("Spent = %v, want 0.10", got)
+	}
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	images := testImages(t)
+	p := MustNewPlatform(DefaultConfig())
+	if _, err := p.Submit(simclock.New(), TemporalContext(9), []Query{{Image: images[0], Incentive: 1}}); err == nil {
+		t.Error("invalid context must be rejected")
+	}
+	if _, err := p.Submit(simclock.New(), Morning, []Query{{Image: nil, Incentive: 1}}); err == nil {
+		t.Error("nil image must be rejected")
+	}
+	if _, err := p.Submit(simclock.New(), Morning, []Query{{Image: images[0], Incentive: 0}}); err == nil {
+		t.Error("zero incentive must be rejected")
+	}
+	results, err := p.Submit(simclock.New(), Morning, nil)
+	if err != nil || results != nil {
+		t.Error("empty batch should be a no-op")
+	}
+}
+
+func TestSubmitDeterminism(t *testing.T) {
+	images := testImages(t)
+	run := func() []QueryResult {
+		p := MustNewPlatform(DefaultConfig())
+		queries := []Query{{Image: images[0], Incentive: 4}, {Image: images[1], Incentive: 4}}
+		results, err := p.Submit(simclock.New(), Afternoon, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].CompletionDelay != b[i].CompletionDelay {
+			t.Fatal("identically seeded platforms must produce identical delays")
+		}
+		for j := range a[i].Responses {
+			if a[i].Responses[j].Label != b[i].Responses[j].Label {
+				t.Fatal("identically seeded platforms must produce identical labels")
+			}
+		}
+	}
+}
+
+// Figure 5 shape: morning delay must fall substantially from 1c to 20c,
+// while evening delay must be nearly flat across mid-range incentives.
+func TestDelaySurfaceShape(t *testing.T) {
+	m1 := meanDelaySeconds(Morning, 1)
+	m20 := meanDelaySeconds(Morning, 20)
+	if m1 < 2*m20 {
+		t.Errorf("morning delay should fall sharply with incentive: 1c=%v 20c=%v", m1, m20)
+	}
+	e4 := meanDelaySeconds(Evening, 4)
+	e10 := meanDelaySeconds(Evening, 10)
+	if ratio := e4 / e10; ratio > 1.15 || ratio < 0.87 {
+		t.Errorf("evening mid-range delays should be nearly flat: 4c=%v 10c=%v", e4, e10)
+	}
+	// Evening must be faster than morning at low incentives (workers are
+	// active at night — the pilot-study observation).
+	if meanDelaySeconds(Evening, 2) >= meanDelaySeconds(Morning, 2) {
+		t.Error("evening should out-pace morning at low incentives")
+	}
+	// Delay must be monotone non-increasing in incentive in every context.
+	for _, ctx := range Contexts() {
+		prev := meanDelaySeconds(ctx, 1)
+		for _, inc := range []Cents{2, 4, 6, 8, 10, 20} {
+			cur := meanDelaySeconds(ctx, inc)
+			if cur > prev+1e-9 {
+				t.Errorf("%v: delay increased from %v to %v at %v", ctx, prev, cur, inc)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Figure 6 shape: effort (and therefore quality) must be visibly lower at
+// 1 cent than at 4+, and flat afterwards.
+func TestEffortFactorShape(t *testing.T) {
+	e1, e2, e4, e20 := effortFactor(1), effortFactor(2), effortFactor(4), effortFactor(20)
+	if e1 >= e2 || e2 >= e4 {
+		t.Errorf("effort must rise over low incentives: %v %v %v", e1, e2, e4)
+	}
+	if e20-e4 > 0.02 {
+		t.Errorf("effort must plateau: e4=%v e20=%v", e4, e20)
+	}
+	if e1 < 0.80 || e1 > 0.90 {
+		t.Errorf("1-cent effort %v outside the calibrated band", e1)
+	}
+}
+
+func TestWorkerPopulationStatistics(t *testing.T) {
+	p := MustNewPlatform(Config{NumWorkers: 500, WorkersPerQuery: 5, Seed: 3})
+	var rel, skill, evening, morning float64
+	for _, w := range p.workers {
+		rel += w.Reliability
+		skill += w.ContextSkill
+		evening += w.Activity[Evening]
+		morning += w.Activity[Morning]
+	}
+	n := float64(len(p.workers))
+	if m := rel / n; m < 0.78 || m > 0.92 {
+		t.Errorf("mean reliability %v outside [0.78, 0.92]", m)
+	}
+	if m := skill / n; m < 0.65 || m > 0.88 {
+		t.Errorf("mean context skill %v outside [0.65, 0.88]", m)
+	}
+	if evening <= morning {
+		t.Error("evening activity should exceed morning activity")
+	}
+}
+
+// The crowd must beat the AI on deceptive images: worker accuracy on fake
+// images should be far above chance because ContextSkill exposes them.
+func TestWorkersResistDeception(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	p := MustNewPlatform(DefaultConfig())
+
+	var fakes []*imagery.Image
+	for _, im := range ds.All() {
+		if im.Failure == imagery.FailureFake {
+			fakes = append(fakes, im)
+		}
+	}
+	if len(fakes) == 0 {
+		t.Fatal("no fake images")
+	}
+	queries := make([]Query, len(fakes))
+	for i, im := range fakes {
+		queries[i] = Query{Image: im, Incentive: 6}
+	}
+	results, err := p.Submit(simclock.New(), Evening, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, qr := range results {
+		for _, r := range qr.Responses {
+			total++
+			if r.Label == qr.Query.Image.TrueLabel {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.5 {
+		t.Errorf("crowd accuracy on fakes %.3f; humans must beat chance on deception", acc)
+	}
+}
+
+func TestRunPilotShape(t *testing.T) {
+	images := testImages(t)
+	p := MustNewPlatform(DefaultConfig())
+	data, err := RunPilot(p, images, DefaultPilotConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 contexts x 7 incentives cells.
+	if len(data.Cells) != 28 {
+		t.Fatalf("got %d cells, want 28", len(data.Cells))
+	}
+	for _, cell := range data.Cells {
+		if len(cell.Results) != 20 {
+			t.Errorf("cell (%v,%v) has %d queries, want 20", cell.Context, cell.Incentive, len(cell.Results))
+		}
+	}
+	if got := len(data.AllResults()); got != 28*20 {
+		t.Errorf("AllResults length %d, want %d", got, 28*20)
+	}
+	if got := len(data.ResultsByContext(Morning)); got != 7*20 {
+		t.Errorf("morning results %d, want %d", got, 7*20)
+	}
+	if data.Cell(Morning, 4) == nil {
+		t.Error("Cell lookup failed")
+	}
+	if data.Cell(Morning, 3) != nil {
+		t.Error("Cell lookup for absent incentive should be nil")
+	}
+}
+
+func TestRunPilotValidation(t *testing.T) {
+	p := MustNewPlatform(DefaultConfig())
+	images := testImages(t)
+	if _, err := RunPilot(p, nil, DefaultPilotConfig()); err == nil {
+		t.Error("empty image pool must be rejected")
+	}
+	if _, err := RunPilot(p, images, PilotConfig{Incentives: []Cents{1}, QueriesPerCell: 0}); err == nil {
+		t.Error("zero queries per cell must be rejected")
+	}
+	if _, err := RunPilot(p, images, PilotConfig{QueriesPerCell: 5}); err == nil {
+		t.Error("no incentive levels must be rejected")
+	}
+}
+
+// Pilot-level reproduction of Figure 5/6: delay ordering and quality
+// plateau must be visible in sampled data, not just in the mean surface.
+func TestPilotReproducesPaperShapes(t *testing.T) {
+	images := testImages(t)
+	p := MustNewPlatform(DefaultConfig())
+	data, err := RunPilot(p, images, DefaultPilotConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Morning 1c must be much slower than morning 20c.
+	d1 := data.MeanQueryDelay(Morning, 1)
+	d20 := data.MeanQueryDelay(Morning, 20)
+	if d1 < d20*3/2 {
+		t.Errorf("morning 1c delay %v should dominate 20c %v", d1, d20)
+	}
+	// Quality: 1c worse than 6c; 6c to 20c within noise.
+	q1 := data.WorkerAccuracy(1)
+	q6 := data.WorkerAccuracy(6)
+	q20 := data.WorkerAccuracy(20)
+	if q1 >= q6 {
+		t.Errorf("1c quality %v should be below 6c %v", q1, q6)
+	}
+	if q6 < 0.70 || q6 > 0.92 {
+		t.Errorf("6c quality %v outside the paper's ~0.8 band", q6)
+	}
+	if diff := q20 - q6; diff > 0.06 || diff < -0.06 {
+		t.Errorf("quality should plateau after 6c: q6=%v q20=%v", q6, q20)
+	}
+	if n := len(data.WorkerCorrectness(1)); n != 4*20*5 {
+		t.Errorf("correctness samples %d, want 400", n)
+	}
+}
+
+func TestMeanCompletionDelayEmpty(t *testing.T) {
+	if MeanCompletionDelay(nil) != 0 {
+		t.Error("empty batch mean delay must be 0")
+	}
+}
+
+func TestContextAndCentsHelpers(t *testing.T) {
+	if Morning.String() != "morning" || Midnight.String() != "midnight" {
+		t.Error("context String wrong")
+	}
+	if !Evening.Valid() || TemporalContext(4).Valid() {
+		t.Error("context Valid wrong")
+	}
+	if len(Contexts()) != NumContexts {
+		t.Error("Contexts length wrong")
+	}
+	if Cents(250).Dollars() != 2.5 {
+		t.Error("Dollars conversion wrong")
+	}
+	if Cents(4).String() != "4c" {
+		t.Error("Cents String wrong")
+	}
+	if len(DefaultIncentiveLevels()) != 7 {
+		t.Error("default incentive levels wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// PilotConfig parameterises the pilot study used to characterise the
+// black-box platform (Section IV-B1): the paper assigns 100 HITs per
+// (incentive level, temporal context) cell — 20 queries, each answered by
+// 5 workers.
+type PilotConfig struct {
+	// Incentives is the set of incentive levels to probe.
+	Incentives []Cents
+	// QueriesPerCell is the number of queries per (incentive, context)
+	// combination (paper: 20).
+	QueriesPerCell int
+}
+
+// DefaultPilotConfig matches the paper's pilot study.
+func DefaultPilotConfig() PilotConfig {
+	return PilotConfig{Incentives: DefaultIncentiveLevels(), QueriesPerCell: 20}
+}
+
+// PilotCell holds the outcomes of one (context, incentive) combination.
+type PilotCell struct {
+	Context   TemporalContext
+	Incentive Cents
+	Results   []QueryResult
+}
+
+// PilotData is the full pilot-study record. It is the training substrate
+// for three downstream consumers: Figure 5/6 reporting, CQC model
+// training, and IPD warm-starting.
+type PilotData struct {
+	Cells      []PilotCell
+	incentives []Cents
+}
+
+// RunPilot executes the pilot study on the platform over the given image
+// pool (typically the training split), cycling through images so every
+// cell sees a representative mix.
+func RunPilot(p *Platform, images []*imagery.Image, cfg PilotConfig) (*PilotData, error) {
+	if len(images) == 0 {
+		return nil, errors.New("crowd: pilot requires a non-empty image pool")
+	}
+	if cfg.QueriesPerCell <= 0 {
+		return nil, errors.New("crowd: QueriesPerCell must be positive")
+	}
+	if len(cfg.Incentives) == 0 {
+		return nil, errors.New("crowd: pilot requires at least one incentive level")
+	}
+	data := &PilotData{incentives: append([]Cents(nil), cfg.Incentives...)}
+	next := 0
+	for _, ctx := range Contexts() {
+		for _, inc := range cfg.Incentives {
+			queries := make([]Query, cfg.QueriesPerCell)
+			for i := range queries {
+				queries[i] = Query{Image: images[next%len(images)], Incentive: inc}
+				next++
+			}
+			clk := simclock.New()
+			results, err := p.Submit(clk, ctx, queries)
+			if err != nil {
+				return nil, fmt.Errorf("pilot cell (%v, %v): %w", ctx, inc, err)
+			}
+			data.Cells = append(data.Cells, PilotCell{Context: ctx, Incentive: inc, Results: results})
+		}
+	}
+	return data, nil
+}
+
+// Incentives returns the probed incentive levels in order.
+func (d *PilotData) Incentives() []Cents {
+	return append([]Cents(nil), d.incentives...)
+}
+
+// Cell returns the cell for (ctx, incentive), or nil if absent.
+func (d *PilotData) Cell(ctx TemporalContext, incentive Cents) *PilotCell {
+	for i := range d.Cells {
+		if d.Cells[i].Context == ctx && d.Cells[i].Incentive == incentive {
+			return &d.Cells[i]
+		}
+	}
+	return nil
+}
+
+// MeanQueryDelay returns the mean HIT completion delay in a cell
+// (Figure 5's y-axis). Returns 0 if the cell is absent or empty.
+func (d *PilotData) MeanQueryDelay(ctx TemporalContext, incentive Cents) time.Duration {
+	cell := d.Cell(ctx, incentive)
+	if cell == nil {
+		return 0
+	}
+	return MeanCompletionDelay(cell.Results)
+}
+
+// WorkerAccuracy returns the fraction of individual worker labels that
+// match ground truth at the given incentive, pooled across contexts
+// (Figure 6's y-axis).
+func (d *PilotData) WorkerAccuracy(incentive Cents) float64 {
+	correct, total := 0, 0
+	for _, cell := range d.Cells {
+		if cell.Incentive != incentive {
+			continue
+		}
+		for _, qr := range cell.Results {
+			for _, r := range qr.Responses {
+				total++
+				if r.Label == qr.Query.Image.TrueLabel {
+					correct++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// WorkerCorrectness returns one 0/1 sample per individual response at the
+// given incentive, pooled across contexts — the paired-sample input for
+// the Wilcoxon significance tests between adjacent incentive levels.
+func (d *PilotData) WorkerCorrectness(incentive Cents) []float64 {
+	var out []float64
+	for _, cell := range d.Cells {
+		if cell.Incentive != incentive {
+			continue
+		}
+		for _, qr := range cell.Results {
+			for _, r := range qr.Responses {
+				if r.Label == qr.Query.Image.TrueLabel {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AgreementCounts returns, for every query at the given incentive, the
+// per-class tally of worker labels — the subjects x categories matrix
+// consumed by stats.FleissKappa to quantify inter-worker agreement.
+func (d *PilotData) AgreementCounts(incentive Cents) [][]int {
+	var out [][]int
+	for _, cell := range d.Cells {
+		if cell.Incentive != incentive {
+			continue
+		}
+		for _, qr := range cell.Results {
+			row := make([]int, imagery.NumLabels)
+			for _, r := range qr.Responses {
+				if r.Label.Valid() {
+					row[r.Label]++
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// AllResults flattens every cell's query results; the CQC trainer consumes
+// this to learn the response→truth mapping across contexts and incentives.
+func (d *PilotData) AllResults() []QueryResult {
+	var out []QueryResult
+	for _, cell := range d.Cells {
+		out = append(out, cell.Results...)
+	}
+	return out
+}
+
+// ResultsByContext returns every query result observed under ctx.
+func (d *PilotData) ResultsByContext(ctx TemporalContext) []QueryResult {
+	var out []QueryResult
+	for _, cell := range d.Cells {
+		if cell.Context == ctx {
+			out = append(out, cell.Results...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// Query is one crowd query (Definition 2): an image whose label and
+// contextual evidence the requester wants.
+type Query struct {
+	// Image is the data sample to assess.
+	Image *imagery.Image
+	// Incentive is the payment offered per assignment.
+	Incentive Cents
+}
+
+// Response is one worker's answer to a query (Definition 3).
+type Response struct {
+	// QueryIndex identifies the query within the submitted batch.
+	QueryIndex int
+	// WorkerID is the responding worker.
+	WorkerID int
+	// Label is the worker's damage assessment.
+	Label imagery.Label
+	// Questionnaire holds the worker's contextual evidence.
+	Questionnaire Questionnaire
+	// Delay is how long after submission this assignment completed.
+	Delay time.Duration
+	// Incentive echoes the payment for the assignment.
+	Incentive Cents
+	// Context echoes the temporal context the query ran under.
+	Context TemporalContext
+}
+
+// QueryResult groups the responses to a single query.
+type QueryResult struct {
+	Query Query
+	// Responses holds one entry per assignment, ordered by completion.
+	Responses []Response
+	// CompletionDelay is the time until the final assignment completed —
+	// the HIT's end-to-end crowd delay.
+	CompletionDelay time.Duration
+}
+
+// Config parameterises the simulated platform.
+type Config struct {
+	// NumWorkers is the worker-population size.
+	NumWorkers int
+	// WorkersPerQuery is the assignments per HIT (paper: 5).
+	WorkersPerQuery int
+	// AdversarialFraction is the share of the population that answers
+	// maliciously: labels follow the image's (possibly misleading)
+	// appearance regardless of effort, and questionnaire answers are
+	// inverted. Zero by default; the failure-injection tests use it to
+	// probe quality-control robustness.
+	AdversarialFraction float64
+	// ChurnRate is the per-batch probability that any given worker
+	// leaves the platform and is replaced by a fresh worker with a new
+	// identity. Churn keeps the *population statistics* stationary while
+	// destroying per-worker reputation — the dynamics the paper warns
+	// about when noting that workers "new to the platform ... do not have
+	// sufficient labeling history".
+	ChurnRate float64
+	// AbandonRate is the probability that a worker accepts an assignment
+	// and then abandons it, forcing a silent re-post to a fresh worker.
+	// Each abandonment adds a partial wait before the replacement starts,
+	// thickening the delay tail — a major source of real MTurk latency
+	// variance. Zero by default.
+	AbandonRate float64
+	// Seed drives the worker population and all response sampling.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's setup: each query is answered by 5
+// workers from a large anonymous pool.
+func DefaultConfig() Config {
+	return Config{NumWorkers: 240, WorkersPerQuery: 5, Seed: 1}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumWorkers <= 0 {
+		return errors.New("crowd: NumWorkers must be positive")
+	}
+	if c.WorkersPerQuery <= 0 {
+		return errors.New("crowd: WorkersPerQuery must be positive")
+	}
+	if c.WorkersPerQuery > c.NumWorkers {
+		return fmt.Errorf("crowd: WorkersPerQuery %d exceeds population %d", c.WorkersPerQuery, c.NumWorkers)
+	}
+	if c.AdversarialFraction < 0 || c.AdversarialFraction > 1 {
+		return fmt.Errorf("crowd: AdversarialFraction %v outside [0, 1]", c.AdversarialFraction)
+	}
+	if c.ChurnRate < 0 || c.ChurnRate > 1 {
+		return fmt.Errorf("crowd: ChurnRate %v outside [0, 1]", c.ChurnRate)
+	}
+	if c.AbandonRate < 0 || c.AbandonRate >= 1 {
+		return fmt.Errorf("crowd: AbandonRate %v outside [0, 1)", c.AbandonRate)
+	}
+	return nil
+}
+
+// Platform is the simulated crowdsourcing marketplace. It is a black box
+// from the requester's perspective: the requester submits queries with
+// incentives and observes responses and delays; it cannot select workers
+// (observation 1 in Section III-B).
+type Platform struct {
+	cfg     Config
+	workers []*Worker
+	rng     *rand.Rand
+	spent   float64 // dollars paid out so far
+	nextID  int     // next worker identity for churn replacements
+}
+
+// NewPlatform builds a platform with a deterministic worker population.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	workers := newWorkerPopulation(rng, cfg.NumWorkers)
+	if cfg.AdversarialFraction > 0 {
+		for _, w := range workers {
+			if mathx.Bernoulli(rng, cfg.AdversarialFraction) {
+				w.Adversarial = true
+			}
+		}
+	}
+	return &Platform{
+		cfg:     cfg,
+		workers: workers,
+		rng:     rng,
+		nextID:  cfg.NumWorkers,
+	}, nil
+}
+
+// churn replaces each worker with a fresh identity with probability
+// ChurnRate. Adversarial status re-rolls with the configured fraction so
+// the population mix stays stationary.
+func (p *Platform) churn() {
+	if p.cfg.ChurnRate <= 0 {
+		return
+	}
+	for i := range p.workers {
+		if !mathx.Bernoulli(p.rng, p.cfg.ChurnRate) {
+			continue
+		}
+		fresh := newWorker(p.rng, p.nextID)
+		p.nextID++
+		if p.cfg.AdversarialFraction > 0 && mathx.Bernoulli(p.rng, p.cfg.AdversarialFraction) {
+			fresh.Adversarial = true
+		}
+		p.workers[i] = fresh
+	}
+}
+
+// MustNewPlatform is NewPlatform but panics on config errors.
+func MustNewPlatform(cfg Config) *Platform {
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Workers exposes the population size (not the workers themselves — the
+// requester cannot inspect them; tests use the internal field directly).
+func (p *Platform) Workers() int { return len(p.workers) }
+
+// Spent returns the total dollars paid out so far.
+func (p *Platform) Spent() float64 { return p.spent }
+
+// meanDelaySeconds is the expected assignment delay for an incentive under
+// a temporal context, before worker-level and sampling noise.
+//
+// The surface is calibrated to Figure 5 of the paper:
+//   - morning/afternoon: delay decreases steadily with incentive (workers
+//     are scarce and selective);
+//   - evening/midnight: workers are abundant, so all mid-range incentives
+//     have similar, low delay; only the 1-cent floor is penalised and the
+//     20-cent ceiling slightly rewarded.
+func meanDelaySeconds(ctx TemporalContext, incentive Cents) float64 {
+	frac := (float64(incentive) - 1) / 19 // 0 at 1 cent, 1 at 20 cents
+	switch ctx {
+	case Morning:
+		// Scarce, selective workers: delay falls steadily (near linearly)
+		// across the whole incentive range.
+		return 980 - 690*frac
+	case Afternoon:
+		return 820 - 555*frac
+	case Evening:
+		// Abundant night-owl workers: only the 1-cent floor is punished;
+		// everything from ~4 cents up is equally fast.
+		return 225 + 205*math.Exp(-1.2*(float64(incentive)-1))
+	case Midnight:
+		return 240 + 230*math.Exp(-1.0*(float64(incentive)-1))
+	default:
+		return 600
+	}
+}
+
+// sampleDelay draws one assignment's completion delay.
+func (p *Platform) sampleDelay(ctx TemporalContext, incentive Cents, w *Worker) time.Duration {
+	mean := meanDelaySeconds(ctx, incentive) * w.Diligence
+	// Log-normal multiplicative noise with sigma 0.25 keeps the heavy tail
+	// seen on real MTurk without exploding variance.
+	d := mean * mathx.LogNormal(p.rng, -0.03125, 0.25)
+	return time.Duration(d * float64(time.Second))
+}
+
+// completeAssignment resolves one assignment slot: the initial worker may
+// abandon the HIT (with probability AbandonRate, repeatedly), in which
+// case a partial wait accrues and the assignment silently re-posts to a
+// fresh randomly drawn worker. Returns the worker who finally answered
+// and the total delay.
+func (p *Platform) completeAssignment(ctx TemporalContext, incentive Cents, w *Worker) (*Worker, time.Duration) {
+	const maxReposts = 5
+	var total time.Duration
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxReposts || p.cfg.AbandonRate == 0 || !mathx.Bernoulli(p.rng, p.cfg.AbandonRate) {
+			return w, total + p.sampleDelay(ctx, incentive, w)
+		}
+		// Abandoned mid-task: a fraction of a normal completion elapses
+		// before the platform re-posts.
+		total += p.sampleDelay(ctx, incentive, w) * 2 / 5
+		w = p.workers[p.rng.Intn(len(p.workers))]
+	}
+}
+
+// pickWorkers samples WorkersPerQuery distinct workers weighted by their
+// activity in the given context.
+func (p *Platform) pickWorkers(ctx TemporalContext) []*Worker {
+	weights := make([]float64, len(p.workers))
+	for i, w := range p.workers {
+		weights[i] = w.Activity[ctx]
+	}
+	chosen := make([]*Worker, 0, p.cfg.WorkersPerQuery)
+	for len(chosen) < p.cfg.WorkersPerQuery {
+		i := mathx.Categorical(p.rng, weights)
+		weights[i] = 0 // without replacement
+		chosen = append(chosen, p.workers[i])
+	}
+	return chosen
+}
+
+// Submit posts a batch of queries under the given temporal context and
+// returns one QueryResult per query. Assignment completions are scheduled
+// on clk relative to its current time; Submit drains the clock so that on
+// return clk.Now() has advanced to the completion of the slowest
+// assignment in the batch. Pass a fresh clock to measure a batch in
+// isolation.
+//
+// Each query costs its incentive (the HIT price, shared by its
+// assignments), charged regardless of answer quality — matching the
+// paper's budget arithmetic where a 2 USD budget buys 200 one-cent tasks.
+func (p *Platform) Submit(clk *simclock.Clock, ctx TemporalContext, queries []Query) ([]QueryResult, error) {
+	if !ctx.Valid() {
+		return nil, fmt.Errorf("crowd: invalid context %d", int(ctx))
+	}
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	p.churn()
+	start := clk.Now()
+	results := make([]QueryResult, len(queries))
+	for qi, q := range queries {
+		if q.Image == nil {
+			return nil, fmt.Errorf("crowd: query %d has nil image", qi)
+		}
+		if q.Incentive <= 0 {
+			return nil, fmt.Errorf("crowd: query %d has non-positive incentive", qi)
+		}
+		results[qi].Query = q
+		p.spent += q.Incentive.Dollars()
+		workers := p.pickWorkers(ctx)
+		for _, w := range workers {
+			qi := qi
+			w, delay := p.completeAssignment(ctx, q.Incentive, w)
+			label := w.AnswerLabel(p.rng, q.Image, q.Incentive)
+			questionnaire := w.AnswerQuestionnaire(p.rng, q.Image, q.Incentive)
+			clk.Schedule(delay, func(now time.Duration) {
+				r := Response{
+					QueryIndex:    qi,
+					WorkerID:      w.ID,
+					Label:         label,
+					Questionnaire: questionnaire,
+					Delay:         now - start,
+					Incentive:     q.Incentive,
+					Context:       ctx,
+				}
+				results[qi].Responses = append(results[qi].Responses, r)
+				if r.Delay > results[qi].CompletionDelay {
+					results[qi].CompletionDelay = r.Delay
+				}
+			})
+		}
+	}
+	clk.Run()
+	return results, nil
+}
+
+// MeanCompletionDelay averages the per-query completion delays of a batch.
+func MeanCompletionDelay(results []QueryResult) time.Duration {
+	if len(results) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, r := range results {
+		total += r.CompletionDelay
+	}
+	return total / time.Duration(len(results))
+}

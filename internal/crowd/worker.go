@@ -1,0 +1,153 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Worker is one simulated MTurk worker. Workers are heterogeneous: the
+// quality-control schemes (CQC, TD-EM, Filtering) exist precisely because
+// worker reliability varies and is unknown to the requester.
+type Worker struct {
+	// ID is unique within a platform.
+	ID int
+	// Reliability is the probability of labeling a clean, legible image
+	// correctly at full effort. Drawn from a Beta so the population mean
+	// lands near the paper's observed ~80% crowd accuracy.
+	Reliability float64
+	// ContextSkill is the probability of perceiving high-level context —
+	// spotting a photoshopped image, reading the story of an implicit
+	// image. This is what makes humans succeed where the AI fails.
+	ContextSkill float64
+	// Activity[ctx] scales the worker's availability per temporal
+	// context; workers are collectively more active in the evening.
+	Activity [NumContexts]float64
+	// Diligence scales the worker's personal response speed (lower is
+	// faster).
+	Diligence float64
+	// Adversarial marks a spammer: labels are uniform noise and
+	// questionnaire answers are inverted. Set by the platform when
+	// Config.AdversarialFraction is positive.
+	Adversarial bool
+}
+
+// effortFactor models how incentive modulates the care a worker takes.
+// Calibrated to Figure 6: noticeable quality loss at 1–2 cents, plateau
+// above ~4 cents. Raising the incentive past the plateau buys nothing,
+// which is why IPD spends incentive on latency rather than quality.
+func effortFactor(incentive Cents) float64 {
+	x := 0.9 * (float64(incentive) - 1)
+	if x < 0 {
+		x = 0
+	}
+	return 1 - 0.16*math.Exp(-x)
+}
+
+// labelAccuracy returns the probability this worker labels the image
+// correctly under the given incentive.
+func (w *Worker) labelAccuracy(im *imagery.Image, incentive Cents) float64 {
+	acc := w.Reliability * effortFactor(incentive)
+	// Shared per-image difficulty correlates errors across workers: a
+	// cluttered or ambiguous scene trips everyone, which is what keeps
+	// majority voting from washing out individual mistakes.
+	acc *= 1 - im.HumanDifficulty
+	if im.Failure.Deceptive() {
+		// The worker must first notice the deception; otherwise they are
+		// fooled just like the AI.
+		acc *= w.ContextSkill
+	}
+	return mathx.Clamp(acc, 0, 1)
+}
+
+// AnswerLabel produces the worker's damage label for the image.
+func (w *Worker) AnswerLabel(rng *rand.Rand, im *imagery.Image, incentive Cents) imagery.Label {
+	if w.Adversarial {
+		// Spammer model: answer without looking. Uniform labels carry no
+		// information, so every spam assignment dilutes the honest vote.
+		return imagery.Label(rng.Intn(imagery.NumLabels))
+	}
+	if mathx.Bernoulli(rng, w.labelAccuracy(im, incentive)) {
+		return im.TrueLabel
+	}
+	// Wrong answers gravitate toward what the image appears to show; if
+	// the apparent label is the truth, pick uniformly among the others.
+	if im.ApparentLabel != im.TrueLabel && mathx.Bernoulli(rng, 0.7) {
+		return im.ApparentLabel
+	}
+	offset := 1 + rng.Intn(imagery.NumLabels-1)
+	return imagery.Label((int(im.TrueLabel) + offset) % imagery.NumLabels)
+}
+
+// Questionnaire is a worker's fixed-form answers about an image (Figure 3
+// in the paper). Fixed-form questions avoid natural-language parsing and
+// give CQC machine-readable evidence.
+type Questionnaire struct {
+	IsFake              bool
+	ShowsRoadDamage     bool
+	ShowsBuildingDamage bool
+	ShowsPeopleAffected bool
+	IsLegible           bool
+}
+
+// AnswerQuestionnaire produces the worker's noisy perception of the scene
+// attributes. Each attribute is reported correctly with probability
+// driven by the worker's context skill and incentive-modulated effort.
+func (w *Worker) AnswerQuestionnaire(rng *rand.Rand, im *imagery.Image, incentive Cents) Questionnaire {
+	p := mathx.Clamp(w.ContextSkill*effortFactor(incentive), 0, 1)
+	if w.Adversarial {
+		p = 1 - p // systematically inverted evidence
+	}
+	perceive := func(truth bool) bool {
+		if mathx.Bernoulli(rng, p) {
+			return truth
+		}
+		return !truth
+	}
+	return Questionnaire{
+		IsFake:              perceive(im.Scene.IsFake),
+		ShowsRoadDamage:     perceive(im.Scene.ShowsRoadDamage),
+		ShowsBuildingDamage: perceive(im.Scene.ShowsBuildingDamage),
+		ShowsPeopleAffected: perceive(im.Scene.ShowsPeopleAffected),
+		IsLegible:           perceive(im.Scene.IsLegible),
+	}
+}
+
+// newWorker draws one worker with the given ID. Population-level
+// parameters are chosen so that average label accuracy on a mixed image
+// stream is near the paper's ~80% and evening/midnight activity exceeds
+// daytime.
+func newWorker(rng *rand.Rand, id int) *Worker {
+	// A mixture population: most workers are competent, but a sloppy
+	// minority (spammers, habitual speed-runners) drags quality down —
+	// the heterogeneity the paper's CQC/TD-EM/Filtering modules exist to
+	// handle.
+	reliability := mathx.Beta(rng, 18, 2) // competent: mean ~0.90
+	if mathx.Bernoulli(rng, 0.18) {
+		reliability = mathx.Beta(rng, 5, 3) // sloppy: mean ~0.63
+	}
+	w := &Worker{
+		ID:          id,
+		Reliability: mathx.Clamp(reliability, 0.25, 0.99),
+		// Mean ~0.78: most workers spot most deceptions.
+		ContextSkill: mathx.Clamp(mathx.Beta(rng, 7, 2), 0.3, 0.99),
+		Diligence:    mathx.Clamp(mathx.LogNormal(rng, 0, 0.35), 0.4, 3),
+	}
+	// Activity: night owls dominate MTurk (pilot-study observation).
+	w.Activity[Morning] = 0.4 + 0.3*rng.Float64()
+	w.Activity[Afternoon] = 0.5 + 0.3*rng.Float64()
+	w.Activity[Evening] = 0.9 + 0.4*rng.Float64()
+	w.Activity[Midnight] = 0.8 + 0.4*rng.Float64()
+	return w
+}
+
+// newWorkerPopulation draws n workers with IDs 0..n-1.
+func newWorkerPopulation(rng *rand.Rand, n int) []*Worker {
+	workers := make([]*Worker, n)
+	for i := range workers {
+		workers[i] = newWorker(rng, i)
+	}
+	return workers
+}

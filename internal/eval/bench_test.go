@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func benchData(n int) ([]imagery.Label, [][]float64) {
+	rng := mathx.NewRand(1)
+	truths := make([]imagery.Label, n)
+	dists := make([][]float64, n)
+	for i := range truths {
+		truths[i] = imagery.Label(rng.Intn(imagery.NumLabels))
+		d := mathx.OneHot(imagery.NumLabels, int(truths[i]))
+		for j := range d {
+			d[j] = 0.6*d[j] + 0.4*rng.Float64()
+		}
+		mathx.Normalize(d)
+		dists[i] = d
+	}
+	return truths, dists
+}
+
+func BenchmarkMacroROC(b *testing.B) {
+	truths, dists := benchData(400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MacroROC(truths, dists, 101); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeMetrics(b *testing.B) {
+	truths, dists := benchData(400)
+	preds := make([]imagery.Label, len(truths))
+	for i, d := range dists {
+		preds[i] = imagery.Label(mathx.ArgMax(d))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(truths, preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package eval implements the evaluation metrics of Section V:
+// multi-class accuracy, macro-averaged precision/recall/F1 (the paper
+// macro-averages because the dataset is class-balanced), confusion
+// matrices, and macro-averaged ROC curves with AUC (Figure 7).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+// Metrics holds the classification scores of Table II.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64 // macro-averaged
+	Recall    float64 // macro-averaged
+	F1        float64 // macro-averaged
+}
+
+// ConfusionMatrix counts [true][predicted] pairs.
+type ConfusionMatrix [imagery.NumLabels][imagery.NumLabels]int
+
+// Confusion builds a confusion matrix from parallel label slices.
+func Confusion(truths, preds []imagery.Label) (ConfusionMatrix, error) {
+	var cm ConfusionMatrix
+	if len(truths) != len(preds) {
+		return cm, fmt.Errorf("eval: %d truths but %d predictions", len(truths), len(preds))
+	}
+	for i := range truths {
+		if !truths[i].Valid() || !preds[i].Valid() {
+			return cm, fmt.Errorf("eval: invalid label pair (%v, %v) at %d", truths[i], preds[i], i)
+		}
+		cm[truths[i]][preds[i]]++
+	}
+	return cm, nil
+}
+
+// Total returns the number of samples in the matrix.
+func (cm ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range cm {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Compute derives Table II metrics from parallel truth/prediction slices.
+func Compute(truths, preds []imagery.Label) (Metrics, error) {
+	if len(truths) == 0 {
+		return Metrics{}, errors.New("eval: no samples")
+	}
+	cm, err := Confusion(truths, preds)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return cm.Metrics(), nil
+}
+
+// Metrics derives the scores from the confusion matrix. Macro averages
+// skip classes with no support (no true samples) for recall and no
+// predictions for precision, matching common practice.
+func (cm ConfusionMatrix) Metrics() Metrics {
+	total := cm.Total()
+	if total == 0 {
+		return Metrics{}
+	}
+	correct := 0
+	var precisionSum, recallSum float64
+	precisionClasses, recallClasses := 0, 0
+	for k := 0; k < imagery.NumLabels; k++ {
+		correct += cm[k][k]
+		tp := float64(cm[k][k])
+		var fp, fn float64
+		for j := 0; j < imagery.NumLabels; j++ {
+			if j == k {
+				continue
+			}
+			fp += float64(cm[j][k])
+			fn += float64(cm[k][j])
+		}
+		if tp+fp > 0 {
+			precisionSum += tp / (tp + fp)
+			precisionClasses++
+		}
+		if tp+fn > 0 {
+			recallSum += tp / (tp + fn)
+			recallClasses++
+		}
+	}
+	m := Metrics{Accuracy: float64(correct) / float64(total)}
+	if precisionClasses > 0 {
+		m.Precision = precisionSum / float64(precisionClasses)
+	}
+	if recallClasses > 0 {
+		m.Recall = recallSum / float64(recallClasses)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// ClassMetrics holds one class's one-vs-rest scores.
+type ClassMetrics struct {
+	Label     imagery.Label
+	Support   int // number of true samples of this class
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClass derives one-vs-rest metrics for every class from the matrix.
+// Classes with no support report zero recall; classes never predicted
+// report zero precision.
+func (cm ConfusionMatrix) PerClass() []ClassMetrics {
+	out := make([]ClassMetrics, imagery.NumLabels)
+	for k := 0; k < imagery.NumLabels; k++ {
+		tp := float64(cm[k][k])
+		var fp, fn float64
+		support := 0
+		for j := 0; j < imagery.NumLabels; j++ {
+			support += cm[k][j]
+			if j == k {
+				continue
+			}
+			fp += float64(cm[j][k])
+			fn += float64(cm[k][j])
+		}
+		m := ClassMetrics{Label: imagery.Label(k), Support: support}
+		if tp+fp > 0 {
+			m.Precision = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = tp / (tp + fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// ROCPoint is one point on a ROC curve.
+type ROCPoint struct {
+	FPR float64
+	TPR float64
+}
+
+// MacroROC computes the macro-averaged one-vs-rest ROC curve from label
+// distributions (Figure 7): a per-class ROC over the class's predicted
+// probability as score, averaged vertically across classes on a common
+// FPR grid.
+func MacroROC(truths []imagery.Label, dists [][]float64, gridSize int) ([]ROCPoint, error) {
+	if len(truths) != len(dists) {
+		return nil, fmt.Errorf("eval: %d truths but %d distributions", len(truths), len(dists))
+	}
+	if len(truths) == 0 {
+		return nil, errors.New("eval: no samples")
+	}
+	if gridSize < 2 {
+		gridSize = 101
+	}
+	grid := make([]float64, gridSize)
+	for i := range grid {
+		grid[i] = float64(i) / float64(gridSize-1)
+	}
+	avgTPR := make([]float64, gridSize)
+	classes := 0
+	for k := 0; k < imagery.NumLabels; k++ {
+		curve, ok := binaryROC(truths, dists, imagery.Label(k))
+		if !ok {
+			continue
+		}
+		classes++
+		for i, fpr := range grid {
+			avgTPR[i] += interpolateTPR(curve, fpr)
+		}
+	}
+	if classes == 0 {
+		return nil, errors.New("eval: no class has both positive and negative samples")
+	}
+	out := make([]ROCPoint, gridSize)
+	for i := range out {
+		out[i] = ROCPoint{FPR: grid[i], TPR: avgTPR[i] / float64(classes)}
+	}
+	return out, nil
+}
+
+// binaryROC builds the one-vs-rest ROC for class k. Returns ok=false when
+// the class has no positives or no negatives.
+func binaryROC(truths []imagery.Label, dists [][]float64, k imagery.Label) ([]ROCPoint, bool) {
+	type scored struct {
+		score float64
+		pos   bool
+	}
+	items := make([]scored, len(truths))
+	pos, neg := 0, 0
+	for i := range truths {
+		isPos := truths[i] == k
+		if isPos {
+			pos++
+		} else {
+			neg++
+		}
+		items[i] = scored{score: dists[i][k], pos: isPos}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, false
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].score > items[b].score })
+
+	curve := []ROCPoint{{FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		// Process ties together so the curve is threshold-consistent.
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			if items[j].pos {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{FPR: float64(fp) / float64(neg), TPR: float64(tp) / float64(pos)})
+		i = j
+	}
+	return curve, true
+}
+
+// interpolateTPR linearly interpolates a ROC curve's TPR at the given FPR.
+func interpolateTPR(curve []ROCPoint, fpr float64) float64 {
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR >= fpr {
+			lo, hi := curve[i-1], curve[i]
+			if hi.FPR == lo.FPR {
+				return hi.TPR
+			}
+			frac := (fpr - lo.FPR) / (hi.FPR - lo.FPR)
+			return lo.TPR + frac*(hi.TPR-lo.TPR)
+		}
+	}
+	return curve[len(curve)-1].TPR
+}
+
+// BrierScore computes the multiclass Brier score: the mean squared error
+// between predicted distributions and one-hot truths, in [0, 2]. Lower is
+// better; it rewards *calibrated* confidence, complementing the
+// accuracy/ROC views of Table II and Figure 7.
+func BrierScore(truths []imagery.Label, dists [][]float64) (float64, error) {
+	if len(truths) != len(dists) {
+		return 0, fmt.Errorf("eval: %d truths but %d distributions", len(truths), len(dists))
+	}
+	if len(truths) == 0 {
+		return 0, errors.New("eval: no samples")
+	}
+	var total float64
+	for i, d := range dists {
+		if len(d) != imagery.NumLabels {
+			return 0, fmt.Errorf("eval: distribution %d has %d classes, want %d", i, len(d), imagery.NumLabels)
+		}
+		if !truths[i].Valid() {
+			return 0, fmt.Errorf("eval: invalid truth label at %d", i)
+		}
+		for k, p := range d {
+			target := 0.0
+			if imagery.Label(k) == truths[i] {
+				target = 1.0
+			}
+			diff := p - target
+			total += diff * diff
+		}
+	}
+	return total / float64(len(truths)), nil
+}
+
+// AUC computes the area under a ROC curve by the trapezoid rule. The
+// curve must be sorted by FPR (MacroROC output is).
+func AUC(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,264 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func TestComputePerfect(t *testing.T) {
+	truths := []imagery.Label{0, 1, 2, 0, 1, 2}
+	m, err := Compute(truths, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 1 || m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect prediction metrics %+v, want all 1", m)
+	}
+}
+
+func TestComputeKnownValues(t *testing.T) {
+	// 2 classes used of 3: truths [0 0 1 1], preds [0 1 1 1].
+	truths := []imagery.Label{0, 0, 1, 1}
+	preds := []imagery.Label{0, 1, 1, 1}
+	m, err := Compute(truths, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 0.75 {
+		t.Errorf("accuracy %v, want 0.75", m.Accuracy)
+	}
+	// Class 0: precision 1, recall 0.5. Class 1: precision 2/3, recall 1.
+	// Class 2: no support and no predictions -> skipped.
+	wantP := (1.0 + 2.0/3.0) / 2
+	wantR := (0.5 + 1.0) / 2
+	if math.Abs(m.Precision-wantP) > 1e-12 {
+		t.Errorf("precision %v, want %v", m.Precision, wantP)
+	}
+	if math.Abs(m.Recall-wantR) > 1e-12 {
+		t.Errorf("recall %v, want %v", m.Recall, wantR)
+	}
+	wantF1 := 2 * wantP * wantR / (wantP + wantR)
+	if math.Abs(m.F1-wantF1) > 1e-12 {
+		t.Errorf("f1 %v, want %v", m.F1, wantF1)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(nil, nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := Compute([]imagery.Label{0}, []imagery.Label{0, 1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Compute([]imagery.Label{7}, []imagery.Label{0}); err == nil {
+		t.Error("invalid label must error")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	truths := []imagery.Label{0, 0, 1, 2}
+	preds := []imagery.Label{0, 1, 1, 0}
+	cm, err := Confusion(truths, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[0][0] != 1 || cm[0][1] != 1 || cm[1][1] != 1 || cm[2][0] != 1 {
+		t.Errorf("confusion matrix wrong: %v", cm)
+	}
+	if cm.Total() != 4 {
+		t.Errorf("Total = %d, want 4", cm.Total())
+	}
+}
+
+func TestMacroROCPerfectClassifier(t *testing.T) {
+	truths := []imagery.Label{0, 1, 2, 0, 1, 2}
+	dists := make([][]float64, len(truths))
+	for i, l := range truths {
+		dists[i] = mathx.OneHot(imagery.NumLabels, int(l))
+	}
+	curve, err := MacroROC(truths, dists, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); auc < 0.99 {
+		t.Errorf("perfect classifier AUC %v, want ~1", auc)
+	}
+}
+
+func TestMacroROCRandomClassifier(t *testing.T) {
+	rng := mathx.NewRand(1)
+	n := 3000
+	truths := make([]imagery.Label, n)
+	dists := make([][]float64, n)
+	for i := range truths {
+		truths[i] = imagery.Label(rng.Intn(imagery.NumLabels))
+		d := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		mathx.Normalize(d)
+		dists[i] = d
+	}
+	curve, err := MacroROC(truths, dists, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random classifier AUC %v, want ~0.5", auc)
+	}
+}
+
+func TestMacroROCMonotone(t *testing.T) {
+	rng := mathx.NewRand(2)
+	n := 500
+	truths := make([]imagery.Label, n)
+	dists := make([][]float64, n)
+	for i := range truths {
+		truths[i] = imagery.Label(rng.Intn(imagery.NumLabels))
+		// Noisy but informative scores.
+		d := mathx.OneHot(imagery.NumLabels, int(truths[i]))
+		for j := range d {
+			d[j] = 0.5*d[j] + 0.5*rng.Float64()
+		}
+		mathx.Normalize(d)
+		dists[i] = d
+	}
+	curve, err := MacroROC(truths, dists, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].FPR != 0 || curve[len(curve)-1].FPR != 1 {
+		t.Errorf("curve must span FPR [0,1]: %v .. %v", curve[0], curve[len(curve)-1])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR-1e-9 {
+			t.Fatalf("TPR must be non-decreasing along the curve at %d", i)
+		}
+	}
+	// Informative scores: AUC clearly above chance.
+	if auc := AUC(curve); auc < 0.7 {
+		t.Errorf("informative classifier AUC %v too low", auc)
+	}
+}
+
+func TestMacroROCValidation(t *testing.T) {
+	if _, err := MacroROC(nil, nil, 11); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := MacroROC([]imagery.Label{0}, nil, 11); err == nil {
+		t.Error("length mismatch must error")
+	}
+	// Single-class sample: every one-vs-rest split lacks negatives or
+	// positives for 2 of 3 classes, but class 0 has no negatives at all.
+	truths := []imagery.Label{0, 0}
+	dists := [][]float64{{1, 0, 0}, {1, 0, 0}}
+	if _, err := MacroROC(truths, dists, 11); err == nil {
+		t.Error("degenerate single-class input must error")
+	}
+}
+
+func TestBrierScore(t *testing.T) {
+	truths := []imagery.Label{0, 1}
+	perfect := [][]float64{{1, 0, 0}, {0, 1, 0}}
+	if got, err := BrierScore(truths, perfect); err != nil || got != 0 {
+		t.Errorf("perfect Brier = %v, %v; want 0", got, err)
+	}
+	// Uniform prediction on a 3-class problem:
+	// (2/3)^2 + 2*(1/3)^2 = 6/9 = 2/3 per sample.
+	uniform := [][]float64{{1. / 3, 1. / 3, 1. / 3}, {1. / 3, 1. / 3, 1. / 3}}
+	if got, _ := BrierScore(truths, uniform); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("uniform Brier = %v, want 2/3", got)
+	}
+	// Confidently wrong: (0-1)^2 + (1-0)^2 = 2, the maximum.
+	wrong := [][]float64{{0, 1, 0}, {1, 0, 0}}
+	if got, _ := BrierScore(truths, wrong); got != 2 {
+		t.Errorf("confidently wrong Brier = %v, want 2", got)
+	}
+	// Validation.
+	if _, err := BrierScore(nil, nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := BrierScore(truths, perfect[:1]); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := BrierScore([]imagery.Label{9}, [][]float64{{1, 0, 0}}); err == nil {
+		t.Error("invalid label must error")
+	}
+	if _, err := BrierScore([]imagery.Label{0}, [][]float64{{1, 0}}); err == nil {
+		t.Error("bad distribution width must error")
+	}
+}
+
+func TestAUCTrapezoid(t *testing.T) {
+	curve := []ROCPoint{{0, 0}, {0.5, 1}, {1, 1}}
+	if got := AUC(curve); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestPerClassMetrics(t *testing.T) {
+	truths := []imagery.Label{0, 0, 1, 1, 2}
+	preds := []imagery.Label{0, 1, 1, 1, 0}
+	cm, err := Confusion(truths, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := cm.PerClass()
+	if len(per) != imagery.NumLabels {
+		t.Fatalf("per-class length %d", len(per))
+	}
+	// Class 0: tp=1 fp=1 fn=1 -> P=0.5 R=0.5 F1=0.5, support 2.
+	if per[0].Support != 2 || per[0].Precision != 0.5 || per[0].Recall != 0.5 || per[0].F1 != 0.5 {
+		t.Errorf("class 0 metrics %+v", per[0])
+	}
+	// Class 1: tp=2 fp=1 fn=0 -> P=2/3 R=1, support 2.
+	if per[1].Support != 2 || math.Abs(per[1].Precision-2.0/3.0) > 1e-12 || per[1].Recall != 1 {
+		t.Errorf("class 1 metrics %+v", per[1])
+	}
+	// Class 2: never predicted -> P=0; tp=0 -> R=0; support 1.
+	if per[2].Support != 1 || per[2].Precision != 0 || per[2].Recall != 0 || per[2].F1 != 0 {
+		t.Errorf("class 2 metrics %+v", per[2])
+	}
+}
+
+// Consistency: macro metrics equal the mean of per-class metrics when all
+// classes have support and predictions.
+func TestPerClassConsistentWithMacro(t *testing.T) {
+	rng := mathx.NewRand(4)
+	n := 600
+	truths := make([]imagery.Label, n)
+	preds := make([]imagery.Label, n)
+	for i := range truths {
+		truths[i] = imagery.Label(rng.Intn(imagery.NumLabels))
+		if rng.Float64() < 0.7 {
+			preds[i] = truths[i]
+		} else {
+			preds[i] = imagery.Label(rng.Intn(imagery.NumLabels))
+		}
+	}
+	cm, err := Confusion(truths, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macro := cm.Metrics()
+	per := cm.PerClass()
+	var meanP, meanR float64
+	for _, m := range per {
+		meanP += m.Precision
+		meanR += m.Recall
+	}
+	meanP /= float64(len(per))
+	meanR /= float64(len(per))
+	if math.Abs(meanP-macro.Precision) > 1e-12 || math.Abs(meanR-macro.Recall) > 1e-12 {
+		t.Errorf("macro (%v, %v) disagrees with per-class means (%v, %v)",
+			macro.Precision, macro.Recall, meanP, meanR)
+	}
+}
+
+func TestMetricsEmptyMatrix(t *testing.T) {
+	var cm ConfusionMatrix
+	m := cm.Metrics()
+	if m.Accuracy != 0 || m.F1 != 0 {
+		t.Errorf("empty matrix metrics %+v", m)
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/cqc"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+// AblationResult records the design-choice ablations of DESIGN.md §5.
+// Each row removes one CrowdLearn design decision and reports the
+// resulting end-to-end accuracy/F1 (and, where relevant, a targeted
+// metric the ablated mechanism is responsible for).
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// AblationRow is one ablation outcome.
+type AblationRow struct {
+	Name     string
+	Accuracy float64
+	F1       float64
+	// Note carries the targeted metric, e.g. fake-image recall.
+	Note string
+}
+
+// RunAblations executes the MIC/QSS ablation battery: the full system,
+// no-epsilon QSS, frozen expert weights, no retraining, no offloading.
+func RunAblations(env *Env) (*AblationResult, error) {
+	out := &AblationResult{}
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"full", nil},
+		{"no-exploration (eps=0)", func(c *core.Config) { c.Epsilon = 0 }},
+		{"frozen-weights", func(c *core.Config) { c.DisableWeightUpdate = true }},
+		{"no-retraining", func(c *core.Config) { c.DisableRetraining = true }},
+		{"no-offloading", func(c *core.Config) { c.DisableOffloading = true }},
+	}
+	for _, v := range variants {
+		cl, err := env.newCrowdLearn(env.Cfg.QuerySize, env.Cfg.BudgetDollars, v.mutate)
+		if err != nil {
+			return nil, err
+		}
+		campaign, err := core.RunCampaign(cl, env.Dataset.Test, env.Cfg.Campaign)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+		}
+		m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Name:     v.name,
+			Accuracy: m.Accuracy,
+			F1:       m.F1,
+			Note:     fmt.Sprintf("fake recall %.2f", fakeRecall(campaign)),
+		})
+	}
+	return out, nil
+}
+
+// fakeRecall measures accuracy restricted to fake images — the targeted
+// metric for the epsilon-greedy ablation, since pure uncertainty sampling
+// never queries confidently-misjudged fakes.
+func fakeRecall(res *core.CampaignResult) float64 {
+	correct, total := 0, 0
+	for _, rec := range res.Records {
+		labels := rec.Output.Labels()
+		for i, im := range rec.Input.Images {
+			if im.Failure != imagery.FailureFake {
+				continue
+			}
+			total++
+			if labels[i] == im.TrueLabel {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	t := &textTable{
+		title:  "Ablations: CrowdLearn design choices (DESIGN.md §5)",
+		header: []string{"variant", "accuracy", "f1", "note"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, f3(row.Accuracy), f3(row.F1), row.Note)
+	}
+	return t.String()
+}
+
+// CQCAblationResult compares full CQC against the labels-only variant on
+// a deception-heavy evaluation batch.
+type CQCAblationResult struct {
+	FullAccuracy       float64
+	LabelsOnlyAccuracy float64
+	VotingAccuracy     float64
+}
+
+// RunCQCAblation quantifies the questionnaire features' contribution.
+func RunCQCAblation(env *Env) (*CQCAblationResult, error) {
+	full := cqc.New(cqc.DefaultConfig())
+	if err := full.Train(env.Pilot.AllResults()); err != nil {
+		return nil, err
+	}
+	ablatedCfg := cqc.DefaultConfig()
+	ablatedCfg.UseQuestionnaire = false
+	ablated := cqc.New(ablatedCfg)
+	if err := ablated.Train(env.Pilot.AllResults()); err != nil {
+		return nil, err
+	}
+
+	var tricky []*imagery.Image
+	for _, im := range env.Dataset.Test {
+		if im.Failure.Deceptive() {
+			tricky = append(tricky, im)
+		}
+	}
+	platform := env.NewPlatform()
+	queries := make([]crowd.Query, len(tricky))
+	for i, im := range tricky {
+		queries[i] = crowd.Query{Image: im, Incentive: 6}
+	}
+	results, err := platform.Submit(simclock.New(), crowd.Evening, queries)
+	if err != nil {
+		return nil, err
+	}
+	acc := func(agg truth.Aggregator) (float64, error) {
+		dists, err := agg.Aggregate(results)
+		if err != nil {
+			return 0, err
+		}
+		correct := 0
+		for i, d := range dists {
+			if truth.Decide(d) == results[i].Query.Image.TrueLabel {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(results)), nil
+	}
+	res := &CQCAblationResult{}
+	if res.FullAccuracy, err = acc(full); err != nil {
+		return nil, err
+	}
+	if res.LabelsOnlyAccuracy, err = acc(ablated); err != nil {
+		return nil, err
+	}
+	if res.VotingAccuracy, err = acc(truth.MajorityVoting{}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the CQC ablation.
+func (r *CQCAblationResult) String() string {
+	t := &textTable{
+		title:  "Ablation: CQC questionnaire features (deceptive-image batch)",
+		header: []string{"variant", "accuracy"},
+	}
+	t.addRow("cqc (labels + questionnaire)", f3(r.FullAccuracy))
+	t.addRow("cqc (labels only)", f3(r.LabelsOnlyAccuracy))
+	t.addRow("majority voting", f3(r.VotingAccuracy))
+	return t.String()
+}
+
+// BanditAblationResult compares the context-aware bandit against a
+// context-blind one on per-context delay spread.
+type BanditAblationResult struct {
+	ContextAware []time.Duration
+	ContextBlind []time.Duration
+}
+
+// RunBanditAblation quantifies the value of contextual awareness in IPD.
+func RunBanditAblation(env *Env) (*BanditAblationResult, error) {
+	aware, err := bandit.NewUCBALP(env.banditConfig(env.Cfg.QuerySize, env.Cfg.BudgetDollars))
+	if err != nil {
+		return nil, err
+	}
+	aware.WarmStart(env.Pilot)
+	blind, err := bandit.NewContextBlind(env.banditConfig(env.Cfg.QuerySize, env.Cfg.BudgetDollars))
+	if err != nil {
+		return nil, err
+	}
+	res := &BanditAblationResult{}
+	if res.ContextAware, err = runIncentiveCampaign(env, aware, env.Cfg.QuerySize); err != nil {
+		return nil, err
+	}
+	if res.ContextBlind, err = runIncentiveCampaign(env, blind, env.Cfg.QuerySize); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the bandit ablation.
+func (r *BanditAblationResult) String() string {
+	t := &textTable{
+		title:  "Ablation: context-aware vs context-blind incentive bandit (crowd delay s)",
+		header: []string{"policy", "morning", "afternoon", "evening", "midnight"},
+	}
+	row := func(name string, delays []time.Duration) {
+		cells := []string{name}
+		for _, d := range delays {
+			cells = append(cells, seconds(d))
+		}
+		t.addRow(cells...)
+	}
+	row("context-aware", r.ContextAware)
+	row("context-blind", r.ContextBlind)
+	return t.String()
+}

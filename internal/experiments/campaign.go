@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+)
+
+// SchemeNames lists Table II's rows in presentation order.
+var SchemeNames = []string{
+	"crowdlearn", "vgg16", "bovw", "ddm", "ensemble", "hybrid-para", "hybrid-al",
+}
+
+// CampaignSet holds one full 40x10 campaign per scheme; Table II,
+// Figure 7 and Table III all derive from this single run, exactly as in
+// the paper where one live deployment produced all three artefacts.
+type CampaignSet struct {
+	Results map[string]*core.CampaignResult
+}
+
+// RunCampaignSet builds, bootstraps and runs every scheme. Each scheme
+// receives its own platform instance (same configuration) so the schemes
+// see statistically identical but independent crowds.
+func RunCampaignSet(env *Env) (*CampaignSet, error) {
+	set := &CampaignSet{Results: make(map[string]*core.CampaignResult, len(SchemeNames))}
+
+	run := func(name string, scheme core.Scheme) error {
+		res, err := core.RunCampaign(scheme, env.Dataset.Test, env.Cfg.Campaign)
+		if err != nil {
+			return fmt.Errorf("experiments: campaign %s: %w", name, err)
+		}
+		set.Results[name] = res
+		return nil
+	}
+
+	// AI-only baselines.
+	for i, name := range []string{"vgg16", "bovw", "ddm", "ensemble"} {
+		expert, err := env.trainedExpert(name, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := core.NewAIOnly(expert)
+		if err != nil {
+			return nil, err
+		}
+		if err := run(name, scheme); err != nil {
+			return nil, err
+		}
+	}
+
+	// CrowdLearn.
+	cl, err := env.newCrowdLearn(env.Cfg.QuerySize, env.Cfg.BudgetDollars, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := run("crowdlearn", cl); err != nil {
+		return nil, err
+	}
+
+	// Hybrid-Para: ensemble + random crowd subset + fixed incentive.
+	paraExpert, err := env.trainedExpert("ensemble", 40)
+	if err != nil {
+		return nil, err
+	}
+	paraPolicy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
+	if err != nil {
+		return nil, err
+	}
+	para, err := core.NewHybridPara(paraExpert, paraPolicy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+50)
+	if err != nil {
+		return nil, err
+	}
+	if err := run("hybrid-para", para); err != nil {
+		return nil, err
+	}
+
+	// Hybrid-AL: strongest single expert + uncertainty sampling + fixed
+	// incentive + retraining.
+	alExpert, err := env.trainedExpert("ddm", 60)
+	if err != nil {
+		return nil, err
+	}
+	alPolicy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
+	if err != nil {
+		return nil, err
+	}
+	al, err := core.NewHybridAL(alExpert, alPolicy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+70)
+	if err != nil {
+		return nil, err
+	}
+	al.SetReplayPool(classifier.SamplesFromImages(env.Dataset.Train))
+	if err := run("hybrid-al", al); err != nil {
+		return nil, err
+	}
+
+	return set, nil
+}
+
+// Table2Result reproduces Table II: classification metrics per scheme.
+type Table2Result struct {
+	Metrics map[string]eval.Metrics
+}
+
+// Table2 derives the classification metrics from a campaign set.
+func (s *CampaignSet) Table2() (*Table2Result, error) {
+	out := &Table2Result{Metrics: make(map[string]eval.Metrics, len(s.Results))}
+	for name, res := range s.Results {
+		m, err := eval.Compute(res.TrueLabels(), res.PredictedLabels())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s: %w", name, err)
+		}
+		out.Metrics[name] = m
+	}
+	return out, nil
+}
+
+// String renders Table II.
+func (r *Table2Result) String() string {
+	t := &textTable{
+		title:  "Table II: Classification Accuracy for All Schemes",
+		header: []string{"scheme", "accuracy", "precision", "recall", "f1"},
+	}
+	for _, name := range SchemeNames {
+		m, ok := r.Metrics[name]
+		if !ok {
+			continue
+		}
+		t.addRow(name, f3(m.Accuracy), f3(m.Precision), f3(m.Recall), f3(m.F1))
+	}
+	return t.String()
+}
+
+// Fig7Result reproduces Figure 7: macro-average ROC curves per scheme,
+// extended with the Brier score as a calibration summary.
+type Fig7Result struct {
+	Curves map[string][]eval.ROCPoint
+	AUC    map[string]float64
+	Brier  map[string]float64
+}
+
+// Fig7 derives ROC curves from a campaign set.
+func (s *CampaignSet) Fig7() (*Fig7Result, error) {
+	out := &Fig7Result{
+		Curves: make(map[string][]eval.ROCPoint, len(s.Results)),
+		AUC:    make(map[string]float64, len(s.Results)),
+		Brier:  make(map[string]float64, len(s.Results)),
+	}
+	for name, res := range s.Results {
+		curve, err := eval.MacroROC(res.TrueLabels(), res.Distributions(), 101)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s: %w", name, err)
+		}
+		out.Curves[name] = curve
+		out.AUC[name] = eval.AUC(curve)
+		brier, err := eval.BrierScore(res.TrueLabels(), res.Distributions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 brier %s: %w", name, err)
+		}
+		out.Brier[name] = brier
+	}
+	return out, nil
+}
+
+// String renders the AUC summary plus a coarse TPR series per scheme.
+func (r *Fig7Result) String() string {
+	t := &textTable{
+		title:  "Figure 7: Macro-average ROC (TPR at fixed FPR points, AUC, Brier)",
+		header: []string{"scheme", "tpr@0.1", "tpr@0.2", "tpr@0.4", "tpr@0.6", "tpr@0.8", "auc", "brier"},
+	}
+	at := func(curve []eval.ROCPoint, fpr float64) float64 {
+		best := curve[0]
+		for _, p := range curve {
+			if p.FPR <= fpr {
+				best = p
+			}
+		}
+		return best.TPR
+	}
+	for _, name := range SchemeNames {
+		curve, ok := r.Curves[name]
+		if !ok {
+			continue
+		}
+		t.addRow(name,
+			f3(at(curve, 0.1)), f3(at(curve, 0.2)), f3(at(curve, 0.4)),
+			f3(at(curve, 0.6)), f3(at(curve, 0.8)), f3(r.AUC[name]), f3(r.Brier[name]))
+	}
+	return t.String()
+}
+
+// Table3Result reproduces Table III: average algorithm and crowd delay
+// per sensing cycle.
+type Table3Result struct {
+	AlgorithmDelay map[string]time.Duration
+	CrowdDelay     map[string]time.Duration
+}
+
+// Table3 derives delay accounting from a campaign set.
+func (s *CampaignSet) Table3() *Table3Result {
+	out := &Table3Result{
+		AlgorithmDelay: make(map[string]time.Duration, len(s.Results)),
+		CrowdDelay:     make(map[string]time.Duration, len(s.Results)),
+	}
+	for name, res := range s.Results {
+		out.AlgorithmDelay[name] = res.MeanAlgorithmDelay()
+		out.CrowdDelay[name] = res.MeanCrowdDelay()
+	}
+	return out
+}
+
+// String renders Table III.
+func (r *Table3Result) String() string {
+	t := &textTable{
+		title:  "Table III: Average Delay (s) per Sensing Cycle",
+		header: []string{"scheme", "algorithm delay", "crowd delay"},
+	}
+	for _, name := range SchemeNames {
+		ad, ok := r.AlgorithmDelay[name]
+		if !ok {
+			continue
+		}
+		cd := "N/A"
+		if d := r.CrowdDelay[name]; d > 0 {
+			cd = seconds(d)
+		}
+		t.addRow(name, seconds(ad), cd)
+	}
+	return t.String()
+}

@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+)
+
+var (
+	envOnce   sync.Once
+	sharedEnv *Env
+	envErr    error
+)
+
+// testEnv builds the (expensive) shared environment once per test binary.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		sharedEnv, envErr = NewEnv(DefaultConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return sharedEnv
+}
+
+func TestFig5Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig5(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incentives) != 7 {
+		t.Fatalf("incentive levels %d, want 7", len(res.Incentives))
+	}
+	// Paper shape: morning 1c delay far above morning 20c; evening
+	// mid-range roughly flat.
+	m := res.Delay[crowd.Morning]
+	if m[0] < m[len(m)-1]*3/2 {
+		t.Errorf("morning delay should fall with incentive: %v", m)
+	}
+	e := res.Delay[crowd.Evening]
+	mid := e[2:6] // 4c..10c
+	lo, hi := mid[0], mid[0]
+	for _, d := range mid {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if float64(hi)/float64(lo) > 1.35 {
+		t.Errorf("evening mid-range should be nearly flat: %v", e)
+	}
+	if !strings.Contains(res.String(), "Figure 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1c quality clearly below the plateau; plateau flat within noise.
+	if res.Quality[0] >= res.Quality[2] {
+		t.Errorf("1c quality %.3f should be below 4c %.3f", res.Quality[0], res.Quality[2])
+	}
+	for i := 2; i < len(res.Quality)-1; i++ {
+		if diff := res.Quality[i+1] - res.Quality[i]; diff > 0.08 || diff < -0.08 {
+			t.Errorf("quality should plateau after 4c: %v", res.Quality)
+		}
+	}
+	if len(res.PValues) != len(res.Incentives)-1 {
+		t.Fatalf("p-values %d, want %d", len(res.PValues), len(res.Incentives)-1)
+	}
+	// Mid-range adjacent levels should not be significantly different —
+	// the paper's central claim about incentive vs quality.
+	insignificant := 0
+	for _, p := range res.PValues[2:5] {
+		if p > 0.05 {
+			insignificant++
+		}
+	}
+	if insignificant == 0 {
+		t.Errorf("at least one mid-range quality step should be insignificant: %v", res.PValues)
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunTable1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqcAcc := res.Overall("cqc")
+	votingAcc := res.Overall("voting")
+	t.Logf("table1 overall: cqc=%.3f voting=%.3f tdem=%.3f filtering=%.3f",
+		cqcAcc, votingAcc, res.Overall("td-em"), res.Overall("filtering"))
+	if cqcAcc <= votingAcc {
+		t.Errorf("CQC (%.3f) must beat voting (%.3f) — Table I headline", cqcAcc, votingAcc)
+	}
+	if cqcAcc < 0.85 {
+		t.Errorf("CQC overall %.3f below the paper's ~0.935 neighbourhood", cqcAcc)
+	}
+	if votingAcc < 0.70 || votingAcc > 0.95 {
+		t.Errorf("voting overall %.3f outside the plausible band around the paper's 0.8425", votingAcc)
+	}
+	for _, s := range res.Schemes {
+		for _, a := range res.Accuracy[s] {
+			if a < 0.5 || a > 1 {
+				t.Errorf("%s accuracy %v implausible", s, a)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Table I") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCampaignSetAndDerivedArtefacts(t *testing.T) {
+	env := testEnv(t)
+	set, err := RunCampaignSet(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != len(SchemeNames) {
+		t.Fatalf("campaign set has %d schemes, want %d", len(set.Results), len(SchemeNames))
+	}
+
+	table2, err := set.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := table2.Metrics
+	t.Logf("table2 F1: crowdlearn=%.3f vgg16=%.3f bovw=%.3f ddm=%.3f ensemble=%.3f para=%.3f al=%.3f",
+		m["crowdlearn"].F1, m["vgg16"].F1, m["bovw"].F1, m["ddm"].F1,
+		m["ensemble"].F1, m["hybrid-para"].F1, m["hybrid-al"].F1)
+
+	// Table II headline orderings.
+	if m["crowdlearn"].F1 <= m["ensemble"].F1 {
+		t.Errorf("crowdlearn F1 %.3f must beat ensemble %.3f", m["crowdlearn"].F1, m["ensemble"].F1)
+	}
+	if m["crowdlearn"].F1 <= m["hybrid-al"].F1 {
+		t.Errorf("crowdlearn F1 %.3f must beat hybrid-al %.3f", m["crowdlearn"].F1, m["hybrid-al"].F1)
+	}
+	if m["crowdlearn"].F1 <= m["hybrid-para"].F1 {
+		t.Errorf("crowdlearn F1 %.3f must beat hybrid-para %.3f", m["crowdlearn"].F1, m["hybrid-para"].F1)
+	}
+	if m["bovw"].F1 >= m["ddm"].F1 {
+		t.Errorf("bovw F1 %.3f should be the weakest AI; ddm %.3f", m["bovw"].F1, m["ddm"].F1)
+	}
+	if m["crowdlearn"].Accuracy < 0.80 {
+		t.Errorf("crowdlearn accuracy %.3f below the paper's ~0.877 neighbourhood", m["crowdlearn"].Accuracy)
+	}
+	if !strings.Contains(table2.String(), "Table II") {
+		t.Error("table2 render missing title")
+	}
+
+	// Figure 7: CrowdLearn's AUC should top the AI-only baselines.
+	fig7, err := set.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vgg16", "bovw"} {
+		if fig7.AUC["crowdlearn"] <= fig7.AUC[name] {
+			t.Errorf("crowdlearn AUC %.3f must beat %s %.3f", fig7.AUC["crowdlearn"], name, fig7.AUC[name])
+		}
+	}
+	for name, auc := range fig7.AUC {
+		if auc < 0.5 || auc > 1 {
+			t.Errorf("%s AUC %v implausible", name, auc)
+		}
+	}
+	if !strings.Contains(fig7.String(), "Figure 7") {
+		t.Error("fig7 render missing title")
+	}
+
+	// Table III: algorithm-delay ordering and crowd-delay advantage.
+	table3 := set.Table3()
+	ad := table3.AlgorithmDelay
+	if !(ad["bovw"] < ad["vgg16"] && ad["vgg16"] < ad["ddm"] && ad["ddm"] < ad["crowdlearn"]) {
+		t.Errorf("algorithm delay ordering wrong: %v", ad)
+	}
+	if ad["crowdlearn"] >= ad["ensemble"] {
+		t.Errorf("crowdlearn algorithm delay %v should undercut ensemble %v (parallel committee)",
+			ad["crowdlearn"], ad["ensemble"])
+	}
+	cd := table3.CrowdDelay
+	t.Logf("table3 crowd delay: crowdlearn=%v para=%v al=%v", cd["crowdlearn"], cd["hybrid-para"], cd["hybrid-al"])
+	if cd["crowdlearn"] >= cd["hybrid-para"] || cd["crowdlearn"] >= cd["hybrid-al"] {
+		t.Errorf("crowdlearn crowd delay %v must undercut fixed-incentive hybrids (%v, %v)",
+			cd["crowdlearn"], cd["hybrid-para"], cd["hybrid-al"])
+	}
+	if cd["vgg16"] != 0 {
+		t.Error("AI-only schemes must have zero crowd delay")
+	}
+	if !strings.Contains(table3.String(), "Table III") {
+		t.Error("table3 render missing title")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipd := res.Delay["ipd (crowdlearn)"]
+	fixed := res.Delay["fixed"]
+	random := res.Delay["random"]
+	t.Logf("fig8 ipd=%v fixed=%v random=%v", ipd, fixed, random)
+
+	mean := func(ds []time.Duration) time.Duration {
+		var total time.Duration
+		n := 0
+		for _, d := range ds {
+			if d > 0 {
+				total += d
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return total / time.Duration(n)
+	}
+	if mean(ipd) >= mean(fixed) {
+		t.Errorf("IPD mean delay %v must undercut fixed %v", mean(ipd), mean(fixed))
+	}
+	if mean(ipd) >= mean(random) {
+		t.Errorf("IPD mean delay %v must undercut random %v", mean(ipd), mean(random))
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := res.F1["crowdlearn"]
+	t.Logf("fig9 crowdlearn=%v al=%v para=%v ens=%.3f", cl, res.F1["hybrid-al"], res.F1["hybrid-para"], res.EnsembleF1)
+
+	// At 0% CrowdLearn degenerates to its AI committee: close to the
+	// ensemble reference.
+	if diff := cl[0] - res.EnsembleF1; diff > 0.08 || diff < -0.08 {
+		t.Errorf("crowdlearn at 0%% (%.3f) should be near ensemble (%.3f)", cl[0], res.EnsembleF1)
+	}
+	// Performance grows with query fraction: 100% clearly above 0%.
+	if cl[len(cl)-1] <= cl[0] {
+		t.Errorf("crowdlearn at 100%% (%.3f) must beat 0%% (%.3f)", cl[len(cl)-1], cl[0])
+	}
+	// At 100% CrowdLearn (CQC quality control) beats the hybrids that use
+	// majority voting.
+	last := len(res.Fractions) - 1
+	if cl[last] <= res.F1["hybrid-para"][last] {
+		t.Errorf("crowdlearn at 100%% (%.3f) must beat hybrid-para (%.3f)", cl[last], res.F1["hybrid-para"][last])
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestBudgetSweepShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunBudgetSweep(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fig10/11 F1=%v delay=%v", res.F1, res.CrowdDelay)
+	// F1 is lower at the 2 USD point than at 20+ USD, and plateaus: the
+	// spread across the 8..40 USD points stays small.
+	if res.F1[0] >= res.F1[5] {
+		t.Errorf("2 USD F1 %.3f should trail 20 USD %.3f", res.F1[0], res.F1[5])
+	}
+	lo, hi := res.F1[3], res.F1[3]
+	for _, f := range res.F1[3:] {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi-lo > 0.06 {
+		t.Errorf("F1 should plateau above 8 USD: %v", res.F1[3:])
+	}
+	// Delay: the 2 USD point is the slowest or near-slowest.
+	for _, d := range res.CrowdDelay[3:] {
+		if res.CrowdDelay[0] < d {
+			t.Errorf("2 USD delay %v should not undercut richer budgets %v", res.CrowdDelay[0], res.CrowdDelay[3:])
+			break
+		}
+	}
+	if !strings.Contains(res.String(), "Figures 10-11") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunAblations(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AblationRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	full := byName["full"]
+	t.Log("\n" + res.String())
+	if full.F1 < byName["no-offloading"].F1 {
+		t.Errorf("offloading must help: full %.3f vs ablated %.3f", full.F1, byName["no-offloading"].F1)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("ablation rows %d, want 5", len(res.Rows))
+	}
+	if !strings.Contains(res.String(), "Ablations") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCQCAblation(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunCQCAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cqc ablation: full=%.3f labels-only=%.3f voting=%.3f",
+		res.FullAccuracy, res.LabelsOnlyAccuracy, res.VotingAccuracy)
+	if res.FullAccuracy < res.VotingAccuracy {
+		t.Errorf("full CQC (%.3f) must beat voting (%.3f) on deceptive images", res.FullAccuracy, res.VotingAccuracy)
+	}
+	if !strings.Contains(res.String(), "questionnaire") {
+		t.Error("render missing title")
+	}
+}
+
+func TestBanditAblation(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunBanditAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ContextAware) != crowd.NumContexts || len(res.ContextBlind) != crowd.NumContexts {
+		t.Fatal("ablation must cover all contexts")
+	}
+	if !strings.Contains(res.String(), "context-aware") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestEnvRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dataset.NumImages = 0
+	if _, err := NewEnv(cfg); err == nil {
+		t.Error("invalid dataset config must be rejected")
+	}
+}
+
+func TestCampaignContextHelper(t *testing.T) {
+	if campaignContext(0) != crowd.Morning || campaignContext(3) != crowd.Midnight {
+		t.Error("campaignContext schedule wrong")
+	}
+	if campaignContext(5) != crowd.Afternoon {
+		t.Error("round-robin schedule wrong")
+	}
+}
+
+func TestTrainedExpertUnknown(t *testing.T) {
+	env := testEnv(t)
+	if _, err := env.trainedExpert("alexnet", 0); err == nil {
+		t.Error("unknown expert name must be rejected")
+	}
+}
+
+func TestDefaultCampaignFitsDataset(t *testing.T) {
+	env := testEnv(t)
+	if err := env.Cfg.Campaign.Validate(len(env.Dataset.Test)); err != nil {
+		t.Errorf("default campaign must fit the default dataset: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+	"github.com/crowdlearn/crowdlearn/internal/qss"
+)
+
+// StrategyComparisonResult compares QSS exploitation scores (entropy,
+// margin, least-confidence, disagreement) end to end: each drives a full
+// CrowdLearn campaign.
+type StrategyComparisonResult struct {
+	Rows []StrategyRow
+}
+
+// StrategyRow is one strategy's outcome.
+type StrategyRow struct {
+	Name     string
+	Accuracy float64
+	F1       float64
+	// LowResShare is the fraction of crowd queries spent on low-res
+	// images — the uncertainty-surfacing behaviour the score controls.
+	LowResShare float64
+}
+
+// RunStrategyComparison runs one campaign per built-in QSS strategy.
+func RunStrategyComparison(env *Env) (*StrategyComparisonResult, error) {
+	out := &StrategyComparisonResult{}
+	for _, strat := range qss.Strategies() {
+		strat := strat
+		cl, err := env.newCrowdLearn(env.Cfg.QuerySize, env.Cfg.BudgetDollars, func(c *core.Config) {
+			c.Strategy = strat
+		})
+		if err != nil {
+			return nil, err
+		}
+		campaign, err := core.RunCampaign(cl, env.Dataset.Test, env.Cfg.Campaign)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: strategy %s: %w", strat.Name(), err)
+		}
+		m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, StrategyRow{
+			Name:        strat.Name(),
+			Accuracy:    m.Accuracy,
+			F1:          m.F1,
+			LowResShare: lowResQueryShare(campaign),
+		})
+	}
+	return out, nil
+}
+
+// lowResQueryShare is the fraction of queried images that were low-res.
+func lowResQueryShare(res *core.CampaignResult) float64 {
+	lowRes, total := 0, 0
+	for _, rec := range res.Records {
+		for _, idx := range rec.Output.Queried {
+			total++
+			if rec.Input.Images[idx].Failure.String() == "low-res" {
+				lowRes++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(lowRes) / float64(total)
+}
+
+// String renders the comparison.
+func (r *StrategyComparisonResult) String() string {
+	t := &textTable{
+		title:  "QSS selection strategies (end-to-end campaigns)",
+		header: []string{"strategy", "accuracy", "f1", "low-res query share"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, f3(row.Accuracy), f3(row.F1), f3(row.LowResShare))
+	}
+	return t.String()
+}
+
+// MultiSeedResult reports Table II metrics as mean ± std across
+// independent random universes (fresh dataset, platform, pilot and models
+// per seed). Single-seed comparisons between close schemes are noisy;
+// this is the statistically honest version of Table II.
+type MultiSeedResult struct {
+	Seeds  []int64
+	Scheme []string
+	// MeanF1, StdF1, MeanAcc, StdAcc indexed like Scheme.
+	MeanF1, StdF1   []float64
+	MeanAcc, StdAcc []float64
+}
+
+// RunMultiSeed re-runs the Table II campaign set under each seed.
+func RunMultiSeed(base Config, seeds []int64) (*MultiSeedResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds given")
+	}
+	f1s := make(map[string][]float64)
+	accs := make(map[string][]float64)
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		env, err := NewEnv(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		set, err := RunCampaignSet(env)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		table2, err := set.Table2()
+		if err != nil {
+			return nil, err
+		}
+		for name, m := range table2.Metrics {
+			f1s[name] = append(f1s[name], m.F1)
+			accs[name] = append(accs[name], m.Accuracy)
+		}
+	}
+	out := &MultiSeedResult{Seeds: append([]int64(nil), seeds...)}
+	for _, name := range SchemeNames {
+		if _, ok := f1s[name]; !ok {
+			continue
+		}
+		out.Scheme = append(out.Scheme, name)
+		mf, sf := meanStd(f1s[name])
+		ma, sa := meanStd(accs[name])
+		out.MeanF1 = append(out.MeanF1, mf)
+		out.StdF1 = append(out.StdF1, sf)
+		out.MeanAcc = append(out.MeanAcc, ma)
+		out.StdAcc = append(out.StdAcc, sa)
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	return mean, math.Sqrt(sq / float64(len(xs)))
+}
+
+// String renders the multi-seed table.
+func (r *MultiSeedResult) String() string {
+	t := &textTable{
+		title:  fmt.Sprintf("Table II across %d seeds (mean ± std)", len(r.Seeds)),
+		header: []string{"scheme", "accuracy", "f1"},
+	}
+	for i, name := range r.Scheme {
+		t.addRow(name,
+			fmt.Sprintf("%.3f ± %.3f", r.MeanAcc[i], r.StdAcc[i]),
+			fmt.Sprintf("%.3f ± %.3f", r.MeanF1[i], r.StdF1[i]))
+	}
+	return t.String()
+}

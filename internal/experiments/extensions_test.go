@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStrategyComparison(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunStrategyComparison(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d, want 4", len(res.Rows))
+	}
+	t.Log("\n" + res.String())
+	for _, row := range res.Rows {
+		if row.Accuracy < 0.75 || row.Accuracy > 1 {
+			t.Errorf("%s accuracy %.3f implausible", row.Name, row.Accuracy)
+		}
+		// Every uncertainty score should over-select low-res images
+		// relative to their 7% base rate.
+		if row.LowResShare < 0.07 {
+			t.Errorf("%s low-res query share %.3f at/below base rate", row.Name, row.LowResShare)
+		}
+	}
+	if !strings.Contains(res.String(), "entropy") {
+		t.Error("render missing strategy rows")
+	}
+}
+
+func TestMultiSeedValidation(t *testing.T) {
+	if _, err := RunMultiSeed(DefaultConfig(), nil); err == nil {
+		t.Error("empty seed list must be rejected")
+	}
+}
+
+func TestMultiSeedTwoSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed campaign set is expensive")
+	}
+	res, err := RunMultiSeed(DefaultConfig(), []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Scheme) != len(SchemeNames) {
+		t.Fatalf("schemes %d, want %d", len(res.Scheme), len(SchemeNames))
+	}
+	byName := make(map[string]int)
+	for i, name := range res.Scheme {
+		byName[name] = i
+	}
+	// The headline must hold in the mean across seeds.
+	cl := byName["crowdlearn"]
+	for _, baseline := range []string{"vgg16", "bovw", "ddm", "ensemble"} {
+		if res.MeanF1[cl] <= res.MeanF1[byName[baseline]] {
+			t.Errorf("crowdlearn mean F1 %.3f must beat %s %.3f",
+				res.MeanF1[cl], baseline, res.MeanF1[byName[baseline]])
+		}
+	}
+	for i := range res.Scheme {
+		if res.StdF1[i] < 0 || res.StdF1[i] > 0.2 {
+			t.Errorf("%s F1 std %.3f implausible", res.Scheme[i], res.StdF1[i])
+		}
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	env := testEnv(t)
+	report, err := RunReport(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := report.String()
+	for _, want := range []string{
+		"# CrowdLearn reproduction report",
+		"## Table I", "## Table II", "## Table III",
+		"## Figure 8", "## Figures 10–11",
+		"| crowdlearn |", "| voting |",
+		"0.877", // paper Table II accuracy appears as a reference
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(md, "%!") {
+		t.Error("report contains a formatting error")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4})
+	if m != 3 || s != 1 {
+		t.Errorf("meanStd = %v, %v; want 3, 1", m, s)
+	}
+	m, s = meanStd([]float64{5})
+	if m != 5 || s != 0 {
+		t.Errorf("single sample meanStd = %v, %v", m, s)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/bandit"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// Fig8Result reproduces Figure 8: mean crowd delay per temporal context
+// under the IPD bandit, the fixed-incentive policy, and the random
+// policy.
+type Fig8Result struct {
+	Policies []string
+	// Delay[policy][context index].
+	Delay map[string][]time.Duration
+}
+
+// RunFig8 runs each incentive policy through an identical query schedule
+// (the campaign's cycles and contexts, QuerySize queries each) against
+// its own platform, isolating the incentive mechanism exactly as the
+// figure intends.
+func RunFig8(env *Env) (*Fig8Result, error) {
+	querySize := env.Cfg.QuerySize
+	budget := env.Cfg.BudgetDollars
+
+	ucb, err := bandit.NewUCBALP(env.banditConfig(querySize, budget))
+	if err != nil {
+		return nil, err
+	}
+	ucb.WarmStart(env.Pilot)
+	fixed, err := env.fixedMaxPolicy(querySize, budget)
+	if err != nil {
+		return nil, err
+	}
+	random, err := bandit.NewRandom(env.banditConfig(querySize, budget))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{Delay: make(map[string][]time.Duration, 3)}
+	for _, p := range []struct {
+		label  string
+		policy bandit.Policy
+	}{
+		{"ipd (crowdlearn)", ucb},
+		{"fixed", fixed},
+		{"random", random},
+	} {
+		delays, err := runIncentiveCampaign(env, p.policy, querySize)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig8 %s: %w", p.label, err)
+		}
+		res.Policies = append(res.Policies, p.label)
+		res.Delay[p.label] = delays
+	}
+	return res, nil
+}
+
+// runIncentiveCampaign drives one policy through the campaign schedule
+// and returns mean crowd delay per context.
+func runIncentiveCampaign(env *Env, policy bandit.Policy, querySize int) ([]time.Duration, error) {
+	platform := env.NewPlatform()
+	totals := make([]time.Duration, crowd.NumContexts)
+	counts := make([]int, crowd.NumContexts)
+	test := env.Dataset.Test
+	next := 0
+	for cycle := 0; cycle < env.Cfg.Campaign.Cycles; cycle++ {
+		ctx := campaignContext(cycle)
+		incentive, err := policy.SelectIncentive(ctx)
+		if errors.Is(err, bandit.ErrBudgetExhausted) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		queries := make([]crowd.Query, querySize)
+		for i := range queries {
+			queries[i] = crowd.Query{Image: test[next%len(test)], Incentive: incentive}
+			next++
+		}
+		results, err := platform.Submit(simclock.New(), ctx, queries)
+		if err != nil {
+			return nil, err
+		}
+		delay := crowd.MeanCompletionDelay(results)
+		policy.Observe(ctx, incentive, delay, len(queries))
+		totals[ctx] += delay
+		counts[ctx]++
+	}
+	out := make([]time.Duration, crowd.NumContexts)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = totals[i] / time.Duration(counts[i])
+		}
+	}
+	return out, nil
+}
+
+// campaignContext mirrors core's default round-robin schedule without
+// needing a CampaignConfig value.
+func campaignContext(cycle int) crowd.TemporalContext {
+	return crowd.TemporalContext(cycle % crowd.NumContexts)
+}
+
+// String renders Figure 8.
+func (r *Fig8Result) String() string {
+	t := &textTable{
+		title:  "Figure 8: Crowd Delay (s) at Different Temporal Contexts",
+		header: []string{"policy", "morning", "afternoon", "evening", "midnight"},
+	}
+	for _, p := range r.Policies {
+		row := []string{p}
+		for _, d := range r.Delay[p] {
+			row = append(row, seconds(d))
+		}
+		t.addRow(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/cqc"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+	"github.com/crowdlearn/crowdlearn/internal/stats"
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+// Fig5Result reproduces Figure 5: mean crowd response time per temporal
+// context and incentive level.
+type Fig5Result struct {
+	Incentives []crowd.Cents
+	// Delay[context][incentive index] is the mean HIT completion delay.
+	Delay map[crowd.TemporalContext][]time.Duration
+}
+
+// RunFig5 computes the delay surface from the environment's pilot study.
+func RunFig5(env *Env) (*Fig5Result, error) {
+	res := &Fig5Result{
+		Incentives: env.Pilot.Incentives(),
+		Delay:      make(map[crowd.TemporalContext][]time.Duration, crowd.NumContexts),
+	}
+	for _, ctx := range crowd.Contexts() {
+		row := make([]time.Duration, len(res.Incentives))
+		for i, inc := range res.Incentives {
+			row[i] = env.Pilot.MeanQueryDelay(ctx, inc)
+		}
+		res.Delay[ctx] = row
+	}
+	return res, nil
+}
+
+// String renders the figure as a table of seconds.
+func (r *Fig5Result) String() string {
+	t := &textTable{
+		title:  "Figure 5: Crowd Response Time (s) vs. Incentives",
+		header: []string{"context"},
+	}
+	for _, inc := range r.Incentives {
+		t.header = append(t.header, inc.String())
+	}
+	for _, ctx := range crowd.Contexts() {
+		row := []string{ctx.String()}
+		for _, d := range r.Delay[ctx] {
+			row = append(row, seconds(d))
+		}
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// Fig6Result reproduces Figure 6: individual worker label quality per
+// incentive level, with the Wilcoxon significance tests between adjacent
+// levels reported in Section IV-B1.
+type Fig6Result struct {
+	Incentives []crowd.Cents
+	Quality    []float64
+	// PValues[i] is the Wilcoxon two-sided p-value between level i and
+	// i+1 (NaN if the test could not run).
+	PValues []float64
+	// Kappa[i] is Fleiss' kappa of inter-worker agreement at level i — an
+	// extension beyond the paper quantifying how consistent (not just how
+	// accurate) the crowd is at each price point.
+	Kappa []float64
+}
+
+// RunFig6 computes label quality per incentive from the pilot study.
+func RunFig6(env *Env) (*Fig6Result, error) {
+	incentives := env.Pilot.Incentives()
+	res := &Fig6Result{
+		Incentives: incentives,
+		Quality:    make([]float64, len(incentives)),
+		PValues:    make([]float64, 0, len(incentives)-1),
+	}
+	for i, inc := range incentives {
+		res.Quality[i] = env.Pilot.WorkerAccuracy(inc)
+		kappa, err := stats.FleissKappa(env.Pilot.AgreementCounts(inc))
+		if err != nil {
+			return nil, fmt.Errorf("fig6 kappa at %v: %w", inc, err)
+		}
+		res.Kappa = append(res.Kappa, kappa)
+	}
+	for i := 0; i+1 < len(incentives); i++ {
+		a := env.Pilot.WorkerCorrectness(incentives[i])
+		b := env.Pilot.WorkerCorrectness(incentives[i+1])
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		w, err := stats.Wilcoxon(a[:n], b[:n])
+		if err != nil {
+			res.PValues = append(res.PValues, 1)
+			continue
+		}
+		res.PValues = append(res.PValues, w.P)
+	}
+	return res, nil
+}
+
+// String renders the quality curve and significance tests.
+func (r *Fig6Result) String() string {
+	t := &textTable{
+		title:  "Figure 6: Label Quality vs. Incentives",
+		header: []string{"incentive", "quality", "fleiss kappa", "wilcoxon p (vs next level)"},
+	}
+	for i, inc := range r.Incentives {
+		p := "-"
+		if i < len(r.PValues) {
+			p = f3(r.PValues[i])
+		}
+		kappa := "-"
+		if i < len(r.Kappa) {
+			kappa = f3(r.Kappa[i])
+		}
+		t.addRow(inc.String(), f3(r.Quality[i]), kappa, p)
+	}
+	return t.String()
+}
+
+// Table1Result reproduces Table I: aggregated label accuracy of CQC
+// against the Voting, TD-EM and Filtering baselines per temporal context.
+type Table1Result struct {
+	// Schemes lists aggregator names in presentation order.
+	Schemes []string
+	// Accuracy[scheme][context] plus an "overall" entry keyed by context
+	// index crowd.NumContexts.
+	Accuracy map[string][]float64
+}
+
+// table1EvalQueriesPerContext is the held-out evaluation volume per
+// context (paper: 10 cycles x 5 queries per context in the live run).
+const table1EvalQueriesPerContext = 100
+
+// RunTable1 trains CQC on the pilot data, then evaluates all four
+// aggregation schemes on fresh crowd responses over held-out test images
+// in every temporal context.
+func RunTable1(env *Env) (*Table1Result, error) {
+	quality := cqc.New(cqc.DefaultConfig())
+	if err := quality.Train(env.Pilot.AllResults()); err != nil {
+		return nil, err
+	}
+	aggregators := []truth.Aggregator{
+		quality,
+		truth.MajorityVoting{},
+		truth.NewTDEM(),
+		truth.NewFiltering(),
+	}
+	// Warm the stateful baselines with the pilot history, mirroring their
+	// deployment: reputation accrues from day one.
+	for _, agg := range aggregators[2:] {
+		if _, err := agg.Aggregate(env.Pilot.AllResults()); err != nil {
+			return nil, err
+		}
+	}
+
+	platform := env.NewPlatform()
+	res := &Table1Result{Accuracy: make(map[string][]float64)}
+	for _, agg := range aggregators {
+		res.Schemes = append(res.Schemes, agg.Name())
+		res.Accuracy[agg.Name()] = make([]float64, crowd.NumContexts+1)
+	}
+
+	test := env.Dataset.Test
+	next := 0
+	var correctTotal = make(map[string]int)
+	var countTotal int
+	for ctxIdx, ctx := range crowd.Contexts() {
+		queries := make([]crowd.Query, table1EvalQueriesPerContext)
+		for i := range queries {
+			queries[i] = crowd.Query{Image: test[next%len(test)], Incentive: 6}
+			next++
+		}
+		results, err := platform.Submit(simclock.New(), ctx, queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, agg := range aggregators {
+			dists, err := agg.Aggregate(results)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s: %w", agg.Name(), err)
+			}
+			correct := 0
+			for i, d := range dists {
+				if truth.Decide(d) == results[i].Query.Image.TrueLabel {
+					correct++
+				}
+			}
+			res.Accuracy[agg.Name()][ctxIdx] = float64(correct) / float64(len(results))
+			correctTotal[agg.Name()] += correct
+		}
+		countTotal += len(queries)
+	}
+	for _, agg := range aggregators {
+		res.Accuracy[agg.Name()][crowd.NumContexts] = float64(correctTotal[agg.Name()]) / float64(countTotal)
+	}
+	return res, nil
+}
+
+// Overall returns the pooled accuracy for a scheme.
+func (r *Table1Result) Overall(scheme string) float64 {
+	acc, ok := r.Accuracy[scheme]
+	if !ok {
+		return 0
+	}
+	return acc[crowd.NumContexts]
+}
+
+// String renders Table I.
+func (r *Table1Result) String() string {
+	t := &textTable{
+		title:  "Table I: Aggregated Label Accuracy",
+		header: []string{"scheme", "morning", "afternoon", "evening", "midnight", "overall"},
+	}
+	for _, s := range r.Schemes {
+		acc := r.Accuracy[s]
+		t.addRow(s, f3(acc[0]), f3(acc[1]), f3(acc[2]), f3(acc[3]), f3(acc[4]))
+	}
+	return t.String()
+}

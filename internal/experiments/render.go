@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// textTable renders rows of cells as an aligned ASCII table with a header
+// row, used by every experiment's String method so the CLI output reads
+// like the paper's tables.
+type textTable struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func (t *textTable) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f3 formats a float with 3 decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f2 formats a float with 2 decimals.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// seconds formats a duration in whole seconds like the paper's tables.
+func seconds(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}

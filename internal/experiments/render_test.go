@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTextTableAlignment(t *testing.T) {
+	tbl := &textTable{
+		title:  "T",
+		header: []string{"name", "value"},
+	}
+	tbl.addRow("short", "1")
+	tbl.addRow("a-much-longer-name", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// Header, separator and rows must all be equally wide.
+	width := len(lines[1])
+	for i, line := range lines[1:] {
+		if len(strings.TrimRight(line, " ")) > width {
+			t.Errorf("line %d wider than header: %q", i, line)
+		}
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator line %q", lines[2])
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("row content missing")
+	}
+	// Columns align: "value" column of row 1 starts at the same offset as
+	// the header's.
+	headerIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestTextTableNoTitle(t *testing.T) {
+	tbl := &textTable{header: []string{"a"}}
+	tbl.addRow("x")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("no-title table must not start with a blank line")
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f3(0.12345) != "0.123" {
+		t.Errorf("f3 = %q", f3(0.12345))
+	}
+	if f2(1.005) == "" {
+		t.Error("f2 empty")
+	}
+	if got := seconds(90 * time.Second); got != "90.00" {
+		t.Errorf("seconds = %q", got)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/crowdlearn/crowdlearn/internal/cqc"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+	"github.com/crowdlearn/crowdlearn/internal/truth"
+)
+
+// SpamRobustnessResult measures how each quality-control scheme degrades
+// as a growing fraction of the worker population turns into spammers
+// (uniform-noise labels, inverted questionnaires). This failure-injection
+// study extends the paper: Table I assumes merely unreliable workers, but
+// real platforms see coordinated spam.
+type SpamRobustnessResult struct {
+	Fractions []float64
+	Schemes   []string
+	// Accuracy[scheme][fraction index].
+	Accuracy map[string][]float64
+}
+
+// spamFractions is the injected adversarial share grid.
+var spamFractions = []float64{0, 0.1, 0.2, 0.3, 0.4}
+
+// spamEvalQueries is the evaluation volume per fraction.
+const spamEvalQueries = 200
+
+// RunSpamRobustness trains every aggregator on a pilot run against a
+// polluted platform (matching deployment: the requester cannot get a
+// clean crowd to train on either) and evaluates on held-out queries from
+// the same platform.
+func RunSpamRobustness(env *Env) (*SpamRobustnessResult, error) {
+	res := &SpamRobustnessResult{
+		Fractions: spamFractions,
+		Schemes:   []string{"cqc", "voting", "td-em", "filtering"},
+		Accuracy:  make(map[string][]float64),
+	}
+	for _, s := range res.Schemes {
+		res.Accuracy[s] = make([]float64, len(spamFractions))
+	}
+
+	for fi, fraction := range spamFractions {
+		pcfg := platformConfig(env.Cfg)
+		pcfg.AdversarialFraction = fraction
+		platform, err := crowd.NewPlatform(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		pilot, err := crowd.RunPilot(platform, env.Dataset.Train, env.Cfg.Pilot)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: spam pilot at %.2f: %w", fraction, err)
+		}
+
+		quality := cqc.New(cqc.DefaultConfig())
+		if err := quality.Train(pilot.AllResults()); err != nil {
+			return nil, err
+		}
+		aggregators := []truth.Aggregator{
+			quality,
+			truth.MajorityVoting{},
+			truth.NewTDEM(),
+			truth.NewFiltering(),
+		}
+		// Stateful baselines digest the pilot history first.
+		for _, agg := range aggregators[2:] {
+			if _, err := agg.Aggregate(pilot.AllResults()); err != nil {
+				return nil, err
+			}
+		}
+
+		queries := make([]crowd.Query, spamEvalQueries)
+		for i := range queries {
+			queries[i] = crowd.Query{Image: env.Dataset.Test[i%len(env.Dataset.Test)], Incentive: 6}
+		}
+		results, err := platform.Submit(simclock.New(), crowd.Evening, queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, agg := range aggregators {
+			dists, err := agg.Aggregate(results)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: spam %s at %.2f: %w", agg.Name(), fraction, err)
+			}
+			correct := 0
+			for i, d := range dists {
+				if truth.Decide(d) == results[i].Query.Image.TrueLabel {
+					correct++
+				}
+			}
+			name := agg.Name()
+			if name == "cqc" || name == "cqc-labels-only" {
+				name = "cqc"
+			}
+			res.Accuracy[name][fi] = float64(correct) / float64(len(results))
+		}
+	}
+	return res, nil
+}
+
+// ChurnRobustnessResult measures quality-control accuracy under worker
+// churn: identities turn over while population statistics stay fixed.
+// Reputation-based schemes (TD-EM, Filtering) lose their accumulated
+// per-worker evidence; CQC and plain voting are identity-free and should
+// be unaffected — the flip side of the spam study, and the scenario the
+// paper flags for Filtering ("workers new to the platform").
+type ChurnRobustnessResult struct {
+	ChurnRates []float64
+	Schemes    []string
+	// Accuracy[scheme][rate index].
+	Accuracy map[string][]float64
+}
+
+// churnRates is the per-batch identity-turnover grid.
+var churnRates = []float64{0, 0.2, 0.5}
+
+// churnEvalBatches and churnBatchSize shape the sequential evaluation:
+// reputation systems need a stream of batches for history to matter.
+const (
+	churnEvalBatches  = 12
+	churnBatchSize    = 50
+	churnEvalIncentve = crowd.Cents(6)
+)
+
+// RunChurnRobustness evaluates the aggregators over a stream of batches
+// against platforms with increasing churn.
+func RunChurnRobustness(env *Env) (*ChurnRobustnessResult, error) {
+	res := &ChurnRobustnessResult{
+		ChurnRates: churnRates,
+		Schemes:    []string{"cqc", "voting", "td-em", "filtering"},
+		Accuracy:   make(map[string][]float64),
+	}
+	for _, s := range res.Schemes {
+		res.Accuracy[s] = make([]float64, len(churnRates))
+	}
+	for ri, rate := range churnRates {
+		pcfg := platformConfig(env.Cfg)
+		pcfg.ChurnRate = rate
+		platform, err := crowd.NewPlatform(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		pilot, err := crowd.RunPilot(platform, env.Dataset.Train, env.Cfg.Pilot)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn pilot at %.2f: %w", rate, err)
+		}
+		quality := cqc.New(cqc.DefaultConfig())
+		if err := quality.Train(pilot.AllResults()); err != nil {
+			return nil, err
+		}
+		aggregators := []truth.Aggregator{
+			quality,
+			truth.MajorityVoting{},
+			truth.NewTDEM(),
+			truth.NewFiltering(),
+		}
+		for _, agg := range aggregators[2:] {
+			if _, err := agg.Aggregate(pilot.AllResults()); err != nil {
+				return nil, err
+			}
+		}
+		correct := make(map[string]int)
+		total := 0
+		next := 0
+		for batch := 0; batch < churnEvalBatches; batch++ {
+			queries := make([]crowd.Query, churnBatchSize)
+			for i := range queries {
+				queries[i] = crowd.Query{Image: env.Dataset.Test[next%len(env.Dataset.Test)], Incentive: churnEvalIncentve}
+				next++
+			}
+			results, err := platform.Submit(simclock.New(), crowd.Evening, queries)
+			if err != nil {
+				return nil, err
+			}
+			total += len(results)
+			for _, agg := range aggregators {
+				dists, err := agg.Aggregate(results)
+				if err != nil {
+					return nil, err
+				}
+				for i, d := range dists {
+					if truth.Decide(d) == results[i].Query.Image.TrueLabel {
+						correct[agg.Name()]++
+					}
+				}
+			}
+		}
+		for _, agg := range aggregators {
+			name := agg.Name()
+			res.Accuracy[name][ri] = float64(correct[name]) / float64(total)
+		}
+	}
+	return res, nil
+}
+
+// String renders the churn table.
+func (r *ChurnRobustnessResult) String() string {
+	t := &textTable{
+		title:  "Failure injection: label accuracy vs worker churn (per-batch turnover)",
+		header: []string{"scheme"},
+	}
+	for _, rate := range r.ChurnRates {
+		t.header = append(t.header, fmt.Sprintf("%.0f%%", rate*100))
+	}
+	for _, s := range r.Schemes {
+		row := []string{s}
+		for _, a := range r.Accuracy[s] {
+			row = append(row, f3(a))
+		}
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// String renders the robustness table.
+func (r *SpamRobustnessResult) String() string {
+	t := &textTable{
+		title:  "Failure injection: label accuracy vs spammer fraction",
+		header: []string{"scheme"},
+	}
+	for _, f := range r.Fractions {
+		t.header = append(t.header, fmt.Sprintf("%.0f%%", f*100))
+	}
+	for _, s := range r.Schemes {
+		row := []string{s}
+		for _, a := range r.Accuracy[s] {
+			row = append(row, f3(a))
+		}
+		t.addRow(row...)
+	}
+	return t.String()
+}

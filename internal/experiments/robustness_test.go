@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpamRobustness(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSpamRobustness(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.Fractions) != 5 {
+		t.Fatalf("fractions %d, want 5", len(res.Fractions))
+	}
+	for _, scheme := range res.Schemes {
+		acc := res.Accuracy[scheme]
+		// Clean-crowd accuracy must be strong; heavy spam must hurt.
+		if acc[0] < 0.75 {
+			t.Errorf("%s clean accuracy %.3f too low", scheme, acc[0])
+		}
+		if acc[len(acc)-1] >= acc[0] {
+			t.Errorf("%s should degrade under 40%% spam: %.3f -> %.3f", scheme, acc[0], acc[len(acc)-1])
+		}
+	}
+	// CQC must stay at or above plain voting at every pollution level: it
+	// was trained on the same polluted platform and the vote-margin and
+	// questionnaire features carry the spam signature.
+	for fi := range res.Fractions {
+		if res.Accuracy["cqc"][fi]+0.03 < res.Accuracy["voting"][fi] {
+			t.Errorf("cqc (%.3f) falls below voting (%.3f) at %.0f%% spam",
+				res.Accuracy["cqc"][fi], res.Accuracy["voting"][fi], res.Fractions[fi]*100)
+		}
+	}
+	if !strings.Contains(res.String(), "spammer") {
+		t.Error("render missing title")
+	}
+}
+
+func TestChurnRobustness(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunChurnRobustness(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if len(res.ChurnRates) != 3 {
+		t.Fatalf("rates %d, want 3", len(res.ChurnRates))
+	}
+	for _, scheme := range res.Schemes {
+		for ri, a := range res.Accuracy[scheme] {
+			if a < 0.6 || a > 1 {
+				t.Errorf("%s accuracy %.3f at churn %.0f%% implausible", scheme, a, res.ChurnRates[ri]*100)
+			}
+		}
+	}
+	// Identity-free schemes must hold steady under maximal churn.
+	for _, scheme := range []string{"cqc", "voting"} {
+		drop := res.Accuracy[scheme][0] - res.Accuracy[scheme][len(churnRates)-1]
+		if drop > 0.06 {
+			t.Errorf("%s is identity-free but dropped %.3f under churn", scheme, drop)
+		}
+	}
+	if !strings.Contains(res.String(), "churn") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+)
+
+// Fig9Result reproduces Figure 9: classification F1 as the query-set size
+// sweeps from 0% (AI only) to 100% (crowd only) of each cycle's images,
+// for CrowdLearn and the hybrid baselines, with the Ensemble as the
+// AI-only reference line.
+type Fig9Result struct {
+	// Fractions are the query-set sizes as percentages of the cycle size.
+	Fractions []int
+	// F1[scheme][fraction index].
+	F1 map[string][]float64
+	// EnsembleF1 is the flat AI-only reference.
+	EnsembleF1 float64
+}
+
+// fig9Fractions are the swept query-set percentages (the paper sweeps
+// 0% to 100% of the 10 images per cycle).
+var fig9Fractions = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// RunFig9 sweeps the query-set size.
+func RunFig9(env *Env) (*Fig9Result, error) {
+	res := &Fig9Result{
+		Fractions: fig9Fractions,
+		F1: map[string][]float64{
+			"crowdlearn":  make([]float64, len(fig9Fractions)),
+			"hybrid-para": make([]float64, len(fig9Fractions)),
+			"hybrid-al":   make([]float64, len(fig9Fractions)),
+		},
+	}
+
+	ensemble, err := env.trainedExpert("ensemble", 90)
+	if err != nil {
+		return nil, err
+	}
+	ensScheme, err := core.NewAIOnly(ensemble)
+	if err != nil {
+		return nil, err
+	}
+	ensRes, err := core.RunCampaign(ensScheme, env.Dataset.Test, env.Cfg.Campaign)
+	if err != nil {
+		return nil, err
+	}
+	ensMetrics, err := eval.Compute(ensRes.TrueLabels(), ensRes.PredictedLabels())
+	if err != nil {
+		return nil, err
+	}
+	res.EnsembleF1 = ensMetrics.F1
+
+	for fi, pct := range fig9Fractions {
+		querySize := pct * env.Cfg.Campaign.ImagesPerCycle / 100
+
+		cl, err := env.newCrowdLearn(querySize, env.Cfg.BudgetDollars, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := runSweepPoint(env, cl, "crowdlearn", fi, res.F1); err != nil {
+			return nil, err
+		}
+
+		paraExpert, err := env.trainedExpert("ensemble", 91)
+		if err != nil {
+			return nil, err
+		}
+		paraPolicy, err := env.fixedMaxPolicy(maxInt(querySize, 1), env.Cfg.BudgetDollars)
+		if err != nil {
+			return nil, err
+		}
+		para, err := core.NewHybridPara(paraExpert, paraPolicy, env.NewPlatform(), querySize, env.Cfg.Seed+92)
+		if err != nil {
+			return nil, err
+		}
+		if err := runSweepPoint(env, para, "hybrid-para", fi, res.F1); err != nil {
+			return nil, err
+		}
+
+		alExpert, err := env.trainedExpert("ddm", 93)
+		if err != nil {
+			return nil, err
+		}
+		alPolicy, err := env.fixedMaxPolicy(maxInt(querySize, 1), env.Cfg.BudgetDollars)
+		if err != nil {
+			return nil, err
+		}
+		al, err := core.NewHybridAL(alExpert, alPolicy, env.NewPlatform(), querySize, env.Cfg.Seed+94)
+		if err != nil {
+			return nil, err
+		}
+		al.SetReplayPool(classifier.SamplesFromImages(env.Dataset.Train))
+		if err := runSweepPoint(env, al, "hybrid-al", fi, res.F1); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func runSweepPoint(env *Env, scheme core.Scheme, name string, idx int, into map[string][]float64) error {
+	res, err := core.RunCampaign(scheme, env.Dataset.Test, env.Cfg.Campaign)
+	if err != nil {
+		return fmt.Errorf("experiments: fig9 %s: %w", name, err)
+	}
+	m, err := eval.Compute(res.TrueLabels(), res.PredictedLabels())
+	if err != nil {
+		return err
+	}
+	into[name][idx] = m.F1
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders Figure 9.
+func (r *Fig9Result) String() string {
+	t := &textTable{
+		title:  "Figure 9: Size of Query Set vs. Classification Performance (F1)",
+		header: []string{"query set"},
+	}
+	for _, scheme := range []string{"crowdlearn", "hybrid-al", "hybrid-para"} {
+		t.header = append(t.header, scheme)
+	}
+	t.header = append(t.header, "ensemble (ref)")
+	for fi, pct := range r.Fractions {
+		row := []string{fmt.Sprintf("%d%%", pct)}
+		for _, scheme := range []string{"crowdlearn", "hybrid-al", "hybrid-para"} {
+			row = append(row, f3(r.F1[scheme][fi]))
+		}
+		row = append(row, f3(r.EnsembleF1))
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// BudgetSweepResult reproduces Figures 10 and 11: CrowdLearn's F1 and
+// crowd delay as the total budget sweeps from 2 to 40 USD.
+type BudgetSweepResult struct {
+	BudgetsUSD []float64
+	F1         []float64
+	CrowdDelay []time.Duration
+}
+
+// budgetSweep is the swept budget grid (paper: 2 to 40 USD).
+var budgetSweep = []float64{2, 4, 6, 8, 10, 20, 30, 40}
+
+// RunBudgetSweep runs CrowdLearn once per budget point.
+func RunBudgetSweep(env *Env) (*BudgetSweepResult, error) {
+	res := &BudgetSweepResult{
+		BudgetsUSD: budgetSweep,
+		F1:         make([]float64, len(budgetSweep)),
+		CrowdDelay: make([]time.Duration, len(budgetSweep)),
+	}
+	for i, budget := range budgetSweep {
+		cl, err := env.newCrowdLearn(env.Cfg.QuerySize, budget, nil)
+		if err != nil {
+			return nil, err
+		}
+		campaign, err := core.RunCampaign(cl, env.Dataset.Test, env.Cfg.Campaign)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: budget %v: %w", budget, err)
+		}
+		m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
+		if err != nil {
+			return nil, err
+		}
+		res.F1[i] = m.F1
+		res.CrowdDelay[i] = campaign.MeanCrowdDelay()
+	}
+	return res, nil
+}
+
+// String renders Figures 10 and 11 as one table.
+func (r *BudgetSweepResult) String() string {
+	t := &textTable{
+		title:  "Figures 10-11: Budget vs. F1 and Crowd Delay",
+		header: []string{"budget (USD)", "f1", "crowd delay (s)"},
+	}
+	for i, b := range r.BudgetsUSD {
+		t.addRow(f2(b), f3(r.F1[i]), seconds(r.CrowdDelay[i]))
+	}
+	return t.String()
+}

@@ -1,0 +1,28 @@
+package gbdt
+
+import "testing"
+
+func BenchmarkTrain(b *testing.B) {
+	features, labels := threeClassDataset(1, 560)
+	params := DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(features, labels, 3, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	features, labels := threeClassDataset(2, 400)
+	c, err := Train(features, labels, 3, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(features[i%len(features)])
+	}
+}

@@ -1,0 +1,124 @@
+package gbdt
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// noisyDataset builds a problem with limited signal so late boosting
+// rounds overfit: 2 informative features plus pure label noise.
+func noisyDataset(seed int64, n int) ([][]float64, []int) {
+	rng := mathx.NewRand(seed)
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		features[i] = []float64{
+			float64(c) + 1.2*rng.NormFloat64(),
+			float64(c) + 1.2*rng.NormFloat64(),
+			rng.NormFloat64(),
+			rng.NormFloat64(),
+		}
+		labels[i] = c
+		if rng.Float64() < 0.15 { // label noise
+			labels[i] = 1 - c
+		}
+	}
+	return features, labels
+}
+
+func TestEarlyStoppingTruncatesRounds(t *testing.T) {
+	features, labels := noisyDataset(1, 400)
+	params := DefaultParams()
+	params.Rounds = 150
+	params.EarlyStoppingRounds = 8
+	c, err := Train(features, labels, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullParams := DefaultParams()
+	fullParams.Rounds = 150
+	full, err := Train(features, labels, 2, fullParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTrees() >= full.NumTrees() {
+		t.Errorf("early stopping kept %d trees, full run has %d — nothing truncated",
+			c.NumTrees(), full.NumTrees())
+	}
+	if c.NumTrees() == 0 {
+		t.Fatal("early stopping removed every tree")
+	}
+}
+
+func TestEarlyStoppingGeneralisesAtLeastAsWell(t *testing.T) {
+	features, labels := noisyDataset(2, 600)
+	testF, testL := noisyDataset(3, 400)
+
+	params := DefaultParams()
+	params.Rounds = 200
+	params.MaxDepth = 6 // deep trees overfit label noise faster
+	params.EarlyStoppingRounds = 10
+	stopped, err := Train(features, labels, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullParams := params
+	fullParams.EarlyStoppingRounds = 0
+	full, err := Train(features, labels, 2, fullParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accStopped := accuracy(stopped, testF, testL)
+	accFull := accuracy(full, testF, testL)
+	t.Logf("held-out: early-stopped=%.3f (trees %d) full=%.3f (trees %d)",
+		accStopped, stopped.NumTrees(), accFull, full.NumTrees())
+	if accStopped < accFull-0.03 {
+		t.Errorf("early stopping should not generalise clearly worse: %.3f vs %.3f", accStopped, accFull)
+	}
+}
+
+func TestTrainValidatedExplicitSet(t *testing.T) {
+	features, labels := noisyDataset(4, 400)
+	valF, valL := noisyDataset(5, 150)
+	params := DefaultParams()
+	params.Rounds = 120
+	params.EarlyStoppingRounds = 6
+	c, err := TrainValidated(features, labels, valF, valL, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTrees() == 0 || c.NumTrees() > 120*2 {
+		t.Errorf("tree count %d implausible", c.NumTrees())
+	}
+	if _, err := TrainValidated(features, labels, nil, nil, 2, params); err == nil {
+		t.Error("empty validation set must be rejected")
+	}
+	if _, err := TrainValidated(features, labels, valF, valL[:3], 2, params); err == nil {
+		t.Error("mismatched validation set must be rejected")
+	}
+}
+
+func TestEarlyStoppingParamValidation(t *testing.T) {
+	features, labels := xorDataset(6, 100)
+	p := DefaultParams()
+	p.EarlyStoppingRounds = -1
+	if _, err := Train(features, labels, 2, p); err == nil {
+		t.Error("negative early stopping rounds must be rejected")
+	}
+	p = DefaultParams()
+	p.EarlyStoppingRounds = 5
+	p.ValidationFraction = 1.2
+	if _, err := Train(features, labels, 2, p); err == nil {
+		t.Error("validation fraction above 1 must be rejected")
+	}
+	// Tiny datasets cannot afford a split.
+	p = DefaultParams()
+	p.EarlyStoppingRounds = 5
+	tinyF := [][]float64{{1}, {2}}
+	tinyL := []int{0, 1}
+	if _, err := Train(tinyF, tinyL, 2, p); err == nil {
+		t.Error("too-small dataset for validation split must be rejected")
+	}
+}

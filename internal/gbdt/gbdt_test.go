@@ -1,0 +1,276 @@
+package gbdt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// xorDataset builds the classic non-linearly-separable XOR problem that a
+// depth-limited tree ensemble must solve but a linear model cannot.
+func xorDataset(seed int64, n int) ([][]float64, []int) {
+	rng := mathx.NewRand(seed)
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		b := rng.Float64()
+		features[i] = []float64{a, b, rng.Float64()} // third feature is noise
+		if (a > 0.5) != (b > 0.5) {
+			labels[i] = 1
+		}
+	}
+	return features, labels
+}
+
+func threeClassDataset(seed int64, n int) ([][]float64, []int) {
+	rng := mathx.NewRand(seed)
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		f := []float64{float64(c) + 0.3*rng.NormFloat64(), 0.5 * rng.NormFloat64()}
+		features[i] = f
+		labels[i] = c
+	}
+	return features, labels
+}
+
+func accuracy(c *Classifier, features [][]float64, labels []int) float64 {
+	correct := 0
+	for i, x := range features {
+		if c.PredictClass(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func TestTrainValidation(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	tests := []struct {
+		name string
+		fn   func() error
+	}{
+		{"no samples", func() error { _, err := Train(nil, nil, 2, DefaultParams()); return err }},
+		{"length mismatch", func() error { _, err := Train(x, []int{0}, 2, DefaultParams()); return err }},
+		{"one class", func() error { _, err := Train(x, y, 1, DefaultParams()); return err }},
+		{"label out of range", func() error { _, err := Train(x, []int{0, 5}, 2, DefaultParams()); return err }},
+		{"ragged rows", func() error {
+			_, err := Train([][]float64{{1}, {1, 2}}, y, 2, DefaultParams())
+			return err
+		}},
+		{"bad rounds", func() error {
+			p := DefaultParams()
+			p.Rounds = 0
+			_, err := Train(x, y, 2, p)
+			return err
+		}},
+		{"bad lr", func() error {
+			p := DefaultParams()
+			p.LearningRate = 1.5
+			_, err := Train(x, y, 2, p)
+			return err
+		}},
+		{"bad subsample", func() error {
+			p := DefaultParams()
+			p.Subsample = 0
+			_, err := Train(x, y, 2, p)
+			return err
+		}},
+		{"negative lambda", func() error {
+			p := DefaultParams()
+			p.Lambda = -1
+			_, err := Train(x, y, 2, p)
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.fn() == nil {
+				t.Errorf("%s should be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	features, labels := xorDataset(1, 600)
+	params := DefaultParams()
+	c, err := Train(features, labels, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testF, testL := xorDataset(2, 400)
+	if acc := accuracy(c, testF, testL); acc < 0.9 {
+		t.Errorf("XOR held-out accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestLearnsThreeClasses(t *testing.T) {
+	features, labels := threeClassDataset(3, 450)
+	c, err := Train(features, labels, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testF, testL := threeClassDataset(4, 300)
+	if acc := accuracy(c, testF, testL); acc < 0.85 {
+		t.Errorf("3-class held-out accuracy %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestPredictIsDistribution(t *testing.T) {
+	features, labels := threeClassDataset(5, 150)
+	c, err := Train(features, labels, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range features[:20] {
+		p := c.Predict(x)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("invalid probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	features, labels := xorDataset(6, 300)
+	a, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range features[:50] {
+		pa, pb := a.Predict(x), b.Predict(x)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("identically seeded training must be bit-identical")
+			}
+		}
+	}
+}
+
+func TestFeatureImportanceIgnoresNoise(t *testing.T) {
+	features, labels := xorDataset(7, 800)
+	c, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := c.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	if s := mathx.Sum(imp); math.Abs(s-1) > 1e-9 {
+		t.Errorf("importance sums to %v", s)
+	}
+	// The noise feature (index 2) must matter far less than the signal.
+	if imp[2] > imp[0] || imp[2] > imp[1] {
+		t.Errorf("noise feature importance %v dominates signal %v/%v", imp[2], imp[0], imp[1])
+	}
+}
+
+func TestPredictPanicsOnWrongDim(t *testing.T) {
+	features, labels := xorDataset(8, 100)
+	c, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input dim should panic")
+		}
+	}()
+	c.Predict([]float64{1})
+}
+
+func TestTreeValidate(t *testing.T) {
+	features, labels := threeClassDataset(9, 200)
+	c, err := Train(features, labels, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range c.trees {
+		for _, tr := range round {
+			if err := tr.validate(c.numFeatures); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.NumTrees() != DefaultParams().Rounds*3 {
+		t.Errorf("NumTrees = %d, want %d", c.NumTrees(), DefaultParams().Rounds*3)
+	}
+}
+
+func TestConstantFeatureDoesNotSplit(t *testing.T) {
+	// All rows identical: no valid split exists, model must fall back to
+	// the prior without crashing.
+	features := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	labels := []int{0, 1, 0, 1}
+	p := DefaultParams()
+	p.Rounds = 5
+	c, err := Train(features, labels, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := c.Predict([]float64{1, 1})
+	if math.Abs(pred[0]-0.5) > 0.05 {
+		t.Errorf("constant features should yield ~uniform prediction, got %v", pred)
+	}
+}
+
+func TestGammaPruning(t *testing.T) {
+	features, labels := xorDataset(10, 400)
+	p := DefaultParams()
+	p.Gamma = 1e9 // absurd minimum gain: no splits allowed
+	c, err := Train(features, labels, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := c.FeatureImportance()
+	if mathx.Sum(imp) != 0 {
+		t.Errorf("gamma pruning should prevent all splits, importance %v", imp)
+	}
+}
+
+func TestMinSamplesLeafRespected(t *testing.T) {
+	features, labels := xorDataset(11, 50)
+	p := DefaultParams()
+	p.MinSamplesLeaf = 30 // more than half the data: only root allowed
+	c, err := Train(features, labels, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range c.trees {
+		for _, tr := range round {
+			if len(tr.nodes) != 1 {
+				t.Fatalf("tree has %d nodes, want 1 (root only)", len(tr.nodes))
+			}
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	features, labels := xorDataset(12, 100)
+	c, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d", c.NumClasses())
+	}
+	if c.NumFeatures() != 3 {
+		t.Errorf("NumFeatures = %d", c.NumFeatures())
+	}
+}

@@ -1,0 +1,128 @@
+package gbdt
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// NodeState is the serialisable form of one tree node.
+type NodeState struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+}
+
+// TreeState is the serialisable form of one regression tree.
+type TreeState struct {
+	Nodes []NodeState
+}
+
+// State is the serialisable form of a trained classifier.
+type State struct {
+	Params      Params
+	NumClasses  int
+	NumFeatures int
+	// Trees[round][class].
+	Trees      [][]TreeState
+	Importance []float64
+	BaseScore  []float64
+}
+
+// State captures the classifier.
+func (c *Classifier) State() State {
+	s := State{
+		Params:      c.params,
+		NumClasses:  c.numClasses,
+		NumFeatures: c.numFeatures,
+		Trees:       make([][]TreeState, len(c.trees)),
+		Importance:  mathx.Clone(c.importance),
+		BaseScore:   mathx.Clone(c.baseScore),
+	}
+	for r, round := range c.trees {
+		s.Trees[r] = make([]TreeState, len(round))
+		for k, tr := range round {
+			nodes := make([]NodeState, len(tr.nodes))
+			for i, n := range tr.nodes {
+				nodes[i] = NodeState{
+					Feature:   n.feature,
+					Threshold: n.threshold,
+					Left:      n.left,
+					Right:     n.right,
+					Value:     n.value,
+				}
+			}
+			s.Trees[r][k] = TreeState{Nodes: nodes}
+		}
+	}
+	return s
+}
+
+// FromState reconstructs a classifier from a snapshot.
+func FromState(s State) (*Classifier, error) {
+	if s.NumClasses < 2 || s.NumFeatures <= 0 {
+		return nil, fmt.Errorf("gbdt: invalid state shape classes=%d features=%d", s.NumClasses, s.NumFeatures)
+	}
+	if len(s.Trees) == 0 {
+		return nil, errors.New("gbdt: state has no trees")
+	}
+	c := &Classifier{
+		params:      s.Params,
+		numClasses:  s.NumClasses,
+		numFeatures: s.NumFeatures,
+		importance:  mathx.Clone(s.Importance),
+		baseScore:   mathx.Clone(s.BaseScore),
+	}
+	if c.baseScore == nil {
+		c.baseScore = make([]float64, s.NumClasses)
+	}
+	if c.importance == nil {
+		c.importance = make([]float64, s.NumFeatures)
+	}
+	c.trees = make([][]*tree, len(s.Trees))
+	for r, round := range s.Trees {
+		if len(round) != s.NumClasses {
+			return nil, fmt.Errorf("gbdt: round %d has %d trees, want %d", r, len(round), s.NumClasses)
+		}
+		c.trees[r] = make([]*tree, len(round))
+		for k, ts := range round {
+			tr := &tree{nodes: make([]node, len(ts.Nodes))}
+			for i, ns := range ts.Nodes {
+				tr.nodes[i] = node{
+					feature:   ns.Feature,
+					threshold: ns.Threshold,
+					left:      ns.Left,
+					right:     ns.Right,
+					value:     ns.Value,
+				}
+			}
+			if err := tr.validate(s.NumFeatures); err != nil {
+				return nil, fmt.Errorf("gbdt: state round %d class %d: %w", r, k, err)
+			}
+			c.trees[r][k] = tr
+		}
+	}
+	return c, nil
+}
+
+// Save writes the classifier state to w using encoding/gob.
+func (c *Classifier) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(c.State()); err != nil {
+		return fmt.Errorf("gbdt: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a classifier previously written with Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("gbdt: load: %w", err)
+	}
+	return FromState(s)
+}

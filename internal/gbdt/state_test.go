@@ -1,0 +1,116 @@
+package gbdt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	features, labels := threeClassDataset(20, 300)
+	c, err := Train(features, labels, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range features[:50] {
+		a, b := c.Predict(x), restored.Predict(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("restored prediction differs at %v: %v vs %v", x, a, b)
+			}
+		}
+	}
+	if restored.NumTrees() != c.NumTrees() {
+		t.Errorf("tree count changed: %d vs %d", restored.NumTrees(), c.NumTrees())
+	}
+	impA, impB := c.FeatureImportance(), restored.FeatureImportance()
+	for i := range impA {
+		if impA[i] != impB[i] {
+			t.Error("feature importance changed across roundtrip")
+		}
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	features, labels := xorDataset(21, 120)
+	c, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*State)
+	}{
+		{"bad classes", func(s *State) { s.NumClasses = 1 }},
+		{"bad features", func(s *State) { s.NumFeatures = 0 }},
+		{"no trees", func(s *State) { s.Trees = nil }},
+		{"ragged round", func(s *State) { s.Trees[0] = s.Trees[0][:1] }},
+		{"feature out of range", func(s *State) {
+			// Point a split node at a nonexistent feature.
+			for r := range s.Trees {
+				for k := range s.Trees[r] {
+					for i := range s.Trees[r][k].Nodes {
+						if s.Trees[r][k].Nodes[i].Feature >= 0 {
+							s.Trees[r][k].Nodes[i].Feature = 99
+							return
+						}
+					}
+				}
+			}
+		}},
+		{"child cycle", func(s *State) {
+			for r := range s.Trees {
+				for k := range s.Trees[r] {
+					for i := range s.Trees[r][k].Nodes {
+						if s.Trees[r][k].Nodes[i].Feature >= 0 {
+							s.Trees[r][k].Nodes[i].Left = 0
+							return
+						}
+					}
+				}
+			}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := c.State()
+			tt.mutate(&s)
+			if _, err := FromState(s); err == nil {
+				t.Errorf("%s should be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage input must be rejected")
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	features, labels := xorDataset(22, 100)
+	c, err := Train(features, labels, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.State()
+	before := c.Predict(features[0])[0]
+	for r := range s.Trees {
+		for k := range s.Trees[r] {
+			for i := range s.Trees[r][k].Nodes {
+				s.Trees[r][k].Nodes[i].Value += 100
+			}
+		}
+	}
+	if after := c.Predict(features[0])[0]; after != before {
+		t.Error("mutating the snapshot must not affect the live classifier")
+	}
+}

@@ -1,0 +1,172 @@
+// Package gbdt implements gradient-boosted decision trees from scratch,
+// the stand-in for XGBoost which the paper's CQC module uses to fuse crowd
+// labels and questionnaire answers into a truthful label.
+//
+// The implementation follows the XGBoost formulation: each boosting round
+// fits one regression tree per class to the first- and second-order
+// gradients of the softmax cross-entropy objective, with exact greedy
+// split finding, gain-based pruning (gamma), leaf-weight L2 regularisation
+// (lambda), shrinkage, and optional row subsampling.
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// node is one tree node. Leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      int // index into tree.nodes
+	right     int
+	value     float64 // leaf weight
+}
+
+// tree is a regression tree over dense feature vectors.
+type tree struct {
+	nodes []node
+}
+
+// predict returns the leaf value for x.
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] < n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// splitCandidate is the best split found for a node.
+type splitCandidate struct {
+	feature   int
+	threshold float64
+	gain      float64
+	// leftIdx/rightIdx partition the node's sample indices.
+	leftIdx, rightIdx []int
+}
+
+// treeBuilder grows one tree on gradient/hessian targets.
+type treeBuilder struct {
+	features [][]float64 // row-major samples
+	grad     []float64
+	hess     []float64
+	params   Params
+	t        *tree
+	// importance accumulates per-feature gain, reported by the classifier.
+	importance []float64
+}
+
+// build grows the tree from the given sample indices and returns it.
+func (b *treeBuilder) build(idx []int) *tree {
+	b.t = &tree{}
+	b.grow(idx, 0)
+	return b.t
+}
+
+// grow recursively expands a node; returns its index in the node arena.
+func (b *treeBuilder) grow(idx []int, depth int) int {
+	self := len(b.t.nodes)
+	b.t.nodes = append(b.t.nodes, node{feature: -1})
+
+	var g, h float64
+	for _, i := range idx {
+		g += b.grad[i]
+		h += b.hess[i]
+	}
+	// Newton leaf weight with L2 regularisation.
+	b.t.nodes[self].value = -g / (h + b.params.Lambda)
+
+	if depth >= b.params.MaxDepth || len(idx) < 2*b.params.MinSamplesLeaf {
+		return self
+	}
+	best := b.bestSplit(idx, g, h)
+	if best == nil || best.gain <= b.params.Gamma {
+		return self
+	}
+	b.importance[best.feature] += best.gain
+
+	left := b.grow(best.leftIdx, depth+1)
+	right := b.grow(best.rightIdx, depth+1)
+	b.t.nodes[self].feature = best.feature
+	b.t.nodes[self].threshold = best.threshold
+	b.t.nodes[self].left = left
+	b.t.nodes[self].right = right
+	return self
+}
+
+// bestSplit performs exact greedy split finding across all features.
+func (b *treeBuilder) bestSplit(idx []int, gTotal, hTotal float64) *splitCandidate {
+	numFeatures := len(b.features[0])
+	lam := b.params.Lambda
+	parentScore := gTotal * gTotal / (hTotal + lam)
+
+	var best *splitCandidate
+	order := make([]int, len(idx))
+	for f := 0; f < numFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool {
+			return b.features[order[a]][f] < b.features[order[c]][f]
+		})
+		var gl, hl float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			gl += b.grad[i]
+			hl += b.hess[i]
+			v, next := b.features[i][f], b.features[order[pos+1]][f]
+			if v == next {
+				continue // can't split between equal values
+			}
+			nl := pos + 1
+			nr := len(order) - nl
+			if nl < b.params.MinSamplesLeaf || nr < b.params.MinSamplesLeaf {
+				continue
+			}
+			gr := gTotal - gl
+			hr := hTotal - hl
+			gain := gl*gl/(hl+lam) + gr*gr/(hr+lam) - parentScore
+			if best == nil || gain > best.gain {
+				if best == nil {
+					best = &splitCandidate{}
+				}
+				best.feature = f
+				best.threshold = (v + next) / 2
+				best.gain = gain
+				best.leftIdx = append(best.leftIdx[:0], order[:nl]...)
+				best.rightIdx = append(best.rightIdx[:0], order[nl:]...)
+			}
+		}
+	}
+	if best != nil {
+		// Defensive copies: order is reused across features.
+		best.leftIdx = append([]int(nil), best.leftIdx...)
+		best.rightIdx = append([]int(nil), best.rightIdx...)
+	}
+	return best
+}
+
+// validate sanity-checks a learned tree (used in tests).
+func (t *tree) validate(numFeatures int) error {
+	for i, n := range t.nodes {
+		if n.feature >= numFeatures {
+			return fmt.Errorf("gbdt: node %d references feature %d of %d", i, n.feature, numFeatures)
+		}
+		if n.feature >= 0 {
+			if n.left <= i || n.right <= i || n.left >= len(t.nodes) || n.right >= len(t.nodes) {
+				return fmt.Errorf("gbdt: node %d has invalid children %d/%d", i, n.left, n.right)
+			}
+		}
+		if math.IsNaN(n.value) || math.IsInf(n.value, 0) {
+			return fmt.Errorf("gbdt: node %d has non-finite value", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package imagery
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// imageJSON is the wire form of an Image.
+type imageJSON struct {
+	ID              int             `json:"id"`
+	TrueLabel       Label           `json:"trueLabel"`
+	ApparentLabel   Label           `json:"apparentLabel"`
+	Failure         FailureMode     `json:"failure"`
+	Scene           SceneAttributes `json:"scene"`
+	HumanDifficulty float64         `json:"humanDifficulty"`
+	Deep            []float64       `json:"deep"`
+	Handcrafted     []float64       `json:"handcrafted"`
+	Localization    []float64       `json:"localization"`
+}
+
+// datasetJSON is the wire form of a Dataset.
+type datasetJSON struct {
+	Config Config      `json:"config"`
+	Train  []imageJSON `json:"train"`
+	Test   []imageJSON `json:"test"`
+}
+
+// Export writes the dataset as JSON so a corpus can be archived alongside
+// experiment outputs and reloaded bit-identically later — the offline
+// analogue of publishing the image set.
+func (d *Dataset) Export(w io.Writer) error {
+	out := datasetJSON{
+		Config: d.cfg,
+		Train:  toJSON(d.Train),
+		Test:   toJSON(d.Test),
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("imagery: export: %w", err)
+	}
+	return nil
+}
+
+func toJSON(images []*Image) []imageJSON {
+	out := make([]imageJSON, len(images))
+	for i, im := range images {
+		out[i] = imageJSON{
+			ID:              im.ID,
+			TrueLabel:       im.TrueLabel,
+			ApparentLabel:   im.ApparentLabel,
+			Failure:         im.Failure,
+			Scene:           im.Scene,
+			HumanDifficulty: im.HumanDifficulty,
+			Deep:            im.Deep,
+			Handcrafted:     im.Handcrafted,
+			Localization:    im.Localization,
+		}
+	}
+	return out
+}
+
+// Import reads a dataset previously written with Export.
+func Import(r io.Reader) (*Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("imagery: import: %w", err)
+	}
+	if len(in.Train) == 0 || len(in.Test) == 0 {
+		return nil, errors.New("imagery: import: dataset must have train and test images")
+	}
+	ds := &Dataset{cfg: in.Config}
+	var err error
+	if ds.Train, err = fromJSON(in.Train); err != nil {
+		return nil, err
+	}
+	if ds.Test, err = fromJSON(in.Test); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func fromJSON(images []imageJSON) ([]*Image, error) {
+	out := make([]*Image, len(images))
+	for i, ij := range images {
+		if !ij.TrueLabel.Valid() || !ij.ApparentLabel.Valid() {
+			return nil, fmt.Errorf("imagery: import: image %d has invalid labels", ij.ID)
+		}
+		if len(ij.Deep) == 0 || len(ij.Handcrafted) == 0 || len(ij.Localization) == 0 {
+			return nil, fmt.Errorf("imagery: import: image %d missing feature views", ij.ID)
+		}
+		if ij.HumanDifficulty < 0 || ij.HumanDifficulty >= 1 {
+			return nil, fmt.Errorf("imagery: import: image %d difficulty %v outside [0, 1)", ij.ID, ij.HumanDifficulty)
+		}
+		out[i] = &Image{
+			ID:              ij.ID,
+			TrueLabel:       ij.TrueLabel,
+			ApparentLabel:   ij.ApparentLabel,
+			Failure:         ij.Failure,
+			Scene:           ij.Scene,
+			HumanDifficulty: ij.HumanDifficulty,
+			Deep:            ij.Deep,
+			Handcrafted:     ij.Handcrafted,
+			Localization:    ij.Localization,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package imagery
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundtrip(t *testing.T) {
+	ds := MustGenerate(DefaultConfig())
+	var buf bytes.Buffer
+	if err := ds.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Train) != len(ds.Train) || len(restored.Test) != len(ds.Test) {
+		t.Fatalf("split sizes changed: %d/%d vs %d/%d",
+			len(restored.Train), len(restored.Test), len(ds.Train), len(ds.Test))
+	}
+	for i, im := range ds.Train {
+		r := restored.Train[i]
+		if r.ID != im.ID || r.TrueLabel != im.TrueLabel || r.Failure != im.Failure {
+			t.Fatalf("train image %d metadata changed", i)
+		}
+		if r.Scene != im.Scene {
+			t.Fatalf("train image %d scene changed", i)
+		}
+		if r.HumanDifficulty != im.HumanDifficulty {
+			t.Fatalf("train image %d difficulty changed", i)
+		}
+		for j := range im.Deep {
+			if r.Deep[j] != im.Deep[j] {
+				t.Fatalf("train image %d deep features changed", i)
+			}
+		}
+	}
+	if restored.Config().NumImages != ds.Config().NumImages {
+		t.Error("config not preserved")
+	}
+}
+
+func TestImportRejectsBadInput(t *testing.T) {
+	if _, err := Import(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if _, err := Import(strings.NewReader(`{"train":[],"test":[]}`)); err == nil {
+		t.Error("empty dataset must be rejected")
+	}
+	bad := `{"train":[{"id":1,"trueLabel":9,"apparentLabel":0,"deep":[1],"handcrafted":[1],"localization":[1]}],
+	         "test":[{"id":2,"trueLabel":0,"apparentLabel":0,"deep":[1],"handcrafted":[1],"localization":[1]}]}`
+	if _, err := Import(strings.NewReader(bad)); err == nil {
+		t.Error("invalid label must be rejected")
+	}
+	missing := `{"train":[{"id":1,"trueLabel":0,"apparentLabel":0}],
+	            "test":[{"id":2,"trueLabel":0,"apparentLabel":0,"deep":[1],"handcrafted":[1],"localization":[1]}]}`
+	if _, err := Import(strings.NewReader(missing)); err == nil {
+		t.Error("missing feature views must be rejected")
+	}
+	badDifficulty := `{"train":[{"id":1,"trueLabel":0,"apparentLabel":0,"humanDifficulty":1.5,"deep":[1],"handcrafted":[1],"localization":[1]}],
+	                  "test":[{"id":2,"trueLabel":0,"apparentLabel":0,"deep":[1],"handcrafted":[1],"localization":[1]}]}`
+	if _, err := Import(strings.NewReader(badDifficulty)); err == nil {
+		t.Error("out-of-range difficulty must be rejected")
+	}
+}

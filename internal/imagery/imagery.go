@@ -1,0 +1,463 @@
+// Package imagery provides the synthetic disaster-image substrate that
+// replaces the paper's 960 Ecuador-earthquake social-media images.
+//
+// Real images are unavailable offline and a faithful CNN stack is out of
+// scope (repro band 2/5), so each image is modelled as:
+//
+//   - a latent ground-truth damage label (no / moderate / severe);
+//   - an optional failure mode drawn from the paper's Figure 1 taxonomy
+//     (fake, close-up, low-resolution, implicit);
+//   - three feature views ("deep", "handcrafted", "localization") sampled
+//     from label-conditioned Gaussian clusters. Crucially, for deceptive
+//     images the clusters correspond to the *apparent* label rather than
+//     the true one — a fake photo of a collapsed road produces pixel
+//     statistics indistinguishable from real severe damage. This is
+//     precisely the property that makes the AI experts confidently wrong
+//     and that retraining cannot repair, which the CrowdLearn crowd
+//     offloading strategy exists to fix;
+//   - scene attributes (is it fake? does it show a road? people?) that a
+//     sufficiently careful human can perceive, which feed the crowd
+//     questionnaire used by CQC.
+package imagery
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Label is a damage-severity class. Values are zero-based because they
+// index probability-distribution slices throughout the system.
+type Label int
+
+// The three damage severity classes used by the DDA application.
+const (
+	NoDamage Label = iota
+	ModerateDamage
+	SevereDamage
+)
+
+// NumLabels is the number of damage severity classes.
+const NumLabels = 3
+
+// String returns the human-readable class name.
+func (l Label) String() string {
+	switch l {
+	case NoDamage:
+		return "no-damage"
+	case ModerateDamage:
+		return "moderate"
+	case SevereDamage:
+		return "severe"
+	default:
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the three defined classes.
+func (l Label) Valid() bool {
+	return l >= NoDamage && l < NumLabels
+}
+
+// FailureMode classifies why AI experts fail on an image, mirroring the
+// four example failures of Figure 1 in the paper.
+type FailureMode int
+
+// Failure modes. Clean images have FailureNone.
+const (
+	FailureNone FailureMode = iota
+	// FailureFake: photoshopped or staged image whose visual content shows
+	// damage that never happened (Figure 1a). Apparent label is severe,
+	// truth is no-damage.
+	FailureFake
+	// FailureCloseUp: an extreme close-up (e.g. a pavement crack) that
+	// looks catastrophic but is trivial in context (Figure 1b).
+	FailureCloseUp
+	// FailureLowRes: resolution too low for low-level features to carry
+	// signal; feature views are dominated by noise (Figure 1c).
+	FailureLowRes
+	// FailureImplicit: the damage is evidenced by high-level context
+	// (injured people being evacuated) invisible to pixel statistics
+	// (Figure 1d). Apparent label is no-damage, truth is severe.
+	FailureImplicit
+)
+
+// String returns the failure-mode name.
+func (f FailureMode) String() string {
+	switch f {
+	case FailureNone:
+		return "none"
+	case FailureFake:
+		return "fake"
+	case FailureCloseUp:
+		return "close-up"
+	case FailureLowRes:
+		return "low-res"
+	case FailureImplicit:
+		return "implicit"
+	default:
+		return fmt.Sprintf("failure(%d)", int(f))
+	}
+}
+
+// Deceptive reports whether the failure mode produces *misleading* (rather
+// than merely noisy) features — the class of failures that more training
+// data cannot fix.
+func (f FailureMode) Deceptive() bool {
+	return f == FailureFake || f == FailureCloseUp || f == FailureImplicit
+}
+
+// SceneAttributes are the facts about an image that a human can observe
+// and that the crowd questionnaire solicits (Figure 3 in the paper). They
+// are ground-truth values; workers report noisy versions of them.
+type SceneAttributes struct {
+	// IsFake is true for photoshopped/staged images.
+	IsFake bool
+	// ShowsRoadDamage is true when the scene contains damaged roads.
+	ShowsRoadDamage bool
+	// ShowsBuildingDamage is true when the scene contains damaged buildings.
+	ShowsBuildingDamage bool
+	// ShowsPeopleAffected is true when people are visibly affected
+	// (injured, evacuating) — the "implicit" signal of Figure 1d.
+	ShowsPeopleAffected bool
+	// IsLegible is false for images too low-resolution to assess
+	// confidently even for humans.
+	IsLegible bool
+}
+
+// Image is one synthetic social-media report.
+type Image struct {
+	// ID is unique within a dataset.
+	ID int
+	// TrueLabel is the golden ground-truth damage severity.
+	TrueLabel Label
+	// ApparentLabel is the severity the low-level features depict. Equal
+	// to TrueLabel for clean and low-res images; different for deceptive
+	// ones.
+	ApparentLabel Label
+	// Failure is the image's failure mode (FailureNone for clean images).
+	Failure FailureMode
+	// Scene holds the human-observable attributes.
+	Scene SceneAttributes
+	// HumanDifficulty in [0, 1) scales down every worker's labeling
+	// accuracy on this image. It models the shared component of human
+	// error — cluttered scenes, ambiguous severity — which makes worker
+	// mistakes *correlated*. Correlated errors are what majority voting
+	// cannot fix and what pushes the paper's Voting baseline down to
+	// ~0.84 despite ~0.8 individual accuracy.
+	HumanDifficulty float64
+
+	// Deep, Handcrafted and Localization are the three feature views
+	// consumed by the VGG16-, BoVW- and DDM-style experts respectively.
+	Deep         []float64
+	Handcrafted  []float64
+	Localization []float64
+}
+
+// View identifies one of the three feature views.
+type View int
+
+// The feature views.
+const (
+	DeepView View = iota
+	HandcraftedView
+	LocalizationView
+)
+
+// Features returns the image's feature vector for the requested view.
+func (im *Image) Features(v View) []float64 {
+	switch v {
+	case DeepView:
+		return im.Deep
+	case HandcraftedView:
+		return im.Handcrafted
+	case LocalizationView:
+		return im.Localization
+	default:
+		panic(fmt.Sprintf("imagery: unknown view %d", int(v)))
+	}
+}
+
+// Dims holds the dimensionality of each feature view.
+type Dims struct {
+	Deep         int
+	Handcrafted  int
+	Localization int
+}
+
+// DefaultDims mirrors a plausible ratio between CNN embeddings, BoVW
+// histograms and Grad-CAM heatmap summaries.
+var DefaultDims = Dims{Deep: 32, Handcrafted: 24, Localization: 16}
+
+// Config parameterises dataset generation.
+type Config struct {
+	// NumImages is the total dataset size (paper: 960).
+	NumImages int
+	// TrainImages is how many go to the training split (paper: 560).
+	TrainImages int
+	// Dims sets feature dimensionalities.
+	Dims Dims
+	// FakeRate, CloseUpRate, LowResRate, ImplicitRate are the fractions of
+	// the dataset exhibiting each failure mode. The remainder is clean.
+	FakeRate     float64
+	CloseUpRate  float64
+	LowResRate   float64
+	ImplicitRate float64
+	// CleanNoise is the feature noise std for clean images relative to
+	// unit cluster separation: higher means harder for AI.
+	CleanNoise float64
+	// LowResNoise is the (much larger) noise std for low-resolution images.
+	LowResNoise float64
+	// Seed drives all randomness in generation.
+	Seed int64
+}
+
+// DefaultConfig reproduces the paper's dataset shape: 960 images, 560
+// train / 400 test, balanced classes, and a failure-mode mix tuned so the
+// AI-only experts land in the paper's 0.67–0.82 accuracy band.
+func DefaultConfig() Config {
+	return Config{
+		NumImages:    960,
+		TrainImages:  560,
+		Dims:         DefaultDims,
+		FakeRate:     0.04,
+		CloseUpRate:  0.03,
+		LowResRate:   0.07,
+		ImplicitRate: 0.04,
+		CleanNoise:   0.80,
+		LowResNoise:  1.3,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.NumImages <= 0 {
+		return fmt.Errorf("imagery: NumImages must be positive, got %d", c.NumImages)
+	}
+	if c.TrainImages <= 0 || c.TrainImages >= c.NumImages {
+		return fmt.Errorf("imagery: TrainImages must be in (0, %d), got %d", c.NumImages, c.TrainImages)
+	}
+	total := c.FakeRate + c.CloseUpRate + c.LowResRate + c.ImplicitRate
+	if total < 0 || total > 0.9 {
+		return fmt.Errorf("imagery: failure rates sum to %.2f, must be in [0, 0.9]", total)
+	}
+	for _, r := range []float64{c.FakeRate, c.CloseUpRate, c.LowResRate, c.ImplicitRate} {
+		if r < 0 {
+			return fmt.Errorf("imagery: failure rates must be non-negative")
+		}
+	}
+	if c.Dims.Deep <= 0 || c.Dims.Handcrafted <= 0 || c.Dims.Localization <= 0 {
+		return fmt.Errorf("imagery: all feature dims must be positive, got %+v", c.Dims)
+	}
+	if c.CleanNoise <= 0 || c.LowResNoise <= 0 {
+		return fmt.Errorf("imagery: noise levels must be positive")
+	}
+	return nil
+}
+
+// Dataset is a generated corpus split into train and test sets. The test
+// set emulates the unseen images that arrive during sensing cycles.
+type Dataset struct {
+	Train []*Image
+	Test  []*Image
+	// Prototypes used at generation time, retained so tests can verify
+	// cluster geometry. Indexed [view][label][dim].
+	prototypes [3][NumLabels][]float64
+	cfg        Config
+}
+
+// Config returns the configuration the dataset was generated with.
+func (d *Dataset) Config() Config { return d.cfg }
+
+// All returns train followed by test images (shared backing images).
+func (d *Dataset) All() []*Image {
+	out := make([]*Image, 0, len(d.Train)+len(d.Test))
+	out = append(out, d.Train...)
+	out = append(out, d.Test...)
+	return out
+}
+
+// Generate builds a dataset from the configuration. Generation is fully
+// deterministic given cfg.Seed.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := mathx.NewRand(cfg.Seed)
+
+	ds := &Dataset{cfg: cfg}
+	dims := [3]int{cfg.Dims.Deep, cfg.Dims.Handcrafted, cfg.Dims.Localization}
+	// Cluster prototypes: orthogonal-ish random directions scaled to unit
+	// separation. Localization view gets slightly wider separation (DDM is
+	// the strongest expert in the paper); handcrafted slightly narrower
+	// (BoVW is the weakest).
+	separation := [3]float64{1.0, 0.8, 1.15}
+	for v := 0; v < 3; v++ {
+		for l := 0; l < NumLabels; l++ {
+			proto := mathx.GaussianVector(rng, dims[v], 0, 1)
+			norm := mathx.L2Norm(proto)
+			mathx.Scale(proto, separation[v]/norm*2.9)
+			ds.prototypes[v][l] = proto
+		}
+	}
+
+	modes := assignFailureModes(rng, cfg)
+	images := make([]*Image, cfg.NumImages)
+	for i := range images {
+		// Balanced class labels, as in the paper's dataset.
+		trueLabel := Label(i % NumLabels)
+		images[i] = ds.synthesize(rng, i, trueLabel, modes[i])
+	}
+	// Shuffle image order so the train/test split is not class-striped.
+	rng.Shuffle(len(images), func(a, b int) { images[a], images[b] = images[b], images[a] })
+
+	ds.Train = images[:cfg.TrainImages]
+	ds.Test = images[cfg.TrainImages:]
+	return ds, nil
+}
+
+// MustGenerate is Generate but panics on configuration errors. Intended
+// for examples and benchmarks with static, known-good configs.
+func MustGenerate(cfg Config) *Dataset {
+	ds, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// assignFailureModes deterministically assigns modes by quota so the
+// realised failure mix matches the configured rates exactly.
+func assignFailureModes(rng *rand.Rand, cfg Config) []FailureMode {
+	n := cfg.NumImages
+	modes := make([]FailureMode, n)
+	idx := 0
+	fill := func(mode FailureMode, rate float64) {
+		count := int(rate * float64(n))
+		for j := 0; j < count && idx < n; j++ {
+			modes[idx] = mode
+			idx++
+		}
+	}
+	fill(FailureFake, cfg.FakeRate)
+	fill(FailureCloseUp, cfg.CloseUpRate)
+	fill(FailureLowRes, cfg.LowResRate)
+	fill(FailureImplicit, cfg.ImplicitRate)
+	for ; idx < n; idx++ {
+		modes[idx] = FailureNone
+	}
+	rng.Shuffle(n, func(i, j int) { modes[i], modes[j] = modes[j], modes[i] })
+	return modes
+}
+
+// synthesize builds one image with the given truth and failure mode.
+func (d *Dataset) synthesize(rng *rand.Rand, id int, trueLabel Label, mode FailureMode) *Image {
+	im := &Image{ID: id, TrueLabel: trueLabel, Failure: mode}
+
+	// Resolve the apparent label and ground-truth override per mode.
+	switch mode {
+	case FailureFake:
+		// A fake always depicts spectacular damage; the truth is that
+		// nothing (relevant) happened.
+		im.TrueLabel = NoDamage
+		im.ApparentLabel = SevereDamage
+	case FailureCloseUp:
+		// A close-up of a trivial crack looks severe; in context the
+		// damage is at most minor.
+		im.TrueLabel = NoDamage
+		im.ApparentLabel = SevereDamage
+	case FailureImplicit:
+		// Injured people being carried away: pixels look calm, the truth
+		// is severe.
+		im.TrueLabel = SevereDamage
+		im.ApparentLabel = NoDamage
+	default:
+		im.ApparentLabel = im.TrueLabel
+	}
+
+	noise := d.cfg.CleanNoise
+	signal := 1.0
+	if mode == FailureLowRes {
+		// Low resolution destroys most of the class signal and adds noise:
+		// the features collapse toward the inter-class centroid, which is
+		// precisely what makes every expert *uncertain* (high committee
+		// entropy) rather than confidently wrong.
+		noise = d.cfg.LowResNoise
+		signal = 0.15
+	}
+	views := make([][]float64, 3)
+	for v := 0; v < 3; v++ {
+		f := mathx.Clone(d.prototypes[v][im.ApparentLabel])
+		mathx.Scale(f, signal)
+		mathx.AddGaussianNoise(rng, f, noise)
+		views[v] = f
+	}
+	im.Deep, im.Handcrafted, im.Localization = views[0], views[1], views[2]
+
+	// Shared human difficulty: most images are easy (Beta(2,6) has mean
+	// 0.25); low-resolution images are harder for humans too.
+	im.HumanDifficulty = 0.38 * mathx.Beta(rng, 2, 6)
+	if mode == FailureLowRes {
+		im.HumanDifficulty = mathx.Clamp(im.HumanDifficulty+0.22, 0, 0.9)
+	}
+
+	im.Scene = synthesizeScene(rng, im)
+	return im
+}
+
+// synthesizeScene derives human-observable attributes consistent with the
+// truth and failure mode.
+func synthesizeScene(rng *rand.Rand, im *Image) SceneAttributes {
+	s := SceneAttributes{IsLegible: im.Failure != FailureLowRes}
+	s.IsFake = im.Failure == FailureFake
+
+	damaged := im.TrueLabel != NoDamage
+	switch {
+	case im.Failure == FailureFake || im.Failure == FailureCloseUp:
+		// The depicted subject is usually a road or building even though
+		// no real damage occurred.
+		s.ShowsRoadDamage = mathx.Bernoulli(rng, 0.6)
+		s.ShowsBuildingDamage = !s.ShowsRoadDamage && mathx.Bernoulli(rng, 0.7)
+	case damaged:
+		s.ShowsRoadDamage = mathx.Bernoulli(rng, 0.5)
+		s.ShowsBuildingDamage = mathx.Bernoulli(rng, 0.55)
+		if !s.ShowsRoadDamage && !s.ShowsBuildingDamage && im.Failure != FailureImplicit {
+			s.ShowsBuildingDamage = true
+		}
+	}
+	switch {
+	case im.Failure == FailureImplicit:
+		// The implicit signal: visibly affected people.
+		s.ShowsPeopleAffected = true
+		s.ShowsRoadDamage = false
+		s.ShowsBuildingDamage = mathx.Bernoulli(rng, 0.2)
+	case im.TrueLabel == SevereDamage:
+		s.ShowsPeopleAffected = mathx.Bernoulli(rng, 0.45)
+	case im.TrueLabel == ModerateDamage:
+		s.ShowsPeopleAffected = mathx.Bernoulli(rng, 0.15)
+	default:
+		s.ShowsPeopleAffected = mathx.Bernoulli(rng, 0.03)
+	}
+	return s
+}
+
+// CountByFailure returns how many images in the slice carry each failure
+// mode; useful for experiment reporting and tests.
+func CountByFailure(images []*Image) map[FailureMode]int {
+	out := make(map[FailureMode]int, 5)
+	for _, im := range images {
+		out[im.Failure]++
+	}
+	return out
+}
+
+// CountByLabel returns the class histogram of the slice.
+func CountByLabel(images []*Image) map[Label]int {
+	out := make(map[Label]int, NumLabels)
+	for _, im := range images {
+		out[im.TrueLabel]++
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package imagery
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func TestGenerateDefaultShape(t *testing.T) {
+	ds, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 560 {
+		t.Errorf("train size %d, want 560", len(ds.Train))
+	}
+	if len(ds.Test) != 400 {
+		t.Errorf("test size %d, want 400", len(ds.Test))
+	}
+	if len(ds.All()) != 960 {
+		t.Errorf("total %d, want 960", len(ds.All()))
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := MustGenerate(DefaultConfig())
+	b := MustGenerate(DefaultConfig())
+	for i := range a.Train {
+		x, y := a.Train[i], b.Train[i]
+		if x.TrueLabel != y.TrueLabel || x.Failure != y.Failure {
+			t.Fatalf("image %d differs between identically seeded runs", i)
+		}
+		for j := range x.Deep {
+			if x.Deep[j] != y.Deep[j] {
+				t.Fatalf("deep features differ at image %d dim %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	a := MustGenerate(cfg)
+	cfg.Seed = 99
+	b := MustGenerate(cfg)
+	same := true
+	for i := range a.Train {
+		if a.Train[i].TrueLabel != b.Train[i].TrueLabel {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical label sequences")
+	}
+}
+
+func TestFailureModeQuotas(t *testing.T) {
+	cfg := DefaultConfig()
+	ds := MustGenerate(cfg)
+	counts := CountByFailure(ds.All())
+	n := float64(cfg.NumImages)
+	wantFake := int(cfg.FakeRate * n)
+	if counts[FailureFake] != wantFake {
+		t.Errorf("fake count %d, want %d", counts[FailureFake], wantFake)
+	}
+	wantLowRes := int(cfg.LowResRate * n)
+	if counts[FailureLowRes] != wantLowRes {
+		t.Errorf("low-res count %d, want %d", counts[FailureLowRes], wantLowRes)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != cfg.NumImages {
+		t.Errorf("failure counts sum to %d, want %d", total, cfg.NumImages)
+	}
+}
+
+func TestClassBalanceRoughlyEven(t *testing.T) {
+	ds := MustGenerate(DefaultConfig())
+	counts := CountByLabel(ds.All())
+	// Fake/close-up force truth to NoDamage and implicit forces Severe, so
+	// perfect balance is impossible; verify each class holds 20–50%.
+	for l := NoDamage; l < NumLabels; l++ {
+		frac := float64(counts[l]) / 960
+		if frac < 0.20 || frac > 0.50 {
+			t.Errorf("class %v fraction %.3f outside [0.20, 0.50]", l, frac)
+		}
+	}
+}
+
+func TestDeceptiveImagesConsistency(t *testing.T) {
+	ds := MustGenerate(DefaultConfig())
+	for _, im := range ds.All() {
+		switch im.Failure {
+		case FailureFake:
+			if im.TrueLabel != NoDamage || im.ApparentLabel != SevereDamage {
+				t.Fatalf("fake image labels wrong: true=%v apparent=%v", im.TrueLabel, im.ApparentLabel)
+			}
+			if !im.Scene.IsFake {
+				t.Fatal("fake image must have IsFake scene attribute")
+			}
+		case FailureCloseUp:
+			if im.TrueLabel != NoDamage || im.ApparentLabel != SevereDamage {
+				t.Fatalf("close-up labels wrong: true=%v apparent=%v", im.TrueLabel, im.ApparentLabel)
+			}
+		case FailureImplicit:
+			if im.TrueLabel != SevereDamage || im.ApparentLabel != NoDamage {
+				t.Fatalf("implicit labels wrong: true=%v apparent=%v", im.TrueLabel, im.ApparentLabel)
+			}
+			if !im.Scene.ShowsPeopleAffected {
+				t.Fatal("implicit image must show affected people")
+			}
+		case FailureLowRes:
+			if im.ApparentLabel != im.TrueLabel {
+				t.Fatal("low-res image must not have a misleading apparent label")
+			}
+			if im.Scene.IsLegible {
+				t.Fatal("low-res image must not be legible")
+			}
+		case FailureNone:
+			if im.ApparentLabel != im.TrueLabel {
+				t.Fatal("clean image apparent label must match truth")
+			}
+			if im.Scene.IsFake {
+				t.Fatal("clean image must not be fake")
+			}
+		}
+	}
+}
+
+func TestFeatureDims(t *testing.T) {
+	ds := MustGenerate(DefaultConfig())
+	im := ds.Train[0]
+	if len(im.Deep) != DefaultDims.Deep {
+		t.Errorf("deep dim %d, want %d", len(im.Deep), DefaultDims.Deep)
+	}
+	if len(im.Handcrafted) != DefaultDims.Handcrafted {
+		t.Errorf("handcrafted dim %d, want %d", len(im.Handcrafted), DefaultDims.Handcrafted)
+	}
+	if len(im.Localization) != DefaultDims.Localization {
+		t.Errorf("localization dim %d, want %d", len(im.Localization), DefaultDims.Localization)
+	}
+	if &im.Features(DeepView)[0] != &im.Deep[0] {
+		t.Error("Features(DeepView) must return the deep slice")
+	}
+}
+
+// Feature geometry: clean images must sit closer to their own class
+// prototype cluster centroid than to other classes, while fake images must
+// sit near the severe cluster despite a no-damage truth. This is the
+// property the entire failure-mode story rests on.
+func TestFeatureClusterGeometry(t *testing.T) {
+	ds := MustGenerate(DefaultConfig())
+
+	centroids := make([][]float64, NumLabels)
+	counts := make([]int, NumLabels)
+	for l := range centroids {
+		centroids[l] = make([]float64, DefaultDims.Deep)
+	}
+	for _, im := range ds.All() {
+		if im.Failure != FailureNone {
+			continue
+		}
+		mathx.AddScaled(centroids[im.TrueLabel], 1, im.Deep)
+		counts[im.TrueLabel]++
+	}
+	for l := range centroids {
+		if counts[l] == 0 {
+			t.Fatalf("no clean images for class %d", l)
+		}
+		mathx.Scale(centroids[l], 1/float64(counts[l]))
+	}
+
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+
+	cleanCorrect, cleanTotal := 0, 0
+	for _, im := range ds.All() {
+		if im.Failure != FailureNone {
+			continue
+		}
+		cleanTotal++
+		best, bestD := -1, math.Inf(1)
+		for l := range centroids {
+			if d := dist(im.Deep, centroids[l]); d < bestD {
+				best, bestD = l, d
+			}
+		}
+		if Label(best) == im.TrueLabel {
+			cleanCorrect++
+		}
+	}
+	if acc := float64(cleanCorrect) / float64(cleanTotal); acc < 0.75 {
+		t.Errorf("clean nearest-centroid accuracy %.3f too low; clusters not separable", acc)
+	}
+
+	// Fake images should look severe.
+	fakeLooksSevere, fakeTotal := 0, 0
+	for _, im := range ds.All() {
+		if im.Failure != FailureFake {
+			continue
+		}
+		fakeTotal++
+		if dist(im.Deep, centroids[SevereDamage]) < dist(im.Deep, centroids[NoDamage]) {
+			fakeLooksSevere++
+		}
+	}
+	if fakeTotal == 0 {
+		t.Fatal("no fake images generated")
+	}
+	if frac := float64(fakeLooksSevere) / float64(fakeTotal); frac < 0.8 {
+		t.Errorf("only %.2f of fakes look severe; deception too weak", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero images", func(c *Config) { c.NumImages = 0 }},
+		{"train too big", func(c *Config) { c.TrainImages = c.NumImages }},
+		{"train zero", func(c *Config) { c.TrainImages = 0 }},
+		{"failure rates too big", func(c *Config) { c.FakeRate = 0.95 }},
+		{"negative rate", func(c *Config) { c.LowResRate = -0.1 }},
+		{"zero dim", func(c *Config) { c.Dims.Deep = 0 }},
+		{"zero noise", func(c *Config) { c.CleanNoise = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Errorf("config %s should be rejected", tt.name)
+			}
+		})
+	}
+}
+
+func TestLabelStringAndValid(t *testing.T) {
+	if NoDamage.String() != "no-damage" || SevereDamage.String() != "severe" {
+		t.Error("label String() wrong")
+	}
+	if !ModerateDamage.Valid() || Label(7).Valid() {
+		t.Error("Valid() wrong")
+	}
+	if FailureFake.String() != "fake" || FailureNone.String() != "none" {
+		t.Error("failure String() wrong")
+	}
+}
+
+func TestDeceptivePredicate(t *testing.T) {
+	if !FailureFake.Deceptive() || !FailureImplicit.Deceptive() || !FailureCloseUp.Deceptive() {
+		t.Error("fake/implicit/close-up must be deceptive")
+	}
+	if FailureLowRes.Deceptive() || FailureNone.Deceptive() {
+		t.Error("low-res/none must not be deceptive")
+	}
+}
+
+func TestMustGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGenerate should panic on invalid config")
+		}
+	}()
+	MustGenerate(Config{})
+}

@@ -1,0 +1,57 @@
+package imagery
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Property: any valid configuration yields a structurally valid dataset —
+// correct split sizes, valid labels, consistent failure-mode semantics,
+// complete feature views, difficulty in range.
+func TestGenerateInvariantsProperty(t *testing.T) {
+	rng := mathx.NewRand(21)
+	for trial := 0; trial < 40; trial++ {
+		cfg := Config{
+			NumImages:    60 + rng.Intn(400),
+			Dims:         Dims{Deep: 4 + rng.Intn(40), Handcrafted: 4 + rng.Intn(30), Localization: 4 + rng.Intn(20)},
+			FakeRate:     rng.Float64() * 0.1,
+			CloseUpRate:  rng.Float64() * 0.1,
+			LowResRate:   rng.Float64() * 0.1,
+			ImplicitRate: rng.Float64() * 0.1,
+			CleanNoise:   0.2 + rng.Float64(),
+			LowResNoise:  0.5 + rng.Float64()*2,
+			Seed:         rng.Int63(),
+		}
+		cfg.TrainImages = 1 + rng.Intn(cfg.NumImages-1)
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v (%+v)", err, cfg)
+		}
+		if len(ds.Train) != cfg.TrainImages || len(ds.Test) != cfg.NumImages-cfg.TrainImages {
+			t.Fatalf("split sizes wrong for %+v", cfg)
+		}
+		seenIDs := make(map[int]bool, cfg.NumImages)
+		for _, im := range ds.All() {
+			if seenIDs[im.ID] {
+				t.Fatalf("duplicate image id %d", im.ID)
+			}
+			seenIDs[im.ID] = true
+			if !im.TrueLabel.Valid() || !im.ApparentLabel.Valid() {
+				t.Fatalf("invalid labels on image %d", im.ID)
+			}
+			if im.Failure.Deceptive() == (im.TrueLabel == im.ApparentLabel) {
+				t.Fatalf("deception flag inconsistent on image %d: failure %v true %v apparent %v",
+					im.ID, im.Failure, im.TrueLabel, im.ApparentLabel)
+			}
+			if len(im.Deep) != cfg.Dims.Deep ||
+				len(im.Handcrafted) != cfg.Dims.Handcrafted ||
+				len(im.Localization) != cfg.Dims.Localization {
+				t.Fatalf("feature dims wrong on image %d", im.ID)
+			}
+			if im.HumanDifficulty < 0 || im.HumanDifficulty >= 1 {
+				t.Fatalf("difficulty %v out of range on image %d", im.HumanDifficulty, im.ID)
+			}
+		}
+	}
+}

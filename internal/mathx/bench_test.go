@@ -1,0 +1,54 @@
+package mathx
+
+import "testing"
+
+func BenchmarkSoftmax(b *testing.B) {
+	logits := GaussianVector(NewRand(1), 32, 0, 2)
+	dst := make([]float64, len(logits))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(logits, dst)
+	}
+}
+
+func BenchmarkEntropy(b *testing.B) {
+	p := Normalized(GaussianVector(NewRand(2), 32, 1, 0.1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Entropy(p)
+	}
+}
+
+func BenchmarkSymmetricKL(b *testing.B) {
+	rng := NewRand(3)
+	p := Normalized(GaussianVector(rng, 32, 1, 0.1))
+	q := Normalized(GaussianVector(rng, 32, 1, 0.1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymmetricKL(p, q)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	rng := NewRand(4)
+	x := GaussianVector(rng, 64, 0, 1)
+	y := GaussianVector(rng, 64, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkCategorical(b *testing.B) {
+	rng := NewRand(5)
+	w := []float64{1, 2, 3, 4, 5, 6, 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Categorical(rng, w)
+	}
+}

@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// epsilon guards log(0) in the information-theoretic helpers. The paper's
+// committee-entropy and symmetric-KL computations both consume classifier
+// output distributions that can contain exact zeros after normalization.
+const epsilon = 1e-12
+
+// Softmax writes the softmax of logits into dst and returns dst. If dst is
+// nil a new slice is allocated. The computation is shifted by the maximum
+// logit for numerical stability.
+func Softmax(logits, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("mathx: softmax dst length %d != logits length %d", len(dst), len(logits)))
+	}
+	if len(logits) == 0 {
+		return dst
+	}
+	m := Max(logits)
+	var sum float64
+	for i, z := range logits {
+		e := math.Exp(z - m)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// LogSumExp returns log(sum_i exp(v[i])) computed stably.
+func LogSumExp(v []float64) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	m := Max(v)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range v {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Entropy returns the Shannon entropy (in nats) of the distribution p.
+// Zero-probability entries contribute zero, matching the 0*log(0)=0
+// convention. p is assumed normalized; callers aggregating committee votes
+// should Normalize first (Definition 8 / Eq. 3 in the paper).
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// MaxEntropy returns the entropy of the uniform distribution over k
+// outcomes, the upper bound for Entropy on any k-class distribution.
+func MaxEntropy(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return math.Log(float64(k))
+}
+
+// KLDivergence returns D_KL(p || q) in nats. Both inputs are smoothed by a
+// tiny epsilon so that q(i)=0 does not produce infinities; the paper maps
+// divergences through a normalization delta anyway (Eq. 5).
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("mathx: KL length mismatch %d vs %d", len(p), len(q)))
+	}
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < epsilon {
+			qi = epsilon
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 {
+		// Floating-point noise on nearly identical distributions.
+		d = 0
+	}
+	return d
+}
+
+// SymmetricKL returns the symmetrised KL divergence
+// (D_KL(p||q) + D_KL(q||p)) / 2 used by the MIC loss (Eq. 5).
+func SymmetricKL(p, q []float64) float64 {
+	return (KLDivergence(p, q) + KLDivergence(q, p)) / 2
+}
+
+// BoundedDivergence maps a non-negative divergence onto [0, 1) via
+// d / (1 + d). This is the normalization delta in Eq. 5: identical
+// distributions map to 0 and the image approaches 1 as the divergence
+// grows, so 1 - delta(d) acts as an agreement score.
+func BoundedDivergence(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return d / (1 + d)
+}
+
+// CrossEntropy returns -sum_i p[i] log q[i] in nats with epsilon smoothing
+// of q. It is the loss minimised by the neural-network substrate.
+func CrossEntropy(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("mathx: cross-entropy length mismatch %d vs %d", len(p), len(q)))
+	}
+	var ce float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < epsilon {
+			qi = epsilon
+		}
+		ce -= pi * math.Log(qi)
+	}
+	return ce
+}
+
+// OneHot returns a length-k vector with a single 1 at index i.
+func OneHot(k, i int) []float64 {
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("mathx: one-hot index %d out of range [0,%d)", i, k))
+	}
+	v := make([]float64, k)
+	v[i] = 1
+	return v
+}
+
+// Sigmoid returns the logistic function 1/(1+exp(-x)).
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,216 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxBasic(t *testing.T) {
+	p := Softmax([]float64{0, 0, 0}, nil)
+	for _, x := range p {
+		if !almostEqual(x, 1.0/3.0, 1e-12) {
+			t.Fatalf("uniform logits must give uniform softmax, got %v", p)
+		}
+	}
+	p = Softmax([]float64{1000, 0}, nil)
+	if !almostEqual(p[0], 1, 1e-9) {
+		t.Fatalf("softmax must be stable under large logits, got %v", p)
+	}
+	p = Softmax([]float64{-1000, -1000}, nil)
+	if !almostEqual(p[0], 0.5, 1e-9) {
+		t.Fatalf("softmax must be stable under very negative logits, got %v", p)
+	}
+}
+
+func TestSoftmaxDstReuse(t *testing.T) {
+	dst := make([]float64, 3)
+	out := Softmax([]float64{1, 2, 3}, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("Softmax must reuse the provided destination")
+	}
+	if !almostEqual(Sum(out), 1, 1e-12) {
+		t.Fatalf("softmax must sum to 1, got %v", Sum(out))
+	}
+	if ArgMax(out) != 2 {
+		t.Fatalf("softmax must preserve argmax, got %v", out)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	v := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(v); !almostEqual(got, math.Log(6), 1e-12) {
+		t.Errorf("LogSumExp = %v, want log 6", got)
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(empty) = %v, want -Inf", got)
+	}
+	if got := LogSumExp([]float64{1e4, 1e4}); !almostEqual(got, 1e4+math.Log(2), 1e-6) {
+		t.Errorf("LogSumExp must be overflow-safe, got %v", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Errorf("Entropy(deterministic) = %v, want 0", got)
+	}
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := Entropy(uniform); !almostEqual(got, math.Log(4), 1e-12) {
+		t.Errorf("Entropy(uniform4) = %v, want log 4", got)
+	}
+	if got := MaxEntropy(4); !almostEqual(got, math.Log(4), 1e-12) {
+		t.Errorf("MaxEntropy(4) = %v, want log 4", got)
+	}
+	if got := MaxEntropy(1); got != 0 {
+		t.Errorf("MaxEntropy(1) = %v, want 0", got)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got := KLDivergence(p, p); got != 0 {
+		t.Errorf("KL(p||p) = %v, want 0", got)
+	}
+	q := []float64{0.9, 0.1}
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	if got := KLDivergence(p, q); !almostEqual(got, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	// A zero in q must not produce +Inf thanks to smoothing.
+	if got := KLDivergence([]float64{1, 0}, []float64{0, 1}); math.IsInf(got, 1) {
+		t.Error("KL with zero support overlap must stay finite")
+	}
+}
+
+func TestSymmetricKLSymmetry(t *testing.T) {
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.1, 0.3, 0.6}
+	if got, got2 := SymmetricKL(p, q), SymmetricKL(q, p); !almostEqual(got, got2, 1e-12) {
+		t.Errorf("SymmetricKL not symmetric: %v vs %v", got, got2)
+	}
+}
+
+func TestBoundedDivergence(t *testing.T) {
+	if got := BoundedDivergence(0); got != 0 {
+		t.Errorf("BoundedDivergence(0) = %v, want 0", got)
+	}
+	if got := BoundedDivergence(-1); got != 0 {
+		t.Errorf("BoundedDivergence(-1) = %v, want 0 (clamped)", got)
+	}
+	if got := BoundedDivergence(1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("BoundedDivergence(1) = %v, want 0.5", got)
+	}
+	if got := BoundedDivergence(1e9); got >= 1 {
+		t.Errorf("BoundedDivergence must stay below 1, got %v", got)
+	}
+}
+
+func TestCrossEntropyVsEntropy(t *testing.T) {
+	p := []float64{0.6, 0.4}
+	// CE(p, p) == H(p).
+	if ce, h := CrossEntropy(p, p), Entropy(p); !almostEqual(ce, h, 1e-9) {
+		t.Errorf("CE(p,p)=%v must equal H(p)=%v", ce, h)
+	}
+	// Gibbs: CE(p, q) >= H(p).
+	q := []float64{0.1, 0.9}
+	if ce, h := CrossEntropy(p, q), Entropy(p); ce < h {
+		t.Errorf("CE(p,q)=%v must be >= H(p)=%v", ce, h)
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	v := OneHot(3, 1)
+	if v[0] != 0 || v[1] != 1 || v[2] != 0 {
+		t.Fatalf("OneHot(3,1) = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OneHot out of range should panic")
+		}
+	}()
+	OneHot(3, 3)
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(100); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("Sigmoid(100) = %v, want ~1", got)
+	}
+	if got := Sigmoid(-100); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("Sigmoid(-100) = %v, want ~0", got)
+	}
+	// Symmetry: sigmoid(-x) = 1 - sigmoid(x).
+	for _, x := range []float64{0.3, 1.7, 5} {
+		if got := Sigmoid(-x) + Sigmoid(x); !almostEqual(got, 1, 1e-12) {
+			t.Errorf("Sigmoid symmetry broken at %v: %v", x, got)
+		}
+	}
+}
+
+func randomDistribution(rng *rand.Rand, k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = rng.Float64() + 1e-6
+	}
+	Normalize(v)
+	return v
+}
+
+// Property: entropy of any distribution lies in [0, log k].
+func TestEntropyBoundsProperty(t *testing.T) {
+	rng := NewRand(7)
+	for i := 0; i < 500; i++ {
+		k := 2 + rng.Intn(8)
+		p := randomDistribution(rng, k)
+		h := Entropy(p)
+		if h < -1e-12 || h > MaxEntropy(k)+1e-9 {
+			t.Fatalf("entropy %v outside [0, %v] for %v", h, MaxEntropy(k), p)
+		}
+	}
+}
+
+// Property: KL divergence is non-negative (Gibbs' inequality).
+func TestKLNonNegativeProperty(t *testing.T) {
+	rng := NewRand(11)
+	for i := 0; i < 500; i++ {
+		k := 2 + rng.Intn(8)
+		p := randomDistribution(rng, k)
+		q := randomDistribution(rng, k)
+		if d := KLDivergence(p, q); d < 0 {
+			t.Fatalf("KL negative: %v for p=%v q=%v", d, p, q)
+		}
+		if d := SymmetricKL(p, q); d < 0 {
+			t.Fatalf("SymmetricKL negative: %v", d)
+		}
+	}
+}
+
+// Property: softmax output is a valid distribution for any finite logits.
+func TestSoftmaxDistributionProperty(t *testing.T) {
+	f := func(logits []float64) bool {
+		if len(logits) == 0 {
+			return true
+		}
+		for i := range logits {
+			if math.IsNaN(logits[i]) || math.IsInf(logits[i], 0) {
+				logits[i] = 0
+			}
+			logits[i] = math.Mod(logits[i], 50)
+		}
+		p := Softmax(logits, nil)
+		sum := 0.0
+		for _, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

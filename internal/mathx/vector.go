@@ -1,0 +1,209 @@
+// Package mathx provides the small numeric toolkit shared by every
+// CrowdLearn subsystem: dense vector and matrix helpers, the softmax
+// family, information-theoretic quantities (entropy, KL divergence), and
+// deterministic random-number utilities.
+//
+// All functions operate on plain []float64 slices so callers never pay for
+// wrapper types on hot paths. Functions that logically return a vector
+// accept an optional destination to allow allocation-free reuse where it
+// matters (classifier inference inside sensing-cycle loops).
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ; mismatched dimensions are a programming
+// error, not a runtime condition.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddScaled computes dst[i] += alpha * src[i] in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mathx: addScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Clone returns a copy of v. A nil input yields a nil output.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than two
+// elements.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	return math.Sqrt(Variance(v))
+}
+
+// Min returns the smallest element of v. It panics on an empty slice.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of v. It panics on an empty slice.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward the
+// lower index. It panics on an empty slice.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best := 0
+	for i, x := range v[1:] {
+		if x > v[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element, breaking ties toward
+// the lower index. It panics on an empty slice.
+func ArgMin(v []float64) int {
+	if len(v) == 0 {
+		panic("mathx: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range v[1:] {
+		if x < v[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// L2Norm returns the Euclidean norm of v.
+func L2Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// L1Distance returns the Manhattan distance between a and b.
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: l1 length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+// Normalize scales v in place so its elements sum to one. If the sum is not
+// positive the vector is replaced by the uniform distribution, which is the
+// safe fallback for aggregating degenerate committee votes.
+func Normalize(v []float64) {
+	s := Sum(v)
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		Fill(v, 1/float64(len(v)))
+		return
+	}
+	Scale(v, 1/s)
+}
+
+// Normalized returns a fresh normalized copy of v (see Normalize).
+func Normalized(v []float64) []float64 {
+	out := Clone(v)
+	Normalize(out)
+	return out
+}

@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{name: "empty", a: nil, b: nil, want: 0},
+		{name: "orthogonal", a: []float64{1, 0}, b: []float64{0, 1}, want: 0},
+		{name: "basic", a: []float64{1, 2, 3}, b: []float64{4, 5, 6}, want: 32},
+		{name: "negative", a: []float64{-1, 2}, b: []float64{3, -4}, want: -11},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dot(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AddScaled(dst, 2, []float64{10, 20, 30})
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddScaled result %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestSumMeanVariance(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(v); got != 40 {
+		t.Errorf("Sum = %v, want 40", got)
+	}
+	if got := Mean(v); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(v); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(v); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	v := []float64{3, -1, 7, 7, 0}
+	if got := Min(v); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(v); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if got := ArgMax(v); got != 2 {
+		t.Errorf("ArgMax = %v, want 2 (first of tie)", got)
+	}
+	if got := ArgMin(v); got != 1 {
+		t.Errorf("ArgMin = %v, want 1", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{1, 3}
+	Normalize(v)
+	if !almostEqual(v[0], 0.25, 1e-12) || !almostEqual(v[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v, want [0.25 0.75]", v)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	v := []float64{0, 0, 0, 0}
+	Normalize(v)
+	for _, x := range v {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Fatalf("Normalize of zero vector should be uniform, got %v", v)
+		}
+	}
+	w := []float64{math.NaN(), 1}
+	Normalize(w)
+	if !almostEqual(w[0], 0.5, 1e-12) {
+		t.Fatalf("Normalize of NaN vector should be uniform, got %v", w)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone must not alias the input")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) must be nil")
+	}
+}
+
+func TestL2NormL1Distance(t *testing.T) {
+	if got := L2Norm([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2Norm = %v, want 5", got)
+	}
+	if got := L1Distance([]float64{1, 2}, []float64{4, -2}); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("L1Distance = %v, want 7", got)
+	}
+}
+
+// Property: normalization always produces a probability vector.
+func TestNormalizedIsDistributionProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Abs(x)
+		}
+		out := Normalized(v)
+		sum := 0.0
+		for _, x := range out {
+			if x < 0 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric.
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			// Keep magnitudes small to avoid float reassociation noise.
+			a[i] = math.Mod(a[i], 1e3)
+			b[i] = math.Mod(b[i], 1e3)
+		}
+		return almostEqual(Dot(a, b), Dot(b, a), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package neural
+
+import "testing"
+
+func BenchmarkPredict(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	n := MustNew(32, 3, cfg)
+	if _, err := n.Train(syntheticClustersDim(1, 200, 32)); err != nil {
+		b.Fatal(err)
+	}
+	x := syntheticClustersDim(2, 1, 32)[0].Features
+	dst := make([]float64, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.PredictInto(x, dst)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	examples := syntheticClustersDim(3, 560, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n := MustNew(32, 3, cfg)
+		b.StartTimer()
+		if _, err := n.Train(examples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// syntheticClustersDim generalises the test helper to arbitrary dims.
+func syntheticClustersDim(seed int64, n, dim int) []Example {
+	base := syntheticClusters(seed, n)
+	out := make([]Example, len(base))
+	for i, ex := range base {
+		f := make([]float64, dim)
+		copy(f, ex.Features)
+		out[i] = Example{Features: f, Target: ex.Target}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package neural
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// TestBackpropMatchesNumericalGradient verifies the backpropagation
+// implementation against central finite differences. With momentum and
+// weight decay disabled, a single full-batch SGD step moves each weight
+// by exactly -lr * dL/dw, so the implied analytic gradient can be
+// recovered from the weight delta and compared to the numerical one.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	const (
+		lr  = 1e-3
+		eps = 1e-5
+	)
+	cfg := Config{
+		Hidden:           []int{5},
+		HiddenActivation: Tanh, // smooth activation: finite differences behave
+		LearningRate:     lr,
+		Momentum:         0,
+		WeightDecay:      0,
+		Epochs:           1,
+		BatchSize:        64, // full batch in one step
+		Seed:             7,
+	}
+	examples := []Example{
+		{Features: []float64{0.5, -0.2, 0.8}, Target: mathx.OneHot(3, 0)},
+		{Features: []float64{-0.1, 0.9, 0.3}, Target: mathx.OneHot(3, 2)},
+		{Features: []float64{0.7, 0.1, -0.6}, Target: []float64{0.2, 0.5, 0.3}},
+	}
+
+	// Mean cross-entropy over the batch for the network's current weights.
+	loss := func(n *Network) float64 {
+		var total float64
+		for _, ex := range examples {
+			total += mathx.CrossEntropy(ex.Target, n.Predict(ex.Features))
+		}
+		return total / float64(len(examples))
+	}
+
+	base := MustNew(3, 3, cfg)
+	ref := base.Clone() // pristine weights for numerical probing
+
+	// One SGD step on the base network.
+	if _, err := base.Train(examples); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare implied and numerical gradients on a sample of weights in
+	// every layer.
+	checked := 0
+	for li := range ref.layers {
+		for _, wi := range []int{0, len(ref.layers[li].w) / 2, len(ref.layers[li].w) - 1} {
+			implied := -(base.layers[li].w[wi] - ref.layers[li].w[wi]) / lr
+
+			probe := ref.Clone()
+			probe.layers[li].w[wi] += eps
+			up := loss(probe)
+			probe = ref.Clone()
+			probe.layers[li].w[wi] -= eps
+			down := loss(probe)
+			numerical := (up - down) / (2 * eps)
+
+			if diff := math.Abs(implied - numerical); diff > 1e-4*(1+math.Abs(numerical)) {
+				t.Errorf("layer %d weight %d: implied gradient %.8f vs numerical %.8f",
+					li, wi, implied, numerical)
+			}
+			checked++
+		}
+		// Also one bias per layer.
+		bi := len(ref.layers[li].b) - 1
+		implied := -(base.layers[li].b[bi] - ref.layers[li].b[bi]) / lr
+		probe := ref.Clone()
+		probe.layers[li].b[bi] += eps
+		up := loss(probe)
+		probe = ref.Clone()
+		probe.layers[li].b[bi] -= eps
+		down := loss(probe)
+		numerical := (up - down) / (2 * eps)
+		if diff := math.Abs(implied - numerical); diff > 1e-4*(1+math.Abs(numerical)) {
+			t.Errorf("layer %d bias %d: implied gradient %.8f vs numerical %.8f", li, bi, implied, numerical)
+		}
+		checked++
+	}
+	if checked < 6 {
+		t.Fatalf("only %d parameters checked", checked)
+	}
+}
+
+// TestSingleStepDecreasesLoss is the coarse cousin of the gradient check:
+// one small step must not increase the batch loss.
+func TestSingleStepDecreasesLoss(t *testing.T) {
+	cfg := Config{
+		Hidden:       []int{8},
+		LearningRate: 0.01,
+		Momentum:     0,
+		Epochs:       1,
+		BatchSize:    256,
+		Seed:         3,
+	}
+	examples := syntheticClusters(9, 120)
+	n := MustNew(4, 3, cfg)
+	loss := func() float64 {
+		var total float64
+		for _, ex := range examples {
+			total += mathx.CrossEntropy(ex.Target, n.Predict(ex.Features))
+		}
+		return total / float64(len(examples))
+	}
+	before := loss()
+	if _, err := n.Train(examples); err != nil {
+		t.Fatal(err)
+	}
+	if after := loss(); after >= before {
+		t.Errorf("one gradient step increased loss: %.6f -> %.6f", before, after)
+	}
+}

@@ -1,0 +1,476 @@
+// Package neural implements a from-scratch feed-forward neural network —
+// the stand-in for the paper's deep CNN stack (VGG16 fine-tuning etc.),
+// which is unavailable in an offline stdlib-only environment.
+//
+// The network supports dense layers with ReLU or Tanh activations, a
+// softmax cross-entropy output, minibatch stochastic gradient descent with
+// momentum and L2 weight decay, and deterministic initialisation from an
+// injected seed. That is everything the DDA experts need: they consume
+// fixed-length feature views produced by internal/imagery rather than raw
+// pixels, so the convolutional front-end of a real CNN is unnecessary.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+// Supported activations. The output layer always uses Identity followed by
+// an implicit softmax in the loss.
+const (
+	ReLU Activation = iota + 1
+	Tanh
+	Identity
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case Identity:
+		return x
+	default:
+		panic(fmt.Sprintf("neural: unknown activation %d", int(a)))
+	}
+}
+
+// derivative returns dA/dz given the activated output y = A(z).
+func (a Activation) derivative(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Identity:
+		return 1
+	default:
+		panic(fmt.Sprintf("neural: unknown activation %d", int(a)))
+	}
+}
+
+// layer is one dense layer: out = act(W·in + b).
+type layer struct {
+	in, out int
+	act     Activation
+	// w is row-major [out][in]; b is [out].
+	w, b []float64
+	// vw/vb hold the momentum buffers under SGDMomentum and the second
+	// (uncentred variance) moment under Adam.
+	vw, vb []float64
+	// mw/mb hold Adam's first-moment buffers; nil under SGDMomentum.
+	mw, mb []float64
+}
+
+func newLayer(rng interface{ NormFloat64() float64 }, in, out int, act Activation) *layer {
+	l := &layer{
+		in:  in,
+		out: out,
+		act: act,
+		w:   make([]float64, in*out),
+		b:   make([]float64, out),
+		vw:  make([]float64, in*out),
+		vb:  make([]float64, out),
+	}
+	// He initialisation, appropriate for ReLU and fine for Tanh at these
+	// sizes.
+	std := math.Sqrt(2 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// forward computes the activated outputs, writing pre-activations to zs if
+// non-nil (training path).
+func (l *layer) forward(in, out []float64) {
+	for o := 0; o < l.out; o++ {
+		row := l.w[o*l.in : (o+1)*l.in]
+		z := l.b[o] + mathx.Dot(row, in)
+		out[o] = l.act.apply(z)
+	}
+}
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+// Supported optimizers.
+const (
+	// SGDMomentum is classical stochastic gradient descent with momentum
+	// (the default).
+	SGDMomentum Optimizer = iota
+	// Adam is adaptive moment estimation (Kingma & Ba); more robust to
+	// learning-rate choice on small, noisy retraining batches.
+	Adam
+)
+
+// Config parameterises training.
+type Config struct {
+	// Hidden lists the hidden-layer widths, e.g. []int{32, 16}.
+	Hidden []int
+	// HiddenActivation applies to every hidden layer (default ReLU).
+	HiddenActivation Activation
+	// Optimizer selects the update rule (default SGDMomentum).
+	Optimizer Optimizer
+	// LearningRate is the optimizer step size.
+	LearningRate float64
+	// Momentum is the classical momentum coefficient (SGDMomentum only).
+	Momentum float64
+	// WeightDecay is the L2 regularisation coefficient.
+	WeightDecay float64
+	// Epochs is the number of full passes per Train call.
+	Epochs int
+	// BatchSize is the minibatch size (default 16).
+	BatchSize int
+	// Seed drives weight initialisation and minibatch shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns sensible training hyperparameters for the expert
+// models in this repository.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:           []int{32},
+		HiddenActivation: ReLU,
+		LearningRate:     0.05,
+		Momentum:         0.9,
+		WeightDecay:      1e-4,
+		Epochs:           60,
+		BatchSize:        16,
+		Seed:             1,
+	}
+}
+
+// Network is a feed-forward classifier with a softmax output.
+type Network struct {
+	cfg     Config
+	layers  []*layer
+	rng     *randSource
+	inDim   int
+	classes int
+	// scratch buffers for allocation-free inference.
+	scratch [][]float64
+	// adamStep counts Adam updates for bias correction.
+	adamStep int
+}
+
+// randSource narrows *rand.Rand so the package can be tested with a
+// deterministic stub if ever needed.
+type randSource struct {
+	r interface {
+		NormFloat64() float64
+		Perm(int) []int
+	}
+}
+
+// New constructs a network mapping inDim features to classes outputs.
+func New(inDim, classes int, cfg Config) (*Network, error) {
+	if inDim <= 0 || classes < 2 {
+		return nil, fmt.Errorf("neural: invalid shape in=%d classes=%d", inDim, classes)
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, errors.New("neural: learning rate must be positive")
+	}
+	if cfg.Epochs < 0 {
+		return nil, errors.New("neural: epochs must be non-negative")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.HiddenActivation == 0 {
+		cfg.HiddenActivation = ReLU
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	n := &Network{cfg: cfg, rng: &randSource{r: rng}, inDim: inDim, classes: classes}
+
+	prev := inDim
+	for _, h := range cfg.Hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("neural: hidden width must be positive, got %d", h)
+		}
+		n.layers = append(n.layers, newLayer(rng, prev, h, cfg.HiddenActivation))
+		prev = h
+	}
+	n.layers = append(n.layers, newLayer(rng, prev, classes, Identity))
+
+	n.scratch = make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		n.scratch[i] = make([]float64, l.out)
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error; for static known-good configs.
+func MustNew(inDim, classes int, cfg Config) *Network {
+	n, err := New(inDim, classes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// InputDim returns the expected feature dimensionality.
+func (n *Network) InputDim() int { return n.inDim }
+
+// Classes returns the number of output classes.
+func (n *Network) Classes() int { return n.classes }
+
+// Predict returns the softmax class distribution for x. The returned slice
+// is freshly allocated and safe for the caller to retain.
+func (n *Network) Predict(x []float64) []float64 {
+	logits := n.forward(x)
+	return mathx.Softmax(logits, make([]float64, n.classes))
+}
+
+// PredictInto is Predict writing into dst (len == classes).
+func (n *Network) PredictInto(x, dst []float64) []float64 {
+	return mathx.Softmax(n.forward(x), dst)
+}
+
+// forward runs inference through the scratch buffers, returning the final
+// logits (aliasing the last scratch buffer).
+func (n *Network) forward(x []float64) []float64 {
+	if len(x) != n.inDim {
+		panic(fmt.Sprintf("neural: input dim %d, want %d", len(x), n.inDim))
+	}
+	in := x
+	for i, l := range n.layers {
+		l.forward(in, n.scratch[i])
+		in = n.scratch[i]
+	}
+	return in
+}
+
+// Example is one training sample.
+type Example struct {
+	Features []float64
+	// Target is a class distribution; use mathx.OneHot for hard labels.
+	// Soft targets let MIC retrain on the crowd's aggregated label
+	// distribution rather than a collapsed argmax.
+	Target []float64
+}
+
+// Train runs cfg.Epochs of minibatch SGD over the examples and returns the
+// mean cross-entropy of the final epoch. It is safe to call repeatedly;
+// each call continues from the current weights (the retraining pathway in
+// MIC relies on this).
+func (n *Network) Train(examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, errors.New("neural: no training examples")
+	}
+	for i, ex := range examples {
+		if len(ex.Features) != n.inDim {
+			return 0, fmt.Errorf("neural: example %d has dim %d, want %d", i, len(ex.Features), n.inDim)
+		}
+		if len(ex.Target) != n.classes {
+			return 0, fmt.Errorf("neural: example %d target dim %d, want %d", i, len(ex.Target), n.classes)
+		}
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		order := n.rng.r.Perm(len(examples))
+		var epochLoss float64
+		for start := 0; start < len(order); start += n.cfg.BatchSize {
+			end := start + n.cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			epochLoss += n.trainBatch(examples, order[start:end])
+		}
+		lastLoss = epochLoss / float64(len(examples))
+	}
+	return lastLoss, nil
+}
+
+// TrainWith is Train with the epoch count and learning rate overridden
+// for this call only; non-positive values keep the configured defaults.
+// MIC's incremental retraining uses this for short, gentle fine-tuning
+// passes that continue from the current weights.
+func (n *Network) TrainWith(examples []Example, epochs int, learningRate float64) (float64, error) {
+	saved := n.cfg
+	if epochs > 0 {
+		n.cfg.Epochs = epochs
+	}
+	if learningRate > 0 {
+		n.cfg.LearningRate = learningRate
+	}
+	loss, err := n.Train(examples)
+	n.cfg = saved
+	return loss, err
+}
+
+// layerGrads accumulates one layer's gradients over a minibatch.
+type layerGrads struct{ gw, gb []float64 }
+
+// trainBatch accumulates gradients over one minibatch and applies one
+// optimizer update. Returns the summed cross-entropy over the batch.
+func (n *Network) trainBatch(examples []Example, idx []int) float64 {
+	gs := make([]layerGrads, len(n.layers))
+	for i, l := range n.layers {
+		gs[i] = layerGrads{gw: make([]float64, len(l.w)), gb: make([]float64, len(l.b))}
+	}
+
+	// Per-example activations (input + each layer output).
+	acts := make([][]float64, len(n.layers)+1)
+	var totalLoss float64
+	probs := make([]float64, n.classes)
+
+	for _, ei := range idx {
+		ex := examples[ei]
+		acts[0] = ex.Features
+		in := ex.Features
+		for li, l := range n.layers {
+			out := make([]float64, l.out)
+			l.forward(in, out)
+			acts[li+1] = out
+			in = out
+		}
+		mathx.Softmax(acts[len(n.layers)], probs)
+		totalLoss += mathx.CrossEntropy(ex.Target, probs)
+
+		// delta for softmax + cross-entropy: p - t.
+		delta := make([]float64, n.classes)
+		for c := 0; c < n.classes; c++ {
+			delta[c] = probs[c] - ex.Target[c]
+		}
+
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			l := n.layers[li]
+			inAct := acts[li]
+			// Gradients for this layer.
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gs[li].gb[o] += d
+				row := gs[li].gw[o*l.in : (o+1)*l.in]
+				for i2, v := range inAct {
+					row[i2] += d * v
+				}
+			}
+			if li == 0 {
+				break
+			}
+			// Backpropagate delta to the previous layer.
+			prev := n.layers[li-1]
+			newDelta := make([]float64, l.in)
+			for i2 := 0; i2 < l.in; i2++ {
+				var s float64
+				for o := 0; o < l.out; o++ {
+					s += delta[o] * l.w[o*l.in+i2]
+				}
+				newDelta[i2] = s * prev.act.derivative(inAct[i2])
+			}
+			delta = newDelta
+		}
+	}
+
+	// Optimizer update with L2 decay, averaged over the batch.
+	scale := 1 / float64(len(idx))
+	switch n.cfg.Optimizer {
+	case Adam:
+		n.adamUpdate(gs, scale)
+	default:
+		lr, mom, wd := n.cfg.LearningRate, n.cfg.Momentum, n.cfg.WeightDecay
+		for li, l := range n.layers {
+			for i := range l.w {
+				g := gs[li].gw[i]*scale + wd*l.w[i]
+				l.vw[i] = mom*l.vw[i] - lr*g
+				l.w[i] += l.vw[i]
+			}
+			for i := range l.b {
+				g := gs[li].gb[i] * scale
+				l.vb[i] = mom*l.vb[i] - lr*g
+				l.b[i] += l.vb[i]
+			}
+		}
+	}
+	return totalLoss
+}
+
+// adamUpdate applies one Adam step (Kingma & Ba) to every parameter.
+func (n *Network) adamUpdate(gs []layerGrads, scale float64) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	n.adamStep++
+	t := float64(n.adamStep)
+	corr1 := 1 - math.Pow(beta1, t)
+	corr2 := 1 - math.Pow(beta2, t)
+	lr, wd := n.cfg.LearningRate, n.cfg.WeightDecay
+	for li, l := range n.layers {
+		if l.mw == nil {
+			l.mw = make([]float64, len(l.w))
+			l.mb = make([]float64, len(l.b))
+		}
+		step := func(w, m, v []float64, g func(i int) float64) {
+			for i := range w {
+				gi := g(i)
+				m[i] = beta1*m[i] + (1-beta1)*gi
+				v[i] = beta2*v[i] + (1-beta2)*gi*gi
+				mHat := m[i] / corr1
+				vHat := v[i] / corr2
+				w[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+			}
+		}
+		step(l.w, l.mw, l.vw, func(i int) float64 { return gs[li].gw[i]*scale + wd*l.w[i] })
+		step(l.b, l.mb, l.vb, func(i int) float64 { return gs[li].gb[i] * scale })
+	}
+}
+
+// Clone returns a deep copy of the network (weights and momentum buffers).
+// MIC snapshots experts before retraining so a failed calibration can be
+// rolled back.
+func (n *Network) Clone() *Network {
+	cp := &Network{
+		cfg:      n.cfg,
+		rng:      n.rng, // deliberately shared: clone continues the stream
+		inDim:    n.inDim,
+		classes:  n.classes,
+		adamStep: n.adamStep,
+	}
+	cp.layers = make([]*layer, len(n.layers))
+	for i, l := range n.layers {
+		cp.layers[i] = &layer{
+			in:  l.in,
+			out: l.out,
+			act: l.act,
+			w:   mathx.Clone(l.w),
+			b:   mathx.Clone(l.b),
+			vw:  mathx.Clone(l.vw),
+			vb:  mathx.Clone(l.vb),
+			mw:  mathx.Clone(l.mw),
+			mb:  mathx.Clone(l.mb),
+		}
+	}
+	cp.scratch = make([][]float64, len(cp.layers))
+	for i, l := range cp.layers {
+		cp.scratch[i] = make([]float64, l.out)
+	}
+	return cp
+}
+
+// NumParameters returns the total number of trainable parameters.
+func (n *Network) NumParameters() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}

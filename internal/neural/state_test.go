@@ -1,0 +1,103 @@
+package neural
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 30
+	n := MustNew(4, 3, cfg)
+	if _, err := n.Train(syntheticClusters(1, 200)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1.5, 0.2, -0.3, 0.8}
+	a, b := n.Predict(probe), restored.Predict(probe)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored prediction differs: %v vs %v", a, b)
+		}
+	}
+	if restored.NumParameters() != n.NumParameters() {
+		t.Error("parameter count changed across roundtrip")
+	}
+}
+
+func TestRestoredNetworkCanContinueTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	n := MustNew(4, 3, cfg)
+	train := syntheticClusters(2, 150)
+	if _, err := n.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := restored.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1.0 {
+		t.Errorf("restored network lost its training: loss %v", loss)
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	n := MustNew(4, 3, DefaultConfig())
+	good := n.State()
+
+	tests := []struct {
+		name   string
+		mutate func(*State)
+	}{
+		{"zero input dim", func(s *State) { s.InDim = 0 }},
+		{"one class", func(s *State) { s.Classes = 1 }},
+		{"no layers", func(s *State) { s.Layers = nil }},
+		{"layer count mismatch", func(s *State) { s.Layers = s.Layers[:1] }},
+		{"layer shape mismatch", func(s *State) { s.Layers[0].In = 99 }},
+		{"weight length mismatch", func(s *State) { s.Layers[0].W = s.Layers[0].W[:1] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := n.State() // fresh deep copy per case
+			tt.mutate(&s)
+			if _, err := FromState(s); err == nil {
+				t.Errorf("%s should be rejected", tt.name)
+			}
+		})
+	}
+	if _, err := FromState(good); err != nil {
+		t.Fatalf("unmutated state rejected: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage input must be rejected")
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	n := MustNew(3, 2, DefaultConfig())
+	s := n.State()
+	s.Layers[0].W[0] += 100
+	s2 := n.State()
+	if s2.Layers[0].W[0] == s.Layers[0].W[0] {
+		t.Error("State must deep-copy parameters")
+	}
+}

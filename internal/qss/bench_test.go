@@ -1,0 +1,47 @@
+package qss
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+func trainedCommittee(b *testing.B) (*Committee, *imagery.Dataset) {
+	b.Helper()
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCommittee(classifier.StandardCommittee(imagery.DefaultDims, 1)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Train(classifier.SamplesFromImages(ds.Train)); err != nil {
+		b.Fatal(err)
+	}
+	return c, ds
+}
+
+func BenchmarkCommitteeVote(b *testing.B) {
+	c, ds := trainedCommittee(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Vote(ds.Test[i%len(ds.Test)])
+	}
+}
+
+func BenchmarkSelectQuerySet(b *testing.B) {
+	c, ds := trainedCommittee(b)
+	sel, err := NewSelector(0.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := ds.Test[:10]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Select(c, batch, 5)
+	}
+}

@@ -1,0 +1,170 @@
+// Package qss implements CrowdLearn's Query Set Selection module
+// (Section IV-A): a query-by-committee active-learning scheme that decides
+// which images to send to the crowd each sensing cycle.
+//
+// A committee of DDA experts votes on every unseen image; the weighted,
+// normalised vote (Eq. 2) yields a committee entropy (Eq. 3) measuring how
+// uncertain the AI is. Images are ranked by entropy and selected with an
+// epsilon-greedy rule (Algorithm 1): with probability 1-ε take the most
+// uncertain remaining image, with probability ε take a uniformly random
+// remaining one. The exploration term is what catches the images on which
+// every expert is confidently wrong (fakes), which pure uncertainty
+// sampling would never query.
+package qss
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Committee is a set of weighted DDA experts (Definitions 4, 5, 7).
+type Committee struct {
+	experts []classifier.Expert
+	weights []float64
+}
+
+// NewCommittee builds a committee with uniform expert weights.
+func NewCommittee(experts ...classifier.Expert) (*Committee, error) {
+	if len(experts) == 0 {
+		return nil, errors.New("qss: committee needs at least one expert")
+	}
+	w := make([]float64, len(experts))
+	mathx.Fill(w, 1/float64(len(experts)))
+	return &Committee{experts: experts, weights: w}, nil
+}
+
+// Experts returns the committee members (shared slice; treat as
+// read-only).
+func (c *Committee) Experts() []classifier.Expert { return c.experts }
+
+// Size returns the number of experts M.
+func (c *Committee) Size() int { return len(c.experts) }
+
+// Weights returns a copy of the current expert weights.
+func (c *Committee) Weights() []float64 { return mathx.Clone(c.weights) }
+
+// SetWeights replaces the expert weights; they are renormalised to sum to
+// one. The MIC module calls this after each sensing cycle.
+func (c *Committee) SetWeights(w []float64) error {
+	if len(w) != len(c.experts) {
+		return fmt.Errorf("qss: %d weights for %d experts", len(w), len(c.experts))
+	}
+	for _, x := range w {
+		if x < 0 {
+			return errors.New("qss: weights must be non-negative")
+		}
+	}
+	cp := mathx.Clone(w)
+	mathx.Normalize(cp)
+	c.weights = cp
+	return nil
+}
+
+// Train trains every member on the samples.
+func (c *Committee) Train(samples []classifier.Sample) error {
+	for _, e := range c.experts {
+		if err := e.Train(samples); err != nil {
+			return fmt.Errorf("qss: train %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// MemberVotes returns each expert's raw vote distribution for the image.
+func (c *Committee) MemberVotes(im *imagery.Image) [][]float64 {
+	votes := make([][]float64, len(c.experts))
+	for m, e := range c.experts {
+		votes[m] = e.Predict(im)
+	}
+	return votes
+}
+
+// Vote computes the committee vote rho (Eq. 2): the weight-blended member
+// distributions, normalised to a probability vector.
+func (c *Committee) Vote(im *imagery.Image) []float64 {
+	agg := make([]float64, imagery.NumLabels)
+	for m, e := range c.experts {
+		if c.weights[m] == 0 {
+			continue
+		}
+		mathx.AddScaled(agg, c.weights[m], e.Predict(im))
+	}
+	mathx.Normalize(agg)
+	return agg
+}
+
+// Entropy computes the committee entropy H (Eq. 3, Definition 8) of the
+// image: the Shannon entropy of the normalised committee vote.
+func (c *Committee) Entropy(im *imagery.Image) float64 {
+	return mathx.Entropy(c.Vote(im))
+}
+
+// Classify returns the committee's final label for the image: the argmax
+// of the committee vote.
+func (c *Committee) Classify(im *imagery.Image) imagery.Label {
+	return imagery.Label(mathx.ArgMax(c.Vote(im)))
+}
+
+// Selector implements the epsilon-greedy query set selection of
+// Algorithm 1.
+type Selector struct {
+	// Epsilon is the exploration probability (paper's ε-greedy strategy).
+	Epsilon float64
+	rng     *rand.Rand
+}
+
+// NewSelector builds a selector. Epsilon must lie in [0, 1].
+func NewSelector(epsilon float64, seed int64) (*Selector, error) {
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("qss: epsilon %v outside [0, 1]", epsilon)
+	}
+	return &Selector{Epsilon: epsilon, rng: mathx.NewRand(seed)}, nil
+}
+
+// Select picks querySize image indices out of images following
+// Algorithm 1: build the entropy-sorted list (high to low), then
+// repeatedly pop the head with probability 1-ε or a uniformly random
+// element with probability ε. Returns the selected indices in selection
+// order. querySize larger than len(images) selects everything.
+func (s *Selector) Select(c *Committee, images []*imagery.Image, querySize int) []int {
+	if querySize <= 0 || len(images) == 0 {
+		return nil
+	}
+	if querySize > len(images) {
+		querySize = len(images)
+	}
+	list := make([]scoredImage, len(images))
+	for i, im := range images {
+		list[i] = scoredImage{idx: i, entropy: c.Entropy(im)}
+	}
+	// Sort high-to-low entropy; ties break by index for determinism.
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].entropy != list[j].entropy {
+			return list[i].entropy > list[j].entropy
+		}
+		return list[i].idx < list[j].idx
+	})
+
+	out := make([]int, 0, querySize)
+	for len(out) < querySize {
+		pick := 0
+		if mathx.Bernoulli(s.rng, s.Epsilon) {
+			pick = s.rng.Intn(len(list))
+		}
+		out = append(out, list[pick].idx)
+		list = append(list[:pick], list[pick+1:]...)
+	}
+	return out
+}
+
+// scoredImage pairs an image index with its committee entropy.
+type scoredImage struct {
+	idx     int
+	entropy float64
+}

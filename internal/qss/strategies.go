@@ -1,0 +1,161 @@
+package qss
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Strategy scores an image for query priority: higher means more worth
+// querying. The paper's QSS uses committee entropy inside an ε-greedy
+// loop; the alternatives below are the standard active-learning scoring
+// rules, provided for the selection-strategy ablation.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Score returns the query priority of the image under the committee.
+	Score(c *Committee, im *imagery.Image) float64
+}
+
+// EntropyStrategy is the paper's committee-entropy score (Eq. 3).
+type EntropyStrategy struct{}
+
+var _ Strategy = EntropyStrategy{}
+
+// Name implements Strategy.
+func (EntropyStrategy) Name() string { return "entropy" }
+
+// Score implements Strategy.
+func (EntropyStrategy) Score(c *Committee, im *imagery.Image) float64 {
+	return c.Entropy(im)
+}
+
+// MarginStrategy scores by the negated margin between the committee's top
+// two classes: small margins (ambiguous calls) rank first.
+type MarginStrategy struct{}
+
+var _ Strategy = MarginStrategy{}
+
+// Name implements Strategy.
+func (MarginStrategy) Name() string { return "margin" }
+
+// Score implements Strategy.
+func (MarginStrategy) Score(c *Committee, im *imagery.Image) float64 {
+	vote := c.Vote(im)
+	top, second := 0.0, 0.0
+	for _, p := range vote {
+		switch {
+		case p > top:
+			top, second = p, top
+		case p > second:
+			second = p
+		}
+	}
+	return -(top - second)
+}
+
+// LeastConfidenceStrategy scores by one minus the committee's top-class
+// probability.
+type LeastConfidenceStrategy struct{}
+
+var _ Strategy = LeastConfidenceStrategy{}
+
+// Name implements Strategy.
+func (LeastConfidenceStrategy) Name() string { return "least-confidence" }
+
+// Score implements Strategy.
+func (LeastConfidenceStrategy) Score(c *Committee, im *imagery.Image) float64 {
+	return 1 - mathx.Max(c.Vote(im))
+}
+
+// DisagreementStrategy scores by the mean pairwise symmetric KL between
+// member votes — classic query-by-committee disagreement, sensitive to
+// experts contradicting each other even when the blended vote looks
+// confident.
+type DisagreementStrategy struct{}
+
+var _ Strategy = DisagreementStrategy{}
+
+// Name implements Strategy.
+func (DisagreementStrategy) Name() string { return "disagreement" }
+
+// Score implements Strategy.
+func (DisagreementStrategy) Score(c *Committee, im *imagery.Image) float64 {
+	votes := c.MemberVotes(im)
+	if len(votes) < 2 {
+		return 0
+	}
+	var total float64
+	pairs := 0
+	for i := 0; i < len(votes); i++ {
+		for j := i + 1; j < len(votes); j++ {
+			total += mathx.SymmetricKL(votes[i], votes[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+// StrategySelector generalises Selector to any scoring strategy, keeping
+// the ε-greedy exploration loop of Algorithm 1.
+type StrategySelector struct {
+	// Epsilon is the exploration probability.
+	Epsilon float64
+	// Strategy supplies the exploitation score.
+	Strategy Strategy
+	rng      *rand.Rand
+}
+
+// NewStrategySelector builds a selector over the given strategy.
+func NewStrategySelector(strategy Strategy, epsilon float64, seed int64) (*StrategySelector, error) {
+	if strategy == nil {
+		return nil, fmt.Errorf("qss: nil strategy")
+	}
+	if epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("qss: epsilon %v outside [0, 1]", epsilon)
+	}
+	return &StrategySelector{Epsilon: epsilon, Strategy: strategy, rng: mathx.NewRand(seed)}, nil
+}
+
+// Select mirrors Selector.Select with the pluggable score.
+func (s *StrategySelector) Select(c *Committee, images []*imagery.Image, querySize int) []int {
+	if querySize <= 0 || len(images) == 0 {
+		return nil
+	}
+	if querySize > len(images) {
+		querySize = len(images)
+	}
+	list := make([]scoredImage, len(images))
+	for i, im := range images {
+		list[i] = scoredImage{idx: i, entropy: s.Strategy.Score(c, im)}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].entropy != list[j].entropy {
+			return list[i].entropy > list[j].entropy
+		}
+		return list[i].idx < list[j].idx
+	})
+	out := make([]int, 0, querySize)
+	for len(out) < querySize {
+		pick := 0
+		if mathx.Bernoulli(s.rng, s.Epsilon) {
+			pick = s.rng.Intn(len(list))
+		}
+		out = append(out, list[pick].idx)
+		list = append(list[:pick], list[pick+1:]...)
+	}
+	return out
+}
+
+// Strategies returns every built-in strategy in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{
+		EntropyStrategy{},
+		MarginStrategy{},
+		LeastConfidenceStrategy{},
+		DisagreementStrategy{},
+	}
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+// Handler exposes a Service over HTTP/JSON:
+//
+//	POST /assess   {"context":"morning","imageIds":[1,2,3]} -> Response
+//	GET  /stats    -> Stats
+//	GET  /healthz  -> 200 once the service is running
+//
+// Clients reference images by ID against a registry supplied at
+// construction (the test split of the generated dataset, in the shipped
+// daemon). In a real deployment the registry would be an ingestion store
+// of crawled social-media images.
+type Handler struct {
+	svc    *Service
+	images map[int]*imagery.Image
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler builds the HTTP facade over svc with the given image
+// registry.
+func NewHandler(svc *Service, registry []*imagery.Image) (*Handler, error) {
+	if svc == nil {
+		return nil, errors.New("service: nil service")
+	}
+	h := &Handler{
+		svc:    svc,
+		images: make(map[int]*imagery.Image, len(registry)),
+		mux:    http.NewServeMux(),
+	}
+	for _, im := range registry {
+		if im == nil {
+			return nil, errors.New("service: nil image in registry")
+		}
+		h.images[im.ID] = im
+	}
+	h.mux.HandleFunc("/assess", h.handleAssess)
+	h.mux.HandleFunc("/stats", h.handleStats)
+	h.mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux.HandleFunc("/images", h.handleImages)
+	h.mux.HandleFunc("/", h.handleDashboard)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// AssessRequest is the JSON body of POST /assess.
+type AssessRequest struct {
+	// Context is the temporal context name: "morning", "afternoon",
+	// "evening" or "midnight".
+	Context string `json:"context"`
+	// ImageIDs reference registered images.
+	ImageIDs []int `json:"imageIds"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by
+	// the caller's middleware; the body is best-effort at that point.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func parseContext(name string) (crowd.TemporalContext, error) {
+	for _, ctx := range crowd.Contexts() {
+		if ctx.String() == name {
+			return ctx, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown context %q (want morning/afternoon/evening/midnight)", name)
+}
+
+func (h *Handler) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req AssessRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		return
+	}
+	ctx, err := parseContext(req.Context)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if len(req.ImageIDs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "imageIds must be non-empty"})
+		return
+	}
+	images := make([]*imagery.Image, len(req.ImageIDs))
+	for i, id := range req.ImageIDs {
+		im, ok := h.images[id]
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown image id %d", id)})
+			return
+		}
+		images[i] = im
+	}
+	resp, err := h.svc.Assess(r.Context(), Request{Context: ctx, Images: images})
+	if errors.Is(err, ErrNotRunning) {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, h.svc.Stats())
+}
+
+// handleImages lists the assessable image IDs so clients can discover the
+// registry without out-of-band knowledge.
+func (h *Handler) handleImages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	ids := make([]int, 0, len(h.images))
+	for id := range h.images {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	writeJSON(w, http.StatusOK, map[string]any{"imageIds": ids, "count": len(ids)})
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !h.svc.started {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not started"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,262 @@
+// Package service wraps a damage-assessment scheme (CrowdLearn or any
+// baseline) as a long-running service: the deployment shape the paper's
+// DDA application actually has, where imagery batches arrive continuously
+// and emergency-response consumers read assessments as they are produced.
+//
+// The Service owns a single worker goroutine so sensing cycles execute
+// strictly sequentially (the closed loop is stateful: expert weights,
+// bandit budget and retraining all carry across cycles). Concurrent
+// Assess callers are serialised through a request channel; lifecycle
+// follows the Start/Shutdown pattern with no fire-and-forget goroutines.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+)
+
+// Assessment is one image's final verdict.
+type Assessment struct {
+	// ImageID identifies the assessed image.
+	ImageID int `json:"imageId"`
+	// Label is the assigned damage severity.
+	Label imagery.Label `json:"label"`
+	// LabelName is the human-readable severity.
+	LabelName string `json:"labelName"`
+	// Confidence is the probability mass behind the label.
+	Confidence float64 `json:"confidence"`
+	// Source is "crowd" when the label came from crowd offloading and
+	// "ai" otherwise.
+	Source string `json:"source"`
+}
+
+// Request is one batch of imagery to assess.
+type Request struct {
+	// Context is the temporal context the batch arrives under.
+	Context crowd.TemporalContext
+	// Images are the batch's images.
+	Images []*imagery.Image
+}
+
+// Response is the outcome of one sensing cycle.
+type Response struct {
+	// CycleIndex is the service-assigned sequential cycle number.
+	CycleIndex int `json:"cycleIndex"`
+	// Assessments holds one verdict per input image, in input order.
+	Assessments []Assessment `json:"assessments"`
+	// AlgorithmDelaySeconds is the simulated compute time.
+	AlgorithmDelaySeconds float64 `json:"algorithmDelaySeconds"`
+	// CrowdDelaySeconds is the crowd completion delay (0 if no queries).
+	CrowdDelaySeconds float64 `json:"crowdDelaySeconds"`
+	// SpentDollars is the cycle's crowdsourcing spend.
+	SpentDollars float64 `json:"spentDollars"`
+	// QueriedImageIDs lists images that were sent to the crowd.
+	QueriedImageIDs []int `json:"queriedImageIds"`
+}
+
+// Stats summarises the service's lifetime activity.
+type Stats struct {
+	CyclesRun       int     `json:"cyclesRun"`
+	ImagesAssessed  int     `json:"imagesAssessed"`
+	CrowdQueries    int     `json:"crowdQueries"`
+	TotalSpent      float64 `json:"totalSpentDollars"`
+	MeanCrowdDelayS float64 `json:"meanCrowdDelaySeconds"`
+}
+
+// Service runs a scheme as a sequential assessment worker.
+type Service struct {
+	scheme core.Scheme
+
+	requests chan assessRequest
+	stop     chan struct{}
+	done     chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool
+
+	mu         sync.Mutex
+	nextCycle  int
+	stats      Stats
+	delayTotal time.Duration
+	delayed    int
+	recent     []Response
+}
+
+// recentCapacity bounds the in-memory response history used by the
+// dashboard.
+const recentCapacity = 20
+
+type assessRequest struct {
+	req   Request
+	reply chan assessReply
+}
+
+type assessReply struct {
+	resp Response
+	err  error
+}
+
+// ErrNotRunning is returned by Assess before Start or after Shutdown.
+var ErrNotRunning = errors.New("service: not running")
+
+// New wraps a scheme. The scheme must already be trained/bootstrapped.
+func New(scheme core.Scheme) (*Service, error) {
+	if scheme == nil {
+		return nil, errors.New("service: nil scheme")
+	}
+	return &Service{
+		scheme:   scheme,
+		requests: make(chan assessRequest),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the worker goroutine. Calling Start twice is a no-op.
+func (s *Service) Start() {
+	s.startOnce.Do(func() {
+		s.started = true
+		go s.run()
+	})
+}
+
+// Shutdown signals the worker to stop and waits for it to exit. The
+// context bounds the wait. In-flight cycles complete; queued requests
+// fail with ErrNotRunning.
+func (s *Service) Shutdown(ctx context.Context) error {
+	if !s.started {
+		return nil
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown: %w", ctx.Err())
+	}
+}
+
+// run is the worker loop.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.requests:
+			resp, err := s.process(req.req)
+			req.reply <- assessReply{resp: resp, err: err}
+		}
+	}
+}
+
+// Assess submits a batch and waits for its assessment. Safe for
+// concurrent use; batches are processed strictly in arrival order.
+func (s *Service) Assess(ctx context.Context, req Request) (Response, error) {
+	if !s.started {
+		return Response{}, ErrNotRunning
+	}
+	ar := assessRequest{req: req, reply: make(chan assessReply, 1)}
+	select {
+	case s.requests <- ar:
+	case <-s.stop:
+		return Response{}, ErrNotRunning
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	select {
+	case rep := <-ar.reply:
+		return rep.resp, rep.err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// process runs one sensing cycle on the worker goroutine.
+func (s *Service) process(req Request) (Response, error) {
+	s.mu.Lock()
+	cycle := s.nextCycle
+	s.mu.Unlock()
+
+	out, err := s.scheme.RunCycle(core.CycleInput{
+		Index:   cycle,
+		Context: req.Context,
+		Images:  req.Images,
+	})
+	if err != nil {
+		return Response{}, err
+	}
+
+	queried := make(map[int]bool, len(out.Queried))
+	ids := make([]int, 0, len(out.Queried))
+	for _, idx := range out.Queried {
+		queried[idx] = true
+		ids = append(ids, req.Images[idx].ID)
+	}
+	resp := Response{
+		CycleIndex:            cycle,
+		Assessments:           make([]Assessment, len(req.Images)),
+		AlgorithmDelaySeconds: out.AlgorithmDelay.Seconds(),
+		CrowdDelaySeconds:     out.CrowdDelay.Seconds(),
+		SpentDollars:          out.SpentDollars,
+		QueriedImageIDs:       ids,
+	}
+	labels := out.Labels()
+	for i, im := range req.Images {
+		source := "ai"
+		if queried[i] {
+			source = "crowd"
+		}
+		resp.Assessments[i] = Assessment{
+			ImageID:    im.ID,
+			Label:      labels[i],
+			LabelName:  labels[i].String(),
+			Confidence: out.Distributions[i][labels[i]],
+			Source:     source,
+		}
+	}
+
+	s.mu.Lock()
+	s.nextCycle++
+	s.stats.CyclesRun++
+	s.stats.ImagesAssessed += len(req.Images)
+	s.stats.CrowdQueries += len(out.Queried)
+	s.stats.TotalSpent += out.SpentDollars
+	if len(out.Queried) > 0 {
+		s.delayTotal += out.CrowdDelay
+		s.delayed++
+	}
+	if s.delayed > 0 {
+		s.stats.MeanCrowdDelayS = (s.delayTotal / time.Duration(s.delayed)).Seconds()
+	}
+	s.recent = append(s.recent, resp)
+	if len(s.recent) > recentCapacity {
+		s.recent = s.recent[len(s.recent)-recentCapacity:]
+	}
+	s.mu.Unlock()
+	return resp, nil
+}
+
+// Recent returns the most recent responses, newest last (bounded copy).
+func (s *Service) Recent() []Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Response, len(s.recent))
+	copy(out, s.recent)
+	return out
+}
+
+// Stats returns a snapshot of lifetime statistics.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,34 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 100; j++ {
+			c.Schedule(time.Duration(j)*time.Second, func(time.Duration) {})
+		}
+		c.Run()
+	}
+}
+
+func BenchmarkInterleavedScheduling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		n := 0
+		var chain func(now time.Duration)
+		chain = func(time.Duration) {
+			n++
+			if n < 200 {
+				c.Schedule(time.Second, chain)
+			}
+		}
+		c.Schedule(time.Second, chain)
+		c.Run()
+	}
+}

@@ -1,0 +1,75 @@
+package simclock
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Property: regardless of scheduling order, events fire in non-decreasing
+// time order and the final clock equals the latest event time.
+func TestEventOrderingProperty(t *testing.T) {
+	rng := mathx.NewRand(31)
+	for trial := 0; trial < 200; trial++ {
+		c := New()
+		n := 1 + rng.Intn(50)
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(1000)) * time.Millisecond
+		}
+		var fired []time.Duration
+		for _, d := range delays {
+			c.Schedule(d, func(now time.Duration) { fired = append(fired, now) })
+		}
+		end := c.Run()
+		if len(fired) != n {
+			t.Fatalf("fired %d events, want %d", len(fired), n)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("events fired out of order: %v", fired)
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		if end != delays[n-1] {
+			t.Fatalf("final time %v, want %v", end, delays[n-1])
+		}
+	}
+}
+
+// Property: AdvanceTo splits a run cleanly — the union of events fired
+// before and after the split equals the full set, with no event firing on
+// the wrong side of the deadline.
+func TestAdvanceToPartitionProperty(t *testing.T) {
+	rng := mathx.NewRand(32)
+	for trial := 0; trial < 100; trial++ {
+		c := New()
+		n := 1 + rng.Intn(40)
+		cut := time.Duration(rng.Intn(1000)) * time.Millisecond
+		early, late := 0, 0
+		wantEarly, wantLate := 0, 0
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			if d <= cut {
+				wantEarly++
+			} else {
+				wantLate++
+			}
+			c.Schedule(d, func(now time.Duration) {
+				if now <= cut {
+					early++
+				} else {
+					late++
+				}
+			})
+		}
+		c.AdvanceTo(cut)
+		if early != wantEarly || late != 0 {
+			t.Fatalf("after AdvanceTo: early %d/%d late %d", early, wantEarly, late)
+		}
+		c.Run()
+		if late != wantLate {
+			t.Fatalf("after Run: late %d, want %d", late, wantLate)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package simclock implements a deterministic discrete-event simulation
+// clock. The crowd platform simulator schedules worker arrivals and HIT
+// completions on this clock instead of sleeping on the wall clock, which
+// lets a 40-cycle MTurk campaign (hours of simulated time) run in
+// milliseconds while preserving exact ordering semantics.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Clock is a discrete-event simulation clock. The zero value is ready to
+// use and starts at time zero. Clock is not safe for concurrent use; the
+// simulator is single-threaded by design so that runs are reproducible.
+type Clock struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	id   uint64 // tiebreaker: FIFO among same-time events
+	call func(now time.Duration)
+}
+
+// New returns a clock starting at time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current simulated time as an offset from the start of
+// the simulation.
+func (c *Clock) Now() time.Duration {
+	return c.now
+}
+
+// Schedule registers fn to run at now+delay. A negative delay is treated
+// as zero. Events scheduled for the same instant fire in scheduling order.
+func (c *Clock) Schedule(delay time.Duration, fn func(now time.Duration)) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.nextID++
+	heap.Push(&c.queue, &event{at: c.now + delay, id: c.nextID, call: fn})
+}
+
+// ScheduleAt registers fn to run at the absolute simulated time at. Times
+// in the past are clamped to now.
+func (c *Clock) ScheduleAt(at time.Duration, fn func(now time.Duration)) {
+	if at < c.now {
+		at = c.now
+	}
+	c.nextID++
+	heap.Push(&c.queue, &event{at: at, id: c.nextID, call: fn})
+}
+
+// Step runs the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was run.
+func (c *Clock) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*event)
+	c.now = ev.at
+	ev.call(c.now)
+	return true
+}
+
+// Run drains the event queue completely, returning the final time.
+func (c *Clock) Run() time.Duration {
+	for c.Step() {
+	}
+	return c.now
+}
+
+// AdvanceTo runs every event scheduled up to and including deadline, then
+// sets the clock to deadline. Events scheduled beyond the deadline remain
+// queued.
+func (c *Clock) AdvanceTo(deadline time.Duration) {
+	for c.queue.Len() > 0 && c.queue[0].at <= deadline {
+		c.Step()
+	}
+	if deadline > c.now {
+		c.now = deadline
+	}
+}
+
+// Advance is AdvanceTo(Now()+d).
+func (c *Clock) Advance(d time.Duration) {
+	c.AdvanceTo(c.now + d)
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int {
+	return c.queue.Len()
+}
+
+// eventQueue is a min-heap ordered by (time, id).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,142 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+	fired := false
+	c.Schedule(time.Second, func(time.Duration) { fired = true })
+	c.Run()
+	if !fired {
+		t.Fatal("scheduled event did not fire")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	c.Schedule(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	c.Schedule(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	end := c.Run()
+	if end != 3*time.Second {
+		t.Errorf("final time %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must fire FIFO, got %v", order)
+		}
+	}
+}
+
+func TestNowDuringEvent(t *testing.T) {
+	c := New()
+	var seen time.Duration
+	c.Schedule(5*time.Second, func(now time.Duration) { seen = now })
+	c.Run()
+	if seen != 5*time.Second {
+		t.Errorf("event saw now=%v, want 5s", seen)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Second)
+	var at time.Duration
+	c.Schedule(-3*time.Second, func(now time.Duration) { at = now })
+	c.Run()
+	if at != 10*time.Second {
+		t.Errorf("negative delay should fire immediately at %v, fired at %v", 10*time.Second, at)
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	var at time.Duration
+	c.ScheduleAt(10*time.Second, func(now time.Duration) { at = now })
+	c.Run()
+	if at != time.Minute {
+		t.Errorf("past ScheduleAt should clamp to now, fired at %v", at)
+	}
+}
+
+func TestAdvanceToRunsDueEventsOnly(t *testing.T) {
+	c := New()
+	var fired []int
+	c.Schedule(time.Second, func(time.Duration) { fired = append(fired, 1) })
+	c.Schedule(5*time.Second, func(time.Duration) { fired = append(fired, 5) })
+	c.AdvanceTo(2 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("AdvanceTo(2s) fired %v, want [1]", fired)
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 2 {
+		t.Fatalf("remaining event never fired: %v", fired)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	var chain func(now time.Duration)
+	n := 0
+	chain = func(now time.Duration) {
+		times = append(times, now)
+		n++
+		if n < 5 {
+			c.Schedule(time.Second, chain)
+		}
+	}
+	c.Schedule(time.Second, chain)
+	c.Run()
+	if len(times) != 5 {
+		t.Fatalf("chained scheduling produced %d events, want 5", len(times))
+	}
+	if times[4] != 5*time.Second {
+		t.Errorf("last event at %v, want 5s", times[4])
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestAdvancePastEmptyQueueMovesClock(t *testing.T) {
+	c := New()
+	c.Advance(42 * time.Second)
+	if c.Now() != 42*time.Second {
+		t.Errorf("Now = %v, want 42s", c.Now())
+	}
+}

@@ -1,0 +1,273 @@
+// Package stats provides the statistical machinery used by the evaluation
+// harness: descriptive summaries, quantiles, the Wilcoxon signed-rank test
+// (used in the paper to show that raising incentives does not significantly
+// raise label quality, Figure 6), and paired-sample helpers.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary captures the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P25    float64
+	P75    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, x := range sorted {
+		d := x - mean
+		sq += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq / float64(len(sorted)))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P25:    Quantile(sorted, 0.25),
+		P75:    Quantile(sorted, 0.75),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
+// using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilcoxonResult is the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	// W is the signed-rank statistic (the smaller of the positive and
+	// negative rank sums).
+	W float64
+	// Z is the normal approximation z-score (with continuity correction).
+	Z float64
+	// P is the two-sided p-value from the normal approximation.
+	P float64
+	// N is the number of non-zero paired differences actually ranked.
+	N int
+}
+
+// ErrTooFewPairs is returned when fewer than 5 non-zero differences remain;
+// the normal approximation is meaningless below that.
+var ErrTooFewPairs = errors.New("stats: wilcoxon requires at least 5 non-zero paired differences")
+
+// Wilcoxon performs the two-sided Wilcoxon signed-rank test on paired
+// samples a and b, using the normal approximation with tie correction and
+// continuity correction. The paper applies this test between adjacent
+// incentive levels to show quality gains are not significant (p > 0.05).
+func Wilcoxon(a, b []float64) (WilcoxonResult, error) {
+	if len(a) != len(b) {
+		return WilcoxonResult{}, errors.New("stats: wilcoxon requires equal-length samples")
+	}
+	type pair struct {
+		abs  float64
+		sign float64
+	}
+	diffs := make([]pair, 0, len(a))
+	for i := range a {
+		d := a[i] - b[i]
+		if d == 0 {
+			continue // standard practice: drop zero differences
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1.0
+		}
+		diffs = append(diffs, pair{abs: math.Abs(d), sign: s})
+	}
+	n := len(diffs)
+	if n < 5 {
+		return WilcoxonResult{N: n}, ErrTooFewPairs
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
+
+	// Assign mid-ranks to ties and accumulate the tie correction term.
+	ranks := make([]float64, n)
+	var tieCorrection float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && diffs[j].abs == diffs[i].abs {
+			j++
+		}
+		// Ranks are 1-based; ties share the average rank of the run.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+
+	var wPlus, wMinus float64
+	for i, d := range diffs {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+
+	nf := float64(n)
+	meanW := nf * (nf + 1) / 4
+	varW := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
+	if varW <= 0 {
+		// All differences tied at the same magnitude and sign-balanced;
+		// no evidence either way.
+		return WilcoxonResult{W: w, Z: 0, P: 1, N: n}, nil
+	}
+	// Continuity correction of 0.5 toward the mean.
+	num := w - meanW
+	switch {
+	case num > 0.5:
+		num -= 0.5
+	case num < -0.5:
+		num += 0.5
+	default:
+		num = 0
+	}
+	z := num / math.Sqrt(varW)
+	p := 2 * normalSurvival(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return WilcoxonResult{W: w, Z: z, P: p, N: n}, nil
+}
+
+// normalSurvival returns P(Z > z) for a standard normal variable.
+func normalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// FleissKappa computes Fleiss' kappa, the chance-corrected agreement
+// among multiple raters over subjects with categorical ratings. counts
+// is a subjects x categories matrix of rating tallies; every subject must
+// have the same total number of ratings. Kappa is 1 for perfect
+// agreement, ~0 for chance-level agreement, negative for systematic
+// disagreement. The crowd analysis uses it to quantify how incentives
+// change inter-worker consistency, complementing Figure 6's accuracy
+// view.
+func FleissKappa(counts [][]int) (float64, error) {
+	if len(counts) == 0 {
+		return 0, errors.New("stats: fleiss kappa requires subjects")
+	}
+	categories := len(counts[0])
+	if categories == 0 {
+		return 0, errors.New("stats: fleiss kappa requires categories")
+	}
+	raters := 0
+	for _, row := range counts[0] {
+		raters += row
+	}
+	if raters < 2 {
+		return 0, errors.New("stats: fleiss kappa requires at least 2 ratings per subject")
+	}
+	n := float64(len(counts))
+	r := float64(raters)
+
+	// Per-subject agreement P_i and per-category prevalence p_j.
+	var pBar float64
+	prevalence := make([]float64, categories)
+	for i, row := range counts {
+		if len(row) != categories {
+			return 0, fmt.Errorf("stats: subject %d has %d categories, want %d", i, len(row), categories)
+		}
+		total := 0
+		var sumSq float64
+		for j, c := range row {
+			if c < 0 {
+				return 0, fmt.Errorf("stats: negative count at subject %d", i)
+			}
+			total += c
+			sumSq += float64(c) * float64(c)
+			prevalence[j] += float64(c)
+		}
+		if total != raters {
+			return 0, fmt.Errorf("stats: subject %d has %d ratings, want %d", i, total, raters)
+		}
+		pBar += (sumSq - r) / (r * (r - 1))
+	}
+	pBar /= n
+	var pe float64
+	for j := range prevalence {
+		p := prevalence[j] / (n * r)
+		pe += p * p
+	}
+	if pe >= 1 {
+		// All ratings in one category: agreement is trivially perfect.
+		return 1, nil
+	}
+	return (pBar - pe) / (1 - pe), nil
+}
+
+// MeanCI returns the mean of xs with a normal-approximation confidence
+// half-width at the given z multiplier (1.96 for 95%).
+func MeanCI(xs []float64, z float64) (mean, halfWidth float64) {
+	s := Summarize(xs)
+	if s.N < 2 {
+		return s.Mean, 0
+	}
+	return s.Mean, z * s.Std / math.Sqrt(float64(s.N))
+}
+
+// PairedDifferenceMean returns the mean of a[i]-b[i].
+func PairedDifferenceMean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: paired samples must have equal length")
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range a {
+		s += a[i] - b[i]
+	}
+	return s / float64(len(a)), nil
+}

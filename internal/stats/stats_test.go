@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 {
+		t.Errorf("N = %d, want 4", s.N)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("Min/Max = %v/%v, want 1/4", s.Min, s.Max)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("Median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summarize = %+v, want zero value", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10},
+		{1, 50},
+		{0.5, 30},
+		{0.25, 20},
+		{0.1, 14},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6}
+	_, err := Wilcoxon(a, a)
+	if !errors.Is(err, ErrTooFewPairs) {
+		t.Fatalf("identical samples leave no non-zero differences, want ErrTooFewPairs, got %v", err)
+	}
+}
+
+func TestWilcoxonLengthMismatch(t *testing.T) {
+	if _, err := Wilcoxon([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestWilcoxonClearDifference(t *testing.T) {
+	// b uniformly larger than a by a wide margin: strongly significant.
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	rng := mathx.NewRand(1)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = a[i] + 1 + rng.Float64()
+	}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.001 {
+		t.Errorf("clear difference should be significant, p = %v", res.P)
+	}
+	if res.N != 30 {
+		t.Errorf("N = %d, want 30", res.N)
+	}
+}
+
+func TestWilcoxonNoDifference(t *testing.T) {
+	// Symmetric noise around zero difference: should not be significant.
+	rng := mathx.NewRand(2)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 0.01*rng.NormFloat64()
+	}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Errorf("pure noise flagged significant, p = %v (z=%v)", res.P, res.Z)
+	}
+}
+
+func TestWilcoxonHandlesTies(t *testing.T) {
+	// Many tied magnitudes must not break the tie correction.
+	a := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	b := []float64{2, 2, 2, 0, 0, 2, 2, 2}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.P) || res.P < 0 || res.P > 1 {
+		t.Errorf("invalid p-value %v", res.P)
+	}
+}
+
+func TestWilcoxonStatisticDirection(t *testing.T) {
+	// Known tiny example: differences 1..6 all positive => W- = 0, W = 0.
+	a := []float64{2, 3, 4, 5, 6, 7}
+	b := []float64{1, 1, 1, 1, 1, 1}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 0 {
+		t.Errorf("all-positive differences must give W=0, got %v", res.W)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{1, 2, 3, 4, 5}, 1.96)
+	if mean != 3 {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	if hw <= 0 {
+		t.Errorf("half width must be positive, got %v", hw)
+	}
+	if _, hw := MeanCI([]float64{7}, 1.96); hw != 0 {
+		t.Errorf("single sample must have zero half width")
+	}
+}
+
+func TestPairedDifferenceMean(t *testing.T) {
+	d, err := PairedDifferenceMean([]float64{3, 5}, []float64{1, 1})
+	if err != nil || d != 3 {
+		t.Errorf("PairedDifferenceMean = %v, %v; want 3, nil", d, err)
+	}
+	if _, err := PairedDifferenceMean([]float64{1}, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if d, err := PairedDifferenceMean(nil, nil); err != nil || d != 0 {
+		t.Errorf("empty input: got %v, %v", d, err)
+	}
+}
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	// 4 subjects, 3 categories, 5 raters each, all unanimous.
+	counts := [][]int{{5, 0, 0}, {0, 5, 0}, {0, 0, 5}, {5, 0, 0}}
+	k, err := FleissKappa(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-12 {
+		t.Errorf("unanimous kappa %v, want 1", k)
+	}
+}
+
+func TestFleissKappaSingleCategory(t *testing.T) {
+	counts := [][]int{{5, 0}, {5, 0}}
+	k, err := FleissKappa(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("degenerate single-category kappa %v, want 1", k)
+	}
+}
+
+func TestFleissKappaChanceAgreement(t *testing.T) {
+	// Random ratings over 3 categories: kappa ~ 0.
+	rng := mathx.NewRand(5)
+	counts := make([][]int, 400)
+	for i := range counts {
+		row := make([]int, 3)
+		for r := 0; r < 6; r++ {
+			row[rng.Intn(3)]++
+		}
+		counts[i] = row
+	}
+	k, err := FleissKappa(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 0.05 {
+		t.Errorf("chance-level kappa %v, want ~0", k)
+	}
+}
+
+func TestFleissKappaKnownValue(t *testing.T) {
+	// The canonical worked example (10 subjects, 5 categories, 14
+	// raters); the published kappa is 0.210.
+	counts := [][]int{
+		{0, 0, 0, 0, 14}, {0, 2, 6, 4, 2}, {0, 0, 3, 5, 6}, {0, 3, 9, 2, 0},
+		{2, 2, 8, 1, 1}, {7, 7, 0, 0, 0}, {3, 2, 6, 3, 0}, {2, 5, 3, 2, 2},
+		{6, 5, 2, 1, 0}, {0, 2, 2, 3, 7},
+	}
+	k, err := FleissKappa(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-0.20993) > 0.0005 {
+		t.Errorf("kappa %v, want ~0.210 (canonical example)", k)
+	}
+}
+
+func TestFleissKappaValidation(t *testing.T) {
+	if _, err := FleissKappa(nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := FleissKappa([][]int{{}}); err == nil {
+		t.Error("no categories must error")
+	}
+	if _, err := FleissKappa([][]int{{1, 0}}); err == nil {
+		t.Error("single rater must error")
+	}
+	if _, err := FleissKappa([][]int{{3, 0}, {1, 0}}); err == nil {
+		t.Error("inconsistent rating counts must error")
+	}
+	if _, err := FleissKappa([][]int{{3, 0}, {4, -1}}); err == nil {
+		t.Error("negative counts must error")
+	}
+	if _, err := FleissKappa([][]int{{2, 1}, {2, 1, 0}}); err == nil {
+		t.Error("ragged rows must error")
+	}
+}
+
+// Property: Wilcoxon p-value is always in [0,1] and symmetric in argument
+// order.
+func TestWilcoxonSymmetryProperty(t *testing.T) {
+	rng := mathx.NewRand(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 8 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64() + 0.2
+		}
+		r1, err1 := Wilcoxon(a, b)
+		r2, err2 := Wilcoxon(b, a)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if r1.P < 0 || r1.P > 1 {
+			t.Fatalf("p-value %v out of range", r1.P)
+		}
+		if math.Abs(r1.P-r2.P) > 1e-9 {
+			t.Fatalf("two-sided p must be symmetric: %v vs %v", r1.P, r2.P)
+		}
+		if math.Abs(r1.W-r2.W) > 1e-9 {
+			t.Fatalf("W (min rank sum) must be symmetric: %v vs %v", r1.W, r2.W)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package truth
+
+import "testing"
+
+func BenchmarkVoting(b *testing.B) {
+	results, _ := buildBatch(1, 200)
+	agg := MajorityVoting{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Aggregate(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTDEM(b *testing.B) {
+	results, _ := buildBatch(2, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		agg := NewTDEM() // fresh state: measure one cold EM batch
+		b.StartTimer()
+		if _, err := agg.Aggregate(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiltering(b *testing.B) {
+	results, _ := buildBatch(3, 200)
+	agg := NewFiltering()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Aggregate(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package truth
+
+import (
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Filtering is the worker-quality-filtering baseline: workers whose
+// historical agreement with the batch consensus falls below a threshold
+// are blacklisted, and the remaining workers' labels are majority-voted.
+//
+// As the paper notes (Section IV-C), filtering fails for workers that are
+// new to the platform: with no history they cannot be distinguished, so
+// they are given the benefit of the doubt until MinHistory answers have
+// accumulated.
+type Filtering struct {
+	// AgreementThreshold is the minimum historical consensus-agreement
+	// rate to stay off the blacklist (default 0.6).
+	AgreementThreshold float64
+	// MinHistory is the number of recorded answers before a worker can be
+	// blacklisted (default 8).
+	MinHistory int
+
+	agree map[int]float64
+	seen  map[int]float64
+}
+
+var _ Aggregator = (*Filtering)(nil)
+
+// NewFiltering builds a filtering aggregator with default thresholds.
+func NewFiltering() *Filtering {
+	return &Filtering{
+		AgreementThreshold: 0.6,
+		MinHistory:         8,
+		agree:              make(map[int]float64),
+		seen:               make(map[int]float64),
+	}
+}
+
+// Name implements Aggregator.
+func (f *Filtering) Name() string { return "filtering" }
+
+// Blacklisted reports whether the worker is currently excluded.
+func (f *Filtering) Blacklisted(workerID int) bool {
+	n := f.seen[workerID]
+	if n < float64(f.MinHistory) {
+		return false
+	}
+	return f.agree[workerID]/n < f.AgreementThreshold
+}
+
+// Aggregate implements Aggregator.
+func (f *Filtering) Aggregate(results []crowd.QueryResult) ([][]float64, error) {
+	if len(results) == 0 {
+		return nil, errNoResults
+	}
+	out := make([][]float64, len(results))
+	for i, qr := range results {
+		counts := voteCounts(qr)
+		filtered := make([]float64, len(counts))
+		anyKept := false
+		for _, r := range qr.Responses {
+			if !r.Label.Valid() || f.Blacklisted(r.WorkerID) {
+				continue
+			}
+			filtered[r.Label]++
+			anyKept = true
+		}
+		if !anyKept {
+			// Everyone blacklisted: fall back to the raw vote rather than
+			// returning nothing.
+			filtered = counts
+		}
+		mathx.Normalize(filtered)
+		out[i] = filtered
+
+		// Update history against this query's (filtered) consensus.
+		consensus := mathx.ArgMax(filtered)
+		for _, r := range qr.Responses {
+			if !r.Label.Valid() {
+				continue
+			}
+			f.seen[r.WorkerID]++
+			if int(r.Label) == consensus {
+				f.agree[r.WorkerID]++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package truth
+
+import (
+	"math"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// TDEM is the truth-discovery baseline: an EM algorithm that jointly
+// estimates worker reliabilities and query truths under a symmetric-error
+// worker model — worker w answers the true label with probability r_w and
+// otherwise picks uniformly among the wrong labels.
+//
+// TDEM is stateful: reliability pseudo-counts persist across Aggregate
+// calls, so a worker's reputation accumulates over sensing cycles. The
+// paper notes TD-EM struggles when each worker has answered few queries
+// (Section IV-C); the persistent state reproduces exactly that behaviour —
+// early cycles have weak reliability estimates that sharpen over time.
+type TDEM struct {
+	// MaxIterations bounds the EM loop (default 50).
+	MaxIterations int
+	// Tolerance stops EM when truths move less than this in L1 (default
+	// 1e-6).
+	Tolerance float64
+	// PriorCorrect and PriorTotal are the Beta-like pseudo-counts every
+	// worker starts with (default 8 of 10: a mildly optimistic prior,
+	// strong enough that a worker's reputation moves slowly while they
+	// have answered few queries).
+	PriorCorrect, PriorTotal float64
+	// Temper scales each response's log-likelihood contribution in the
+	// E-step (default 0.7). Real crowd errors are correlated across
+	// workers, which violates the model's independence assumption;
+	// tempering keeps the posterior from over-committing to a consensus
+	// of correlated mistakes.
+	Temper float64
+
+	// accumulated per-worker evidence from previous batches.
+	correct map[int]float64
+	total   map[int]float64
+}
+
+var _ Aggregator = (*TDEM)(nil)
+
+// NewTDEM builds a TD-EM aggregator with default hyperparameters.
+func NewTDEM() *TDEM {
+	return &TDEM{
+		MaxIterations: 50,
+		Tolerance:     1e-6,
+		PriorCorrect:  8,
+		PriorTotal:    10,
+		Temper:        0.7,
+		correct:       make(map[int]float64),
+		total:         make(map[int]float64),
+	}
+}
+
+// Name implements Aggregator.
+func (t *TDEM) Name() string { return "td-em" }
+
+// Reliability returns the current reliability estimate for a worker,
+// incorporating prior pseudo-counts.
+func (t *TDEM) Reliability(workerID int) float64 {
+	c := t.correct[workerID] + t.PriorCorrect
+	n := t.total[workerID] + t.PriorTotal
+	return mathx.Clamp(c/n, 0.05, 0.99)
+}
+
+// Aggregate implements Aggregator: EM over the batch, warm-started from
+// accumulated worker reputations, which are updated from the converged
+// posteriors afterwards.
+func (t *TDEM) Aggregate(results []crowd.QueryResult) ([][]float64, error) {
+	if len(results) == 0 {
+		return nil, errNoResults
+	}
+	k := float64(imagery.NumLabels)
+
+	// Initialise truths from majority voting (standard EM warm start).
+	truths, err := MajorityVoting{}.Aggregate(results)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the worker set of this batch.
+	workers := make(map[int]float64) // id -> reliability
+	for _, qr := range results {
+		for _, r := range qr.Responses {
+			if _, ok := workers[r.WorkerID]; !ok {
+				workers[r.WorkerID] = t.Reliability(r.WorkerID)
+			}
+		}
+	}
+
+	for iter := 0; iter < t.MaxIterations; iter++ {
+		// M-step: re-estimate reliabilities from current truths plus the
+		// persistent pseudo-counts.
+		batchCorrect := make(map[int]float64, len(workers))
+		batchTotal := make(map[int]float64, len(workers))
+		for qi, qr := range results {
+			for _, r := range qr.Responses {
+				batchCorrect[r.WorkerID] += truths[qi][r.Label]
+				batchTotal[r.WorkerID]++
+			}
+		}
+		for id := range workers {
+			c := batchCorrect[id] + t.correct[id] + t.PriorCorrect
+			n := batchTotal[id] + t.total[id] + t.PriorTotal
+			workers[id] = mathx.Clamp(c/n, 0.05, 0.99)
+		}
+
+		// E-step: recompute truth posteriors from reliabilities.
+		temper := t.Temper
+		if temper <= 0 {
+			temper = 1
+		}
+		var moved float64
+		for qi, qr := range results {
+			logPost := make([]float64, imagery.NumLabels)
+			for _, r := range qr.Responses {
+				rel := workers[r.WorkerID]
+				wrong := (1 - rel) / (k - 1)
+				for l := 0; l < imagery.NumLabels; l++ {
+					if imagery.Label(l) == r.Label {
+						logPost[l] += temper * math.Log(rel)
+					} else {
+						logPost[l] += temper * math.Log(wrong)
+					}
+				}
+			}
+			post := mathx.Softmax(logPost, nil)
+			moved += mathx.L1Distance(post, truths[qi])
+			truths[qi] = post
+		}
+		if moved < t.Tolerance {
+			break
+		}
+	}
+
+	// Fold the converged batch evidence into the persistent reputation.
+	for qi, qr := range results {
+		for _, r := range qr.Responses {
+			t.correct[r.WorkerID] += truths[qi][r.Label]
+			t.total[r.WorkerID]++
+		}
+	}
+	return truths, nil
+}

@@ -1,0 +1,76 @@
+// Package truth implements the crowd truth-inference baselines that the
+// paper compares CQC against in Table I:
+//
+//   - Voting: plain majority voting over worker labels;
+//   - TD-EM: truth discovery via expectation-maximisation, jointly
+//     estimating each worker's reliability and each query's true label
+//     (a Dawid–Skene-style symmetric-error model);
+//   - Filtering: worker quality filtering, which blacklists workers whose
+//     historical agreement with the consensus is poor and majority-votes
+//     among the rest.
+//
+// Aggregators return a label distribution per query rather than a hard
+// label, because the MIC module consumes distributions (Eq. 5 compares the
+// crowd's label distribution with each expert's output distribution).
+package truth
+
+import (
+	"errors"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// Aggregator infers per-query label distributions from crowd responses.
+// Implementations may keep state across calls (worker reputation builds up
+// over sensing cycles).
+type Aggregator interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Aggregate returns one distribution over imagery.NumLabels classes
+	// per query result, in input order.
+	Aggregate(results []crowd.QueryResult) ([][]float64, error)
+}
+
+// Decide collapses a label distribution to its argmax label.
+func Decide(dist []float64) imagery.Label {
+	return imagery.Label(mathx.ArgMax(dist))
+}
+
+// errNoResults is shared input validation.
+var errNoResults = errors.New("truth: no query results to aggregate")
+
+// voteCounts tallies worker labels for one query.
+func voteCounts(qr crowd.QueryResult) []float64 {
+	counts := make([]float64, imagery.NumLabels)
+	for _, r := range qr.Responses {
+		if r.Label.Valid() {
+			counts[r.Label]++
+		}
+	}
+	return counts
+}
+
+// MajorityVoting is the Voting baseline: the aggregated distribution is
+// simply the normalised vote histogram.
+type MajorityVoting struct{}
+
+var _ Aggregator = MajorityVoting{}
+
+// Name implements Aggregator.
+func (MajorityVoting) Name() string { return "voting" }
+
+// Aggregate implements Aggregator.
+func (MajorityVoting) Aggregate(results []crowd.QueryResult) ([][]float64, error) {
+	if len(results) == 0 {
+		return nil, errNoResults
+	}
+	out := make([][]float64, len(results))
+	for i, qr := range results {
+		counts := voteCounts(qr)
+		mathx.Normalize(counts)
+		out[i] = counts
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package truth
+
+import (
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// synthResult builds a QueryResult with the given worker labels for an
+// image whose truth is trueLabel.
+func synthResult(trueLabel imagery.Label, workerLabels map[int]imagery.Label) crowd.QueryResult {
+	im := &imagery.Image{TrueLabel: trueLabel, ApparentLabel: trueLabel}
+	qr := crowd.QueryResult{Query: crowd.Query{Image: im, Incentive: 4}}
+	for id, l := range workerLabels {
+		qr.Responses = append(qr.Responses, crowd.Response{WorkerID: id, Label: l})
+	}
+	return qr
+}
+
+func TestMajorityVotingBasic(t *testing.T) {
+	qr := synthResult(imagery.SevereDamage, map[int]imagery.Label{
+		1: imagery.SevereDamage,
+		2: imagery.SevereDamage,
+		3: imagery.NoDamage,
+	})
+	dists, err := MajorityVoting{}.Aggregate([]crowd.QueryResult{qr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decide(dists[0]); got != imagery.SevereDamage {
+		t.Errorf("majority decided %v, want severe", got)
+	}
+	if dists[0][imagery.SevereDamage] < 0.6 || dists[0][imagery.SevereDamage] > 0.7 {
+		t.Errorf("severe mass %v, want 2/3", dists[0][imagery.SevereDamage])
+	}
+}
+
+func TestAggregatorsRejectEmpty(t *testing.T) {
+	aggs := []Aggregator{MajorityVoting{}, NewTDEM(), NewFiltering()}
+	for _, a := range aggs {
+		if _, err := a.Aggregate(nil); err == nil {
+			t.Errorf("%s must reject empty input", a.Name())
+		}
+	}
+}
+
+// buildBatch fabricates a batch where workers 0..3 are accurate (90%) and
+// workers 4..5 are adversarially bad (20%), over n queries.
+func buildBatch(seed int64, n int) ([]crowd.QueryResult, []imagery.Label) {
+	rng := mathx.NewRand(seed)
+	good := []float64{0.92, 0.9, 0.88, 0.9}
+	bad := []float64{0.2, 0.25}
+	results := make([]crowd.QueryResult, n)
+	truths := make([]imagery.Label, n)
+	for i := 0; i < n; i++ {
+		truth := imagery.Label(rng.Intn(imagery.NumLabels))
+		truths[i] = truth
+		labels := make(map[int]imagery.Label)
+		answer := func(id int, acc float64) {
+			if mathx.Bernoulli(rng, acc) {
+				labels[id] = truth
+			} else {
+				labels[id] = imagery.Label((int(truth) + 1 + rng.Intn(imagery.NumLabels-1)) % imagery.NumLabels)
+			}
+		}
+		for id, acc := range good {
+			answer(id, acc)
+		}
+		for j, acc := range bad {
+			answer(len(good)+j, acc)
+		}
+		results[i] = synthResult(truth, labels)
+	}
+	return results, truths
+}
+
+func aggAccuracy(t *testing.T, a Aggregator, results []crowd.QueryResult, truths []imagery.Label) float64 {
+	t.Helper()
+	dists, err := a.Aggregate(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, d := range dists {
+		if Decide(d) == truths[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truths))
+}
+
+func TestTDEMBeatsVotingWithUnreliableWorkers(t *testing.T) {
+	results, truths := buildBatch(1, 300)
+	votingAcc := aggAccuracy(t, MajorityVoting{}, results, truths)
+	tdemAcc := aggAccuracy(t, NewTDEM(), results, truths)
+	if tdemAcc < votingAcc {
+		t.Errorf("TD-EM (%.3f) should beat voting (%.3f) when reliabilities vary", tdemAcc, votingAcc)
+	}
+	if tdemAcc < 0.9 {
+		t.Errorf("TD-EM accuracy %.3f too low on easy synthetic batch", tdemAcc)
+	}
+}
+
+func TestTDEMLearnsWorkerReliability(t *testing.T) {
+	results, _ := buildBatch(2, 300)
+	tdem := NewTDEM()
+	if _, err := tdem.Aggregate(results); err != nil {
+		t.Fatal(err)
+	}
+	// Workers 0..3 good, 4..5 bad.
+	for id := 0; id < 4; id++ {
+		if r := tdem.Reliability(id); r < 0.75 {
+			t.Errorf("good worker %d reliability %.3f too low", id, r)
+		}
+	}
+	for id := 4; id < 6; id++ {
+		if r := tdem.Reliability(id); r > 0.5 {
+			t.Errorf("bad worker %d reliability %.3f too high", id, r)
+		}
+	}
+}
+
+func TestTDEMStatePersistsAcrossBatches(t *testing.T) {
+	tdem := NewTDEM()
+	results, _ := buildBatch(3, 200)
+	if _, err := tdem.Aggregate(results); err != nil {
+		t.Fatal(err)
+	}
+	relAfterFirst := tdem.Reliability(4) // bad worker
+	// A fresh aggregator knows nothing: prior only.
+	fresh := NewTDEM()
+	if fresh.Reliability(4) <= relAfterFirst {
+		t.Errorf("persistent state should have downgraded worker 4: fresh %.3f vs trained %.3f",
+			fresh.Reliability(4), relAfterFirst)
+	}
+}
+
+func TestFilteringBlacklistsBadWorkers(t *testing.T) {
+	f := NewFiltering()
+	results, truths := buildBatch(4, 200)
+	// First pass builds history.
+	if _, err := f.Aggregate(results); err != nil {
+		t.Fatal(err)
+	}
+	for id := 4; id < 6; id++ {
+		if !f.Blacklisted(id) {
+			t.Errorf("bad worker %d should be blacklisted after 200 queries", id)
+		}
+	}
+	for id := 0; id < 4; id++ {
+		if f.Blacklisted(id) {
+			t.Errorf("good worker %d wrongly blacklisted", id)
+		}
+	}
+	// Second pass should now beat plain voting.
+	results2, truths2 := buildBatch(5, 200)
+	filtAcc := aggAccuracy(t, f, results2, truths2)
+	votingAcc := aggAccuracy(t, MajorityVoting{}, results2, truths2)
+	if filtAcc < votingAcc {
+		t.Errorf("filtering (%.3f) should beat voting (%.3f) once history exists", filtAcc, votingAcc)
+	}
+	_ = truths
+}
+
+func TestFilteringNewWorkersNotBlacklisted(t *testing.T) {
+	f := NewFiltering()
+	if f.Blacklisted(42) {
+		t.Error("a never-seen worker must not be blacklisted")
+	}
+}
+
+func TestFilteringAllBlacklistedFallsBack(t *testing.T) {
+	f := NewFiltering()
+	f.MinHistory = 1
+	// Force two workers into the blacklist by feeding disagreement history.
+	for i := 0; i < 20; i++ {
+		qr := synthResult(imagery.NoDamage, map[int]imagery.Label{
+			1: imagery.NoDamage, 2: imagery.NoDamage, 3: imagery.NoDamage,
+			8: imagery.SevereDamage, 9: imagery.ModerateDamage,
+		})
+		if _, err := f.Aggregate([]crowd.QueryResult{qr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Blacklisted(8) || !f.Blacklisted(9) {
+		t.Fatal("disagreeing workers should be blacklisted")
+	}
+	// A query answered only by blacklisted workers must still aggregate.
+	qr := synthResult(imagery.SevereDamage, map[int]imagery.Label{
+		8: imagery.SevereDamage, 9: imagery.SevereDamage,
+	})
+	dists, err := f.Aggregate([]crowd.QueryResult{qr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Decide(dists[0]) != imagery.SevereDamage {
+		t.Error("fallback to raw votes failed")
+	}
+}
+
+// Integration against the real platform: all three baselines should land
+// in a plausible accuracy band on genuine simulated crowd responses, with
+// voting at or below the more principled schemes on average.
+func TestAggregatorsOnRealPlatform(t *testing.T) {
+	ds := imagery.MustGenerate(imagery.DefaultConfig())
+	platform := crowd.MustNewPlatform(crowd.DefaultConfig())
+	queries := make([]crowd.Query, 150)
+	for i := range queries {
+		queries[i] = crowd.Query{Image: ds.Train[i], Incentive: 6}
+	}
+	results, err := platform.Submit(simclock.New(), Evening(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := make([]imagery.Label, len(results))
+	for i, qr := range results {
+		truths[i] = qr.Query.Image.TrueLabel
+	}
+	votingAcc := aggAccuracy(t, MajorityVoting{}, results, truths)
+	tdemAcc := aggAccuracy(t, NewTDEM(), results, truths)
+	filtAcc := aggAccuracy(t, NewFiltering(), results, truths)
+
+	for name, acc := range map[string]float64{"voting": votingAcc, "td-em": tdemAcc, "filtering": filtAcc} {
+		if acc < 0.7 || acc > 0.99 {
+			t.Errorf("%s accuracy %.3f outside plausible band [0.7, 0.99]", name, acc)
+		}
+	}
+	// On a single batch each worker answers only ~3 queries, so TD-EM's
+	// reliability estimates barely move off the prior; it must track
+	// voting within noise (its edge appears once reputation accumulates).
+	if tdemAcc+0.05 < votingAcc {
+		t.Errorf("td-em (%.3f) substantially below voting (%.3f)", tdemAcc, votingAcc)
+	}
+}
+
+// Evening re-exported for readability in this test file.
+func Evening() crowd.TemporalContext { return crowd.Evening }
+
+func TestDecide(t *testing.T) {
+	if Decide([]float64{0.2, 0.5, 0.3}) != imagery.ModerateDamage {
+		t.Error("Decide wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (MajorityVoting{}).Name() != "voting" {
+		t.Error("voting name")
+	}
+	if NewTDEM().Name() != "td-em" {
+		t.Error("tdem name")
+	}
+	if NewFiltering().Name() != "filtering" {
+		t.Error("filtering name")
+	}
+}
