@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench artefacts report clean
+.PHONY: all build vet test race bench cover-obs artefacts report clean
 
 all: build vet test
 
@@ -15,8 +15,14 @@ vet:
 test:
 	$(GO) test ./...
 
+# The experiments package runs full campaigns and needs well over the
+# 10m default package timeout under the race detector.
 race:
-	$(GO) test -race ./internal/service/ ./internal/core/
+	$(GO) test -race -timeout 45m ./...
+
+# Coverage for the observability package (metrics registry + tracer).
+cover-obs:
+	$(GO) test -cover ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,221 @@
+// Command crowdlearn regenerates the tables and figures of the CrowdLearn
+// paper (Zhang et al., ICDCS 2019) from the simulated evaluation
+// environment.
+//
+// Usage:
+//
+//	crowdlearn [-seed N] <artefact>...
+//
+// Artefacts: fig5 fig6 table1 table2 fig7 table3 fig8 fig9 fig10 fig11
+// ablations strategies robustness report table2multi all. Running "all"
+// regenerates every paper artefact plus the ablation and robustness
+// studies in paper order; "report" writes the paper-vs-measured markdown
+// comparison.
+//
+// Example:
+//
+//	crowdlearn table2 table3
+//	crowdlearn -seed 7 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdlearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crowdlearn", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master seed for dataset, platform and all algorithms")
+	seeds := fs.Int("seeds", 3, "seed count for the table2multi artefact")
+	outDir := fs.String("out", "", "directory to archive artefacts into (text tables plus campaign JSON)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: crowdlearn [-seed N] [-seeds K] <artefact>...")
+		fmt.Fprintln(fs.Output(), "artefacts: fig5 fig6 table1 table2 fig7 table3 fig8 fig9 fig10 fig11")
+		fmt.Fprintln(fs.Output(), "           ablations strategies robustness report table2multi all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no artefact requested")
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{
+			"fig5", "fig6", "table1", "table2", "fig7", "table3",
+			"fig8", "fig9", "fig10", "fig11",
+			"ablations", "strategies", "robustness",
+		}
+	}
+
+	cfg := crowdlearn.DefaultLabConfig()
+	cfg.Seed = *seed
+	start := time.Now()
+	fmt.Printf("building lab (dataset + pilot study, seed %d)...\n", *seed)
+	lab, err := crowdlearn.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lab ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	// Table II / Figure 7 / Table III share one campaign set; cache it.
+	var campaigns *crowdlearn.CampaignSet
+	campaignSet := func() (*crowdlearn.CampaignSet, error) {
+		if campaigns != nil {
+			return campaigns, nil
+		}
+		var err error
+		campaigns, err = crowdlearn.RunCampaignSet(lab)
+		if err == nil && *outDir != "" {
+			if aerr := archiveCampaigns(*outDir, campaigns); aerr != nil {
+				return nil, aerr
+			}
+		}
+		return campaigns, err
+	}
+	// Figures 10 and 11 share one budget sweep.
+	var sweep *crowdlearn.BudgetSweepResult
+	budgetSweep := func() (*crowdlearn.BudgetSweepResult, error) {
+		if sweep != nil {
+			return sweep, nil
+		}
+		var err error
+		sweep, err = crowdlearn.RunBudgetSweep(lab)
+		return sweep, err
+	}
+
+	for _, target := range targets {
+		artefactStart := time.Now()
+		var out fmt.Stringer
+		var err error
+		switch strings.ToLower(target) {
+		case "fig5":
+			out, err = crowdlearn.RunFig5(lab)
+		case "fig6":
+			out, err = crowdlearn.RunFig6(lab)
+		case "table1":
+			out, err = crowdlearn.RunTable1(lab)
+		case "table2":
+			var set *crowdlearn.CampaignSet
+			if set, err = campaignSet(); err == nil {
+				out, err = set.Table2()
+			}
+		case "fig7":
+			var set *crowdlearn.CampaignSet
+			if set, err = campaignSet(); err == nil {
+				out, err = set.Fig7()
+			}
+		case "table3":
+			var set *crowdlearn.CampaignSet
+			if set, err = campaignSet(); err == nil {
+				out = set.Table3()
+			}
+		case "fig8":
+			out, err = crowdlearn.RunFig8(lab)
+		case "fig9":
+			out, err = crowdlearn.RunFig9(lab)
+		case "fig10", "fig11":
+			out, err = budgetSweep()
+		case "strategies":
+			out, err = crowdlearn.RunStrategyComparison(lab)
+		case "robustness":
+			var parts []string
+			var spam *crowdlearn.SpamRobustnessResult
+			if spam, err = crowdlearn.RunSpamRobustness(lab); err != nil {
+				break
+			}
+			parts = append(parts, spam.String())
+			var churn *crowdlearn.ChurnRobustnessResult
+			if churn, err = crowdlearn.RunChurnRobustness(lab); err != nil {
+				break
+			}
+			parts = append(parts, churn.String())
+			out = stringsJoiner(strings.Join(parts, "\n"))
+		case "report":
+			out, err = crowdlearn.RunReport(lab)
+		case "table2multi":
+			seedList := make([]int64, *seeds)
+			for i := range seedList {
+				seedList[i] = *seed + int64(i)
+			}
+			out, err = crowdlearn.RunMultiSeed(cfg, seedList)
+		case "ablations":
+			var parts []string
+			var mic *crowdlearn.AblationResult
+			if mic, err = crowdlearn.RunAblations(lab); err != nil {
+				break
+			}
+			parts = append(parts, mic.String())
+			var cq *crowdlearn.CQCAblationResult
+			if cq, err = crowdlearn.RunCQCAblation(lab); err != nil {
+				break
+			}
+			parts = append(parts, cq.String())
+			var ba *crowdlearn.BanditAblationResult
+			if ba, err = crowdlearn.RunBanditAblation(lab); err != nil {
+				break
+			}
+			parts = append(parts, ba.String())
+			out = stringsJoiner(strings.Join(parts, "\n"))
+		default:
+			return fmt.Errorf("unknown artefact %q (want fig5..fig11, table1..table3, ablations, strategies, robustness, report, table2multi, all)", target)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", target, err)
+		}
+		fmt.Println(out.String())
+		fmt.Printf("[%s regenerated in %v]\n\n", target, time.Since(artefactStart).Round(time.Millisecond))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, target+".txt")
+			if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+				return fmt.Errorf("archive %s: %w", target, err)
+			}
+		}
+	}
+	return nil
+}
+
+// archiveCampaigns writes each scheme's full campaign record as JSON.
+func archiveCampaigns(dir string, set *crowdlearn.CampaignSet) error {
+	for name, res := range set.Results {
+		path := filepath.Join(dir, "campaign-"+name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("archive campaign %s: %w", name, err)
+		}
+		if err := res.Export(f); err != nil {
+			f.Close()
+			return fmt.Errorf("archive campaign %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("archive campaign %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// stringsJoiner adapts a plain string to fmt.Stringer.
+type stringsJoiner string
+
+func (s stringsJoiner) String() string { return string(s) }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no artefact must error")
+	}
+	if err := run([]string{"not-an-artefact"}); err == nil {
+		t.Error("unknown artefact must error")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+}
+
+func TestRunFig5AndArchive(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "fig5", "fig6"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig5.txt", "fig6.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("archived artefact missing: %v", err)
+		}
+		if !strings.Contains(string(data), "Figure") {
+			t.Errorf("%s missing table content", name)
+		}
+	}
+}
+
+func TestRunTable1DifferentSeed(t *testing.T) {
+	if err := run([]string{"-seed", "7", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRobustnessTarget(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "robustness"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "robustness.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spammer", "churn", "cqc"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("robustness artefact missing %q", want)
+		}
+	}
+}

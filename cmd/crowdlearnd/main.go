@@ -1,0 +1,139 @@
+// Command crowdlearnd runs CrowdLearn as a long-lived damage-assessment
+// service with an HTTP/JSON API.
+//
+// On startup it builds the evaluation lab (synthetic dataset + pilot
+// study), bootstraps a CrowdLearn system with metrics and tracing
+// attached, registers the test split as the assessable image universe,
+// and serves:
+//
+//	POST /assess   {"context":"morning","imageIds":[12,57]}
+//	GET  /stats
+//	GET  /metrics  Prometheus text exposition
+//	GET  /trace    recent cycle span trees as JSON
+//	GET  /healthz
+//
+// Usage:
+//
+//	crowdlearnd [-addr :8080] [-seed 1] [-log-level info]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the in-flight
+// sensing cycle completes, the listener drains, and the worker exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		slog.Error("crowdlearnd failed", slog.Any("err", err))
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crowdlearnd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	seed := fs.Int64("seed", 1, "master seed")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	traceCap := fs.Int("trace-capacity", obs.DefaultTraceCapacity, "cycle traces retained for GET /trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("invalid -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	cfg := crowdlearn.DefaultLabConfig()
+	cfg.Seed = *seed
+	logger.Info("building lab", slog.Int64("seed", *seed))
+	started := time.Now()
+	lab, err := crowdlearn.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceCap)
+	sys, err := lab.NewSystemWith(func(cfg *core.Config) {
+		cfg.Metrics = registry
+		cfg.Tracer = tracer
+	})
+	if err != nil {
+		return err
+	}
+	logger.Info("system bootstrapped",
+		slog.Int("trainImages", len(lab.Dataset.Train)),
+		slog.Int("assessableImages", len(lab.Dataset.Test)),
+		slog.Duration("elapsed", time.Since(started)))
+
+	svc, err := service.New(sys, service.WithMetrics(registry), service.WithTracer(tracer))
+	if err != nil {
+		return err
+	}
+	svc.Start()
+
+	handler, err := service.NewHandler(svc, lab.Dataset.Test, service.WithLogger(logger))
+	if err != nil {
+		return err
+	}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("serving", slog.String("addr", *addr))
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("shutting down", slog.String("signal", sig.String()))
+	case err := <-errCh:
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		return err
+	}
+	stats := svc.Stats()
+	logger.Info("shutdown complete",
+		slog.Int("cyclesRun", stats.CyclesRun),
+		slog.Int("imagesAssessed", stats.ImagesAssessed),
+		slog.Float64("spentDollars", stats.TotalSpent))
+	return nil
+}

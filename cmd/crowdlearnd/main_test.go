@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+}
+
+func TestRunSurfacesListenError(t *testing.T) {
+	// An unparseable address makes ListenAndServe fail immediately; run
+	// must surface it rather than hanging.
+	err := run([]string{"-addr", "256.256.256.256:99999"})
+	if err == nil {
+		t.Fatal("invalid listen address must error")
+	}
+	if !strings.Contains(err.Error(), "serve") {
+		t.Errorf("error %v should come from the serve path", err)
+	}
+}
+
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	err := run([]string{"-log-level", "loud"})
+	if err == nil || !strings.Contains(err.Error(), "log-level") {
+		t.Errorf("invalid log level must error, got %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/eval"
 	"github.com/crowdlearn/crowdlearn/internal/experiments"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
 )
 
 // Re-exported imagery types: the dataset substrate.
@@ -100,6 +101,31 @@ type (
 	// by System.RestoreState to re-seed the retraining replay pool.
 	Sample = classifier.Sample
 )
+
+// Re-exported observability types: the zero-dependency metrics registry
+// and cycle tracer (see DESIGN.md "Observability"). Attach them through
+// SystemConfig.Metrics / SystemConfig.Tracer (or Lab.NewSystemWith) and
+// CampaignConfig.Tracer.
+type (
+	// MetricsRegistry collects counters, gauges and histograms and renders
+	// them in Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// Tracer records one span tree per sensing cycle in a bounded ring.
+	Tracer = obs.Tracer
+	// CycleTrace is one cycle's span tree.
+	CycleTrace = obs.CycleTrace
+	// Span is one named stage of a cycle.
+	Span = obs.Span
+	// StageStat aggregates span durations by stage name.
+	StageStat = obs.StageStat
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a cycle tracer retaining the most recent capacity
+// traces (capacity <= 0 selects obs.DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // SamplesFromImages builds hard-labelled training samples from ground
 // truth — the argument System.RestoreState expects for its replay pool.

@@ -1,0 +1,87 @@
+// Observability: run a short CrowdLearn campaign with the metrics
+// registry and cycle tracer attached, then print what an operator would
+// see — the per-stage timing breakdown /trace serves and the Prometheus
+// text exposition /metrics serves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		return err
+	}
+
+	// Wire one registry + tracer through the system; the service daemon
+	// (cmd/crowdlearnd) does exactly this and serves them over HTTP.
+	registry := crowdlearn.NewMetricsRegistry()
+	tracer := crowdlearn.NewTracer(64)
+	sys, err := lab.NewSystemWith(func(cfg *crowdlearn.SystemConfig) {
+		cfg.Metrics = registry
+		cfg.Tracer = tracer
+	})
+	if err != nil {
+		return err
+	}
+
+	// A short campaign: 8 cycles of 10 images.
+	campaign := crowdlearn.DefaultCampaignConfig()
+	campaign.Cycles = 8
+	campaign.Tracer = tracer
+	result, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test, campaign)
+	if err != nil {
+		return err
+	}
+	metrics, err := crowdlearn.ComputeMetrics(result.TrueLabels(), result.PredictedLabels())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d cycles, accuracy %.3f, spend $%.2f\n\n",
+		campaign.Cycles, metrics.Accuracy, result.TotalSpend())
+
+	// Per-stage timing, aggregated across the collected span trees.
+	stats := result.StageStats()
+	stages := make([]string, 0, len(stats))
+	for name := range stats {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	fmt.Println("stage timing across the campaign (wall-clock | simulated):")
+	for _, name := range stages {
+		st := stats[name]
+		fmt.Printf("  %-16s x%-3d  mean %10v | %10v\n",
+			name, st.Count, st.MeanWall().Round(1000), st.MeanSimulated().Round(1e6))
+	}
+
+	// The newest cycle's span tree, as GET /trace would return it.
+	if traces := tracer.Recent(1); len(traces) == 1 {
+		fmt.Printf("\nlast cycle's span tree (cycle %d, %s):\n", traces[0].Cycle, traces[0].Context)
+		printSpan(traces[0].Root, 1)
+	}
+
+	// The full Prometheus exposition, as GET /metrics would serve it.
+	fmt.Println("\nPrometheus exposition:")
+	return registry.WritePrometheus(os.Stdout)
+}
+
+func printSpan(sp *crowdlearn.Span, depth int) {
+	fmt.Printf("%s%-16s wall %10v  simulated %10v\n",
+		strings.Repeat("  ", depth), sp.Name, sp.Wall.Round(1000), sp.Simulated.Round(1e6))
+	for _, child := range sp.Children {
+		printSpan(child, depth+1)
+	}
+}

@@ -152,6 +152,22 @@ func (u *UCBALP) Name() string { return "ucb-alp" }
 // RemainingBudget implements Policy.
 func (u *UCBALP) RemainingBudget() float64 { return u.remaining }
 
+// TotalBudget returns the configured budget B in dollars.
+func (u *UCBALP) TotalBudget() float64 { return u.cfg.BudgetDollars }
+
+// SpentDollars returns the budget consumed so far — the burn-rate signal
+// an operator watches (total minus remaining, never negative).
+func (u *UCBALP) SpentDollars() float64 {
+	if spent := u.cfg.BudgetDollars - u.remaining; spent > 0 {
+		return spent
+	}
+	return 0
+}
+
+// Rounds returns the number of observed rounds, for pacing telemetry
+// alongside the configured TotalRounds.
+func (u *UCBALP) Rounds() int { return u.rounds }
+
 // WarmStart seeds the per-(context, arm) statistics from pilot-study
 // observations so the policy does not waste live rounds rediscovering the
 // delay surface — the paper trains IPD on the pilot data before deployment

@@ -350,3 +350,28 @@ func mathxAbs(x float64) float64 {
 	}
 	return x
 }
+
+func TestBudgetTelemetryAccessors(t *testing.T) {
+	cfg := DefaultConfig()
+	u, err := NewUCBALP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.TotalBudget() != cfg.BudgetDollars {
+		t.Errorf("total budget %v, want %v", u.TotalBudget(), cfg.BudgetDollars)
+	}
+	if u.SpentDollars() != 0 || u.Rounds() != 0 {
+		t.Errorf("fresh policy reports spend %v over %d rounds", u.SpentDollars(), u.Rounds())
+	}
+	u.Observe(crowd.Morning, cfg.Levels[0], time.Minute, 5)
+	wantSpend := cfg.Levels[0].Dollars() * 5
+	if got := u.SpentDollars(); got < wantSpend-1e-9 || got > wantSpend+1e-9 {
+		t.Errorf("spent %v, want %v", got, wantSpend)
+	}
+	if u.Rounds() != 1 {
+		t.Errorf("rounds %d, want 1", u.Rounds())
+	}
+	if got := u.TotalBudget() - u.SpentDollars(); got != u.RemainingBudget() {
+		t.Errorf("spent/remaining disagree: %v vs %v", got, u.RemainingBudget())
+	}
+}

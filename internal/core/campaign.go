@@ -7,6 +7,7 @@ import (
 
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
 )
 
 // CampaignConfig drives a scheme through the paper's evaluation protocol:
@@ -23,6 +24,11 @@ type CampaignConfig struct {
 	// stationary — the regime the contextual bandit's adaptive LP is
 	// designed for.
 	ContextOf func(cycle int) crowd.TemporalContext
+	// Tracer, when non-nil, is where the campaign collects the per-cycle
+	// span trees the scheme emits. Point it at the same tracer as the
+	// scheme's core.Config.Tracer (with capacity >= Cycles) and
+	// RunCampaign snapshots the traces into CampaignResult.Traces.
+	Tracer *obs.Tracer
 }
 
 // DefaultCampaignConfig mirrors the paper: 40 cycles x 10 images.
@@ -62,6 +68,9 @@ type CycleRecord struct {
 type CampaignResult struct {
 	SchemeName string
 	Records    []CycleRecord
+	// Traces holds the per-cycle span trees in chronological order when
+	// CampaignConfig.Tracer was set (nil otherwise).
+	Traces []*obs.CycleTrace
 }
 
 // RunCampaign drives the scheme through the test images under the
@@ -91,7 +100,21 @@ func RunCampaign(scheme Scheme, test []*imagery.Image, cfg CampaignConfig) (*Cam
 		}
 		result.Records = append(result.Records, CycleRecord{Input: in, Output: out})
 	}
+	if cfg.Tracer != nil {
+		traces := cfg.Tracer.Recent(cfg.Cycles)
+		// Recent is newest first; campaigns read chronologically.
+		for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
+			traces[i], traces[j] = traces[j], traces[i]
+		}
+		result.Traces = traces
+	}
 	return result, nil
+}
+
+// StageStats totals the collected traces by stage name (wall-clock and
+// simulated durations per span); empty when no tracer was configured.
+func (r *CampaignResult) StageStats() map[string]obs.StageStat {
+	return obs.AggregateStages(r.Traces)
 }
 
 // TrueLabels returns the ground-truth labels of every image in campaign

@@ -24,7 +24,7 @@ var (
 	shared      fixture
 )
 
-func sharedFixture(t *testing.T) fixture {
+func sharedFixture(t testing.TB) fixture {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		ds, err := imagery.Generate(imagery.DefaultConfig())
@@ -47,7 +47,7 @@ func freshPlatform() *crowd.Platform {
 	return crowd.MustNewPlatform(crowd.DefaultConfig())
 }
 
-func newBootstrappedCrowdLearn(t *testing.T, f fixture) *CrowdLearn {
+func newBootstrappedCrowdLearn(t testing.TB, f fixture) *CrowdLearn {
 	t.Helper()
 	cl, err := New(DefaultConfig(), freshPlatform())
 	if err != nil {

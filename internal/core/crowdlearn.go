@@ -10,6 +10,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mic"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/qss"
 	"github.com/crowdlearn/crowdlearn/internal/simclock"
 )
@@ -48,6 +49,13 @@ type Config struct {
 	DisableRetraining bool
 	// DisableOffloading turns off the crowd-offloading strategy.
 	DisableOffloading bool
+	// Metrics, when non-nil, receives cycle-level counters, gauges and
+	// delay histograms (metric names in obs.go). Nil disables metric
+	// emission at the cost of one nil check per call site.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records one span tree per sensing cycle
+	// covering every pipeline stage. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's main experiment configuration.
@@ -128,6 +136,7 @@ func New(cfg Config, platform *crowd.Platform) (*CrowdLearn, error) {
 			cl.maxMemberCost = c
 		}
 	}
+	registerHelp(cfg.Metrics)
 	return cl, nil
 }
 
@@ -178,15 +187,31 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 	if !cl.bootstrapped {
 		return CycleOutput{}, errors.New("core: CrowdLearn not bootstrapped")
 	}
+	ct := cl.cfg.Tracer.Begin(in.Index, in.Context.String())
+	out, err := cl.runCycle(in, ct)
+	if err != nil {
+		ct.Fail(err)
+		cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()
+	} else {
+		cl.observeCycle(in, out)
+	}
+	ct.End()
+	return out, err
+}
 
+// runCycle is the cycle body; ct may be nil (every span call no-ops).
+func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, error) {
 	out := CycleOutput{Distributions: make([][]float64, len(in.Images))}
 	// (1) Committee vote per image. The committee runs its members in
 	// parallel, so the compute cost per image is the slowest member plus
 	// the CrowdLearn module overhead (Table III cost model).
+	sp := ct.Span(SpanCommitteeVote)
 	for i, im := range in.Images {
 		out.Distributions[i] = cl.committee.Vote(im)
 	}
 	out.AlgorithmDelay = time.Duration(len(in.Images)) * (cl.maxMemberCost + cl.cfg.CommitteeOverheadPerImage)
+	sp.SetSimulated(out.AlgorithmDelay)
+	sp.End()
 
 	if cl.cfg.QuerySize == 0 || !cl.quality.Trained() {
 		// Pure-AI degenerate mode (Figure 9's 0% point).
@@ -194,15 +219,23 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 	}
 
 	// (2) QSS selects the query set; IPD prices it.
+	sp = ct.Span(SpanQSSSelect)
 	queried := cl.selector.Select(cl.committee, in.Images, cl.cfg.QuerySize)
+	sp.End()
+
+	sp = ct.Span(SpanIPDPrice)
 	incentive, err := cl.policy.SelectIncentive(in.Context)
 	if errors.Is(err, bandit.ErrBudgetExhausted) {
 		// No budget left: fall back to AI-only for the rest of the run.
+		sp.Fail(err)
+		cl.cfg.Metrics.Counter(MetricBudgetExhausted).Inc()
 		return out, nil
 	}
 	if err != nil {
+		sp.Fail(err)
 		return CycleOutput{}, err
 	}
+	sp.End()
 
 	queries := make([]crowd.Query, len(queried))
 	for qi, idx := range queried {
@@ -210,20 +243,27 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 	}
 
 	// (3) The crowd answers; CQC distils truthful label distributions.
+	sp = ct.Span(SpanCrowdSubmit)
 	results, err := cl.platform.Submit(simclock.New(), in.Context, queries)
 	if err != nil {
+		sp.Fail(err)
 		return CycleOutput{}, err
 	}
 	out.Queried = queried
 	out.Incentive = incentive
 	out.SpentDollars = incentive.Dollars() * float64(len(queries))
 	out.CrowdDelay = crowd.MeanCompletionDelay(results)
+	sp.SetSimulated(out.CrowdDelay)
+	sp.End()
 	cl.policy.Observe(in.Context, incentive, out.CrowdDelay, len(queries))
 
+	sp = ct.Span(SpanCQCAggregate)
 	truths, err := cl.quality.Aggregate(results)
 	if err != nil {
+		sp.Fail(err)
 		return CycleOutput{}, err
 	}
+	sp.End()
 
 	// (4) MIC: weight update, retraining, crowd offloading.
 	queriedImages := make([]*imagery.Image, len(queried))
@@ -231,21 +271,28 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 		queriedImages[qi] = in.Images[idx]
 	}
 	if !cl.cfg.DisableWeightUpdate {
+		sp = ct.Span(SpanMICWeights)
 		if _, err := cl.calibrator.UpdateWeights(cl.committee, queriedImages, truths); err != nil {
+			sp.Fail(err)
 			return CycleOutput{}, err
 		}
+		sp.End()
 	}
 	if !cl.cfg.DisableRetraining {
+		sp = ct.Span(SpanMICRetrain)
 		samples, err := mic.RetrainSamples(queriedImages, truths)
 		if err != nil {
+			sp.Fail(err)
 			return CycleOutput{}, err
 		}
 		// Interleave replayed training data so the incremental pass does
 		// not catastrophically forget the original task.
 		cl.replay.add(samples)
 		if err := cl.calibrator.Retrain(cl.committee, cl.replay.batch()); err != nil {
+			sp.Fail(err)
 			return CycleOutput{}, err
 		}
+		sp.End()
 	}
 	if !cl.cfg.DisableOffloading {
 		for qi, idx := range queried {

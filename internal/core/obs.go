@@ -1,0 +1,115 @@
+package core
+
+import (
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+)
+
+// Metric names emitted by CrowdLearn.RunCycle when Config.Metrics is
+// set. Documented in README.md §Observability.
+const (
+	// MetricCycles counts completed sensing cycles.
+	MetricCycles = "crowdlearn_cycles_total"
+	// MetricCycleErrors counts cycles that returned an error.
+	MetricCycleErrors = "crowdlearn_cycle_errors_total"
+	// MetricImages counts images assessed across cycles.
+	MetricImages = "crowdlearn_images_assessed_total"
+	// MetricQueries counts crowd queries issued.
+	MetricQueries = "crowdlearn_crowd_queries_total"
+	// MetricSpend totals crowdsourcing spend in dollars.
+	MetricSpend = "crowdlearn_spend_dollars_total"
+	// MetricBudgetRemaining gauges the IPD policy's unspent budget.
+	MetricBudgetRemaining = "crowdlearn_budget_remaining_dollars"
+	// MetricBudgetExhausted counts cycles skipped for lack of budget.
+	MetricBudgetExhausted = "crowdlearn_budget_exhausted_total"
+	// MetricIncentive gauges the most recent per-query incentive (cents).
+	MetricIncentive = "crowdlearn_incentive_cents"
+	// MetricExpertWeight gauges each committee expert's weight
+	// (label: expert).
+	MetricExpertWeight = "crowdlearn_expert_weight"
+	// MetricAlgorithmDelay is a histogram of per-cycle simulated compute
+	// delay in seconds.
+	MetricAlgorithmDelay = "crowdlearn_algorithm_delay_seconds"
+	// MetricCrowdDelay is a histogram of per-cycle simulated crowd
+	// completion delay in seconds (cycles that posted queries only).
+	MetricCrowdDelay = "crowdlearn_crowd_delay_seconds"
+)
+
+// Span names recorded per sensing cycle when Config.Tracer is set — one
+// per pipeline stage of Figure 4, children of the obs.SpanCycle root.
+const (
+	// SpanCommitteeVote is the committee voting over the cycle's images.
+	SpanCommitteeVote = "committee.vote"
+	// SpanQSSSelect is QSS's epsilon-greedy query-set selection.
+	SpanQSSSelect = "qss.select"
+	// SpanIPDPrice is IPD's incentive selection (UCB-ALP).
+	SpanIPDPrice = "ipd.price"
+	// SpanCrowdSubmit is the crowd round trip; its simulated duration is
+	// the mean crowd completion delay.
+	SpanCrowdSubmit = "crowd.submit"
+	// SpanCQCAggregate is CQC truthful-label aggregation.
+	SpanCQCAggregate = "cqc.aggregate"
+	// SpanMICWeights is MIC's exponential-weights expert update.
+	SpanMICWeights = "mic.weights"
+	// SpanMICRetrain is MIC's incremental expert retraining.
+	SpanMICRetrain = "mic.retrain"
+)
+
+// delayBuckets cover simulated delays from sub-second committee compute
+// to tens-of-minutes crowd rounds (0.5s .. ~17min, doubling).
+var delayBuckets = obs.ExponentialBuckets(0.5, 2, 12)
+
+// registerHelp attaches HELP text so scrapes are self-describing. Safe
+// on a nil registry.
+func registerHelp(r *obs.Registry) {
+	r.Help(MetricCycles, "Sensing cycles completed.")
+	r.Help(MetricCycleErrors, "Sensing cycles that failed.")
+	r.Help(MetricImages, "Images assessed across all cycles.")
+	r.Help(MetricQueries, "Crowd queries issued.")
+	r.Help(MetricSpend, "Cumulative crowdsourcing spend in dollars.")
+	r.Help(MetricBudgetRemaining, "IPD budget remaining in dollars.")
+	r.Help(MetricBudgetExhausted, "Cycles that fell back to AI-only because the budget ran out.")
+	r.Help(MetricIncentive, "Most recent per-query incentive in cents.")
+	r.Help(MetricExpertWeight, "Committee expert weight (sums to 1 across experts).")
+	r.Help(MetricAlgorithmDelay, "Per-cycle simulated compute delay in seconds.")
+	r.Help(MetricCrowdDelay, "Per-cycle simulated crowd completion delay in seconds.")
+}
+
+// observeCycle publishes one successful cycle's telemetry. Nil-safe: a
+// nil registry makes every call below a no-op.
+func (cl *CrowdLearn) observeCycle(in CycleInput, out CycleOutput) {
+	r := cl.cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter(MetricCycles).Inc()
+	r.Counter(MetricImages).Add(float64(len(in.Images)))
+	r.Counter(MetricQueries).Add(float64(len(out.Queried)))
+	r.Counter(MetricSpend).Add(out.SpentDollars)
+	r.Gauge(MetricBudgetRemaining).Set(cl.policy.RemainingBudget())
+	if len(out.Queried) > 0 {
+		r.Gauge(MetricIncentive).Set(float64(out.Incentive))
+	}
+	weights := cl.committee.Weights()
+	for i, e := range cl.committee.Experts() {
+		r.Gauge(MetricExpertWeight, "expert", e.Name()).Set(weights[i])
+	}
+	r.Histogram(MetricAlgorithmDelay, delayBuckets).Observe(out.AlgorithmDelay.Seconds())
+	if len(out.Queried) > 0 {
+		r.Histogram(MetricCrowdDelay, delayBuckets).Observe(out.CrowdDelay.Seconds())
+	}
+}
+
+// ExpertWeights returns the committee's current weights keyed by expert
+// name. Callers must not invoke it concurrently with RunCycle (the
+// service layer snapshots it on the worker goroutine).
+func (cl *CrowdLearn) ExpertWeights() map[string]float64 {
+	weights := cl.committee.Weights()
+	out := make(map[string]float64, len(weights))
+	for i, e := range cl.committee.Experts() {
+		out[e.Name()] = weights[i]
+	}
+	return out
+}
+
+// RemainingBudget returns the IPD policy's unspent budget in dollars.
+func (cl *CrowdLearn) RemainingBudget() float64 { return cl.policy.RemainingBudget() }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+)
+
+// observedCrowdLearn builds a bootstrapped system wired to a fresh
+// registry and tracer.
+func observedCrowdLearn(t *testing.T, f fixture) (*CrowdLearn, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	registry := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
+	cfg := DefaultConfig()
+	cfg.Metrics = registry
+	cfg.Tracer = tracer
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	return cl, registry, tracer
+}
+
+func TestRunCycleEmitsMetrics(t *testing.T) {
+	f := sharedFixture(t)
+	cl, registry, _ := observedCrowdLearn(t, f)
+	in := CycleInput{Index: 0, Context: crowd.Morning, Images: f.ds.Test[:10]}
+	out, err := cl.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := registry.Counter(MetricCycles).Value(); got != 1 {
+		t.Errorf("cycles counter %v, want 1", got)
+	}
+	if got := registry.Counter(MetricImages).Value(); got != 10 {
+		t.Errorf("images counter %v, want 10", got)
+	}
+	if got := registry.Counter(MetricQueries).Value(); got != float64(len(out.Queried)) {
+		t.Errorf("queries counter %v, want %d", got, len(out.Queried))
+	}
+	if got := registry.Counter(MetricSpend).Value(); got != out.SpentDollars {
+		t.Errorf("spend counter %v, want %v", got, out.SpentDollars)
+	}
+	if got := registry.Gauge(MetricBudgetRemaining).Value(); got != cl.RemainingBudget() {
+		t.Errorf("budget gauge %v, want %v", got, cl.RemainingBudget())
+	}
+	if got := registry.Histogram(MetricAlgorithmDelay, nil).Count(); got != 1 {
+		t.Errorf("algorithm delay observations %v, want 1", got)
+	}
+	// Every committee expert exposes a weight gauge summing to ~1.
+	var sum float64
+	for name, w := range cl.ExpertWeights() {
+		if g := registry.Gauge(MetricExpertWeight, "expert", name).Value(); g != w {
+			t.Errorf("weight gauge for %s = %v, want %v", name, g, w)
+		}
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("expert weights sum %v", sum)
+	}
+}
+
+func TestRunCycleEmitsSpanTree(t *testing.T) {
+	f := sharedFixture(t)
+	cl, _, tracer := observedCrowdLearn(t, f)
+	in := CycleInput{Index: 4, Context: crowd.Evening, Images: f.ds.Test[:10]}
+	out, err := cl.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) == 0 {
+		t.Fatal("expected a queried cycle for span coverage")
+	}
+	traces := tracer.Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces", len(traces))
+	}
+	tr := traces[0]
+	if tr.Cycle != 4 || tr.Context != "evening" {
+		t.Errorf("trace meta cycle=%d context=%q", tr.Cycle, tr.Context)
+	}
+	seen := make(map[string]bool)
+	for _, sp := range tr.Root.Children {
+		seen[sp.Name] = true
+	}
+	for _, stage := range []string{
+		SpanCommitteeVote, SpanQSSSelect, SpanIPDPrice,
+		SpanCrowdSubmit, SpanCQCAggregate, SpanMICWeights, SpanMICRetrain,
+	} {
+		if !seen[stage] {
+			t.Errorf("span %q missing from cycle trace (have %v)", stage, seen)
+		}
+	}
+	// The crowd span carries the simulated completion delay.
+	for _, sp := range tr.Root.Children {
+		if sp.Name == SpanCrowdSubmit && sp.Simulated != out.CrowdDelay {
+			t.Errorf("crowd.submit simulated %v, want %v", sp.Simulated, out.CrowdDelay)
+		}
+	}
+}
+
+func TestRunCycleNilObsIsNoop(t *testing.T) {
+	f := sharedFixture(t)
+	// Default config: Metrics and Tracer both nil.
+	cl := newBootstrappedCrowdLearn(t, f)
+	in := CycleInput{Index: 0, Context: crowd.Morning, Images: f.ds.Test[:10]}
+	if _, err := cl.RunCycle(in); err != nil {
+		t.Fatal(err)
+	}
+	// Identical seeds with and without observability must produce
+	// identical outputs: instrumentation must not perturb the system.
+	cl2, _, _ := observedCrowdLearn(t, f)
+	out2, err := cl2.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl3 := newBootstrappedCrowdLearn(t, f)
+	out3, err := cl3.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Queried) != len(out3.Queried) || out2.SpentDollars != out3.SpentDollars {
+		t.Errorf("observability changed behaviour: %v/%v vs %v/%v",
+			out2.Queried, out2.SpentDollars, out3.Queried, out3.SpentDollars)
+	}
+}
+
+func TestBudgetExhaustionCounted(t *testing.T) {
+	f := sharedFixture(t)
+	registry := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Metrics = registry
+	// A budget so small that not even one round of the cheapest level
+	// fits: QuerySize 5 x 1 cent = 5 cents > 1 cent.
+	cfg.Bandit.BudgetDollars = 0.01
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Queried) != 0 {
+		t.Fatal("expected AI-only fallback")
+	}
+	if got := registry.Counter(MetricBudgetExhausted).Value(); got != 1 {
+		t.Errorf("budget exhausted counter %v, want 1", got)
+	}
+}
+
+func TestCampaignCollectsTraces(t *testing.T) {
+	f := sharedFixture(t)
+	tracer := obs.NewTracer(16)
+	cfg := DefaultConfig()
+	cfg.Tracer = tracer
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	ccfg := CampaignConfig{Cycles: 4, ImagesPerCycle: 10, Tracer: tracer}
+	result, err := RunCampaign(cl, f.ds.Test, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Traces) != 4 {
+		t.Fatalf("collected %d traces, want 4", len(result.Traces))
+	}
+	for i, tr := range result.Traces {
+		if tr.Cycle != i {
+			t.Errorf("trace %d has cycle %d (not chronological)", i, tr.Cycle)
+		}
+	}
+	stats := result.StageStats()
+	if stats[obs.SpanCycle].Count != 4 {
+		t.Errorf("cycle span count %d, want 4", stats[obs.SpanCycle].Count)
+	}
+	if stats[SpanQSSSelect].Count != 4 {
+		t.Errorf("qss.select count %d, want 4", stats[SpanQSSSelect].Count)
+	}
+	// Simulated time aggregates: committee compute must be positive.
+	if stats[SpanCommitteeVote].Simulated <= 0 {
+		t.Error("committee.vote simulated time missing")
+	}
+}
+
+func TestExpertWeightNames(t *testing.T) {
+	f := sharedFixture(t)
+	cl := newBootstrappedCrowdLearn(t, f)
+	weights := cl.ExpertWeights()
+	if len(weights) == 0 {
+		t.Fatal("no expert weights")
+	}
+	for name := range weights {
+		if strings.TrimSpace(name) == "" {
+			t.Error("empty expert name")
+		}
+	}
+	if cl.RemainingBudget() <= 0 {
+		t.Errorf("remaining budget %v", cl.RemainingBudget())
+	}
+}

@@ -109,6 +109,13 @@ func (e *Env) NewSystem() (*core.CrowdLearn, error) {
 	return e.newCrowdLearn(e.Cfg.QuerySize, e.Cfg.BudgetDollars, nil)
 }
 
+// NewSystemWith is NewSystem with a configuration hook applied before
+// assembly — the injection point for observability (core.Config.Metrics,
+// core.Config.Tracer) and other per-deployment overrides.
+func (e *Env) NewSystemWith(mutate func(*core.Config)) (*core.CrowdLearn, error) {
+	return e.newCrowdLearn(e.Cfg.QuerySize, e.Cfg.BudgetDollars, mutate)
+}
+
 // newCrowdLearn assembles a bootstrapped CrowdLearn scheme.
 func (e *Env) newCrowdLearn(querySize int, budget float64, mutate func(*core.Config)) (*core.CrowdLearn, error) {
 	cfg := core.DefaultConfig()

@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// The nil-handle benchmarks quantify the disabled-instrumentation cost:
+// a nil check per call site, which is what lets core.RunCycle keep its
+// instrumentation unconditionally.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1)
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("c", "k", "v")
+	}
+}
+
+func BenchmarkTracerCycle(b *testing.B) {
+	tr := NewTracer(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct := tr.Begin(i, "morning")
+		ct.Span("qss.select").End()
+		ct.End()
+	}
+}
+
+func BenchmarkTracerCycleNil(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct := tr.Begin(i, "morning")
+		ct.Span("qss.select").End()
+		ct.End()
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets and supports
+// Prometheus-style cumulative exposition plus linear-interpolation
+// quantile estimation. All methods are safe for concurrent use; the nil
+// handle no-ops.
+type Histogram struct {
+	// upper holds the finite bucket upper bounds in ascending order; an
+	// implicit +Inf bucket follows.
+	upper []float64
+	// counts has len(upper)+1 entries; counts[len(upper)] is +Inf.
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets mirrors Prometheus' default latency buckets (seconds).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// newHistogram builds a histogram over the given finite upper bounds;
+// they are copied, sorted, and deduplicated. Nil/empty buckets fall back
+// to DefBuckets.
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, 0, len(buckets))
+	upper = append(upper, buckets...)
+	sort.Float64s(upper)
+	dedup := upper[:0]
+	for i, u := range upper {
+		if math.IsInf(u, +1) {
+			continue // the +Inf bucket is implicit
+		}
+		if i > 0 && len(dedup) > 0 && u == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, u)
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Uint64, len(dedup)+1)}
+}
+
+// LinearBuckets returns count bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bucket whose upper bound admits v; +Inf bucket otherwise.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	addFloatBits(&h.sumBits, v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the finite upper bounds and the per-bucket (not
+// cumulative) counts, the final count being the +Inf bucket's. The
+// slices are copies.
+func (h *Histogram) Buckets() (upper []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append(upper, h.upper...)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return upper, counts
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank — the standard
+// histogram_quantile estimate. It returns NaN when the histogram is
+// empty or q is out of range; a target falling in the +Inf bucket
+// returns the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	_, counts := h.Buckets()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.upper) {
+			// Target in the +Inf bucket: clamp to the largest finite bound.
+			if len(h.upper) == 0 {
+				return math.NaN()
+			}
+			return h.upper[len(h.upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.upper[i-1]
+		}
+		return lo + (h.upper[i]-lo)*(rank-prev)/float64(c)
+	}
+	if len(h.upper) == 0 {
+		return math.NaN()
+	}
+	return h.upper[len(h.upper)-1]
+}

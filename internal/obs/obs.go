@@ -1,0 +1,259 @@
+// Package obs provides zero-dependency runtime observability for the
+// CrowdLearn serving stack: a concurrency-safe metrics registry
+// (counters, gauges, fixed-bucket histograms with quantile estimation),
+// a Prometheus-text-format exporter, and a lightweight per-cycle span
+// tracer.
+//
+// Every entry point is nil-safe: methods on a nil *Registry, *Tracer,
+// *CycleTrace or *Span (and on the nil metric handles a nil registry
+// hands out) are no-ops, so instrumented code needs no "if enabled"
+// branches and campaigns/benchmarks pay only a nil check when
+// observability is disabled.
+//
+// Metric values use atomic operations, so handles returned by the
+// registry are safe to update from any goroutine; the registry itself
+// serialises get-or-create lookups behind an RWMutex.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric kinds as rendered in the Prometheus TYPE comment.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Registry is a named collection of metric families. The zero value is
+// not usable; call NewRegistry. A nil *Registry is a valid "disabled"
+// registry: every lookup returns a nil handle whose methods no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family groups every labelled series of one metric name.
+type family struct {
+	name string
+	help string
+	kind string
+	// series maps a rendered label set (e.g. `{expert="vgg16"}`) to its
+	// metric handle; the empty string keys the unlabelled series.
+	series map[string]any
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Help registers the HELP text rendered for a metric family. Calling it
+// for a family that does not exist yet is fine; the text is kept until
+// the first series arrives.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, series: make(map[string]any)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// Counter returns the counter series for name with the given label
+// pairs, creating it on first use. Labels are alternating key/value
+// strings; an odd count panics (programmer error). A nil registry
+// returns a nil (no-op) handle.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindCounter, labels, func() any { return new(Counter) })
+	c, _ := m.(*Counter)
+	return c
+}
+
+// Gauge returns the gauge series for name with the given label pairs,
+// creating it on first use. A nil registry returns a nil handle.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindGauge, labels, func() any { return new(Gauge) })
+	g, _ := m.(*Gauge)
+	return g
+}
+
+// Histogram returns the histogram series for name with the given label
+// pairs, creating it with the supplied bucket upper bounds on first use
+// (later calls may pass nil buckets to fetch the existing series). A nil
+// registry returns a nil handle.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.metric(name, kindHistogram, labels, func() any { return newHistogram(buckets) })
+	h, _ := m.(*Histogram)
+	return h
+}
+
+// metric is the get-or-create path shared by the typed accessors. A kind
+// clash (e.g. Counter after Gauge under the same name) returns the
+// existing metric, which the typed accessor's assertion turns into a nil
+// no-op handle rather than a crash.
+func (r *Registry) metric(name, kind string, labels []string, make_ func() any) any {
+	key := renderLabels(labels)
+
+	r.mu.RLock()
+	if f, ok := r.families[name]; ok {
+		if m, ok := f.series[key]; ok {
+			r.mu.RUnlock()
+			return m
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, series: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind == "" {
+		f.kind = kind
+	}
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make_()
+	f.series[key] = m
+	return m
+}
+
+// renderLabels turns alternating key/value pairs into a deterministic
+// Prometheus label block (keys sorted), or "" when there are none.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing float64. The nil handle no-ops.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	addFloatBits(&c.bits, v)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an arbitrary float64 level. The nil handle no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloatBits(&g.bits, v)
+}
+
+// Value returns the current level (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// addFloatBits atomically adds v to a float64 stored as uint64 bits.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new_ := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new_) {
+			return
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cycles_total")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter value %v, want 3.5", got)
+	}
+	if again := r.Counter("cycles_total"); again != c {
+		t.Error("get-or-create must return the same handle")
+	}
+
+	g := r.Gauge("budget_dollars")
+	g.Set(20)
+	g.Add(-5)
+	if got := g.Value(); got != 15 {
+		t.Errorf("gauge value %v, want 15", got)
+	}
+}
+
+func TestLabelledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("weight", "expert", "vgg16")
+	b := r.Gauge("weight", "expert", "bovw")
+	a.Set(0.7)
+	b.Set(0.3)
+	if a == b {
+		t.Fatal("different label values must yield different series")
+	}
+	if a.Value() != 0.7 || b.Value() != 0.3 {
+		t.Errorf("series values %v/%v", a.Value(), b.Value())
+	}
+	// Label order must not matter.
+	x := r.Counter("reqs", "path", "/assess", "code", "200")
+	y := r.Counter("reqs", "code", "200", "path", "/assess")
+	if x != y {
+		t.Error("label order must not create a new series")
+	}
+}
+
+func TestOddLabelsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list must panic")
+		}
+	}()
+	NewRegistry().Counter("x", "lonely")
+}
+
+func TestKindClashReturnsNoopHandle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m").Inc()
+	g := r.Gauge("m") // same name, different kind
+	if g != nil {
+		t.Error("kind clash should hand back a nil no-op gauge")
+	}
+	g.Set(5) // must not panic
+	if got := r.Counter("m").Value(); got != 1 {
+		t.Errorf("counter damaged by clash: %v", got)
+	}
+}
+
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	r.Help("x", "help") // must not panic
+	c := r.Counter("x")
+	if c != nil {
+		t.Error("nil registry must hand out nil counters")
+	}
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram must read empty")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram quantile must be NaN")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+func TestConcurrentRegistryUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Gauge("level").Set(float64(j))
+				r.Histogram("lat", DefBuckets).Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Errorf("hits %v, want 8000", got)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 8000 {
+		t.Errorf("observations %v, want 8000", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2.0, 3, 5, 9} {
+		h.Observe(v)
+	}
+	upper, counts := h.Buckets()
+	if len(upper) != 3 || len(counts) != 4 {
+		t.Fatalf("bucket shape %v %v", upper, counts)
+	}
+	// le semantics: 0.5,1 -> le=1; 1.5,2 -> le=2; 3 -> le=4; 5,9 -> +Inf.
+	want := []uint64{2, 2, 1, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d count %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-22) > 1e-12 {
+		t.Errorf("sum %v, want 22", got)
+	}
+	// Median rank 3.5 falls in the (1,2] bucket: 1 + (3.5-2)/2 = 1.75.
+	if q := h.Quantile(0.5); math.Abs(q-1.75) > 1e-9 {
+		t.Errorf("p50 %v, want 1.75", q)
+	}
+	// p99 lands in +Inf: clamped to the largest finite bound.
+	if q := h.Quantile(0.99); q != 4 {
+		t.Errorf("p99 %v, want clamp to 4", q)
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q must be NaN")
+	}
+}
+
+func TestHistogramBucketNormalisation(t *testing.T) {
+	h := newHistogram([]float64{4, 1, 2, 2, math.Inf(1)})
+	upper, _ := h.Buckets()
+	if len(upper) != 3 || upper[0] != 1 || upper[1] != 2 || upper[2] != 4 {
+		t.Errorf("buckets not sorted/deduped: %v", upper)
+	}
+	if got := newHistogram(nil); len(got.upper) != len(DefBuckets) {
+		t.Errorf("empty buckets must fall back to DefBuckets, got %v", got.upper)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("linear %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("exponential %v", exp)
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, for use by HTTP scrape endpoints.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (families and series in deterministic sorted order).
+// A nil registry writes nothing. The first write error aborts rendering
+// and is returned.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot family structure under the read lock so concurrent
+	// get-or-create calls cannot mutate the maps mid-render; the metric
+	// values themselves are atomic and read lock-free afterwards.
+	r.mu.RLock()
+	fams := make([]famSnapshot, 0, len(r.families))
+	for name, f := range r.families {
+		snap := famSnapshot{name: name, help: f.help, kind: f.kind}
+		for k := range f.series {
+			snap.keys = append(snap.keys, k)
+		}
+		sort.Strings(snap.keys)
+		snap.series = make([]any, len(snap.keys))
+		for i, k := range snap.keys {
+			snap.series[i] = f.series[k]
+		}
+		fams = append(fams, snap)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	for _, f := range fams {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// famSnapshot is a render-time copy of one family's structure.
+type famSnapshot struct {
+	name, help, kind string
+	keys             []string
+	series           []any
+}
+
+func writeFamily(w io.Writer, f famSnapshot) error {
+	if len(f.keys) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	kind := f.kind
+	if kind == "" {
+		kind = "untyped"
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+		return err
+	}
+	for i, key := range f.keys {
+		switch m := f.series[i].(type) {
+		case *Counter:
+			if err := writeSample(w, f.name, key, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSample(w, f.name, key, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, f.name, key, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet. The
+// cumulative counts are derived from one per-bucket snapshot, so bucket
+// monotonicity holds by construction even under concurrent observation.
+func writeHistogram(w io.Writer, name, key string, h *Histogram) error {
+	upper, counts := h.Buckets()
+	var cum uint64
+	for i, u := range upper {
+		cum += counts[i]
+		le := formatFloat(u)
+		if err := writeSample(w, name+"_bucket", mergeLabels(key, "le", le), float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if err := writeSample(w, name+"_bucket", mergeLabels(key, "le", "+Inf"), float64(cum)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", key, h.Sum()); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", key, float64(cum))
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v))
+	return err
+}
+
+// mergeLabels appends one extra pair to an already-rendered label block.
+func mergeLabels(key, k, v string) string {
+	extra := k + `="` + escapeLabelValue(v) + `"`
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the text-format escaping for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

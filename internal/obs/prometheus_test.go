@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("cycles_total", "sensing cycles run")
+	r.Counter("cycles_total").Add(3)
+	r.Gauge("weight", "expert", "vgg16").Set(0.25)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1}, "path", "/assess")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# HELP cycles_total sensing cycles run\n",
+		"# TYPE cycles_total counter\n",
+		"cycles_total 3\n",
+		"# TYPE weight gauge\n",
+		`weight{expert="vgg16"} 0.25` + "\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{path="/assess",le="0.1"} 1` + "\n",
+		`latency_seconds_bucket{path="/assess",le="1"} 2` + "\n",
+		`latency_seconds_bucket{path="/assess",le="+Inf"} 3` + "\n",
+		`latency_seconds_count{path="/assess"} 3` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(got, "cycles_total") > strings.Index(got, "weight") {
+		t.Error("families not sorted")
+	}
+}
+
+// ParseText is a minimal exposition-format checker shared with the
+// service tests via copy: every non-comment line must be
+// `name{labels} value` with a parseable float value.
+func parseText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples
+}
+
+func TestExpositionParsesAndBucketsMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", []float64{1, 2, 3})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseText(t, b.String())
+	prev := -1.0
+	for _, le := range []string{"1", "2", "3", "+Inf"} {
+		v, ok := samples[`d_bucket{le="`+le+`"}`]
+		if !ok {
+			t.Fatalf("missing le=%s bucket", le)
+		}
+		if v < prev {
+			t.Errorf("bucket le=%s count %v < previous %v (not cumulative)", le, v, prev)
+		}
+		prev = v
+	}
+	if samples[`d_bucket{le="+Inf"}`] != samples["d_count"] {
+		t.Error("+Inf bucket must equal _count")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped: %s", b.String())
+	}
+}
+
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("w", "worker", strconv.Itoa(i)).Inc()
+				r.Histogram("h", DefBuckets).Observe(float64(j % 10))
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		parseText(t, b.String())
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one named stage of a sensing cycle. A span records the real
+// wall-clock time the stage took to compute plus, where the simulation
+// models time (committee compute, crowd completion), the simulated
+// duration the stage represents. Spans form trees via Child.
+//
+// Spans are built single-threaded by the cycle under measurement and
+// become immutable once their trace is committed with CycleTrace.End,
+// so committed trees are safe to share across goroutines.
+type Span struct {
+	// Name is the stage name, e.g. "qss.select".
+	Name string `json:"name"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// Wall is the measured wall-clock duration.
+	Wall time.Duration `json:"wallNanos"`
+	// Simulated is the simulated duration the stage stands for (0 when
+	// the stage has no simulated-time component).
+	Simulated time.Duration `json:"simulatedNanos"`
+	// Err holds the stage's error text when it failed.
+	Err string `json:"error,omitempty"`
+	// Children are sub-stages.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Child starts a sub-span. Nil-safe: a nil parent returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End fixes the span's wall duration. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Wall = time.Since(s.Start)
+}
+
+// SetSimulated records the simulated duration the stage represents.
+// Nil-safe.
+func (s *Span) SetSimulated(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Simulated = d
+}
+
+// Fail records the stage error and ends the span. Nil-safe.
+func (s *Span) Fail(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.End()
+}
+
+// CycleTrace is the span tree of one sensing cycle.
+type CycleTrace struct {
+	// Cycle is the cycle index the trace describes.
+	Cycle int `json:"cycle"`
+	// Context is the temporal context name.
+	Context string `json:"context"`
+	// Root is the whole-cycle span; stage spans are its children.
+	Root *Span `json:"root"`
+
+	tracer *Tracer
+}
+
+// Span starts a stage span under the cycle root. Nil-safe.
+func (c *CycleTrace) Span(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return c.Root.Child(name)
+}
+
+// Fail records a cycle-level error on the root span. Nil-safe.
+func (c *CycleTrace) Fail(err error) {
+	if c == nil || err == nil {
+		return
+	}
+	c.Root.Err = err.Error()
+}
+
+// End closes the root span and commits the trace to its tracer's ring.
+// After End the trace must not be mutated. Nil-safe.
+func (c *CycleTrace) End() {
+	if c == nil {
+		return
+	}
+	c.Root.End()
+	c.tracer.commit(c)
+}
+
+// Tracer retains the most recent cycle traces in a bounded ring.
+// Begin/End are cheap; a nil *Tracer disables tracing entirely.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	traces []*CycleTrace // oldest first
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// NewTracer builds a tracer retaining up to capacity cycle traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Begin opens the trace for one sensing cycle. The trace is invisible to
+// Recent until End commits it. Nil-safe: a nil tracer returns a nil
+// trace whose methods all no-op.
+func (t *Tracer) Begin(cycle int, context string) *CycleTrace {
+	if t == nil {
+		return nil
+	}
+	return &CycleTrace{
+		Cycle:   cycle,
+		Context: context,
+		Root:    &Span{Name: SpanCycle, Start: time.Now()},
+		tracer:  t,
+	}
+}
+
+// commit appends a finished trace, evicting the oldest past capacity.
+func (t *Tracer) commit(c *CycleTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traces = append(t.traces, c)
+	if len(t.traces) > t.cap {
+		t.traces = t.traces[len(t.traces)-t.cap:]
+	}
+}
+
+// Recent returns up to n committed traces, newest first. n <= 0 returns
+// every retained trace. Nil-safe: a nil tracer returns nil. The returned
+// traces are immutable; the slice is a copy.
+func (t *Tracer) Recent(n int) []*CycleTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.traces) {
+		n = len(t.traces)
+	}
+	out := make([]*CycleTrace, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.traces[len(t.traces)-1-i]
+	}
+	return out
+}
+
+// Len reports the number of retained traces (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// SpanCycle names the root span of every cycle trace.
+const SpanCycle = "cycle"
+
+// StageStat aggregates one stage name across traces.
+type StageStat struct {
+	// Count is the number of spans with this name.
+	Count int `json:"count"`
+	// Wall is the total measured wall-clock time.
+	Wall time.Duration `json:"wallNanos"`
+	// Simulated is the total simulated time.
+	Simulated time.Duration `json:"simulatedNanos"`
+}
+
+// MeanWall is the average wall-clock duration per span.
+func (s StageStat) MeanWall() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Wall / time.Duration(s.Count)
+}
+
+// MeanSimulated is the average simulated duration per span.
+func (s StageStat) MeanSimulated() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Simulated / time.Duration(s.Count)
+}
+
+// AggregateStages walks every span tree and totals spans by name — the
+// per-stage roll-up RunCampaign and the observability example report.
+func AggregateStages(traces []*CycleTrace) map[string]StageStat {
+	out := make(map[string]StageStat)
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if sp == nil {
+			return
+		}
+		st := out[sp.Name]
+		st.Count++
+		st.Wall += sp.Wall
+		st.Simulated += sp.Simulated
+		out[sp.Name] = st
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, tr := range traces {
+		if tr != nil {
+			walk(tr.Root)
+		}
+	}
+	return out
+}

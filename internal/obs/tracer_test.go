@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpanTrees(t *testing.T) {
+	tr := NewTracer(8)
+	ct := tr.Begin(3, "morning")
+	if tr.Len() != 0 {
+		t.Error("trace must be invisible before End")
+	}
+	sel := ct.Span("qss.select")
+	sel.End()
+	sub := ct.Span("crowd.submit")
+	sub.SetSimulated(90 * time.Second)
+	inner := sub.Child("crowd.wait")
+	inner.End()
+	sub.End()
+	ct.End()
+
+	got := tr.Recent(0)
+	if len(got) != 1 {
+		t.Fatalf("retained %d traces", len(got))
+	}
+	trace := got[0]
+	if trace.Cycle != 3 || trace.Context != "morning" {
+		t.Errorf("trace meta %+v", trace)
+	}
+	if trace.Root.Name != SpanCycle || len(trace.Root.Children) != 2 {
+		t.Fatalf("root %+v", trace.Root)
+	}
+	if trace.Root.Children[1].Simulated != 90*time.Second {
+		t.Error("simulated duration lost")
+	}
+	if len(trace.Root.Children[1].Children) != 1 || trace.Root.Children[1].Children[0].Name != "crowd.wait" {
+		t.Error("nested child lost")
+	}
+	if trace.Root.Wall <= 0 {
+		t.Error("root wall duration not measured")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Begin(i, "morning").End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(got))
+	}
+	// Newest first.
+	for i, want := range []int{4, 3, 2} {
+		if got[i].Cycle != want {
+			t.Errorf("Recent[%d].Cycle = %d, want %d", i, got[i].Cycle, want)
+		}
+	}
+	if n := len(tr.Recent(2)); n != 2 {
+		t.Errorf("Recent(2) returned %d", n)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	ct := tr.Begin(0, "morning")
+	if ct != nil {
+		t.Fatal("nil tracer must hand out nil traces")
+	}
+	sp := ct.Span("qss.select")
+	if sp != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	sp.End()
+	sp.SetSimulated(time.Second)
+	sp.Fail(errors.New("x"))
+	if c := sp.Child("y"); c != nil {
+		t.Error("nil span must hand out nil children")
+	}
+	ct.End()
+	if tr.Recent(5) != nil || tr.Len() != 0 {
+		t.Error("nil tracer must report nothing")
+	}
+}
+
+func TestSpanFailRecordsError(t *testing.T) {
+	tr := NewTracer(1)
+	ct := tr.Begin(0, "evening")
+	ct.Span("cqc.aggregate").Fail(errors.New("no results"))
+	ct.End()
+	sp := tr.Recent(1)[0].Root.Children[0]
+	if sp.Err != "no results" {
+		t.Errorf("span error %q", sp.Err)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(1)
+	ct := tr.Begin(7, "midnight")
+	ct.Span("qss.select").End()
+	ct.End()
+	raw, err := json.Marshal(tr.Recent(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []CycleTrace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Cycle != 7 || back[0].Root.Children[0].Name != "qss.select" {
+		t.Errorf("round trip lost data: %+v", back[0])
+	}
+}
+
+func TestConcurrentCommitAndRecent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ct := tr.Begin(i, "morning")
+				ct.Span("qss.select").End()
+				ct.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			for _, c := range tr.Recent(0) {
+				_ = c.Root.Children // committed traces are immutable
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Len() != 16 {
+		t.Errorf("ring size %d, want 16", tr.Len())
+	}
+}
+
+func TestAggregateStages(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		ct := tr.Begin(i, "morning")
+		sp := ct.Span("crowd.submit")
+		sp.SetSimulated(time.Minute)
+		sp.End()
+		ct.End()
+	}
+	stats := AggregateStages(tr.Recent(0))
+	if stats["crowd.submit"].Count != 3 {
+		t.Errorf("crowd.submit count %d", stats["crowd.submit"].Count)
+	}
+	if stats["crowd.submit"].Simulated != 3*time.Minute {
+		t.Errorf("simulated total %v", stats["crowd.submit"].Simulated)
+	}
+	if stats["crowd.submit"].MeanSimulated() != time.Minute {
+		t.Errorf("mean simulated %v", stats["crowd.submit"].MeanSimulated())
+	}
+	if stats[SpanCycle].Count != 3 {
+		t.Errorf("cycle roots %d", stats[SpanCycle].Count)
+	}
+	if (StageStat{}).MeanWall() != 0 {
+		t.Error("empty stat mean must be 0")
+	}
+}

@@ -3,11 +3,19 @@ package service
 import (
 	"html/template"
 	"net/http"
+	"sort"
 )
 
 // dashboardTemplate renders the operator status page served at GET /.
 // It deliberately avoids external assets so the daemon works air-gapped.
-var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype html>
+var dashboardTemplate = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"deref": func(f *float64) float64 {
+		if f == nil {
+			return 0
+		}
+		return *f
+	},
+}).Parse(`<!doctype html>
 <html lang="en">
 <head>
 <meta charset="utf-8">
@@ -32,7 +40,17 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
 <tr><th>crowd queries</th><td>{{.Stats.CrowdQueries}}</td></tr>
 <tr><th>total spend (USD)</th><td>{{printf "%.2f" .Stats.TotalSpent}}</td></tr>
 <tr><th>mean crowd delay (s)</th><td>{{printf "%.1f" .Stats.MeanCrowdDelayS}}</td></tr>
+{{if .Stats.BudgetRemaining}}<tr><th>budget remaining (USD)</th><td>{{printf "%.2f" (deref .Stats.BudgetRemaining)}}</td></tr>{{end}}
 </table>
+{{if .Weights}}
+<h2>Expert weights</h2>
+<table>
+<tr><th>expert</th><th>weight</th></tr>
+{{range .Weights}}
+<tr><td>{{.Name}}</td><td>{{printf "%.3f" .Weight}}</td></tr>
+{{end}}
+</table>
+{{end}}
 <h2>Recent cycles</h2>
 {{if .Recent}}
 <table>
@@ -51,15 +69,23 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
 {{else}}
 <p class="muted">No cycles yet — POST /assess to begin.</p>
 {{end}}
-<p class="muted">API: POST /assess · GET /stats · GET /images · GET /healthz</p>
+<p class="muted">API: POST /assess · GET /stats · GET /metrics · GET /trace · GET /images · GET /healthz</p>
 </body>
 </html>
 `))
 
 // dashboardData is the template's view model.
 type dashboardData struct {
-	Stats  Stats
-	Recent []Response
+	Stats   Stats
+	Recent  []Response
+	Weights []expertWeight
+}
+
+// expertWeight is one committee member's weight row, name-sorted for a
+// stable display.
+type expertWeight struct {
+	Name   string
+	Weight float64
 }
 
 // handleDashboard serves the HTML status page.
@@ -77,8 +103,14 @@ func (h *Handler) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	for i, j := 0, len(recent)-1; i < j; i, j = i+1, j-1 {
 		recent[i], recent[j] = recent[j], recent[i]
 	}
+	stats := h.svc.Stats()
+	weights := make([]expertWeight, 0, len(stats.ExpertWeights))
+	for name, wgt := range stats.ExpertWeights {
+		weights = append(weights, expertWeight{Name: name, Weight: wgt})
+	}
+	sort.Slice(weights, func(a, b int) bool { return weights[a].Name < weights[b].Name })
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := dashboardTemplate.Execute(w, dashboardData{Stats: h.svc.Stats(), Recent: recent}); err != nil {
+	if err := dashboardTemplate.Execute(w, dashboardData{Stats: stats, Recent: recent, Weights: weights}); err != nil {
 		// Headers already sent; nothing more to do.
 		_ = err
 	}

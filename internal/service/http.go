@@ -4,17 +4,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
+	"time"
 
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
 )
 
 // Handler exposes a Service over HTTP/JSON:
 //
 //	POST /assess   {"context":"morning","imageIds":[1,2,3]} -> Response
-//	GET  /stats    -> Stats
+//	GET  /stats    -> Stats (includes expert weights + remaining budget)
+//	GET  /metrics  -> Prometheus text exposition (when metrics attached)
+//	GET  /trace    -> recent cycle span trees as JSON (when tracing attached)
 //	GET  /healthz  -> 200 once the service is running
 //
 // Clients reference images by ID against a registry supplied at
@@ -25,13 +31,33 @@ type Handler struct {
 	svc    *Service
 	images map[int]*imagery.Image
 	mux    *http.ServeMux
+	logger *slog.Logger
 }
 
 var _ http.Handler = (*Handler)(nil)
 
+// HTTP-layer metric names, emitted when the service carries a registry.
+const (
+	// MetricHTTPRequests counts requests by path and status code.
+	MetricHTTPRequests = "crowdlearn_http_requests_total"
+	// MetricHTTPDuration is a request-latency histogram by path.
+	MetricHTTPDuration = "crowdlearn_http_request_duration_seconds"
+)
+
+// HandlerOption customises a Handler.
+type HandlerOption func(*Handler)
+
+// WithLogger attaches a structured logger; request handling errors
+// (status >= 500) are logged at error level, the rest of the request
+// stream at debug level.
+func WithLogger(l *slog.Logger) HandlerOption {
+	return func(h *Handler) { h.logger = l }
+}
+
 // NewHandler builds the HTTP facade over svc with the given image
-// registry.
-func NewHandler(svc *Service, registry []*imagery.Image) (*Handler, error) {
+// registry. Metrics and tracing endpoints activate automatically when
+// the service was built with WithMetrics / WithTracer.
+func NewHandler(svc *Service, registry []*imagery.Image, opts ...HandlerOption) (*Handler, error) {
 	if svc == nil {
 		return nil, errors.New("service: nil service")
 	}
@@ -46,17 +72,62 @@ func NewHandler(svc *Service, registry []*imagery.Image) (*Handler, error) {
 		}
 		h.images[im.ID] = im
 	}
+	for _, opt := range opts {
+		opt(h)
+	}
 	h.mux.HandleFunc("/assess", h.handleAssess)
 	h.mux.HandleFunc("/stats", h.handleStats)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux.HandleFunc("/trace", h.handleTrace)
 	h.mux.HandleFunc("/healthz", h.handleHealth)
 	h.mux.HandleFunc("/images", h.handleImages)
 	h.mux.HandleFunc("/", h.handleDashboard)
 	return h, nil
 }
 
-// ServeHTTP implements http.Handler.
+// statusRecorder captures the response code for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler, wrapping the mux with request
+// accounting: a per-path latency histogram, a path+code counter, and
+// structured logs.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	started := time.Now()
+	h.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(started)
+
+	// Label with the registered pattern, not the raw URL, to bound
+	// series cardinality (all dashboard paths collapse to "/").
+	path := r.URL.Path
+	if _, pattern := h.mux.Handler(r); pattern != "" {
+		path = pattern
+	}
+	if reg := h.svc.Registry(); reg != nil {
+		reg.Histogram(MetricHTTPDuration, obs.DefBuckets, "path", path).Observe(elapsed.Seconds())
+		reg.Counter(MetricHTTPRequests, "path", path, "code", strconv.Itoa(rec.status)).Inc()
+	}
+	if h.logger != nil {
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed),
+		}
+		if rec.status >= http.StatusInternalServerError {
+			h.logger.Error("request failed", attrs...)
+		} else {
+			h.logger.Debug("request", attrs...)
+		}
+	}
 }
 
 // AssessRequest is the JSON body of POST /assess.
@@ -136,6 +207,55 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.svc.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition of the attached
+// registry.
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	reg := h.svc.Registry()
+	if reg == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "metrics not enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.WriteHeader(http.StatusOK)
+	if err := reg.WritePrometheus(w); err != nil && h.logger != nil {
+		h.logger.Error("metrics write", slog.Any("err", err))
+	}
+}
+
+// TraceResponse is the JSON body of GET /trace.
+type TraceResponse struct {
+	// Traces holds the most recent cycle span trees, newest first.
+	Traces []*obs.CycleTrace `json:"traces"`
+}
+
+// handleTrace serves the N most recent cycle span trees
+// (GET /trace?n=10; n defaults to 10, capped by the tracer's ring).
+func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	tr := h.svc.Tracer()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "tracing not enabled"})
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid n %q", raw)})
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Traces: tr.Recent(n)})
 }
 
 // handleImages lists the assessable image IDs so clients can discover the

@@ -20,6 +20,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
 )
 
 // Assessment is one image's final verdict.
@@ -68,11 +69,29 @@ type Stats struct {
 	CrowdQueries    int     `json:"crowdQueries"`
 	TotalSpent      float64 `json:"totalSpentDollars"`
 	MeanCrowdDelayS float64 `json:"meanCrowdDelaySeconds"`
+	// BudgetRemaining is the IPD policy's unspent budget in dollars; nil
+	// when the scheme does not expose budget telemetry.
+	BudgetRemaining *float64 `json:"budgetRemainingDollars,omitempty"`
+	// ExpertWeights maps committee expert names to their current weights;
+	// nil when the scheme does not expose them.
+	ExpertWeights map[string]float64 `json:"expertWeights,omitempty"`
+}
+
+// Observable is the optional telemetry surface a scheme may implement
+// (core.CrowdLearn does). The service snapshots it on the worker
+// goroutine after every cycle, so implementations need no internal
+// locking against concurrent RunCycle calls.
+type Observable interface {
+	ExpertWeights() map[string]float64
+	RemainingBudget() float64
 }
 
 // Service runs a scheme as a sequential assessment worker.
 type Service struct {
-	scheme core.Scheme
+	scheme     core.Scheme
+	observable Observable // scheme's telemetry surface, nil if absent
+	registry   *obs.Registry
+	tracer     *obs.Tracer
 
 	requests chan assessRequest
 	stop     chan struct{}
@@ -107,18 +126,67 @@ type assessReply struct {
 // ErrNotRunning is returned by Assess before Start or after Shutdown.
 var ErrNotRunning = errors.New("service: not running")
 
+// Metric names emitted by the assessment worker when a registry is
+// attached with WithMetrics.
+const (
+	// MetricAssessDuration is a histogram of wall-clock sensing-cycle
+	// processing time in seconds.
+	MetricAssessDuration = "crowdlearn_assess_duration_seconds"
+	// MetricAssessErrors counts failed assessment requests.
+	MetricAssessErrors = "crowdlearn_assess_errors_total"
+)
+
+// Option customises a Service.
+type Option func(*Service)
+
+// WithMetrics attaches a metrics registry: the worker records
+// per-request latency histograms and error counters into it, and the
+// HTTP layer exposes it at GET /metrics.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Service) { s.registry = r }
+}
+
+// WithTracer attaches the cycle tracer the HTTP layer serves at
+// GET /trace. Point it at the same tracer as the scheme's
+// core.Config.Tracer so cycle span trees and responses line up.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Service) { s.tracer = tr }
+}
+
 // New wraps a scheme. The scheme must already be trained/bootstrapped.
-func New(scheme core.Scheme) (*Service, error) {
+func New(scheme core.Scheme, opts ...Option) (*Service, error) {
 	if scheme == nil {
 		return nil, errors.New("service: nil scheme")
 	}
-	return &Service{
+	s := &Service{
 		scheme:   scheme,
 		requests: make(chan assessRequest),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if o, ok := scheme.(Observable); ok {
+		s.observable = o
+		// Seed the pre-first-cycle snapshot so /stats shows the
+		// bootstrapped weights and full budget immediately.
+		s.stats.ExpertWeights = o.ExpertWeights()
+		budget := o.RemainingBudget()
+		s.stats.BudgetRemaining = &budget
+	}
+	if s.registry != nil {
+		s.registry.Help(MetricAssessDuration, "Wall-clock sensing-cycle processing time in seconds.")
+		s.registry.Help(MetricAssessErrors, "Assessment requests that failed.")
+	}
+	return s, nil
 }
+
+// Registry returns the attached metrics registry (nil when disabled).
+func (s *Service) Registry() *obs.Registry { return s.registry }
+
+// Tracer returns the attached cycle tracer (nil when disabled).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Start launches the worker goroutine. Calling Start twice is a no-op.
 func (s *Service) Start() {
@@ -186,12 +254,15 @@ func (s *Service) process(req Request) (Response, error) {
 	cycle := s.nextCycle
 	s.mu.Unlock()
 
+	started := time.Now()
 	out, err := s.scheme.RunCycle(core.CycleInput{
 		Index:   cycle,
 		Context: req.Context,
 		Images:  req.Images,
 	})
+	s.registry.Histogram(MetricAssessDuration, obs.DefBuckets).Observe(time.Since(started).Seconds())
 	if err != nil {
+		s.registry.Counter(MetricAssessErrors).Inc()
 		return Response{}, err
 	}
 
@@ -236,6 +307,13 @@ func (s *Service) process(req Request) (Response, error) {
 	}
 	if s.delayed > 0 {
 		s.stats.MeanCrowdDelayS = (s.delayTotal / time.Duration(s.delayed)).Seconds()
+	}
+	if s.observable != nil {
+		// Fresh map per snapshot: previously returned Stats copies stay
+		// valid and race-free.
+		s.stats.ExpertWeights = s.observable.ExpertWeights()
+		budget := s.observable.RemainingBudget()
+		s.stats.BudgetRemaining = &budget
 	}
 	s.recent = append(s.recent, resp)
 	if len(s.recent) > recentCapacity {
