@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover-obs artefacts report clean
+.PHONY: all build vet test race bench cover-obs faults fuzz artefacts report clean
 
 all: build vet test
 
@@ -12,8 +12,10 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomises test execution order to flush out inter-test
+# state dependence.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The experiments package runs full campaigns and needs well over the
 # 10m default package timeout under the race detector.
@@ -23,6 +25,16 @@ race:
 # Coverage for the observability package (metrics registry + tracer).
 cover-obs:
 	$(GO) test -cover ./internal/obs/
+
+# Smoke-run the fault-injection experiment: reduced scenario grid, both
+# recovery arms, budget-conservation audit.
+faults:
+	$(GO) test -run TestFaultsSmoke -v -count=1 ./internal/experiments/
+
+# Short fuzzing session over the HTTP request-decoding surface.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParseContext -fuzztime 30s ./internal/service/
+	$(GO) test -run xxx -fuzz FuzzAssessDecode -fuzztime 30s ./internal/service/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,10 +7,10 @@
 //	crowdlearn [-seed N] <artefact>...
 //
 // Artefacts: fig5 fig6 table1 table2 fig7 table3 fig8 fig9 fig10 fig11
-// ablations strategies robustness report table2multi all. Running "all"
-// regenerates every paper artefact plus the ablation and robustness
-// studies in paper order; "report" writes the paper-vs-measured markdown
-// comparison.
+// ablations strategies robustness faults report table2multi all. Running
+// "all" regenerates every paper artefact plus the ablation, robustness
+// and fault-resilience studies in paper order; "report" writes the
+// paper-vs-measured markdown comparison.
 //
 // Example:
 //
@@ -44,7 +44,7 @@ func run(args []string) error {
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: crowdlearn [-seed N] [-seeds K] <artefact>...")
 		fmt.Fprintln(fs.Output(), "artefacts: fig5 fig6 table1 table2 fig7 table3 fig8 fig9 fig10 fig11")
-		fmt.Fprintln(fs.Output(), "           ablations strategies robustness report table2multi all")
+		fmt.Fprintln(fs.Output(), "           ablations strategies robustness faults report table2multi all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -59,7 +59,7 @@ func run(args []string) error {
 		targets = []string{
 			"fig5", "fig6", "table1", "table2", "fig7", "table3",
 			"fig8", "fig9", "fig10", "fig11",
-			"ablations", "strategies", "robustness",
+			"ablations", "strategies", "robustness", "faults",
 		}
 	}
 
@@ -152,6 +152,8 @@ func run(args []string) error {
 			}
 			parts = append(parts, churn.String())
 			out = stringsJoiner(strings.Join(parts, "\n"))
+		case "faults":
+			out, err = crowdlearn.RunFaults(lab)
 		case "report":
 			out, err = crowdlearn.RunReport(lab)
 		case "table2multi":
@@ -179,7 +181,7 @@ func run(args []string) error {
 			parts = append(parts, ba.String())
 			out = stringsJoiner(strings.Join(parts, "\n"))
 		default:
-			return fmt.Errorf("unknown artefact %q (want fig5..fig11, table1..table3, ablations, strategies, robustness, report, table2multi, all)", target)
+			return fmt.Errorf("unknown artefact %q (want fig5..fig11, table1..table3, ablations, strategies, robustness, faults, report, table2multi, all)", target)
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", target, err)

@@ -15,9 +15,16 @@
 // Usage:
 //
 //	crowdlearnd [-addr :8080] [-seed 1] [-log-level info]
+//	            [-queue-depth 16] [-request-timeout 30s]
+//
+// -queue-depth bounds the assessment queue: when it is full, POST /assess
+// answers 429 with a Retry-After header instead of queueing without
+// limit. -request-timeout caps one assessment end to end (queue wait plus
+// cycle processing). Zero disables either guard.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the in-flight
-// sensing cycle completes, the listener drains, and the worker exits.
+// sensing cycle completes, the listener drains, queued requests are
+// rejected deterministically, and the worker exits.
 package main
 
 import (
@@ -51,8 +58,16 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master seed")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	traceCap := fs.Int("trace-capacity", obs.DefaultTraceCapacity, "cycle traces retained for GET /trace")
+	queueDepth := fs.Int("queue-depth", 16, "bounded assessment queue; full queue answers 429 (0 = unbounded)")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-assessment timeout, queue wait included (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *queueDepth < 0 {
+		return fmt.Errorf("invalid -queue-depth %d: must be non-negative", *queueDepth)
+	}
+	if *requestTimeout < 0 {
+		return fmt.Errorf("invalid -request-timeout %v: must be non-negative", *requestTimeout)
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -63,6 +78,13 @@ func run(args []string) error {
 
 	cfg := crowdlearn.DefaultLabConfig()
 	cfg.Seed = *seed
+	logger.Info("starting",
+		slog.String("addr", *addr),
+		slog.Int64("seed", *seed),
+		slog.String("logLevel", *logLevel),
+		slog.Int("traceCapacity", *traceCap),
+		slog.Int("queueDepth", *queueDepth),
+		slog.Duration("requestTimeout", *requestTimeout))
 	logger.Info("building lab", slog.Int64("seed", *seed))
 	started := time.Now()
 	lab, err := crowdlearn.NewLab(cfg)
@@ -84,7 +106,11 @@ func run(args []string) error {
 		slog.Int("assessableImages", len(lab.Dataset.Test)),
 		slog.Duration("elapsed", time.Since(started)))
 
-	svc, err := service.New(sys, service.WithMetrics(registry), service.WithTracer(tracer))
+	svc, err := service.New(sys,
+		service.WithMetrics(registry),
+		service.WithTracer(tracer),
+		service.WithQueueDepth(*queueDepth),
+		service.WithRequestTimeout(*requestTimeout))
 	if err != nil {
 		return err
 	}

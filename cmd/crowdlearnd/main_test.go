@@ -29,3 +29,17 @@ func TestRunRejectsBadLogLevel(t *testing.T) {
 		t.Errorf("invalid log level must error, got %v", err)
 	}
 }
+
+func TestRunRejectsNegativeQueueDepth(t *testing.T) {
+	err := run([]string{"-queue-depth", "-1"})
+	if err == nil || !strings.Contains(err.Error(), "queue-depth") {
+		t.Errorf("negative queue depth must error, got %v", err)
+	}
+}
+
+func TestRunRejectsNegativeRequestTimeout(t *testing.T) {
+	err := run([]string{"-request-timeout", "-5s"})
+	if err == nil || !strings.Contains(err.Error(), "request-timeout") {
+		t.Errorf("negative request timeout must error, got %v", err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/eval"
 	"github.com/crowdlearn/crowdlearn/internal/experiments"
+	"github.com/crowdlearn/crowdlearn/internal/faults"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 )
@@ -83,6 +84,15 @@ const (
 type (
 	// System is the closed-loop CrowdLearn system (QSS + IPD + CQC + MIC).
 	System = core.CrowdLearn
+	// CrowdPlatform is the crowd-marketplace interface the System posts
+	// through — satisfied by Platform and by FaultInjector, so fault
+	// injection composes with every scheme.
+	CrowdPlatform = core.CrowdPlatform
+	// RecoveryConfig parameterises the closed loop's crowd-failure
+	// handling: HIT deadlines, budget-aware requery with incentive
+	// backoff, and graceful degradation to AI labels. The zero value
+	// disables recovery.
+	RecoveryConfig = core.RecoveryConfig
 	// SystemConfig assembles a System.
 	SystemConfig = core.Config
 	// Scheme is any damage-assessment system runnable through campaigns.
@@ -165,10 +175,36 @@ func DefaultPlatformConfig() PlatformConfig { return crowd.DefaultConfig() }
 // DefaultSystemConfig mirrors the paper's CrowdLearn configuration.
 func DefaultSystemConfig() SystemConfig { return core.DefaultConfig() }
 
-// NewSystem assembles a CrowdLearn system against a platform. Call
+// NewSystem assembles a CrowdLearn system against a crowd platform —
+// the simulated marketplace itself, or a FaultInjector wrapping it. Call
 // Bootstrap on the result before running cycles.
-func NewSystem(cfg SystemConfig, platform *Platform) (*System, error) {
+func NewSystem(cfg SystemConfig, platform CrowdPlatform) (*System, error) {
 	return core.New(cfg, platform)
+}
+
+// DefaultRecoveryConfig is the resilience tuning used by the faults
+// experiment: 30-minute HIT deadlines, quorum 3, two requery waves at
+// 1.5x incentive backoff capped at 20 cents.
+func DefaultRecoveryConfig() RecoveryConfig { return core.DefaultRecoveryConfig() }
+
+// Re-exported fault-injection types (see internal/faults): a
+// deterministic, seedable adversary for the crowd platform.
+type (
+	// FaultConfig parameterises the injector; the zero value injects
+	// nothing and is a bit-for-bit no-op.
+	FaultConfig = faults.Config
+	// FaultInjector wraps a CrowdPlatform with deterministic failure
+	// injection: abandonment, delay spikes, duplicates, stale replays,
+	// dropout bursts and platform outages.
+	FaultInjector = faults.Injector
+	// FaultCounts tallies injected faults by kind.
+	FaultCounts = faults.Counts
+)
+
+// NewFaultInjector wraps a crowd platform with deterministic fault
+// injection.
+func NewFaultInjector(inner CrowdPlatform, cfg FaultConfig) (*FaultInjector, error) {
+	return faults.New(inner, cfg)
 }
 
 // DefaultCampaignConfig mirrors the paper's 40-cycle protocol.

@@ -1,0 +1,87 @@
+// Resilience: run CrowdLearn against a faulty crowd platform — 30% HIT
+// abandonment, delay spikes, duplicate and stale responses, plus a
+// mid-campaign outage — and watch the recovery policy (HIT deadlines,
+// budget-aware requery with incentive backoff, graceful degradation to
+// AI labels) keep the closed loop alive and the budget balanced.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	crowdlearn "github.com/crowdlearn/crowdlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
+	if err != nil {
+		return err
+	}
+
+	// The injector wraps the simulated MTurk behind the same interface
+	// the system posts through. Everything is seeded: a faulted campaign
+	// is exactly as reproducible as a clean one.
+	faultCfg := crowdlearn.FaultConfig{
+		Seed:           7,
+		AbandonRate:    0.30,
+		DelaySpikeRate: 0.10,
+		DuplicateRate:  0.05,
+		StaleRate:      0.05,
+		OutageStart:    90 * time.Minute,
+		OutageDuration: time.Hour,
+	}
+	injector, err := crowdlearn.NewFaultInjector(lab.NewPlatform(), faultCfg)
+	if err != nil {
+		return err
+	}
+
+	// Recovery on: 30-minute HIT deadlines, quorum 3, two requery waves
+	// at 1.5x incentive backoff, degraded images fall back to AI labels.
+	sys, err := lab.NewSystemOn(injector, func(cfg *crowdlearn.SystemConfig) {
+		cfg.Recovery = crowdlearn.DefaultRecoveryConfig()
+	})
+	if err != nil {
+		return err
+	}
+
+	result, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test, crowdlearn.DefaultCampaignConfig())
+	if err != nil {
+		return err
+	}
+
+	var requeries, late, outages, degraded int
+	var refunded float64
+	for _, rec := range result.Records {
+		requeries += rec.Output.Requeries
+		late += rec.Output.LateResponses
+		outages += rec.Output.Outages
+		degraded += len(rec.Output.Degraded)
+		refunded += rec.Output.RefundedDollars
+	}
+	m, err := crowdlearn.ComputeMetrics(result.TrueLabels(), result.PredictedLabels())
+	if err != nil {
+		return err
+	}
+
+	counts := injector.Counts()
+	fmt.Printf("campaign completed: %d cycles under injected faults\n\n", len(result.Records))
+	fmt.Printf("injected:  %d abandoned, %d delay-spiked, %d duplicated, %d stale, %d outage rejections\n",
+		counts.Abandoned, counts.DelaySpiked, counts.Duplicated, counts.Stale, counts.OutageRejects)
+	fmt.Printf("recovered: %d requeries, %d late responses discarded, %d outages ridden out\n",
+		requeries, late, outages)
+	fmt.Printf("degraded:  %d images fell back to AI labels\n\n", degraded)
+
+	policy := sys.Policy()
+	fmt.Printf("macro F1 under faults: %.3f\n", m.F1)
+	fmt.Printf("budget: spent $%.2f + remaining $%.2f = total $%.2f (refunded $%.2f re-entered the pool)\n",
+		policy.SpentDollars(), policy.RemainingBudget(), policy.TotalBudget(), refunded)
+	fmt.Printf("platform payout matches policy spend: $%.2f\n", injector.Spent())
+	return nil
+}

@@ -52,6 +52,10 @@ type (
 	// ChurnRobustnessResult measures quality control under worker
 	// identity turnover.
 	ChurnRobustnessResult = experiments.ChurnRobustnessResult
+	// FaultsResult compares CrowdLearn with and without the recovery
+	// policy under injected crowd failures (abandonment, delay spikes,
+	// duplicates, stale replays, a mid-campaign outage).
+	FaultsResult = experiments.FaultsResult
 	// Report is the regenerable markdown paper-vs-measured summary.
 	Report = experiments.Report
 )
@@ -110,6 +114,12 @@ func RunSpamRobustness(lab *Lab) (*SpamRobustnessResult, error) {
 // quality-control schemes depend on per-worker reputation.
 func RunChurnRobustness(lab *Lab) (*ChurnRobustnessResult, error) {
 	return experiments.RunChurnRobustness(lab)
+}
+
+// RunFaults runs the resilience study: CrowdLearn with vs without the
+// recovery policy across injected crowd-failure scenarios.
+func RunFaults(lab *Lab) (*FaultsResult, error) {
+	return experiments.RunFaults(lab)
 }
 
 // RunReport regenerates the markdown paper-vs-measured report.

@@ -122,6 +122,7 @@ type UCBALP struct {
 	cfg       Config
 	rng       *rand.Rand
 	remaining float64 // dollars
+	refunded  float64 // dollars returned for unanswered HITs (flow counter)
 	rounds    int     // rounds observed so far
 	// Per (context, arm) statistics.
 	count  [crowd.NumContexts][]int
@@ -167,6 +168,43 @@ func (u *UCBALP) SpentDollars() float64 {
 // Rounds returns the number of observed rounds, for pacing telemetry
 // alongside the configured TotalRounds.
 func (u *UCBALP) Rounds() int { return u.rounds }
+
+// Charge draws dollars from the remaining budget without recording a
+// payoff observation or advancing the round counter — the accounting
+// path for recovery reposts, whose backed-off incentives are generally
+// not members of the action set and must not distort arm statistics or
+// the ALP's per-round pacing.
+func (u *UCBALP) Charge(dollars float64) {
+	if dollars <= 0 {
+		return
+	}
+	u.remaining -= dollars
+	if u.remaining < 0 {
+		u.remaining = 0
+	}
+}
+
+// Refund returns dollars to the remaining budget, capped at the
+// configured total — the accounting path for HITs that expired with no
+// usable responses and were never paid for by the platform. The
+// cumulative refund flow is tracked separately (RefundedDollars) so the
+// invariant SpentDollars() + RemainingBudget() == TotalBudget() holds
+// throughout.
+func (u *UCBALP) Refund(dollars float64) {
+	if dollars <= 0 {
+		return
+	}
+	u.remaining += dollars
+	if u.remaining > u.cfg.BudgetDollars {
+		u.remaining = u.cfg.BudgetDollars
+	}
+	u.refunded += dollars
+}
+
+// RefundedDollars returns the cumulative dollars refunded for unanswered
+// HITs — a flow counter, not a balance: refunds re-enter RemainingBudget
+// and may be spent again.
+func (u *UCBALP) RefundedDollars() float64 { return u.refunded }
 
 // WarmStart seeds the per-(context, arm) statistics from pilot-study
 // observations so the policy does not waste live rounds rediscovering the

@@ -1,0 +1,71 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChargeDrawsWithoutObserving: Charge moves money without touching
+// the learning state, and clamps at zero.
+func TestChargeDrawsWithoutObserving(t *testing.T) {
+	u, err := NewUCBALP(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := u.TotalBudget()
+	u.Charge(1.5)
+	if got := u.RemainingBudget(); got != total-1.5 {
+		t.Errorf("remaining %v, want %v", got, total-1.5)
+	}
+	if u.Rounds() != 0 {
+		t.Errorf("Charge advanced the round counter to %d", u.Rounds())
+	}
+	if got := u.SpentDollars(); got != 1.5 {
+		t.Errorf("spent %v, want 1.5", got)
+	}
+	u.Charge(10 * total) // overdraw clamps, it does not go negative
+	if got := u.RemainingBudget(); got != 0 {
+		t.Errorf("overdrawn remaining %v, want 0", got)
+	}
+	if got := u.SpentDollars(); got != total {
+		t.Errorf("spent after overdraw %v, want %v", got, total)
+	}
+	u.Charge(-1) // non-positive charges are ignored
+	if got := u.RemainingBudget(); got != 0 {
+		t.Errorf("negative charge changed remaining to %v", got)
+	}
+}
+
+// TestRefundCapsAndTracksFlow: Refund re-credits the budget, caps at the
+// configured total, and accumulates the flow counter.
+func TestRefundCapsAndTracksFlow(t *testing.T) {
+	u, err := NewUCBALP(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := u.TotalBudget()
+	u.Charge(2)
+	u.Refund(0.5)
+	if got := u.RemainingBudget(); math.Abs(got-(total-1.5)) > 1e-12 {
+		t.Errorf("remaining %v, want %v", got, total-1.5)
+	}
+	if got := u.RefundedDollars(); got != 0.5 {
+		t.Errorf("refunded %v, want 0.5", got)
+	}
+	// Conservation: spent + remaining == total, refunds being a flow that
+	// re-enters remaining rather than a separate balance.
+	if d := math.Abs(u.SpentDollars() + u.RemainingBudget() - total); d > 1e-12 {
+		t.Errorf("conservation violated by %v", d)
+	}
+	u.Refund(100) // over-refund caps at the configured budget
+	if got := u.RemainingBudget(); got != total {
+		t.Errorf("over-refunded remaining %v, want cap %v", got, total)
+	}
+	if got := u.RefundedDollars(); got != 100.5 {
+		t.Errorf("refund flow %v, want 100.5", got)
+	}
+	u.Refund(0)
+	if got := u.RefundedDollars(); got != 100.5 {
+		t.Errorf("zero refund changed flow to %v", got)
+	}
+}

@@ -38,6 +38,12 @@ type Config struct {
 	CQC cqc.Config
 	// MIC configures calibration.
 	MIC mic.Config
+	// Recovery configures closed-loop resilience: per-query HIT deadlines,
+	// budget-aware requery with exponential incentive backoff, and graceful
+	// degradation to AI labels when the crowd never answers. The zero value
+	// disables recovery entirely and preserves the exact pre-recovery cycle
+	// behaviour (DESIGN.md §8).
+	Recovery RecoveryConfig
 	// CommitteeOverheadPerImage is the extra simulated compute per image
 	// for running QSS/IPD/CQC/MIC on top of the (parallel) committee —
 	// calibrated so Table III's CrowdLearn algorithm delay is reproduced.
@@ -80,7 +86,7 @@ type CrowdLearn struct {
 	policy     *bandit.UCBALP
 	quality    *cqc.CQC
 	calibrator *mic.Calibrator
-	platform   *crowd.Platform
+	platform   CrowdPlatform
 
 	maxMemberCost time.Duration
 	bootstrapped  bool
@@ -90,10 +96,14 @@ type CrowdLearn struct {
 var _ Scheme = (*CrowdLearn)(nil)
 
 // New assembles a CrowdLearn system against the given crowdsourcing
-// platform. Call Bootstrap before the first RunCycle.
-func New(cfg Config, platform *crowd.Platform) (*CrowdLearn, error) {
+// platform (the simulated crowd.Platform or a fault-injecting wrapper).
+// Call Bootstrap before the first RunCycle.
+func New(cfg Config, platform CrowdPlatform) (*CrowdLearn, error) {
 	if platform == nil {
 		return nil, errors.New("core: nil platform")
+	}
+	if err := cfg.Recovery.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.QuerySize < 0 {
 		return nil, errors.New("core: QuerySize must be non-negative")
@@ -244,18 +254,62 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 
 	// (3) The crowd answers; CQC distils truthful label distributions.
 	sp = ct.Span(SpanCrowdSubmit)
-	results, err := cl.platform.Submit(simclock.New(), in.Context, queries)
-	if err != nil {
-		sp.Fail(err)
-		return CycleOutput{}, err
+	var results []crowd.QueryResult
+	if cl.cfg.Recovery.Enabled() {
+		rec, err := cl.submitWithRecovery(ct, in.Context, queries, incentive)
+		out.Requeries = rec.requeries
+		out.RefundedDollars = rec.refunded
+		out.LateResponses = rec.late
+		out.Outages = rec.outages
+		if err != nil {
+			sp.Fail(err)
+			return CycleOutput{}, err
+		}
+		// Keep only answered queries in the closed loop; degraded images
+		// stand on the committee's AI label and MIC skips them.
+		answered := make([]int, len(rec.answered))
+		results = make([]crowd.QueryResult, len(rec.answered))
+		for i, pos := range rec.answered {
+			answered[i] = queried[pos]
+			results[i] = rec.results[pos]
+		}
+		for _, pos := range rec.degraded {
+			out.Degraded = append(out.Degraded, queried[pos])
+		}
+		queried = answered
+		out.Queried = queried
+		out.Incentive = incentive
+		out.SpentDollars = rec.spent
+		out.CrowdDelay = rec.crowdDelay
+		sp.SetSimulated(out.CrowdDelay)
+		sp.End()
+		if len(queried) == 0 {
+			// Nothing usable came back: the whole cycle degrades to AI
+			// labels rather than failing.
+			return out, nil
+		}
+	} else {
+		results, err = cl.platform.Submit(simclock.New(), in.Context, queries)
+		if errors.Is(err, crowd.ErrUnavailable) {
+			// Platform outage with recovery disabled: degrade the cycle
+			// to AI labels instead of wedging the campaign.
+			sp.Fail(err)
+			out.Degraded = queried
+			out.Outages = 1
+			return out, nil
+		}
+		if err != nil {
+			sp.Fail(err)
+			return CycleOutput{}, err
+		}
+		out.Queried = queried
+		out.Incentive = incentive
+		out.SpentDollars = incentive.Dollars() * float64(len(queries))
+		out.CrowdDelay = crowd.MeanCompletionDelay(results)
+		sp.SetSimulated(out.CrowdDelay)
+		sp.End()
+		cl.policy.Observe(in.Context, incentive, out.CrowdDelay, len(queries))
 	}
-	out.Queried = queried
-	out.Incentive = incentive
-	out.SpentDollars = incentive.Dollars() * float64(len(queries))
-	out.CrowdDelay = crowd.MeanCompletionDelay(results)
-	sp.SetSimulated(out.CrowdDelay)
-	sp.End()
-	cl.policy.Observe(in.Context, incentive, out.CrowdDelay, len(queries))
 
 	sp = ct.Span(SpanCQCAggregate)
 	truths, err := cl.quality.Aggregate(results)

@@ -27,7 +27,7 @@ import (
 type HybridPara struct {
 	expert    classifier.Expert
 	policy    bandit.Policy
-	platform  *crowd.Platform
+	platform  CrowdPlatform
 	querySize int
 	rng       *rand.Rand
 	// complexityThreshold is the entropy fraction above which an image is
@@ -40,7 +40,7 @@ var _ Scheme = (*HybridPara)(nil)
 
 // NewHybridPara builds the baseline around a trained expert (the paper
 // pairs the crowd with the strongest AI-only configuration).
-func NewHybridPara(expert classifier.Expert, policy bandit.Policy, platform *crowd.Platform, querySize int, seed int64) (*HybridPara, error) {
+func NewHybridPara(expert classifier.Expert, policy bandit.Policy, platform CrowdPlatform, querySize int, seed int64) (*HybridPara, error) {
 	if expert == nil || policy == nil || platform == nil {
 		return nil, errors.New("core: hybrid-para needs expert, policy and platform")
 	}
@@ -109,7 +109,7 @@ func (h *HybridPara) RunCycle(in CycleInput) (CycleOutput, error) {
 type HybridAL struct {
 	expert    classifier.Expert
 	policy    bandit.Policy
-	platform  *crowd.Platform
+	platform  CrowdPlatform
 	querySize int
 	// selector reuses QSS's machinery with epsilon=0: pure uncertainty
 	// sampling over a single-expert committee.
@@ -123,7 +123,7 @@ type HybridAL struct {
 var _ Scheme = (*HybridAL)(nil)
 
 // NewHybridAL builds the baseline around a trained expert.
-func NewHybridAL(expert classifier.Expert, policy bandit.Policy, platform *crowd.Platform, querySize int, seed int64) (*HybridAL, error) {
+func NewHybridAL(expert classifier.Expert, policy bandit.Policy, platform CrowdPlatform, querySize int, seed int64) (*HybridAL, error) {
 	if expert == nil || policy == nil || platform == nil {
 		return nil, errors.New("core: hybrid-al needs expert, policy and platform")
 	}
@@ -222,7 +222,7 @@ func (h *HybridAL) RunCycle(in CycleInput) (CycleOutput, error) {
 // postRandomQueries selects querySize images uniformly at random, prices
 // them with the policy, and submits them — the crowd pathway shared by
 // Hybrid-Para.
-func postRandomQueries(rng *rand.Rand, policy bandit.Policy, platform *crowd.Platform, in CycleInput, querySize int) ([]int, []crowd.QueryResult, crowd.Cents, error) {
+func postRandomQueries(rng *rand.Rand, policy bandit.Policy, platform CrowdPlatform, in CycleInput, querySize int) ([]int, []crowd.QueryResult, crowd.Cents, error) {
 	if querySize == 0 {
 		return nil, nil, 0, nil
 	}

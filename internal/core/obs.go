@@ -32,6 +32,20 @@ const (
 	// MetricCrowdDelay is a histogram of per-cycle simulated crowd
 	// completion delay in seconds (cycles that posted queries only).
 	MetricCrowdDelay = "crowdlearn_crowd_delay_seconds"
+	// MetricRequeries counts HIT reposts performed by the recovery policy.
+	MetricRequeries = "crowdlearn_crowd_requeries_total"
+	// MetricRefunded totals incentive dollars returned to the budget for
+	// posts that expired unanswered.
+	MetricRefunded = "crowdlearn_refunded_dollars_total"
+	// MetricDegradedImages counts images that fell back to AI labels
+	// because their crowd query never produced a usable response.
+	MetricDegradedImages = "crowdlearn_degraded_images_total"
+	// MetricDegradedCycles counts cycles with at least one degraded image.
+	MetricDegradedCycles = "crowdlearn_degraded_cycles_total"
+	// MetricLateResponses counts responses discarded past the deadline.
+	MetricLateResponses = "crowdlearn_late_responses_total"
+	// MetricOutages counts crowd posts rejected by a platform outage.
+	MetricOutages = "crowdlearn_crowd_outages_total"
 )
 
 // Span names recorded per sensing cycle when Config.Tracer is set — one
@@ -52,6 +66,9 @@ const (
 	SpanMICWeights = "mic.weights"
 	// SpanMICRetrain is MIC's incremental expert retraining.
 	SpanMICRetrain = "mic.retrain"
+	// SpanCrowdRequery is one recovery wave reposting expired HITs; its
+	// simulated duration is the deadline the wave waited out.
+	SpanCrowdRequery = "crowd.requery"
 )
 
 // delayBuckets cover simulated delays from sub-second committee compute
@@ -72,6 +89,12 @@ func registerHelp(r *obs.Registry) {
 	r.Help(MetricExpertWeight, "Committee expert weight (sums to 1 across experts).")
 	r.Help(MetricAlgorithmDelay, "Per-cycle simulated compute delay in seconds.")
 	r.Help(MetricCrowdDelay, "Per-cycle simulated crowd completion delay in seconds.")
+	r.Help(MetricRequeries, "HIT reposts performed by the recovery policy.")
+	r.Help(MetricRefunded, "Incentive dollars refunded for posts that expired unanswered.")
+	r.Help(MetricDegradedImages, "Images that fell back to AI labels after crowd failures.")
+	r.Help(MetricDegradedCycles, "Cycles with at least one degraded image.")
+	r.Help(MetricLateResponses, "Crowd responses discarded for missing the deadline.")
+	r.Help(MetricOutages, "Crowd posts rejected by a platform outage.")
 }
 
 // observeCycle publishes one successful cycle's telemetry. Nil-safe: a
@@ -96,6 +119,24 @@ func (cl *CrowdLearn) observeCycle(in CycleInput, out CycleOutput) {
 	r.Histogram(MetricAlgorithmDelay, delayBuckets).Observe(out.AlgorithmDelay.Seconds())
 	if len(out.Queried) > 0 {
 		r.Histogram(MetricCrowdDelay, delayBuckets).Observe(out.CrowdDelay.Seconds())
+	}
+	// Resilience counters are emitted only when non-zero so the fault-free
+	// exposition stays identical to the pre-recovery output.
+	if out.Requeries > 0 {
+		r.Counter(MetricRequeries).Add(float64(out.Requeries))
+	}
+	if out.RefundedDollars > 0 {
+		r.Counter(MetricRefunded).Add(out.RefundedDollars)
+	}
+	if len(out.Degraded) > 0 {
+		r.Counter(MetricDegradedImages).Add(float64(len(out.Degraded)))
+		r.Counter(MetricDegradedCycles).Inc()
+	}
+	if out.LateResponses > 0 {
+		r.Counter(MetricLateResponses).Add(float64(out.LateResponses))
+	}
+	if out.Outages > 0 {
+		r.Counter(MetricOutages).Add(float64(out.Outages))
 	}
 }
 

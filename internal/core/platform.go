@@ -1,0 +1,22 @@
+package core
+
+import (
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// CrowdPlatform abstracts the crowdsourcing marketplace the closed loop
+// posts queries to. *crowd.Platform is the simulated marketplace; the
+// fault injector (internal/faults) wraps any implementation to replay
+// abandonment, delay spikes, duplicate/stale responses, dropout bursts
+// and outages against it. Implementations follow crowd.Platform's Submit
+// contract: schedule completions on clk, drain it before returning, and
+// return crowd.ErrUnavailable (possibly wrapped) while unreachable.
+type CrowdPlatform interface {
+	Submit(clk *simclock.Clock, ctx crowd.TemporalContext, queries []crowd.Query) ([]crowd.QueryResult, error)
+	// Spent returns the total dollars paid out so far. HITs that expired
+	// with no responses are not counted.
+	Spent() float64
+}
+
+var _ CrowdPlatform = (*crowd.Platform)(nil)

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// RecoveryConfig parameterises the closed loop's crowd-failure handling:
+// per-query HIT deadlines on the simulated clock, budget-aware requery
+// with exponential incentive backoff, and graceful degradation to the
+// weighted ensemble's AI label when the crowd never answers (DESIGN.md
+// §8). The zero value disables recovery: cycles then behave exactly as
+// before this subsystem existed, except that a platform outage degrades
+// the cycle to AI labels instead of aborting the campaign.
+type RecoveryConfig struct {
+	// Deadline is the per-wave HIT deadline on the simulated clock.
+	// Responses arriving later are discarded as expired; queries below
+	// Quorum at the deadline are reposted. Zero disables recovery.
+	Deadline time.Duration
+	// Quorum is the usable-response count per query at which the requester
+	// stops reposting (default 3). Queries that end with fewer but at
+	// least one response are still aggregated by CQC.
+	Quorum int
+	// MaxAttempts is the number of requery waves after the initial post
+	// (default 2).
+	MaxAttempts int
+	// BackoffFactor multiplies the incentive on each requery wave
+	// (default 1.5); the paper's delay surfaces make higher incentives
+	// both faster and better answered.
+	BackoffFactor float64
+	// MaxIncentive caps the backed-off incentive (default 20 cents, the
+	// top of the paper's action set). The remaining budget imposes a
+	// second, dynamic cap: a wave is never priced above what the budget
+	// can pay for every pending query.
+	MaxIncentive crowd.Cents
+}
+
+// DefaultRecoveryConfig is the tuning used by the resilience experiment:
+// a 30-minute deadline (past the slowest honest context mean, well short
+// of injected delay spikes), quorum 3 of the paper's 5 assignments, two
+// requery waves at 1.5x backoff capped at the 20-cent ceiling.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{
+		Deadline:      30 * time.Minute,
+		Quorum:        3,
+		MaxAttempts:   2,
+		BackoffFactor: 1.5,
+		MaxIncentive:  20,
+	}
+}
+
+// Enabled reports whether recovery is active.
+func (r RecoveryConfig) Enabled() bool { return r.Deadline > 0 }
+
+// Validate checks the configuration; the zero (disabled) value is valid.
+func (r RecoveryConfig) Validate() error {
+	if !r.Enabled() {
+		return nil
+	}
+	if r.Deadline < 0 {
+		return fmt.Errorf("core: recovery Deadline %v must be non-negative", r.Deadline)
+	}
+	if r.Quorum < 0 {
+		return fmt.Errorf("core: recovery Quorum %d must be non-negative", r.Quorum)
+	}
+	if r.MaxAttempts < 0 {
+		return fmt.Errorf("core: recovery MaxAttempts %d must be non-negative", r.MaxAttempts)
+	}
+	if r.BackoffFactor != 0 && r.BackoffFactor < 1 {
+		return fmt.Errorf("core: recovery BackoffFactor %v must be >= 1", r.BackoffFactor)
+	}
+	if r.MaxIncentive < 0 {
+		return fmt.Errorf("core: recovery MaxIncentive %d must be non-negative", r.MaxIncentive)
+	}
+	return nil
+}
+
+// withDefaults fills unset knobs of an enabled configuration.
+func (r RecoveryConfig) withDefaults() RecoveryConfig {
+	if r.Quorum == 0 {
+		r.Quorum = 3
+	}
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 2
+	}
+	if r.BackoffFactor == 0 {
+		r.BackoffFactor = 1.5
+	}
+	if r.MaxIncentive == 0 {
+		r.MaxIncentive = 20
+	}
+	return r
+}
+
+// backoffIncentive prices requery wave `attempt` (1-based): exponential
+// backoff from the base incentive, capped by MaxIncentive.
+func (r RecoveryConfig) backoffIncentive(base crowd.Cents, attempt int) crowd.Cents {
+	inc := crowd.Cents(math.Ceil(float64(base) * math.Pow(r.BackoffFactor, float64(attempt))))
+	if inc > r.MaxIncentive {
+		inc = r.MaxIncentive
+	}
+	if inc < 1 {
+		inc = 1
+	}
+	return inc
+}
+
+// recoveryOutcome is the bookkeeping of one deadline-governed crowd round
+// trip. results is aligned with the caller's query set; entries may end
+// with an empty Responses slice (degraded queries).
+type recoveryOutcome struct {
+	results    []crowd.QueryResult
+	answered   []int // positions with at least one usable response
+	degraded   []int // positions whose every post expired unanswered
+	spent      float64
+	refunded   float64
+	requeries  int
+	late       int
+	duplicates int
+	outages    int
+	crowdDelay time.Duration
+}
+
+// hasDuplicate reports whether an identical assignment (same worker,
+// delay and label) is already recorded for the query — the signature of
+// an injected duplicate or a replayed stale response.
+func hasDuplicate(rs []crowd.Response, r crowd.Response) bool {
+	for _, ex := range rs {
+		if ex.WorkerID == r.WorkerID && ex.Delay == r.Delay && ex.Label == r.Label {
+			return true
+		}
+	}
+	return false
+}
+
+// submitWithRecovery posts the cycle's query set under the recovery
+// policy: every wave waits Deadline on the simulated clock, discards
+// responses that arrive later, dedups injected duplicates, refunds posts
+// that expired with no responses at all (the platform never charged
+// them), and reposts below-quorum queries at a backed-off incentive
+// capped by the remaining budget. Platform outages consume an attempt
+// and are retried; queries still unanswered when attempts run out are
+// reported as degraded so the caller can fall back to AI labels.
+//
+// Budget accounting: the initial wave is charged through policy.Observe
+// (the bandit's normal feedback path, fed the deadline-censored mean
+// delay); requery waves are charged through policy.Charge so off-action
+// incentives do not distort arm statistics; expired posts are returned
+// through policy.Refund.
+func (cl *CrowdLearn) submitWithRecovery(ct *obs.CycleTrace, ctx crowd.TemporalContext, queries []crowd.Query, incentive crowd.Cents) (recoveryOutcome, error) {
+	r := cl.cfg.Recovery.withDefaults()
+	n := len(queries)
+	rec := recoveryOutcome{results: make([]crowd.QueryResult, n)}
+	for i := range rec.results {
+		rec.results[i].Query = queries[i]
+	}
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	waves := 0 // successfully posted waves (outage rejections excluded)
+	for attempt := 0; attempt <= r.MaxAttempts && len(pending) > 0; attempt++ {
+		inc := incentive
+		if attempt > 0 {
+			inc = r.backoffIncentive(incentive, attempt)
+			// Affordability cap: never price a wave above what the
+			// remaining budget can pay for every pending query.
+			affordable := crowd.Cents(math.Floor(cl.policy.RemainingBudget() * 100 / float64(len(pending))))
+			if affordable < 1 {
+				break
+			}
+			if inc > affordable {
+				inc = affordable
+			}
+		}
+		batch := make([]crowd.Query, len(pending))
+		for bi, pi := range pending {
+			batch[bi] = crowd.Query{Image: rec.results[pi].Query.Image, Incentive: inc}
+		}
+		var sp *obs.Span
+		if attempt > 0 {
+			sp = ct.Span(SpanCrowdRequery)
+		}
+		res, err := cl.platform.Submit(simclock.New(), ctx, batch)
+		if errors.Is(err, crowd.ErrUnavailable) {
+			// Outage: the post bounced. Burn the attempt and retry; the
+			// injector advances its simulated clock per rejected probe.
+			rec.outages++
+			sp.Fail(err)
+			sp.End()
+			continue
+		}
+		if err != nil {
+			sp.Fail(err)
+			sp.End()
+			return rec, err
+		}
+		waveStart := time.Duration(waves) * r.Deadline
+		waves++
+		if attempt > 0 {
+			rec.requeries += len(batch)
+			cl.policy.Charge(inc.Dollars() * float64(len(batch)))
+			rec.spent += inc.Dollars() * float64(len(batch))
+		}
+		var waveDelaySum time.Duration // deadline-censored, for the bandit
+		var waveRefund float64
+		for bi, qr := range res {
+			pi := pending[bi]
+			usableDelay := time.Duration(0)
+			for _, resp := range qr.Responses {
+				if resp.Delay > r.Deadline {
+					rec.late++
+					continue
+				}
+				if resp.Delay > usableDelay {
+					usableDelay = resp.Delay
+				}
+				resp.QueryIndex = pi
+				resp.Delay += waveStart
+				if hasDuplicate(rec.results[pi].Responses, resp) {
+					rec.duplicates++
+					continue
+				}
+				rec.results[pi].Responses = append(rec.results[pi].Responses, resp)
+				if resp.Delay > rec.results[pi].CompletionDelay {
+					rec.results[pi].CompletionDelay = resp.Delay
+				}
+			}
+			if usableDelay == 0 {
+				// Unanswered (or only expired answers): the full deadline
+				// elapsed before the requester gave up on this post.
+				usableDelay = r.Deadline
+			}
+			if len(qr.Responses) == 0 {
+				// The HIT expired fully unanswered; the platform never
+				// paid it out, so the incentive returns to the budget.
+				waveRefund += inc.Dollars()
+			}
+			waveDelaySum += usableDelay
+		}
+		if attempt == 0 {
+			// The bandit's normal feedback path: charge the wave and learn
+			// from the deadline-censored mean delay, so arms whose answers
+			// expire look exactly as slow as the deadline they burned.
+			meanDelay := waveDelaySum / time.Duration(len(batch))
+			cl.policy.Observe(ctx, inc, meanDelay, len(batch))
+			rec.spent += inc.Dollars() * float64(len(batch))
+		}
+		// Refund after the wave's own charge so the budget cap cannot
+		// clip a refund against money that was about to be drawn anyway.
+		if waveRefund > 0 {
+			cl.policy.Refund(waveRefund)
+			rec.refunded += waveRefund
+			rec.spent -= waveRefund
+		}
+		if sp != nil {
+			sp.SetSimulated(r.Deadline)
+			sp.End()
+		}
+		next := pending[:0]
+		for _, pi := range pending {
+			if len(rec.results[pi].Responses) < r.Quorum {
+				next = append(next, pi)
+			}
+		}
+		pending = next
+	}
+	var delayTotal time.Duration
+	for i := range rec.results {
+		if len(rec.results[i].Responses) > 0 {
+			rec.answered = append(rec.answered, i)
+			delayTotal += rec.results[i].CompletionDelay
+		} else {
+			rec.degraded = append(rec.degraded, i)
+			delayTotal += time.Duration(waves) * r.Deadline
+		}
+	}
+	if n > 0 {
+		rec.crowdDelay = delayTotal / time.Duration(n)
+	}
+	return rec, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+func TestRecoveryConfigValidate(t *testing.T) {
+	if err := (RecoveryConfig{}).Validate(); err != nil {
+		t.Errorf("zero (disabled) config rejected: %v", err)
+	}
+	if (RecoveryConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if err := DefaultRecoveryConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	bad := []RecoveryConfig{
+		{Deadline: time.Minute, Quorum: -1},
+		{Deadline: time.Minute, MaxAttempts: -1},
+		{Deadline: time.Minute, BackoffFactor: 0.5},
+		{Deadline: time.Minute, MaxIncentive: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	// Config validation runs at construction time too.
+	cfg := DefaultConfig()
+	cfg.Recovery = RecoveryConfig{Deadline: time.Minute, Quorum: -1}
+	if _, err := New(cfg, freshPlatform()); err == nil {
+		t.Error("New accepted an invalid recovery config")
+	}
+}
+
+func TestBackoffIncentive(t *testing.T) {
+	r := DefaultRecoveryConfig() // factor 1.5, cap 20
+	cases := []struct {
+		base    crowd.Cents
+		attempt int
+		want    crowd.Cents
+	}{
+		{4, 1, 6},
+		{4, 2, 9},
+		{10, 2, 20}, // ceil(22.5) capped at 20
+		{20, 1, 20},
+		{1, 1, 2},
+	}
+	for _, c := range cases {
+		if got := r.backoffIncentive(c.base, c.attempt); got != c.want {
+			t.Errorf("backoff(%d, %d) = %d, want %d", c.base, c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestRecoveryCleanPlatformMatchesBaseline: on a fault-free platform with
+// a deadline past every honest delay, the recovery path must reproduce
+// the recovery-disabled cycle exactly — same queries, spend, delays and
+// distributions, no requeries, no degradation.
+func TestRecoveryCleanPlatformMatchesBaseline(t *testing.T) {
+	f := sharedFixture(t)
+	in := CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]}
+
+	baseline := newBootstrappedCrowdLearn(t, f)
+	want, err := baseline.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Recovery = DefaultRecoveryConfig()
+	cfg.Recovery.Deadline = 3 * time.Hour // nothing honest expires
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requeries != 0 || len(got.Degraded) != 0 || got.LateResponses != 0 || got.Outages != 0 {
+		t.Errorf("clean platform triggered recovery: %+v", got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovery path diverged from baseline on a clean platform:\n got %+v\nwant %+v", got, want)
+	}
+	pol := cl.Policy()
+	if d := math.Abs(pol.SpentDollars() + pol.RemainingBudget() - pol.TotalBudget()); d > 1e-9 {
+		t.Errorf("budget conservation violated by %v", d)
+	}
+}
+
+// downPlatform rejects every post — a platform in permanent outage.
+type downPlatform struct{}
+
+func (downPlatform) Spent() float64 { return 0 }
+
+func (downPlatform) Submit(*simclock.Clock, crowd.TemporalContext, []crowd.Query) ([]crowd.QueryResult, error) {
+	return nil, fmt.Errorf("down: %w", crowd.ErrUnavailable)
+}
+
+// TestOutageDegradesWithoutRecovery: with recovery disabled an outage
+// must not wedge the cycle — it degrades to AI labels in one shot.
+func TestOutageDegradesWithoutRecovery(t *testing.T) {
+	f := sharedFixture(t)
+	cl, err := New(DefaultConfig(), downPlatform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outages != 1 {
+		t.Errorf("outages %d, want 1", out.Outages)
+	}
+	if len(out.Degraded) == 0 || len(out.Queried) != 0 {
+		t.Errorf("cycle not degraded: queried %v, degraded %v", out.Queried, out.Degraded)
+	}
+	if len(out.Distributions) != 10 {
+		t.Errorf("AI fallback produced %d distributions, want 10", len(out.Distributions))
+	}
+	if out.SpentDollars != 0 {
+		t.Errorf("degraded cycle spent %v", out.SpentDollars)
+	}
+}
+
+// TestOutageExhaustsRecoveryAttempts: with recovery enabled a permanent
+// outage burns every attempt, degrades all queries, and leaves the
+// budget untouched.
+func TestOutageExhaustsRecoveryAttempts(t *testing.T) {
+	f := sharedFixture(t)
+	cfg := DefaultConfig()
+	cfg.Recovery = DefaultRecoveryConfig()
+	cl, err := New(cfg, downPlatform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.RunCycle(CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbes := cfg.Recovery.MaxAttempts + 1
+	if out.Outages != wantProbes {
+		t.Errorf("outages %d, want %d (initial post + each retry)", out.Outages, wantProbes)
+	}
+	if len(out.Degraded) == 0 || len(out.Queried) != 0 {
+		t.Errorf("cycle not fully degraded: queried %v, degraded %v", out.Queried, out.Degraded)
+	}
+	if out.SpentDollars != 0 || out.RefundedDollars != 0 {
+		t.Errorf("no wave ever posted, yet spent %v / refunded %v", out.SpentDollars, out.RefundedDollars)
+	}
+	pol := cl.Policy()
+	if pol.RemainingBudget() != pol.TotalBudget() {
+		t.Errorf("budget touched during a total outage: remaining %v of %v", pol.RemainingBudget(), pol.TotalBudget())
+	}
+}

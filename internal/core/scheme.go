@@ -56,8 +56,24 @@ type CycleOutput struct {
 	// Incentive is the per-query incentive paid this cycle (zero if no
 	// queries were posted).
 	Incentive crowd.Cents
-	// SpentDollars is the crowdsourcing spend of this cycle.
+	// SpentDollars is the crowdsourcing spend of this cycle, net of
+	// refunds for posts that expired unanswered.
 	SpentDollars float64
+	// Requeries counts HIT reposts performed by the recovery policy this
+	// cycle (zero when recovery is disabled).
+	Requeries int
+	// RefundedDollars is the incentive money returned to the budget for
+	// posts that expired with no responses this cycle.
+	RefundedDollars float64
+	// Degraded lists indices of images whose crowd query never produced a
+	// usable response; their Distributions entries fall back to the
+	// weighted ensemble's AI verdict and MIC skips them.
+	Degraded []int
+	// LateResponses counts responses discarded for missing the recovery
+	// deadline.
+	LateResponses int
+	// Outages counts crowd posts rejected because the platform was down.
+	Outages int
 }
 
 // Labels collapses the output distributions to hard labels.

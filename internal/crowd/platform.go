@@ -12,6 +12,14 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/simclock"
 )
 
+// ErrUnavailable signals that the platform cannot accept posts right now
+// — a full marketplace outage. The simulated Platform never returns it
+// itself; fault injectors (internal/faults) wrap Submit with it so the
+// closed loop can exercise outage recovery. Callers should treat it as
+// transient: retry the post or degrade to AI labels rather than aborting
+// the sensing cycle.
+var ErrUnavailable = errors.New("crowd: platform unavailable")
+
 // Query is one crowd query (Definition 2): an image whose label and
 // contextual evidence the requester wants.
 type Query struct {
@@ -260,6 +268,11 @@ func (p *Platform) pickWorkers(ctx TemporalContext) []*Worker {
 // Each query costs its incentive (the HIT price, shared by its
 // assignments), charged regardless of answer quality — matching the
 // paper's budget arithmetic where a 2 USD budget buys 200 one-cent tasks.
+// The charge lands when the HIT completes (at least one assignment
+// arrives), not at posting time: a HIT that expires fully unanswered is
+// never paid for, so wrappers that drop every response of a query
+// (abandonment injection) leave Spent() untouched for it and requery
+// accounting cannot double-count the repost.
 func (p *Platform) Submit(clk *simclock.Clock, ctx TemporalContext, queries []Query) ([]QueryResult, error) {
 	if !ctx.Valid() {
 		return nil, fmt.Errorf("crowd: invalid context %d", int(ctx))
@@ -278,7 +291,6 @@ func (p *Platform) Submit(clk *simclock.Clock, ctx TemporalContext, queries []Qu
 			return nil, fmt.Errorf("crowd: query %d has non-positive incentive", qi)
 		}
 		results[qi].Query = q
-		p.spent += q.Incentive.Dollars()
 		workers := p.pickWorkers(ctx)
 		for _, w := range workers {
 			qi := qi
@@ -303,6 +315,11 @@ func (p *Platform) Submit(clk *simclock.Clock, ctx TemporalContext, queries []Qu
 		}
 	}
 	clk.Run()
+	for qi := range results {
+		if len(results[qi].Responses) > 0 {
+			p.spent += results[qi].Query.Incentive.Dollars()
+		}
+	}
 	return results, nil
 }
 

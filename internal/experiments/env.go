@@ -116,8 +116,21 @@ func (e *Env) NewSystemWith(mutate func(*core.Config)) (*core.CrowdLearn, error)
 	return e.newCrowdLearn(e.Cfg.QuerySize, e.Cfg.BudgetDollars, mutate)
 }
 
-// newCrowdLearn assembles a bootstrapped CrowdLearn scheme.
+// NewSystemOn is NewSystemWith against a caller-supplied crowd platform —
+// the injection point for fault-wrapped platforms (internal/faults).
+func (e *Env) NewSystemOn(platform core.CrowdPlatform, mutate func(*core.Config)) (*core.CrowdLearn, error) {
+	return e.newCrowdLearnOn(platform, e.Cfg.QuerySize, e.Cfg.BudgetDollars, mutate)
+}
+
+// newCrowdLearn assembles a bootstrapped CrowdLearn scheme on a fresh
+// platform.
 func (e *Env) newCrowdLearn(querySize int, budget float64, mutate func(*core.Config)) (*core.CrowdLearn, error) {
+	return e.newCrowdLearnOn(e.NewPlatform(), querySize, budget, mutate)
+}
+
+// newCrowdLearnOn assembles a bootstrapped CrowdLearn scheme on the given
+// platform.
+func (e *Env) newCrowdLearnOn(platform core.CrowdPlatform, querySize int, budget float64, mutate func(*core.Config)) (*core.CrowdLearn, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = e.Cfg.Seed
 	cfg.Dims = e.Cfg.Dataset.Dims
@@ -126,7 +139,7 @@ func (e *Env) newCrowdLearn(querySize int, budget float64, mutate func(*core.Con
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	cl, err := core.New(cfg, e.NewPlatform())
+	cl, err := core.New(cfg, platform)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/eval"
+	"github.com/crowdlearn/crowdlearn/internal/faults"
+)
+
+// FaultsResult compares CrowdLearn with and without the recovery policy
+// (core.RecoveryConfig) across crowd-failure scenarios injected by
+// internal/faults: growing HIT abandonment plus delay spikes, and a
+// mid-campaign platform outage on top. This study extends the paper —
+// Section V assumes every HIT is answered — and quantifies what the
+// deadline/requery/degradation machinery buys when it is not.
+type FaultsResult struct {
+	// Scenarios names the injected failure mixes, mildest first.
+	Scenarios []string
+	// Modes are the recovery arms ("recovery", "no-recovery").
+	Modes []string
+	// F1 is the end-of-campaign macro F1 per mode per scenario.
+	F1 map[string][]float64
+	// DelaySeconds is the mean per-cycle crowd delay per mode per
+	// scenario.
+	DelaySeconds map[string][]float64
+	// SpentDollars is the net campaign spend per mode per scenario.
+	SpentDollars map[string][]float64
+	// DegradedImages counts images that fell back to AI labels per mode
+	// per scenario.
+	DegradedImages map[string][]int
+	// Requeries counts HIT reposts per scenario (recovery arm only; the
+	// no-recovery arm never reposts).
+	Requeries []int
+	// RefundedDollars totals refunds per scenario (recovery arm only).
+	RefundedDollars []float64
+}
+
+// Mode names of the two arms.
+const (
+	faultsModeRecovery   = "recovery"
+	faultsModeNoRecovery = "no-recovery"
+)
+
+// faultScenario is one injected failure mix.
+type faultScenario struct {
+	name string
+	cfg  faults.Config
+}
+
+// defaultFaultScenarios is the published grid: clean control, moderate
+// and heavy abandonment (with delay spikes, duplicates and stale replays
+// riding along), and heavy abandonment plus a one-hour mid-campaign
+// outage.
+func defaultFaultScenarios(seed int64) []faultScenario {
+	base := func(abandon float64) faults.Config {
+		return faults.Config{
+			Seed:           seed + 17,
+			AbandonRate:    abandon,
+			DelaySpikeRate: 0.10,
+			DuplicateRate:  0.05,
+			StaleRate:      0.05,
+		}
+	}
+	outage := base(0.30)
+	outage.OutageStart = 90 * time.Minute
+	outage.OutageDuration = time.Hour
+	return []faultScenario{
+		{name: "clean", cfg: faults.Config{}},
+		{name: "abandon-15%", cfg: base(0.15)},
+		{name: "abandon-30%", cfg: base(0.30)},
+		{name: "abandon-30%+outage", cfg: outage},
+	}
+}
+
+// runFaultArm runs one full campaign against a fault-injected platform.
+// It returns the campaign alongside the system and injector so callers
+// can audit budget conservation.
+func runFaultArm(env *Env, fcfg faults.Config, recovery bool) (*core.CampaignResult, *core.CrowdLearn, *faults.Injector, error) {
+	inj, err := faults.New(env.NewPlatform(), fcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sys, err := env.NewSystemOn(inj, func(c *core.Config) {
+		if recovery {
+			c.Recovery = core.DefaultRecoveryConfig()
+		}
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	campaign, err := core.RunCampaign(sys, env.Dataset.Test, env.Cfg.Campaign)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return campaign, sys, inj, nil
+}
+
+// auditFaultArm checks the budget conservation the recovery accounting
+// promises: spent + remaining == total on the policy, the per-cycle spend
+// and refund flows summing to the policy's totals, and (recovery arm) the
+// policy's net spend matching what the platform actually paid out.
+func auditFaultArm(campaign *core.CampaignResult, sys *core.CrowdLearn, inj *faults.Injector, recovery bool) error {
+	const eps = 1e-6
+	pol := sys.Policy()
+	if d := math.Abs(pol.SpentDollars() + pol.RemainingBudget() - pol.TotalBudget()); d > eps {
+		return fmt.Errorf("experiments: budget conservation violated by $%g", d)
+	}
+	var spent, refunded float64
+	for _, rec := range campaign.Records {
+		spent += rec.Output.SpentDollars
+		refunded += rec.Output.RefundedDollars
+	}
+	if d := math.Abs(spent - pol.SpentDollars()); d > eps {
+		return fmt.Errorf("experiments: cycle spend %.6f != policy spend %.6f", spent, pol.SpentDollars())
+	}
+	if d := math.Abs(refunded - pol.RefundedDollars()); d > eps {
+		return fmt.Errorf("experiments: cycle refunds %.6f != policy refunds %.6f", refunded, pol.RefundedDollars())
+	}
+	if recovery {
+		if d := math.Abs(pol.SpentDollars() - inj.Spent()); d > eps {
+			return fmt.Errorf("experiments: policy spend %.6f != platform payout %.6f", pol.SpentDollars(), inj.Spent())
+		}
+	}
+	return nil
+}
+
+// RunFaults runs the resilience study over the default scenario grid.
+func RunFaults(env *Env) (*FaultsResult, error) {
+	return runFaults(env, defaultFaultScenarios(env.Cfg.Seed))
+}
+
+// runFaults runs both arms of each scenario; the smoke test drives it
+// with a reduced grid.
+func runFaults(env *Env, scenarios []faultScenario) (*FaultsResult, error) {
+	res := &FaultsResult{
+		Modes:          []string{faultsModeRecovery, faultsModeNoRecovery},
+		F1:             make(map[string][]float64),
+		DelaySeconds:   make(map[string][]float64),
+		SpentDollars:   make(map[string][]float64),
+		DegradedImages: make(map[string][]int),
+	}
+	for _, sc := range scenarios {
+		res.Scenarios = append(res.Scenarios, sc.name)
+		for _, mode := range res.Modes {
+			recovery := mode == faultsModeRecovery
+			campaign, sys, inj, err := runFaultArm(env, sc.cfg, recovery)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
+			}
+			if err := auditFaultArm(campaign, sys, inj, recovery); err != nil {
+				return nil, fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
+			}
+			m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
+			if err != nil {
+				return nil, err
+			}
+			res.F1[mode] = append(res.F1[mode], m.F1)
+			res.DelaySeconds[mode] = append(res.DelaySeconds[mode], campaign.MeanCrowdDelay().Seconds())
+			res.SpentDollars[mode] = append(res.SpentDollars[mode], campaign.TotalSpend())
+			degraded, requeries := 0, 0
+			var refunded float64
+			for _, rec := range campaign.Records {
+				degraded += len(rec.Output.Degraded)
+				requeries += rec.Output.Requeries
+				refunded += rec.Output.RefundedDollars
+			}
+			res.DegradedImages[mode] = append(res.DegradedImages[mode], degraded)
+			if recovery {
+				res.Requeries = append(res.Requeries, requeries)
+				res.RefundedDollars = append(res.RefundedDollars, refunded)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the resilience comparison.
+func (r *FaultsResult) String() string {
+	t := &textTable{
+		title: "Resilience: CrowdLearn under crowd faults, with vs without recovery",
+		header: []string{"scenario", "f1(rec)", "f1(none)", "delay(rec)", "delay(none)",
+			"degr(rec)", "degr(none)", "requeries", "refunded"},
+	}
+	for i, sc := range r.Scenarios {
+		t.addRow(sc,
+			f3(r.F1[faultsModeRecovery][i]),
+			f3(r.F1[faultsModeNoRecovery][i]),
+			fmt.Sprintf("%.0fs", r.DelaySeconds[faultsModeRecovery][i]),
+			fmt.Sprintf("%.0fs", r.DelaySeconds[faultsModeNoRecovery][i]),
+			fmt.Sprintf("%d", r.DegradedImages[faultsModeRecovery][i]),
+			fmt.Sprintf("%d", r.DegradedImages[faultsModeNoRecovery][i]),
+			fmt.Sprintf("%d", r.Requeries[i]),
+			fmt.Sprintf("$%.2f", r.RefundedDollars[i]),
+		)
+	}
+	return t.String()
+}

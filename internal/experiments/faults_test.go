@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/faults"
+)
+
+// smokeEnv builds a reduced environment (10 cycles) so the fault smoke
+// case stays fast enough for `make faults`.
+func smokeEnv(t *testing.T) *Env {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Campaign.Cycles = 10
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestFaultsSmoke drives a reduced scenario grid end to end: campaigns
+// complete under heavy abandonment plus an outage, budget accounting
+// balances (asserted inside runFaults), and the table renders.
+func TestFaultsSmoke(t *testing.T) {
+	env := smokeEnv(t)
+	outage := faults.Config{
+		Seed:           env.Cfg.Seed + 17,
+		AbandonRate:    0.30,
+		DelaySpikeRate: 0.10,
+		DuplicateRate:  0.05,
+		StaleRate:      0.05,
+		OutageStart:    30 * time.Minute,
+		OutageDuration: 30 * time.Minute,
+	}
+	res, err := runFaults(env, []faultScenario{
+		{name: "clean", cfg: faults.Config{}},
+		{name: "abandon-30%+outage", cfg: outage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("scenarios %d, want 2", len(res.Scenarios))
+	}
+	for _, mode := range res.Modes {
+		if len(res.F1[mode]) != 2 {
+			t.Fatalf("mode %s has %d F1 points, want 2", mode, len(res.F1[mode]))
+		}
+		for i, f1 := range res.F1[mode] {
+			if f1 <= 0 || f1 > 1 {
+				t.Fatalf("mode %s scenario %s F1 %v out of range", mode, res.Scenarios[i], f1)
+			}
+		}
+	}
+	table := res.String()
+	for _, want := range []string{"clean", "abandon-30%+outage", "f1(rec)", "requeries"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestFaultsRecoveryBeatsNoRecovery is the acceptance criterion: under
+// 30% HIT abandonment plus a mid-campaign outage, a full 40-cycle
+// campaign completes in both arms and the recovery arm wins on F1.
+func TestFaultsRecoveryBeatsNoRecovery(t *testing.T) {
+	env := testEnv(t)
+	scenarios := defaultFaultScenarios(env.Cfg.Seed)
+	heavy := scenarios[len(scenarios)-1]
+	if !strings.Contains(heavy.name, "outage") {
+		t.Fatalf("expected the heaviest scenario to include an outage, got %q", heavy.name)
+	}
+	res, err := runFaults(env, []faultScenario{heavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, none := res.F1[faultsModeRecovery][0], res.F1[faultsModeNoRecovery][0]
+	if rec <= none {
+		t.Fatalf("recovery F1 %.4f does not beat no-recovery F1 %.4f", rec, none)
+	}
+	if res.Requeries[0] == 0 {
+		t.Fatal("recovery arm performed no requeries under 30% abandonment")
+	}
+	if res.DegradedImages[faultsModeNoRecovery][0] == 0 {
+		t.Fatal("no-recovery arm degraded no images despite the outage")
+	}
+}

@@ -1,0 +1,309 @@
+// Package faults injects deterministic, seedable crowd-platform failures
+// behind the core.CrowdPlatform interface: HIT abandonment, response-delay
+// spikes, duplicate and stale responses, worker-dropout bursts, and full
+// platform outages with configurable duration. All failures ride the
+// simulated clock and a private RNG, so a faulted campaign is exactly as
+// reproducible as a clean one.
+//
+// The injector is the adversary the recovery policy (core.RecoveryConfig,
+// DESIGN.md §8) is evaluated against: abandonment and dropout bursts
+// starve queries below quorum, delay spikes push responses past the
+// deadline, duplicates and stale replays probe CQC's aggregation, and
+// outages bounce whole posts with crowd.ErrUnavailable.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// Config parameterises the injector. The zero value injects nothing: the
+// wrapped platform's behaviour (and random stream) is bit-for-bit
+// unchanged, so a disabled injector is a true no-op.
+type Config struct {
+	// Seed drives the injector's private RNG; the wrapped platform's
+	// stream is never touched.
+	Seed int64
+	// AbandonRate is the per-response probability that the assignment is
+	// silently abandoned: the worker never submits, and the HIT slot
+	// yields nothing by the deadline.
+	AbandonRate float64
+	// DelaySpikeRate is the per-response probability that the response's
+	// delay is multiplied by DelaySpikeFactor — the long-tail latency of
+	// a worker who accepted the HIT and walked away.
+	DelaySpikeRate float64
+	// DelaySpikeFactor scales spiked delays (default 6).
+	DelaySpikeFactor float64
+	// DuplicateRate is the per-response probability that the platform
+	// delivers the same assignment twice (retry storms, at-least-once
+	// delivery).
+	DuplicateRate float64
+	// StaleRate is the per-query probability that a response recorded for
+	// an earlier query is replayed against this one — an answer for the
+	// wrong image.
+	StaleRate float64
+	// DropoutBurstRate is the per-batch probability of a worker-dropout
+	// burst; during a burst each response is additionally dropped with
+	// probability DropoutBurstFraction.
+	DropoutBurstRate float64
+	// DropoutBurstFraction is the share of responses lost in a burst
+	// (default 0.5).
+	DropoutBurstFraction float64
+	// OutageStart positions a full platform outage on the injector's
+	// simulated campaign clock (which advances with each batch's
+	// completion). The outage is enabled by OutageDuration > 0.
+	OutageStart time.Duration
+	// OutageDuration is how long the platform rejects posts with
+	// crowd.ErrUnavailable. Zero disables the outage.
+	OutageDuration time.Duration
+	// ProbeAdvance is the simulated time a rejected post costs the
+	// requester before it may probe again (default 10 minutes), so
+	// outages end deterministically after a bounded number of probes.
+	ProbeAdvance time.Duration
+	// Metrics, when non-nil, receives per-kind injection counters
+	// (MetricInjected). Nil disables metric emission.
+	Metrics *obs.Registry
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"AbandonRate", c.AbandonRate},
+		{"DelaySpikeRate", c.DelaySpikeRate},
+		{"DuplicateRate", c.DuplicateRate},
+		{"StaleRate", c.StaleRate},
+		{"DropoutBurstRate", c.DropoutBurstRate},
+		{"DropoutBurstFraction", c.DropoutBurstFraction},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.DelaySpikeFactor < 0 || (c.DelaySpikeFactor > 0 && c.DelaySpikeFactor < 1) {
+		return fmt.Errorf("faults: DelaySpikeFactor %v must be >= 1 (or 0 for the default)", c.DelaySpikeFactor)
+	}
+	if c.OutageStart < 0 {
+		return fmt.Errorf("faults: OutageStart %v must be non-negative", c.OutageStart)
+	}
+	if c.OutageDuration < 0 {
+		return fmt.Errorf("faults: OutageDuration %v must be non-negative", c.OutageDuration)
+	}
+	if c.ProbeAdvance < 0 {
+		return fmt.Errorf("faults: ProbeAdvance %v must be non-negative", c.ProbeAdvance)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault is configured.
+func (c Config) Enabled() bool {
+	return c.AbandonRate > 0 || c.DelaySpikeRate > 0 || c.DuplicateRate > 0 ||
+		c.StaleRate > 0 || c.DropoutBurstRate > 0 || c.OutageDuration > 0
+}
+
+// MetricInjected counts injected faults by kind (label: kind, one of
+// "abandon", "dropout", "delay_spike", "duplicate", "stale",
+// "outage_reject").
+const MetricInjected = "crowdlearn_faults_injected_total"
+
+// Counts tallies injected faults over the injector's lifetime.
+type Counts struct {
+	// Abandoned is responses dropped by per-response abandonment.
+	Abandoned int
+	// Dropout is responses lost to dropout bursts.
+	Dropout int
+	// Bursts is the number of batches hit by a dropout burst.
+	Bursts int
+	// DelaySpiked is responses whose delay was multiplied.
+	DelaySpiked int
+	// Duplicated is responses delivered twice.
+	Duplicated int
+	// Stale is replayed responses attached to the wrong query.
+	Stale int
+	// OutageRejects is posts bounced with crowd.ErrUnavailable.
+	OutageRejects int
+	// Unanswered is queries whose final response set came back empty.
+	Unanswered int
+}
+
+// Injector wraps a CrowdPlatform with deterministic fault injection. It
+// implements core.CrowdPlatform itself, so it can stand wherever the real
+// platform does — including under the closed loop and the service.
+type Injector struct {
+	cfg   Config
+	inner core.CrowdPlatform
+	rng   *rand.Rand
+	// elapsed is the injector's simulated campaign clock: the sum of each
+	// accepted batch's completion time plus ProbeAdvance per rejected
+	// post. The outage window is positioned on this clock.
+	elapsed  time.Duration
+	refunded float64 // dollars for queries the injection left unanswered
+	past     []crowd.Response
+	counts   Counts
+}
+
+var _ core.CrowdPlatform = (*Injector)(nil)
+
+// pastCapacity bounds the replay buffer stale responses are drawn from.
+const pastCapacity = 256
+
+// New wraps inner with fault injection.
+func New(inner core.CrowdPlatform, cfg Config) (*Injector, error) {
+	if inner == nil {
+		return nil, errors.New("faults: nil inner platform")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DelaySpikeFactor == 0 {
+		cfg.DelaySpikeFactor = 6
+	}
+	if cfg.DropoutBurstFraction == 0 {
+		cfg.DropoutBurstFraction = 0.5
+	}
+	if cfg.ProbeAdvance == 0 {
+		cfg.ProbeAdvance = 10 * time.Minute
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Help(MetricInjected, "Injected crowd-platform faults by kind.")
+	}
+	return &Injector{cfg: cfg, inner: inner, rng: mathx.NewRand(cfg.Seed)}, nil
+}
+
+// Counts returns the lifetime injection tallies.
+func (inj *Injector) Counts() Counts { return inj.counts }
+
+// Elapsed returns the injector's simulated campaign clock.
+func (inj *Injector) Elapsed() time.Duration { return inj.elapsed }
+
+// RefundedDollars returns the incentives withheld for queries whose
+// response set the injection emptied — money the platform never paid out.
+func (inj *Injector) RefundedDollars() float64 { return inj.refunded }
+
+// Spent implements core.CrowdPlatform: the wrapped platform's payout
+// minus the incentives of queries the injection left unanswered (the
+// inner simulation saw responses for them, but the requester never did,
+// so the HIT expires unpaid).
+func (inj *Injector) Spent() float64 { return inj.inner.Spent() - inj.refunded }
+
+func (inj *Injector) inOutage() bool {
+	return inj.cfg.OutageDuration > 0 &&
+		inj.elapsed >= inj.cfg.OutageStart &&
+		inj.elapsed < inj.cfg.OutageStart+inj.cfg.OutageDuration
+}
+
+func (inj *Injector) count(kind string, n int) {
+	if n <= 0 {
+		return
+	}
+	if inj.cfg.Metrics != nil {
+		inj.cfg.Metrics.Counter(MetricInjected, "kind", kind).Add(float64(n))
+	}
+}
+
+// Submit implements core.CrowdPlatform. With a zero Config it delegates
+// untouched; otherwise it forwards to the wrapped platform and then
+// mutates the returned batch deterministically.
+func (inj *Injector) Submit(clk *simclock.Clock, ctx crowd.TemporalContext, queries []crowd.Query) ([]crowd.QueryResult, error) {
+	if !inj.cfg.Enabled() {
+		return inj.inner.Submit(clk, ctx, queries)
+	}
+	if inj.inOutage() {
+		inj.counts.OutageRejects++
+		inj.count("outage_reject", 1)
+		inj.elapsed += inj.cfg.ProbeAdvance
+		return nil, fmt.Errorf("faults: injected outage at %v: %w", inj.elapsed, crowd.ErrUnavailable)
+	}
+	start := clk.Now()
+	results, err := inj.inner.Submit(clk, ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	inj.elapsed += clk.Now() - start
+	for qi := range results {
+		inj.mutate(&results[qi], qi, ctx)
+	}
+	return results, nil
+}
+
+// mutate applies the per-response and per-query fault channels to one
+// query's result, recomputes its completion delay, and accounts for a
+// response set injection emptied.
+func (inj *Injector) mutate(qr *crowd.QueryResult, qi int, ctx crowd.TemporalContext) {
+	burst := inj.cfg.DropoutBurstRate > 0 && mathx.Bernoulli(inj.rng, inj.cfg.DropoutBurstRate)
+	if burst {
+		inj.counts.Bursts++
+	}
+	hadResponses := len(qr.Responses) > 0
+	kept := make([]crowd.Response, 0, len(qr.Responses))
+	for _, r := range qr.Responses {
+		inj.remember(r)
+		if burst && mathx.Bernoulli(inj.rng, inj.cfg.DropoutBurstFraction) {
+			inj.counts.Dropout++
+			inj.count("dropout", 1)
+			continue
+		}
+		if inj.cfg.AbandonRate > 0 && mathx.Bernoulli(inj.rng, inj.cfg.AbandonRate) {
+			inj.counts.Abandoned++
+			inj.count("abandon", 1)
+			continue
+		}
+		if inj.cfg.DelaySpikeRate > 0 && mathx.Bernoulli(inj.rng, inj.cfg.DelaySpikeRate) {
+			r.Delay = time.Duration(float64(r.Delay) * inj.cfg.DelaySpikeFactor)
+			inj.counts.DelaySpiked++
+			inj.count("delay_spike", 1)
+		}
+		kept = append(kept, r)
+		if inj.cfg.DuplicateRate > 0 && mathx.Bernoulli(inj.rng, inj.cfg.DuplicateRate) {
+			kept = append(kept, r)
+			inj.counts.Duplicated++
+			inj.count("duplicate", 1)
+		}
+	}
+	if inj.cfg.StaleRate > 0 && len(inj.past) > 0 && mathx.Bernoulli(inj.rng, inj.cfg.StaleRate) {
+		stale := inj.past[inj.rng.Intn(len(inj.past))]
+		stale.QueryIndex = qi
+		stale.Incentive = qr.Query.Incentive
+		stale.Context = ctx
+		kept = append(kept, stale)
+		inj.counts.Stale++
+		inj.count("stale", 1)
+	}
+	qr.Responses = kept
+	qr.CompletionDelay = 0
+	for _, r := range kept {
+		if r.Delay > qr.CompletionDelay {
+			qr.CompletionDelay = r.Delay
+		}
+	}
+	if hadResponses && len(kept) == 0 {
+		// The inner simulation paid this HIT out, but the requester never
+		// saw a response: withhold the payment (unanswered HITs are free).
+		inj.refunded += qr.Query.Incentive.Dollars()
+		inj.counts.Unanswered++
+	}
+}
+
+// remember records a response in the bounded replay buffer stale
+// injections draw from.
+func (inj *Injector) remember(r crowd.Response) {
+	if inj.cfg.StaleRate <= 0 {
+		return
+	}
+	if len(inj.past) < pastCapacity {
+		inj.past = append(inj.past, r)
+		return
+	}
+	inj.past[inj.rng.Intn(pastCapacity)] = r
+}

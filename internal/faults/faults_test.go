@@ -1,0 +1,380 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// stubPlatform is a deterministic inner platform: every query gets three
+// responses at 1/2/3 minutes, and every answered HIT is charged — the
+// same charge-on-completion rule the real platform follows.
+type stubPlatform struct {
+	spent   float64
+	batches int
+}
+
+var _ core.CrowdPlatform = (*stubPlatform)(nil)
+
+func (s *stubPlatform) Spent() float64 { return s.spent }
+
+func (s *stubPlatform) Submit(clk *simclock.Clock, ctx crowd.TemporalContext, queries []crowd.Query) ([]crowd.QueryResult, error) {
+	s.batches++
+	results := make([]crowd.QueryResult, len(queries))
+	for qi, q := range queries {
+		results[qi].Query = q
+		for w := 0; w < 3; w++ {
+			r := crowd.Response{
+				QueryIndex: qi,
+				WorkerID:   s.batches*100 + w,
+				Label:      imagery.Label(w % imagery.NumLabels),
+				Delay:      time.Duration(w+1) * time.Minute,
+				Incentive:  q.Incentive,
+				Context:    ctx,
+			}
+			results[qi].Responses = append(results[qi].Responses, r)
+			if r.Delay > results[qi].CompletionDelay {
+				results[qi].CompletionDelay = r.Delay
+			}
+		}
+		s.spent += q.Incentive.Dollars()
+	}
+	return results, nil
+}
+
+func stubQueries(n int) []crowd.Query {
+	qs := make([]crowd.Query, n)
+	for i := range qs {
+		qs[i] = crowd.Query{Incentive: 4}
+	}
+	return qs
+}
+
+func submit(t *testing.T, inj *Injector, n int) []crowd.QueryResult {
+	t.Helper()
+	res, err := inj.Submit(simclock.New(), crowd.Morning, stubQueries(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{AbandonRate: -0.1},
+		{AbandonRate: 1.1},
+		{DuplicateRate: 2},
+		{StaleRate: -1},
+		{DropoutBurstRate: 1.5},
+		{DelaySpikeFactor: 0.5},
+		{OutageStart: -time.Minute},
+		{OutageDuration: -time.Minute},
+		{ProbeAdvance: -time.Second},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+}
+
+// TestDisabledPassThrough: a zero-config injector must delegate
+// untouched — identical results, identical spend, no counters.
+func TestDisabledPassThrough(t *testing.T) {
+	bare := &stubPlatform{}
+	wrapped := &stubPlatform{}
+	inj, err := New(wrapped, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bare.Submit(simclock.New(), crowd.Morning, stubQueries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := submit(t, inj, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("disabled injector mutated results")
+	}
+	if inj.Spent() != bare.Spent() {
+		t.Errorf("spend %v vs %v", inj.Spent(), bare.Spent())
+	}
+	if inj.Counts() != (Counts{}) {
+		t.Errorf("disabled injector counted faults: %+v", inj.Counts())
+	}
+}
+
+// TestDeterminism: two injectors with the same seed inject the same
+// faults in the same places.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:           42,
+		AbandonRate:    0.3,
+		DelaySpikeRate: 0.2,
+		DuplicateRate:  0.2,
+		StaleRate:      0.2,
+	}
+	run := func() ([]crowd.QueryResult, Counts) {
+		inj, err := New(&stubPlatform{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last []crowd.QueryResult
+		for i := 0; i < 5; i++ {
+			last = submit(t, inj, 8)
+		}
+		return last, inj.Counts()
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if c1 != c2 {
+		t.Errorf("counts diverged: %+v vs %+v", c1, c2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("results diverged across identically seeded runs")
+	}
+	if c1.Abandoned == 0 || c1.DelaySpiked == 0 || c1.Duplicated == 0 || c1.Stale == 0 {
+		t.Errorf("expected every channel to fire over 40 queries: %+v", c1)
+	}
+}
+
+// TestAbandonmentRefunds: abandoning every response empties every query;
+// the injector withholds the inner platform's payout entirely.
+func TestAbandonmentRefunds(t *testing.T) {
+	inner := &stubPlatform{}
+	inj, err := New(inner, Config{AbandonRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := submit(t, inj, 6)
+	for qi, qr := range res {
+		if len(qr.Responses) != 0 || qr.CompletionDelay != 0 {
+			t.Fatalf("query %d survived full abandonment: %+v", qi, qr)
+		}
+	}
+	c := inj.Counts()
+	if c.Abandoned != 18 || c.Unanswered != 6 {
+		t.Errorf("counts %+v, want 18 abandoned / 6 unanswered", c)
+	}
+	wantRefund := 6 * crowd.Cents(4).Dollars()
+	if math.Abs(inj.RefundedDollars()-wantRefund) > 1e-9 {
+		t.Errorf("refunded %v, want %v", inj.RefundedDollars(), wantRefund)
+	}
+	if math.Abs(inj.Spent()) > 1e-9 {
+		t.Errorf("net spend %v, want 0 (inner paid %v)", inj.Spent(), inner.Spent())
+	}
+}
+
+func TestDelaySpikes(t *testing.T) {
+	inj, err := New(&stubPlatform{}, Config{DelaySpikeRate: 1, DelaySpikeFactor: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := submit(t, inj, 2)
+	for _, qr := range res {
+		for w, r := range qr.Responses {
+			want := time.Duration(w+1) * time.Minute * 6
+			if r.Delay != want {
+				t.Fatalf("delay %v, want %v", r.Delay, want)
+			}
+		}
+		if qr.CompletionDelay != 18*time.Minute {
+			t.Errorf("completion delay %v not recomputed", qr.CompletionDelay)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	inj, err := New(&stubPlatform{}, Config{DuplicateRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := submit(t, inj, 3)
+	for _, qr := range res {
+		if len(qr.Responses) != 6 {
+			t.Fatalf("%d responses, want 6 (each doubled)", len(qr.Responses))
+		}
+		for w := 0; w < 3; w++ {
+			if !reflect.DeepEqual(qr.Responses[2*w], qr.Responses[2*w+1]) {
+				t.Error("duplicate differs from original")
+			}
+		}
+	}
+}
+
+// TestStaleReplay: with StaleRate 1, batches after the first gain a
+// replayed response rewritten to the receiving query's index, incentive
+// and context.
+func TestStaleReplay(t *testing.T) {
+	inj, err := New(&stubPlatform{}, Config{StaleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(t, inj, 4) // fills the replay buffer
+	res, err := inj.Submit(simclock.New(), crowd.Evening, stubQueries(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, qr := range res {
+		if len(qr.Responses) != 4 {
+			t.Fatalf("query %d has %d responses, want 3 fresh + 1 stale", qi, len(qr.Responses))
+		}
+		stale := qr.Responses[3]
+		if stale.QueryIndex != qi || stale.Context != crowd.Evening || stale.Incentive != qr.Query.Incentive {
+			t.Errorf("stale response not rewritten: %+v", stale)
+		}
+	}
+	if inj.Counts().Stale < 4 {
+		t.Errorf("stale count %d, want >= 4", inj.Counts().Stale)
+	}
+}
+
+func TestDropoutBurst(t *testing.T) {
+	inj, err := New(&stubPlatform{}, Config{DropoutBurstRate: 1, DropoutBurstFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := submit(t, inj, 5)
+	for _, qr := range res {
+		if len(qr.Responses) != 0 {
+			t.Fatal("burst with fraction 1 should drop everything")
+		}
+	}
+	c := inj.Counts()
+	if c.Bursts != 5 || c.Dropout != 15 || c.Unanswered != 5 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+// TestOutageWindow: an outage rejects posts with crowd.ErrUnavailable,
+// each probe advances the simulated clock by ProbeAdvance, and the
+// window ends after a bounded number of probes.
+func TestOutageWindow(t *testing.T) {
+	inner := &stubPlatform{}
+	inj, err := New(inner, Config{
+		OutageStart:    0,
+		OutageDuration: 30 * time.Minute,
+		ProbeAdvance:   10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 3; probe++ {
+		_, err := inj.Submit(simclock.New(), crowd.Morning, stubQueries(2))
+		if !errors.Is(err, crowd.ErrUnavailable) {
+			t.Fatalf("probe %d: err %v, want ErrUnavailable", probe, err)
+		}
+	}
+	res := submit(t, inj, 2)
+	if len(res) != 2 || len(res[0].Responses) == 0 {
+		t.Fatal("post-outage submit did not reach the inner platform")
+	}
+	if got := inj.Counts().OutageRejects; got != 3 {
+		t.Errorf("outage rejects %d, want 3", got)
+	}
+	if inner.batches != 1 {
+		t.Errorf("inner saw %d batches during the outage, want 1 (post-outage only)", inner.batches)
+	}
+}
+
+func TestMetricsEmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj, err := New(&stubPlatform{}, Config{AbandonRate: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(t, inj, 4)
+	if got := reg.Counter(MetricInjected, "kind", "abandon").Value(); got != 12 {
+		t.Errorf("abandon counter %v, want 12", got)
+	}
+}
+
+// --- zero-fault no-op against the full closed loop ---------------------
+
+// The comparison lives here rather than in internal/core because faults
+// imports core: analogous to core's TestRunCycleNilObsIsNoop, a
+// CrowdLearn running on a zero-config injector must behave bit-for-bit
+// like one running on the bare platform.
+
+type loopFixture struct {
+	ds    *imagery.Dataset
+	pilot *crowd.PilotData
+}
+
+var (
+	loopOnce sync.Once
+	loopFix  loopFixture
+	loopErr  error
+)
+
+func sharedLoopFixture(t *testing.T) loopFixture {
+	t.Helper()
+	loopOnce.Do(func() {
+		ds, err := imagery.Generate(imagery.DefaultConfig())
+		if err != nil {
+			loopErr = err
+			return
+		}
+		platform := crowd.MustNewPlatform(crowd.DefaultConfig())
+		loopFix.pilot, loopErr = crowd.RunPilot(platform, ds.Train, crowd.DefaultPilotConfig())
+		loopFix.ds = ds
+	})
+	if loopErr != nil {
+		t.Fatal(loopErr)
+	}
+	return loopFix
+}
+
+func bootstrappedLoop(t *testing.T, f loopFixture, platform core.CrowdPlatform) *core.CrowdLearn {
+	t.Helper()
+	cl, err := core.New(core.DefaultConfig(), platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestZeroFaultLoopIsNoop(t *testing.T) {
+	f := sharedLoopFixture(t)
+	in := core.CycleInput{Context: crowd.Morning, Images: f.ds.Test[:10]}
+
+	plain := bootstrappedLoop(t, f, crowd.MustNewPlatform(crowd.DefaultConfig()))
+	want, err := plain.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := New(crowd.MustNewPlatform(crowd.DefaultConfig()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := bootstrappedLoop(t, f, inj)
+	got, err := wrapped.RunCycle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("zero-fault injector perturbed the cycle:\n got %+v\nwant %+v", got, want)
+	}
+	if inj.Spent() != plain.Policy().SpentDollars() && want.SpentDollars > 0 {
+		t.Errorf("spend diverged: injector %v, plain policy %v", inj.Spent(), plain.Policy().SpentDollars())
+	}
+}

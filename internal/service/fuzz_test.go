@@ -1,0 +1,99 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// FuzzParseContext: parseContext must never panic, and on success must
+// return a valid context whose name round-trips to the input.
+func FuzzParseContext(f *testing.F) {
+	f.Add("morning")
+	f.Add("afternoon")
+	f.Add("evening")
+	f.Add("midnight")
+	f.Add("")
+	f.Add("MORNING")
+	f.Add("morning ")
+	f.Add("context(7)")
+	f.Fuzz(func(t *testing.T, name string) {
+		ctx, err := parseContext(name)
+		if err != nil {
+			return
+		}
+		if !ctx.Valid() {
+			t.Fatalf("parseContext(%q) accepted invalid context %d", name, int(ctx))
+		}
+		if ctx.String() != name {
+			t.Fatalf("parseContext(%q) = %v, which renders as %q", name, ctx, ctx.String())
+		}
+	})
+}
+
+// fuzzHandler builds one running service + handler per fuzz worker
+// process; the stub scheme keeps iterations cheap.
+var (
+	fuzzOnce    sync.Once
+	fuzzSrv     *httptest.Server
+	fuzzBuildOK bool
+)
+
+func fuzzAssessServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	fuzzOnce.Do(func() {
+		_, ds := fixture(t)
+		svc, err := New(&stubScheme{}, WithQueueDepth(64), WithRequestTimeout(5*time.Second))
+		if err != nil {
+			return
+		}
+		svc.Start()
+		h, err := NewHandler(svc, ds.Test[:8])
+		if err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = svc.Shutdown(ctx)
+			return
+		}
+		fuzzSrv = httptest.NewServer(h)
+		fuzzBuildOK = true
+	})
+	if !fuzzBuildOK {
+		t.Skip("fuzz server unavailable")
+	}
+	return fuzzSrv
+}
+
+// FuzzAssessDecode drives POST /assess with arbitrary bodies: the
+// request decoding path must answer an orderly HTTP status — never
+// panic, never hang — for any input.
+func FuzzAssessDecode(f *testing.F) {
+	f.Add([]byte(`{"context":"morning","imageIds":[0]}`))
+	f.Add([]byte(`{"context":"evening","imageIds":[0,1,2]}`))
+	f.Add([]byte(`{"context":"dusk","imageIds":[0]}`))
+	f.Add([]byte(`{"context":"morning","imageIds":[]}`))
+	f.Add([]byte(`{"context":"morning","imageIds":[999999]}`))
+	f.Add([]byte(`{"context":"morning","imageIds":[-1]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"context":42,"imageIds":"zero"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv := fuzzAssessServer(t)
+		resp, err := http.Post(srv.URL+"/assess", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (handler crashed?): %v", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("unexpected status %d for body %q", resp.StatusCode, body)
+		}
+	})
+}

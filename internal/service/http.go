@@ -88,21 +88,50 @@ func NewHandler(svc *Service, registry []*imagery.Image, opts ...HandlerOption) 
 // statusRecorder captures the response code for metrics and logging.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wroteHeader = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wroteHeader = true // implicit 200 on first write
+	return r.ResponseWriter.Write(b)
+}
+
 // ServeHTTP implements http.Handler, wrapping the mux with request
-// accounting: a per-path latency histogram, a path+code counter, and
-// structured logs.
+// accounting — a per-path latency histogram, a path+code counter,
+// structured logs — and panic recovery: a panicking handler answers 500
+// instead of tearing down the connection (and, under net/http's default
+// behaviour, only that connection: the middleware makes the failure
+// observable rather than silent).
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	started := time.Now()
-	h.mux.ServeHTTP(rec, r)
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if reg := h.svc.Registry(); reg != nil {
+				reg.Counter(MetricPanicsRecovered).Inc()
+			}
+			if h.logger != nil {
+				h.logger.Error("panic in handler", slog.String("path", r.URL.Path), slog.Any("panic", p))
+			}
+			if !rec.wroteHeader {
+				writeJSON(rec, http.StatusInternalServerError, errorBody{Error: "internal error"})
+			} else {
+				rec.status = http.StatusInternalServerError
+			}
+		}()
+		h.mux.ServeHTTP(rec, r)
+	}()
 	elapsed := time.Since(started)
 
 	// Label with the registered pattern, not the raw URL, to bound
@@ -190,6 +219,11 @@ func (h *Handler) handleAssess(w http.ResponseWriter, r *http.Request) {
 		images[i] = im
 	}
 	resp, err := h.svc.Assess(r.Context(), Request{Context: ctx, Images: images})
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	}
 	if errors.Is(err, ErrNotRunning) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
@@ -276,6 +310,12 @@ func (h *Handler) handleImages(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !h.svc.started {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "not started"})
+		return
+	}
+	// Degraded is still 200: the service is serving (on AI labels), so
+	// load balancers must not eject it — but operators should look.
+	if h.svc.Degraded() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

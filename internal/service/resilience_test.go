@@ -1,0 +1,358 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+)
+
+// stubScheme is a controllable scheme for resilience tests: it can block
+// until released, panic on demand, and report degraded images.
+type stubScheme struct {
+	block    chan struct{} // when non-nil, RunCycle waits for a receive
+	panics   int32         // remaining cycles that panic
+	degraded bool          // mark every input image degraded
+}
+
+func (s *stubScheme) Name() string { return "stub" }
+
+func (s *stubScheme) RunCycle(in core.CycleInput) (core.CycleOutput, error) {
+	if s.block != nil {
+		<-s.block
+	}
+	if s.panics > 0 {
+		s.panics--
+		panic("stub scheme poisoned cycle")
+	}
+	out := core.CycleOutput{Distributions: make([][]float64, len(in.Images))}
+	for i := range out.Distributions {
+		out.Distributions[i] = make([]float64, imagery.NumLabels)
+		out.Distributions[i][0] = 1
+	}
+	if s.degraded {
+		for i := range in.Images {
+			out.Degraded = append(out.Degraded, i)
+		}
+	}
+	return out, nil
+}
+
+func oneImageRequest(ds *imagery.Dataset) Request {
+	return Request{Context: crowd.Morning, Images: ds.Test[:1]}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(&stubScheme{}, WithQueueDepth(-1)); err == nil {
+		t.Error("negative queue depth accepted")
+	}
+	if _, err := New(&stubScheme{}, WithRequestTimeout(-time.Second)); err == nil {
+		t.Error("negative request timeout accepted")
+	}
+}
+
+// TestQueueFullBackpressure: with a bounded queue, a busy worker plus a
+// full queue rejects immediately with ErrQueueFull and counts it.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{})}
+	reg := obs.NewRegistry()
+	svc, err := New(scheme, WithQueueDepth(1), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	results := make(chan error, 2)
+	go func() { // occupies the worker
+		_, err := svc.Assess(context.Background(), oneImageRequest(ds))
+		results <- err
+	}()
+	// Wait until the worker has picked the first request up, then park a
+	// second one in the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.requests) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, err := svc.Assess(context.Background(), oneImageRequest(ds))
+		results <- err
+	}()
+	for len(svc.requests) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := svc.Assess(context.Background(), oneImageRequest(ds)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third concurrent request: err %v, want ErrQueueFull", err)
+	}
+	if got := reg.Counter(MetricQueueRejected).Value(); got != 1 {
+		t.Errorf("rejected counter %v, want 1", got)
+	}
+
+	close(scheme.block) // release both held cycles
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("held request %d failed: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestTimeout: WithRequestTimeout bounds the whole Assess call.
+func TestRequestTimeout(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{})}
+	svc, err := New(scheme, WithRequestTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	if _, err := svc.Assess(context.Background(), oneImageRequest(ds)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+	close(scheme.block) // the worker finishes into the buffered reply
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerPanicRecovered: one poisoned cycle fails its own request but
+// does not kill the worker; the next request succeeds.
+func TestWorkerPanicRecovered(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{panics: 1}
+	reg := obs.NewRegistry()
+	svc, err := New(scheme, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	_, err = svc.Assess(context.Background(), oneImageRequest(ds))
+	if err == nil || !strings.Contains(err.Error(), "recovered panic") {
+		t.Fatalf("err %v, want recovered panic", err)
+	}
+	if got := reg.Counter(MetricPanicsRecovered).Value(); got != 1 {
+		t.Errorf("panic counter %v, want 1", got)
+	}
+	if _, err := svc.Assess(context.Background(), oneImageRequest(ds)); err != nil {
+		t.Fatalf("request after panic failed: %v", err)
+	}
+}
+
+// TestShutdownUnderLoad: with many concurrent callers racing Shutdown,
+// every Assess returns deterministically — success or ErrNotRunning —
+// queued requests are drained, and the worker exits. Run with -race.
+func TestShutdownUnderLoad(t *testing.T) {
+	_, ds := fixture(t)
+	svc, err := New(&stubScheme{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := svc.Assess(context.Background(), oneImageRequest(ds))
+			if err == nil && len(resp.Assessments) != 1 {
+				errs <- errors.New("successful response without assessments")
+				return
+			}
+			errs <- err
+		}()
+	}
+	time.Sleep(time.Millisecond) // let some requests start
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	var ok, rejected int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrNotRunning):
+			rejected++
+		default:
+			t.Errorf("unexpected outcome: %v", err)
+		}
+	}
+	if ok+rejected != callers {
+		t.Errorf("accounted %d of %d callers", ok+rejected, callers)
+	}
+	// Post-shutdown requests always reject.
+	if _, err := svc.Assess(context.Background(), oneImageRequest(ds)); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("post-shutdown err %v, want ErrNotRunning", err)
+	}
+}
+
+// TestDegradedHealthAndStats: degraded cycles flip /healthz to status
+// "degraded" (still 200) and surface in /stats and the response payload.
+func TestDegradedHealthAndStats(t *testing.T) {
+	_, ds := fixture(t)
+	svc, err := New(&stubScheme{degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	h, err := NewHandler(svc, ds.Test[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if svc.Degraded() {
+		t.Fatal("degraded before any cycle ran")
+	}
+	resp, err := svc.Assess(context.Background(), oneImageRequest(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.DegradedImageIDs) != 1 {
+		t.Fatalf("degraded IDs %v, want one", resp.DegradedImageIDs)
+	}
+	if !svc.Degraded() {
+		t.Fatal("service not degraded after a degraded cycle")
+	}
+
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, hr)
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d, want 200 (degraded is still serving)", hr.StatusCode)
+	}
+	if !strings.Contains(body, "degraded") {
+		t.Errorf("healthz body %q lacks degraded status", body)
+	}
+
+	stats := svc.Stats()
+	if stats.DegradedCycles != 1 || stats.DegradedImages != 1 {
+		t.Errorf("stats %+v, want 1 degraded cycle / 1 degraded image", stats)
+	}
+}
+
+// TestHTTPPanicMiddleware: a panicking handler answers 500 and is
+// counted, instead of tearing the connection down.
+func TestHTTPPanicMiddleware(t *testing.T) {
+	_, ds := fixture(t)
+	reg := obs.NewRegistry()
+	svc, err := New(&stubScheme{}, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHandler(svc, ds.Test[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	hr, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, hr)
+	if hr.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", hr.StatusCode)
+	}
+	if got := reg.Counter(MetricPanicsRecovered).Value(); got != 1 {
+		t.Errorf("panic counter %v, want 1", got)
+	}
+}
+
+// TestHTTPQueueFullMapsTo429: backpressure surfaces as 429 with a
+// Retry-After header.
+func TestHTTPQueueFullMapsTo429(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{})}
+	svc, err := New(scheme, WithQueueDepth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	h, err := NewHandler(svc, ds.Test[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func() *http.Response {
+		body := strings.NewReader(`{"context":"morning","imageIds":[` + strconv.Itoa(ds.Test[0].ID) + `]}`)
+		hr, err := http.Post(srv.URL+"/assess", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+	done := make(chan *http.Response, 2)
+	go func() { done <- post() }() // occupies the worker
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.requests) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	go func() { done <- post() }() // parks in the queue slot
+	for len(svc.requests) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	hr := post()
+	readAll(t, hr)
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", hr.StatusCode)
+	}
+	if hr.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(scheme.block)
+	for i := 0; i < 2; i++ {
+		readAll(t, <-done)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,10 +56,17 @@ type Response struct {
 	AlgorithmDelaySeconds float64 `json:"algorithmDelaySeconds"`
 	// CrowdDelaySeconds is the crowd completion delay (0 if no queries).
 	CrowdDelaySeconds float64 `json:"crowdDelaySeconds"`
-	// SpentDollars is the cycle's crowdsourcing spend.
+	// SpentDollars is the cycle's crowdsourcing spend (net of refunds).
 	SpentDollars float64 `json:"spentDollars"`
 	// QueriedImageIDs lists images that were sent to the crowd.
 	QueriedImageIDs []int `json:"queriedImageIds"`
+	// DegradedImageIDs lists images whose crowd query expired unanswered
+	// and fell back to the AI label (recovery-enabled schemes only).
+	DegradedImageIDs []int `json:"degradedImageIds,omitempty"`
+	// Requeries counts HIT reposts the recovery policy performed.
+	Requeries int `json:"requeries,omitempty"`
+	// RefundedDollars is the incentive money refunded this cycle.
+	RefundedDollars float64 `json:"refundedDollars,omitempty"`
 }
 
 // Stats summarises the service's lifetime activity.
@@ -69,6 +76,15 @@ type Stats struct {
 	CrowdQueries    int     `json:"crowdQueries"`
 	TotalSpent      float64 `json:"totalSpentDollars"`
 	MeanCrowdDelayS float64 `json:"meanCrowdDelaySeconds"`
+	// DegradedCycles counts cycles in which at least one image fell back
+	// to its AI label after crowd failures.
+	DegradedCycles int `json:"degradedCycles"`
+	// DegradedImages counts images that fell back to AI labels.
+	DegradedImages int `json:"degradedImages"`
+	// Requeries counts HIT reposts across all cycles.
+	Requeries int `json:"crowdRequeries"`
+	// RefundedDollars totals refunds for unanswered posts.
+	RefundedDollars float64 `json:"refundedDollars"`
 	// BudgetRemaining is the IPD policy's unspent budget in dollars; nil
 	// when the scheme does not expose budget telemetry.
 	BudgetRemaining *float64 `json:"budgetRemainingDollars,omitempty"`
@@ -93,9 +109,11 @@ type Service struct {
 	registry   *obs.Registry
 	tracer     *obs.Tracer
 
-	requests chan assessRequest
-	stop     chan struct{}
-	done     chan struct{}
+	requests       chan assessRequest
+	stop           chan struct{}
+	done           chan struct{}
+	queueDepth     int
+	requestTimeout time.Duration
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -126,6 +144,11 @@ type assessReply struct {
 // ErrNotRunning is returned by Assess before Start or after Shutdown.
 var ErrNotRunning = errors.New("service: not running")
 
+// ErrQueueFull is returned by Assess when the service was built with
+// WithQueueDepth and the bounded queue is at capacity — the backpressure
+// signal the HTTP layer maps to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("service: request queue full")
+
 // Metric names emitted by the assessment worker when a registry is
 // attached with WithMetrics.
 const (
@@ -134,6 +157,11 @@ const (
 	MetricAssessDuration = "crowdlearn_assess_duration_seconds"
 	// MetricAssessErrors counts failed assessment requests.
 	MetricAssessErrors = "crowdlearn_assess_errors_total"
+	// MetricQueueRejected counts requests rejected by backpressure.
+	MetricQueueRejected = "crowdlearn_queue_rejected_total"
+	// MetricPanicsRecovered counts panics recovered from sensing cycles
+	// and HTTP handlers.
+	MetricPanicsRecovered = "crowdlearn_panics_recovered_total"
 )
 
 // Option customises a Service.
@@ -153,20 +181,41 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(s *Service) { s.tracer = tr }
 }
 
+// WithQueueDepth bounds the request queue at n and makes Assess reject
+// with ErrQueueFull instead of blocking when it is at capacity. The
+// default (unset, or n <= 0) keeps the original unbounded-blocking
+// behaviour: callers wait until the worker accepts their request.
+func WithQueueDepth(n int) Option {
+	return func(s *Service) { s.queueDepth = n }
+}
+
+// WithRequestTimeout caps how long one Assess call may take end to end
+// (queue wait plus cycle processing); expired requests fail with
+// context.DeadlineExceeded. Zero (the default) disables the cap.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Service) { s.requestTimeout = d }
+}
+
 // New wraps a scheme. The scheme must already be trained/bootstrapped.
 func New(scheme core.Scheme, opts ...Option) (*Service, error) {
 	if scheme == nil {
 		return nil, errors.New("service: nil scheme")
 	}
 	s := &Service{
-		scheme:   scheme,
-		requests: make(chan assessRequest),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		scheme: scheme,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.queueDepth < 0 {
+		return nil, fmt.Errorf("service: queue depth %d must be non-negative", s.queueDepth)
+	}
+	if s.requestTimeout < 0 {
+		return nil, fmt.Errorf("service: request timeout %v must be non-negative", s.requestTimeout)
+	}
+	s.requests = make(chan assessRequest, s.queueDepth)
 	if o, ok := scheme.(Observable); ok {
 		s.observable = o
 		// Seed the pre-first-cycle snapshot so /stats shows the
@@ -178,6 +227,8 @@ func New(scheme core.Scheme, opts ...Option) (*Service, error) {
 	if s.registry != nil {
 		s.registry.Help(MetricAssessDuration, "Wall-clock sensing-cycle processing time in seconds.")
 		s.registry.Help(MetricAssessErrors, "Assessment requests that failed.")
+		s.registry.Help(MetricQueueRejected, "Assessment requests rejected by backpressure.")
+		s.registry.Help(MetricPanicsRecovered, "Panics recovered from cycles and HTTP handlers.")
 	}
 	return s, nil
 }
@@ -197,8 +248,8 @@ func (s *Service) Start() {
 }
 
 // Shutdown signals the worker to stop and waits for it to exit. The
-// context bounds the wait. In-flight cycles complete; queued requests
-// fail with ErrNotRunning.
+// context bounds the wait. The in-flight cycle completes; every queued
+// request is drained and deterministically fails with ErrNotRunning.
 func (s *Service) Shutdown(ctx context.Context) error {
 	if !s.started {
 		return nil
@@ -218,6 +269,7 @@ func (s *Service) run() {
 	for {
 		select {
 		case <-s.stop:
+			s.drain()
 			return
 		case req := <-s.requests:
 			resp, err := s.process(req.req)
@@ -226,30 +278,83 @@ func (s *Service) run() {
 	}
 }
 
+// drain rejects every request still queued at shutdown so their Assess
+// callers return deterministically instead of waiting on a dead worker.
+// Requests that race their enqueue past the closed stop channel are
+// caught by Assess's done-guard instead.
+func (s *Service) drain() {
+	for {
+		select {
+		case req := <-s.requests:
+			req.reply <- assessReply{err: ErrNotRunning}
+		default:
+			return
+		}
+	}
+}
+
 // Assess submits a batch and waits for its assessment. Safe for
-// concurrent use; batches are processed strictly in arrival order.
+// concurrent use; batches are processed strictly in arrival order. With
+// WithQueueDepth set, a full queue rejects immediately with ErrQueueFull;
+// with WithRequestTimeout set, the whole call is bounded by that timeout.
 func (s *Service) Assess(ctx context.Context, req Request) (Response, error) {
 	if !s.started {
 		return Response{}, ErrNotRunning
 	}
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+		defer cancel()
+	}
 	ar := assessRequest{req: req, reply: make(chan assessReply, 1)}
-	select {
-	case s.requests <- ar:
-	case <-s.stop:
-		return Response{}, ErrNotRunning
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
+	if s.queueDepth > 0 {
+		select {
+		case s.requests <- ar:
+		case <-s.stop:
+			return Response{}, ErrNotRunning
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		default:
+			s.registry.Counter(MetricQueueRejected).Inc()
+			return Response{}, ErrQueueFull
+		}
+	} else {
+		select {
+		case s.requests <- ar:
+		case <-s.stop:
+			return Response{}, ErrNotRunning
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
 	}
 	select {
 	case rep := <-ar.reply:
 		return rep.resp, rep.err
+	case <-s.done:
+		// The worker exited. It may have replied (or drained us) in the
+		// same instant, so prefer a waiting reply over ErrNotRunning.
+		select {
+		case rep := <-ar.reply:
+			return rep.resp, rep.err
+		default:
+			return Response{}, ErrNotRunning
+		}
 	case <-ctx.Done():
 		return Response{}, ctx.Err()
 	}
 }
 
-// process runs one sensing cycle on the worker goroutine.
-func (s *Service) process(req Request) (Response, error) {
+// process runs one sensing cycle on the worker goroutine. A panicking
+// scheme is recovered into an error so one poisoned cycle cannot kill
+// the worker and wedge every future request.
+func (s *Service) process(req Request) (resp Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.registry.Counter(MetricPanicsRecovered).Inc()
+			s.registry.Counter(MetricAssessErrors).Inc()
+			resp, err = Response{}, fmt.Errorf("service: recovered panic in sensing cycle: %v", r)
+		}
+	}()
 	s.mu.Lock()
 	cycle := s.nextCycle
 	s.mu.Unlock()
@@ -272,13 +377,22 @@ func (s *Service) process(req Request) (Response, error) {
 		queried[idx] = true
 		ids = append(ids, req.Images[idx].ID)
 	}
-	resp := Response{
+	degradedIDs := make([]int, 0, len(out.Degraded))
+	for _, idx := range out.Degraded {
+		degradedIDs = append(degradedIDs, req.Images[idx].ID)
+	}
+	resp = Response{
 		CycleIndex:            cycle,
 		Assessments:           make([]Assessment, len(req.Images)),
 		AlgorithmDelaySeconds: out.AlgorithmDelay.Seconds(),
 		CrowdDelaySeconds:     out.CrowdDelay.Seconds(),
 		SpentDollars:          out.SpentDollars,
 		QueriedImageIDs:       ids,
+		Requeries:             out.Requeries,
+		RefundedDollars:       out.RefundedDollars,
+	}
+	if len(degradedIDs) > 0 {
+		resp.DegradedImageIDs = degradedIDs
 	}
 	labels := out.Labels()
 	for i, im := range req.Images {
@@ -301,6 +415,12 @@ func (s *Service) process(req Request) (Response, error) {
 	s.stats.ImagesAssessed += len(req.Images)
 	s.stats.CrowdQueries += len(out.Queried)
 	s.stats.TotalSpent += out.SpentDollars
+	s.stats.Requeries += out.Requeries
+	s.stats.RefundedDollars += out.RefundedDollars
+	if len(out.Degraded) > 0 {
+		s.stats.DegradedCycles++
+		s.stats.DegradedImages += len(out.Degraded)
+	}
 	if len(out.Queried) > 0 {
 		s.delayTotal += out.CrowdDelay
 		s.delayed++
@@ -321,6 +441,21 @@ func (s *Service) process(req Request) (Response, error) {
 	}
 	s.mu.Unlock()
 	return resp, nil
+}
+
+// Degraded reports whether any response in the recent window fell back
+// to AI labels after crowd failures — the service is still serving, but
+// its crowd channel is impaired. Surfaced as status "degraded" (HTTP 200)
+// on /healthz.
+func (s *Service) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.recent {
+		if len(r.DegradedImageIDs) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Recent returns the most recent responses, newest last (bounded copy).
