@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet test race race-equivalence bench bench-json cover-obs faults fuzz artefacts report clean
 
 all: build vet test
 
@@ -36,8 +36,24 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseContext -fuzztime 30s ./internal/service/
 	$(GO) test -run xxx -fuzz FuzzAssessDecode -fuzztime 30s ./internal/service/
 
+# The deterministic-parallelism equivalence suite under the race
+# detector: bit-identical outputs at every worker count plus the
+# concurrent-access regressions (DESIGN.md §9).
+race-equivalence:
+	$(GO) test -race -timeout 30m -run 'BitIdentical|Concurrent' ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable parallel-scaling record: the workers=1/2/4 sensing
+# cycle, the Table II regeneration, and the allocation-free scoring-path
+# benchmarks, parsed into the committed BENCH_parallel.json. Speedups in
+# the file scale with the core count of the recording machine.
+bench-json:
+	( $(GO) test -bench 'BenchmarkRunCycleParallel|BenchmarkTable2Accuracy' -benchmem -run xxx -timeout 60m . ; \
+	  $(GO) test -bench 'BenchmarkCommitteeVote$$|BenchmarkCommitteeEntropy$$' -benchmem -run xxx ./internal/qss/ ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+	@cat BENCH_parallel.json
 
 # Regenerate every paper table/figure plus ablations into ./artefacts.
 artefacts:

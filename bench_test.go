@@ -10,6 +10,7 @@ package crowdlearn
 // timed region. Run a single artefact with e.g. -bench=BenchmarkTable2.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -219,6 +220,41 @@ func BenchmarkSpamRobustness(b *testing.B) {
 		if _, err := RunSpamRobustness(env); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunCycleParallel measures one full sensing cycle of the
+// assembled system (committee vote, QSS, IPD, crowd, CQC, MIC) at fixed
+// worker counts. Outputs are bit-identical across sub-benchmarks — only
+// wall-clock changes — so the ratio of the workers=1 to workers=N
+// ns/op is the parallel speedup on this machine; `make bench-json`
+// records it in BENCH_parallel.json.
+func BenchmarkRunCycleParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			env := lab(b)
+			sys, err := env.NewSystemWith(func(cfg *SystemConfig) { cfg.Workers = workers })
+			if err != nil {
+				b.Fatal(err)
+			}
+			contexts := []TemporalContext{Morning, Afternoon, Evening, Midnight}
+			test := env.Dataset.Test
+			perCycle := 10
+			windows := len(test) / perCycle
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := i % windows
+				in := CycleInput{
+					Index:   i,
+					Context: contexts[i%len(contexts)],
+					Images:  test[w*perCycle : (w+1)*perCycle],
+				}
+				if _, err := sys.RunCycle(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,201 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON record. It reads the benchmark output on stdin
+// and writes one JSON document describing the machine (goos/goarch/cpu),
+// every benchmark result, and — for benchmarks with `workers=N`
+// sub-benchmarks — the parallel speedup of each worker count relative to
+// workers=1.
+//
+// Usage:
+//
+//	go test -bench BenchmarkRunCycleParallel -benchmem -run xxx . | benchjson -o BENCH_parallel.json
+//
+// The committed BENCH_parallel.json is regenerated with `make bench-json`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkRunCycleParallel/workers=4-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp is the reported B/op (-benchmem only).
+	BytesPerOp *float64 `json:"bytesPerOp,omitempty"`
+	// AllocsPerOp is the reported allocs/op (-benchmem only).
+	AllocsPerOp *float64 `json:"allocsPerOp,omitempty"`
+	// Extra holds any custom ReportMetric units.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	// Goos/Goarch/CPU/Pkg echo the go test header lines.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks are the parsed results in input order.
+	Benchmarks []Result `json:"benchmarks"`
+	// Speedups maps each benchmark family with workers=N sub-benchmarks
+	// to the ns/op ratio of workers=1 over workers=N. Values scale with
+	// the core count of the recording machine.
+	Speedups map[string]map[string]float64 `json:"speedups,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parse consumes `go test -bench` output and builds the report.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// Header lines repeat per package when several `go test` runs are
+		// concatenated; the first occurrence wins.
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			if rep.Goos == "" {
+				rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			}
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			if rep.Goarch == "" {
+				rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			}
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			if rep.CPU == "" {
+				rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			}
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			if rep.Pkg == "" {
+				rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: iterations in %q: %w", line, err)
+		}
+		res := Result{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: value in %q: %w", line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+	return rep, nil
+}
+
+var workersName = regexp.MustCompile(`^(Benchmark\S+)/workers=(\d+)(?:-\d+)?$`)
+
+// speedups derives the workers=1 / workers=N ns/op ratio per benchmark
+// family that exposes workers sub-benchmarks.
+func speedups(results []Result) map[string]map[string]float64 {
+	type entry struct{ workers, ns float64 }
+	families := make(map[string][]entry)
+	for _, r := range results {
+		m := workersName.FindStringSubmatch(r.Name)
+		if m == nil || r.NsPerOp <= 0 {
+			continue
+		}
+		w, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		families[m[1]] = append(families[m[1]], entry{workers: w, ns: r.NsPerOp})
+	}
+	out := make(map[string]map[string]float64)
+	for fam, entries := range families {
+		var base float64
+		for _, e := range entries {
+			if e.workers == 1 {
+				base = e.ns
+			}
+		}
+		if base == 0 {
+			continue
+		}
+		ratios := make(map[string]float64, len(entries))
+		for _, e := range entries {
+			ratios[strconv.Itoa(int(e.workers))] = base / e.ns
+		}
+		out[fam] = ratios
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

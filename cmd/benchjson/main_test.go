@@ -1,0 +1,69 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/crowdlearn/crowdlearn
+cpu: Intel(R) Xeon(R)
+BenchmarkRunCycleParallel/workers=1-8         	       5	 240000000 ns/op	  1024 B/op	      12 allocs/op
+BenchmarkRunCycleParallel/workers=2-8         	      10	 126000000 ns/op	  1100 B/op	      14 allocs/op
+BenchmarkRunCycleParallel/workers=4-8         	      18	  66000000 ns/op	  1200 B/op	      16 allocs/op
+BenchmarkCommitteeVote-8                      	  200000	      6654 ns/op	      11 B/op	       0 allocs/op
+PASS
+ok  	github.com/crowdlearn/crowdlearn	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkRunCycleParallel/workers=1-8" || b0.Iterations != 5 {
+		t.Errorf("first benchmark = %+v", b0)
+	}
+	if b0.NsPerOp != 240000000 || *b0.BytesPerOp != 1024 || *b0.AllocsPerOp != 12 {
+		t.Errorf("first benchmark units = %+v", b0)
+	}
+	vote := rep.Benchmarks[3]
+	if *vote.AllocsPerOp != 0 {
+		t.Errorf("vote allocs = %v, want 0", *vote.AllocsPerOp)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, ok := rep.Speedups["BenchmarkRunCycleParallel"]
+	if !ok {
+		t.Fatalf("no speedup family: %+v", rep.Speedups)
+	}
+	want := map[string]float64{"1": 1.0, "2": 240.0 / 126.0, "4": 240.0 / 66.0}
+	for k, v := range want {
+		if got := fam[k]; math.Abs(got-v) > 1e-9 {
+			t.Errorf("speedup[%s] = %v, want %v", k, got, v)
+		}
+	}
+	if _, ok := rep.Speedups["BenchmarkCommitteeVote"]; ok {
+		t.Error("non-workers benchmark must not produce a speedup family")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n")); err == nil {
+		t.Error("empty bench output must be rejected")
+	}
+}

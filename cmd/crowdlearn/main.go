@@ -40,9 +40,10 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("crowdlearn", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "master seed for dataset, platform and all algorithms")
 	seeds := fs.Int("seeds", 3, "seed count for the table2multi artefact")
+	workers := fs.Int("workers", 0, "goroutine fan-out for campaign arms, fault grids and model training (0 = GOMAXPROCS, 1 = sequential); artefacts are bit-identical at any value")
 	outDir := fs.String("out", "", "directory to archive artefacts into (text tables plus campaign JSON)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: crowdlearn [-seed N] [-seeds K] <artefact>...")
+		fmt.Fprintln(fs.Output(), "usage: crowdlearn [-seed N] [-seeds K] [-workers N] <artefact>...")
 		fmt.Fprintln(fs.Output(), "artefacts: fig5 fig6 table1 table2 fig7 table3 fig8 fig9 fig10 fig11")
 		fmt.Fprintln(fs.Output(), "           ablations strategies robustness faults report table2multi all")
 		fs.PrintDefaults()
@@ -65,6 +66,7 @@ func run(args []string) error {
 
 	cfg := crowdlearn.DefaultLabConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	start := time.Now()
 	fmt.Printf("building lab (dataset + pilot study, seed %d)...\n", *seed)
 	lab, err := crowdlearn.NewLab(cfg)

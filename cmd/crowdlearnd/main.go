@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	crowdlearnd [-addr :8080] [-seed 1] [-log-level info]
+//	crowdlearnd [-addr :8080] [-seed 1] [-workers 0] [-log-level info]
 //	            [-queue-depth 16] [-request-timeout 30s]
 //
 // -queue-depth bounds the assessment queue: when it is full, POST /assess
@@ -58,6 +58,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "master seed")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	traceCap := fs.Int("trace-capacity", obs.DefaultTraceCapacity, "cycle traces retained for GET /trace")
+	workers := fs.Int("workers", 0, "goroutine fan-out for committee voting and model training (0 = GOMAXPROCS, 1 = sequential); assessments are bit-identical at any value")
 	queueDepth := fs.Int("queue-depth", 16, "bounded assessment queue; full queue answers 429 (0 = unbounded)")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-assessment timeout, queue wait included (0 = none)")
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +79,11 @@ func run(args []string) error {
 
 	cfg := crowdlearn.DefaultLabConfig()
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	logger.Info("starting",
 		slog.String("addr", *addr),
 		slog.Int64("seed", *seed),
+		slog.Int("workers", *workers),
 		slog.String("logLevel", *logLevel),
 		slog.Int("traceCapacity", *traceCap),
 		slog.Int("queueDepth", *queueDepth),

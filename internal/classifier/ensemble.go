@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Ensemble aggregates the three AI experts with confidence-rated boosting
@@ -23,9 +25,19 @@ type Ensemble struct {
 	members []Expert
 	alphas  []float64
 	cost    time.Duration
+	// workers caps the fan-out across members in Train/Update/reweight
+	// (0 = GOMAXPROCS, 1 = sequential); members own disjoint state so
+	// results are identical at any value.
+	workers int
+	// tmp pools member-vote buffers for the allocation-free PredictInto
+	// path.
+	tmp sync.Pool
 }
 
-var _ Expert = (*Ensemble)(nil)
+var (
+	_ Expert        = (*Ensemble)(nil)
+	_ IntoPredictor = (*Ensemble)(nil)
+)
 
 // NewEnsemble builds the boosting aggregation of the given members. The
 // standard paper configuration passes VGG16, BoVW and DDM.
@@ -49,6 +61,10 @@ func (e *Ensemble) PerImageCost() time.Duration { return e.cost }
 // Members exposes the underlying experts (read-only use).
 func (e *Ensemble) Members() []Expert { return e.members }
 
+// SetWorkers caps the member-level training fan-out (0 = GOMAXPROCS,
+// 1 = sequential).
+func (e *Ensemble) SetWorkers(n int) { e.workers = n }
+
 // Alphas returns a copy of the boosting weights.
 func (e *Ensemble) Alphas() []float64 { return mathx.Clone(e.alphas) }
 
@@ -58,10 +74,16 @@ func (e *Ensemble) Train(samples []Sample) error {
 	if len(samples) == 0 {
 		return errors.New("classifier: no training samples")
 	}
-	for _, m := range e.members {
-		if err := m.Train(samples); err != nil {
-			return fmt.Errorf("ensemble member %s: %w", m.Name(), err)
+	// Members hold disjoint state; the lowest-index error matches what a
+	// sequential loop would return first.
+	err := parallel.ForErr(e.workers, len(e.members), func(i int) error {
+		if err := e.members[i].Train(samples); err != nil {
+			return fmt.Errorf("ensemble member %s: %w", e.members[i].Name(), err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	e.reweight(samples)
 	return nil
@@ -73,23 +95,30 @@ func (e *Ensemble) Update(samples []Sample) error {
 	if len(samples) == 0 {
 		return errors.New("classifier: no update samples")
 	}
-	for _, m := range e.members {
-		if err := m.Update(samples); err != nil {
-			return fmt.Errorf("ensemble member %s: %w", m.Name(), err)
+	err := parallel.ForErr(e.workers, len(e.members), func(i int) error {
+		if err := e.members[i].Update(samples); err != nil {
+			return fmt.Errorf("ensemble member %s: %w", e.members[i].Name(), err)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	e.reweight(samples)
 	return nil
 }
 
 // reweight computes confidence-rated boosting weights from member errors
-// on the given samples.
+// on the given samples. Each member owns its alpha slot, so members are
+// evaluated concurrently without affecting the result.
 func (e *Ensemble) reweight(samples []Sample) {
 	const floor = 0.01 // keep alphas finite for perfect/terrible members
-	for i, m := range e.members {
+	parallel.For(e.workers, len(e.members), func(i int) {
+		m := e.members[i]
+		vote := make([]float64, imagery.NumLabels)
 		wrong := 0
 		for _, s := range samples {
-			if mathx.ArgMax(m.Predict(s.Image)) != mathx.ArgMax(s.Target) {
+			if mathx.ArgMax(predictInto(m, s.Image, vote)) != mathx.ArgMax(s.Target) {
 				wrong++
 			}
 		}
@@ -101,27 +130,50 @@ func (e *Ensemble) reweight(samples []Sample) {
 			// for multiclass vote aggregation.
 			e.alphas[i] = 0
 		}
+	})
+}
+
+// predictInto routes through IntoPredictor when the expert supports it,
+// falling back to the allocating Predict.
+func predictInto(m Expert, im *imagery.Image, dst []float64) []float64 {
+	if ip, ok := m.(IntoPredictor); ok {
+		return ip.PredictInto(im, dst)
 	}
+	return m.Predict(im)
 }
 
 // Predict implements Expert.
 func (e *Ensemble) Predict(im *imagery.Image) []float64 {
-	agg := make([]float64, imagery.NumLabels)
+	return e.PredictInto(im, make([]float64, imagery.NumLabels))
+}
+
+// PredictInto implements IntoPredictor: the alpha-weighted vote written
+// into dst, with the member-vote temporary drawn from a pool so repeated
+// scoring allocates nothing.
+func (e *Ensemble) PredictInto(im *imagery.Image, dst []float64) []float64 {
+	vp, _ := e.tmp.Get().(*[]float64)
+	if vp == nil {
+		b := make([]float64, imagery.NumLabels)
+		vp = &b
+	}
+	vote := *vp
+	mathx.Fill(dst, 0)
 	anyWeight := false
 	for i, m := range e.members {
 		if e.alphas[i] <= 0 {
 			continue
 		}
 		anyWeight = true
-		mathx.AddScaled(agg, e.alphas[i], m.Predict(im))
+		mathx.AddScaled(dst, e.alphas[i], predictInto(m, im, vote))
 	}
+	e.tmp.Put(vp)
 	if !anyWeight {
 		// Untrained or fully down-weighted: uniform abstention.
-		mathx.Fill(agg, 1/float64(imagery.NumLabels))
-		return agg
+		mathx.Fill(dst, 1/float64(imagery.NumLabels))
+		return dst
 	}
-	mathx.Normalize(agg)
-	return agg
+	mathx.Normalize(dst)
+	return dst
 }
 
 // Clone implements Expert.
@@ -130,6 +182,7 @@ func (e *Ensemble) Clone() Expert {
 		members: make([]Expert, len(e.members)),
 		alphas:  mathx.Clone(e.alphas),
 		cost:    e.cost,
+		workers: e.workers,
 	}
 	for i, m := range e.members {
 		cp.members[i] = m.Clone()
@@ -140,9 +193,19 @@ func (e *Ensemble) Clone() Expert {
 // StandardCommittee builds the paper's committee — VGG16, BoVW and DDM —
 // with distinct seeds derived from the given base seed.
 func StandardCommittee(dims imagery.Dims, seed int64) []Expert {
-	return []Expert{
-		NewVGG16(dims, Options{Seed: seed}),
-		NewBoVW(dims, Options{Seed: seed + 1}),
-		NewDDM(dims, Options{Seed: seed + 2}),
-	}
+	return StandardCommitteeWith(dims, seed, Options{})
+}
+
+// StandardCommitteeWith is StandardCommittee with the shared options
+// (epochs, workers) applied to every member; the per-member seed still
+// varies so the committee stays diverse.
+func StandardCommitteeWith(dims imagery.Dims, seed int64, opts Options) []Expert {
+	o := opts
+	o.Seed = seed
+	vgg := NewVGG16(dims, o)
+	o.Seed = seed + 1
+	bovw := NewBoVW(dims, o)
+	o.Seed = seed + 2
+	ddm := NewDDM(dims, o)
+	return []Expert{vgg, bovw, ddm}
 }

@@ -47,6 +47,15 @@ func SamplesFromImages(images []*imagery.Image) []Sample {
 	return out
 }
 
+// IntoPredictor is implemented by experts whose Predict can write into a
+// caller-provided buffer; the committee voting loop uses it to keep the
+// per-image scoring path allocation-free.
+type IntoPredictor interface {
+	// PredictInto writes the expert's label distribution for the image
+	// into dst (len == imagery.NumLabels) and returns dst.
+	PredictInto(im *imagery.Image, dst []float64) []float64
+}
+
 // Expert is a DDA algorithm usable as a committee member (Definition 5).
 type Expert interface {
 	// Name identifies the expert in experiment output.
@@ -79,7 +88,10 @@ type mlpExpert struct {
 	cost      time.Duration
 }
 
-var _ Expert = (*mlpExpert)(nil)
+var (
+	_ Expert        = (*mlpExpert)(nil)
+	_ IntoPredictor = (*mlpExpert)(nil)
+)
 
 // Options tunes expert construction.
 type Options struct {
@@ -88,6 +100,10 @@ type Options struct {
 	Seed int64
 	// Epochs overrides the full-training epoch count (0 = default).
 	Epochs int
+	// Workers caps the per-minibatch gradient parallelism inside the
+	// expert's network (0 = GOMAXPROCS, 1 = sequential); results are
+	// bit-identical at any value.
+	Workers int
 }
 
 // NewVGG16 builds the CNN-with-fine-tuning expert of Nguyen et al.,
@@ -116,6 +132,7 @@ func newMLPExpert(name string, view imagery.View, inDim int, hidden []int, cost 
 	cfg := neural.DefaultConfig()
 	cfg.Hidden = hidden
 	cfg.Seed = opts.Seed
+	cfg.Workers = opts.Workers
 	if opts.Epochs > 0 {
 		cfg.Epochs = opts.Epochs
 	}
@@ -193,14 +210,19 @@ func (e *mlpExpert) Update(samples []Sample) error {
 
 // Predict implements Expert.
 func (e *mlpExpert) Predict(im *imagery.Image) []float64 {
+	return e.PredictInto(im, make([]float64, imagery.NumLabels))
+}
+
+// PredictInto implements IntoPredictor. Safe for concurrent use: the
+// underlying network pools its forward buffers.
+func (e *mlpExpert) PredictInto(im *imagery.Image, dst []float64) []float64 {
 	if e.net == nil {
 		// Untrained experts abstain with a uniform vote rather than
 		// crashing mid-cycle.
-		uniform := make([]float64, imagery.NumLabels)
-		mathx.Fill(uniform, 1/float64(imagery.NumLabels))
-		return uniform
+		mathx.Fill(dst, 1/float64(imagery.NumLabels))
+		return dst
 	}
-	return e.net.Predict(im.Features(e.view))
+	return e.net.PredictInto(im.Features(e.view), dst)
 }
 
 // Clone implements Expert.

@@ -11,6 +11,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mic"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 	"github.com/crowdlearn/crowdlearn/internal/qss"
 	"github.com/crowdlearn/crowdlearn/internal/simclock"
 )
@@ -31,6 +32,13 @@ type Config struct {
 	// QuerySize is the number of images sent to the crowd per cycle
 	// (paper: 5 of 10).
 	QuerySize int
+	// Workers caps the goroutine fan-out of every parallel stage in the
+	// sensing loop — committee voting, QSS scoring, GBDT split search and
+	// neural minibatch gradients (0 = GOMAXPROCS, 1 = exact sequential
+	// execution). Outputs are bit-identical at any value; the knob trades
+	// wall-clock time only. Component-level settings (CQC.GBDT.Workers,
+	// MIC.Workers) that are explicitly non-zero take precedence.
+	Workers int
 	// Bandit configures the IPD policy; its TotalRounds/QueriesPerRound
 	// must match the campaign.
 	Bandit bandit.Config
@@ -111,16 +119,27 @@ func New(cfg Config, platform CrowdPlatform) (*CrowdLearn, error) {
 	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
 		return nil, errors.New("core: Epsilon must be in [0, 1]")
 	}
-	committee, err := qss.NewCommittee(classifier.StandardCommittee(cfg.Dims, cfg.Seed)...)
+	committee, err := qss.NewCommittee(classifier.StandardCommitteeWith(cfg.Dims, cfg.Seed,
+		classifier.Options{Workers: cfg.Workers})...)
 	if err != nil {
 		return nil, err
 	}
+	committee.SetWorkers(cfg.Workers)
 	if cfg.Strategy == nil {
 		cfg.Strategy = qss.EntropyStrategy{}
 	}
 	selector, err := qss.NewStrategySelector(cfg.Strategy, cfg.Epsilon, cfg.Seed+101)
 	if err != nil {
 		return nil, err
+	}
+	selector.Workers = cfg.Workers
+	// System-wide worker count flows into the components unless a component
+	// was configured with its own explicit value.
+	if cfg.CQC.GBDT.Workers == 0 {
+		cfg.CQC.GBDT.Workers = cfg.Workers
+	}
+	if cfg.MIC.Workers == 0 {
+		cfg.MIC.Workers = cfg.Workers
 	}
 	cfg.Bandit.Seed = cfg.Seed + 202
 	cfg.Bandit.QueriesPerRound = max(cfg.QuerySize, 1)
@@ -216,9 +235,10 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 	// parallel, so the compute cost per image is the slowest member plus
 	// the CrowdLearn module overhead (Table III cost model).
 	sp := ct.Span(SpanCommitteeVote)
-	for i, im := range in.Images {
-		out.Distributions[i] = cl.committee.Vote(im)
-	}
+	sp.SetAttr("workers", parallel.Workers(cl.cfg.Workers))
+	parallel.For(cl.cfg.Workers, len(in.Images), func(i int) {
+		out.Distributions[i] = cl.committee.VoteInto(in.Images[i], make([]float64, imagery.NumLabels))
+	})
 	out.AlgorithmDelay = time.Duration(len(in.Images)) * (cl.maxMemberCost + cl.cfg.CommitteeOverheadPerImage)
 	sp.SetSimulated(out.AlgorithmDelay)
 	sp.End()
@@ -230,6 +250,7 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 
 	// (2) QSS selects the query set; IPD prices it.
 	sp = ct.Span(SpanQSSSelect)
+	sp.SetAttr("workers", parallel.Workers(cl.cfg.Workers))
 	queried := cl.selector.Select(cl.committee, in.Images, cl.cfg.QuerySize)
 	sp.End()
 
@@ -334,6 +355,7 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 	}
 	if !cl.cfg.DisableRetraining {
 		sp = ct.Span(SpanMICRetrain)
+		sp.SetAttr("workers", parallel.Workers(cl.cfg.MIC.Workers))
 		samples, err := mic.RetrainSamples(queriedImages, truths)
 		if err != nil {
 			sp.Fail(err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Metric names emitted by CrowdLearn.RunCycle when Config.Metrics is
@@ -46,6 +47,10 @@ const (
 	MetricLateResponses = "crowdlearn_late_responses_total"
 	// MetricOutages counts crowd posts rejected by a platform outage.
 	MetricOutages = "crowdlearn_crowd_outages_total"
+	// MetricParallelWorkers gauges the effective worker count of the
+	// sensing loop's parallel stages (Config.Workers resolved against
+	// GOMAXPROCS).
+	MetricParallelWorkers = "crowdlearn_parallel_workers"
 )
 
 // Span names recorded per sensing cycle when Config.Tracer is set — one
@@ -95,6 +100,7 @@ func registerHelp(r *obs.Registry) {
 	r.Help(MetricDegradedCycles, "Cycles with at least one degraded image.")
 	r.Help(MetricLateResponses, "Crowd responses discarded for missing the deadline.")
 	r.Help(MetricOutages, "Crowd posts rejected by a platform outage.")
+	r.Help(MetricParallelWorkers, "Effective worker count of the parallel sensing-loop stages.")
 }
 
 // observeCycle publishes one successful cycle's telemetry. Nil-safe: a
@@ -105,6 +111,7 @@ func (cl *CrowdLearn) observeCycle(in CycleInput, out CycleOutput) {
 		return
 	}
 	r.Counter(MetricCycles).Inc()
+	r.Gauge(MetricParallelWorkers).Set(float64(parallel.Workers(cl.cfg.Workers)))
 	r.Counter(MetricImages).Add(float64(len(in.Images)))
 	r.Counter(MetricQueries).Add(float64(len(out.Queried)))
 	r.Counter(MetricSpend).Add(out.SpentDollars)

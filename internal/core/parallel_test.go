@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+)
+
+// cycleOutputsAtWorkers bootstraps a fresh system at the given worker
+// count, drives it through several cycles covering every temporal
+// context, and returns the gob encoding of every CycleOutput plus the
+// final committee weights.
+func cycleOutputsAtWorkers(t *testing.T, workers int) []byte {
+	t.Helper()
+	f := sharedFixture(t)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatalf("workers=%d: bootstrap: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	contexts := []crowd.TemporalContext{crowd.Morning, crowd.Afternoon, crowd.Evening, crowd.Midnight}
+	for cycle := 0; cycle < 6; cycle++ {
+		in := CycleInput{
+			Index:   cycle,
+			Context: contexts[cycle%len(contexts)],
+			Images:  f.ds.Test[cycle*10 : (cycle+1)*10],
+		}
+		out, err := cl.RunCycle(in)
+		if err != nil {
+			t.Fatalf("workers=%d: cycle %d: %v", workers, cycle, err)
+		}
+		if err := enc.Encode(out); err != nil {
+			t.Fatalf("workers=%d: encode cycle %d: %v", workers, cycle, err)
+		}
+	}
+	// The weights fold in every MIC update, so they cover the training
+	// parallelism as well as the voting path.
+	if err := enc.Encode(cl.Committee().Weights()); err != nil {
+		t.Fatalf("workers=%d: encode weights: %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunCycleBitIdenticalAcrossWorkers is the system-level determinism
+// contract of DESIGN.md §9: the full closed loop — committee voting, QSS
+// selection, CQC training, MIC weight updates and retraining — produces
+// byte-identical cycle outputs at any worker count.
+func TestRunCycleBitIdenticalAcrossWorkers(t *testing.T) {
+	want := cycleOutputsAtWorkers(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := cycleOutputsAtWorkers(t, workers); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: cycle outputs differ from sequential run", workers)
+		}
+	}
+}

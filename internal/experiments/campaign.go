@@ -7,6 +7,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/eval"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // SchemeNames lists Table II's rows in presentation order.
@@ -21,81 +22,92 @@ type CampaignSet struct {
 	Results map[string]*core.CampaignResult
 }
 
-// RunCampaignSet builds, bootstraps and runs every scheme. Each scheme
-// receives its own platform instance (same configuration) so the schemes
-// see statistically identical but independent crowds.
-func RunCampaignSet(env *Env) (*CampaignSet, error) {
-	set := &CampaignSet{Results: make(map[string]*core.CampaignResult, len(SchemeNames))}
+// aiOnlyArm builds one of the AI-only baseline schemes.
+func aiOnlyArm(env *Env, name string, seedOffset int64) (core.Scheme, error) {
+	expert, err := env.trainedExpert(name, seedOffset)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAIOnly(expert)
+}
 
-	run := func(name string, scheme core.Scheme) error {
-		res, err := core.RunCampaign(scheme, env.Dataset.Test, env.Cfg.Campaign)
-		if err != nil {
-			return fmt.Errorf("experiments: campaign %s: %w", name, err)
-		}
-		set.Results[name] = res
-		return nil
+// hybridParaArm builds Hybrid-Para: ensemble + random crowd subset +
+// fixed incentive.
+func hybridParaArm(env *Env) (core.Scheme, error) {
+	expert, err := env.trainedExpert("ensemble", 40)
+	if err != nil {
+		return nil, err
 	}
+	policy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHybridPara(expert, policy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+50)
+}
 
-	// AI-only baselines.
-	for i, name := range []string{"vgg16", "bovw", "ddm", "ensemble"} {
-		expert, err := env.trainedExpert(name, int64(i))
-		if err != nil {
-			return nil, err
-		}
-		scheme, err := core.NewAIOnly(expert)
-		if err != nil {
-			return nil, err
-		}
-		if err := run(name, scheme); err != nil {
-			return nil, err
-		}
-	}
-
-	// CrowdLearn.
-	cl, err := env.newCrowdLearn(env.Cfg.QuerySize, env.Cfg.BudgetDollars, nil)
+// hybridALArm builds Hybrid-AL: strongest single expert + uncertainty
+// sampling + fixed incentive + retraining.
+func hybridALArm(env *Env) (core.Scheme, error) {
+	expert, err := env.trainedExpert("ddm", 60)
 	if err != nil {
 		return nil, err
 	}
-	if err := run("crowdlearn", cl); err != nil {
-		return nil, err
-	}
-
-	// Hybrid-Para: ensemble + random crowd subset + fixed incentive.
-	paraExpert, err := env.trainedExpert("ensemble", 40)
+	policy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
 	if err != nil {
 		return nil, err
 	}
-	paraPolicy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
-	if err != nil {
-		return nil, err
-	}
-	para, err := core.NewHybridPara(paraExpert, paraPolicy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+50)
-	if err != nil {
-		return nil, err
-	}
-	if err := run("hybrid-para", para); err != nil {
-		return nil, err
-	}
-
-	// Hybrid-AL: strongest single expert + uncertainty sampling + fixed
-	// incentive + retraining.
-	alExpert, err := env.trainedExpert("ddm", 60)
-	if err != nil {
-		return nil, err
-	}
-	alPolicy, err := env.fixedMaxPolicy(env.Cfg.QuerySize, env.Cfg.BudgetDollars)
-	if err != nil {
-		return nil, err
-	}
-	al, err := core.NewHybridAL(alExpert, alPolicy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+70)
+	al, err := core.NewHybridAL(expert, policy, env.NewPlatform(), env.Cfg.QuerySize, env.Cfg.Seed+70)
 	if err != nil {
 		return nil, err
 	}
 	al.SetReplayPool(classifier.SamplesFromImages(env.Dataset.Train))
-	if err := run("hybrid-al", al); err != nil {
+	return al, nil
+}
+
+// RunCampaignSet builds, bootstraps and runs every scheme. Each scheme
+// receives its own platform instance (same configuration) so the schemes
+// see statistically identical but independent crowds — which also makes
+// the arms fully independent, so they fan out across Config.Workers
+// goroutines. Each arm writes only its own result slot and every arm's
+// random streams are derived from its own seeds, so the set is
+// bit-identical at any worker count.
+func RunCampaignSet(env *Env) (*CampaignSet, error) {
+	arms := []struct {
+		name  string
+		build func() (core.Scheme, error)
+	}{
+		{"vgg16", func() (core.Scheme, error) { return aiOnlyArm(env, "vgg16", 0) }},
+		{"bovw", func() (core.Scheme, error) { return aiOnlyArm(env, "bovw", 1) }},
+		{"ddm", func() (core.Scheme, error) { return aiOnlyArm(env, "ddm", 2) }},
+		{"ensemble", func() (core.Scheme, error) { return aiOnlyArm(env, "ensemble", 3) }},
+		{"crowdlearn", func() (core.Scheme, error) {
+			return env.newCrowdLearn(env.Cfg.QuerySize, env.Cfg.BudgetDollars, nil)
+		}},
+		{"hybrid-para", func() (core.Scheme, error) { return hybridParaArm(env) }},
+		{"hybrid-al", func() (core.Scheme, error) { return hybridALArm(env) }},
+	}
+
+	results := make([]*core.CampaignResult, len(arms))
+	err := parallel.ForErr(env.Cfg.Workers, len(arms), func(i int) error {
+		scheme, err := arms[i].build()
+		if err != nil {
+			return fmt.Errorf("experiments: build %s: %w", arms[i].name, err)
+		}
+		res, err := core.RunCampaign(scheme, env.Dataset.Test, env.Cfg.Campaign)
+		if err != nil {
+			return fmt.Errorf("experiments: campaign %s: %w", arms[i].name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 
+	set := &CampaignSet{Results: make(map[string]*core.CampaignResult, len(arms))}
+	for i, arm := range arms {
+		set.Results[arm.name] = results[i]
+	}
 	return set, nil
 }
 

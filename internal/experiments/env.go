@@ -33,6 +33,11 @@ type Config struct {
 	// BudgetDollars is the crowdsourcing budget per scheme (paper default
 	// experiments run at 20 USD: 10 cents/query average).
 	BudgetDollars float64
+	// Workers caps the goroutine fan-out of the evaluation: campaign arms
+	// and fault scenarios run concurrently, and the value flows into every
+	// assembled system as core.Config.Workers (0 = GOMAXPROCS,
+	// 1 = sequential). Every result is bit-identical at any value.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's evaluation setup.
@@ -135,6 +140,7 @@ func (e *Env) newCrowdLearnOn(platform core.CrowdPlatform, querySize int, budget
 	cfg.Seed = e.Cfg.Seed
 	cfg.Dims = e.Cfg.Dataset.Dims
 	cfg.QuerySize = querySize
+	cfg.Workers = e.Cfg.Workers
 	cfg.Bandit = e.banditConfig(querySize, budget)
 	if mutate != nil {
 		mutate(&cfg)
@@ -151,7 +157,7 @@ func (e *Env) newCrowdLearnOn(platform core.CrowdPlatform, querySize int, budget
 
 // trainedExpert builds and trains one of the AI-only experts by name.
 func (e *Env) trainedExpert(name string, seedOffset int64) (classifier.Expert, error) {
-	opts := classifier.Options{Seed: e.Cfg.Seed + seedOffset}
+	opts := classifier.Options{Seed: e.Cfg.Seed + seedOffset, Workers: e.Cfg.Workers}
 	dims := e.Cfg.Dataset.Dims
 	var expert classifier.Expert
 	switch name {
@@ -162,10 +168,12 @@ func (e *Env) trainedExpert(name string, seedOffset int64) (classifier.Expert, e
 	case "ddm":
 		expert = classifier.NewDDM(dims, opts)
 	case "ensemble":
-		ens, err := classifier.NewEnsemble(classifier.StandardCommittee(dims, e.Cfg.Seed+seedOffset)...)
+		ens, err := classifier.NewEnsemble(classifier.StandardCommitteeWith(dims, e.Cfg.Seed+seedOffset,
+			classifier.Options{Workers: e.Cfg.Workers})...)
 		if err != nil {
 			return nil, err
 		}
+		ens.SetWorkers(e.Cfg.Workers)
 		expert = ens
 	default:
 		return nil, fmt.Errorf("experiments: unknown expert %q", name)

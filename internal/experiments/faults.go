@@ -8,6 +8,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/eval"
 	"github.com/crowdlearn/crowdlearn/internal/faults"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // FaultsResult compares CrowdLearn with and without the recovery policy
@@ -132,45 +133,75 @@ func RunFaults(env *Env) (*FaultsResult, error) {
 	return runFaults(env, defaultFaultScenarios(env.Cfg.Seed))
 }
 
+// faultArmOut is one (scenario, mode) arm's aggregated outcome.
+type faultArmOut struct {
+	f1        float64
+	delay     float64
+	spent     float64
+	degraded  int
+	requeries int
+	refunded  float64
+}
+
 // runFaults runs both arms of each scenario; the smoke test drives it
-// with a reduced grid.
+// with a reduced grid. The scenario×mode arms are fully independent (each
+// gets its own platform, injector and system), so they fan out across
+// Config.Workers goroutines; each arm writes only its own slot and the
+// result tables are assembled sequentially in grid order afterwards, so
+// the study is bit-identical at any worker count.
 func runFaults(env *Env, scenarios []faultScenario) (*FaultsResult, error) {
+	modes := []string{faultsModeRecovery, faultsModeNoRecovery}
+	outs := make([]faultArmOut, len(scenarios)*len(modes))
+	err := parallel.ForErr(env.Cfg.Workers, len(outs), func(i int) error {
+		sc := scenarios[i/len(modes)]
+		mode := modes[i%len(modes)]
+		recovery := mode == faultsModeRecovery
+		campaign, sys, inj, err := runFaultArm(env, sc.cfg, recovery)
+		if err != nil {
+			return fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
+		}
+		if err := auditFaultArm(campaign, sys, inj, recovery); err != nil {
+			return fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
+		}
+		m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
+		if err != nil {
+			return err
+		}
+		out := faultArmOut{
+			f1:    m.F1,
+			delay: campaign.MeanCrowdDelay().Seconds(),
+			spent: campaign.TotalSpend(),
+		}
+		for _, rec := range campaign.Records {
+			out.degraded += len(rec.Output.Degraded)
+			out.requeries += rec.Output.Requeries
+			out.refunded += rec.Output.RefundedDollars
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &FaultsResult{
-		Modes:          []string{faultsModeRecovery, faultsModeNoRecovery},
+		Modes:          modes,
 		F1:             make(map[string][]float64),
 		DelaySeconds:   make(map[string][]float64),
 		SpentDollars:   make(map[string][]float64),
 		DegradedImages: make(map[string][]int),
 	}
-	for _, sc := range scenarios {
+	for si, sc := range scenarios {
 		res.Scenarios = append(res.Scenarios, sc.name)
-		for _, mode := range res.Modes {
-			recovery := mode == faultsModeRecovery
-			campaign, sys, inj, err := runFaultArm(env, sc.cfg, recovery)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
-			}
-			if err := auditFaultArm(campaign, sys, inj, recovery); err != nil {
-				return nil, fmt.Errorf("experiments: faults %s/%s: %w", sc.name, mode, err)
-			}
-			m, err := eval.Compute(campaign.TrueLabels(), campaign.PredictedLabels())
-			if err != nil {
-				return nil, err
-			}
-			res.F1[mode] = append(res.F1[mode], m.F1)
-			res.DelaySeconds[mode] = append(res.DelaySeconds[mode], campaign.MeanCrowdDelay().Seconds())
-			res.SpentDollars[mode] = append(res.SpentDollars[mode], campaign.TotalSpend())
-			degraded, requeries := 0, 0
-			var refunded float64
-			for _, rec := range campaign.Records {
-				degraded += len(rec.Output.Degraded)
-				requeries += rec.Output.Requeries
-				refunded += rec.Output.RefundedDollars
-			}
-			res.DegradedImages[mode] = append(res.DegradedImages[mode], degraded)
-			if recovery {
-				res.Requeries = append(res.Requeries, requeries)
-				res.RefundedDollars = append(res.RefundedDollars, refunded)
+		for mi, mode := range modes {
+			out := outs[si*len(modes)+mi]
+			res.F1[mode] = append(res.F1[mode], out.f1)
+			res.DelaySeconds[mode] = append(res.DelaySeconds[mode], out.delay)
+			res.SpentDollars[mode] = append(res.SpentDollars[mode], out.spent)
+			res.DegradedImages[mode] = append(res.DegradedImages[mode], out.degraded)
+			if mode == faultsModeRecovery {
+				res.Requeries = append(res.Requeries, out.requeries)
+				res.RefundedDollars = append(res.RefundedDollars, out.refunded)
 			}
 		}
 	}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/faults"
+)
+
+var (
+	parallelEnvOnce sync.Once
+	parallelEnv     *Env
+	parallelEnvErr  error
+)
+
+// reducedEnv builds a small shared environment for the equivalence tests:
+// the full pipeline shape at a fraction of the default campaign cost.
+func reducedEnv(t *testing.T) *Env {
+	t.Helper()
+	parallelEnvOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Dataset.NumImages = 300
+		cfg.Dataset.TrainImages = 180
+		cfg.Campaign.Cycles = 8
+		parallelEnv, parallelEnvErr = NewEnv(cfg)
+	})
+	if parallelEnvErr != nil {
+		t.Fatal(parallelEnvErr)
+	}
+	return parallelEnv
+}
+
+// envWithWorkers copies the environment with a different worker count.
+// Dataset and pilot are immutable after NewEnv, so sharing them across
+// copies is safe.
+func envWithWorkers(base *Env, workers int) *Env {
+	e := *base
+	e.Cfg.Workers = workers
+	return &e
+}
+
+// campaignSetBytes runs the full seven-arm campaign set and returns the
+// gob encoding of every cycle output in SchemeNames order.
+func campaignSetBytes(t *testing.T, env *Env) []byte {
+	t.Helper()
+	set, err := RunCampaignSet(env)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", env.Cfg.Workers, err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, name := range SchemeNames {
+		res, ok := set.Results[name]
+		if !ok {
+			t.Fatalf("workers=%d: scheme %s missing", env.Cfg.Workers, name)
+		}
+		for _, rec := range res.Records {
+			if err := enc.Encode(rec.Output); err != nil {
+				t.Fatalf("workers=%d: encode %s: %v", env.Cfg.Workers, name, err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignSetBitIdenticalAcrossWorkers asserts the campaign fan-out
+// contract: all seven arms of RunCampaignSet produce byte-identical
+// outputs whether they run sequentially or concurrently.
+func TestCampaignSetBitIdenticalAcrossWorkers(t *testing.T) {
+	env := reducedEnv(t)
+	want := campaignSetBytes(t, envWithWorkers(env, 1))
+	if got := campaignSetBytes(t, envWithWorkers(env, 4)); !bytes.Equal(got, want) {
+		t.Error("workers=4: campaign set differs from sequential run")
+	}
+}
+
+// TestFaultsBitIdenticalAcrossWorkers asserts the same for the
+// resilience-study grid: scenario×mode arms fan out without perturbing
+// any result.
+func TestFaultsBitIdenticalAcrossWorkers(t *testing.T) {
+	env := reducedEnv(t)
+	grid := []faultScenario{
+		{name: "clean", cfg: faults.Config{}},
+		{name: "abandon-30%", cfg: faults.Config{
+			Seed:        env.Cfg.Seed + 17,
+			AbandonRate: 0.30,
+		}},
+	}
+	want, err := runFaults(envWithWorkers(env, 1), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runFaults(envWithWorkers(env, 8), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("workers=8: faults study differs from sequential run\n got: %+v\nwant: %+v", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Params configures boosting.
@@ -34,6 +35,13 @@ type Params struct {
 	ValidationFraction float64
 	// Seed drives subsampling and the validation split.
 	Seed int64
+	// Workers caps the goroutines used for the per-feature split search
+	// and the per-sample gradient/score updates (0 = GOMAXPROCS,
+	// 1 = exact sequential execution). The trained model is bit-identical
+	// at any value: per-feature split candidates merge in ascending
+	// feature order and per-sample results land in per-index slots, so no
+	// floating-point computation is ever reordered.
+	Workers int
 }
 
 // DefaultParams mirrors common XGBoost defaults scaled to the small
@@ -189,6 +197,17 @@ func trainCore(features [][]float64, labels []int, valFeatures [][]float64, valL
 	grad := make([]float64, n)
 	hess := make([]float64, n)
 
+	// Parallel execution state: per-worker softmax scratch for the
+	// gradient loop, and one shared tree-building scratch. Every parallel
+	// loop writes per-index slots only, so the trained model is
+	// bit-identical at any worker count.
+	workers := parallel.Workers(params.Workers)
+	probsW := make([][]float64, workers)
+	for w := range probsW {
+		probsW[w] = make([]float64, numClasses)
+	}
+	scratch := newBuildScratch(params.Workers, numFeatures)
+
 	// Validation state for early stopping.
 	earlyStopping := params.EarlyStoppingRounds > 0 && len(valFeatures) > 0
 	var valScores [][]float64
@@ -221,8 +240,11 @@ func trainCore(features [][]float64, labels []int, valFeatures [][]float64, valL
 
 		roundTrees := make([]*tree, numClasses)
 		for k := 0; k < numClasses; k++ {
-			// Softmax gradients: g = p_k - y_k, h = p_k (1 - p_k).
-			for i := 0; i < n; i++ {
+			// Softmax gradients: g = p_k - y_k, h = p_k (1 - p_k). Each
+			// sample owns its grad/hess slot; the softmax scratch is
+			// per-worker.
+			parallel.ForWorker(params.Workers, n, func(w, i int) {
+				probs := probsW[w]
 				mathx.Softmax(scores[i], probs)
 				p := probs[k]
 				y := 0.0
@@ -234,29 +256,30 @@ func trainCore(features [][]float64, labels []int, valFeatures [][]float64, valL
 				if hess[i] < 1e-9 {
 					hess[i] = 1e-9
 				}
-			}
+			})
 			b := &treeBuilder{
 				features:   features,
 				grad:       grad,
 				hess:       hess,
 				params:     params,
 				importance: c.importance,
+				scratch:    scratch,
 			}
 			tr := b.build(idx)
 			roundTrees[k] = tr
 			// Apply shrinkage-scaled updates to all samples.
-			for i := 0; i < n; i++ {
+			parallel.For(params.Workers, n, func(i int) {
 				scores[i][k] += params.LearningRate * tr.predict(features[i])
-			}
+			})
 		}
 		c.trees = append(c.trees, roundTrees)
 
 		if earlyStopping {
-			for vi, vf := range valFeatures {
+			parallel.For(params.Workers, len(valFeatures), func(vi int) {
 				for k, tr := range roundTrees {
-					valScores[vi][k] += params.LearningRate * tr.predict(vf)
+					valScores[vi][k] += params.LearningRate * tr.predict(valFeatures[vi])
 				}
-			}
+			})
 			loss := logLoss(valScores, valLabels, probs)
 			if loss < bestLoss-1e-9 {
 				bestLoss = loss

@@ -1,0 +1,149 @@
+package gbdt
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+func parallelTrainingData(n, numFeatures, numClasses int) ([][]float64, []int) {
+	rng := mathx.NewRand(123)
+	features := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range features {
+		row := make([]float64, numFeatures)
+		k := i % numClasses
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[k%numFeatures] += 1.5
+		// Duplicate some feature values so equal-value split skipping is
+		// exercised.
+		if i%4 == 0 {
+			row[0] = 0.5
+		}
+		features[i] = row
+		labels[i] = k
+	}
+	return features, labels
+}
+
+// TestTrainBitIdenticalAcrossWorkers is the package-level equivalence
+// contract: with a fixed seed the serialised model is byte-identical at
+// any worker count. Per-feature split candidates merge in ascending
+// feature order and per-sample updates own their index slots, so no
+// floating-point computation is reordered.
+func TestTrainBitIdenticalAcrossWorkers(t *testing.T) {
+	features, labels := parallelTrainingData(90, 6, 3)
+	for _, early := range []int{0, 4} {
+		train := func(workers int) []byte {
+			p := DefaultParams()
+			p.Rounds = 12
+			p.EarlyStoppingRounds = early
+			p.Workers = workers
+			c, err := Train(features, labels, 3, p)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			var buf bytes.Buffer
+			if err := c.Save(&buf); err != nil {
+				t.Fatalf("workers=%d: save: %v", workers, err)
+			}
+			return buf.Bytes()
+		}
+		want := train(1)
+		for _, workers := range []int{2, 8} {
+			if got := train(workers); !bytes.Equal(got, want) {
+				t.Errorf("earlyStopping=%d workers=%d: serialised model differs from sequential", early, workers)
+			}
+		}
+	}
+}
+
+// flatBestSplit re-implements the pre-parallel sequential flat scan over
+// (feature, position) pairs; bestSplit must select the identical winner.
+func flatBestSplit(b *treeBuilder, idx []int, gTotal, hTotal float64) splitCandidate {
+	numFeatures := len(b.features[0])
+	lam := b.params.Lambda
+	parentScore := gTotal * gTotal / (hTotal + lam)
+	var best splitCandidate
+	order := make([]int, len(idx))
+	for f := 0; f < numFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool {
+			return b.features[order[a]][f] < b.features[order[c]][f]
+		})
+		var gl, hl float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			gl += b.grad[i]
+			hl += b.hess[i]
+			v, next := b.features[i][f], b.features[order[pos+1]][f]
+			if v == next {
+				continue
+			}
+			nl := pos + 1
+			if nl < b.params.MinSamplesLeaf || len(order)-nl < b.params.MinSamplesLeaf {
+				continue
+			}
+			gr := gTotal - gl
+			hr := hTotal - hl
+			gain := gl*gl/(hl+lam) + gr*gr/(hr+lam) - parentScore
+			if !best.found || gain > best.gain {
+				best = splitCandidate{feature: f, threshold: (v + next) / 2, gain: gain, pos: nl, found: true}
+			}
+		}
+	}
+	return best
+}
+
+func TestBestSplitMatchesFlatScan(t *testing.T) {
+	features, labels := parallelTrainingData(60, 5, 3)
+	grad := make([]float64, len(features))
+	hess := make([]float64, len(features))
+	rng := mathx.NewRand(7)
+	for i := range grad {
+		grad[i] = rng.NormFloat64()
+		hess[i] = 0.1 + rng.Float64()
+	}
+	_ = labels
+	p := DefaultParams()
+	for _, workers := range []int{1, 2, 8} {
+		p.Workers = workers
+		b := &treeBuilder{
+			features:   features,
+			grad:       grad,
+			hess:       hess,
+			params:     p,
+			importance: make([]float64, 5),
+			scratch:    newBuildScratch(p.Workers, 5),
+		}
+		idx := allIndices(len(features))
+		var g, h float64
+		for _, i := range idx {
+			g += grad[i]
+			h += hess[i]
+		}
+		got := b.bestSplit(idx, g, h)
+		want := flatBestSplit(b, idx, g, h)
+		if got != want {
+			t.Errorf("workers=%d: bestSplit = %+v, flat scan = %+v", workers, got, want)
+		}
+	}
+}
+
+func TestStateIgnoresWorkers(t *testing.T) {
+	features, labels := parallelTrainingData(40, 4, 2)
+	p := DefaultParams()
+	p.Rounds = 3
+	p.Workers = 8
+	c, err := Train(features, labels, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State().Params.Workers; got != 0 {
+		t.Fatalf("State carried Workers=%d, want 0", got)
+	}
+}

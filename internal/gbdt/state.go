@@ -44,6 +44,9 @@ func (c *Classifier) State() State {
 		Importance:  mathx.Clone(c.importance),
 		BaseScore:   mathx.Clone(c.baseScore),
 	}
+	// Execution parallelism is not model state: a checkpoint taken at any
+	// worker count must serialise identically.
+	s.Params.Workers = 0
 	for r, round := range c.trees {
 		s.Trees[r] = make([]TreeState, len(round))
 		for k, tr := range round {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // node is one tree node. Leaves have feature == -1.
@@ -45,13 +47,48 @@ func (t *tree) predict(x []float64) float64 {
 	}
 }
 
-// splitCandidate is the best split found for a node.
+// splitCandidate is the best split found for a node (or one feature of a
+// node during the parallel search).
 type splitCandidate struct {
 	feature   int
 	threshold float64
 	gain      float64
-	// leftIdx/rightIdx partition the node's sample indices.
-	leftIdx, rightIdx []int
+	// pos is the split position in the feature-sorted node ordering: the
+	// left child takes the first pos indices.
+	pos   int
+	found bool
+}
+
+// buildScratch holds the reusable buffers of tree construction; one
+// instance is shared across every tree of a training run, so split search
+// allocates nothing per node.
+type buildScratch struct {
+	// workers caps the per-feature split-search fan-out.
+	workers int
+	// arena holds the node index sets, partitioned in place as the tree
+	// grows.
+	arena []int
+	// orders[w] is worker slot w's feature-sort buffer.
+	orders [][]int
+	// cands[f] is feature f's best split, merged in ascending feature
+	// order after the parallel scan.
+	cands []splitCandidate
+}
+
+func newBuildScratch(workers, numFeatures int) *buildScratch {
+	return &buildScratch{
+		workers: workers,
+		orders:  make([][]int, parallel.Workers(workers)),
+		cands:   make([]splitCandidate, numFeatures),
+	}
+}
+
+// order returns worker slot w's sort buffer with length n.
+func (s *buildScratch) order(w, n int) []int {
+	if cap(s.orders[w]) < n {
+		s.orders[w] = make([]int, n)
+	}
+	return s.orders[w][:n]
 }
 
 // treeBuilder grows one tree on gradient/hessian targets.
@@ -63,12 +100,19 @@ type treeBuilder struct {
 	t        *tree
 	// importance accumulates per-feature gain, reported by the classifier.
 	importance []float64
+	// scratch is shared across the trees of one training run.
+	scratch *buildScratch
 }
 
-// build grows the tree from the given sample indices and returns it.
+// build grows the tree from the given sample indices and returns it. idx
+// is copied into the scratch arena, so the caller's slice is untouched.
 func (b *treeBuilder) build(idx []int) *tree {
 	b.t = &tree{}
-	b.grow(idx, 0)
+	if b.scratch == nil {
+		b.scratch = newBuildScratch(b.params.Workers, len(b.features[0]))
+	}
+	b.scratch.arena = append(b.scratch.arena[:0], idx...)
+	b.grow(b.scratch.arena, 0)
 	return b.t
 }
 
@@ -89,13 +133,21 @@ func (b *treeBuilder) grow(idx []int, depth int) int {
 		return self
 	}
 	best := b.bestSplit(idx, g, h)
-	if best == nil || best.gain <= b.params.Gamma {
+	if !best.found || best.gain <= b.params.Gamma {
 		return self
 	}
 	b.importance[best.feature] += best.gain
 
-	left := b.grow(best.leftIdx, depth+1)
-	right := b.grow(best.rightIdx, depth+1)
+	// Partition in place: re-sorting the node's arena segment by the
+	// winning feature applies the same comparator to the same sequence the
+	// split search saw, hence produces the same permutation; slicing at
+	// the split position then yields the children without copying.
+	f := best.feature
+	sort.Slice(idx, func(a, c int) bool {
+		return b.features[idx[a]][f] < b.features[idx[c]][f]
+	})
+	left := b.grow(idx[:best.pos], depth+1)
+	right := b.grow(idx[best.pos:], depth+1)
 	b.t.nodes[self].feature = best.feature
 	b.t.nodes[self].threshold = best.threshold
 	b.t.nodes[self].left = left
@@ -103,19 +155,26 @@ func (b *treeBuilder) grow(idx []int, depth int) int {
 	return self
 }
 
-// bestSplit performs exact greedy split finding across all features.
-func (b *treeBuilder) bestSplit(idx []int, gTotal, hTotal float64) *splitCandidate {
+// bestSplit performs exact greedy split finding, fanning the per-feature
+// scans out across workers. Each feature's scan keeps its first
+// maximum-gain position (strict improvement over ascending positions);
+// the sequential merge keeps the first maximum over ascending features.
+// The winner is therefore the first candidate in lexicographic
+// (feature, position) order attaining the global maximum gain — exactly
+// what a sequential flat scan selects — at any worker count.
+func (b *treeBuilder) bestSplit(idx []int, gTotal, hTotal float64) splitCandidate {
 	numFeatures := len(b.features[0])
 	lam := b.params.Lambda
 	parentScore := gTotal * gTotal / (hTotal + lam)
-
-	var best *splitCandidate
-	order := make([]int, len(idx))
-	for f := 0; f < numFeatures; f++ {
+	s := b.scratch
+	cands := s.cands[:numFeatures]
+	parallel.ForWorker(s.workers, numFeatures, func(w, f int) {
+		order := s.order(w, len(idx))
 		copy(order, idx)
 		sort.Slice(order, func(a, c int) bool {
 			return b.features[order[a]][f] < b.features[order[c]][f]
 		})
+		best := splitCandidate{feature: f}
 		var gl, hl float64
 		for pos := 0; pos < len(order)-1; pos++ {
 			i := order[pos]
@@ -133,22 +192,20 @@ func (b *treeBuilder) bestSplit(idx []int, gTotal, hTotal float64) *splitCandida
 			gr := gTotal - gl
 			hr := hTotal - hl
 			gain := gl*gl/(hl+lam) + gr*gr/(hr+lam) - parentScore
-			if best == nil || gain > best.gain {
-				if best == nil {
-					best = &splitCandidate{}
-				}
-				best.feature = f
+			if !best.found || gain > best.gain {
+				best.found = true
 				best.threshold = (v + next) / 2
 				best.gain = gain
-				best.leftIdx = append(best.leftIdx[:0], order[:nl]...)
-				best.rightIdx = append(best.rightIdx[:0], order[nl:]...)
+				best.pos = nl
 			}
 		}
-	}
-	if best != nil {
-		// Defensive copies: order is reused across features.
-		best.leftIdx = append([]int(nil), best.leftIdx...)
-		best.rightIdx = append([]int(nil), best.rightIdx...)
+		cands[f] = best
+	})
+	var best splitCandidate
+	for f := range cands {
+		if cands[f].found && (!best.found || cands[f].gain > best.gain) {
+			best = cands[f]
+		}
 	}
 	return best
 }

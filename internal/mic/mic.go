@@ -30,6 +30,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 	"github.com/crowdlearn/crowdlearn/internal/qss"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// LearningRate is the eta of the exponential-weights update
 	// (default 2): w_m <- w_m * exp(-eta * loss_m).
 	LearningRate float64
+	// Workers caps the fan-out of Retrain across committee members
+	// (0 = GOMAXPROCS, 1 = sequential). Experts hold disjoint state, so
+	// the calibrated committee is identical at any value.
+	Workers int
 }
 
 // DefaultConfig returns standard calibration hyperparameters.
@@ -125,18 +130,21 @@ func RetrainSamples(images []*imagery.Image, truths [][]float64) ([]classifier.S
 }
 
 // Retrain runs the incremental retraining strategy: every committee
-// member receives a short update pass on the crowd-labelled samples.
-// An empty sample set is a no-op.
+// member receives a short update pass on the crowd-labelled samples,
+// fanning out across members. An empty sample set is a no-op. The
+// lowest-index error matches what a sequential member loop would return
+// first.
 func (c *Calibrator) Retrain(committee *qss.Committee, samples []classifier.Sample) error {
 	if len(samples) == 0 {
 		return nil
 	}
-	for _, e := range committee.Experts() {
-		if err := e.Update(samples); err != nil {
-			return fmt.Errorf("mic: retrain %s: %w", e.Name(), err)
+	experts := committee.Experts()
+	return parallel.ForErr(c.cfg.Workers, len(experts), func(m int) error {
+		if err := experts[m].Update(samples); err != nil {
+			return fmt.Errorf("mic: retrain %s: %w", experts[m].Name(), err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Calibrate performs the full MIC step for one sensing cycle: weight

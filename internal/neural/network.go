@@ -14,8 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Activation selects a layer non-linearity.
@@ -137,6 +139,13 @@ type Config struct {
 	BatchSize int
 	// Seed drives weight initialisation and minibatch shuffling.
 	Seed int64
+	// Workers caps the goroutines used for data-parallel gradient
+	// accumulation within each minibatch (0 = GOMAXPROCS, 1 = exact
+	// sequential execution). Any value yields bit-identical weights:
+	// per-example gradient contributions are staged in per-example
+	// buffers and merged into the accumulators in example-index order,
+	// so no floating-point addition is ever reordered.
+	Workers int
 }
 
 // DefaultConfig returns sensible training hyperparameters for the expert
@@ -161,8 +170,15 @@ type Network struct {
 	rng     *randSource
 	inDim   int
 	classes int
-	// scratch buffers for allocation-free inference.
-	scratch [][]float64
+	// inferScratch pools per-call forward buffers, making Predict and
+	// PredictInto safe for concurrent use: committee voting fans
+	// inference out across goroutines.
+	inferScratch sync.Pool
+	// train holds the reusable training buffers, built lazily on the
+	// first Train call. Training itself is single-goroutine at the top
+	// level; only the per-example gradient staging inside a batch fans
+	// out.
+	train *trainScratch
 	// adamStep counts Adam updates for bias correction.
 	adamStep int
 }
@@ -205,11 +221,6 @@ func New(inDim, classes int, cfg Config) (*Network, error) {
 		prev = h
 	}
 	n.layers = append(n.layers, newLayer(rng, prev, classes, Identity))
-
-	n.scratch = make([][]float64, len(n.layers))
-	for i, l := range n.layers {
-		n.scratch[i] = make([]float64, l.out)
-	}
 	return n, nil
 }
 
@@ -229,27 +240,44 @@ func (n *Network) InputDim() int { return n.inDim }
 func (n *Network) Classes() int { return n.classes }
 
 // Predict returns the softmax class distribution for x. The returned slice
-// is freshly allocated and safe for the caller to retain.
+// is freshly allocated and safe for the caller to retain. Predict is safe
+// for concurrent use.
 func (n *Network) Predict(x []float64) []float64 {
-	logits := n.forward(x)
-	return mathx.Softmax(logits, make([]float64, n.classes))
+	return n.PredictInto(x, make([]float64, n.classes))
 }
 
-// PredictInto is Predict writing into dst (len == classes).
+// PredictInto is Predict writing into dst (len == classes). Safe for
+// concurrent use; internal forward buffers come from a pool.
 func (n *Network) PredictInto(x, dst []float64) []float64 {
-	return mathx.Softmax(n.forward(x), dst)
+	s, _ := n.inferScratch.Get().(*[][]float64)
+	if s == nil {
+		s = n.newForwardScratch()
+	}
+	mathx.Softmax(n.forwardInto(x, *s), dst)
+	n.inferScratch.Put(s)
+	return dst
 }
 
-// forward runs inference through the scratch buffers, returning the final
-// logits (aliasing the last scratch buffer).
-func (n *Network) forward(x []float64) []float64 {
+// newForwardScratch allocates one set of per-layer activation buffers.
+// The pointer indirection keeps sync.Pool round-trips allocation-free.
+func (n *Network) newForwardScratch() *[][]float64 {
+	s := make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		s[i] = make([]float64, l.out)
+	}
+	return &s
+}
+
+// forwardInto runs inference through the given scratch buffers, returning
+// the final logits (aliasing the last scratch buffer).
+func (n *Network) forwardInto(x []float64, scratch [][]float64) []float64 {
 	if len(x) != n.inDim {
 		panic(fmt.Sprintf("neural: input dim %d, want %d", len(x), n.inDim))
 	}
 	in := x
 	for i, l := range n.layers {
-		l.forward(in, n.scratch[i])
-		in = n.scratch[i]
+		l.forward(in, scratch[i])
+		in = scratch[i]
 	}
 	return in
 }
@@ -279,6 +307,7 @@ func (n *Network) Train(examples []Example) (float64, error) {
 			return 0, fmt.Errorf("neural: example %d target dim %d, want %d", i, len(ex.Target), n.classes)
 		}
 	}
+	n.ensureTrainScratch()
 	var lastLoss float64
 	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
 		order := n.rng.r.Perm(len(examples))
@@ -315,67 +344,142 @@ func (n *Network) TrainWith(examples []Example, epochs int, learningRate float64
 // layerGrads accumulates one layer's gradients over a minibatch.
 type layerGrads struct{ gw, gb []float64 }
 
+// exampleStage holds one example's staged forward/backward results so the
+// parallel batch path can merge gradient contributions in example-index
+// order after the fan-out.
+type exampleStage struct {
+	// acts[0] aliases the example features; acts[li+1] is layer li's
+	// activated output.
+	acts [][]float64
+	// deltas[li] is the output delta of layer li.
+	deltas [][]float64
+	probs  []float64
+	loss   float64
+}
+
+// trainScratch is every reusable buffer of the training loop; after the
+// first batch a Train call allocates nothing per batch.
+type trainScratch struct {
+	gs []layerGrads
+	// seq is the single staging area of the sequential path.
+	seq exampleStage
+	// staged[p] is batch position p's staging area on the parallel path.
+	staged []exampleStage
+}
+
+func (n *Network) newExampleStage() exampleStage {
+	st := exampleStage{
+		acts:   make([][]float64, len(n.layers)+1),
+		deltas: make([][]float64, len(n.layers)),
+		probs:  make([]float64, n.classes),
+	}
+	for i, l := range n.layers {
+		st.acts[i+1] = make([]float64, l.out)
+		st.deltas[i] = make([]float64, l.out)
+	}
+	return st
+}
+
+func (n *Network) ensureTrainScratch() *trainScratch {
+	if n.train == nil {
+		ts := &trainScratch{gs: make([]layerGrads, len(n.layers)), seq: n.newExampleStage()}
+		for i, l := range n.layers {
+			ts.gs[i] = layerGrads{gw: make([]float64, len(l.w)), gb: make([]float64, len(l.b))}
+		}
+		n.train = ts
+	}
+	return n.train
+}
+
+// backprop runs one example's forward and backward pass into the stage,
+// leaving activations and per-layer deltas behind and recording the loss.
+// It reads only immutable state (weights, config), so distinct stages may
+// run concurrently.
+func (n *Network) backprop(ex Example, st *exampleStage) {
+	st.acts[0] = ex.Features
+	in := ex.Features
+	for li, l := range n.layers {
+		l.forward(in, st.acts[li+1])
+		in = st.acts[li+1]
+	}
+	mathx.Softmax(st.acts[len(n.layers)], st.probs)
+	st.loss = mathx.CrossEntropy(ex.Target, st.probs)
+
+	// delta for softmax + cross-entropy: p - t.
+	last := st.deltas[len(n.layers)-1]
+	for c := 0; c < n.classes; c++ {
+		last[c] = st.probs[c] - ex.Target[c]
+	}
+	for li := len(n.layers) - 1; li >= 1; li-- {
+		l := n.layers[li]
+		prev := n.layers[li-1]
+		inAct := st.acts[li]
+		delta := st.deltas[li]
+		newDelta := st.deltas[li-1]
+		for i2 := 0; i2 < l.in; i2++ {
+			var s float64
+			for o := 0; o < l.out; o++ {
+				s += delta[o] * l.w[o*l.in+i2]
+			}
+			newDelta[i2] = s * prev.act.derivative(inAct[i2])
+		}
+	}
+}
+
+// accumulate folds one staged example into the gradient accumulators. The
+// arithmetic — including the d == 0 skip, which matters for signed-zero
+// bit patterns — is identical to a fused backward pass, so running
+// backprop in parallel and merging stages in example-index order yields
+// accumulators bit-identical to sequential execution.
+func (n *Network) accumulate(gs []layerGrads, st *exampleStage) {
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		inAct := st.acts[li]
+		delta := st.deltas[li]
+		for o := 0; o < l.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gs[li].gb[o] += d
+			row := gs[li].gw[o*l.in : (o+1)*l.in]
+			for i2, v := range inAct {
+				row[i2] += d * v
+			}
+		}
+	}
+}
+
 // trainBatch accumulates gradients over one minibatch and applies one
 // optimizer update. Returns the summed cross-entropy over the batch.
+// With cfg.Workers resolving above one, per-example passes run
+// concurrently and merge deterministically; the result is bit-identical
+// at any worker count.
 func (n *Network) trainBatch(examples []Example, idx []int) float64 {
-	gs := make([]layerGrads, len(n.layers))
-	for i, l := range n.layers {
-		gs[i] = layerGrads{gw: make([]float64, len(l.w)), gb: make([]float64, len(l.b))}
+	ts := n.ensureTrainScratch()
+	gs := ts.gs
+	for li := range gs {
+		clear(gs[li].gw)
+		clear(gs[li].gb)
 	}
 
-	// Per-example activations (input + each layer output).
-	acts := make([][]float64, len(n.layers)+1)
 	var totalLoss float64
-	probs := make([]float64, n.classes)
-
-	for _, ei := range idx {
-		ex := examples[ei]
-		acts[0] = ex.Features
-		in := ex.Features
-		for li, l := range n.layers {
-			out := make([]float64, l.out)
-			l.forward(in, out)
-			acts[li+1] = out
-			in = out
+	if w := parallel.Workers(n.cfg.Workers); w > 1 && len(idx) > 1 {
+		for len(ts.staged) < len(idx) {
+			ts.staged = append(ts.staged, n.newExampleStage())
 		}
-		mathx.Softmax(acts[len(n.layers)], probs)
-		totalLoss += mathx.CrossEntropy(ex.Target, probs)
-
-		// delta for softmax + cross-entropy: p - t.
-		delta := make([]float64, n.classes)
-		for c := 0; c < n.classes; c++ {
-			delta[c] = probs[c] - ex.Target[c]
+		parallel.For(w, len(idx), func(p int) {
+			n.backprop(examples[idx[p]], &ts.staged[p])
+		})
+		for p := range idx { // deterministic merge: fixed example order
+			totalLoss += ts.staged[p].loss
+			n.accumulate(gs, &ts.staged[p])
 		}
-
-		for li := len(n.layers) - 1; li >= 0; li-- {
-			l := n.layers[li]
-			inAct := acts[li]
-			// Gradients for this layer.
-			for o := 0; o < l.out; o++ {
-				d := delta[o]
-				if d == 0 {
-					continue
-				}
-				gs[li].gb[o] += d
-				row := gs[li].gw[o*l.in : (o+1)*l.in]
-				for i2, v := range inAct {
-					row[i2] += d * v
-				}
-			}
-			if li == 0 {
-				break
-			}
-			// Backpropagate delta to the previous layer.
-			prev := n.layers[li-1]
-			newDelta := make([]float64, l.in)
-			for i2 := 0; i2 < l.in; i2++ {
-				var s float64
-				for o := 0; o < l.out; o++ {
-					s += delta[o] * l.w[o*l.in+i2]
-				}
-				newDelta[i2] = s * prev.act.derivative(inAct[i2])
-			}
-			delta = newDelta
+	} else {
+		for _, ei := range idx {
+			n.backprop(examples[ei], &ts.seq)
+			totalLoss += ts.seq.loss
+			n.accumulate(gs, &ts.seq)
 		}
 	}
 
@@ -458,10 +562,6 @@ func (n *Network) Clone() *Network {
 			mw:  mathx.Clone(l.mw),
 			mb:  mathx.Clone(l.mb),
 		}
-	}
-	cp.scratch = make([][]float64, len(cp.layers))
-	for i, l := range cp.layers {
-		cp.scratch[i] = make([]float64, l.out)
 	}
 	return cp
 }

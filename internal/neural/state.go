@@ -42,6 +42,9 @@ func (n *Network) State() State {
 		Layers:   make([]LayerState, len(n.layers)),
 		AdamStep: n.adamStep,
 	}
+	// Execution parallelism is not model state: a checkpoint taken at any
+	// worker count must serialise identically.
+	s.Config.Workers = 0
 	for i, l := range n.layers {
 		s.Layers[i] = LayerState{
 			In:         l.in,

@@ -25,6 +25,9 @@ type Span struct {
 	Simulated time.Duration `json:"simulatedNanos"`
 	// Err holds the stage's error text when it failed.
 	Err string `json:"error,omitempty"`
+	// Attrs are optional stage attributes (e.g. the worker count a
+	// parallel stage ran with).
+	Attrs map[string]any `json:"attrs,omitempty"`
 	// Children are sub-stages.
 	Children []*Span `json:"children,omitempty"`
 }
@@ -54,6 +57,17 @@ func (s *Span) SetSimulated(d time.Duration) {
 		return
 	}
 	s.Simulated = d
+}
+
+// SetAttr attaches a stage attribute. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any)
+	}
+	s.Attrs[key] = value
 }
 
 // Fail records the stage error and ends the span. Nil-safe.

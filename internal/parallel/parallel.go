@@ -1,0 +1,145 @@
+// Package parallel is the deterministic fork-join substrate under every
+// hot loop of the reproduction: committee scoring in QSS, split search
+// and gradient updates in GBDT training, per-example backpropagation in
+// the neural substrate, and whole-campaign fan-out in the experiment
+// runners.
+//
+// The package makes one promise the callers lean on everywhere:
+// *scheduling never influences results*. Work items are identified by
+// index, every output slot is owned by exactly one index, and any
+// cross-item reduction is performed by the caller in fixed index order
+// after the loop returns. Under that discipline a loop produces
+// bit-identical results at any worker count — Workers=1 runs inline on
+// the calling goroutine with zero scheduling overhead, Workers=N merely
+// finishes sooner. There are no atomic float accumulations and no
+// worker-order merges anywhere in this repository.
+//
+// Scheduling is chunked work-stealing off a single atomic cursor:
+// contiguous index ranges keep cache locality on slice-shaped data while
+// the shared cursor keeps workers busy when item costs are skewed (tree
+// depths, expert sizes). Worker goroutines are spawned per call; the
+// loops this package serves are coarse enough (microseconds to minutes
+// per item) that pool reuse would buy nothing measurable.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count configuration value: n > 0 is used as
+// given, anything else (the zero value of every Workers field in this
+// repository) means runtime.GOMAXPROCS(0). Callers that must distinguish
+// "explicitly sequential" from "default" therefore use 1, not 0.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices across up to
+// `workers` goroutines (resolved via Workers). fn must not touch state
+// shared with other indices except through its own output slot; under
+// that contract the result is independent of the worker count. A resolved
+// worker count of 1 — or n < 2 — executes inline on the caller's
+// goroutine in index order with no goroutines spawned.
+func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For where fn also receives the worker slot w in
+// [0, resolved workers) running the index — the hook for per-worker
+// scratch buffers (split-search orderings, softmax temporaries,
+// backpropagation activations). Slot 0 is the calling goroutine whenever
+// execution is inline.
+//
+// A panic inside fn is re-raised on the calling goroutine after all
+// workers stop (first panicking worker wins; with multiple simultaneous
+// panics the surviving value is scheduling-dependent, but by then the
+// process is crashing anyway).
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+
+	// Chunked dynamic scheduling: contiguous ranges off one atomic
+	// cursor. Four chunks per worker balances locality against skew.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		once   sync.Once
+		fault  any
+	)
+	body := func(slot int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				once.Do(func() { fault = r })
+			}
+		}()
+		for {
+			hi := int(cursor.Add(int64(chunk)))
+			lo := hi - chunk
+			if lo >= n {
+				return
+			}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(slot, i)
+			}
+		}
+	}
+	wg.Add(w)
+	for slot := 1; slot < w; slot++ {
+		go body(slot)
+	}
+	body(0) // the caller is worker slot 0
+	wg.Wait()
+	if fault != nil {
+		panic(fault)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order. The ordered output slice is the deterministic merge: no matter
+// which worker computed an element, out[i] is fn(i).
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForErr runs fn(i) for every i in [0, n) and returns the error of the
+// lowest failing index — the same error a sequential loop that collects
+// all failures would report first, so error selection is deterministic
+// at any worker count. All indices run even when an early one fails;
+// the fan-outs this serves (campaign arms, committee experts) are small
+// and their work is side-effect-free on failure.
+func ForErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolve(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerSlotsInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	ForWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker slot", bad.Load())
+	}
+}
+
+func TestForSequentialOrderAtOneWorker(t *testing.T) {
+	var order []int
+	For(1, 50, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("Workers=1 must run in index order; position %d got %d", i, v)
+		}
+	}
+}
+
+func TestMapOrderedAtAnyWorkerCount(t *testing.T) {
+	want := Map(1, 123, func(i int) int { return i * i })
+	for _, workers := range []int{2, 5, 16} {
+		got := Map(workers, 123, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errAt := func(fail ...int) func(i int) error {
+		set := map[int]bool{}
+		for _, f := range fail {
+			set[f] = true
+		}
+		return func(i int) error {
+			if set[i] {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		}
+	}
+	for _, workers := range []int{1, 4, 13} {
+		if err := ForErr(workers, 40, errAt()); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		err := ForErr(workers, 40, errAt(31, 7, 22))
+		if err == nil || err.Error() != "fail@7" {
+			t.Fatalf("workers=%d: got %v, want fail@7", workers, err)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			For(workers, 100, func(i int) {
+				if i == 42 {
+					panic(errors.New("boom"))
+				}
+			})
+		}()
+	}
+}
+
+// TestDeterministicReductionShape documents the discipline every caller
+// follows: parallel stage writes per-index slots, the reduction runs
+// sequentially in index order afterwards. The float sum here is
+// bit-identical across worker counts because the additions happen in the
+// same order regardless of scheduling.
+func TestDeterministicReductionShape(t *testing.T) {
+	n := 10_000
+	reduce := func(workers int) float64 {
+		parts := Map(workers, n, func(i int) float64 { return 1.0 / float64(i+1) })
+		var sum float64
+		for _, p := range parts { // fixed index order
+			sum += p
+		}
+		return sum
+	}
+	want := reduce(1)
+	for _, workers := range []int{2, 3, 8} {
+		if got := reduce(workers); got != want {
+			t.Fatalf("workers=%d: sum %x differs from sequential %x", workers, got, want)
+		}
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var sink atomic.Int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				For(workers, 64, func(j int) {
+					if j == 63 {
+						sink.Add(1)
+					}
+				})
+			}
+		})
+	}
+}

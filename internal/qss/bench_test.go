@@ -32,6 +32,17 @@ func BenchmarkCommitteeVote(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitteeEntropy is the hot scoring path; the pooled vote
+// scratch keeps it allocation-free.
+func BenchmarkCommitteeEntropy(b *testing.B) {
+	c, ds := trainedCommittee(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Entropy(ds.Test[i%len(ds.Test)])
+	}
+}
+
 func BenchmarkSelectQuerySet(b *testing.B) {
 	c, ds := trainedCommittee(b)
 	sel, err := NewSelector(0.2, 1)

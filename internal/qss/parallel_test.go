@@ -1,0 +1,137 @@
+package qss
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// TestWeightsConcurrentWithVoting is the -race regression for the
+// Weights/SetWeights exposure: scoring goroutines vote and read weights
+// while MIC-style writers replace them. Copy-on-write installation means
+// every reader sees a fully normalised vector — old or new, never a mix.
+func TestWeightsConcurrentWithVoting(t *testing.T) {
+	c, err := NewCommittee(
+		constExpert("a", []float64{1, 0, 0}),
+		constExpert("b", []float64{0, 1, 0}),
+		constExpert("c", []float64{0, 0, 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := images(1)[0]
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Vote(im)
+				c.Entropy(im)
+				c.Classify(im)
+				w := c.Weights()
+				if s := mathx.Sum(w); s < 0.999 || s > 1.001 {
+					t.Errorf("reader saw unnormalised weights %v", w)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := c.SetWeights([]float64{1 + float64(i%3), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSelectIdenticalAcrossWorkers: parallel scoring must feed the ranking
+// and the sequential ε-greedy draw exactly the scores sequential scoring
+// would, so same-seed selections agree at any worker count.
+func TestSelectIdenticalAcrossWorkers(t *testing.T) {
+	const n, querySize = 60, 12
+	c := entropyByID(n)
+	run := func(workers int) [][]int {
+		sel, err := NewSelector(0.35, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.Workers = workers
+		var out [][]int
+		for trial := 0; trial < 5; trial++ {
+			out = append(out, sel.Select(c, images(n), querySize))
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for trial := range want {
+			for i := range want[trial] {
+				if got[trial][i] != want[trial][i] {
+					t.Fatalf("workers=%d trial %d: selection %v, want %v",
+						workers, trial, got[trial], want[trial])
+				}
+			}
+		}
+	}
+}
+
+// TestStrategySelectorIdenticalAcrossWorkers covers the same contract for
+// every ablation strategy.
+func TestStrategySelectorIdenticalAcrossWorkers(t *testing.T) {
+	const n, querySize = 40, 8
+	c := entropyByID(n)
+	for _, strat := range Strategies() {
+		run := func(workers int) []int {
+			sel, err := NewStrategySelector(strat, 0.25, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel.Workers = workers
+			return sel.Select(c, images(n), querySize)
+		}
+		want := run(1)
+		for _, workers := range []int{2, 8} {
+			got := run(workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("strategy %s workers=%d: selection %v, want %v",
+						strat.Name(), workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVoteIntoMatchesVote pins the scratch-pooled path to the allocating
+// one bit for bit.
+func TestVoteIntoMatchesVote(t *testing.T) {
+	c, err := NewCommittee(
+		constExpert("a", []float64{0.7, 0.2, 0.1}),
+		constExpert("b", []float64{0.1, 0.6, 0.3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWeights([]float64{0.3, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	im := images(1)[0]
+	want := c.Vote(im)
+	dst := make([]float64, len(want))
+	c.VoteInto(im, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("VoteInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}

@@ -17,16 +17,42 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Committee is a set of weighted DDA experts (Definitions 4, 5, 7).
+//
+// Voting, entropy and classification are safe for concurrent use: the
+// weight vector is copy-on-write (SetWeights installs a fresh slice under
+// the mutex, readers snapshot the pointer), and all vote temporaries come
+// from a scratch pool.
 type Committee struct {
 	experts []classifier.Expert
+
+	// mu guards weights. MIC replaces the slice wholesale after each
+	// sensing cycle while scoring goroutines read it; readers take a
+	// pointer snapshot and never see a partially written vector.
+	mu      sync.RWMutex
 	weights []float64
+
+	// workers caps the fan-out of Train across experts (0 = GOMAXPROCS,
+	// 1 = sequential).
+	workers int
+
+	// scratch pools per-vote aggregation buffers so the entropy scoring
+	// path allocates nothing per image.
+	scratch sync.Pool
+}
+
+// voteScratch is one scorer's reusable buffers: agg aggregates the
+// committee vote, tmp receives individual expert votes.
+type voteScratch struct {
+	agg, tmp []float64
 }
 
 // NewCommittee builds a committee with uniform expert weights.
@@ -47,10 +73,21 @@ func (c *Committee) Experts() []classifier.Expert { return c.experts }
 func (c *Committee) Size() int { return len(c.experts) }
 
 // Weights returns a copy of the current expert weights.
-func (c *Committee) Weights() []float64 { return mathx.Clone(c.weights) }
+func (c *Committee) Weights() []float64 { return mathx.Clone(c.weightsRef()) }
+
+// weightsRef snapshots the current weight slice. SetWeights never mutates
+// an installed slice, so the snapshot is safe to read lock-free.
+func (c *Committee) weightsRef() []float64 {
+	c.mu.RLock()
+	w := c.weights
+	c.mu.RUnlock()
+	return w
+}
 
 // SetWeights replaces the expert weights; they are renormalised to sum to
-// one. The MIC module calls this after each sensing cycle.
+// one. The MIC module calls this after each sensing cycle. The new vector
+// is installed copy-on-write, so concurrent voters see either the old or
+// the new weights in full, never a mix.
 func (c *Committee) SetWeights(w []float64) error {
 	if len(w) != len(c.experts) {
 		return fmt.Errorf("qss: %d weights for %d experts", len(w), len(c.experts))
@@ -62,18 +99,25 @@ func (c *Committee) SetWeights(w []float64) error {
 	}
 	cp := mathx.Clone(w)
 	mathx.Normalize(cp)
+	c.mu.Lock()
 	c.weights = cp
+	c.mu.Unlock()
 	return nil
 }
 
-// Train trains every member on the samples.
+// SetWorkers caps the expert-level training fan-out (0 = GOMAXPROCS,
+// 1 = sequential). Experts hold disjoint state, so the trained committee
+// is identical at any value.
+func (c *Committee) SetWorkers(n int) { c.workers = n }
+
+// Train trains every member on the samples, fanning out across experts.
 func (c *Committee) Train(samples []classifier.Sample) error {
-	for _, e := range c.experts {
-		if err := e.Train(samples); err != nil {
-			return fmt.Errorf("qss: train %s: %w", e.Name(), err)
+	return parallel.ForErr(c.workers, len(c.experts), func(m int) error {
+		if err := c.experts[m].Train(samples); err != nil {
+			return fmt.Errorf("qss: train %s: %w", c.experts[m].Name(), err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // MemberVotes returns each expert's raw vote distribution for the image.
@@ -86,29 +130,72 @@ func (c *Committee) MemberVotes(im *imagery.Image) [][]float64 {
 }
 
 // Vote computes the committee vote rho (Eq. 2): the weight-blended member
-// distributions, normalised to a probability vector.
+// distributions, normalised to a probability vector. The returned slice
+// is freshly allocated; Vote is safe for concurrent use.
 func (c *Committee) Vote(im *imagery.Image) []float64 {
-	agg := make([]float64, imagery.NumLabels)
+	return c.VoteInto(im, make([]float64, imagery.NumLabels))
+}
+
+// VoteInto is Vote writing into dst (len == imagery.NumLabels). With
+// experts that implement classifier.IntoPredictor the call allocates
+// nothing.
+func (c *Committee) VoteInto(im *imagery.Image, dst []float64) []float64 {
+	sc := c.getScratch()
+	c.voteInto(im, dst, sc.tmp)
+	c.scratch.Put(sc)
+	return dst
+}
+
+func (c *Committee) getScratch() *voteScratch {
+	sc, _ := c.scratch.Get().(*voteScratch)
+	if sc == nil {
+		sc = &voteScratch{
+			agg: make([]float64, imagery.NumLabels),
+			tmp: make([]float64, imagery.NumLabels),
+		}
+	}
+	return sc
+}
+
+// voteInto aggregates the weighted expert votes into dst, routing expert
+// predictions through tmp.
+func (c *Committee) voteInto(im *imagery.Image, dst, tmp []float64) {
+	weights := c.weightsRef()
+	mathx.Fill(dst, 0)
 	for m, e := range c.experts {
-		if c.weights[m] == 0 {
+		if weights[m] == 0 {
 			continue
 		}
-		mathx.AddScaled(agg, c.weights[m], e.Predict(im))
+		vote := tmp
+		if ip, ok := e.(classifier.IntoPredictor); ok {
+			ip.PredictInto(im, tmp)
+		} else {
+			vote = e.Predict(im)
+		}
+		mathx.AddScaled(dst, weights[m], vote)
 	}
-	mathx.Normalize(agg)
-	return agg
+	mathx.Normalize(dst)
 }
 
 // Entropy computes the committee entropy H (Eq. 3, Definition 8) of the
 // image: the Shannon entropy of the normalised committee vote.
+// Allocation-free and safe for concurrent use.
 func (c *Committee) Entropy(im *imagery.Image) float64 {
-	return mathx.Entropy(c.Vote(im))
+	sc := c.getScratch()
+	c.voteInto(im, sc.agg, sc.tmp)
+	h := mathx.Entropy(sc.agg)
+	c.scratch.Put(sc)
+	return h
 }
 
 // Classify returns the committee's final label for the image: the argmax
-// of the committee vote.
+// of the committee vote. Allocation-free and safe for concurrent use.
 func (c *Committee) Classify(im *imagery.Image) imagery.Label {
-	return imagery.Label(mathx.ArgMax(c.Vote(im)))
+	sc := c.getScratch()
+	c.voteInto(im, sc.agg, sc.tmp)
+	label := imagery.Label(mathx.ArgMax(sc.agg))
+	c.scratch.Put(sc)
+	return label
 }
 
 // Selector implements the epsilon-greedy query set selection of
@@ -116,6 +203,11 @@ func (c *Committee) Classify(im *imagery.Image) imagery.Label {
 type Selector struct {
 	// Epsilon is the exploration probability (paper's ε-greedy strategy).
 	Epsilon float64
+	// Workers caps the parallel entropy-scoring fan-out (0 = GOMAXPROCS,
+	// 1 = sequential). Every score lands in its own index slot, so the
+	// ranking — and therefore the ε-greedy selection, which must consume
+	// the RNG stream in a fixed order — is identical at any value.
+	Workers int
 	rng     *rand.Rand
 }
 
@@ -140,9 +232,9 @@ func (s *Selector) Select(c *Committee, images []*imagery.Image, querySize int) 
 		querySize = len(images)
 	}
 	list := make([]scoredImage, len(images))
-	for i, im := range images {
-		list[i] = scoredImage{idx: i, entropy: c.Entropy(im)}
-	}
+	parallel.For(s.Workers, len(images), func(i int) {
+		list[i] = scoredImage{idx: i, entropy: c.Entropy(images[i])}
+	})
 	// Sort high-to-low entropy; ties break by index for determinism.
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].entropy != list[j].entropy {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // Strategy scores an image for query priority: higher means more worth
@@ -106,7 +107,11 @@ type StrategySelector struct {
 	Epsilon float64
 	// Strategy supplies the exploitation score.
 	Strategy Strategy
-	rng      *rand.Rand
+	// Workers caps the parallel scoring fan-out (0 = GOMAXPROCS,
+	// 1 = sequential); scores land in per-index slots so ranking and the
+	// sequential ε-greedy draw are identical at any value.
+	Workers int
+	rng     *rand.Rand
 }
 
 // NewStrategySelector builds a selector over the given strategy.
@@ -129,9 +134,9 @@ func (s *StrategySelector) Select(c *Committee, images []*imagery.Image, querySi
 		querySize = len(images)
 	}
 	list := make([]scoredImage, len(images))
-	for i, im := range images {
-		list[i] = scoredImage{idx: i, entropy: s.Strategy.Score(c, im)}
-	}
+	parallel.For(s.Workers, len(images), func(i int) {
+		list[i] = scoredImage{idx: i, entropy: s.Strategy.Score(c, images[i])}
+	})
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].entropy != list[j].entropy {
 			return list[i].entropy > list[j].entropy
