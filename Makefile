@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-equivalence bench bench-json cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet test race race-equivalence crash-recovery bench bench-json cover-obs faults fuzz artefacts report clean
 
 all: build vet test
 
@@ -31,10 +31,20 @@ cover-obs:
 faults:
 	$(GO) test -run TestFaultsSmoke -v -count=1 ./internal/experiments/
 
-# Short fuzzing session over the HTTP request-decoding surface.
+# Short fuzzing session over the HTTP request-decoding surface and the
+# durable-store file parsers.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseContext -fuzztime 30s ./internal/service/
 	$(GO) test -run xxx -fuzz FuzzAssessDecode -fuzztime 30s ./internal/service/
+	$(GO) test -run xxx -fuzz FuzzOpenCheckpoint -fuzztime 30s ./internal/store/
+	$(GO) test -run xxx -fuzz FuzzWALScan -fuzztime 30s ./internal/store/
+
+# The crash-safety equivalence suite under the race detector: kill-and-
+# recover arms must end byte-identical to an uninterrupted arm, through
+# checkpoint+WAL, WAL-only and all-checkpoints-torn recoveries
+# (DESIGN.md §10).
+crash-recovery:
+	$(GO) test -race -timeout 30m -run 'CrashRecovery|TestRecover' ./internal/store/ ./internal/core/
 
 # The deterministic-parallelism equivalence suite under the race
 # detector: bit-identical outputs at every worker count plus the

@@ -16,15 +16,25 @@
 //
 //	crowdlearnd [-addr :8080] [-seed 1] [-workers 0] [-log-level info]
 //	            [-queue-depth 16] [-request-timeout 30s]
+//	            [-state-dir dir] [-checkpoint-every 8] [-checkpoint-retain 3]
 //
 // -queue-depth bounds the assessment queue: when it is full, POST /assess
 // answers 429 with a Retry-After header instead of queueing without
 // limit. -request-timeout caps one assessment end to end (queue wait plus
 // cycle processing). Zero disables either guard.
 //
+// -state-dir enables durable crash-safe persistence (DESIGN.md §10):
+// every committed cycle is appended to a write-ahead log, a checkpoint is
+// written every -checkpoint-every cycles (rotated, keeping
+// -checkpoint-retain generations), and on startup the previous process's
+// state — expert weights, bandit budget, CQC model — is recovered from
+// disk instead of re-bootstrapped. /healthz reports the last-checkpoint
+// age and /stats the recovery outcome.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the in-flight
 // sensing cycle completes, the listener drains, queued requests are
-// rejected deterministically, and the worker exits.
+// rejected deterministically, the worker exits, and (with -state-dir) a
+// final checkpoint is written.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -40,9 +51,11 @@ import (
 	"time"
 
 	crowdlearn "github.com/crowdlearn/crowdlearn"
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/service"
+	"github.com/crowdlearn/crowdlearn/internal/store"
 )
 
 func main() {
@@ -61,6 +74,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "goroutine fan-out for committee voting and model training (0 = GOMAXPROCS, 1 = sequential); assessments are bit-identical at any value")
 	queueDepth := fs.Int("queue-depth", 16, "bounded assessment queue; full queue answers 429 (0 = unbounded)")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-assessment timeout, queue wait included (0 = none)")
+	stateDir := fs.String("state-dir", "", "durable state directory: checkpoints + write-ahead cycle log; recovery runs on startup (empty = no persistence)")
+	checkpointEvery := fs.Int("checkpoint-every", 8, "write a checkpoint every N committed cycles (0 = only on shutdown; requires -state-dir)")
+	checkpointRetain := fs.Int("checkpoint-retain", store.DefaultRetainCheckpoints, "checkpoint generations kept by rotation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +85,23 @@ func run(args []string) error {
 	}
 	if *requestTimeout < 0 {
 		return fmt.Errorf("invalid -request-timeout %v: must be non-negative", *requestTimeout)
+	}
+	if *checkpointEvery < 0 {
+		return fmt.Errorf("invalid -checkpoint-every %d: must be non-negative", *checkpointEvery)
+	}
+	if *checkpointRetain < 1 {
+		return fmt.Errorf("invalid -checkpoint-retain %d: must be at least 1", *checkpointRetain)
+	}
+	if *stateDir == "" {
+		explicit := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-every" || f.Name == "checkpoint-retain" {
+				explicit = "-" + f.Name
+			}
+		})
+		if explicit != "" {
+			return fmt.Errorf("%s requires -state-dir", explicit)
+		}
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -97,9 +130,30 @@ func run(args []string) error {
 
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
-	sys, err := lab.NewSystemWith(func(cfg *core.Config) {
+
+	// With -state-dir the system journals every committed cycle and
+	// recovers its predecessor's state before serving. The journal's
+	// checkpoint payload closes over sys, which is assembled just after.
+	var (
+		st      *store.Store
+		journal *store.Journal
+		sys     *core.CrowdLearn
+	)
+	if *stateDir != "" {
+		st, err = store.Open(store.Options{Dir: *stateDir, RetainCheckpoints: *checkpointRetain})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		journal = store.NewJournal(st, *checkpointEvery,
+			func(w io.Writer) error { return sys.SaveState(w) }, logger, registry)
+	}
+	sys, err = lab.NewSystemWith(func(cfg *core.Config) {
 		cfg.Metrics = registry
 		cfg.Tracer = tracer
+		if journal != nil {
+			cfg.Journal = journal
+		}
 	})
 	if err != nil {
 		return err
@@ -109,11 +163,36 @@ func run(args []string) error {
 		slog.Int("assessableImages", len(lab.Dataset.Test)),
 		slog.Duration("elapsed", time.Since(started)))
 
-	svc, err := service.New(sys,
+	svcOpts := []service.Option{
 		service.WithMetrics(registry),
 		service.WithTracer(tracer),
 		service.WithQueueDepth(*queueDepth),
-		service.WithRequestTimeout(*requestTimeout))
+		service.WithRequestTimeout(*requestTimeout),
+	}
+	if st != nil {
+		report, rerr := st.Recover(sys, store.RecoverOptions{
+			TrainSamples:   classifier.SamplesFromImages(lab.Dataset.Train),
+			Registry:       lab.Dataset.Test,
+			ResyncPlatform: true,
+			Logger:         logger,
+			Metrics:        registry,
+		})
+		if rerr != nil {
+			return fmt.Errorf("state recovery: %w", rerr)
+		}
+		journal.NoteRecovered(report)
+		svcOpts = append(svcOpts,
+			service.WithStartCycle(report.NextCycle),
+			service.WithCheckpointAge(journal.CheckpointAge),
+			service.WithRecovery(&service.RecoveryStatus{
+				Outcome:            report.Outcome,
+				CheckpointCycles:   report.CheckpointCycles,
+				CheckpointsSkipped: report.CheckpointsSkipped,
+				CyclesReplayed:     report.CyclesReplayed,
+				WALTruncatedBytes:  report.WALTruncatedBytes,
+			}))
+	}
+	svc, err := service.New(sys, svcOpts...)
 	if err != nil {
 		return err
 	}
@@ -158,6 +237,13 @@ func run(args []string) error {
 	}
 	if err := svc.Shutdown(ctx); err != nil {
 		return err
+	}
+	// The worker is stopped, so the system is quiescent: take a final
+	// checkpoint covering everything the process committed.
+	if journal != nil {
+		if err := journal.Checkpoint(); err != nil {
+			logger.Warn("shutdown checkpoint failed", slog.Any("err", err))
+		}
 	}
 	stats := svc.Stats()
 	logger.Info("shutdown complete",

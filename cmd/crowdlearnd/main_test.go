@@ -43,3 +43,25 @@ func TestRunRejectsNegativeRequestTimeout(t *testing.T) {
 		t.Errorf("negative request timeout must error, got %v", err)
 	}
 }
+
+func TestRunRejectsBadPersistenceFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative checkpoint-every", []string{"-state-dir", "d", "-checkpoint-every", "-1"}, "checkpoint-every"},
+		{"zero checkpoint-retain", []string{"-state-dir", "d", "-checkpoint-retain", "0"}, "checkpoint-retain"},
+		{"negative checkpoint-retain", []string{"-state-dir", "d", "-checkpoint-retain", "-3"}, "checkpoint-retain"},
+		{"checkpoint-every without state-dir", []string{"-checkpoint-every", "4"}, "requires -state-dir"},
+		{"checkpoint-retain without state-dir", []string{"-checkpoint-retain", "5"}, "requires -state-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -24,6 +24,9 @@
 package crowdlearn
 
 import (
+	"io"
+	"log/slog"
+
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
@@ -32,6 +35,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/faults"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/store"
 )
 
 // Re-exported imagery types: the dataset substrate.
@@ -219,4 +223,42 @@ func RunCampaign(scheme Scheme, test []*Image, cfg CampaignConfig) (*CampaignRes
 // slices.
 func ComputeMetrics(truths, preds []Label) (Metrics, error) {
 	return eval.Compute(truths, preds)
+}
+
+// Re-exported durable-persistence types (see internal/store and
+// DESIGN.md §10): crash-safe checkpoint files plus a write-ahead cycle
+// log, with deterministic restart recovery.
+type (
+	// StateStore is one durable state directory: rotating checksummed
+	// checkpoints and the append-only cycle log.
+	StateStore = store.Store
+	// StateStoreOptions configures OpenStateStore.
+	StateStoreOptions = store.Options
+	// StateJournal adapts a StateStore to SystemConfig.Journal: it
+	// appends every committed cycle to the log and checkpoints on a
+	// cycle cadence.
+	StateJournal = store.Journal
+	// CycleJournal is the hook a System calls after each committed
+	// cycle (SystemConfig.Journal).
+	CycleJournal = core.CycleJournal
+	// RecoverOptions parameterises StateStore.Recover.
+	RecoverOptions = store.RecoverOptions
+	// RecoveryReport describes what Recover restored, skipped,
+	// truncated and replayed.
+	RecoveryReport = store.RecoveryReport
+	// StoreFaultConfig seeds deterministic persistence faults (torn
+	// writes, failed renames, torn log appends) for crash-safety tests.
+	StoreFaultConfig = store.FaultConfig
+)
+
+// OpenStateStore opens (creating if needed) a durable state directory,
+// truncating any torn write-ahead-log tail left by a crash.
+func OpenStateStore(opts StateStoreOptions) (*StateStore, error) { return store.Open(opts) }
+
+// NewStateJournal wires a StateStore behind SystemConfig.Journal:
+// every committed cycle is appended durably, and every `every` cycles
+// (0 = never) a checkpoint is written via save — normally the system's
+// SaveState. logger and metrics may be nil.
+func NewStateJournal(st *StateStore, every int, save func(w io.Writer) error, logger *slog.Logger, metrics *MetricsRegistry) *StateJournal {
+	return store.NewJournal(st, every, save, logger, metrics)
 }

@@ -1,16 +1,20 @@
-// Checkpoint: operating CrowdLearn across process restarts. The system
-// runs half a campaign, checkpoints every piece of learned state (expert
-// weights and parameters, bandit statistics, budget position, the trained
-// CQC model) to a file, then a "new process" restores the checkpoint and
-// finishes the campaign — without retraining and without resetting the
-// crowdsourcing budget.
+// Checkpoint: operating CrowdLearn across a process crash. The system
+// runs a campaign against a durable state store — every committed cycle
+// is appended to a write-ahead log and a checkpoint is written every 8
+// cycles — then the program "crashes" mid-campaign: the system and all
+// of its in-memory state (expert weights and parameters, bandit
+// statistics, budget position, the trained CQC model) are simply
+// dropped. A "new process" opens the same state directory, recovers —
+// newest good checkpoint plus deterministic replay of the logged cycles
+// beyond it — and finishes the campaign without retraining and without
+// resetting the crowdsourcing budget.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
-	"path/filepath"
 
 	crowdlearn "github.com/crowdlearn/crowdlearn"
 )
@@ -22,17 +26,32 @@ func main() {
 }
 
 func run() error {
+	dir, err := os.MkdirTemp("", "crowdlearn-state-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
 	lab, err := crowdlearn.NewLab(crowdlearn.DefaultLabConfig())
 	if err != nil {
 		return err
 	}
-	sys, err := lab.NewSystem()
+
+	// ---- process 1: run with persistence, then crash mid-campaign ----
+	st, err := crowdlearn.OpenStateStore(crowdlearn.StateStoreOptions{Dir: dir})
+	if err != nil {
+		return err
+	}
+	var sys *crowdlearn.System
+	journal := crowdlearn.NewStateJournal(st, 8,
+		func(w io.Writer) error { return sys.SaveState(w) }, nil, nil)
+	sys, err = lab.NewSystemWith(func(cfg *crowdlearn.SystemConfig) { cfg.Journal = journal })
 	if err != nil {
 		return err
 	}
 
-	half := crowdlearn.CampaignConfig{Cycles: 20, ImagesPerCycle: 10}
-	first, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test[:200], half)
+	phase1 := crowdlearn.CampaignConfig{Cycles: 20, ImagesPerCycle: 10}
+	first, err := crowdlearn.RunCampaign(sys, lab.Dataset.Test[:200], phase1)
 	if err != nil {
 		return err
 	}
@@ -43,47 +62,40 @@ func run() error {
 	fmt.Printf("phase 1: 20 cycles, accuracy %.3f, spent $%.2f, budget left $%.2f\n",
 		m1.Accuracy, first.TotalSpend(), sys.Policy().RemainingBudget())
 
-	// Checkpoint to disk.
-	path := filepath.Join(os.TempDir(), "crowdlearn-checkpoint.gob")
-	f, err := os.Create(path)
-	if err != nil {
+	// Crash. The last checkpoint covers 16 cycles; cycles 16..19 exist
+	// only as write-ahead-log records. Nothing in memory survives.
+	if err := st.Close(); err != nil {
 		return err
 	}
-	if err := sys.SaveState(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	info, err := os.Stat(path)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("checkpointed learned state to %s (%d bytes)\n", path, info.Size())
+	sys = nil
+	fmt.Println("-- simulated crash: process state dropped; only the state directory survives --")
 
-	// "Restart": construct a fresh system and restore.
-	platformCfg := crowdlearn.DefaultPlatformConfig()
-	platformCfg.Seed = 99 // a different crowd: state must still transfer
-	platform, err := crowdlearn.NewPlatform(platformCfg)
+	// ---- process 2: open the directory, recover, continue ----
+	st2, err := crowdlearn.OpenStateStore(crowdlearn.StateStoreOptions{Dir: dir})
 	if err != nil {
 		return err
 	}
-	restored, err := crowdlearn.NewSystem(crowdlearn.DefaultSystemConfig(), platform)
+	defer st2.Close()
+	// The replacement process rebuilds the same lab (same seeds) and a
+	// fresh system, then recovers the crashed process's learned state.
+	restored, err := lab.NewSystem()
 	if err != nil {
 		return err
 	}
-	g, err := os.Open(path)
+	report, err := st2.Recover(restored, crowdlearn.RecoverOptions{
+		TrainSamples:   crowdlearn.SamplesFromImages(lab.Dataset.Train),
+		Registry:       lab.Dataset.Test,
+		ResyncPlatform: true,
+	})
 	if err != nil {
 		return err
 	}
-	defer g.Close()
-	if err := restored.RestoreState(g, crowdlearn.SamplesFromImages(lab.Dataset.Train)); err != nil {
-		return err
-	}
+	fmt.Printf("recovered: outcome=%s checkpointCycles=%d walReplayed=%d nextCycle=%d\n",
+		report.Outcome, report.CheckpointCycles, report.CyclesReplayed, report.NextCycle)
 	fmt.Printf("restored: budget left $%.2f (carried over)\n", restored.Policy().RemainingBudget())
 
-	second, err := crowdlearn.RunCampaign(restored, lab.Dataset.Test[200:400], half)
+	phase2 := crowdlearn.CampaignConfig{Cycles: 20, ImagesPerCycle: 10, StartCycle: report.NextCycle}
+	second, err := crowdlearn.RunCampaign(restored, lab.Dataset.Test[200:400], phase2)
 	if err != nil {
 		return err
 	}
@@ -91,7 +103,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("phase 2 (after restart): 20 cycles, accuracy %.3f, total spend $%.2f\n",
+	fmt.Printf("phase 2 (after crash recovery): 20 cycles, accuracy %.3f, total spend $%.2f\n",
 		m2.Accuracy, first.TotalSpend()+second.TotalSpend())
 	return nil
 }

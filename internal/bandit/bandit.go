@@ -121,7 +121,8 @@ func (c Config) Validate() error {
 type UCBALP struct {
 	cfg       Config
 	rng       *rand.Rand
-	remaining float64 // dollars
+	rngSrc    *mathx.CountingSource // tracks rng's draw position for State
+	remaining float64               // dollars
 	refunded  float64 // dollars returned for unanswered HITs (flow counter)
 	rounds    int     // rounds observed so far
 	// Per (context, arm) statistics.
@@ -139,7 +140,8 @@ func NewUCBALP(cfg Config) (*UCBALP, error) {
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 1
 	}
-	u := &UCBALP{cfg: cfg, rng: mathx.NewRand(cfg.Seed), remaining: cfg.BudgetDollars}
+	rng, src := mathx.NewCountedRand(cfg.Seed)
+	u := &UCBALP{cfg: cfg, rng: rng, rngSrc: src, remaining: cfg.BudgetDollars}
 	for z := 0; z < crowd.NumContexts; z++ {
 		u.count[z] = make([]int, len(cfg.Levels))
 		u.payoff[z] = make([]float64, len(cfg.Levels))

@@ -10,19 +10,24 @@ import (
 )
 
 // State is the serialisable form of a UCBALP policy: learned statistics,
-// budget position and configuration. The RNG is reseeded from Config.Seed
-// on restore.
+// budget position, configuration, and the position of the seeded RNG
+// stream so a restored policy's LP-rounding draws continue exactly where
+// the original left off.
 type State struct {
 	Config    Config
 	Remaining float64
 	Rounds    int
 	Count     [crowd.NumContexts][]int
 	Payoff    [crowd.NumContexts][]float64
+	// RNGDraws is the number of values drawn from the seeded stream;
+	// zero in snapshots written before this field existed (those keep
+	// the legacy reseed-from-Config.Seed behaviour).
+	RNGDraws uint64
 }
 
 // State captures the policy.
 func (u *UCBALP) State() State {
-	s := State{Config: u.cfg, Remaining: u.remaining, Rounds: u.rounds}
+	s := State{Config: u.cfg, Remaining: u.remaining, Rounds: u.rounds, RNGDraws: u.rngSrc.Pos()}
 	for z := 0; z < crowd.NumContexts; z++ {
 		s.Count[z] = append([]int(nil), u.count[z]...)
 		s.Payoff[z] = mathx.Clone(u.payoff[z])
@@ -54,6 +59,9 @@ func FromState(s State) (*UCBALP, error) {
 	}
 	u.remaining = s.Remaining
 	u.rounds = s.Rounds
+	// NewUCBALP draws nothing during construction, so the snapshot's
+	// absolute position is the skip distance.
+	u.rngSrc.Skip(s.RNGDraws)
 	return u, nil
 }
 

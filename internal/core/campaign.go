@@ -18,6 +18,12 @@ type CampaignConfig struct {
 	Cycles int
 	// ImagesPerCycle is the batch size per cycle (paper: 10).
 	ImagesPerCycle int
+	// StartCycle offsets every cycle index (and with it the default
+	// context schedule): a campaign resumed after crash recovery
+	// continues the index sequence where the previous process stopped,
+	// which the write-ahead cycle log requires. Images are still
+	// consumed from the start of the test slice.
+	StartCycle int
 	// ContextOf maps a cycle index to its temporal context; nil uses a
 	// round-robin schedule (cycle mod 4), which gives the paper's 10
 	// cycles per context over 40 cycles while keeping the context stream
@@ -43,6 +49,9 @@ func (c CampaignConfig) Validate(testSize int) error {
 	}
 	if c.ImagesPerCycle <= 0 {
 		return errors.New("core: ImagesPerCycle must be positive")
+	}
+	if c.StartCycle < 0 {
+		return errors.New("core: StartCycle must be non-negative")
 	}
 	if need := c.Cycles * c.ImagesPerCycle; need > testSize {
 		return fmt.Errorf("core: campaign needs %d images but test set has %d", need, testSize)
@@ -85,18 +94,19 @@ func RunCampaign(scheme Scheme, test []*imagery.Image, cfg CampaignConfig) (*Cam
 	}
 	result := &CampaignResult{SchemeName: scheme.Name(), Records: make([]CycleRecord, 0, cfg.Cycles)}
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		idx := cfg.StartCycle + cycle
 		in := CycleInput{
-			Index:   cycle,
-			Context: cfg.contextOf(cycle),
+			Index:   idx,
+			Context: cfg.contextOf(idx),
 			Images:  test[cycle*cfg.ImagesPerCycle : (cycle+1)*cfg.ImagesPerCycle],
 		}
 		out, err := scheme.RunCycle(in)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), cycle, err)
+			return nil, fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), idx, err)
 		}
 		if len(out.Distributions) != len(in.Images) {
 			return nil, fmt.Errorf("core: %s cycle %d returned %d distributions for %d images",
-				scheme.Name(), cycle, len(out.Distributions), len(in.Images))
+				scheme.Name(), idx, len(out.Distributions), len(in.Images))
 		}
 		result.Records = append(result.Records, CycleRecord{Input: in, Output: out})
 	}

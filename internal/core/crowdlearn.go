@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/crowdlearn/crowdlearn/internal/bandit"
@@ -70,6 +71,12 @@ type Config struct {
 	// Tracer, when non-nil, records one span tree per sensing cycle
 	// covering every pipeline stage. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, receives one JournalCycle record after each
+	// cycle's state mutations have been applied and before RunCycle
+	// returns. A journal append error fails the cycle: callers must not
+	// treat a cycle as committed unless its record is durable. Replayed
+	// cycles (ReplayCycle) are not re-journaled.
+	Journal CycleJournal
 }
 
 // DefaultConfig mirrors the paper's main experiment configuration.
@@ -99,6 +106,9 @@ type CrowdLearn struct {
 	maxMemberCost time.Duration
 	bootstrapped  bool
 	replay        *replayBuffer
+	// replaying is set while ReplayCycle re-executes a journaled cycle;
+	// it suppresses journal emission for the replayed cycle.
+	replaying bool
 }
 
 var _ Scheme = (*CrowdLearn)(nil)
@@ -217,7 +227,31 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 		return CycleOutput{}, errors.New("core: CrowdLearn not bootstrapped")
 	}
 	ct := cl.cfg.Tracer.Begin(in.Index, in.Context.String())
+	// With a journal attached, wrap the platform so every crowd
+	// interaction of this cycle is captured for the durable record.
+	var recorder *recordingPlatform
+	if cl.cfg.Journal != nil && !cl.replaying {
+		recorder = &recordingPlatform{inner: cl.platform}
+		cl.platform = recorder
+	}
 	out, err := cl.runCycle(in, ct)
+	if recorder != nil {
+		cl.platform = recorder.inner
+	}
+	if err == nil && recorder != nil {
+		rec := JournalCycle{
+			Index:       in.Index,
+			Context:     in.Context,
+			ImageIDs:    imageIDs(in.Images),
+			Submissions: recorder.subs,
+		}
+		if jerr := cl.cfg.Journal.CycleCommitted(rec); jerr != nil {
+			// The in-memory mutations stand but the cycle is not durable;
+			// surface that as a cycle failure so the caller does not
+			// acknowledge work the journal cannot replay.
+			err = fmt.Errorf("core: cycle %d applied but journal append failed: %w", in.Index, jerr)
+		}
+	}
 	if err != nil {
 		ct.Fail(err)
 		cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()

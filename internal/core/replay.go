@@ -19,6 +19,7 @@ type replayBuffer struct {
 	pool     []classifier.Sample
 	acquired []classifier.Sample
 	rng      *rand.Rand
+	rngSrc   *mathx.CountingSource
 	// maxAcquired caps the crowd-sample memory; oldest samples are
 	// dropped first.
 	maxAcquired int
@@ -28,11 +29,31 @@ type replayBuffer struct {
 }
 
 func newReplayBuffer(pool []classifier.Sample, seed int64) *replayBuffer {
+	rng, src := mathx.NewCountedRand(seed)
 	return &replayBuffer{
 		pool:        pool,
-		rng:         mathx.NewRand(seed),
+		rng:         rng,
+		rngSrc:      src,
 		maxAcquired: 200,
 		minPoolDraw: 40,
+	}
+}
+
+// snapshot captures the buffer's checkpointable state: the acquired
+// crowd samples and the draw position of the batch-shuffle stream.
+func (b *replayBuffer) snapshot() (acquired []classifier.Sample, rngPos uint64) {
+	return append([]classifier.Sample(nil), b.acquired...), b.rngSrc.Pos()
+}
+
+// restore re-installs a snapshot into a freshly constructed same-seed
+// buffer so future batches are byte-identical to the original's.
+func (b *replayBuffer) restore(acquired []classifier.Sample, rngPos uint64) {
+	b.acquired = append([]classifier.Sample(nil), acquired...)
+	if len(b.acquired) > b.maxAcquired {
+		b.acquired = b.acquired[len(b.acquired)-b.maxAcquired:]
+	}
+	if rngPos > b.rngSrc.Pos() {
+		b.rngSrc.Skip(rngPos - b.rngSrc.Pos())
 	}
 }
 

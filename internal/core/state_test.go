@@ -108,6 +108,77 @@ func TestRestoreStateMissingExpert(t *testing.T) {
 	}
 }
 
+// TestRestoreStateRejectsIncompatibleConfig: a checkpoint from a
+// system with a different bandit budget, horizon or incentive menu must
+// be refused up front — applying it would silently mix two deployments'
+// accounting — and the refusal must leave the target system untouched.
+func TestRestoreStateRejectsIncompatibleConfig(t *testing.T) {
+	f := sharedFixture(t)
+	cl := newBootstrappedCrowdLearn(t, f)
+	var buf bytes.Buffer
+	if err := cl.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"budget", func(c *Config) { c.Bandit.BudgetDollars *= 2 }},
+		{"rounds", func(c *Config) { c.Bandit.TotalRounds++ }},
+		{"queries per round", func(c *Config) { c.QuerySize++ }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			m.mutate(&cfg)
+			other, err := New(cfg, freshPlatform())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var before bytes.Buffer
+			if err := other.SaveState(&before); err != nil {
+				t.Fatal(err)
+			}
+			if err := other.RestoreState(bytes.NewReader(buf.Bytes()), nil); err == nil {
+				t.Fatal("incompatible checkpoint must be rejected")
+			}
+			var after bytes.Buffer
+			if err := other.SaveState(&after); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(before.Bytes(), after.Bytes()) {
+				t.Error("rejected restore mutated the system")
+			}
+		})
+	}
+}
+
+// TestRestoreStateBoundsInput: RestoreState must stop reading at
+// MaxStateBytes rather than letting a hostile stream allocate without
+// limit.
+func TestRestoreStateBoundsInput(t *testing.T) {
+	cl, err := New(DefaultConfig(), freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An endless stream of zeros: without the limit the decoder would
+	// read forever; with it the decode fails once the cap is hit.
+	err = cl.RestoreState(endlessZeros{}, nil)
+	if err == nil {
+		t.Error("unbounded stream must be rejected")
+	}
+}
+
+type endlessZeros struct{}
+
+func (endlessZeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
 func TestUnbootstrappedSystemCanBeSavedAndRestored(t *testing.T) {
 	cl, err := New(DefaultConfig(), freshPlatform())
 	if err != nil {

@@ -1,0 +1,56 @@
+package mathx
+
+import "math/rand"
+
+// CountingSource wraps the standard deterministic source and counts how
+// many values have been drawn from it, which makes a random stream's
+// position part of checkpointable state: reconstructing the generator
+// with NewCountedRand(seed) and calling Skip(pos) reproduces it exactly
+// as it stood after pos draws.
+//
+// Counting at the Source level is exact: every math/rand.Rand method
+// bottoms out in Int63/Uint64 calls on its Source, and each such call
+// advances the underlying generator by exactly one step.
+type CountingSource struct {
+	src rand.Source64
+	pos uint64
+}
+
+var _ rand.Source64 = (*CountingSource)(nil)
+
+// NewCountedRand returns a deterministic generator seeded like NewRand,
+// along with the counting source that tracks its draw position.
+func NewCountedRand(seed int64) (*rand.Rand, *CountingSource) {
+	src := &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return rand.New(src), src
+}
+
+// Int63 implements rand.Source.
+func (s *CountingSource) Int63() int64 {
+	s.pos++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountingSource) Uint64() uint64 {
+	s.pos++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source and resets the position to zero.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.pos = 0
+}
+
+// Pos reports how many values have been drawn since the last seed.
+func (s *CountingSource) Pos() uint64 { return s.pos }
+
+// Skip fast-forwards the stream by n draws without handing the values
+// to anyone — the restore half of the Pos/Skip checkpoint contract.
+func (s *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.pos += n
+}

@@ -168,6 +168,9 @@ type Network struct {
 	cfg     Config
 	layers  []*layer
 	rng     *randSource
+	// rngSrc counts draws on the seeded stream behind rng, making the
+	// shuffle position checkpointable (State.RNGDraws).
+	rngSrc  *mathx.CountingSource
 	inDim   int
 	classes int
 	// inferScratch pools per-call forward buffers, making Predict and
@@ -209,8 +212,8 @@ func New(inDim, classes int, cfg Config) (*Network, error) {
 	if cfg.HiddenActivation == 0 {
 		cfg.HiddenActivation = ReLU
 	}
-	rng := mathx.NewRand(cfg.Seed)
-	n := &Network{cfg: cfg, rng: &randSource{r: rng}, inDim: inDim, classes: classes}
+	rng, src := mathx.NewCountedRand(cfg.Seed)
+	n := &Network{cfg: cfg, rng: &randSource{r: rng}, rngSrc: src, inDim: inDim, classes: classes}
 
 	prev := inDim
 	for _, h := range cfg.Hidden {
@@ -545,6 +548,7 @@ func (n *Network) Clone() *Network {
 	cp := &Network{
 		cfg:      n.cfg,
 		rng:      n.rng, // deliberately shared: clone continues the stream
+		rngSrc:   n.rngSrc,
 		inDim:    n.inDim,
 		classes:  n.classes,
 		adamStep: n.adamStep,

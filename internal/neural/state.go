@@ -20,10 +20,9 @@ type LayerState struct {
 }
 
 // State is the serialisable form of a Network: everything needed to
-// resume inference and training except the RNG stream, which is reseeded
-// from Config.Seed on restore (restored networks therefore replay the
-// same future shuffle order as a freshly constructed one — acceptable for
-// checkpoint/restore, and fully deterministic).
+// resume inference and training, including the position of the seeded
+// RNG stream so a restored network shuffles future epochs exactly as
+// the original would have.
 type State struct {
 	Config  Config
 	InDim   int
@@ -31,6 +30,13 @@ type State struct {
 	Layers  []LayerState
 	// AdamStep carries the optimizer's bias-correction counter.
 	AdamStep int
+	// RNGDraws is the absolute number of values the network has drawn
+	// from its seeded stream (weight init included). FromState
+	// fast-forwards a fresh same-seed stream to this position, so
+	// training after a restore is byte-identical to training without
+	// one. Zero in snapshots written before this field existed: those
+	// restore with the pre-existing replay-from-reseed behaviour.
+	RNGDraws uint64
 }
 
 // State captures the network's current parameters.
@@ -41,6 +47,7 @@ func (n *Network) State() State {
 		Classes:  n.classes,
 		Layers:   make([]LayerState, len(n.layers)),
 		AdamStep: n.adamStep,
+		RNGDraws: n.rngSrc.Pos(),
 	}
 	// Execution parallelism is not model state: a checkpoint taken at any
 	// worker count must serialise identically.
@@ -98,6 +105,13 @@ func FromState(s State) (*Network, error) {
 		l.mb = mathx.Clone(ls.MB)
 	}
 	n.adamStep = s.AdamStep
+	// New has already consumed the weight-init draws; advance the
+	// remaining distance to the snapshot's absolute position. A
+	// snapshot from before RNGDraws existed decodes as zero and keeps
+	// the legacy reseed-from-Config behaviour.
+	if s.RNGDraws > n.rngSrc.Pos() {
+		n.rngSrc.Skip(s.RNGDraws - n.rngSrc.Pos())
+	}
 	return n, nil
 }
 

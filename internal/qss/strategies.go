@@ -112,6 +112,7 @@ type StrategySelector struct {
 	// sequential ε-greedy draw are identical at any value.
 	Workers int
 	rng     *rand.Rand
+	rngSrc  *mathx.CountingSource
 }
 
 // NewStrategySelector builds a selector over the given strategy.
@@ -122,7 +123,20 @@ func NewStrategySelector(strategy Strategy, epsilon float64, seed int64) (*Strat
 	if epsilon < 0 || epsilon > 1 {
 		return nil, fmt.Errorf("qss: epsilon %v outside [0, 1]", epsilon)
 	}
-	return &StrategySelector{Epsilon: epsilon, Strategy: strategy, rng: mathx.NewRand(seed)}, nil
+	rng, src := mathx.NewCountedRand(seed)
+	return &StrategySelector{Epsilon: epsilon, Strategy: strategy, rng: rng, rngSrc: src}, nil
+}
+
+// RNGPos reports the ε-greedy stream's draw position, for checkpoints.
+func (s *StrategySelector) RNGPos() uint64 { return s.rngSrc.Pos() }
+
+// SeekRNG fast-forwards the ε-greedy stream to an absolute position
+// recorded by RNGPos on a selector with the same seed. Positions behind
+// the current one are ignored (streams cannot rewind).
+func (s *StrategySelector) SeekRNG(pos uint64) {
+	if pos > s.rngSrc.Pos() {
+		s.rngSrc.Skip(pos - s.rngSrc.Pos())
+	}
 }
 
 // Select mirrors Selector.Select with the pluggable score.

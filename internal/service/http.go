@@ -314,9 +314,16 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	// Degraded is still 200: the service is serving (on AI labels), so
 	// load balancers must not eject it — but operators should look.
+	body := map[string]any{"status": "ok"}
 	if h.svc.Degraded() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded"})
-		return
+		body["status"] = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if h.svc.checkpointAge != nil {
+		if age, ok := h.svc.checkpointAge(); ok {
+			body["lastCheckpointAgeSeconds"] = age.Seconds()
+		} else {
+			body["lastCheckpointAgeSeconds"] = nil
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -91,6 +91,27 @@ type Stats struct {
 	// ExpertWeights maps committee expert names to their current weights;
 	// nil when the scheme does not expose them.
 	ExpertWeights map[string]float64 `json:"expertWeights,omitempty"`
+	// Recovery describes the startup state recovery (WithRecovery);
+	// nil when the service runs without a durable store.
+	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+}
+
+// RecoveryStatus mirrors the persistence layer's recovery report for
+// the /stats surface: how the process's state was reconstructed at
+// startup.
+type RecoveryStatus struct {
+	// Outcome: "fresh", "checkpoint", "checkpoint+wal", "wal" or
+	// "bootstrap-fallback".
+	Outcome string `json:"outcome"`
+	// CheckpointCycles is the restored checkpoint's committed-cycle
+	// count (-1 if none was usable).
+	CheckpointCycles int `json:"checkpointCycles"`
+	// CheckpointsSkipped counts corrupt or torn checkpoints skipped.
+	CheckpointsSkipped int `json:"checkpointsSkipped"`
+	// CyclesReplayed counts write-ahead-log cycles re-applied.
+	CyclesReplayed int `json:"cyclesReplayed"`
+	// WALTruncatedBytes is the torn log tail dropped at startup.
+	WALTruncatedBytes int64 `json:"walTruncatedBytes"`
 }
 
 // Observable is the optional telemetry surface a scheme may implement
@@ -125,6 +146,10 @@ type Service struct {
 	delayTotal time.Duration
 	delayed    int
 	recent     []Response
+
+	// checkpointAge, when non-nil, lets /healthz report the time since
+	// the persistence layer's last checkpoint (WithCheckpointAge).
+	checkpointAge func() (time.Duration, bool)
 }
 
 // recentCapacity bounds the in-memory response history used by the
@@ -194,6 +219,29 @@ func WithQueueDepth(n int) Option {
 // context.DeadlineExceeded. Zero (the default) disables the cap.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Service) { s.requestTimeout = d }
+}
+
+// WithStartCycle sets the index of the first sensing cycle, so a
+// service resumed from recovered state continues the cycle sequence
+// (and the bandit's round pacing) where the previous process stopped.
+func WithStartCycle(n int) Option {
+	return func(s *Service) {
+		if n > 0 {
+			s.nextCycle = n
+		}
+	}
+}
+
+// WithRecovery publishes the startup recovery outcome in /stats.
+func WithRecovery(rs *RecoveryStatus) Option {
+	return func(s *Service) { s.stats.Recovery = rs }
+}
+
+// WithCheckpointAge wires the persistence layer's last-checkpoint age
+// into /healthz; the callback reports ok=false until a checkpoint
+// exists.
+func WithCheckpointAge(age func() (time.Duration, bool)) Option {
+	return func(s *Service) { s.checkpointAge = age }
 }
 
 // New wraps a scheme. The scheme must already be trained/bootstrapped.

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// FaultConfig seeds deterministic persistence faults, in the spirit of
+// internal/faults for the crowd platform: each rate is the probability
+// that the corresponding failure mode fires on one write operation, and
+// a given seed always produces the same fault sequence. Zero value =
+// no faults. Test-only: production opens stores without faults.
+type FaultConfig struct {
+	Seed int64
+	// TornCheckpointRate: the checkpoint lands renamed into place but
+	// holding only a prefix of its bytes — what a crash between rename
+	// and data flush (or later media corruption) leaves behind. The
+	// write call reports failure; recovery must detect and skip the
+	// file by checksum.
+	TornCheckpointRate float64
+	// RenameFailRate: the checkpoint temp file is written but the
+	// atomic rename fails, leaving only the temp file (cleaned up on
+	// the next Open) — a crash between write and rename.
+	RenameFailRate float64
+	// TornWALRate: a WAL append writes only a prefix of the framed
+	// record and fails — a crash mid-append. The next Open must
+	// truncate the torn tail.
+	TornWALRate float64
+}
+
+func (c FaultConfig) enabled() bool {
+	return c.TornCheckpointRate > 0 || c.RenameFailRate > 0 || c.TornWALRate > 0
+}
+
+// validate rejects rates outside [0,1].
+func (c FaultConfig) validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"TornCheckpointRate", c.TornCheckpointRate},
+		{"RenameFailRate", c.RenameFailRate},
+		{"TornWALRate", c.TornWALRate},
+	} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("store: %s %v outside [0,1]", r.name, r.rate)
+		}
+	}
+	return nil
+}
+
+// faultInjector draws the fault decisions from a seeded stream.
+type faultInjector struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+func newFaultInjector(cfg FaultConfig) *faultInjector {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &faultInjector{cfg: cfg, rng: mathx.NewRand(cfg.Seed)}
+}
+
+// tornCheckpoint decides whether this checkpoint write is torn, and if
+// so how many of n bytes survive (at least one header byte missing or
+// payload cut, so the checksum cannot accidentally hold).
+func (f *faultInjector) tornCheckpoint(n int) (keep int, torn bool) {
+	if f == nil || !mathx.Bernoulli(f.rng, f.cfg.TornCheckpointRate) {
+		return n, false
+	}
+	if n <= 1 {
+		return 0, true
+	}
+	return f.rng.Intn(n-1) + 1, true
+}
+
+// failRename decides whether this checkpoint's rename fails.
+func (f *faultInjector) failRename() bool {
+	return f != nil && mathx.Bernoulli(f.rng, f.cfg.RenameFailRate)
+}
+
+// tornWAL decides whether this WAL append is torn, and how many of n
+// framed bytes reach the file.
+func (f *faultInjector) tornWAL(n int) (keep int, torn bool) {
+	if f == nil || !mathx.Bernoulli(f.rng, f.cfg.TornWALRate) {
+		return n, false
+	}
+	if n <= 1 {
+		return 0, true
+	}
+	return f.rng.Intn(n-1) + 1, true
+}

@@ -1,0 +1,148 @@
+// Package store is CrowdLearn's durable, crash-safe persistence layer.
+//
+// Two kinds of files live in a state directory:
+//
+//   - Checkpoint files (checkpoint-NNNNNNNNNN.ckpt) hold a full
+//     core.SaveState snapshot behind a checksummed, versioned header.
+//     They are written atomically: temp file → fsync → rename → dir
+//     fsync, then rotated so only the newest K are retained.
+//
+//   - A write-ahead cycle log (wal.log) appends one checksummed,
+//     length-framed record per committed sensing cycle — the
+//     core.JournalCycle with every crowd interaction's outcome. A crash
+//     can leave at most a torn final record, which Open truncates.
+//
+// Recover scans checkpoints newest→oldest, skips any whose checksum or
+// framing is bad, restores the newest good one, and deterministically
+// re-applies the WAL suffix through the existing MIC/calibration path
+// (core.ReplayCycle), yielding state byte-identical to a process that
+// never crashed. DESIGN.md §10 documents the formats and semantics.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// File-format constants. Versions gate decoding: a reader rejects
+// versions it does not know rather than guessing at layout.
+const (
+	checkpointMagic   = "CLCP"
+	walMagic          = "CLWL"
+	formatVersion     = 1
+	checkpointHdrSize = 4 + 2 + 2 + 8 + 8 + 4 // magic, version, reserved, cycles, length, crc
+	walHdrSize        = 4 + 2 + 2             // magic, version, reserved
+	walRecHdrSize     = 4 + 4                 // length, crc
+
+	// maxCheckpointPayload and maxWALRecord bound what a parser will
+	// believe about a length field, so corrupt headers cannot demand
+	// absurd allocations.
+	maxCheckpointPayload = 1 << 30
+	maxWALRecord         = 256 << 20
+)
+
+// castagnoli is the CRC-32C polynomial table; the same checksum guards
+// checkpoint payloads and WAL records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeCheckpoint frames a SaveState payload. cycles is the number of
+// committed sensing cycles the snapshot covers (0 = freshly
+// bootstrapped); recovery replays WAL records at index ≥ cycles.
+func encodeCheckpoint(cycles int, payload []byte) []byte {
+	buf := make([]byte, checkpointHdrSize+len(payload))
+	copy(buf[0:4], checkpointMagic)
+	binary.BigEndian.PutUint16(buf[4:6], formatVersion)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(cycles))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(len(payload)))
+	binary.BigEndian.PutUint32(buf[24:28], crc32.Checksum(payload, castagnoli))
+	copy(buf[checkpointHdrSize:], payload)
+	return buf
+}
+
+// parseCheckpoint validates a checkpoint file image and returns the
+// covered-cycle count and the SaveState payload. It never panics on
+// hostile input (FuzzOpenCheckpoint).
+func parseCheckpoint(data []byte) (cycles int, payload []byte, err error) {
+	if len(data) < checkpointHdrSize {
+		return 0, nil, fmt.Errorf("store: checkpoint truncated: %d bytes, header needs %d", len(data), checkpointHdrSize)
+	}
+	if string(data[0:4]) != checkpointMagic {
+		return 0, nil, fmt.Errorf("store: bad checkpoint magic %q", data[0:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != formatVersion {
+		return 0, nil, fmt.Errorf("store: unsupported checkpoint version %d", v)
+	}
+	c := binary.BigEndian.Uint64(data[8:16])
+	n := binary.BigEndian.Uint64(data[16:24])
+	if c > maxCheckpointPayload { // cycle counts are small; a huge value is corruption
+		return 0, nil, fmt.Errorf("store: checkpoint cycle count %d implausible", c)
+	}
+	if n > maxCheckpointPayload {
+		return 0, nil, fmt.Errorf("store: checkpoint claims %d payload bytes (limit %d)", n, maxCheckpointPayload)
+	}
+	if uint64(len(data)-checkpointHdrSize) != n {
+		return 0, nil, fmt.Errorf("store: checkpoint torn: header claims %d payload bytes, file has %d",
+			n, len(data)-checkpointHdrSize)
+	}
+	payload = data[checkpointHdrSize:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(data[24:28]); got != want {
+		return 0, nil, fmt.Errorf("store: checkpoint payload CRC mismatch: %08x != %08x", got, want)
+	}
+	return int(c), payload, nil
+}
+
+// encodeWALHeader frames the write-ahead log's file header.
+func encodeWALHeader() []byte {
+	buf := make([]byte, walHdrSize)
+	copy(buf[0:4], walMagic)
+	binary.BigEndian.PutUint16(buf[4:6], formatVersion)
+	return buf
+}
+
+// parseWALHeader validates the WAL file header.
+func parseWALHeader(data []byte) error {
+	if len(data) < walHdrSize {
+		return fmt.Errorf("store: WAL header truncated: %d bytes", len(data))
+	}
+	if string(data[0:4]) != walMagic {
+		return fmt.Errorf("store: bad WAL magic %q", data[0:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != formatVersion {
+		return fmt.Errorf("store: unsupported WAL version %d", v)
+	}
+	return nil
+}
+
+// encodeWALRecord frames one record payload.
+func encodeWALRecord(payload []byte) []byte {
+	buf := make([]byte, walRecHdrSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[walRecHdrSize:], payload)
+	return buf
+}
+
+// scanWALRecords walks the record region of a WAL image (header already
+// stripped) and returns every intact record payload plus the byte count
+// of the valid prefix. The first torn or corrupt record ends the scan:
+// everything from it onward is the tail to truncate. Never panics on
+// hostile input (FuzzWALScan).
+func scanWALRecords(data []byte) (payloads [][]byte, valid int) {
+	pos := 0
+	for {
+		if len(data)-pos < walRecHdrSize {
+			return payloads, pos
+		}
+		n := binary.BigEndian.Uint32(data[pos : pos+4])
+		if n > maxWALRecord || uint64(pos+walRecHdrSize)+uint64(n) > uint64(len(data)) {
+			return payloads, pos
+		}
+		payload := data[pos+walRecHdrSize : pos+walRecHdrSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(data[pos+4:pos+8]) {
+			return payloads, pos
+		}
+		payloads = append(payloads, payload)
+		pos += walRecHdrSize + int(n)
+	}
+}

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+)
+
+// walCycle builds a minimal journal record for WAL framing tests; the
+// heavier replay-correctness tests in recover_test.go use real cycles.
+func walCycle(i int) core.JournalCycle {
+	return core.JournalCycle{
+		Index:    i,
+		Context:  crowd.TemporalContext(i % crowd.NumContexts),
+		ImageIDs: []int{i * 10, i*10 + 1},
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestOpenRejectsBadOptions(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("empty dir must error")
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), RetainCheckpoints: -1}); err == nil {
+		t.Error("negative retention must error")
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, err := s.AppendCycle(walCycle(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	got := s2.WALCycles()
+	if len(got) != 3 {
+		t.Fatalf("reopened WAL has %d records, want 3", len(got))
+	}
+	for i, rec := range got {
+		if rec.Index != i || len(rec.ImageIDs) != 2 || rec.ImageIDs[0] != i*10 {
+			t.Errorf("record %d round-tripped as %+v", i, rec)
+		}
+	}
+	if s2.WALTruncatedBytes() != 0 {
+		t.Errorf("clean WAL reported %d truncated bytes", s2.WALTruncatedBytes())
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 2; i++ {
+		if _, err := s.AppendCycle(walCycle(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a partial record frame at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeWALRecord([]byte("torn"))[:5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if got := s2.WALCycles(); len(got) != 2 {
+		t.Fatalf("torn WAL recovered %d records, want 2", len(got))
+	}
+	if s2.WALTruncatedBytes() != 5 {
+		t.Errorf("truncated %d bytes, want 5", s2.WALTruncatedBytes())
+	}
+	// The log must accept appends after truncation, and a further reopen
+	// must see the full healed sequence.
+	if _, err := s2.AppendCycle(walCycle(2)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, Options{Dir: dir})
+	if got := s3.WALCycles(); len(got) != 3 || s3.WALTruncatedBytes() != 0 {
+		t.Errorf("healed WAL reopened with %d records, %d truncated bytes", len(got), s3.WALTruncatedBytes())
+	}
+}
+
+func TestWALCorruptHeaderStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	if _, err := s.AppendCycle(walCycle(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if got := s2.WALCycles(); len(got) != 0 {
+		t.Errorf("damaged WAL yielded %d records", len(got))
+	}
+	if s2.WALTruncatedBytes() != int64(len(data)) {
+		t.Errorf("reported %d bytes lost, want %d", s2.WALTruncatedBytes(), len(data))
+	}
+	if !s2.walDamaged {
+		t.Error("damaged header not flagged")
+	}
+	if _, err := s2.AppendCycle(walCycle(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCorruptMiddleRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, err := s.AppendCycle(walCycle(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit in the second record: it and the third record
+	// form the untrusted tail.
+	payloads, _ := scanWALRecords(data[walHdrSize:])
+	firstLen := walRecHdrSize + len(payloads[0])
+	data[walHdrSize+firstLen+walRecHdrSize] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if got := s2.WALCycles(); len(got) != 1 || got[0].Index != 0 {
+		t.Errorf("corrupt-middle WAL yielded %d records", len(got))
+	}
+	if s2.WALTruncatedBytes() <= 0 {
+		t.Error("corruption dropped no bytes")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	s.Close()
+	if _, err := s.AppendCycle(walCycle(0)); err == nil {
+		t.Error("append on closed store must error")
+	}
+}
+
+func savePayload(p []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(p)
+		return err
+	}
+}
+
+func TestWriteCheckpointAndReadBack(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	payload := []byte("system state snapshot")
+	n, err := s.WriteCheckpoint(4, savePayload(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(checkpointHdrSize+len(payload)) {
+		t.Errorf("reported %d bytes", n)
+	}
+	infos, err := s.listCheckpoints()
+	if err != nil || len(infos) != 1 || infos[0].cycles != 4 {
+		t.Fatalf("listCheckpoints = %v, %v", infos, err)
+	}
+	got, err := s.readCheckpoint(infos[0])
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("readCheckpoint = %q, %v", got, err)
+	}
+}
+
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, RetainCheckpoints: 2})
+	for cycles := 1; cycles <= 5; cycles++ {
+		if _, err := s.WriteCheckpoint(cycles, savePayload([]byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.listCheckpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].cycles != 5 || infos[1].cycles != 4 {
+		t.Errorf("retention kept %v", infos)
+	}
+}
+
+func TestOpenRemovesStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, checkpointName(3)+tmpSuffix)
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, Options{Dir: dir})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived Open")
+	}
+}
+
+func TestListCheckpointsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for _, name := range []string{"checkpoint-abc.ckpt", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.listCheckpoints()
+	if err != nil || len(infos) != 0 {
+		t.Errorf("listCheckpoints = %v, %v", infos, err)
+	}
+}
+
+func TestFaultTornCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Faults: FaultConfig{Seed: 1, TornCheckpointRate: 1}})
+	_, err := s.WriteCheckpoint(2, savePayload([]byte("state that will tear")))
+	if err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn write reported %v", err)
+	}
+	// The torn file is in place (the fault models corruption surviving
+	// the rename) and must fail its checksum on read.
+	infos, lerr := s.listCheckpoints()
+	if lerr != nil || len(infos) != 1 {
+		t.Fatalf("listCheckpoints = %v, %v", infos, lerr)
+	}
+	if _, rerr := s.readCheckpoint(infos[0]); rerr == nil {
+		t.Error("torn checkpoint passed validation")
+	}
+}
+
+func TestFaultRenameFail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Faults: FaultConfig{Seed: 1, RenameFailRate: 1}})
+	if _, err := s.WriteCheckpoint(2, savePayload([]byte("state"))); err == nil {
+		t.Fatal("failed rename must error")
+	}
+	// The crash left the temp file behind; no checkpoint exists.
+	tmp := filepath.Join(dir, checkpointName(2)+tmpSuffix)
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("temp file missing after simulated rename crash: %v", err)
+	}
+	if infos, _ := s.listCheckpoints(); len(infos) != 0 {
+		t.Errorf("checkpoint appeared despite failed rename: %v", infos)
+	}
+	s.Close()
+	// The next process's Open sweeps the debris.
+	mustOpen(t, Options{Dir: dir})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("reopen did not clean the stale temp file")
+	}
+}
+
+func TestFaultTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Faults: FaultConfig{Seed: 1, TornWALRate: 1}})
+	if _, err := s.AppendCycle(walCycle(0)); err == nil {
+		t.Fatal("torn WAL append must error")
+	}
+	s.Close()
+	// Reopen truncates the partial frame; the log is healthy again.
+	s2 := mustOpen(t, Options{Dir: dir})
+	if got := s2.WALCycles(); len(got) != 0 {
+		t.Errorf("torn append left %d readable records", len(got))
+	}
+	if s2.WALTruncatedBytes() <= 0 {
+		t.Error("torn tail not counted")
+	}
+	if _, err := s2.AppendCycle(walCycle(0)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, Options{Dir: dir})
+	if got := s3.WALCycles(); len(got) != 1 {
+		t.Errorf("healed WAL has %d records", len(got))
+	}
+}
+
+func TestFaultRatesValidated(t *testing.T) {
+	for _, bad := range []FaultConfig{
+		{TornCheckpointRate: -0.1},
+		{TornCheckpointRate: 1.5},
+		{RenameFailRate: 2},
+		{TornWALRate: -1},
+	} {
+		if _, err := Open(Options{Dir: t.TempDir(), Faults: bad}); err == nil {
+			t.Errorf("fault config %+v accepted", bad)
+		}
+	}
+}
