@@ -2,15 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-equivalence crash-recovery bench bench-json cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet lint test race race-equivalence crash-recovery bench bench-json cover-obs faults fuzz artefacts report clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The static-analysis gate: formatting, go vet, and crowdlint — the
+# custom stdlib-only rule suite (internal/lint) that enforces the
+# repo's determinism, durability and concurrency invariants
+# (DESIGN.md §11). Fails on any unformatted file, vet finding, or
+# crowdlint diagnostic.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/crowdlint ./...
 
 # -shuffle=on randomises test execution order to flush out inter-test
 # state dependence.

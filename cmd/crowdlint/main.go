@@ -1,0 +1,167 @@
+// Command crowdlint runs crowdlearn's custom static-analysis suite
+// (internal/lint): stdlib-only rules that enforce the repo's
+// determinism, durability and concurrency invariants at analysis time
+// instead of waiting for an equivalence test to catch the divergence.
+//
+// Usage:
+//
+//	crowdlint [flags] [packages]
+//
+// Packages are directories; a trailing /... checks the subtree. With no
+// arguments, ./... is assumed. Exit status is 0 when clean, 1 when any
+// diagnostic is reported, 2 on usage or load errors.
+//
+// Flags:
+//
+//	-json    emit diagnostics as a JSON array instead of text
+//	-rules   comma-separated rule subset to run (default: all)
+//	-tests   also lint _test.go files
+//	-list    print the available rules and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/crowdlearn/crowdlearn/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the stable machine-readable shape of one finding.
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crowdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	withTests := fs.Bool("tests", false, "also lint _test.go files")
+	list := fs.Bool("list", false, "print available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Fprintf(stdout, "%-28s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	if *ruleList != "" {
+		selected, err := selectRules(rules, *ruleList)
+		if err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+		rules = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := lint.Config{IncludeTests: *withTests}
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		loaded, err := load(pat, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+		for _, p := range loaded {
+			if p != nil && !seen[p.Dir] {
+				seen[p.Dir] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := lint.NewRunner(rules).Run(pkgs)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiagnostic{
+				Rule:    d.Rule,
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "crowdlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// load resolves one pattern: dir/... walks the subtree, a plain dir is
+// a single package.
+func load(pattern string, cfg lint.Config) ([]*lint.Package, error) {
+	if root, ok := strings.CutSuffix(pattern, "/..."); ok {
+		if root == "" {
+			root = "."
+		}
+		return lint.LoadTree(root, cfg)
+	}
+	pkg, err := lint.LoadDir(pattern, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, nil
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+// selectRules filters the rule set by name.
+func selectRules(all []lint.Rule, spec string) ([]lint.Rule, error) {
+	byName := make(map[string]lint.Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []lint.Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (use -list)", name)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -rules selection")
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/fixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// chdir switches into dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+const dirtyFile = `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func roll() int { return rand.Intn(6) }
+
+func stamp() int64 { return time.Now().Unix() }
+`
+
+func TestDirtyTreeExitsOne(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"internal/p/p.go:8:26: no-global-rand:",
+		"internal/p/p.go:10:29: no-wall-clock:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", stderr.String())
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/p/p.go": "package p\n\nfunc ok() int { return 1 }\n",
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output: %s", stdout.String())
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	first := diags[0]
+	if first.Rule != "no-global-rand" || first.File != "internal/p/p.go" ||
+		first.Line != 8 || first.Col != 26 || !strings.Contains(first.Message, "rand.Intn") {
+		t.Errorf("unexpected first diagnostic: %+v", first)
+	}
+	if diags[1].Rule != "no-wall-clock" {
+		t.Errorf("unexpected second diagnostic: %+v", diags[1])
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "no-global-rand"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout.String(), "no-wall-clock") {
+		t.Errorf("unselected rule ran: %s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-rules", "no-such-rule"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown rule: exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr missing unknown-rule error: %s", stderr.String())
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, rule := range []string{
+		"no-wall-clock", "no-global-rand", "ordered-map-range",
+		"no-copied-locks-by-value", "checked-errors-in-store",
+	} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": "package p\n\nfunc broken( {\n"})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}

@@ -123,8 +123,8 @@ type UCBALP struct {
 	rng       *rand.Rand
 	rngSrc    *mathx.CountingSource // tracks rng's draw position for State
 	remaining float64               // dollars
-	refunded  float64 // dollars returned for unanswered HITs (flow counter)
-	rounds    int     // rounds observed so far
+	refunded  float64               // dollars returned for unanswered HITs (flow counter)
+	rounds    int                   // rounds observed so far
 	// Per (context, arm) statistics.
 	count  [crowd.NumContexts][]int
 	payoff [crowd.NumContexts][]float64 // running mean payoff

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixtureModule lays out a throwaway module so loader tests can
+// exercise module-root discovery and tree walking in isolation.
+func writeFixtureModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.com/fixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadTreeWalksAndSkips(t *testing.T) {
+	root := writeFixtureModule(t, map[string]string{
+		"a/a.go":            "package a\n",
+		"a/a_test.go":       "package a\n",
+		"a/testdata/t.go":   "package tdata\n",
+		"b/deep/d.go":       "package deep\n",
+		".hidden/h.go":      "package h\n",
+		"_skipme/s.go":      "package s\n",
+		"b/vendor/v/v.go":   "package v\n",
+		"b/deep/notgo.text": "not go\n",
+	})
+	pkgs, err := LoadTree(root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []string
+	for _, p := range pkgs {
+		rels = append(rels, p.RelPath)
+	}
+	want := []string{"a", "b/deep"}
+	if strings.Join(rels, ",") != strings.Join(want, ",") {
+		t.Fatalf("loaded %v, want %v", rels, want)
+	}
+	// Test files excluded by default, included on request.
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Fatalf("package a has %d files, want 1 (tests excluded)", n)
+	}
+	pkgs, err = LoadTree(root, Config{IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(pkgs[0].Files); n != 2 {
+		t.Fatalf("package a has %d files with IncludeTests, want 2", n)
+	}
+}
+
+func TestLoadDirRelPaths(t *testing.T) {
+	root := writeFixtureModule(t, map[string]string{
+		"internal/x/x.go": "package x\n",
+	})
+	pkg, err := LoadDir(filepath.Join(root, "internal", "x"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.RelPath != "internal/x" {
+		t.Fatalf("RelPath = %q, want internal/x", pkg.RelPath)
+	}
+	if got := pkg.Files[0].Name; got != "internal/x/x.go" {
+		t.Fatalf("file name = %q, want internal/x/x.go", got)
+	}
+}
+
+func TestSuppressionPlacement(t *testing.T) {
+	root := writeFixtureModule(t, map[string]string{
+		"p/p.go": `package p
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //lint:ignore no-wall-clock same-line directive
+}
+
+func lineAbove() time.Time {
+	//lint:ignore no-wall-clock directive on the line above
+	return time.Now()
+}
+
+func twoAbove() time.Time {
+	//lint:ignore no-wall-clock too far away to apply
+
+	return time.Now()
+}
+
+func wrongRule() time.Time {
+	//lint:ignore no-global-rand names a different rule
+	return time.Now()
+}
+
+func multiRule() time.Time {
+	//lint:ignore no-global-rand,no-wall-clock comma list covers both
+	return time.Now()
+}
+`,
+	})
+	pkgs, err := LoadTree(root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := render(NewRunner([]Rule{NewWallClock([]string{})}).Run(pkgs))
+	want := []string{
+		"p.go 17:9 no-wall-clock", // twoAbove: directive separated by a blank line
+		"p.go 22:9 no-wall-clock", // wrongRule
+	}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Rule:    "no-wall-clock",
+		Pos:     token.Position{Filename: "internal/core/state.go", Line: 12, Column: 7},
+		Message: "boom",
+	}
+	want := "internal/core/state.go:12:7: no-wall-clock: boom"
+	if d.String() != want {
+		t.Fatalf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func TestRunOrderingIsDeterministic(t *testing.T) {
+	root := writeFixtureModule(t, map[string]string{
+		"p/b.go": "package p\n\nimport \"time\"\n\nfunc b() time.Time { return time.Now() }\n",
+		"p/a.go": "package p\n\nimport \"time\"\n\nfunc a() time.Time { return time.Now() }\nfunc a2() time.Time { return time.Now() }\n",
+	})
+	runner := NewRunner([]Rule{NewWallClock([]string{})})
+	pkgs, err := LoadTree(root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.Join(render(runner.Run(pkgs)), ";")
+	want := "a.go 5:29 no-wall-clock;a.go 6:30 no-wall-clock;b.go 5:29 no-wall-clock"
+	if first != want {
+		t.Fatalf("ordering: got %q, want %q", first, want)
+	}
+	for i := 0; i < 5; i++ {
+		pkgs, err := LoadTree(root, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again := strings.Join(render(runner.Run(pkgs)), ";"); again != first {
+			t.Fatalf("run %d produced different output:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SourceFile is one parsed file. Name is the path handed to the parser
+// (module-root-relative when loaded through LoadTree), which is what
+// appears in diagnostic positions.
+type SourceFile struct {
+	Name string
+	AST  *ast.File
+}
+
+// Package is one directory's worth of parsed Go files — the unit rules
+// operate on. Loading is purely syntactic (no type checking, no export
+// data), which keeps the tool dependency-free and fast; rules use
+// conservative AST heuristics instead of go/types.
+type Package struct {
+	// RelPath is the module-root-relative directory with forward
+	// slashes, e.g. "internal/qss". Allow/deny lists match against it.
+	RelPath string
+	// Dir is the absolute directory.
+	Dir  string
+	Fset *token.FileSet
+	// Files are sorted by name so every run visits them in the same
+	// order.
+	Files []*SourceFile
+	// TopLevelNames indexes every package-level identifier declared in
+	// the package, used to detect shadowed import names.
+	TopLevelNames map[string]bool
+}
+
+// Config controls loading.
+type Config struct {
+	// IncludeTests loads _test.go files too. Off by default: tests
+	// legitimately measure wall time and seed throwaway generators, and
+	// the invariants under enforcement are about state that crosses a
+	// checkpoint boundary.
+	IncludeTests bool
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// skipDir reports whether a directory subtree is excluded from the
+// walk: VCS metadata, testdata fixtures (not compiled by the go tool),
+// and hidden or underscore-prefixed directories, mirroring the go
+// tool's package-walking rules.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadTree recursively loads every package under root (itself included)
+// into a shared FileSet. root must live inside a module; file names in
+// diagnostics are reported relative to the module root.
+func LoadTree(root string, cfg Config) ([]*Package, error) {
+	modRoot, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != absRoot && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := loadDir(fset, modRoot, path, cfg)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].RelPath < pkgs[j].RelPath })
+	return pkgs, nil
+}
+
+// LoadDir loads the single directory dir (non-recursive) as one
+// package. Returns nil when the directory contains no eligible Go
+// files.
+func LoadDir(dir string, cfg Config) (*Package, error) {
+	modRoot, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadDir(token.NewFileSet(), modRoot, abs, cfg)
+}
+
+func loadDir(fset *token.FileSet, modRoot, dir string, cfg Config) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		rel = dir
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	pkg := &Package{
+		RelPath:       rel,
+		Dir:           dir,
+		Fset:          fset,
+		TopLevelNames: make(map[string]bool),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !cfg.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		display := name
+		if rel != "" {
+			display = rel + "/" + name
+		}
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, display, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, &SourceFile{Name: display, AST: f})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	sort.Slice(pkg.Files, func(i, j int) bool { return pkg.Files[i].Name < pkg.Files[j].Name })
+	for _, f := range pkg.Files {
+		collectTopLevel(f.AST, pkg.TopLevelNames)
+	}
+	return pkg, nil
+}
+
+// collectTopLevel records every package-level identifier a file
+// declares.
+func collectTopLevel(f *ast.File, names map[string]bool) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				names[d.Name.Name] = true
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						names[n.Name] = true
+					}
+				case *ast.TypeSpec:
+					names[s.Name.Name] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoIsClean runs the full default rule suite over the repository
+// itself and requires zero findings. This is the regression half of the
+// lint gate: a future violation fails `go test ./...`, not just the
+// `make lint` step, so the determinism/durability invariants cannot
+// regress through a path that skips CI's lint job.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadTree(root, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
+	}
+	diags := NewRunner(DefaultRules()).Run(pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("repository has %d lint finding(s); fix them or add //lint:ignore with a reason", len(diags))
+	}
+}

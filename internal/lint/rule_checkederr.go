@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DefaultCheckedErrorScopes is where discarded errors are durability
+// bugs: the durable store (fsync/append/rename protocols) and the cycle
+// journal hook that feeds it.
+var DefaultCheckedErrorScopes = []string{
+	"internal/store",
+	"internal/core/journal.go",
+}
+
+// errReturningMethods are method names that, on the I/O types used in
+// the persistence layer, return an error worth checking. Matched by
+// bare name — over-approximate on purpose: in a durability-critical
+// package, a method that *looks* like I/O should have its error
+// handled or carry an explicit ignore with a reason.
+var errReturningMethods = map[string]bool{
+	"Close":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"Read":        true,
+	"Flush":       true,
+	"Truncate":    true,
+	"Seek":        true,
+	"Encode":      true,
+	"Decode":      true,
+}
+
+// errReturningPkgFuncs are package-level stdlib functions whose error
+// results guard durability when called from the store.
+var errReturningPkgFuncs = map[string]map[string]bool{
+	"os": {
+		"Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "Chmod": true,
+		"Truncate": true, "WriteFile": true, "Symlink": true,
+		"Link": true,
+	},
+}
+
+// CheckedErrors is rule checked-errors-in-store: inside the configured
+// scopes, an error result must not be dropped — neither by a bare call
+// statement nor by assigning it to the blank identifier. A swallowed
+// fsync or append error means acknowledging a cycle that is not durable
+// (DESIGN.md §10). Deliberate best-effort discards (cleanup on an
+// already-failing path) must carry //lint:ignore with the reason.
+//
+// Deferred calls are exempt: `defer f.Close()` on read-only paths is
+// idiomatic, and the store's write paths already close-and-check
+// explicitly before renaming.
+type CheckedErrors struct {
+	scopes []string
+}
+
+// NewCheckedErrors builds the rule; nil scopes means
+// DefaultCheckedErrorScopes.
+func NewCheckedErrors(scopes []string) *CheckedErrors {
+	if scopes == nil {
+		scopes = DefaultCheckedErrorScopes
+	}
+	return &CheckedErrors{scopes: scopes}
+}
+
+func (r *CheckedErrors) Name() string { return "checked-errors-in-store" }
+
+func (r *CheckedErrors) Doc() string {
+	return "forbid discarded error results (bare call or blank assignment) in the durable store and journal hook"
+}
+
+func (r *CheckedErrors) Check(pkg *Package) []Diagnostic {
+	localErrFuncs := errorReturningFuncs(pkg)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if !matchesScope(pkg.RelPath, f.Name, r.scopes) {
+			continue
+		}
+		returnsError := func(call *ast.CallExpr) bool {
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				return localErrFuncs[fun.Name]
+			case *ast.SelectorExpr:
+				if errReturningMethods[fun.Sel.Name] || localErrFuncs[fun.Sel.Name] {
+					return true
+				}
+				if x, ok := fun.X.(*ast.Ident); ok {
+					for path, funcs := range errReturningPkgFuncs {
+						if name := importName(f.AST, path); name != "" &&
+							pkg.isPkgRef(x, name) && funcs[fun.Sel.Name] {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := s.X.(*ast.CallExpr)
+				if !ok || !returnsError(call) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Rule: r.Name(),
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("error from %s is discarded; a dropped I/O error here breaks the durability guarantee — handle it or add //lint:ignore with a reason",
+						types.ExprString(call.Fun)),
+				})
+			case *ast.AssignStmt:
+				diags = append(diags, r.checkAssign(pkg, s, returnsError)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkAssign flags blank-identifier discards of error results: the
+// 1:1 form `_ = f()` and the multi-value form `v, _ := g()` when the
+// blank sits in the trailing (error) position of an error-returning
+// call.
+func (r *CheckedErrors) checkAssign(pkg *Package, s *ast.AssignStmt, returnsError func(*ast.CallExpr) bool) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr) {
+		diags = append(diags, Diagnostic{
+			Rule: r.Name(),
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("error from %s is assigned to _; a dropped I/O error here breaks the durability guarantee — handle it or add //lint:ignore with a reason",
+				types.ExprString(call.Fun)),
+		})
+	}
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// v, _ := call() — multi-value result with a trailing blank.
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if ok && isBlank(s.Lhs[len(s.Lhs)-1]) && returnsError(call) {
+			flag(call)
+		}
+		return diags
+	}
+	if len(s.Rhs) == len(s.Lhs) {
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if ok && isBlank(s.Lhs[i]) && returnsError(call) {
+				flag(call)
+			}
+		}
+	}
+	return diags
+}
+
+// errorReturningFuncs lists the package's own functions and methods
+// whose final result is `error`.
+func errorReturningFuncs(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+				continue
+			}
+			last := fd.Type.Results.List[len(fd.Type.Results.List)-1]
+			if id, ok := last.Type.(*ast.Ident); ok && id.Name == "error" {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}

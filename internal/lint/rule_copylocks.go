@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// syncNoCopyTypes are the sync primitives that must never be copied
+// after first use. A struct containing one (directly or through another
+// such struct) must travel by pointer.
+var syncNoCopyTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"Pool":      true,
+	"Once":      true,
+	"WaitGroup": true,
+	"Cond":      true,
+	"Map":       true,
+}
+
+// CopyLocks is rule no-copied-locks-by-value: any package-local type
+// that embeds a sync primitive (sync.Mutex, sync.RWMutex, sync.Pool,
+// sync.Once, sync.WaitGroup, sync.Cond, sync.Map), directly or
+// transitively through another local struct, must not appear as a value
+// receiver, value parameter, or value result. A by-value copy forks the
+// lock state: the copy guards nothing, which is how the qss weight race
+// fixed in PR 3 would silently come back. go vet's copylocks only
+// catches actual copy sites; this rule forbids the API shapes that
+// invite them.
+type CopyLocks struct{}
+
+// NewCopyLocks builds the rule.
+func NewCopyLocks() *CopyLocks { return &CopyLocks{} }
+
+func (r *CopyLocks) Name() string { return "no-copied-locks-by-value" }
+
+func (r *CopyLocks) Doc() string {
+	return "types containing sync primitives must be passed, received and returned by pointer"
+}
+
+func (r *CopyLocks) Check(pkg *Package) []Diagnostic {
+	locky := lockyTypes(pkg)
+	if len(locky) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			name, ok := lockyValueType(field.Type, locky)
+			if !ok {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Rule: r.Name(),
+				Pos:  pkg.Fset.Position(field.Type.Pos()),
+				Message: fmt.Sprintf("%s of type %s copies the sync primitive it contains (%s); use *%s",
+					kind, name, locky[name], name),
+			})
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				check(d.Recv, "value receiver")
+			case *ast.FuncType:
+				// Covers declared functions, function literals, and
+				// function-typed fields/interface methods alike.
+				check(d.Params, "value parameter")
+				check(d.Results, "value result")
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// lockyTypes maps package-local type names that contain a sync
+// primitive to a human-readable description of what they contain.
+func lockyTypes(pkg *Package) map[string]string {
+	structs := make(map[string]*ast.StructType)
+	contains := make(map[string]string)
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					structs[ts.Name.Name] = st
+				}
+				// type L sync.Mutex — a direct alias-like definition.
+				if name, ok := syncPrimitive(ts.Type, f.AST, pkg); ok {
+					contains[ts.Name.Name] = "sync." + name
+				}
+			}
+		}
+	}
+	// Fixpoint: a struct is locky if any value field is a sync
+	// primitive or an already-locky local struct.
+	for changed := true; changed; {
+		changed = false
+		for name, st := range structs {
+			if _, done := contains[name]; done {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				desc, found := "", false
+				if prim, ok := syncPrimitiveInPackage(field.Type, pkg); ok {
+					desc, found = "sync."+prim, true
+				} else if id, ok := field.Type.(*ast.Ident); ok {
+					if inner, ok := contains[id.Name]; ok {
+						desc, found = inner+" via "+id.Name, true
+					}
+				}
+				if found {
+					contains[name] = desc
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return contains
+}
+
+// syncPrimitive reports whether t is sync.X for a no-copy X, given the
+// file's imports.
+func syncPrimitive(t ast.Expr, file *ast.File, pkg *Package) (string, bool) {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || !syncNoCopyTypes[sel.Sel.Name] {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	name := importName(file, "sync")
+	if name == "" || !pkg.isPkgRef(x, name) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// syncPrimitiveInPackage is syncPrimitive without knowing the file:
+// it accepts any file's import name for sync. Fields are declared in
+// exactly one file, so trying each file's import table is exact enough.
+func syncPrimitiveInPackage(t ast.Expr, pkg *Package) (string, bool) {
+	for _, f := range pkg.Files {
+		if name, ok := syncPrimitive(t, f.AST, pkg); ok {
+			return name, ok
+		}
+	}
+	return "", false
+}
+
+// lockyValueType reports whether a field-list entry's type is a locky
+// local type by value (not behind a pointer, slice, map or channel).
+func lockyValueType(t ast.Expr, locky map[string]string) (string, bool) {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		if _, ok := locky[tt.Name]; ok {
+			return tt.Name, true
+		}
+	case *ast.ParenExpr:
+		return lockyValueType(tt.X, locky)
+	case *ast.Ellipsis:
+		// Variadic ...T passes T values.
+		return lockyValueType(tt.Elt, locky)
+	case *ast.ArrayType:
+		// A fixed-size array of locky values copies them; slices do not.
+		if tt.Len != nil {
+			return lockyValueType(tt.Elt, locky)
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared global source. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) and types are fine — randomness must flow through an
+// injected *rand.Rand, seeded per component and (in checkpointed paths)
+// backed by a mathx.CountingSource so the stream position is part of
+// saved state.
+var globalRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+// GlobalRand is rule no-global-rand: the process-global math/rand
+// source is forbidden everywhere, with no allowlist. The global source
+// is shared mutable state — any draw from it perturbs every other
+// consumer, and its position cannot be captured in a checkpoint, so one
+// stray rand.Intn silently breaks both parallel determinism (PR 3) and
+// crash-recovery replay (PR 4).
+type GlobalRand struct{}
+
+// NewGlobalRand builds the rule.
+func NewGlobalRand() *GlobalRand { return &GlobalRand{} }
+
+func (r *GlobalRand) Name() string { return "no-global-rand" }
+
+func (r *GlobalRand) Doc() string {
+	return "forbid package-level math/rand functions; use an injected *rand.Rand (mathx.CountingSource in checkpointed paths)"
+}
+
+// globalRandV2Funcs is the equivalent set for math/rand/v2, whose
+// top-level functions use unseedable per-process state and are
+// therefore never replayable.
+var globalRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+func (r *GlobalRand) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		file := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			for path, funcs := range map[string]map[string]bool{
+				"math/rand":    globalRandFuncs,
+				"math/rand/v2": globalRandV2Funcs,
+			} {
+				sel, ok := pkg.pkgSelector(file.AST, n, path)
+				if !ok || !funcs[sel.Sel.Name] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Rule: r.Name(),
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf("rand.%s draws from the global %s source; inject a seeded *rand.Rand (mathx.NewCountedRand in checkpointed paths)",
+						sel.Sel.Name, path),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

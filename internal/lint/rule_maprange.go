@@ -1,0 +1,419 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// serializationRoots are function/method names treated as entry points
+// of byte-deterministic encoding paths. SaveState/State/snapshot are
+// the repo's checkpoint surface (DESIGN.md §10: recovery compares
+// states byte-for-byte); the Marshal/Gob names are the stdlib
+// serialization interfaces; encode*/serialize* prefixes are matched
+// separately.
+var serializationRoots = map[string]bool{
+	"SaveState":     true,
+	"State":         true,
+	"Snapshot":      true,
+	"snapshot":      true,
+	"GobEncode":     true,
+	"MarshalBinary": true,
+	"MarshalJSON":   true,
+	"MarshalText":   true,
+	"WriteTo":       true,
+}
+
+func isSerializationRoot(name string) bool {
+	if serializationRoots[name] {
+		return true
+	}
+	for _, prefix := range []string{"encode", "Encode", "serialize", "Serialize"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// MapRange is rule ordered-map-range: inside any function reachable
+// from a serialization root (same-package call graph, matched by name —
+// a deliberate over-approximation), ranging over a map is flagged
+// unless the loop is the sorted-keys collection idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose output order is fixed by the subsequent sort. Go randomises map
+// iteration order per run, so a bare range in an encode path makes two
+// saves of identical state differ — exactly what the durable store's
+// byte-identical recovery guarantee (PR 4) cannot tolerate.
+//
+// Map-ness is decided syntactically: map-typed locals, params, results,
+// package vars, named map types, and struct fields declared with map
+// type anywhere in the package.
+type MapRange struct{}
+
+// NewMapRange builds the rule.
+func NewMapRange() *MapRange { return &MapRange{} }
+
+func (r *MapRange) Name() string { return "ordered-map-range" }
+
+func (r *MapRange) Doc() string {
+	return "forbid bare map iteration in functions reachable from SaveState/State/encode* roots; iterate sorted keys"
+}
+
+// pkgMapInfo is the package-wide syntactic map-type knowledge.
+type pkgMapInfo struct {
+	namedMaps map[string]bool // type M map[...]...
+	mapFields map[string]bool // struct field names with map type
+	mapVars   map[string]bool // package-level vars with map type
+	mapFuncs  map[string]bool // funcs whose single result is a map
+}
+
+func (r *MapRange) Check(pkg *Package) []Diagnostic {
+	info := collectMapInfo(pkg)
+	decls := packageFuncs(pkg)
+	reachable := reachableFrom(decls, isSerializationRoot)
+	var diags []Diagnostic
+	// Deterministic order: walk decls in file/position order.
+	for _, fd := range decls {
+		root, ok := reachable[fd.decl]
+		if !ok {
+			continue
+		}
+		locals := localMapVars(fd.decl, info)
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapExpr(rng.X, info, locals) {
+				return true
+			}
+			if !rangeOrderObservable(rng) || isSortedKeysCollect(rng) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Rule: r.Name(),
+				Pos:  pkg.Fset.Position(rng.Pos()),
+				Message: fmt.Sprintf("range over map %s in a serialization path (reachable from %s); iterate sorted keys so encoded bytes are deterministic",
+					types.ExprString(rng.X), root),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// funcInfo pairs a declaration with its lookup name.
+type funcInfo struct {
+	name string
+	decl *ast.FuncDecl
+}
+
+// packageFuncs lists the package's function declarations (with bodies)
+// in file order.
+func packageFuncs(pkg *Package) []funcInfo {
+	var out []funcInfo
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcInfo{name: fd.Name.Name, decl: fd})
+		}
+	}
+	return out
+}
+
+// reachableFrom computes the set of declarations reachable from root
+// functions through same-package calls, matched by bare name (methods
+// too — over-approximate, which errs toward checking more loops). The
+// value is the root function that first reached the declaration.
+func reachableFrom(decls []funcInfo, isRoot func(string) bool) map[*ast.FuncDecl]string {
+	byName := make(map[string][]*ast.FuncDecl)
+	for _, fd := range decls {
+		byName[fd.name] = append(byName[fd.name], fd.decl)
+	}
+	reached := make(map[*ast.FuncDecl]string)
+	var queue []*ast.FuncDecl
+	for _, fd := range decls {
+		if isRoot(fd.name) {
+			reached[fd.decl] = fd.name
+			queue = append(queue, fd.decl)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		root := reached[cur]
+		callees := calledNames(cur)
+		sort.Strings(callees)
+		for _, name := range callees {
+			for _, callee := range byName[name] {
+				if _, ok := reached[callee]; ok {
+					continue
+				}
+				reached[callee] = root
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reached
+}
+
+// calledNames lists the bare names of every call target in the body.
+func calledNames(fd *ast.FuncDecl) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			seen[fun.Name] = true
+		case *ast.SelectorExpr:
+			seen[fun.Sel.Name] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	return names
+}
+
+// collectMapInfo gathers the package's syntactic map-type knowledge.
+func collectMapInfo(pkg *Package) *pkgMapInfo {
+	info := &pkgMapInfo{
+		namedMaps: make(map[string]bool),
+		mapFields: make(map[string]bool),
+		mapVars:   make(map[string]bool),
+		mapFuncs:  make(map[string]bool),
+	}
+	// Two passes: named map types first so struct fields and vars of a
+	// named map type register too.
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					if _, isMap := ts.Type.(*ast.MapType); isMap {
+						info.namedMaps[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	isMap := func(t ast.Expr) bool { return isMapTypeExpr(t, info.namedMaps) }
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := s.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							if !isMap(field.Type) {
+								continue
+							}
+							for _, name := range field.Names {
+								info.mapFields[name.Name] = true
+							}
+						}
+					case *ast.ValueSpec:
+						if s.Type != nil && isMap(s.Type) {
+							for _, name := range s.Names {
+								info.mapVars[name.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				res := d.Type.Results
+				if res != nil && len(res.List) == 1 && len(res.List[0].Names) <= 1 && isMap(res.List[0].Type) {
+					info.mapFuncs[d.Name.Name] = true
+				}
+			}
+		}
+	}
+	return info
+}
+
+// isMapTypeExpr reports whether a type expression denotes a map.
+func isMapTypeExpr(t ast.Expr, namedMaps map[string]bool) bool {
+	switch tt := t.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return isMapTypeExpr(tt.X, namedMaps)
+	case *ast.Ident:
+		return namedMaps[tt.Name]
+	}
+	return false
+}
+
+// localMapVars scans one function for names bound to maps: map-typed
+// params, named results, receivers of named map types, `var x map[...]`
+// declarations, and assignments from make(map...) or map literals.
+func localMapVars(fd *ast.FuncDecl, info *pkgMapInfo) map[string]bool {
+	locals := make(map[string]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isMapTypeExpr(field.Type, info.namedMaps) {
+				continue
+			}
+			for _, name := range field.Names {
+				locals[name.Name] = true
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil || !isMapTypeExpr(vs.Type, info.namedMaps) {
+					continue
+				}
+				for _, name := range vs.Names {
+					locals[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapValueExpr(rhs, info) {
+					locals[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// isMapValueExpr reports whether an expression syntactically produces a
+// map: make(map[...]) , a map composite literal, or a call to a
+// same-package function declared to return one.
+func isMapValueExpr(e ast.Expr, info *pkgMapInfo) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if id.Name == "make" && len(v.Args) > 0 {
+				return isMapTypeExpr(v.Args[0], info.namedMaps)
+			}
+			return info.mapFuncs[id.Name]
+		}
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			return info.mapFuncs[sel.Sel.Name]
+		}
+	case *ast.CompositeLit:
+		return v.Type != nil && isMapTypeExpr(v.Type, info.namedMaps)
+	}
+	return false
+}
+
+// isMapExpr reports whether a range operand denotes a map under the
+// package's syntactic knowledge.
+func isMapExpr(e ast.Expr, info *pkgMapInfo, locals map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return locals[v.Name] || info.mapVars[v.Name]
+	case *ast.SelectorExpr:
+		return info.mapFields[v.Sel.Name]
+	case *ast.ParenExpr:
+		return isMapExpr(v.X, info, locals)
+	case *ast.CallExpr, *ast.CompositeLit:
+		return isMapValueExpr(e, info)
+	case *ast.IndexExpr:
+		// m[k] where m is a map of maps — undecidable syntactically.
+		return false
+	}
+	return false
+}
+
+// rangeOrderObservable reports whether the loop can observe iteration
+// order at all: a `for range m {}` with no iteration variables executes
+// an order-independent body.
+func rangeOrderObservable(rng *ast.RangeStmt) bool {
+	used := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		id, ok := e.(*ast.Ident)
+		return !ok || id.Name != "_"
+	}
+	return used(rng.Key) || used(rng.Value)
+}
+
+// isSortedKeysCollect matches the first half of the sorted-iteration
+// idiom: a loop whose entire body appends the range key to a slice,
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The iteration order of the collection loop is immaterial because the
+// subsequent sort fixes it.
+func isSortedKeysCollect(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != dst.Name {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

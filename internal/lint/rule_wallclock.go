@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// DefaultWallClockAllow lists the package subtrees where reading the
+// wall clock is legitimate: observability (span timings, metrics),
+// the HTTP service (request latencies, health ages), the durable store
+// (checkpoint ages), and human-facing binaries. Everything else — the
+// sensing loop, the learners, the simulator — must take time from a
+// simclock.Clock so that replay is deterministic.
+var DefaultWallClockAllow = []string{
+	"internal/obs",
+	"internal/service",
+	"internal/store",
+	"cmd",
+	"examples",
+}
+
+// wallClockFuncs are the time-package entry points that read or depend
+// on the wall clock. Types and constants (time.Duration, time.Second)
+// remain freely usable.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock is rule no-wall-clock: deterministic packages must not read
+// the wall clock. PR 4's byte-identical crash recovery replays journaled
+// cycles through the live state machine; a single time.Now() in that
+// path diverges replay from the original run.
+type WallClock struct {
+	allow []string
+}
+
+// NewWallClock builds the rule; a nil allowlist means
+// DefaultWallClockAllow.
+func NewWallClock(allow []string) *WallClock {
+	if allow == nil {
+		allow = DefaultWallClockAllow
+	}
+	return &WallClock{allow: allow}
+}
+
+func (r *WallClock) Name() string { return "no-wall-clock" }
+
+func (r *WallClock) Doc() string {
+	return "forbid time.Now/Since/Sleep/... outside the observability, service, store and binary allowlist; deterministic code takes a simclock.Clock"
+}
+
+func (r *WallClock) Check(pkg *Package) []Diagnostic {
+	if matchesScope(pkg.RelPath, "", r.allow) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		file := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := pkg.pkgSelector(file.AST, n, "time")
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Rule: r.Name(),
+				Pos:  pkg.Fset.Position(sel.Pos()),
+				Message: fmt.Sprintf("time.%s reads the wall clock in a deterministic package; inject a simclock.Clock instead",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return diags
+}

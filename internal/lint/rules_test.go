@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixture loads one testdata package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), Config{})
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+	return pkg
+}
+
+// render flattens diagnostics to "file line:col rule" for golden
+// comparison.
+func render(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s %d:%d %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule)
+	}
+	return out
+}
+
+func assertDiags(t *testing.T, got []Diagnostic, want []string) {
+	t.Helper()
+	rendered := render(got)
+	if len(rendered) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v", len(rendered), rendered, len(want), want)
+	}
+	for i := range want {
+		if rendered[i] != want[i] {
+			t.Errorf("diagnostic %d: got %q, want %q", i, rendered[i], want[i])
+		}
+	}
+}
+
+// TestRuleFixtures runs each rule over its fixture package and checks
+// the exact finding positions: positive hits fire, the approved idioms
+// and shadowed names stay silent, and //lint:ignore suppresses.
+func TestRuleFixtures(t *testing.T) {
+	cases := []struct {
+		fixture string
+		rules   func(pkg *Package) []Rule
+		want    []string
+	}{
+		{
+			fixture: "wallclock",
+			rules:   func(*Package) []Rule { return []Rule{NewWallClock(nil)} },
+			want: []string{
+				"alias.go 6:9 no-wall-clock",
+				"wallclock.go 9:9 no-wall-clock",
+				"wallclock.go 13:9 no-wall-clock",
+				"wallclock.go 17:2 no-wall-clock",
+			},
+		},
+		{
+			fixture: "globalrand",
+			rules:   func(*Package) []Rule { return []Rule{NewGlobalRand()} },
+			want: []string{
+				"globalrand.go 7:9 no-global-rand",
+				"globalrand.go 11:2 no-global-rand",
+			},
+		},
+		{
+			fixture: "maprange",
+			rules:   func(*Package) []Rule { return []Rule{NewMapRange()} },
+			want: []string{
+				"maprange.go 16:2 ordered-map-range",
+				"maprange.go 39:2 ordered-map-range",
+			},
+		},
+		{
+			fixture: "copylocks",
+			rules:   func(*Package) []Rule { return []Rule{NewCopyLocks()} },
+			want: []string{
+				"copylocks.go 20:9 no-copied-locks-by-value",
+				"copylocks.go 30:17 no-copied-locks-by-value",
+				"copylocks.go 34:18 no-copied-locks-by-value",
+				"copylocks.go 38:22 no-copied-locks-by-value",
+			},
+		},
+		{
+			fixture: "checkederr",
+			rules: func(pkg *Package) []Rule {
+				return []Rule{NewCheckedErrors([]string{pkg.RelPath})}
+			},
+			want: []string{
+				"checkederr.go 12:2 checked-errors-in-store",
+				"checkederr.go 16:6 checked-errors-in-store",
+				"checkederr.go 20:10 checked-errors-in-store",
+				"checkederr.go 25:2 checked-errors-in-store",
+				"checkederr.go 29:2 checked-errors-in-store",
+			},
+		},
+		{
+			fixture: "clean",
+			rules:   func(pkg *Package) []Rule { return append(DefaultRules(), NewCheckedErrors([]string{pkg.RelPath})) },
+			want:    nil,
+		},
+		{
+			fixture: "directive",
+			rules:   func(*Package) []Rule { return nil },
+			want: []string{
+				"directive.go 5:1 lint-directive",
+				"directive.go 8:1 lint-directive",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			rules := tc.rules(pkg)
+			if rules == nil {
+				rules = []Rule{} // engine-only: directive parsing still runs
+			}
+			got := (&Runner{Rules: rules}).Run([]*Package{pkg})
+			assertDiags(t, got, tc.want)
+		})
+	}
+}
+
+// TestWallClockAllowlist verifies an allowlisted package is skipped
+// wholesale.
+func TestWallClockAllowlist(t *testing.T) {
+	pkg := loadFixture(t, "wallclock")
+	rule := NewWallClock([]string{pkg.RelPath})
+	if got := rule.Check(pkg); len(got) != 0 {
+		t.Fatalf("allowlisted package still reported %d findings: %v", len(got), render(got))
+	}
+	// A parent-path entry covers the subtree too.
+	rule = NewWallClock([]string{"internal/lint/testdata"})
+	if got := rule.Check(pkg); len(got) != 0 {
+		t.Fatalf("subtree allowlist still reported %d findings: %v", len(got), render(got))
+	}
+}
+
+// TestCheckedErrorsFileScope verifies a ".go"-suffixed scope entry
+// restricts the rule to that one file.
+func TestCheckedErrorsFileScope(t *testing.T) {
+	pkg := loadFixture(t, "checkederr")
+	file := pkg.Files[0].Name
+	rule := NewCheckedErrors([]string{file})
+	if got := rule.Check(pkg); len(got) == 0 {
+		t.Fatalf("file-scoped rule found nothing in %s", file)
+	}
+	rule = NewCheckedErrors([]string{"internal/lint/testdata/src/checkederr/other.go"})
+	if got := rule.Check(pkg); len(got) != 0 {
+		t.Fatalf("rule scoped to a different file reported %d findings", len(got))
+	}
+}
+
+// TestRuleMetadata keeps names and docs stable and non-empty; the
+// Makefile, CI and ignore directives all reference rules by name.
+func TestRuleMetadata(t *testing.T) {
+	wantNames := []string{
+		"no-wall-clock",
+		"no-global-rand",
+		"ordered-map-range",
+		"no-copied-locks-by-value",
+		"checked-errors-in-store",
+	}
+	rules := DefaultRules()
+	if got := RuleNames(rules); len(got) != len(wantNames) {
+		t.Fatalf("DefaultRules has %d rules, want %d", len(got), len(wantNames))
+	}
+	for i, r := range rules {
+		if r.Name() != wantNames[i] {
+			t.Errorf("rule %d name = %q, want %q", i, r.Name(), wantNames[i])
+		}
+		if r.Doc() == "" {
+			t.Errorf("rule %s has empty doc", r.Name())
+		}
+	}
+}

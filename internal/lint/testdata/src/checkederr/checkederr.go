@@ -1,0 +1,54 @@
+// Package checkederr is a lint fixture for rule
+// checked-errors-in-store. The test runs the rule with a scope that
+// covers this package.
+package checkederr
+
+import (
+	"io"
+	"os"
+)
+
+func badBareClose(f *os.File) {
+	f.Close() // want: checked-errors-in-store
+}
+
+func badBlankAssign(f *os.File) {
+	_ = f.Close() // want: checked-errors-in-store
+}
+
+func badTrailingBlank(w io.Writer, p []byte) {
+	n, _ := w.Write(p) // want: checked-errors-in-store
+	_ = n
+}
+
+func badPkgFunc(path string) {
+	os.Remove(path) // want: checked-errors-in-store
+}
+
+func badLocalCall() {
+	flush() // want: checked-errors-in-store (local func returns error)
+}
+
+func flush() error { return nil }
+
+func okChecked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func okDefer(f *os.File) {
+	defer f.Close() // deferred closes are exempt by design
+}
+
+func okLeadingBlank(r io.Reader, p []byte) error {
+	// The blank discards the byte count, not the error.
+	_, err := r.Read(p)
+	return err
+}
+
+func suppressed(f *os.File) {
+	//lint:ignore checked-errors-in-store fixture exercising the suppression path
+	f.Close()
+}

@@ -1,0 +1,37 @@
+// Package clean is a lint fixture that violates no rule.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Component draws randomness from an injected generator and time from
+// an injected clock, serialises maps through sorted keys, and travels
+// by pointer.
+type Component struct {
+	rng  *rand.Rand
+	vals map[string]int
+}
+
+// New seeds the injected generator.
+func New(seed int64) *Component {
+	return &Component{rng: rand.New(rand.NewSource(seed)), vals: map[string]int{}}
+}
+
+// Draw uses the injected generator.
+func (c *Component) Draw() int { return c.rng.Intn(100) }
+
+// SaveState iterates sorted keys.
+func (c *Component) SaveState() []string {
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Wait takes durations, never the wall clock.
+func Wait(d time.Duration) time.Duration { return d * 2 }

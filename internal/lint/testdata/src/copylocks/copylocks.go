@@ -1,0 +1,48 @@
+// Package copylocks is a lint fixture for rule
+// no-copied-locks-by-value.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	inner guarded // transitively locky
+}
+
+type plain struct {
+	n int
+}
+
+func (g guarded) badReceiver() int { // want: value receiver
+	return g.n
+}
+
+func (g *guarded) okReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func badParam(g guarded) int { // want: value parameter
+	return g.n
+}
+
+func badResult() guarded { // want: value result
+	return guarded{}
+}
+
+func badTransitive(w wrapper) int { // want: value parameter (via wrapper)
+	return w.inner.n
+}
+
+func okPointer(g *guarded, w *wrapper) {}
+
+func okPlain(p plain) int { return p.n }
+
+func suppressed(g guarded) int { //lint:ignore no-copied-locks-by-value fixture exercising the suppression path
+	return g.n
+}

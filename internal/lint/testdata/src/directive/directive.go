@@ -1,0 +1,12 @@
+// Package directive is a lint fixture for malformed //lint:ignore
+// directives.
+package directive
+
+//lint:ignore no-wall-clock
+func missingReason() {}
+
+//lint:ignore
+func missingEverything() {}
+
+//lint:ignore no-global-rand a well-formed directive is not reported
+func wellFormed() {}

@@ -1,0 +1,34 @@
+// Package globalrand is a lint fixture for rule no-global-rand.
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want: no-global-rand
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want: no-global-rand
+}
+
+func okInjected(r *rand.Rand) int {
+	return r.Intn(10) // method on an injected generator is the approved path
+}
+
+func okConstructor() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+
+func okShadowed() int {
+	rand := shadow{}
+	return rand.Intn(5) // a local named rand is not the package
+}
+
+func suppressed() float64 {
+	//lint:ignore no-global-rand fixture exercising the suppression path
+	return rand.Float64()
+}
+
+type shadow struct{}
+
+func (shadow) Intn(n int) int { return n }

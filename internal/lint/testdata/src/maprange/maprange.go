@@ -1,0 +1,75 @@
+// Package maprange is a lint fixture for rule ordered-map-range.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type table struct {
+	rows map[string]int
+}
+
+// SaveState is a serialization root.
+func (t *table) SaveState(w io.Writer) error {
+	for k, v := range t.rows { // want: ordered-map-range
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+	return t.encodeSorted(w)
+}
+
+// encodeSorted demonstrates the approved sorted-keys idiom.
+func (t *table) encodeSorted(w io.Writer) error {
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows { // ok: sorted-keys collection loop
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, t.rows[k])
+	}
+	return t.helper(w)
+}
+
+// helper is reachable from SaveState through encodeSorted, so its bare
+// range is flagged too.
+func (t *table) helper(w io.Writer) error {
+	m := make(map[int]string)
+	for k := range m { // want: ordered-map-range (reachable helper)
+		fmt.Fprintln(w, k)
+	}
+	return nil
+}
+
+// unreachable is not on any serialization path; its map range is fine.
+func (t *table) unreachable() int {
+	n := 0
+	for range t.rows {
+		n++
+	}
+	for _, v := range t.rows { // ok: not reachable from a root
+		n += v
+	}
+	return n
+}
+
+// EncodeSlice is a root by prefix; ranging a slice has defined order,
+// so there is no finding.
+func EncodeSlice(w io.Writer, xs []int) error {
+	for i, x := range xs {
+		fmt.Fprintln(w, i, x)
+	}
+	return nil
+}
+
+// EncodeCounts is a root by prefix; `for range` with no variables
+// cannot observe iteration order.
+func EncodeCounts(w io.Writer, m map[string]int) error {
+	n := 0
+	for range m { // ok: no iteration variables
+		n++
+	}
+	fmt.Fprintln(w, n)
+	return nil
+}

@@ -1,0 +1,7 @@
+package wallclock
+
+import t "time"
+
+func badAliased() t.Time {
+	return t.Now() // want: no-wall-clock (aliased import)
+}

@@ -1,0 +1,27 @@
+// Package wallclock is a lint fixture for rule no-wall-clock.
+package wallclock
+
+import "time"
+
+const tick = 5 * time.Second // types and constants are fine
+
+func bad() time.Time {
+	return time.Now() // want: no-wall-clock
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want: no-wall-clock
+}
+
+func badSleep() {
+	time.Sleep(tick) // want: no-wall-clock
+}
+
+func suppressed() time.Time {
+	//lint:ignore no-wall-clock fixture exercising the suppression path
+	return time.Now()
+}
+
+func okDuration(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}

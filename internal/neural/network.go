@@ -165,9 +165,9 @@ func DefaultConfig() Config {
 
 // Network is a feed-forward classifier with a softmax output.
 type Network struct {
-	cfg     Config
-	layers  []*layer
-	rng     *randSource
+	cfg    Config
+	layers []*layer
+	rng    *randSource
 	// rngSrc counts draws on the seeded stream behind rng, making the
 	// shuffle position checkpointable (State.RNGDraws).
 	rngSrc  *mathx.CountingSource
