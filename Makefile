@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-equivalence crash-recovery bench bench-json cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet lint test race race-equivalence crash-recovery bench bench-json bench-gate cover-obs faults fuzz artefacts report clean
 
 all: build lint test
 
@@ -70,15 +70,33 @@ race-equivalence:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable parallel-scaling record: the workers=1/2/4 sensing
-# cycle, the Table II regeneration, and the allocation-free scoring-path
-# benchmarks, parsed into the committed BENCH_parallel.json. Speedups in
-# the file scale with the core count of the recording machine.
+# The tracked benchmark set: the workers=1/2/4 sensing cycle (with
+# per-stage wall/busy/idle/utilization extras from the stage profiler),
+# the Table II regeneration, and the allocation-free scoring-path
+# benchmarks. Iteration counts are pinned (-benchtime Nx): RunCycle's
+# per-op cost depends on b.N (MIC retrains accumulate training data
+# across iterations), so adaptive benchtime makes ns/op and allocs/op
+# incomparable between runs and the regression gate meaningless.
+BENCH_CMD = ( $(GO) test -bench 'BenchmarkTable2Accuracy' -benchtime 1x -benchmem -run xxx -timeout 60m . ; \
+	  $(GO) test -bench 'BenchmarkRunCycleParallel' -benchtime 300x -benchmem -run xxx -timeout 60m . ; \
+	  $(GO) test -bench 'BenchmarkCommitteeVote$$|BenchmarkCommitteeEntropy$$' -benchtime 100000x -benchmem -run xxx ./internal/qss/ )
+
+# Machine-readable parallel-scaling trajectory: reruns the tracked
+# benchmark set and appends to the committed BENCH_parallel.json —
+# the previous record moves into the document's history, so the file
+# carries the performance trajectory across PRs. Speedups in the file
+# scale with the core count of the recording machine.
 bench-json:
-	( $(GO) test -bench 'BenchmarkRunCycleParallel|BenchmarkTable2Accuracy' -benchmem -run xxx -timeout 60m . ; \
-	  $(GO) test -bench 'BenchmarkCommitteeVote$$|BenchmarkCommitteeEntropy$$' -benchmem -run xxx ./internal/qss/ ) \
-	| $(GO) run ./cmd/benchjson -o BENCH_parallel.json
+	$(BENCH_CMD) | $(GO) run ./cmd/benchjson -o BENCH_parallel.json
 	@cat BENCH_parallel.json
+
+# The CI regression gate (DESIGN.md §12): rerun the tracked benchmark
+# set, compare against the committed BENCH_parallel.json baseline, fail
+# on >20% ns/op or >10% allocs/op regression, and leave the fresh record
+# at artefacts/bench-latest.json for artifact upload either way.
+bench-gate:
+	@mkdir -p artefacts
+	$(BENCH_CMD) | $(GO) run ./cmd/benchjson -gate BENCH_parallel.json -o artefacts/bench-latest.json
 
 # Regenerate every paper table/figure plus ablations into ./artefacts.
 artefacts:

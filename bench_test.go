@@ -10,7 +10,10 @@ package crowdlearn
 // timed region. Run a single artefact with e.g. -bench=BenchmarkTable2.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -225,15 +228,30 @@ func BenchmarkSpamRobustness(b *testing.B) {
 
 // BenchmarkRunCycleParallel measures one full sensing cycle of the
 // assembled system (committee vote, QSS, IPD, crowd, CQC, MIC) at fixed
-// worker counts. Outputs are bit-identical across sub-benchmarks — only
-// wall-clock changes — so the ratio of the workers=1 to workers=N
-// ns/op is the parallel speedup on this machine; `make bench-json`
-// records it in BENCH_parallel.json.
+// worker counts, with the stage profiler and cycle tracer attached.
+// Outputs are bit-identical across sub-benchmarks — only wall-clock
+// changes — so the ratio of the workers=1 to workers=N ns/op is the
+// parallel speedup on this machine; `make bench-json` records it in
+// BENCH_parallel.json along with the per-stage extras reported below
+// (stage wall, per-stage busy/idle and utilization), which attribute
+// any multi-worker slowdown to the responsible stage.
+//
+// Set CROWDLEARN_TRACE_OUT=path to additionally dump each sub-
+// benchmark's recorded cycle traces as path.workersN.json, readable
+// with `go run ./cmd/crowdprof -i path.workersN.json`.
 func BenchmarkRunCycleParallel(b *testing.B) {
+	traceOut := os.Getenv("CROWDLEARN_TRACE_OUT")
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			env := lab(b)
-			sys, err := env.NewSystemWith(func(cfg *SystemConfig) { cfg.Workers = workers })
+			tracer := NewTracer(512)
+			tracer.SetSampler(AllocSampler{})
+			profiler := NewProfiler(nil)
+			sys, err := env.NewSystemWith(func(cfg *SystemConfig) {
+				cfg.Workers = workers
+				cfg.Tracer = tracer
+				cfg.Profiler = profiler
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -251,6 +269,35 @@ func BenchmarkRunCycleParallel(b *testing.B) {
 					Images:  test[w*perCycle : (w+1)*perCycle],
 				}
 				if _, err := sys.RunCycle(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Per-stage attribution as benchmark extras: wall per op from
+			// the trace ring (bounded — normalise by traced cycles, not
+			// b.N), busy/idle/utilization from the profiler's running
+			// totals across every cycle.
+			traces := tracer.Recent(0)
+			if n := len(traces); n > 0 {
+				for stage, st := range AggregateStages(traces) {
+					b.ReportMetric(float64(st.Wall.Nanoseconds())/float64(n), stage+":wall-ns/op")
+				}
+			}
+			for _, st := range profiler.Snapshot() {
+				if st.Loops == 0 {
+					continue
+				}
+				b.ReportMetric(float64(st.Busy.Nanoseconds())/float64(st.Loops), st.Stage+":busy-ns/op")
+				b.ReportMetric(float64(st.Idle.Nanoseconds())/float64(st.Loops), st.Stage+":idle-ns/op")
+				b.ReportMetric(st.Utilization(), st.Stage+":util")
+			}
+			if traceOut != "" {
+				path := fmt.Sprintf("%s.workers%d.json", strings.TrimSuffix(traceOut, ".json"), workers)
+				data, err := json.Marshal(traces)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
 					b.Fatal(err)
 				}
 			}

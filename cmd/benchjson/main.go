@@ -1,27 +1,48 @@
 // Command benchjson converts `go test -bench` text output into a
-// machine-readable JSON record. It reads the benchmark output on stdin
-// and writes one JSON document describing the machine (goos/goarch/cpu),
-// every benchmark result, and — for benchmarks with `workers=N`
-// sub-benchmarks — the parallel speedup of each worker count relative to
-// workers=1.
+// machine-readable JSON record and maintains the repo's benchmark
+// trajectory. It reads the benchmark output on stdin and writes one JSON
+// document describing the machine (goos/goarch/cpu), every benchmark
+// result, the parallel speedup of each `workers=N` sub-benchmark
+// relative to workers=1, and — when the benchmarks report per-stage
+// extras (stage:wall-ns/op etc., as BenchmarkRunCycleParallel does) — a
+// per-stage attribution ranking which pipeline stage the multi-worker
+// slowdown comes from.
+//
+// Writing with -o is append-with-history: the previous document's
+// current record is pushed onto a bounded history, so the committed
+// BENCH_*.json carries the performance trajectory, not just the latest
+// point.
+//
+// With -gate the run doubles as a CI regression gate: the fresh results
+// are compared against the baseline document's current record and the
+// process exits non-zero when any benchmark regresses beyond the
+// thresholds (ns/op and allocs/op, -max-ns-regress / -max-allocs-regress
+// percent). The output document is still written first, so CI can upload
+// it as an artifact even on failure.
 //
 // Usage:
 //
 //	go test -bench BenchmarkRunCycleParallel -benchmem -run xxx . | benchjson -o BENCH_parallel.json
+//	go test -bench ... | benchjson -gate BENCH_parallel.json -o artefacts/bench-latest.json
 //
-// The committed BENCH_parallel.json is regenerated with `make bench-json`.
+// The committed BENCH_parallel.json is regenerated with `make bench-json`
+// and gated in CI with `make bench-gate`.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one parsed benchmark line.
@@ -41,8 +62,11 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the full JSON document.
+// Report is one recorded benchmark run.
 type Report struct {
+	// RecordedAt stamps the record (RFC 3339 UTC) so the trajectory's
+	// history reads as a timeline.
+	RecordedAt string `json:"recordedAt,omitempty"`
 	// Goos/Goarch/CPU/Pkg echo the go test header lines.
 	Goos   string `json:"goos,omitempty"`
 	Goarch string `json:"goarch,omitempty"`
@@ -54,6 +78,46 @@ type Report struct {
 	// to the ns/op ratio of workers=1 over workers=N. Values scale with
 	// the core count of the recording machine.
 	Speedups map[string]map[string]float64 `json:"speedups,omitempty"`
+	// Attribution ranks, per workers=N family, the pipeline stages by
+	// their contribution to the multi-worker slowdown, derived from the
+	// per-stage extras the instrumented benchmarks report.
+	Attribution map[string][]StageDelta `json:"attribution,omitempty"`
+}
+
+// Trajectory is the committed benchmark document: the latest record plus
+// the records it replaced, newest first, bounded by -retain.
+type Trajectory struct {
+	// Schema identifies the document version ("crowdlearn-bench/2").
+	Schema string `json:"schema"`
+	// Current is the most recent record.
+	Current *Report `json:"current"`
+	// History holds prior records, newest first.
+	History []*Report `json:"history,omitempty"`
+}
+
+// schemaV2 marks the trajectory document format. Plain v1 files (a bare
+// Report) are still read as baselines and history seeds.
+const schemaV2 = "crowdlearn-bench/2"
+
+// StageDelta is one pipeline stage's multi-worker behaviour within a
+// benchmark family, keyed by the workers label ("1", "2", ...). A
+// positive SlowdownNs means the stage runs slower per op at some worker
+// count than at workers=1 — the quantitative attribution of a parallel
+// regression to its stage.
+type StageDelta struct {
+	// Stage is the pipeline stage name, e.g. "committee.vote".
+	Stage string `json:"stage"`
+	// WallNsPerOp is the stage's per-op wall time by worker count.
+	WallNsPerOp map[string]float64 `json:"wallNsPerOp"`
+	// SlowdownNs is the worst per-op wall increase over workers=1
+	// across the other worker counts (0 when the stage never slows).
+	SlowdownNs float64 `json:"slowdownNsPerOp"`
+	// BusyNsPerOp / IdleNsPerOp are the profiled loop's per-op worker
+	// busy and idle time by worker count (profiled stages only).
+	BusyNsPerOp map[string]float64 `json:"busyNsPerOp,omitempty"`
+	IdleNsPerOp map[string]float64 `json:"idleNsPerOp,omitempty"`
+	// Utilization is busy/(workers*wall) by worker count.
+	Utilization map[string]float64 `json:"utilization,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
@@ -124,6 +188,7 @@ func parse(r io.Reader) (*Report, error) {
 		return nil, err
 	}
 	rep.Speedups = speedups(rep.Benchmarks)
+	rep.Attribution = attribution(rep.Benchmarks)
 	return rep, nil
 }
 
@@ -168,6 +233,155 @@ func speedups(results []Result) map[string]map[string]float64 {
 	return out
 }
 
+// stageExtra matches the per-stage extras the instrumented benchmarks
+// report via b.ReportMetric: "<stage>:wall-ns/op" and friends.
+var stageExtra = regexp.MustCompile(`^(.+):(wall-ns/op|busy-ns/op|idle-ns/op|util)$`)
+
+// attribution derives the per-stage slowdown ranking for every workers=N
+// family whose sub-benchmarks carry stage extras. Stages sort by worst
+// slowdown over workers=1 first — the top entry names the stage a
+// multi-worker regression comes from.
+func attribution(results []Result) map[string][]StageDelta {
+	type stageKey struct{ fam, stage string }
+	deltas := make(map[stageKey]*StageDelta)
+	for _, r := range results {
+		m := workersName.FindStringSubmatch(r.Name)
+		if m == nil || len(r.Extra) == 0 {
+			continue
+		}
+		fam, workers := m[1], m[2]
+		for unit, v := range r.Extra {
+			em := stageExtra.FindStringSubmatch(unit)
+			if em == nil {
+				continue
+			}
+			key := stageKey{fam, em[1]}
+			sd, ok := deltas[key]
+			if !ok {
+				sd = &StageDelta{Stage: em[1], WallNsPerOp: make(map[string]float64)}
+				deltas[key] = sd
+			}
+			set := func(dst *map[string]float64) {
+				if *dst == nil {
+					*dst = make(map[string]float64)
+				}
+				(*dst)[workers] = v
+			}
+			switch em[2] {
+			case "wall-ns/op":
+				sd.WallNsPerOp[workers] = v
+			case "busy-ns/op":
+				set(&sd.BusyNsPerOp)
+			case "idle-ns/op":
+				set(&sd.IdleNsPerOp)
+			case "util":
+				set(&sd.Utilization)
+			}
+		}
+	}
+	out := make(map[string][]StageDelta)
+	for key, sd := range deltas {
+		base, hasBase := sd.WallNsPerOp["1"]
+		if hasBase {
+			for workers, ns := range sd.WallNsPerOp {
+				if workers != "1" && ns-base > sd.SlowdownNs {
+					sd.SlowdownNs = ns - base
+				}
+			}
+		}
+		out[key.fam] = append(out[key.fam], *sd)
+	}
+	for fam := range out {
+		sort.Slice(out[fam], func(a, b int) bool {
+			if out[fam][a].SlowdownNs != out[fam][b].SlowdownNs {
+				return out[fam][a].SlowdownNs > out[fam][b].SlowdownNs
+			}
+			return out[fam][a].Stage < out[fam][b].Stage
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// readTrajectory loads a baseline/previous document, accepting both the
+// v2 trajectory format and a bare v1 report. A missing file returns
+// (nil, nil); a malformed one errors rather than silently dropping the
+// trajectory.
+func readTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.Schema == schemaV2 && traj.Current != nil {
+		return &traj, nil
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Benchmarks) > 0 {
+		return &Trajectory{Schema: schemaV2, Current: &rep}, nil
+	}
+	return nil, fmt.Errorf("%s is neither a %s trajectory nor a v1 benchmark report", path, schemaV2)
+}
+
+// cpuSuffix is the -N GOMAXPROCS suffix go test appends to benchmark
+// names; it is stripped for cross-run matching so a baseline recorded at
+// a different core count still pairs up.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// regression is one benchmark metric that got worse beyond its
+// threshold.
+type regression struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"` // "ns/op" or "allocs/op"
+	Base     float64 `json:"base"`
+	New      float64 `json:"new"`
+	LimitPct float64 `json:"limitPct"`
+}
+
+func (r regression) String() string {
+	pct := 0.0
+	if r.Base > 0 {
+		pct = 100 * (r.New - r.Base) / r.Base
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, limit +%.0f%%)",
+		r.Name, r.Metric, r.Base, r.New, pct, r.LimitPct)
+}
+
+// gateCompare pairs the fresh report's benchmarks with the baseline (by
+// name, cpu suffix stripped) and returns every metric that regressed
+// beyond its threshold. Benchmarks present on only one side are skipped:
+// the gate checks trajectories, not coverage.
+func gateCompare(base, cur *Report, maxNsPct, maxAllocsPct float64) []regression {
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[cpuSuffix.ReplaceAllString(b.Name, "")] = b
+	}
+	var regs []regression
+	for _, b := range cur.Benchmarks {
+		bl, ok := baseline[cpuSuffix.ReplaceAllString(b.Name, "")]
+		if !ok {
+			continue
+		}
+		if bl.NsPerOp > 0 && b.NsPerOp > bl.NsPerOp*(1+maxNsPct/100) {
+			regs = append(regs, regression{Name: b.Name, Metric: "ns/op",
+				Base: bl.NsPerOp, New: b.NsPerOp, LimitPct: maxNsPct})
+		}
+		if bl.AllocsPerOp != nil && b.AllocsPerOp != nil {
+			limit := *bl.AllocsPerOp * (1 + maxAllocsPct/100)
+			if *b.AllocsPerOp > limit {
+				regs = append(regs, regression{Name: b.Name, Metric: "allocs/op",
+					Base: *bl.AllocsPerOp, New: *b.AllocsPerOp, LimitPct: maxAllocsPct})
+			}
+		}
+	}
+	return regs
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -177,9 +391,16 @@ func main() {
 
 func run(args []string, in io.Reader) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	out := fs.String("o", "", "output file (default stdout)")
+	out := fs.String("o", "", "output file (default stdout); an existing trajectory there is extended, its current record moving into history")
+	retain := fs.Int("retain", 12, "history records kept in the trajectory document")
+	gate := fs.String("gate", "", "baseline trajectory to compare against; regressions beyond the thresholds fail the run after the output is written")
+	maxNs := fs.Float64("max-ns-regress", 20, "ns/op regression threshold for -gate, percent over baseline")
+	maxAllocs := fs.Float64("max-allocs-regress", 10, "allocs/op regression threshold for -gate, percent over baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *retain < 0 {
+		return fmt.Errorf("invalid -retain %d: must be non-negative", *retain)
 	}
 	rep, err := parse(in)
 	if err != nil {
@@ -188,14 +409,64 @@ func run(args []string, in io.Reader) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	rep.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+
+	var gateErr error
+	var baseline *Trajectory
+	if *gate != "" {
+		baseline, err = readTrajectory(*gate)
+		if err != nil {
+			return err
+		}
+		if baseline == nil {
+			return fmt.Errorf("gate baseline %s does not exist", *gate)
+		}
+		regs := gateCompare(baseline.Current, rep, *maxNs, *maxAllocs)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", r)
+		}
+		if len(regs) > 0 {
+			gateErr = fmt.Errorf("bench gate failed: %d regression(s) against %s", len(regs), *gate)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate passed, %d benchmark(s) within +%.0f%% ns/op / +%.0f%% allocs/op of %s\n",
+				len(rep.Benchmarks), *maxNs, *maxAllocs, *gate)
+		}
+	}
+
+	// Append-with-history: the previous document at -o seeds the
+	// history; with a fresh -o (a CI artifact) the gate baseline does,
+	// so the artifact still carries the trajectory it was judged
+	// against.
+	traj := &Trajectory{Schema: schemaV2, Current: rep}
+	var prev *Trajectory
+	if *out != "" {
+		if prev, err = readTrajectory(*out); err != nil {
+			return err
+		}
+	}
+	if prev == nil {
+		prev = baseline
+	}
+	if prev != nil {
+		traj.History = append([]*Report{prev.Current}, prev.History...)
+		if len(traj.History) > *retain {
+			traj.History = traj.History[:*retain]
+		}
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err = os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+		return gateErr
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return gateErr
 }

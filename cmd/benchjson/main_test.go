@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +68,196 @@ func TestSpeedups(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if err := run(nil, strings.NewReader("PASS\n")); err == nil {
 		t.Error("empty bench output must be rejected")
+	}
+}
+
+// sampleWithStages carries the per-stage extras BenchmarkRunCycleParallel
+// reports: the committee.vote stage slows down at workers=4 while
+// qss.select does not.
+const sampleWithStages = `goos: linux
+BenchmarkRunCycleParallel/workers=1-8 5 240000000 ns/op 100000 committee.vote:wall-ns/op 90000 committee.vote:busy-ns/op 0 committee.vote:idle-ns/op 0.95 committee.vote:util 50000 qss.select:wall-ns/op
+BenchmarkRunCycleParallel/workers=4-8 5 400000000 ns/op 180000 committee.vote:wall-ns/op 95000 committee.vote:busy-ns/op 620000 committee.vote:idle-ns/op 0.13 committee.vote:util 48000 qss.select:wall-ns/op
+PASS
+`
+
+func TestAttributionRanksSlowestStageFirst(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleWithStages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, ok := rep.Attribution["BenchmarkRunCycleParallel"]
+	if !ok {
+		t.Fatalf("no attribution family: %+v", rep.Attribution)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("attributed %d stages, want 2", len(stages))
+	}
+	top := stages[0]
+	if top.Stage != "committee.vote" {
+		t.Errorf("top slowdown stage = %s, want committee.vote", top.Stage)
+	}
+	if want := 80000.0; math.Abs(top.SlowdownNs-want) != 0 {
+		t.Errorf("slowdown = %v, want %v", top.SlowdownNs, want)
+	}
+	if top.Utilization["4"] != 0.13 || top.IdleNsPerOp["4"] != 620000 {
+		t.Errorf("per-workers extras missing: %+v", top)
+	}
+	if stages[1].Stage != "qss.select" || stages[1].SlowdownNs != 0 {
+		t.Errorf("non-regressing stage = %+v, want qss.select with 0 slowdown", stages[1])
+	}
+}
+
+// writeRun drives run() with -o into dir and returns the decoded
+// trajectory.
+func writeRun(t *testing.T, args []string, input, path string) (*Trajectory, error) {
+	t.Helper()
+	err := run(append(args, "-o", path), strings.NewReader(input))
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if jerr := json.Unmarshal(data, &traj); jerr != nil {
+		t.Fatalf("output at %s is not a trajectory: %v", path, jerr)
+	}
+	return &traj, err
+}
+
+func TestTrajectoryAppendsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	traj, err := writeRun(t, nil, sample, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != schemaV2 || traj.Current == nil || len(traj.History) != 0 {
+		t.Fatalf("first write = schema %q, %d history entries", traj.Schema, len(traj.History))
+	}
+	if traj.Current.RecordedAt == "" {
+		t.Error("current record missing recordedAt stamp")
+	}
+	traj, err = writeRun(t, nil, sampleWithStages, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.History) != 1 {
+		t.Fatalf("second write kept %d history entries, want 1", len(traj.History))
+	}
+	if len(traj.History[0].Benchmarks) != 4 {
+		t.Errorf("history entry has %d benchmarks, want the first run's 4", len(traj.History[0].Benchmarks))
+	}
+	if len(traj.Current.Benchmarks) != 2 {
+		t.Errorf("current has %d benchmarks, want the second run's 2", len(traj.Current.Benchmarks))
+	}
+}
+
+func TestTrajectoryRetainBoundsHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	for i := 0; i < 5; i++ {
+		if _, err := writeRun(t, []string{"-retain", "2"}, sample, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traj, _ := readTrajectory(path)
+	if len(traj.History) != 2 {
+		t.Errorf("retain=2 kept %d history entries", len(traj.History))
+	}
+}
+
+func TestReadTrajectoryAcceptsV1Report(t *testing.T) {
+	// A committed pre-trajectory BENCH_parallel.json is a bare report.
+	path := filepath.Join(t.TempDir(), "v1.json")
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.Marshal(rep)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traj, err := readTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj == nil || traj.Current == nil || len(traj.Current.Benchmarks) != 4 {
+		t.Fatalf("v1 report not adopted as baseline: %+v", traj)
+	}
+	if missing, err := readTrajectory(filepath.Join(t.TempDir(), "nope.json")); missing != nil || err != nil {
+		t.Errorf("missing file = (%v, %v), want (nil, nil)", missing, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := readTrajectory(bad); err == nil {
+		t.Error("malformed baseline must error, not silently drop the trajectory")
+	}
+}
+
+// gateSample regresses workers=1 ns/op by 25% and workers=4 allocs/op
+// by 50% against `sample`; workers=2 stays flat.
+const gateSample = `goos: linux
+BenchmarkRunCycleParallel/workers=1-8 5 300000000 ns/op 1024 B/op 12 allocs/op
+BenchmarkRunCycleParallel/workers=2-8 10 126000000 ns/op 1100 B/op 14 allocs/op
+BenchmarkRunCycleParallel/workers=4-4 18 66000000 ns/op 1200 B/op 24 allocs/op
+PASS
+`
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH.json")
+	if _, err := writeRun(t, nil, sample, baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := readTrajectory(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(strings.NewReader(gateSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := gateCompare(base.Current, cur, 20, 10)
+	if len(regs) != 2 {
+		t.Fatalf("gateCompare found %d regressions, want 2: %v", len(regs), regs)
+	}
+	byMetric := map[string]regression{}
+	for _, r := range regs {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["ns/op"]; !strings.Contains(r.Name, "workers=1") {
+		t.Errorf("ns/op regression attributed to %q, want workers=1", r.Name)
+	}
+	// The workers=4 run pairs up despite its different -cpu suffix.
+	if r := byMetric["allocs/op"]; !strings.Contains(r.Name, "workers=4") {
+		t.Errorf("allocs/op regression attributed to %q, want workers=4", r.Name)
+	}
+
+	// End to end: the gate run fails but still writes the artifact with
+	// the baseline seeding its history.
+	artifact := filepath.Join(dir, "latest.json")
+	traj, err := writeRun(t, []string{"-gate", baseline}, gateSample, artifact)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("gate run = %v, want regression failure", err)
+	}
+	if traj == nil || len(traj.History) != 1 {
+		t.Fatalf("failing gate must still write the artifact with baseline history, got %+v", traj)
+	}
+}
+
+func TestGatePassesWithinThresholds(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH.json")
+	if _, err := writeRun(t, nil, sample, baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeRun(t, []string{"-gate", baseline}, sample, filepath.Join(dir, "latest.json")); err != nil {
+		t.Fatalf("identical results must pass the gate: %v", err)
+	}
+	// Loose thresholds tolerate the regressed sample.
+	args := []string{"-gate", baseline, "-max-ns-regress", "50", "-max-allocs-regress", "120"}
+	if _, err := writeRun(t, args, gateSample, filepath.Join(dir, "loose.json")); err != nil {
+		t.Fatalf("thresholds must be tunable: %v", err)
+	}
+	if err := run([]string{"-gate", filepath.Join(dir, "absent.json")}, strings.NewReader(sample)); err == nil {
+		t.Error("missing gate baseline must error")
 	}
 }

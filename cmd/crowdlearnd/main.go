@@ -17,6 +17,15 @@
 //	crowdlearnd [-addr :8080] [-seed 1] [-workers 0] [-log-level info]
 //	            [-queue-depth 16] [-request-timeout 30s]
 //	            [-state-dir dir] [-checkpoint-every 8] [-checkpoint-retain 3]
+//	            [-debug-addr 127.0.0.1:6060] [-version]
+//
+// -debug-addr opens a second, operator-facing listener with the
+// profiling surface (DESIGN.md §12): /debug/pprof/* (net/http/pprof),
+// /debug/runtime (runtime/metrics as JSON), /debug/prof (the stage
+// profiler's per-worker utilization totals) and a /metrics mirror. Bind
+// it to loopback — pprof exposes heap contents. -version prints the
+// build identity (also exported as the crowdlearn_build_info gauge) and
+// exits.
 //
 // -queue-depth bounds the assessment queue: when it is full, POST /assess
 // answers 429 with a Retry-After header instead of queueing without
@@ -44,6 +53,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,18 +64,19 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
 	"github.com/crowdlearn/crowdlearn/internal/service"
 	"github.com/crowdlearn/crowdlearn/internal/store"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		slog.Error("crowdlearnd failed", slog.Any("err", err))
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("crowdlearnd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	seed := fs.Int64("seed", 1, "master seed")
@@ -77,7 +88,13 @@ func run(args []string) error {
 	stateDir := fs.String("state-dir", "", "durable state directory: checkpoints + write-ahead cycle log; recovery runs on startup (empty = no persistence)")
 	checkpointEvery := fs.Int("checkpoint-every", 8, "write a checkpoint every N committed cycles (0 = only on shutdown; requires -state-dir)")
 	checkpointRetain := fs.Int("checkpoint-retain", store.DefaultRetainCheckpoints, "checkpoint generations kept by rotation")
+	debugAddr := fs.String("debug-addr", "", "serve pprof, runtime-metrics and stage-profiler debug endpoints on this address (bind to loopback; empty = disabled)")
+	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		_, err := fmt.Fprintln(stdout, prof.ReadBuildInfo().String())
 		return err
 	}
 	if *queueDepth < 0 {
@@ -110,6 +127,19 @@ func run(args []string) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	// Claim the debug listener before the expensive lab build so a bad
+	// -debug-addr fails fast; the handler is attached once the profiling
+	// stack exists.
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("invalid -debug-addr %q: %w", *debugAddr, err)
+		}
+		debugLn = ln
+		defer ln.Close()
+	}
+
 	cfg := crowdlearn.DefaultLabConfig()
 	cfg.Seed = *seed
 	cfg.Workers = *workers
@@ -130,6 +160,10 @@ func run(args []string) error {
 
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
+	tracer.SetSampler(prof.AllocSampler{})
+	profiler := prof.New(registry)
+	buildInfo := prof.RegisterBuildInfo(registry)
+	logger.Info("build", slog.String("version", buildInfo.String()))
 
 	// With -state-dir the system journals every committed cycle and
 	// recovers its predecessor's state before serving. The journal's
@@ -151,6 +185,7 @@ func run(args []string) error {
 	sys, err = lab.NewSystemWith(func(cfg *core.Config) {
 		cfg.Metrics = registry
 		cfg.Tracer = tracer
+		cfg.Profiler = profiler
 		if journal != nil {
 			cfg.Journal = journal
 		}
@@ -168,6 +203,7 @@ func run(args []string) error {
 		service.WithTracer(tracer),
 		service.WithQueueDepth(*queueDepth),
 		service.WithRequestTimeout(*requestTimeout),
+		service.WithBuildInfo(buildInfo),
 	}
 	if st != nil {
 		report, rerr := st.Recover(sys, store.RecoverOptions{
@@ -206,6 +242,21 @@ func run(args []string) error {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	var debugServer *http.Server
+	if debugLn != nil {
+		debugServer = &http.Server{
+			Handler:           prof.DebugMux(registry, profiler),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug endpoints", slog.String("addr", debugLn.Addr().String()))
+			if err := debugServer.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug serve", slog.Any("err", err))
+			}
+		}()
+		defer debugServer.Close()
 	}
 
 	errCh := make(chan error, 1)

@@ -1,12 +1,13 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
 		t.Error("unknown flag must error")
 	}
 }
@@ -14,7 +15,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunSurfacesListenError(t *testing.T) {
 	// An unparseable address makes ListenAndServe fail immediately; run
 	// must surface it rather than hanging.
-	err := run([]string{"-addr", "256.256.256.256:99999"})
+	err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard)
 	if err == nil {
 		t.Fatal("invalid listen address must error")
 	}
@@ -24,23 +25,42 @@ func TestRunSurfacesListenError(t *testing.T) {
 }
 
 func TestRunRejectsBadLogLevel(t *testing.T) {
-	err := run([]string{"-log-level", "loud"})
+	err := run([]string{"-log-level", "loud"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "log-level") {
 		t.Errorf("invalid log level must error, got %v", err)
 	}
 }
 
 func TestRunRejectsNegativeQueueDepth(t *testing.T) {
-	err := run([]string{"-queue-depth", "-1"})
+	err := run([]string{"-queue-depth", "-1"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "queue-depth") {
 		t.Errorf("negative queue depth must error, got %v", err)
 	}
 }
 
 func TestRunRejectsNegativeRequestTimeout(t *testing.T) {
-	err := run([]string{"-request-timeout", "-5s"})
+	err := run([]string{"-request-timeout", "-5s"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "request-timeout") {
 		t.Errorf("negative request timeout must error, got %v", err)
+	}
+}
+
+func TestVersionFlagPrintsBuildInfo(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "crowdlearn ") {
+		t.Errorf("-version output %q should start with the binary identity", buf.String())
+	}
+}
+
+func TestRunRejectsBadDebugAddr(t *testing.T) {
+	// The debug listener is claimed before the lab build, so a bad
+	// address fails fast instead of after seconds of bootstrapping.
+	err := run([]string{"-debug-addr", "256.256.256.256:99999"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "debug-addr") {
+		t.Errorf("invalid -debug-addr must error, got %v", err)
 	}
 }
 
@@ -58,7 +78,7 @@ func TestRunRejectsBadPersistenceFlags(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := run(tc.args)
+			err := run(tc.args, io.Discard)
 			if err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
 			}

@@ -1,0 +1,311 @@
+// Command crowdprof renders recorded cycle traces as per-stage,
+// per-worker performance breakdowns — the reading end of the profiling
+// subsystem. It consumes the JSON the service's GET /trace endpoint
+// returns ({"traces": [...]}) or a bare array of cycle traces (what a
+// benchmark dumps via CROWDLEARN_TRACE_OUT), aggregates spans by stage,
+// and prints a flame-style text table: wall time, self time (wall minus
+// children), share of total cycle time, busy time and worker
+// utilization for profiled parallel stages, and allocation attribution
+// when traces carry sampler deltas.
+//
+// Usage:
+//
+//	curl -s localhost:8080/trace?n=50 | crowdprof
+//	crowdprof -i trace.json -format json
+//
+// The per-worker section decodes the "parallel" span attribute the loop
+// profiler attaches, turning a multi-worker slowdown (e.g. workers=4
+// running slower than workers=1) into a quantitative diagnosis: low
+// utilization with high per-worker wait means the loop's items are too
+// cheap for the fan-out.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
+)
+
+// stageReport is one stage's aggregate across every input trace.
+type stageReport struct {
+	Stage string `json:"stage"`
+	// Count is the number of spans with this stage name.
+	Count int `json:"count"`
+	// Wall/Self/Simulated/Busy are summed durations; Self is wall minus
+	// the wall of direct children (time spent in the stage itself).
+	Wall      time.Duration `json:"wallNanos"`
+	Self      time.Duration `json:"selfNanos"`
+	Simulated time.Duration `json:"simulatedNanos,omitempty"`
+	Busy      time.Duration `json:"busyNanos,omitempty"`
+	// AllocBytes/Allocs are summed sampler deltas.
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	Allocs     int64 `json:"allocObjects,omitempty"`
+	// Errors counts failed spans.
+	Errors int `json:"errors,omitempty"`
+	// Workers is the worker count of the most recent profiled loop; 0
+	// for unprofiled stages.
+	Workers int `json:"workers,omitempty"`
+	// Loops counts profiled parallel loops folded into PerWorker.
+	Loops int `json:"loops,omitempty"`
+	// Idle is the summed paid-but-unused worker time of profiled loops.
+	Idle time.Duration `json:"idleNanos,omitempty"`
+	// PerWorker accumulates the profiled loops' per-slot records.
+	PerWorker []prof.WorkerProfile `json:"perWorker,omitempty"`
+}
+
+// utilization is the stage's busy share of paid worker time.
+func (s *stageReport) utilization() float64 {
+	denom := s.Busy + s.Idle
+	if denom <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(denom)
+}
+
+// report is the full aggregate crowdprof renders.
+type report struct {
+	Cycles int `json:"cycles"`
+	// CycleWall is the summed wall time of the cycle roots.
+	CycleWall time.Duration  `json:"cycleWallNanos"`
+	Stages    []*stageReport `json:"stages"`
+}
+
+// decode accepts either the service's TraceResponse envelope or a bare
+// trace array.
+func decode(data []byte) ([]*obs.CycleTrace, error) {
+	var envelope struct {
+		Traces []*obs.CycleTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &envelope); err == nil && len(envelope.Traces) > 0 {
+		return envelope.Traces, nil
+	}
+	var bare []*obs.CycleTrace
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("crowdprof: input is neither a /trace response nor a trace array: %w", err)
+	}
+	return bare, nil
+}
+
+// loopProfile re-types the "parallel" span attribute, which JSON
+// decoding leaves as map[string]any, back into the profiler's record.
+func loopProfile(attr any) (prof.LoopProfile, bool) {
+	if attr == nil {
+		return prof.LoopProfile{}, false
+	}
+	if lp, ok := attr.(prof.LoopProfile); ok {
+		return lp, true // in-process traces carry the typed value
+	}
+	raw, err := json.Marshal(attr)
+	if err != nil {
+		return prof.LoopProfile{}, false
+	}
+	var lp prof.LoopProfile
+	if err := json.Unmarshal(raw, &lp); err != nil {
+		return prof.LoopProfile{}, false
+	}
+	return lp, lp.Workers > 0
+}
+
+// aggregate folds every span tree into per-stage reports.
+func aggregate(traces []*obs.CycleTrace) *report {
+	rep := &report{}
+	stages := make(map[string]*stageReport)
+	var walk func(sp *obs.Span)
+	walk = func(sp *obs.Span) {
+		if sp == nil {
+			return
+		}
+		st, ok := stages[sp.Name]
+		if !ok {
+			st = &stageReport{Stage: sp.Name}
+			stages[sp.Name] = st
+		}
+		st.Count++
+		st.Wall += sp.Wall
+		st.Simulated += sp.Simulated
+		st.Busy += sp.Busy
+		st.AllocBytes += sp.AllocBytes
+		st.Allocs += sp.Allocs
+		if sp.Err != "" {
+			st.Errors++
+		}
+		self := sp.Wall
+		for _, c := range sp.Children {
+			self -= c.Wall
+			walk(c)
+		}
+		if self < 0 {
+			self = 0
+		}
+		st.Self += self
+		if lp, ok := loopProfile(sp.Attrs["parallel"]); ok {
+			st.Loops++
+			st.Workers = lp.Workers
+			st.Idle += lp.Idle()
+			for len(st.PerWorker) < len(lp.PerWorker) {
+				st.PerWorker = append(st.PerWorker, prof.WorkerProfile{})
+			}
+			for i, w := range lp.PerWorker {
+				st.PerWorker[i].Busy += w.Busy
+				st.PerWorker[i].Wait += w.Wait
+				st.PerWorker[i].Chunks += w.Chunks
+				st.PerWorker[i].Items += w.Items
+			}
+		}
+	}
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		rep.Cycles++
+		rep.CycleWall += tr.Root.Wall
+		walk(tr.Root)
+	}
+	for _, st := range stages {
+		rep.Stages = append(rep.Stages, st)
+	}
+	sort.Slice(rep.Stages, func(a, b int) bool {
+		if rep.Stages[a].Wall != rep.Stages[b].Wall {
+			return rep.Stages[a].Wall > rep.Stages[b].Wall
+		}
+		return rep.Stages[a].Stage < rep.Stages[b].Stage
+	})
+	return rep
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b == 0:
+		return "-"
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// renderText prints the flame-style stage table plus, for profiled
+// parallel stages, the per-worker breakdown and an attribution line.
+func renderText(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "crowdprof: %d cycle(s), total cycle wall %s\n\n", rep.Cycles, fmtDur(rep.CycleWall))
+	fmt.Fprintf(w, "%-16s %6s %10s %10s %7s %10s %10s %6s %10s %8s\n",
+		"STAGE", "COUNT", "WALL", "SELF", "%CYCLE", "MEAN", "BUSY", "UTIL", "ALLOC", "OBJECTS")
+	for _, st := range rep.Stages {
+		pct, util, mean := "-", "-", "-"
+		if rep.CycleWall > 0 && st.Stage != obs.SpanCycle {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(st.Wall)/float64(rep.CycleWall))
+		}
+		if st.Loops > 0 {
+			util = fmt.Sprintf("%.0f%%", 100*st.utilization())
+		}
+		if st.Count > 0 {
+			mean = fmtDur(st.Wall / time.Duration(st.Count))
+		}
+		objects := "-"
+		if st.Allocs > 0 {
+			objects = fmt.Sprintf("%d", st.Allocs)
+		}
+		fmt.Fprintf(w, "%-16s %6d %10s %10s %7s %10s %10s %6s %10s %8s\n",
+			st.Stage, st.Count, fmtDur(st.Wall), fmtDur(st.Self), pct, mean,
+			fmtDur(st.Busy), util, fmtBytes(st.AllocBytes), objects)
+	}
+
+	parallelStages := make([]*stageReport, 0, len(rep.Stages))
+	for _, st := range rep.Stages {
+		if st.Loops > 0 {
+			parallelStages = append(parallelStages, st)
+		}
+	}
+	if len(parallelStages) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nPER-WORKER BREAKDOWN (profiled parallel stages)\n")
+	for _, st := range parallelStages {
+		fmt.Fprintf(w, "\n%s: %d loop(s) at workers=%d, busy %s, idle %s, utilization %.0f%%\n",
+			st.Stage, st.Loops, st.Workers, fmtDur(st.Busy), fmtDur(st.Idle), 100*st.utilization())
+		fmt.Fprintf(w, "  %-7s %10s %10s %8s %8s\n", "WORKER", "BUSY", "WAIT", "CHUNKS", "ITEMS")
+		for i, wp := range st.PerWorker {
+			fmt.Fprintf(w, "  %-7d %10s %10s %8d %8d\n", i, fmtDur(wp.Busy), fmtDur(wp.Wait), wp.Chunks, wp.Items)
+		}
+		// The attribution sentence: where did the wall time go?
+		if st.utilization() < 0.5 && st.Workers > 1 {
+			var wait time.Duration
+			for _, wp := range st.PerWorker {
+				wait += wp.Wait
+			}
+			fmt.Fprintf(w, "  -> workers idle %.0f%% of paid time (scheduling wait %s): "+
+				"per-item work too small for workers=%d; fewer workers or larger cycles would run faster\n",
+				100*(1-st.utilization()), fmtDur(wait), st.Workers)
+		}
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crowdprof", flag.ContinueOnError)
+	input := fs.String("i", "-", "input file with /trace JSON or a trace array (- for stdin)")
+	format := fs.String("format", "text", "output format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var data []byte
+	var err error
+	if *input == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(*input)
+	}
+	if err != nil {
+		return err
+	}
+	traces, err := decode(data)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces in input")
+	}
+	rep := aggregate(traces)
+	switch strings.ToLower(*format) {
+	case "text":
+		renderText(stdout, rep)
+		return nil
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
+)
+
+// recordedTraces produces two real profiled cycle-shaped traces and
+// returns them JSON-encoded in the service envelope.
+func recordedTraces(t *testing.T) []byte {
+	t.Helper()
+	tr := obs.NewTracer(8)
+	tr.SetSampler(prof.AllocSampler{})
+	p := prof.New(nil)
+	for cycle := 0; cycle < 2; cycle++ {
+		ct := tr.Begin(cycle, "morning")
+		sp := ct.Span("committee.vote")
+		rec := p.Loop("committee.vote")
+		bufs := make([][]byte, 64) // per-index slots force heap allocations the sampler can see
+		parallel.ForObs(4, 64, rec.Obs(), func(i int) {
+			bufs[i] = make([]byte, 256)
+			s := 0.0
+			for j := 1; j < 500; j++ {
+				s += 1.0 / float64(j)
+			}
+			bufs[i][0] = byte(s)
+		})
+		rec.Annotate(sp)
+		sp.SetSimulated(2 * time.Second)
+		sp.End()
+		inner := ct.Span("crowd.submit")
+		inner.Child("crowd.wait").End()
+		inner.End()
+		ct.End()
+	}
+	raw, err := json.Marshal(struct {
+		Traces []*obs.CycleTrace `json:"traces"`
+	}{Traces: tr.Recent(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestDecodeEnvelopeAndBareArray(t *testing.T) {
+	raw := recordedTraces(t)
+	traces, err := decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("envelope decoded %d traces", len(traces))
+	}
+
+	bare, err := json.Marshal(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err = decode(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("bare array decoded %d traces", len(traces))
+	}
+
+	if _, err := decode([]byte(`{"nope": 1}`)); err == nil {
+		t.Fatal("junk input must fail decoding")
+	}
+}
+
+func TestAggregateBuildsStageAndWorkerBreakdown(t *testing.T) {
+	traces, err := decode(recordedTraces(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := aggregate(traces)
+	if rep.Cycles != 2 || rep.CycleWall <= 0 {
+		t.Fatalf("report header %+v", rep)
+	}
+	byName := map[string]*stageReport{}
+	for _, st := range rep.Stages {
+		byName[st.Stage] = st
+	}
+	vote := byName["committee.vote"]
+	if vote == nil || vote.Count != 2 {
+		t.Fatalf("committee.vote aggregate %+v", vote)
+	}
+	if vote.Loops != 2 || vote.Workers < 1 || len(vote.PerWorker) != vote.Workers {
+		t.Fatalf("per-worker breakdown missing: %+v", vote)
+	}
+	if vote.Busy <= 0 {
+		t.Fatalf("busy not aggregated: %+v", vote)
+	}
+	var items int64
+	for _, wp := range vote.PerWorker {
+		items += wp.Items
+	}
+	if items != 128 { // 2 loops x 64 items
+		t.Fatalf("per-worker items sum %d", items)
+	}
+	if vote.AllocBytes <= 0 {
+		t.Fatalf("alloc attribution missing: %+v", vote)
+	}
+	// Self time of crowd.submit excludes its crowd.wait child.
+	submit := byName["crowd.submit"]
+	if submit == nil || submit.Self > submit.Wall {
+		t.Fatalf("self-time accounting broken: %+v", submit)
+	}
+	if u := vote.utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestRunRendersTextAndJSON(t *testing.T) {
+	raw := recordedTraces(t)
+
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(raw), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"STAGE", "committee.vote", "PER-WORKER BREAKDOWN", "WORKER", "UTIL"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-format", "json"}, bytes.NewReader(raw), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 2 || len(rep.Stages) == 0 {
+		t.Fatalf("json report %+v", rep)
+	}
+
+	if err := run([]string{"-format", "xml"}, bytes.NewReader(raw), &out); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+	if err := run(nil, strings.NewReader("[]"), &out); err == nil {
+		t.Fatal("empty trace array must fail")
+	}
+}
+
+func TestRunReadsFile(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	if err := os.WriteFile(path, recordedTraces(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-i", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "committee.vote") {
+		t.Fatalf("file input not rendered:\n%s", out.String())
+	}
+}

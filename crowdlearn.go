@@ -35,6 +35,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/faults"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
 	"github.com/crowdlearn/crowdlearn/internal/store"
 )
 
@@ -132,6 +133,19 @@ type (
 	Span = obs.Span
 	// StageStat aggregates span durations by stage name.
 	StageStat = obs.StageStat
+	// Profiler records per-worker utilization of the sensing loop's
+	// parallel stages and exports crowdlearn_parallel_* metrics. Attach
+	// through SystemConfig.Profiler.
+	Profiler = prof.Profiler
+	// LoopProfile is one profiled parallel loop's utilization record,
+	// attached to stage spans as the "parallel" attribute.
+	LoopProfile = prof.LoopProfile
+	// StageTotals is the profiler's per-stage roll-up.
+	StageTotals = prof.StageTotals
+	// AllocSampler attributes heap-allocation deltas to spans when
+	// attached via Tracer.SetSampler (runtime/metrics-backed; safe and
+	// cheap at every span boundary).
+	AllocSampler = prof.AllocSampler
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -140,6 +154,16 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewTracer builds a cycle tracer retaining the most recent capacity
 // traces (capacity <= 0 selects obs.DefaultTraceCapacity).
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewProfiler builds a parallel-stage profiler exporting to reg (nil
+// keeps stage totals without exporting metrics).
+func NewProfiler(reg *MetricsRegistry) *Profiler { return prof.New(reg) }
+
+// AggregateStages totals spans by stage name across the given traces —
+// the per-stage roll-up behind reports and benchmark extras.
+func AggregateStages(traces []*CycleTrace) map[string]StageStat {
+	return obs.AggregateStages(traces)
+}
 
 // SamplesFromImages builds hard-labelled training samples from ground
 // truth — the argument System.RestoreState expects for its replay pool.

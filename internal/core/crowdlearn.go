@@ -13,6 +13,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/mic"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/parallel"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
 	"github.com/crowdlearn/crowdlearn/internal/qss"
 	"github.com/crowdlearn/crowdlearn/internal/simclock"
 )
@@ -71,6 +72,12 @@ type Config struct {
 	// Tracer, when non-nil, records one span tree per sensing cycle
 	// covering every pipeline stage. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Profiler, when non-nil, records per-worker utilization of the
+	// cycle's parallel stages (committee voting, QSS scoring, MIC
+	// retraining) and annotates the corresponding spans with busy time
+	// and a per-worker breakdown. Profiling is passive: cycle outputs
+	// are bit-identical with and without it. Nil disables profiling.
+	Profiler *prof.Profiler
 	// Journal, when non-nil, receives one JournalCycle record after each
 	// cycle's state mutations have been applied and before RunCycle
 	// returns. A journal append error fails the cycle: callers must not
@@ -245,11 +252,15 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 			ImageIDs:    imageIDs(in.Images),
 			Submissions: recorder.subs,
 		}
+		jsp := ct.Span(SpanJournalAppend)
 		if jerr := cl.cfg.Journal.CycleCommitted(rec); jerr != nil {
 			// The in-memory mutations stand but the cycle is not durable;
 			// surface that as a cycle failure so the caller does not
 			// acknowledge work the journal cannot replay.
+			jsp.Fail(jerr)
 			err = fmt.Errorf("core: cycle %d applied but journal append failed: %w", in.Index, jerr)
+		} else {
+			jsp.End()
 		}
 	}
 	if err != nil {
@@ -270,9 +281,11 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 	// the CrowdLearn module overhead (Table III cost model).
 	sp := ct.Span(SpanCommitteeVote)
 	sp.SetAttr("workers", parallel.Workers(cl.cfg.Workers))
-	parallel.For(cl.cfg.Workers, len(in.Images), func(i int) {
+	rec := cl.cfg.Profiler.Loop(SpanCommitteeVote)
+	parallel.ForObs(cl.cfg.Workers, len(in.Images), rec.Obs(), func(i int) {
 		out.Distributions[i] = cl.committee.VoteInto(in.Images[i], make([]float64, imagery.NumLabels))
 	})
+	rec.Annotate(sp)
 	out.AlgorithmDelay = time.Duration(len(in.Images)) * (cl.maxMemberCost + cl.cfg.CommitteeOverheadPerImage)
 	sp.SetSimulated(out.AlgorithmDelay)
 	sp.End()
@@ -285,7 +298,9 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 	// (2) QSS selects the query set; IPD prices it.
 	sp = ct.Span(SpanQSSSelect)
 	sp.SetAttr("workers", parallel.Workers(cl.cfg.Workers))
-	queried := cl.selector.Select(cl.committee, in.Images, cl.cfg.QuerySize)
+	rec = cl.cfg.Profiler.Loop(SpanQSSSelect)
+	queried := cl.selector.SelectObs(cl.committee, in.Images, cl.cfg.QuerySize, rec.Obs())
+	rec.Annotate(sp)
 	sp.End()
 
 	sp = ct.Span(SpanIPDPrice)
@@ -398,10 +413,13 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 		// Interleave replayed training data so the incremental pass does
 		// not catastrophically forget the original task.
 		cl.replay.add(samples)
-		if err := cl.calibrator.Retrain(cl.committee, cl.replay.batch()); err != nil {
+		rec = cl.cfg.Profiler.Loop(SpanMICRetrain)
+		if err := cl.calibrator.RetrainObs(cl.committee, cl.replay.batch(), rec.Obs()); err != nil {
+			rec.Annotate(sp)
 			sp.Fail(err)
 			return CycleOutput{}, err
 		}
+		rec.Annotate(sp)
 		sp.End()
 	}
 	if !cl.cfg.DisableOffloading {

@@ -74,6 +74,9 @@ const (
 	// SpanCrowdRequery is one recovery wave reposting expired HITs; its
 	// simulated duration is the deadline the wave waited out.
 	SpanCrowdRequery = "crowd.requery"
+	// SpanJournalAppend is the durable journal append that commits the
+	// cycle — the fsync-bound tail of every journaled cycle.
+	SpanJournalAppend = "journal.append"
 )
 
 // delayBuckets cover simulated delays from sub-second committee compute

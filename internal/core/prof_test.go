@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
+)
+
+// profiledCycleOutputs mirrors cycleOutputsAtWorkers but attaches the
+// full observability stack — metrics registry, tracer with allocation
+// sampler, and loop profiler. Returns the encoded outputs plus the
+// tracer and profiler for inspection.
+func profiledCycleOutputs(t *testing.T, workers int) ([]byte, *obs.Tracer, *prof.Profiler) {
+	t.Helper()
+	f := sharedFixture(t)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Metrics = obs.NewRegistry()
+	cfg.Tracer = obs.NewTracer(16)
+	cfg.Tracer.SetSampler(prof.AllocSampler{})
+	cfg.Profiler = prof.New(cfg.Metrics)
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatalf("workers=%d: bootstrap: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	contexts := []crowd.TemporalContext{crowd.Morning, crowd.Afternoon, crowd.Evening, crowd.Midnight}
+	for cycle := 0; cycle < 4; cycle++ {
+		in := CycleInput{
+			Index:   cycle,
+			Context: contexts[cycle%len(contexts)],
+			Images:  f.ds.Test[cycle*10 : (cycle+1)*10],
+		}
+		out, err := cl.RunCycle(in)
+		if err != nil {
+			t.Fatalf("workers=%d: cycle %d: %v", workers, cycle, err)
+		}
+		if err := enc.Encode(out); err != nil {
+			t.Fatalf("workers=%d: encode cycle %d: %v", workers, cycle, err)
+		}
+	}
+	if err := enc.Encode(cl.Committee().Weights()); err != nil {
+		t.Fatalf("workers=%d: encode weights: %v", workers, err)
+	}
+	return buf.Bytes(), cfg.Tracer, cfg.Profiler
+}
+
+// unprofiledCycleOutputs is the same drive with observability disabled.
+func unprofiledCycleOutputs(t *testing.T, workers int) []byte {
+	t.Helper()
+	f := sharedFixture(t)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatalf("workers=%d: bootstrap: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	contexts := []crowd.TemporalContext{crowd.Morning, crowd.Afternoon, crowd.Evening, crowd.Midnight}
+	for cycle := 0; cycle < 4; cycle++ {
+		in := CycleInput{
+			Index:   cycle,
+			Context: contexts[cycle%len(contexts)],
+			Images:  f.ds.Test[cycle*10 : (cycle+1)*10],
+		}
+		out, err := cl.RunCycle(in)
+		if err != nil {
+			t.Fatalf("workers=%d: cycle %d: %v", workers, cycle, err)
+		}
+		if err := enc.Encode(out); err != nil {
+			t.Fatalf("workers=%d: encode cycle %d: %v", workers, cycle, err)
+		}
+	}
+	if err := enc.Encode(cl.Committee().Weights()); err != nil {
+		t.Fatalf("workers=%d: encode weights: %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestProfilingBitIdenticalCycleOutputs is the acceptance contract of
+// the profiling subsystem: attaching the profiler, tracer and
+// allocation sampler must not change cycle outputs at any worker count.
+// (Name matches the race-equivalence BitIdentical regex.)
+func TestProfilingBitIdenticalCycleOutputs(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		plain := unprofiledCycleOutputs(t, workers)
+		profiled, _, _ := profiledCycleOutputs(t, workers)
+		if !bytes.Equal(plain, profiled) {
+			t.Errorf("workers=%d: profiled cycle outputs differ from unprofiled run", workers)
+		}
+	}
+}
+
+// TestProfiledCycleSpansCarryUtilization checks the end-to-end wiring:
+// every profiled cycle's parallel-stage spans carry busy time, a
+// per-worker breakdown and allocation deltas, and the profiler's stage
+// totals cover the instrumented stages.
+func TestProfiledCycleSpansCarryUtilization(t *testing.T) {
+	_, tracer, profiler := profiledCycleOutputs(t, 2)
+
+	traces := tracer.Recent(0)
+	if len(traces) != 4 {
+		t.Fatalf("recorded %d traces, want 4", len(traces))
+	}
+	for _, trace := range traces {
+		if trace.Root.AllocBytes <= 0 {
+			t.Errorf("cycle %d: root has no allocation delta", trace.Cycle)
+		}
+		seen := map[string]*obs.Span{}
+		for _, sp := range trace.Root.Children {
+			seen[sp.Name] = sp
+		}
+		for _, stage := range []string{SpanCommitteeVote, SpanQSSSelect, SpanMICRetrain} {
+			sp := seen[stage]
+			if sp == nil {
+				t.Fatalf("cycle %d: stage %s missing", trace.Cycle, stage)
+			}
+			if sp.Busy <= 0 {
+				t.Errorf("cycle %d %s: no busy time", trace.Cycle, stage)
+			}
+			if sp.Attrs["parallel"] == nil {
+				t.Errorf("cycle %d %s: no parallel profile attr", trace.Cycle, stage)
+			}
+		}
+	}
+
+	snap := profiler.Snapshot()
+	stages := map[string]prof.StageTotals{}
+	for _, st := range snap {
+		stages[st.Stage] = st
+	}
+	for _, stage := range []string{SpanCommitteeVote, SpanQSSSelect, SpanMICRetrain} {
+		st, ok := stages[stage]
+		if !ok {
+			t.Fatalf("profiler has no totals for %s: %+v", stage, snap)
+		}
+		if st.Loops != 4 || st.Busy <= 0 {
+			t.Errorf("stage %s totals %+v", stage, st)
+		}
+	}
+}

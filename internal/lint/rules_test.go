@@ -142,6 +142,31 @@ func TestWallClockAllowlist(t *testing.T) {
 	}
 }
 
+// TestWallClockDefaultAllowlist pins the default allowlist's behaviour
+// against the wallclock fixture: the profiling subsystem (which owns
+// every time.Now the parallel observer hooks need) is allowlisted, the
+// deterministic sensing loop is not. Guards against the allowlist being
+// narrowed while internal/prof still reads the clock.
+func TestWallClockDefaultAllowlist(t *testing.T) {
+	rule := NewWallClock(nil)
+	for rel, wantClean := range map[string]bool{
+		"internal/prof":     true,
+		"internal/obs":      true,
+		"internal/core":     false,
+		"internal/parallel": false,
+	} {
+		pkg := loadFixture(t, "wallclock")
+		pkg.RelPath = rel
+		got := rule.Check(pkg)
+		if wantClean && len(got) != 0 {
+			t.Errorf("%s: default allowlist should cover it, got %d findings: %v", rel, len(got), render(got))
+		}
+		if !wantClean && len(got) == 0 {
+			t.Errorf("%s: expected findings outside the allowlist, got none", rel)
+		}
+	}
+}
+
 // TestCheckedErrorsFileScope verifies a ".go"-suffixed scope entry
 // restricts the rule to that one file.
 func TestCheckedErrorsFileScope(t *testing.T) {

@@ -135,11 +135,19 @@ func RetrainSamples(images []*imagery.Image, truths [][]float64) ([]classifier.S
 // lowest-index error matches what a sequential member loop would return
 // first.
 func (c *Calibrator) Retrain(committee *qss.Committee, samples []classifier.Sample) error {
+	return c.RetrainObs(committee, samples, nil)
+}
+
+// RetrainObs is Retrain with an optional scheduling observer on the
+// per-member fan-out (the profiling hook); a nil observer is exactly
+// Retrain. Observation is passive and cannot change results or error
+// selection.
+func (c *Calibrator) RetrainObs(committee *qss.Committee, samples []classifier.Sample, o parallel.Observer) error {
 	if len(samples) == 0 {
 		return nil
 	}
 	experts := committee.Experts()
-	return parallel.ForErr(c.cfg.Workers, len(experts), func(m int) error {
+	return parallel.ForErrObs(c.cfg.Workers, len(experts), o, func(m int) error {
 		if err := experts[m].Update(samples); err != nil {
 			return fmt.Errorf("mic: retrain %s: %w", experts[m].Name(), err)
 		}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The Prometheus text exposition format, version 0.0.4: sample lines are
+// `name{label="value",...} value`, label values escape \, " and
+// newlines, and every family this package exposes is preceded by one
+// HELP and one TYPE comment.
+var (
+	sampleLine = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\\\|\\"|\\n|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\\\|\\"|\\n|[^"\\])*")*\})? (.+)$`)
+	commentLine = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$`)
+)
+
+// checkExposition validates one rendered exposition against the
+// text-format grammar and returns the set of sample family names seen.
+func checkExposition(t *testing.T, text string) map[string]bool {
+	t.Helper()
+	help := make(map[string]bool)
+	typed := make(map[string]string)
+	families := make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := commentLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			switch m[1] {
+			case "HELP":
+				if help[m[2]] {
+					t.Errorf("duplicate HELP for %s", m[2])
+				}
+				if m[3] == "" {
+					t.Errorf("empty HELP text for %s", m[2])
+				}
+				help[m[2]] = true
+			case "TYPE":
+				if _, dup := typed[m[2]]; dup {
+					t.Errorf("duplicate TYPE for %s", m[2])
+				}
+				switch m[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Errorf("invalid TYPE %q for %s", m[3], m[2])
+				}
+				typed[m[2]] = m[3]
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		// Histogram series sample under the family name + suffix.
+		fam := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(fam, suffix)
+			if base != fam && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		families[fam] = true
+		if !help[fam] {
+			t.Errorf("sample %q rendered before/without a HELP line for %s", line, fam)
+		}
+		if _, ok := typed[fam]; !ok {
+			t.Errorf("sample %q rendered before/without a TYPE line for %s", line, fam)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// TestExpositionConformance builds a registry mixing helped and
+// help-less families, awkward label values and histograms, and checks
+// the full rendered exposition against the format grammar: every family
+// carries HELP and TYPE, every label value is escaped, every sample
+// parses.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Help("with_help_total", "Documented counter.")
+	r.Counter("with_help_total").Add(2)
+	// No Help() call: the exporter must still render a HELP line.
+	r.Counter("helpless_total", "path", "/assess").Inc()
+	r.Gauge("weird_labels", "v", "a\"quote\\slash\nnewline").Set(-1.5)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1}, "path", "/")
+	h.Observe(0.01)
+	h.Observe(10)
+	r.Gauge("build_info", "version", "v1.2.3", "goversion", "go1.22").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	families := checkExposition(t, b.String())
+	for _, want := range []string{"with_help_total", "helpless_total", "weird_labels", "latency_seconds", "build_info"} {
+		if !families[want] {
+			t.Errorf("family %s missing from exposition:\n%s", want, b.String())
+		}
+	}
+	if !strings.Contains(b.String(), "# HELP helpless_total helpless_total\n") {
+		t.Errorf("help-less family did not get a fallback HELP line:\n%s", b.String())
+	}
+}
+
+// TestTextContentType pins the scrape Content-Type to the exposition
+// format version the renderer implements.
+func TestTextContentType(t *testing.T) {
+	if TextContentType != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("TextContentType = %q", TextContentType)
+	}
+}
+
+// TestExpositionConformanceUnderLoad renders while series churn, and
+// checks each snapshot's grammar (catching families exposed mid-create
+// without their comment lines).
+func TestExpositionConformanceUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter(fmt.Sprintf("fam_%d_total", i%7), "shard", strconv.Itoa(i%3)).Inc()
+			r.Histogram("churn_seconds", DefBuckets, "shard", strconv.Itoa(i%3)).Observe(float64(i%5) / 10)
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		checkExposition(t, b.String())
+	}
+	close(stop)
+	<-done
+}

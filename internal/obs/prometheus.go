@@ -59,10 +59,16 @@ func writeFamily(w io.Writer, f famSnapshot) error {
 	if len(f.keys) == 0 {
 		return nil
 	}
-	if f.help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
-			return err
-		}
+	// Every exposed family carries a HELP line: families registered
+	// without help text fall back to their own name so scrapes stay
+	// self-describing and format checkers see the full
+	// HELP/TYPE/samples triplet per family.
+	help := f.help
+	if help == "" {
+		help = f.name
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(help)); err != nil {
+		return err
 	}
 	kind := f.kind
 	if kind == "" {

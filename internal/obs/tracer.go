@@ -5,6 +5,25 @@ import (
 	"time"
 )
 
+// AllocSample is one reading of the process's cumulative heap
+// allocation counters, taken at span boundaries to attribute allocation
+// deltas to pipeline stages.
+type AllocSample struct {
+	// Bytes is the cumulative heap bytes allocated since process start.
+	Bytes uint64
+	// Objects is the cumulative heap objects allocated.
+	Objects uint64
+}
+
+// Sampler supplies allocation samples at span boundaries. The
+// implementation lives in internal/prof (runtime/metrics-backed); obs
+// only defines the seam so tracing does not depend on the profiler.
+// Sample must be safe for concurrent use and cheap — it runs twice per
+// span when attached.
+type Sampler interface {
+	Sample() AllocSample
+}
+
 // Span is one named stage of a sensing cycle. A span records the real
 // wall-clock time the stage took to compute plus, where the simulation
 // models time (committee compute, crowd completion), the simulated
@@ -23,6 +42,20 @@ type Span struct {
 	// Simulated is the simulated duration the stage stands for (0 when
 	// the stage has no simulated-time component).
 	Simulated time.Duration `json:"simulatedNanos"`
+	// Busy is the summed per-worker busy time of the stage's parallel
+	// loop (0 when the stage is single-threaded or unprofiled). Busy
+	// greater than Wall means the stage genuinely ran concurrently;
+	// Busy well under Workers×Wall means workers sat idle.
+	Busy time.Duration `json:"busyNanos,omitempty"`
+	// AllocBytes is the process-wide heap-byte delta sampled while the
+	// span was open (0 without a tracer sampler). Under overlapping
+	// cycles the delta includes co-running stages' allocations; the
+	// shipped service runs cycles strictly sequentially, where the
+	// attribution is exact.
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	// Allocs is the heap-object delta over the span, sampled like
+	// AllocBytes.
+	Allocs int64 `json:"allocObjects,omitempty"`
 	// Err holds the stage's error text when it failed.
 	Err string `json:"error,omitempty"`
 	// Attrs are optional stage attributes (e.g. the worker count a
@@ -30,24 +63,46 @@ type Span struct {
 	Attrs map[string]any `json:"attrs,omitempty"`
 	// Children are sub-stages.
 	Children []*Span `json:"children,omitempty"`
+
+	sampler    Sampler
+	startAlloc AllocSample
 }
 
-// Child starts a sub-span. Nil-safe: a nil parent returns nil.
+// Child starts a sub-span. Nil-safe: a nil parent returns nil. The child
+// inherits the parent's allocation sampler.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, Start: time.Now()}
+	c := &Span{Name: name, Start: time.Now(), sampler: s.sampler}
+	if c.sampler != nil {
+		c.startAlloc = c.sampler.Sample()
+	}
 	s.Children = append(s.Children, c)
 	return c
 }
 
-// End fixes the span's wall duration. Nil-safe.
+// End fixes the span's wall duration and, with a sampler attached,
+// its allocation deltas. Nil-safe.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.Wall = time.Since(s.Start)
+	if s.sampler != nil {
+		end := s.sampler.Sample()
+		s.AllocBytes = int64(end.Bytes - s.startAlloc.Bytes)
+		s.Allocs = int64(end.Objects - s.startAlloc.Objects)
+	}
+}
+
+// SetBusy records the stage's summed per-worker busy time (from the
+// parallel-loop profiler). Nil-safe.
+func (s *Span) SetBusy(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Busy = d
 }
 
 // SetSimulated records the simulated duration the stage represents.
@@ -122,9 +177,10 @@ func (c *CycleTrace) End() {
 // Tracer retains the most recent cycle traces in a bounded ring.
 // Begin/End are cheap; a nil *Tracer disables tracing entirely.
 type Tracer struct {
-	mu     sync.Mutex
-	cap    int
-	traces []*CycleTrace // oldest first
+	mu      sync.Mutex
+	cap     int
+	traces  []*CycleTrace // oldest first
+	sampler Sampler
 }
 
 // DefaultTraceCapacity bounds the ring when NewTracer is given a
@@ -139,6 +195,18 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity}
 }
 
+// SetSampler attaches an allocation sampler: every span opened by a
+// subsequent Begin records heap-byte and heap-object deltas over its
+// lifetime. Nil detaches. Safe for concurrent use with Begin. Nil-safe.
+func (t *Tracer) SetSampler(s Sampler) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sampler = s
+	t.mu.Unlock()
+}
+
 // Begin opens the trace for one sensing cycle. The trace is invisible to
 // Recent until End commits it. Nil-safe: a nil tracer returns a nil
 // trace whose methods all no-op.
@@ -146,10 +214,17 @@ func (t *Tracer) Begin(cycle int, context string) *CycleTrace {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	sampler := t.sampler
+	t.mu.Unlock()
+	root := &Span{Name: SpanCycle, Start: time.Now(), sampler: sampler}
+	if sampler != nil {
+		root.startAlloc = sampler.Sample()
+	}
 	return &CycleTrace{
 		Cycle:   cycle,
 		Context: context,
-		Root:    &Span{Name: SpanCycle, Start: time.Now()},
+		Root:    root,
 		tracer:  t,
 	}
 }
@@ -207,6 +282,14 @@ type StageStat struct {
 	Wall time.Duration `json:"wallNanos"`
 	// Simulated is the total simulated time.
 	Simulated time.Duration `json:"simulatedNanos"`
+	// Busy is the total summed per-worker busy time (profiled parallel
+	// stages only).
+	Busy time.Duration `json:"busyNanos,omitempty"`
+	// AllocBytes is the total heap-byte delta attributed to the stage
+	// (sampler-attached traces only).
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	// Allocs is the total heap-object delta attributed to the stage.
+	Allocs int64 `json:"allocObjects,omitempty"`
 }
 
 // MeanWall is the average wall-clock duration per span.
@@ -238,6 +321,9 @@ func AggregateStages(traces []*CycleTrace) map[string]StageStat {
 		st.Count++
 		st.Wall += sp.Wall
 		st.Simulated += sp.Simulated
+		st.Busy += sp.Busy
+		st.AllocBytes += sp.AllocBytes
+		st.Allocs += sp.Allocs
 		out[sp.Name] = st
 		for _, c := range sp.Children {
 			walk(c)

@@ -3,7 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -143,6 +145,136 @@ func TestConcurrentCommitAndRecent(t *testing.T) {
 	<-done
 	if tr.Len() != 16 {
 		t.Errorf("ring size %d, want 16", tr.Len())
+	}
+}
+
+// countingSampler is a deterministic Sampler: each Sample advances the
+// counters, so span deltas are strictly positive and ordered.
+type countingSampler struct{ n atomic.Uint64 }
+
+func (s *countingSampler) Sample() AllocSample {
+	v := s.n.Add(1)
+	return AllocSample{Bytes: v * 64, Objects: v}
+}
+
+func TestSpanSamplerRecordsAllocDeltas(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetSampler(&countingSampler{})
+	ct := tr.Begin(0, "morning")
+	sp := ct.Span("qss.select")
+	child := sp.Child("inner")
+	child.End()
+	sp.End()
+	ct.End()
+
+	root := tr.Recent(1)[0].Root
+	if root.AllocBytes <= 0 || root.Allocs <= 0 {
+		t.Fatalf("root deltas not recorded: %+v", root)
+	}
+	stage := root.Children[0]
+	if stage.AllocBytes <= 0 || stage.Allocs <= 0 {
+		t.Fatalf("stage deltas not recorded: %+v", stage)
+	}
+	if stage.Children[0].Allocs <= 0 {
+		t.Fatalf("child did not inherit the sampler: %+v", stage.Children[0])
+	}
+	// The parent span was open across the child, so its delta must
+	// cover the child's.
+	if stage.Allocs < stage.Children[0].Allocs {
+		t.Errorf("parent delta %d below child delta %d", stage.Allocs, stage.Children[0].Allocs)
+	}
+
+	// Detaching stops sampling for later traces.
+	tr.SetSampler(nil)
+	ct = tr.Begin(1, "morning")
+	ct.Span("qss.select").End()
+	ct.End()
+	if got := tr.Recent(1)[0].Root; got.AllocBytes != 0 || got.Allocs != 0 {
+		t.Errorf("detached sampler still recorded deltas: %+v", got)
+	}
+}
+
+func TestSpanSetBusy(t *testing.T) {
+	tr := NewTracer(1)
+	ct := tr.Begin(0, "morning")
+	sp := ct.Span("committee.vote")
+	sp.SetBusy(3 * time.Second)
+	sp.End()
+	ct.End()
+	if got := tr.Recent(1)[0].Root.Children[0].Busy; got != 3*time.Second {
+		t.Errorf("busy = %v", got)
+	}
+	var nilSpan *Span
+	nilSpan.SetBusy(time.Second) // must not panic
+}
+
+// TestTracerConcurrentOverlappingCycles is the satellite regression for
+// the span tracer under concurrent cycles: two goroutines running
+// overlapping cycles against one tracer (with an allocation sampler
+// attached) must never interleave span attributes — every committed
+// trace carries exactly its own goroutine's attribute values, stage
+// sequence and busy markers. Run under -race via make race-equivalence.
+func TestTracerConcurrentOverlappingCycles(t *testing.T) {
+	tr := NewTracer(256)
+	tr.SetSampler(&countingSampler{})
+	const goroutines = 2
+	const cyclesPer = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < cyclesPer; i++ {
+				// Cycle index encodes the owning goroutine so the
+				// verification below can reconstruct expectations.
+				ct := tr.Begin(g*cyclesPer+i, fmt.Sprintf("ctx-%d", g))
+				for _, stage := range []string{"committee.vote", "qss.select", "mic.retrain"} {
+					sp := ct.Span(stage)
+					sp.SetAttr("owner", g)
+					sp.SetAttr("cycle", g*cyclesPer+i)
+					sp.SetAttr("stage", stage)
+					sp.SetBusy(time.Duration(g+1) * time.Millisecond)
+					sp.End()
+				}
+				ct.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	traces := tr.Recent(0)
+	if len(traces) != goroutines*cyclesPer {
+		t.Fatalf("committed %d traces, want %d", len(traces), goroutines*cyclesPer)
+	}
+	for _, trace := range traces {
+		owner := trace.Cycle / cyclesPer
+		if trace.Context != fmt.Sprintf("ctx-%d", owner) {
+			t.Fatalf("cycle %d: context %q does not match owner %d", trace.Cycle, trace.Context, owner)
+		}
+		if len(trace.Root.Children) != 3 {
+			t.Fatalf("cycle %d: %d stage spans, want 3", trace.Cycle, len(trace.Root.Children))
+		}
+		for si, sp := range trace.Root.Children {
+			wantStage := []string{"committee.vote", "qss.select", "mic.retrain"}[si]
+			if sp.Name != wantStage {
+				t.Fatalf("cycle %d: stage %d is %q, want %q", trace.Cycle, si, sp.Name, wantStage)
+			}
+			if got := sp.Attrs["owner"]; got != owner {
+				t.Fatalf("cycle %d span %s: owner attr %v leaked from another cycle", trace.Cycle, sp.Name, got)
+			}
+			if got := sp.Attrs["cycle"]; got != trace.Cycle {
+				t.Fatalf("cycle %d span %s: cycle attr %v interleaved", trace.Cycle, sp.Name, got)
+			}
+			if got := sp.Attrs["stage"]; got != sp.Name {
+				t.Fatalf("cycle %d span %s: stage attr %v interleaved", trace.Cycle, sp.Name, got)
+			}
+			if sp.Busy != time.Duration(owner+1)*time.Millisecond {
+				t.Fatalf("cycle %d span %s: busy %v interleaved", trace.Cycle, sp.Name, sp.Busy)
+			}
+			if sp.Allocs <= 0 {
+				t.Fatalf("cycle %d span %s: sampler delta missing", trace.Cycle, sp.Name)
+			}
+		}
 	}
 }
 

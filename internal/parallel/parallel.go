@@ -20,6 +20,13 @@
 // depths, expert sizes). Worker goroutines are spawned per call; the
 // loops this package serves are coarse enough (microseconds to minutes
 // per item) that pool reuse would buy nothing measurable.
+//
+// The *Obs loop variants accept an Observer that receives per-chunk
+// scheduling events — the measurement hook internal/prof builds its
+// per-worker utilization profiles on. Observation is strictly passive:
+// this package reads no clock and an observer cannot influence
+// scheduling, so observed and unobserved loops produce identical
+// results.
 package parallel
 
 import (
@@ -39,6 +46,29 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Observer receives scheduling events from one observed loop, the hook
+// the profiling layer (internal/prof) uses to attribute busy and idle
+// time per worker without this package ever reading a clock itself.
+//
+// Event contract: LoopStart is delivered on the calling goroutine before
+// any worker runs; ChunkStart/ChunkEnd pairs then arrive per contiguous
+// index range, each pair on the goroutine of the worker slot it names
+// (slots are disjoint, so per-slot state needs no locking); LoopEnd is
+// delivered on the calling goroutine after every worker has joined.
+// Observers must not mutate loop state — observation never influences
+// scheduling or results.
+type Observer interface {
+	// LoopStart announces the resolved worker count, item count and
+	// chunk size of the loop about to run.
+	LoopStart(workers, n, chunk int)
+	// ChunkStart marks worker picking up indices [lo, hi).
+	ChunkStart(worker, lo, hi int)
+	// ChunkEnd marks worker finishing indices [lo, hi).
+	ChunkEnd(worker, lo, hi int)
+	// LoopEnd marks the join of every worker.
+	LoopEnd()
+}
+
 // For runs fn(i) for every i in [0, n), distributing indices across up to
 // `workers` goroutines (resolved via Workers). fn must not touch state
 // shared with other indices except through its own output slot; under
@@ -47,6 +77,12 @@ func Workers(n int) int {
 // goroutine in index order with no goroutines spawned.
 func For(workers, n int, fn func(i int)) {
 	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForObs is For with an optional scheduling observer; a nil observer is
+// exactly For.
+func ForObs(workers, n int, o Observer, fn func(i int)) {
+	ForWorkerObs(workers, n, o, func(_, i int) { fn(i) })
 }
 
 // ForWorker is For where fn also receives the worker slot w in
@@ -60,6 +96,14 @@ func For(workers, n int, fn func(i int)) {
 // panics the surviving value is scheduling-dependent, but by then the
 // process is crashing anyway).
 func ForWorker(workers, n int, fn func(worker, i int)) {
+	ForWorkerObs(workers, n, nil, fn)
+}
+
+// ForWorkerObs is ForWorker with an optional scheduling observer. A nil
+// observer costs one predictable branch per chunk; a non-nil observer
+// receives the event stream documented on Observer. Observation is
+// read-only: results are bit-identical with and without one.
+func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -68,8 +112,16 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 		w = n
 	}
 	if w <= 1 || n == 1 {
+		if o != nil {
+			o.LoopStart(1, n, n)
+			o.ChunkStart(0, 0, n)
+		}
 		for i := 0; i < n; i++ {
 			fn(0, i)
+		}
+		if o != nil {
+			o.ChunkEnd(0, 0, n)
+			o.LoopEnd()
 		}
 		return
 	}
@@ -79,6 +131,9 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 	chunk := n / (w * 4)
 	if chunk < 1 {
 		chunk = 1
+	}
+	if o != nil {
+		o.LoopStart(w, n, chunk)
 	}
 	var (
 		cursor atomic.Int64
@@ -102,8 +157,14 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 			if hi > n {
 				hi = n
 			}
+			if o != nil {
+				o.ChunkStart(slot, lo, hi)
+			}
 			for i := lo; i < hi; i++ {
 				fn(slot, i)
+			}
+			if o != nil {
+				o.ChunkEnd(slot, lo, hi)
 			}
 		}
 	}
@@ -113,6 +174,9 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 	}
 	body(0) // the caller is worker slot 0
 	wg.Wait()
+	if o != nil {
+		o.LoopEnd()
+	}
 	if fault != nil {
 		panic(fault)
 	}
@@ -134,8 +198,14 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // the fan-outs this serves (campaign arms, committee experts) are small
 // and their work is side-effect-free on failure.
 func ForErr(workers, n int, fn func(i int) error) error {
+	return ForErrObs(workers, n, nil, fn)
+}
+
+// ForErrObs is ForErr with an optional scheduling observer; a nil
+// observer is exactly ForErr.
+func ForErrObs(workers, n int, o Observer, fn func(i int) error) error {
 	errs := make([]error, n)
-	For(workers, n, func(i int) { errs[i] = fn(i) })
+	ForObs(workers, n, o, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -133,6 +133,113 @@ func TestDeterministicReductionShape(t *testing.T) {
 	}
 }
 
+// recordingObserver captures the scheduling event stream for inspection.
+// Per-slot counters rely on the Observer contract (disjoint slots, loop
+// start/end on the caller's goroutine) rather than atomics, so the race
+// detector also validates that contract.
+type recordingObserver struct {
+	workers, n, chunk int
+	loopStarts        int
+	loopEnds          int
+	starts, ends      []int   // chunk events per worker slot
+	covered           []int32 // per-index coverage from ChunkStart ranges
+	open              []int   // currently open chunks per slot
+}
+
+func (r *recordingObserver) LoopStart(workers, n, chunk int) {
+	r.loopStarts++
+	r.workers, r.n, r.chunk = workers, n, chunk
+	r.starts = make([]int, workers)
+	r.ends = make([]int, workers)
+	r.open = make([]int, workers)
+	r.covered = make([]int32, n)
+}
+
+func (r *recordingObserver) ChunkStart(worker, lo, hi int) {
+	r.starts[worker]++
+	r.open[worker]++
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&r.covered[i], 1)
+	}
+}
+
+func (r *recordingObserver) ChunkEnd(worker, lo, hi int) {
+	r.ends[worker]++
+	r.open[worker]--
+}
+
+func (r *recordingObserver) LoopEnd() { r.loopEnds++ }
+
+func TestForObsEventStreamCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{1, 2, 9, 100} {
+			rec := &recordingObserver{}
+			var ran atomic.Int32
+			ForObs(workers, n, rec, func(i int) { ran.Add(1) })
+			if int(ran.Load()) != n {
+				t.Fatalf("workers=%d n=%d: fn ran %d times", workers, n, ran.Load())
+			}
+			if rec.loopStarts != 1 || rec.loopEnds != 1 {
+				t.Fatalf("workers=%d n=%d: loop events %d/%d, want 1/1", workers, n, rec.loopStarts, rec.loopEnds)
+			}
+			if rec.workers < 1 || rec.workers > Workers(workers) || rec.workers > n {
+				t.Fatalf("workers=%d n=%d: reported worker count %d out of range", workers, n, rec.workers)
+			}
+			for i, c := range rec.covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered by %d chunks", workers, n, i, c)
+				}
+			}
+			for w := 0; w < rec.workers; w++ {
+				if rec.starts[w] != rec.ends[w] {
+					t.Fatalf("workers=%d n=%d: slot %d has %d starts but %d ends", workers, n, w, rec.starts[w], rec.ends[w])
+				}
+				if rec.open[w] != 0 {
+					t.Fatalf("workers=%d n=%d: slot %d left %d chunks open", workers, n, w, rec.open[w])
+				}
+			}
+		}
+	}
+}
+
+// TestForObsZeroItemsEmitsNothing: the n=0 early return must not fire
+// loop events (there is no loop to profile).
+func TestForObsZeroItemsEmitsNothing(t *testing.T) {
+	rec := &recordingObserver{}
+	ForObs(4, 0, rec, func(int) { t.Fatal("fn ran for n=0") })
+	if rec.loopStarts != 0 || rec.loopEnds != 0 {
+		t.Fatalf("n=0 emitted loop events %d/%d", rec.loopStarts, rec.loopEnds)
+	}
+}
+
+// TestForObsIdenticalResults: observation must not perturb outputs.
+func TestForObsIdenticalResults(t *testing.T) {
+	want := Map(4, 257, func(i int) float64 { return 1.0 / float64(i+1) })
+	got := make([]float64, 257)
+	ForObs(4, 257, &recordingObserver{}, func(i int) { got[i] = 1.0 / float64(i+1) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("observed loop diverged at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForErrObsPreservesErrorSelection(t *testing.T) {
+	rec := &recordingObserver{}
+	err := ForErrObs(4, 40, rec, func(i int) error {
+		if i == 7 || i == 31 {
+			return fmt.Errorf("fail@%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail@7" {
+		t.Fatalf("got %v, want fail@7", err)
+	}
+	if rec.loopEnds != 1 {
+		t.Fatalf("loop end events = %d", rec.loopEnds)
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -1,0 +1,205 @@
+package prof
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"runtime/metrics"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+)
+
+// MetricBuildInfo is the build-identity gauge: constant 1 with the
+// binary's version, Go toolchain and VCS revision as labels.
+const MetricBuildInfo = "crowdlearn_build_info"
+
+// BuildInfo describes the running binary, read from the information the
+// Go linker embeds.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit, "" when built outside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// String renders the build info for -version output.
+func (b BuildInfo) String() string {
+	s := "crowdlearn " + b.Version + " " + b.GoVersion
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+		s += ")"
+	}
+	return s
+}
+
+// ReadBuildInfo extracts the binary's identity from the embedded build
+// information; fields the linker did not record stay at sensible
+// defaults ("unknown" version) rather than empty.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	out.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo publishes the crowdlearn_build_info gauge (value 1,
+// identity as labels — the standard Prometheus build-info idiom) and
+// returns the info for reuse. Nil-registry safe.
+func RegisterBuildInfo(reg *obs.Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	reg.Help(MetricBuildInfo, "Build identity of the running binary: constant 1 with version labels.")
+	reg.Gauge(MetricBuildInfo,
+		"version", bi.Version,
+		"goversion", bi.GoVersion,
+		"revision", bi.Revision,
+	).Set(1)
+	return bi
+}
+
+// DebugMux builds the handler tree crowdlearnd serves on -debug-addr:
+//
+//	/debug/pprof/*   - the standard net/http/pprof profiles
+//	/debug/runtime   - every runtime/metrics sample as JSON
+//	/debug/prof      - the profiler's per-stage totals as JSON
+//	/metrics         - the registry's Prometheus exposition (if reg != nil)
+//
+// Both reg and p may be nil; their endpoints then serve empty documents.
+// The debug mux is intended for a loopback or otherwise trusted listener
+// — pprof endpoints expose heap contents.
+func DebugMux(reg *obs.Registry, p *Profiler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", handleRuntimeMetrics)
+	mux.HandleFunc("/debug/prof", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Stages []StageTotals `json:"stages"`
+		}{Stages: p.Snapshot()})
+	})
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", obs.TextContentType)
+			reg.WritePrometheus(w)
+		})
+	}
+	return mux
+}
+
+// handleRuntimeMetrics dumps every metric the runtime exposes. Scalar
+// kinds render as numbers; float64 histograms render as count, weighted
+// mean and approximate p50/p99 so the dump stays one screenful.
+func handleRuntimeMetrics(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			out[s.Name] = summarizeHistogram(s.Value.Float64Histogram())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// histogramSummary is the compact JSON rendering of one runtime
+// float64 histogram.
+type histogramSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+func summarizeHistogram(h *metrics.Float64Histogram) histogramSummary {
+	var sum histogramSummary
+	if h == nil {
+		return sum
+	}
+	var weighted float64
+	for i, c := range h.Counts {
+		sum.Count += c
+		weighted += float64(c) * bucketMid(h.Buckets, i)
+	}
+	if sum.Count > 0 {
+		sum.Mean = weighted / float64(sum.Count)
+		sum.P50 = histQuantile(h, 0.50)
+		sum.P99 = histQuantile(h, 0.99)
+	}
+	return sum
+}
+
+// bucketMid returns a representative value for bucket i, clamping the
+// runtime's -Inf/+Inf edge buckets to their finite neighbours.
+func bucketMid(buckets []float64, i int) float64 {
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case math.IsInf(lo, 0) && math.IsInf(hi, 0):
+		return 0
+	case math.IsInf(lo, 0):
+		return hi
+	case math.IsInf(hi, 0):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank {
+			return bucketMid(h.Buckets, i)
+		}
+	}
+	return bucketMid(h.Buckets, len(h.Counts)-1)
+}

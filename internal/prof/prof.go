@@ -1,0 +1,371 @@
+// Package prof is CrowdLearn's stage-level profiling subsystem. It
+// turns the passive scheduling events internal/parallel emits into
+// per-worker utilization profiles, attributes wall time, busy time and
+// heap allocations to pipeline stages via internal/obs spans, exports
+// the roll-ups as crowdlearn_parallel_* metrics, and serves pprof and
+// runtime-metrics debug endpoints for crowdlearnd's -debug-addr flag.
+//
+// The split of responsibilities is deliberate: internal/parallel never
+// reads a clock (crowdlint's no-wall-clock rule holds there), so every
+// time.Now call lives here, in a package on the wall-clock allowlist.
+// Observation is strictly passive — a profiled loop produces
+// bit-identical results to an unprofiled one, and profiling on/off
+// never changes cycle outputs.
+//
+// Every entry point is nil-safe, mirroring internal/obs: a nil
+// *Profiler hands out nil *LoopRecorders whose methods no-op and whose
+// Obs() returns an untyped-nil parallel.Observer, so instrumented code
+// pays one branch when profiling is disabled.
+package prof
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
+)
+
+// Metric family names exported by the profiler.
+const (
+	// MetricLoops counts profiled parallel loops per stage.
+	MetricLoops = "crowdlearn_parallel_loops_total"
+	// MetricItems counts items processed by profiled loops per stage.
+	MetricItems = "crowdlearn_parallel_items_total"
+	// MetricChunks counts scheduler chunks claimed, per stage and worker.
+	MetricChunks = "crowdlearn_parallel_chunks_total"
+	// MetricBusy accumulates per-worker busy seconds, per stage and worker.
+	MetricBusy = "crowdlearn_parallel_busy_seconds_total"
+	// MetricIdle accumulates per-worker idle seconds (loop wall minus the
+	// worker's busy time), per stage and worker.
+	MetricIdle = "crowdlearn_parallel_idle_seconds_total"
+	// MetricQueueWait distributes per-worker scheduling wait (spawn
+	// latency plus cursor contention between chunks), per stage.
+	MetricQueueWait = "crowdlearn_parallel_queue_wait_seconds"
+	// MetricChunkSize distributes the chunk sizes loops ran with, per stage.
+	MetricChunkSize = "crowdlearn_parallel_chunk_size"
+	// MetricUtilization distributes per-loop worker utilization
+	// (busy / (workers x wall), in [0,1]), per stage.
+	MetricUtilization = "crowdlearn_parallel_utilization"
+)
+
+// Histogram bucket layouts for the profiler's distributions.
+var (
+	// QueueWaitBuckets spans 1µs to ~262ms of scheduling wait.
+	QueueWaitBuckets = obs.ExponentialBuckets(1e-6, 4, 10)
+	// ChunkSizeBuckets spans chunk sizes 1 to 1024.
+	ChunkSizeBuckets = obs.ExponentialBuckets(1, 2, 11)
+	// UtilizationBuckets covers [0,1] in tenths.
+	UtilizationBuckets = obs.LinearBuckets(0.1, 0.1, 10)
+)
+
+// WorkerProfile is one worker slot's share of a profiled loop.
+type WorkerProfile struct {
+	// Busy is the time the slot spent inside chunk bodies.
+	Busy time.Duration `json:"busyNanos"`
+	// Wait is the time the slot spent between LoopStart/previous chunk
+	// end and its next ChunkStart: goroutine spawn latency plus cursor
+	// handoff. Large Wait on slots >0 with small chunks means the loop is
+	// too fine-grained for the worker count.
+	Wait time.Duration `json:"waitNanos"`
+	// Chunks is the number of contiguous index ranges the slot claimed.
+	Chunks int64 `json:"chunks"`
+	// Items is the number of indices the slot executed.
+	Items int64 `json:"items"`
+}
+
+// LoopProfile is the complete utilization record of one parallel loop.
+type LoopProfile struct {
+	// Stage names the pipeline stage the loop ran under, e.g.
+	// "committee.vote".
+	Stage string `json:"stage"`
+	// Workers is the resolved worker count the loop ran with.
+	Workers int `json:"workers"`
+	// Items is the loop's item count.
+	Items int `json:"items"`
+	// Chunk is the scheduler chunk size.
+	Chunk int `json:"chunk"`
+	// Wall is the loop's wall-clock duration, LoopStart to LoopEnd.
+	Wall time.Duration `json:"wallNanos"`
+	// PerWorker holds one entry per worker slot.
+	PerWorker []WorkerProfile `json:"perWorker"`
+}
+
+// Busy sums the per-worker busy time.
+func (p *LoopProfile) Busy() time.Duration {
+	var d time.Duration
+	for _, w := range p.PerWorker {
+		d += w.Busy
+	}
+	return d
+}
+
+// Idle is the worker-time the loop paid for but did not use:
+// Workers x Wall minus total busy, clamped at zero. High Idle relative
+// to Busy is the signature of a loop whose per-item work is too small
+// for its worker count.
+func (p *LoopProfile) Idle() time.Duration {
+	idle := time.Duration(p.Workers)*p.Wall - p.Busy()
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+// Utilization is Busy / (Workers x Wall) in [0,1]; 0 when the loop has
+// no measurable wall time.
+func (p *LoopProfile) Utilization() float64 {
+	denom := time.Duration(p.Workers) * p.Wall
+	if denom <= 0 {
+		return 0
+	}
+	u := float64(p.Busy()) / float64(denom)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// workerState extends the public profile with the transient timestamps
+// the recorder needs while the loop runs. Slots are disjoint per the
+// Observer contract, so no locking is needed.
+type workerState struct {
+	WorkerProfile
+	chunkStart time.Time
+	lastEnd    time.Time
+}
+
+// LoopRecorder implements parallel.Observer for one loop invocation.
+// Create one per loop via Profiler.Loop, pass Obs() to a *Obs loop
+// variant, then Annotate the owning span. Recorders are single-use and
+// must not be shared across loops. All methods are nil-safe.
+type LoopRecorder struct {
+	prof    *Profiler
+	profile LoopProfile
+	start   time.Time
+	slots   []workerState
+	done    bool
+}
+
+// Obs returns the recorder as a parallel.Observer, mapping a nil
+// recorder to an untyped nil interface so parallel's `o != nil` fast
+// path stays on the no-observer branch when profiling is disabled.
+func (r *LoopRecorder) Obs() parallel.Observer {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+// LoopStart implements parallel.Observer.
+func (r *LoopRecorder) LoopStart(workers, n, chunk int) {
+	if r == nil {
+		return
+	}
+	r.profile.Workers = workers
+	r.profile.Items = n
+	r.profile.Chunk = chunk
+	r.slots = make([]workerState, workers)
+	r.start = time.Now()
+}
+
+// ChunkStart implements parallel.Observer.
+func (r *LoopRecorder) ChunkStart(worker, lo, hi int) {
+	if r == nil || worker >= len(r.slots) {
+		return
+	}
+	s := &r.slots[worker]
+	now := time.Now()
+	ref := s.lastEnd
+	if ref.IsZero() {
+		ref = r.start
+	}
+	s.Wait += now.Sub(ref)
+	s.chunkStart = now
+}
+
+// ChunkEnd implements parallel.Observer.
+func (r *LoopRecorder) ChunkEnd(worker, lo, hi int) {
+	if r == nil || worker >= len(r.slots) {
+		return
+	}
+	s := &r.slots[worker]
+	now := time.Now()
+	s.Busy += now.Sub(s.chunkStart)
+	s.lastEnd = now
+	s.Chunks++
+	s.Items += int64(hi - lo)
+}
+
+// LoopEnd implements parallel.Observer: it closes the profile and
+// publishes it to the owning profiler's metrics and stage totals.
+func (r *LoopRecorder) LoopEnd() {
+	if r == nil || r.slots == nil || r.done {
+		return
+	}
+	r.done = true
+	r.profile.Wall = time.Since(r.start)
+	r.profile.PerWorker = make([]WorkerProfile, len(r.slots))
+	for i := range r.slots {
+		r.profile.PerWorker[i] = r.slots[i].WorkerProfile
+	}
+	r.prof.finish(&r.profile)
+}
+
+// Profile returns the recorded loop profile. Only meaningful after the
+// loop has finished; a nil recorder returns a zero profile.
+func (r *LoopRecorder) Profile() LoopProfile {
+	if r == nil {
+		return LoopProfile{}
+	}
+	return r.profile
+}
+
+// Annotate attaches the loop's utilization to a stage span: total busy
+// time via SetBusy plus a "parallel" attribute holding the full
+// LoopProfile (workers, chunking, per-worker breakdown), the record
+// cmd/crowdprof decodes for its per-worker tables. Nil-safe on both
+// sides; a recorder whose loop never ran annotates nothing.
+func (r *LoopRecorder) Annotate(sp *obs.Span) {
+	if r == nil || sp == nil || !r.done {
+		return
+	}
+	sp.SetBusy(r.profile.Busy())
+	sp.SetAttr("parallel", r.profile)
+}
+
+// StageTotals accumulates every profiled loop of one stage.
+type StageTotals struct {
+	// Stage is the stage name.
+	Stage string `json:"stage"`
+	// Loops is the number of profiled loops.
+	Loops int64 `json:"loops"`
+	// Items is the total item count across loops.
+	Items int64 `json:"items"`
+	// Chunks is the total scheduler chunks claimed.
+	Chunks int64 `json:"chunks"`
+	// Wall is the summed loop wall time.
+	Wall time.Duration `json:"wallNanos"`
+	// Busy is the summed per-worker busy time.
+	Busy time.Duration `json:"busyNanos"`
+	// Idle is the summed per-loop idle time (Workers x Wall - Busy).
+	Idle time.Duration `json:"idleNanos"`
+	// Wait is the summed per-worker scheduling wait.
+	Wait time.Duration `json:"waitNanos"`
+	// Workers is the worker count of the most recent loop.
+	Workers int `json:"workers"`
+}
+
+// Utilization is the stage's aggregate busy share of paid-for worker
+// time, Busy / (Busy + Idle); 0 when nothing ran.
+func (t StageTotals) Utilization() float64 {
+	denom := t.Busy + t.Idle
+	if denom <= 0 {
+		return 0
+	}
+	return float64(t.Busy) / float64(denom)
+}
+
+// Profiler aggregates loop profiles per stage and exports them as
+// metrics. A nil *Profiler is a valid disabled profiler: Loop returns
+// nil recorders. Safe for concurrent use.
+type Profiler struct {
+	reg    *obs.Registry
+	mu     sync.Mutex
+	stages map[string]*StageTotals
+}
+
+// New builds a profiler exporting to reg (nil reg keeps profiles and
+// stage totals but exports no metrics) and registers the metric
+// families' HELP text.
+func New(reg *obs.Registry) *Profiler {
+	reg.Help(MetricLoops, "Profiled parallel loops per pipeline stage.")
+	reg.Help(MetricItems, "Items processed by profiled parallel loops per stage.")
+	reg.Help(MetricChunks, "Scheduler chunks claimed per stage and worker slot.")
+	reg.Help(MetricBusy, "Per-worker busy seconds inside chunk bodies per stage.")
+	reg.Help(MetricIdle, "Per-worker idle seconds (loop wall minus busy) per stage.")
+	reg.Help(MetricQueueWait, "Per-worker scheduling wait seconds (spawn latency and cursor handoff) per stage.")
+	reg.Help(MetricChunkSize, "Chunk sizes profiled loops ran with, per stage.")
+	reg.Help(MetricUtilization, "Per-loop worker utilization busy/(workers*wall) per stage.")
+	return &Profiler{reg: reg, stages: make(map[string]*StageTotals)}
+}
+
+// Loop opens a single-use recorder for one parallel loop of the named
+// stage. A nil profiler returns a nil recorder (whose Obs() is an
+// untyped nil observer).
+func (p *Profiler) Loop(stage string) *LoopRecorder {
+	if p == nil {
+		return nil
+	}
+	return &LoopRecorder{prof: p, profile: LoopProfile{Stage: stage}}
+}
+
+// finish folds a completed loop profile into the stage totals and the
+// metrics registry.
+func (p *Profiler) finish(lp *LoopProfile) {
+	if p == nil {
+		return
+	}
+	busy := lp.Busy()
+	idle := lp.Idle()
+
+	p.mu.Lock()
+	st, ok := p.stages[lp.Stage]
+	if !ok {
+		st = &StageTotals{Stage: lp.Stage}
+		p.stages[lp.Stage] = st
+	}
+	st.Loops++
+	st.Items += int64(lp.Items)
+	st.Wall += lp.Wall
+	st.Busy += busy
+	st.Idle += idle
+	st.Workers = lp.Workers
+	for _, w := range lp.PerWorker {
+		st.Chunks += w.Chunks
+		st.Wait += w.Wait
+	}
+	p.mu.Unlock()
+
+	if p.reg == nil {
+		return
+	}
+	p.reg.Counter(MetricLoops, "stage", lp.Stage).Inc()
+	p.reg.Counter(MetricItems, "stage", lp.Stage).Add(float64(lp.Items))
+	p.reg.Histogram(MetricChunkSize, ChunkSizeBuckets, "stage", lp.Stage).Observe(float64(lp.Chunk))
+	p.reg.Histogram(MetricUtilization, UtilizationBuckets, "stage", lp.Stage).Observe(lp.Utilization())
+	wait := p.reg.Histogram(MetricQueueWait, QueueWaitBuckets, "stage", lp.Stage)
+	for slot, w := range lp.PerWorker {
+		ws := strconv.Itoa(slot)
+		p.reg.Counter(MetricChunks, "stage", lp.Stage, "worker", ws).Add(float64(w.Chunks))
+		p.reg.Counter(MetricBusy, "stage", lp.Stage, "worker", ws).Add(w.Busy.Seconds())
+		workerIdle := lp.Wall - w.Busy
+		if workerIdle < 0 {
+			workerIdle = 0
+		}
+		p.reg.Counter(MetricIdle, "stage", lp.Stage, "worker", ws).Add(workerIdle.Seconds())
+		wait.Observe(w.Wait.Seconds())
+	}
+}
+
+// Snapshot returns the per-stage totals sorted by stage name. The
+// entries are copies; a nil profiler returns nil.
+func (p *Profiler) Snapshot() []StageTotals {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.stages))
+	for k := range p.stages {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]StageTotals, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *p.stages[k])
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
+)
+
+// heapSink defeats escape analysis for allocations tests must see in
+// the heap counters.
+var heapSink []byte
+
+// spin burns a little CPU so busy times are measurably non-zero without
+// sleeping (keeps the suite fast and deterministic enough to assert on).
+func spin() float64 {
+	s := 0.0
+	for i := 1; i < 2000; i++ {
+		s += 1.0 / float64(i)
+	}
+	return s
+}
+
+func TestLoopRecorderProfilesLoop(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(reg)
+	var sink float64
+	for _, workers := range []int{1, 4} {
+		rec := p.Loop("committee.vote")
+		parallel.ForObs(workers, 64, rec.Obs(), func(i int) { sink += 0; _ = spin() })
+
+		lp := rec.Profile()
+		if lp.Stage != "committee.vote" {
+			t.Fatalf("stage %q", lp.Stage)
+		}
+		if lp.Items != 64 {
+			t.Fatalf("workers=%d: items %d", workers, lp.Items)
+		}
+		if lp.Workers < 1 || lp.Workers > 4 {
+			t.Fatalf("workers=%d: resolved %d", workers, lp.Workers)
+		}
+		if lp.Wall <= 0 {
+			t.Fatalf("workers=%d: wall %v", workers, lp.Wall)
+		}
+		if got := lp.Busy(); got <= 0 || got > time.Duration(lp.Workers)*lp.Wall+time.Millisecond {
+			t.Fatalf("workers=%d: busy %v outside (0, workers*wall]", workers, got)
+		}
+		var items int64
+		for _, w := range lp.PerWorker {
+			items += w.Items
+		}
+		if items != 64 {
+			t.Fatalf("workers=%d: per-worker items sum %d", workers, items)
+		}
+		if u := lp.Utilization(); u <= 0 || u > 1 {
+			t.Fatalf("workers=%d: utilization %v", workers, u)
+		}
+	}
+	_ = sink
+
+	snap := p.Snapshot()
+	if len(snap) != 1 || snap[0].Stage != "committee.vote" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap[0].Loops != 2 || snap[0].Items != 128 {
+		t.Fatalf("stage totals %+v", snap[0])
+	}
+	if snap[0].Busy <= 0 || snap[0].Chunks <= 0 {
+		t.Fatalf("stage totals missing busy/chunks: %+v", snap[0])
+	}
+
+	// The registry saw the loop counters.
+	if got := reg.Counter(MetricLoops, "stage", "committee.vote").Value(); got != 2 {
+		t.Fatalf("%s = %v", MetricLoops, got)
+	}
+	if got := reg.Counter(MetricItems, "stage", "committee.vote").Value(); got != 128 {
+		t.Fatalf("%s = %v", MetricItems, got)
+	}
+	if got := reg.Counter(MetricBusy, "stage", "committee.vote", "worker", "0").Value(); got <= 0 {
+		t.Fatalf("%s{worker=0} = %v", MetricBusy, got)
+	}
+	if got := reg.Histogram(MetricUtilization, nil, "stage", "committee.vote").Count(); got != 2 {
+		t.Fatalf("%s count = %v", MetricUtilization, got)
+	}
+}
+
+func TestLoopRecorderAnnotatesSpan(t *testing.T) {
+	tr := obs.NewTracer(1)
+	ct := tr.Begin(0, "morning")
+	sp := ct.Span("committee.vote")
+
+	p := New(nil)
+	rec := p.Loop("committee.vote")
+	parallel.ForObs(2, 32, rec.Obs(), func(int) { _ = spin() })
+	rec.Annotate(sp)
+	sp.End()
+	ct.End()
+
+	got := tr.Recent(1)[0].Root.Children[0]
+	if got.Busy <= 0 {
+		t.Fatalf("span busy not set: %+v", got)
+	}
+	attr, ok := got.Attrs["parallel"].(LoopProfile)
+	if !ok {
+		t.Fatalf("parallel attr is %T", got.Attrs["parallel"])
+	}
+	if attr.Items != 32 || len(attr.PerWorker) != attr.Workers {
+		t.Fatalf("annotated profile %+v", attr)
+	}
+	// The attribute must survive a JSON round trip (the /trace endpoint
+	// and crowdprof both consume it as JSON).
+	raw, err := json.Marshal(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoopProfile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Items != 32 {
+		t.Fatalf("round trip lost items: %+v", back)
+	}
+}
+
+func TestNilProfilerIsDisabled(t *testing.T) {
+	var p *Profiler
+	rec := p.Loop("committee.vote")
+	if rec != nil {
+		t.Fatal("nil profiler must hand out nil recorders")
+	}
+	if o := rec.Obs(); o != nil {
+		t.Fatalf("nil recorder Obs() must be untyped nil, got %#v", o)
+	}
+	// All observer methods must be callable on nil.
+	rec.LoopStart(2, 10, 5)
+	rec.ChunkStart(0, 0, 5)
+	rec.ChunkEnd(0, 0, 5)
+	rec.LoopEnd()
+	rec.Annotate(nil)
+	if got := rec.Profile(); got.Items != 0 {
+		t.Fatalf("nil profile %+v", got)
+	}
+	if p.Snapshot() != nil {
+		t.Fatal("nil profiler snapshot must be nil")
+	}
+	// And the loop itself must still run with the nil observer.
+	ran := 0
+	parallel.ForObs(1, 3, rec.Obs(), func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("loop under nil recorder ran %d times", ran)
+	}
+}
+
+func TestRecorderUnusedAnnotatesNothing(t *testing.T) {
+	tr := obs.NewTracer(1)
+	ct := tr.Begin(0, "morning")
+	sp := ct.Span("qss.select")
+	New(nil).Loop("qss.select").Annotate(sp) // loop never ran
+	sp.End()
+	ct.End()
+	got := tr.Recent(1)[0].Root.Children[0]
+	if got.Busy != 0 || got.Attrs != nil {
+		t.Fatalf("unused recorder annotated span: %+v", got)
+	}
+}
+
+func TestAllocSamplerReadsRuntimeCounters(t *testing.T) {
+	var s AllocSampler
+	before := s.Sample()
+	if before.Bytes == 0 || before.Objects == 0 {
+		t.Fatalf("cumulative counters are zero: %+v", before)
+	}
+	waste := make([][]byte, 0, 128)
+	for i := 0; i < 128; i++ {
+		waste = append(waste, make([]byte, 1024))
+	}
+	after := s.Sample()
+	if after.Bytes <= before.Bytes || after.Objects <= before.Objects {
+		t.Fatalf("counters did not advance: %+v -> %+v", before, after)
+	}
+	_ = waste
+}
+
+func TestAllocSamplerAttributesToSpans(t *testing.T) {
+	tr := obs.NewTracer(1)
+	tr.SetSampler(AllocSampler{})
+	ct := tr.Begin(0, "morning")
+	sp := ct.Span("mic.retrain")
+	heapSink = make([]byte, 64*1024) // escapes, so it must hit the heap counters
+	sp.End()
+	ct.End()
+	got := tr.Recent(1)[0].Root.Children[0]
+	if got.AllocBytes < 64*1024 {
+		t.Fatalf("span alloc bytes %d, want >= 64KiB", got.AllocBytes)
+	}
+	if got.Allocs <= 0 {
+		t.Fatalf("span allocs %d", got.Allocs)
+	}
+}
+
+func TestBuildInfoAndGauge(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.Version == "" || bi.GoVersion == "" {
+		t.Fatalf("build info incomplete: %+v", bi)
+	}
+	if s := bi.String(); !strings.HasPrefix(s, "crowdlearn ") || !strings.Contains(s, bi.GoVersion) {
+		t.Fatalf("String() = %q", s)
+	}
+
+	reg := obs.NewRegistry()
+	got := RegisterBuildInfo(reg)
+	if got != bi {
+		t.Fatalf("registered %+v, read %+v", got, bi)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# HELP "+MetricBuildInfo+" ") {
+		t.Fatalf("build info HELP missing:\n%s", text)
+	}
+	if !strings.Contains(text, MetricBuildInfo+"{") || !strings.Contains(text, `goversion="`+bi.GoVersion+`"`) {
+		t.Fatalf("build info series missing:\n%s", text)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(reg)
+	rec := p.Loop("committee.vote")
+	parallel.ForObs(2, 16, rec.Obs(), func(int) { _ = spin() })
+
+	mux := DebugMux(reg, p)
+	for _, tc := range []struct {
+		path        string
+		contentType string
+	}{
+		{"/debug/pprof/", "text/html"},
+		{"/debug/runtime", "application/json"},
+		{"/debug/prof", "application/json"},
+		{"/metrics", "text/plain"},
+	} {
+		req := httptest.NewRequest("GET", tc.path, nil)
+		rw := httptest.NewRecorder()
+		mux.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			t.Fatalf("%s: status %d", tc.path, rw.Code)
+		}
+		if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.contentType) {
+			t.Fatalf("%s: content type %q", tc.path, ct)
+		}
+	}
+
+	// /debug/prof carries the recorded stage.
+	req := httptest.NewRequest("GET", "/debug/prof", nil)
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	var doc struct {
+		Stages []StageTotals `json:"stages"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Stages) != 1 || doc.Stages[0].Stage != "committee.vote" {
+		t.Fatalf("/debug/prof stages %+v", doc.Stages)
+	}
+
+	// /debug/runtime parses and carries the alloc counters the sampler uses.
+	req = httptest.NewRequest("GET", "/debug/runtime", nil)
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	var rt map[string]any
+	if err := json.Unmarshal(rw.Body.Bytes(), &rt); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt[allocBytesMetric]; !ok {
+		t.Fatalf("/debug/runtime missing %s", allocBytesMetric)
+	}
+
+	// Nil registry / nil profiler still serve.
+	nilMux := DebugMux(nil, nil)
+	req = httptest.NewRequest("GET", "/debug/prof", nil)
+	rw = httptest.NewRecorder()
+	nilMux.ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Fatalf("nil-profiler /debug/prof status %d", rw.Code)
+	}
+}
+
+// TestProfiledLoopBitIdenticalResults pins the acceptance contract:
+// profiling on/off must not change loop outputs at any worker count.
+// (Name matches the race-equivalence BitIdentical regex.)
+func TestProfiledLoopBitIdenticalResults(t *testing.T) {
+	base := parallel.Map(1, 513, func(i int) float64 { return 1.0 / float64(i+1) })
+	for _, workers := range []int{1, 2, 4} {
+		p := New(obs.NewRegistry())
+		rec := p.Loop("qss.select")
+		got := make([]float64, 513)
+		parallel.ForObs(workers, 513, rec.Obs(), func(i int) { got[i] = 1.0 / float64(i+1) })
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: profiled loop diverged at %d", workers, i)
+			}
+		}
+	}
+}

@@ -141,6 +141,14 @@ func (s *StrategySelector) SeekRNG(pos uint64) {
 
 // Select mirrors Selector.Select with the pluggable score.
 func (s *StrategySelector) Select(c *Committee, images []*imagery.Image, querySize int) []int {
+	return s.SelectObs(c, images, querySize, nil)
+}
+
+// SelectObs is Select with an optional scheduling observer on the
+// scoring fan-out (the profiling hook); a nil observer is exactly
+// Select. Observation is passive: the selection is identical with and
+// without one.
+func (s *StrategySelector) SelectObs(c *Committee, images []*imagery.Image, querySize int, o parallel.Observer) []int {
 	if querySize <= 0 || len(images) == 0 {
 		return nil
 	}
@@ -148,7 +156,7 @@ func (s *StrategySelector) Select(c *Committee, images []*imagery.Image, querySi
 		querySize = len(images)
 	}
 	list := make([]scoredImage, len(images))
-	parallel.For(s.Workers, len(images), func(i int) {
+	parallel.ForObs(s.Workers, len(images), o, func(i int) {
 		list[i] = scoredImage{idx: i, entropy: s.Strategy.Score(c, images[i])}
 	})
 	sort.Slice(list, func(i, j int) bool {

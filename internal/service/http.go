@@ -318,6 +318,9 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if h.svc.Degraded() {
 		body["status"] = "degraded"
 	}
+	if b := h.svc.stats.Build; b != nil {
+		body["version"] = b.String()
+	}
 	if h.svc.checkpointAge != nil {
 		if age, ok := h.svc.checkpointAge(); ok {
 			body["lastCheckpointAgeSeconds"] = age.Seconds()

@@ -19,6 +19,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
 )
 
 // clFixture builds the expensive full CrowdLearn environment (dataset +
@@ -365,6 +366,57 @@ func TestDashboardShowsWeightsAndBudget(t *testing.T) {
 	}
 	if !strings.Contains(body, "Expert weights") {
 		t.Error("dashboard missing expert weights table")
+	}
+}
+
+// TestStatsAndHealthCarryBuildInfo verifies WithBuildInfo surfaces the
+// binary identity on both JSON surfaces: /stats carries the structured
+// record, /healthz the human-readable version line.
+func TestStatsAndHealthCarryBuildInfo(t *testing.T) {
+	scheme, ds := fixture(t)
+	bi := prof.BuildInfo{Version: "v1.2.3-test", GoVersion: "go1.22", Revision: "abcdef123456ffff"}
+	svc, err := New(scheme, WithBuildInfo(bi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	h, err := NewHandler(svc, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st Stats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build == nil || *st.Build != bi {
+		t.Errorf("stats build info = %+v, want %+v", st.Build, bi)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	version, _ := health["version"].(string)
+	if want := bi.String(); version != want {
+		t.Errorf("healthz version = %q, want %q", version, want)
+	}
+
+	// Without the option both surfaces omit the identity.
+	plain, _ := startService(t)
+	if raw, _ := json.Marshal(plain.Stats()); strings.Contains(string(raw), "\"build\"") {
+		t.Errorf("stats without WithBuildInfo should omit build: %s", raw)
 	}
 }
 

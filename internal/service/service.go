@@ -21,6 +21,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
 )
 
 // Assessment is one image's final verdict.
@@ -94,6 +95,9 @@ type Stats struct {
 	// Recovery describes the startup state recovery (WithRecovery);
 	// nil when the service runs without a durable store.
 	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+	// Build identifies the serving binary (WithBuildInfo); nil when the
+	// daemon did not attach build identity.
+	Build *prof.BuildInfo `json:"build,omitempty"`
 }
 
 // RecoveryStatus mirrors the persistence layer's recovery report for
@@ -235,6 +239,13 @@ func WithStartCycle(n int) Option {
 // WithRecovery publishes the startup recovery outcome in /stats.
 func WithRecovery(rs *RecoveryStatus) Option {
 	return func(s *Service) { s.stats.Recovery = rs }
+}
+
+// WithBuildInfo publishes the binary's build identity in /stats and the
+// /healthz body, pairing scraped metrics (crowdlearn_build_info) with
+// the JSON surfaces operators actually read during an incident.
+func WithBuildInfo(bi prof.BuildInfo) Option {
+	return func(s *Service) { s.stats.Build = &bi }
 }
 
 // WithCheckpointAge wires the persistence layer's last-checkpoint age
