@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-equivalence crash-recovery bench bench-json bench-gate cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet lint test race race-equivalence crash-recovery chaos bench bench-json bench-gate cover-obs faults fuzz artefacts report clean
 
 all: build lint test
 
@@ -60,6 +60,17 @@ fuzz:
 # (DESIGN.md §10).
 crash-recovery:
 	$(GO) test -race -timeout 30m -run 'CrashRecovery|TestRecover' ./internal/store/ ./internal/core/
+
+# The chaos suite under the race detector: the full seeded kill-point
+# catalog (internal/chaos, also runnable interactively via
+# cmd/crowdchaos) asserting byte-identical post-restart state, zero
+# cross-campaign contamination, bounded restart counts and observable
+# breaker/quarantine transitions (DESIGN.md §13). The verbose log is
+# kept at artefacts/chaos.log for CI artifact upload.
+chaos:
+	@mkdir -p artefacts
+	@{ $(GO) test -race -count=1 -timeout 30m -v ./internal/chaos/ 2>&1; echo $$? > artefacts/.chaos-status; } | tee artefacts/chaos.log; \
+	exit $$(cat artefacts/.chaos-status)
 
 # The deterministic-parallelism equivalence suite under the race
 # detector: bit-identical outputs at every worker count plus the

@@ -1,0 +1,125 @@
+// Command crowdchaos runs the seeded chaos catalog against the
+// supervised campaign runtime and reports, per scenario, whether the
+// four supervision invariants held:
+//
+//  1. byte-identical recovery — a campaign killed at any scripted point
+//     restarts into exactly the state an uninterrupted run reaches;
+//  2. failure-domain isolation — sibling campaigns never miss a cycle
+//     or restart because of a neighbour's failures;
+//  3. bounded restarts — restart counts stay within the policy budget,
+//     and budget exhaustion quarantines exactly the scripted campaigns;
+//  4. observable degradation — breaker trips and quarantines appear in
+//     the exported metrics.
+//
+// Usage:
+//
+//	crowdchaos [-run substring] [-dir base] [-log-level warn] [-list] [-v]
+//
+// Every scenario is deterministic: same binary, same verdicts. The
+// process exits non-zero if any scenario fails, making it suitable as a
+// CI gate (`make chaos` runs the same catalog through `go test -race`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/chaos"
+	"github.com/crowdlearn/crowdlearn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("crowdchaos", flag.ContinueOnError)
+	filter := fs.String("run", "", "only scenarios whose name contains this substring")
+	baseDir := fs.String("dir", "", "base directory for campaign state (default: a temp dir, removed afterwards)")
+	logLevel := fs.String("log-level", "error", "supervisor log level: debug, info, warn or error")
+	list := fs.Bool("list", false, "list scenario names and exit")
+	verbose := fs.Bool("v", false, "print per-campaign detail for every scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("invalid -log-level %q: %w", *logLevel, err)
+	}
+
+	catalog := chaos.Catalog()
+	selected := catalog[:0]
+	for _, sc := range catalog {
+		if *filter == "" || strings.Contains(sc.Name, *filter) {
+			selected = append(selected, sc)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no scenario matches -run %q", *filter)
+	}
+	if *list {
+		for _, sc := range selected {
+			fmt.Fprintf(stdout, "%-32s seed=%-3d cycles=%d campaigns=%d\n",
+				sc.Name, sc.Seed, sc.Cycles, len(sc.Campaigns))
+		}
+		return nil
+	}
+
+	dir := *baseDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "crowdchaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	fmt.Fprintln(stdout, "building laboratory (shared dataset + pilot study)...")
+	started := time.Now()
+	env, err := experiments.NewEnv(experiments.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "laboratory ready in %v; running %d scenarios\n", time.Since(started).Round(time.Millisecond), len(selected))
+
+	runner := &chaos.Runner{
+		Env:    env,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+	}
+	failed := 0
+	for _, sc := range selected {
+		scStarted := time.Now()
+		res := runner.Run(sc, filepath.Join(dir, sc.Name))
+		problems := res.Check()
+		status := "PASS"
+		if len(problems) > 0 {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(stdout, "%s  %-32s %8v\n", status, sc.Name, time.Since(scStarted).Round(time.Millisecond))
+		for _, p := range problems {
+			fmt.Fprintf(stdout, "      problem: %s\n", p)
+		}
+		if *verbose {
+			for _, c := range res.Campaigns {
+				fmt.Fprintf(stdout, "      %s committed=%d restarts=%d panics=%d stalls=%d quarantined=%v\n",
+					c.ID, c.Committed, c.Health.TotalRestarts, c.PanicsFired, c.StallsFired, c.Quarantined)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d scenarios failed", failed, len(selected))
+	}
+	fmt.Fprintf(stdout, "all %d scenarios passed in %v\n", len(selected), time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if err := run([]string{"-log-level", "loud"}, io.Discard); err == nil || !strings.Contains(err.Error(), "log-level") {
+		t.Errorf("invalid log level must error, got %v", err)
+	}
+	if err := run([]string{"-run", "no-such-scenario"}, io.Discard); err == nil || !strings.Contains(err.Error(), "no scenario") {
+		t.Errorf("empty selection must error, got %v", err)
+	}
+}
+
+func TestListPrintsCatalog(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"panic-mid-run", "outage-trips-breaker", "quarantine-mid-outage", "three-campaign-carnage"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestListHonoursFilter(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list", "-run", "stall"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(line, "stall") {
+			t.Errorf("filtered list leaked %q", line)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 //	crowdlearnd [-addr :8080] [-seed 1] [-workers 0] [-log-level info]
 //	            [-queue-depth 16] [-request-timeout 30s]
 //	            [-state-dir dir] [-checkpoint-every 8] [-checkpoint-retain 3]
+//	            [-campaigns 0] [-stall-timeout 2m]
 //	            [-debug-addr 127.0.0.1:6060] [-version]
 //
 // -debug-addr opens a second, operator-facing listener with the
@@ -40,6 +41,24 @@
 // disk instead of re-bootstrapped. /healthz reports the last-checkpoint
 // age and /stats the recovery outcome.
 //
+// -campaigns N (N > 0) switches the daemon to the supervised
+// multi-campaign runtime (DESIGN.md §13): N campaigns named c00..cNN
+// start as isolated failure domains, each with its own scheme, circuit
+// breaker, restart policy and — under -state-dir — its own state
+// subdirectory. The API becomes campaign-scoped:
+//
+//	POST /campaigns                {"id":"hurricane-x"}
+//	GET  /campaigns
+//	GET  /campaigns/{id}
+//	POST /campaigns/{id}/assess    {"context":"morning","imageIds":[12]}
+//	POST /campaigns/{id}/pause     (and /resume, /archive)
+//	GET  /healthz                  503 once any campaign is quarantined
+//	GET  /stats, GET /metrics      per-campaign health and labeled series
+//
+// -stall-timeout arms the per-campaign watchdog: a sensing cycle that
+// makes no progress within it is abandoned and the campaign restarts
+// from its last checkpoint (0 disables; campaign mode only).
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the in-flight
 // sensing cycle completes, the listener drains, queued requests are
 // rejected deterministically, the worker exits, and (with -state-dir) a
@@ -57,6 +76,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +88,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/prof"
 	"github.com/crowdlearn/crowdlearn/internal/service"
 	"github.com/crowdlearn/crowdlearn/internal/store"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
 )
 
 func main() {
@@ -75,6 +97,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// onListen, when non-nil, receives the main listener's bound address —
+// the test seam that lets the graceful-shutdown regression test drive a
+// :0 daemon.
+var onListen func(net.Addr)
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("crowdlearnd", flag.ContinueOnError)
@@ -88,6 +115,8 @@ func run(args []string, stdout io.Writer) error {
 	stateDir := fs.String("state-dir", "", "durable state directory: checkpoints + write-ahead cycle log; recovery runs on startup (empty = no persistence)")
 	checkpointEvery := fs.Int("checkpoint-every", 8, "write a checkpoint every N committed cycles (0 = only on shutdown; requires -state-dir)")
 	checkpointRetain := fs.Int("checkpoint-retain", store.DefaultRetainCheckpoints, "checkpoint generations kept by rotation")
+	campaigns := fs.Int("campaigns", 0, "run the supervised multi-campaign runtime with N initial campaigns (0 = single-service mode)")
+	stallTimeout := fs.Duration("stall-timeout", 2*time.Minute, "per-campaign cycle watchdog; a stalled cycle restarts the campaign (0 = disabled; campaign mode only)")
 	debugAddr := fs.String("debug-addr", "", "serve pprof, runtime-metrics and stage-profiler debug endpoints on this address (bind to loopback; empty = disabled)")
 	showVersion := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +138,12 @@ func run(args []string, stdout io.Writer) error {
 	if *checkpointRetain < 1 {
 		return fmt.Errorf("invalid -checkpoint-retain %d: must be at least 1", *checkpointRetain)
 	}
+	if *campaigns < 0 {
+		return fmt.Errorf("invalid -campaigns %d: must be non-negative", *campaigns)
+	}
+	if *stallTimeout < 0 {
+		return fmt.Errorf("invalid -stall-timeout %v: must be non-negative", *stallTimeout)
+	}
 	if *stateDir == "" {
 		explicit := ""
 		fs.Visit(func(f *flag.Flag) {
@@ -127,9 +162,9 @@ func run(args []string, stdout io.Writer) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	// Claim the debug listener before the expensive lab build so a bad
-	// -debug-addr fails fast; the handler is attached once the profiling
-	// stack exists.
+	// Claim both listeners before the expensive lab build so a bad
+	// address fails fast; handlers are attached once the serving stack
+	// exists.
 	var debugLn net.Listener
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -138,6 +173,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		debugLn = ln
 		defer ln.Close()
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	defer ln.Close()
+	if onListen != nil {
+		onListen(ln.Addr())
 	}
 
 	cfg := crowdlearn.DefaultLabConfig()
@@ -150,6 +193,7 @@ func run(args []string, stdout io.Writer) error {
 		slog.String("logLevel", *logLevel),
 		slog.Int("traceCapacity", *traceCap),
 		slog.Int("queueDepth", *queueDepth),
+		slog.Int("campaigns", *campaigns),
 		slog.Duration("requestTimeout", *requestTimeout))
 	logger.Info("building lab", slog.Int64("seed", *seed))
 	started := time.Now()
@@ -157,6 +201,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger.Info("lab ready",
+		slog.Int("trainImages", len(lab.Dataset.Train)),
+		slog.Int("assessableImages", len(lab.Dataset.Test)),
+		slog.Duration("elapsed", time.Since(started)))
 
 	registry := obs.NewRegistry()
 	tracer := obs.NewTracer(*traceCap)
@@ -164,6 +212,32 @@ func run(args []string, stdout io.Writer) error {
 	profiler := prof.New(registry)
 	buildInfo := prof.RegisterBuildInfo(registry)
 	logger.Info("build", slog.String("version", buildInfo.String()))
+
+	var debugServer *http.Server
+	if debugLn != nil {
+		debugServer = &http.Server{
+			Handler:           prof.DebugMux(registry, profiler),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		supervise.Go("daemon.debug-server", logger, func() {
+			logger.Info("debug endpoints", slog.String("addr", debugLn.Addr().String()))
+			if err := debugServer.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug serve", slog.Any("err", err))
+			}
+		})
+		defer debugServer.Close()
+	}
+
+	if *campaigns > 0 {
+		return runCampaigns(lab, ln, logger, registry, campaignParams{
+			initial:          *campaigns,
+			stateDir:         *stateDir,
+			checkpointEvery:  *checkpointEvery,
+			checkpointRetain: *checkpointRetain,
+			stallTimeout:     *stallTimeout,
+			queueDepth:       *queueDepth,
+		})
+	}
 
 	// With -state-dir the system journals every committed cycle and
 	// recovers its predecessor's state before serving. The journal's
@@ -193,10 +267,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	logger.Info("system bootstrapped",
-		slog.Int("trainImages", len(lab.Dataset.Train)),
-		slog.Int("assessableImages", len(lab.Dataset.Test)),
-		slog.Duration("elapsed", time.Since(started)))
+	logger.Info("system bootstrapped", slog.Duration("elapsed", time.Since(started)))
 
 	svcOpts := []service.Option{
 		service.WithMetrics(registry),
@@ -239,38 +310,125 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	server := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	var debugServer *http.Server
-	if debugLn != nil {
-		debugServer = &http.Server{
-			Handler:           prof.DebugMux(registry, profiler),
-			ReadHeaderTimeout: 5 * time.Second,
-		}
-		go func() {
-			logger.Info("debug endpoints", slog.String("addr", debugLn.Addr().String()))
-			if err := debugServer.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("debug serve", slog.Any("err", err))
-			}
-		}()
-		defer debugServer.Close()
+	var checkpoint func() error
+	if journal != nil {
+		checkpoint = journal.Checkpoint
 	}
+	if err := serveUntilSignal(server, ln, logger, svc.Shutdown, checkpoint); err != nil {
+		return err
+	}
+	stats := svc.Stats()
+	logger.Info("shutdown complete",
+		slog.Int("cyclesRun", stats.CyclesRun),
+		slog.Int("imagesAssessed", stats.ImagesAssessed),
+		slog.Float64("spentDollars", stats.TotalSpent))
+	return nil
+}
 
+// campaignParams carries the campaign-mode knobs from flag parsing.
+type campaignParams struct {
+	initial          int
+	stateDir         string
+	checkpointEvery  int
+	checkpointRetain int
+	stallTimeout     time.Duration
+	queueDepth       int
+}
+
+// runCampaigns serves the supervised multi-campaign runtime: p.initial
+// campaigns created up front, more over POST /campaigns, each an
+// isolated failure domain with its own scheme, breaker and (with a
+// state dir) durable store.
+func runCampaigns(lab *crowdlearn.Lab, ln net.Listener, logger *slog.Logger, registry *obs.Registry, p campaignParams) error {
+	sup := supervise.New(supervise.Options{
+		Logger:       logger,
+		Metrics:      registry,
+		StallTimeout: p.stallTimeout,
+		QueueDepth:   p.queueDepth,
+	})
+	factory := func(id string) (supervise.Spec, error) {
+		if strings.ContainsAny(id, "/\\ \t") {
+			return supervise.Spec{}, fmt.Errorf("invalid campaign id %q: no separators or spaces", id)
+		}
+		spec := supervise.Spec{
+			ID: id,
+			// Each epoch builds a fresh scheme on its own platform; the
+			// supervisor's breaker wraps the platform so a sustained
+			// crowd outage degrades this campaign to AI-only labels
+			// without touching its siblings. Per-cycle core metrics stay
+			// detached: they are unlabeled and would clobber across
+			// campaigns — the supervisor's labeled families cover the
+			// fleet view.
+			Build: func(bc supervise.BuildContext) (core.Scheme, error) {
+				return lab.NewSystemOn(bc.WrapPlatform(lab.NewPlatform()), func(cfg *core.Config) {
+					if bc.Journal != nil {
+						cfg.Journal = bc.Journal
+					}
+				})
+			},
+		}
+		if p.stateDir != "" {
+			spec.StateDir = filepath.Join(p.stateDir, id)
+			spec.CheckpointEvery = p.checkpointEvery
+			spec.RetainCheckpoints = p.checkpointRetain
+			spec.TrainSamples = classifier.SamplesFromImages(lab.Dataset.Train)
+			spec.Registry = lab.Dataset.Test
+		}
+		return spec, nil
+	}
+	for i := 0; i < p.initial; i++ {
+		id := fmt.Sprintf("c%02d", i)
+		spec, err := factory(id)
+		if err != nil {
+			return err
+		}
+		if _, err := sup.Create(spec); err != nil {
+			return err
+		}
+		logger.Info("campaign ready", slog.String("campaign", id))
+	}
+	handler, err := service.NewCampaignHandler(sup, lab.Dataset.Test, factory,
+		service.WithCampaignMetrics(registry), service.WithCampaignLogger(logger))
+	if err != nil {
+		return err
+	}
+	server := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	// The supervisor checkpoints each campaign as its worker drains, so
+	// there is no separate final checkpoint step.
+	if err := serveUntilSignal(server, ln, logger, sup.Shutdown, nil); err != nil {
+		return err
+	}
+	for _, h := range sup.Health() {
+		logger.Info("campaign shutdown",
+			slog.String("campaign", h.ID),
+			slog.String("state", h.State),
+			slog.Int("cyclesRun", h.Stats.CyclesRun),
+			slog.Int("restarts", h.TotalRestarts))
+	}
+	return nil
+}
+
+// serveUntilSignal serves ln until SIGINT/SIGTERM (or a listener
+// error), then runs the graceful shutdown sequence.
+func serveUntilSignal(server *http.Server, ln net.Listener, logger *slog.Logger, drain func(context.Context) error, checkpoint func() error) error {
 	errCh := make(chan error, 1)
-	go func() {
-		logger.Info("serving", slog.String("addr", *addr))
-		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	supervise.Go("daemon.http-server", logger, func() {
+		logger.Info("serving", slog.String("addr", ln.Addr().String()))
+		if err := server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
 		errCh <- nil
-	}()
-
+	})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 	select {
 	case sig := <-sigCh:
 		logger.Info("shutting down", slog.String("signal", sig.String()))
@@ -280,26 +438,34 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
+	return shutdownSequence(server.Shutdown, drain, checkpoint, logger, 15*time.Second)
+}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+// shutdownSequence drains the HTTP server (in-flight assessments
+// complete and answer), stops the worker, and — only once the worker
+// has drained cleanly — writes the final checkpoint. An HTTP drain
+// failure is reported but never skips the worker drain or the
+// checkpoint; a worker that fails to drain skips the checkpoint, since
+// a non-quiescent system could checkpoint a torn cycle.
+func shutdownSequence(httpShutdown, drain func(context.Context) error, checkpoint func() error, logger *slog.Logger, timeout time.Duration) error {
+	httpCtx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	if err := server.Shutdown(ctx); err != nil {
-		return fmt.Errorf("http shutdown: %w", err)
+	httpErr := httpShutdown(httpCtx)
+	if httpErr != nil {
+		logger.Warn("http shutdown incomplete; draining worker anyway", slog.Any("err", httpErr))
 	}
-	if err := svc.Shutdown(ctx); err != nil {
+	drainCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := drain(drainCtx); err != nil {
 		return err
 	}
-	// The worker is stopped, so the system is quiescent: take a final
-	// checkpoint covering everything the process committed.
-	if journal != nil {
-		if err := journal.Checkpoint(); err != nil {
+	if checkpoint != nil {
+		if err := checkpoint(); err != nil {
 			logger.Warn("shutdown checkpoint failed", slog.Any("err", err))
 		}
 	}
-	stats := svc.Stats()
-	logger.Info("shutdown complete",
-		slog.Int("cyclesRun", stats.CyclesRun),
-		slog.Int("imagesAssessed", stats.ImagesAssessed),
-		slog.Float64("spentDollars", stats.TotalSpent))
+	if httpErr != nil {
+		return fmt.Errorf("http shutdown: %w", httpErr)
+	}
 	return nil
 }

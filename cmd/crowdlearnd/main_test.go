@@ -1,9 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -13,14 +24,15 @@ func TestRunRejectsBadFlags(t *testing.T) {
 }
 
 func TestRunSurfacesListenError(t *testing.T) {
-	// An unparseable address makes ListenAndServe fail immediately; run
-	// must surface it rather than hanging.
+	// The main listener is claimed before the lab build, so an
+	// unparseable address fails fast instead of after seconds of
+	// bootstrapping.
 	err := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard)
 	if err == nil {
 		t.Fatal("invalid listen address must error")
 	}
-	if !strings.Contains(err.Error(), "serve") {
-		t.Errorf("error %v should come from the serve path", err)
+	if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("error %v should come from the listen path", err)
 	}
 }
 
@@ -83,5 +95,187 @@ func TestRunRejectsBadPersistenceFlags(t *testing.T) {
 				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+func TestRunRejectsBadSupervisionFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative campaigns", []string{"-campaigns", "-2"}, "campaigns"},
+		{"negative stall-timeout", []string{"-stall-timeout", "-1m"}, "stall-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShutdownSequenceOrdering pins the graceful-shutdown contract that
+// regressed before: an HTTP drain failure must not skip the worker
+// drain or the final checkpoint (it is still reported), while a worker
+// that fails to drain must skip the checkpoint — the system is not
+// quiescent.
+func TestShutdownSequenceOrdering(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	var order []string
+	err := shutdownSequence(
+		func(context.Context) error { order = append(order, "http"); return errors.New("connection stuck") },
+		func(context.Context) error { order = append(order, "drain"); return nil },
+		func() error { order = append(order, "checkpoint"); return nil },
+		quiet, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "http shutdown") {
+		t.Errorf("http failure must still surface, got %v", err)
+	}
+	if strings.Join(order, ",") != "http,drain,checkpoint" {
+		t.Errorf("order = %v, want http,drain,checkpoint", order)
+	}
+
+	order = nil
+	err = shutdownSequence(
+		func(context.Context) error { order = append(order, "http"); return nil },
+		func(context.Context) error { order = append(order, "drain"); return errors.New("worker wedged") },
+		func() error { order = append(order, "checkpoint"); return nil },
+		quiet, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "worker wedged") {
+		t.Errorf("drain failure must surface, got %v", err)
+	}
+	if strings.Join(order, ",") != "http,drain" {
+		t.Errorf("order = %v, want checkpoint skipped on failed drain", order)
+	}
+
+	if err := shutdownSequence(
+		func(context.Context) error { return nil },
+		func(context.Context) error { return nil },
+		nil, quiet, time.Second); err != nil {
+		t.Errorf("nil checkpoint: %v", err)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight is the end-to-end regression test
+// for SIGTERM under concurrent load: every /assess in flight at signal
+// time completes with a real assessment, the daemon exits cleanly, and
+// the final checkpoint lands on disk.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full lab")
+	}
+	stateDir := t.TempDir()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-log-level", "error",
+			"-state-dir", stateDir,
+			"-checkpoint-every", "50", // force the final checkpoint to do the work
+			"-queue-depth", "32",
+		}, io.Discard)
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never claimed its listener")
+	}
+	// The listener is up before the lab build; wait for serving.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/images")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imgs struct {
+		ImageIDs []int `json:"imageIds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&imgs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(imgs.ImageIDs) < 32 {
+		t.Fatalf("registry too small: %d", len(imgs.ImageIDs))
+	}
+
+	const callers = 6
+	results := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			body, _ := json.Marshal(map[string]any{
+				"context":  "morning",
+				"imageIds": imgs.ImageIDs[i*4 : i*4+4],
+			})
+			resp, err := http.Post(base+"/assess", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				data, _ := io.ReadAll(resp.Body)
+				results <- fmt.Errorf("assess status %d: %s", resp.StatusCode, data)
+				return
+			}
+			results <- nil
+		}()
+	}
+	// Let the batch reach the server, then SIGTERM mid-flight. The
+	// requests are serialised through one worker, so several are still
+	// queued or in flight when the signal lands.
+	time.Sleep(150 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight assess dropped during shutdown: %v", err)
+		}
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	// The final checkpoint covers the drained cycles.
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCheckpoint bool
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "checkpoint-") && strings.HasSuffix(e.Name(), ".ckpt") {
+			sawCheckpoint = true
+		}
+	}
+	if !sawCheckpoint {
+		t.Errorf("no final checkpoint in %s: %v", stateDir, entries)
 	}
 }

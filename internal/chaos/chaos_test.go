@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/experiments"
+	"github.com/crowdlearn/crowdlearn/internal/faults"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
+)
+
+// The laboratory (dataset + pilot) is expensive and read-only; build it
+// once and share it across every parallel scenario.
+var (
+	envOnce   sync.Once
+	envShared *experiments.Env
+	envErr    error
+)
+
+func testEnv(t testing.TB) *experiments.Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envShared, envErr = experiments.NewEnv(experiments.DefaultConfig())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envShared
+}
+
+func testRunner(t testing.TB) *Runner {
+	return &Runner{
+		Env:    testEnv(t),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
+
+// TestChaosCatalog drives every scenario in the catalog and enforces the
+// four supervision invariants (byte-identical recovery, failure-domain
+// isolation, bounded restarts, observable breaker transitions).
+func TestChaosCatalog(t *testing.T) {
+	testEnv(t) // build the lab before the parallel fan-out
+	for _, sc := range Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res := testRunner(t).Run(sc, t.TempDir())
+			for _, problem := range res.Check() {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic re-runs one panic scenario and one outage
+// scenario and requires identical final states: the whole harness —
+// kills, restarts, recovery, breaker — is a pure function of the seeds.
+func TestChaosDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"panic-mid-run", "outage-trips-breaker"} {
+		var sc Scenario
+		for _, c := range Catalog() {
+			if c.Name == name {
+				sc = c
+			}
+		}
+		if sc.Name == "" {
+			t.Fatalf("scenario %s missing from catalog", name)
+		}
+		a := testRunner(t).Run(sc, t.TempDir())
+		b := testRunner(t).Run(sc, t.TempDir())
+		if len(a.Check()) != 0 || len(b.Check()) != 0 {
+			t.Fatalf("%s: runs not clean: %v / %v", name, a.Check(), b.Check())
+		}
+		for i := range a.Campaigns {
+			if string(a.Campaigns[i].FinalState) != string(b.Campaigns[i].FinalState) {
+				t.Errorf("%s: campaign %s final state differs across identical runs", name, a.Campaigns[i].ID)
+			}
+		}
+	}
+}
+
+// TestQuarantineMidOutage pins the satellite edge case in detail: a
+// campaign that exhausts its restart budget during a sustained platform
+// outage lands in quarantine, its sibling keeps cycling untouched, and
+// the quarantined campaign's health reports the failure before the
+// operator resume brings it back.
+func TestQuarantineMidOutage(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{
+		Name: "quarantine-mid-outage-detail", Seed: 41, Cycles: 5,
+		Campaigns: []CampaignPlan{
+			{Faults: faults.Config{OutageDuration: 4 * time.Hour}, PanicAt: []int{2, 3, 4}},
+			{},
+		},
+		Restart:          &supervise.RestartPolicy{MaxRestarts: 2},
+		ExpectQuarantine: []int{0},
+	}
+	res := testRunner(t).Run(sc, t.TempDir())
+	for _, problem := range res.Check() {
+		t.Error(problem)
+	}
+	sick, healthy := res.Campaigns[0], res.Campaigns[1]
+	if !sick.Quarantined {
+		t.Fatalf("campaign did not quarantine: %+v errors=%v", sick.Health, sick.AssessErrors)
+	}
+	// The driver observed quarantine through the serving API.
+	var sawQuarantine bool
+	for _, e := range sick.AssessErrors {
+		if strings.Contains(e, "quarantined") {
+			sawQuarantine = true
+		}
+	}
+	if !sawQuarantine {
+		t.Errorf("quarantine never surfaced to the caller: %v", sick.AssessErrors)
+	}
+	// The sibling sailed through the whole run mid-outage.
+	if healthy.Committed != sc.Cycles || healthy.Health.TotalRestarts != 0 {
+		t.Errorf("sibling disturbed: committed=%d restarts=%d", healthy.Committed, healthy.Health.TotalRestarts)
+	}
+	// The operator resume (performed by the runner) reset the budget.
+	if sick.Health.State != "running" || sick.Health.Restarts != 0 {
+		t.Errorf("resume did not reset the quarantined campaign: %+v", sick.Health)
+	}
+	// Quarantine is observable in the metrics the runtime exports.
+	if !strings.Contains(res.Metrics, supervise.MetricCampaignQuarantines+`{campaign="c00"} 1`) {
+		t.Errorf("quarantine not visible in metrics")
+	}
+}

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/faults"
+	"github.com/crowdlearn/crowdlearn/internal/store"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
+)
+
+// Catalog is the seeded kill-point suite `make chaos` and cmd/crowdchaos
+// run. Every scenario keeps at least one unscripted campaign in the
+// fleet as the failure-domain isolation probe, except where noted. With
+// no crowd faults a campaign performs one live submission per committed
+// cycle plus one per fired kill, so a kill index k <= Cycles is
+// guaranteed to fire.
+func Catalog() []Scenario {
+	clean := CampaignPlan{}
+	outage := func(d time.Duration) faults.Config {
+		return faults.Config{OutageDuration: d}
+	}
+	return []Scenario{
+		{
+			Name: "panic-first-call", Seed: 11, Cycles: 4,
+			Campaigns: []CampaignPlan{{PanicAt: []int{1}}, clean},
+		},
+		{
+			Name: "panic-mid-run", Seed: 12, Cycles: 4,
+			Campaigns: []CampaignPlan{{PanicAt: []int{3}}, clean},
+		},
+		{
+			Name: "panic-last-cycle", Seed: 13, Cycles: 5,
+			Campaigns: []CampaignPlan{{PanicAt: []int{5}}, clean},
+		},
+		{
+			Name: "double-panic", Seed: 14, Cycles: 5,
+			Campaigns: []CampaignPlan{{PanicAt: []int{2, 4}}, clean},
+		},
+		{
+			Name: "panic-both-campaigns", Seed: 15, Cycles: 4,
+			Campaigns: []CampaignPlan{{PanicAt: []int{2}}, {PanicAt: []int{3}}, clean},
+		},
+		{
+			Name: "panic-retry-storm", Seed: 16, Cycles: 4,
+			Campaigns: []CampaignPlan{{PanicAt: []int{2, 3}}, clean},
+		},
+		{
+			Name: "stall-early", Seed: 17, Cycles: 4,
+			Campaigns: []CampaignPlan{{StallAt: []int{1}}, clean},
+		},
+		{
+			Name: "stall-mid-run", Seed: 18, Cycles: 4,
+			Campaigns: []CampaignPlan{{StallAt: []int{3}}, clean},
+		},
+		{
+			Name: "stall-both-campaigns", Seed: 19, Cycles: 5,
+			Campaigns: []CampaignPlan{{StallAt: []int{2}}, {StallAt: []int{4}}, clean},
+		},
+		{
+			Name: "stall-then-panic", Seed: 20, Cycles: 5,
+			Campaigns: []CampaignPlan{{StallAt: []int{2}, PanicAt: []int{4}}, clean},
+		},
+		{
+			Name: "panic-then-stall", Seed: 21, Cycles: 5,
+			Campaigns: []CampaignPlan{{PanicAt: []int{1}, StallAt: []int{3}}, clean},
+		},
+		{
+			Name: "torn-wal-with-panic", Seed: 22, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{3}, StoreFaults: store.FaultConfig{TornWALRate: 0.3, Seed: 222}},
+				clean,
+			},
+		},
+		{
+			Name: "torn-checkpoint-with-panic", Seed: 23, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{2}, StoreFaults: store.FaultConfig{TornCheckpointRate: 0.7, Seed: 123}},
+				clean,
+			},
+		},
+		{
+			Name: "checkpoint-rename-fails", Seed: 24, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{4}, StoreFaults: store.FaultConfig{RenameFailRate: 0.7, Seed: 124}},
+				clean,
+			},
+		},
+		{
+			Name: "wal-storm", Seed: 25, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{StoreFaults: store.FaultConfig{TornWALRate: 0.25, Seed: 125}},
+				clean,
+			},
+		},
+		{
+			Name: "outage-trips-breaker", Seed: 26, Cycles: 6,
+			Campaigns:         []CampaignPlan{{Faults: outage(4 * time.Hour)}, clean},
+			ExpectBreakerOpen: []int{0},
+		},
+		{
+			Name: "outage-with-panic", Seed: 27, Cycles: 5,
+			Campaigns: []CampaignPlan{{Faults: outage(4 * time.Hour), PanicAt: []int{2}}, clean},
+		},
+		{
+			Name: "outage-passes", Seed: 28, Cycles: 6,
+			Campaigns: []CampaignPlan{{Faults: outage(40 * time.Minute)}, clean},
+		},
+		{
+			Name: "outage-with-stall", Seed: 29, Cycles: 5,
+			Campaigns: []CampaignPlan{{Faults: outage(4 * time.Hour), StallAt: []int{2}}, clean},
+		},
+		{
+			Name: "quarantine-on-repeated-panics", Seed: 30, Cycles: 5,
+			Campaigns:        []CampaignPlan{{PanicAt: []int{3, 4, 5}}, clean},
+			Restart:          &supervise.RestartPolicy{MaxRestarts: 2},
+			ExpectQuarantine: []int{0},
+		},
+		{
+			Name: "quarantine-mid-outage", Seed: 31, Cycles: 5,
+			Campaigns: []CampaignPlan{
+				{Faults: outage(4 * time.Hour), PanicAt: []int{2, 3, 4}},
+				clean,
+			},
+			Restart:          &supervise.RestartPolicy{MaxRestarts: 2},
+			ExpectQuarantine: []int{0},
+		},
+		{
+			Name: "crowd-churn-with-panic", Seed: 32, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{
+					PanicAt: []int{3},
+					Faults:  faults.Config{AbandonRate: 0.3, DelaySpikeRate: 0.2, DuplicateRate: 0.15, StaleRate: 0.1},
+				},
+				clean,
+			},
+		},
+		{
+			Name: "dropout-burst-with-stall", Seed: 33, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{StallAt: []int{3}, Faults: faults.Config{DropoutBurstRate: 0.5}},
+				clean,
+			},
+		},
+		{
+			Name: "three-campaign-carnage", Seed: 34, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{2, 4}},
+				{StallAt: []int{3}},
+				clean,
+			},
+		},
+	}
+}

@@ -100,6 +100,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// ErrCycleNotDurable marks a cycle whose in-memory state mutations were
+// applied but whose journal record could not be appended: the work
+// happened, yet a crash would lose it. The supervised runtime
+// (internal/supervise) treats this as a restart trigger — tearing the
+// campaign down to its last durable state and re-running the cycle —
+// rather than acknowledging an assessment the write-ahead log cannot
+// replay.
+var ErrCycleNotDurable = errors.New("cycle applied but journal append failed")
+
 // CrowdLearn is the closed-loop crowd-AI hybrid system (Figure 4).
 type CrowdLearn struct {
 	cfg        Config
@@ -258,7 +267,7 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 			// surface that as a cycle failure so the caller does not
 			// acknowledge work the journal cannot replay.
 			jsp.Fail(jerr)
-			err = fmt.Errorf("core: cycle %d applied but journal append failed: %w", in.Index, jerr)
+			err = fmt.Errorf("core: cycle %d: %w: %w", in.Index, ErrCycleNotDurable, jerr)
 		} else {
 			jsp.End()
 		}

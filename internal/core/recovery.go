@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/simclock"
 )
@@ -99,12 +100,13 @@ func (r RecoveryConfig) withDefaults() RecoveryConfig {
 }
 
 // backoffIncentive prices requery wave `attempt` (1-based): exponential
-// backoff from the base incentive, capped by MaxIncentive.
+// backoff from the base incentive, capped by MaxIncentive. The growth
+// curve is mathx.ExpBackoff — the same law the supervised runtime uses
+// for restart delays and breaker probe scheduling — with the cent
+// amount rounded up. Capping before the ceil is exact here because
+// MaxIncentive is integral.
 func (r RecoveryConfig) backoffIncentive(base crowd.Cents, attempt int) crowd.Cents {
-	inc := crowd.Cents(math.Ceil(float64(base) * math.Pow(r.BackoffFactor, float64(attempt))))
-	if inc > r.MaxIncentive {
-		inc = r.MaxIncentive
-	}
+	inc := crowd.Cents(math.Ceil(mathx.ExpBackoff(float64(base), r.BackoffFactor, float64(r.MaxIncentive), attempt)))
 	if inc < 1 {
 		inc = 1
 	}

@@ -57,6 +57,7 @@ func DefaultRules() []Rule {
 		NewMapRange(),
 		NewCopyLocks(),
 		NewCheckedErrors(nil),
+		NewNakedGoroutine(nil),
 	}
 }
 

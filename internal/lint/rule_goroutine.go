@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DefaultGoroutineAllow lists the package subtrees permitted to spawn
+// goroutines directly: internal/parallel (the deterministic fan-out
+// pool) and internal/supervise (the supervised runtime, whose Go()
+// helper wraps every spawn in a named last-resort recover). Everywhere
+// else a bare `go` statement is an unsupervised failure domain — a
+// panic inside it kills the process with no restart, no checkpoint and
+// no health transition, which is exactly the hole the supervision
+// runtime exists to close.
+var DefaultGoroutineAllow = []string{
+	"internal/parallel",
+	"internal/supervise",
+}
+
+// NakedGoroutine is rule no-naked-goroutine: goroutines may only be
+// spawned through internal/parallel or internal/supervise. Production
+// code routes concurrency through the pool (bounded, observable) or
+// through supervise.Go / a supervised campaign worker (recovered,
+// restartable); a raw `go` statement escapes both.
+type NakedGoroutine struct {
+	allow []string
+}
+
+// NewNakedGoroutine builds the rule; a nil allowlist means
+// DefaultGoroutineAllow.
+func NewNakedGoroutine(allow []string) *NakedGoroutine {
+	if allow == nil {
+		allow = DefaultGoroutineAllow
+	}
+	return &NakedGoroutine{allow: allow}
+}
+
+func (r *NakedGoroutine) Name() string { return "no-naked-goroutine" }
+
+func (r *NakedGoroutine) Doc() string {
+	return "forbid bare `go` statements outside internal/parallel and internal/supervise; spawn via the pool or supervise.Go so every goroutine is recovered and observable"
+}
+
+func (r *NakedGoroutine) Check(pkg *Package) []Diagnostic {
+	if matchesScope(pkg.RelPath, "", r.allow) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Rule:    r.Name(),
+				Pos:     pkg.Fset.Position(g.Pos()),
+				Message: "bare go statement spawns an unsupervised goroutine; use parallel.Pool or supervise.Go",
+			})
+			return true
+		})
+	}
+	return diags
+}

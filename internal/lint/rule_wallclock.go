@@ -10,14 +10,17 @@ import (
 // the profiler (per-worker busy/idle attribution — internal/parallel
 // itself stays clockless and only emits events prof timestamps),
 // the HTTP service (request latencies, health ages), the durable store
-// (checkpoint ages), and human-facing binaries. Everything else — the
-// sensing loop, the learners, the simulator — must take time from a
-// simclock.Clock so that replay is deterministic.
+// (checkpoint ages), the supervision runtime (restart backoff sleeps
+// and watchdog timers — the backoff *durations* themselves come from a
+// seeded mathx sequence), and human-facing binaries. Everything else —
+// the sensing loop, the learners, the simulator — must take time from
+// a simclock.Clock so that replay is deterministic.
 var DefaultWallClockAllow = []string{
 	"internal/obs",
 	"internal/prof",
 	"internal/service",
 	"internal/store",
+	"internal/supervise",
 	"cmd",
 	"examples",
 }
@@ -57,7 +60,7 @@ func NewWallClock(allow []string) *WallClock {
 func (r *WallClock) Name() string { return "no-wall-clock" }
 
 func (r *WallClock) Doc() string {
-	return "forbid time.Now/Since/Sleep/... outside the observability, profiling, service, store and binary allowlist; deterministic code takes a simclock.Clock"
+	return "forbid time.Now/Since/Sleep/... outside the observability, profiling, service, store, supervision and binary allowlist; deterministic code takes a simclock.Clock"
 }
 
 func (r *WallClock) Check(pkg *Package) []Diagnostic {

@@ -101,6 +101,14 @@ func TestRuleFixtures(t *testing.T) {
 			},
 		},
 		{
+			fixture: "goroutine",
+			rules:   func(*Package) []Rule { return []Rule{NewNakedGoroutine(nil)} },
+			want: []string{
+				"goroutine.go 7:2 no-naked-goroutine",
+				"goroutine.go 12:2 no-naked-goroutine",
+			},
+		},
+		{
 			fixture: "clean",
 			rules:   func(pkg *Package) []Rule { return append(DefaultRules(), NewCheckedErrors([]string{pkg.RelPath})) },
 			want:    nil,
@@ -150,12 +158,39 @@ func TestWallClockAllowlist(t *testing.T) {
 func TestWallClockDefaultAllowlist(t *testing.T) {
 	rule := NewWallClock(nil)
 	for rel, wantClean := range map[string]bool{
-		"internal/prof":     true,
-		"internal/obs":      true,
-		"internal/core":     false,
-		"internal/parallel": false,
+		"internal/prof":      true,
+		"internal/obs":       true,
+		"internal/supervise": true,
+		"internal/core":      false,
+		"internal/parallel":  false,
 	} {
 		pkg := loadFixture(t, "wallclock")
+		pkg.RelPath = rel
+		got := rule.Check(pkg)
+		if wantClean && len(got) != 0 {
+			t.Errorf("%s: default allowlist should cover it, got %d findings: %v", rel, len(got), render(got))
+		}
+		if !wantClean && len(got) == 0 {
+			t.Errorf("%s: expected findings outside the allowlist, got none", rel)
+		}
+	}
+}
+
+// TestGoroutineDefaultAllowlist pins where bare go statements are
+// legal: the pool and the supervision runtime own goroutine spawning;
+// everything else must route through them. Guards against the
+// allowlist silently widening to a package that would then leak
+// unrecovered goroutines.
+func TestGoroutineDefaultAllowlist(t *testing.T) {
+	rule := NewNakedGoroutine(nil)
+	for rel, wantClean := range map[string]bool{
+		"internal/parallel":  true,
+		"internal/supervise": true,
+		"internal/service":   false,
+		"internal/core":      false,
+		"cmd/crowdlearnd":    false,
+	} {
+		pkg := loadFixture(t, "goroutine")
 		pkg.RelPath = rel
 		got := rule.Check(pkg)
 		if wantClean && len(got) != 0 {
@@ -191,6 +226,7 @@ func TestRuleMetadata(t *testing.T) {
 		"ordered-map-range",
 		"no-copied-locks-by-value",
 		"checked-errors-in-store",
+		"no-naked-goroutine",
 	}
 	rules := DefaultRules()
 	if got := RuleNames(rules); len(got) != len(wantNames) {

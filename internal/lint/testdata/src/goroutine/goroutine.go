@@ -1,0 +1,28 @@
+// Package goroutine is a lint fixture for rule no-naked-goroutine.
+package goroutine
+
+import "sync"
+
+func bad() {
+	go work() // want: no-naked-goroutine
+}
+
+func badClosure(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want: no-naked-goroutine
+		defer wg.Done()
+		work()
+	}()
+}
+
+func suppressed() {
+	//lint:ignore no-naked-goroutine fixture exercising the suppression path
+	go work()
+}
+
+func okDeferredCall() {
+	defer work() // defer is not a spawn
+	work()
+}
+
+func work() {}

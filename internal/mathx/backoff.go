@@ -1,0 +1,83 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ExpBackoff is the shared exponential-growth curve behind every
+// backoff in the repository: base * factor^attempt, capped at max
+// (max <= 0 means uncapped). The incentive-requery path (core's
+// RecoveryConfig) and the supervised runtime's restart and breaker
+// policies all price their retries off this one function so the
+// growth law cannot drift between subsystems.
+func ExpBackoff(base, factor, max float64, attempt int) float64 {
+	if attempt < 0 {
+		attempt = 0
+	}
+	v := base * math.Pow(factor, float64(attempt))
+	if max > 0 && v > max {
+		v = max
+	}
+	return v
+}
+
+// Backoff yields a deterministic seeded exponential-backoff-with-jitter
+// delay sequence: attempt n draws ExpBackoff(base, factor, max, n)
+// scaled by a seeded jitter factor in ((1-jitter), 1]. The jitter draws
+// come from the instance's own generator, so a given (seed, call
+// history) always reproduces the same delays — restart storms stay
+// de-synchronised across campaigns (different seeds) while every
+// individual schedule replays exactly.
+type Backoff struct {
+	base    time.Duration
+	factor  float64
+	max     time.Duration
+	jitter  float64
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff builds a seeded backoff schedule. factor < 1 is raised to
+// 1 (no decay), jitter is clamped to [0, 1), and max <= 0 disables the
+// cap.
+func NewBackoff(base time.Duration, factor float64, max time.Duration, jitter float64, seed int64) *Backoff {
+	if factor < 1 {
+		factor = 1
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter >= 1 {
+		jitter = math.Nextafter(1, 0)
+	}
+	return &Backoff{
+		base:   base,
+		factor: factor,
+		max:    max,
+		jitter: jitter,
+		rng:    NewRand(seed),
+	}
+}
+
+// Next returns the delay before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	d := ExpBackoff(float64(b.base), b.factor, float64(b.max), b.attempt)
+	b.attempt++
+	if b.jitter > 0 {
+		d *= 1 - b.jitter*b.rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Reset rewinds the growth curve to attempt zero after a period of
+// health. The jitter stream is not rewound: delays stay deterministic
+// as a function of the seed and the full call history, not of when
+// resets happened.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt reports how many delays have been drawn since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

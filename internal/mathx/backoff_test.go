@@ -1,0 +1,141 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExpBackoff(t *testing.T) {
+	cases := []struct {
+		base, factor, max float64
+		attempt           int
+		want              float64
+	}{
+		{10, 1.5, 20, 0, 10},
+		{10, 1.5, 20, 1, 15},
+		{10, 1.5, 20, 2, 20},  // 22.5 capped
+		{10, 1.5, 20, 10, 20}, // deep attempts stay capped
+		{10, 1.5, 0, 2, 22.5}, // max <= 0: uncapped
+		{10, 1.5, 20, -3, 10}, // negative attempts clamp to zero
+		{0.25, 2, 30, 3, 2},   // duration-style seconds
+		{5, 1, 20, 7, 5},      // factor 1: constant
+	}
+	for _, c := range cases {
+		got := ExpBackoff(c.base, c.factor, c.max, c.attempt)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ExpBackoff(%v, %v, %v, %d) = %v, want %v",
+				c.base, c.factor, c.max, c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestBackoffPinnedSequences pins the exact jittered delay sequences per
+// seed. The supervised runtime's restart policy and circuit breaker both
+// schedule off these draws; a change here silently breaks byte-identical
+// replay of recorded failure timelines, so the values are frozen.
+func TestBackoffPinnedSequences(t *testing.T) {
+	cases := []struct {
+		seed int64
+		want []time.Duration
+	}{
+		{1, []time.Duration{219766985, 405949091, 867087989, 1824914325, 3660290002, 6901083083}},
+		{7, []time.Duration{204055392, 476849282, 951722486, 1635375130, 3441411564, 7766150482}},
+		{42, []time.Duration{231348581, 493399950, 879181229, 1916472518, 3964945233, 7386890720}},
+	}
+	for _, c := range cases {
+		b := NewBackoff(250*time.Millisecond, 2, 30*time.Second, 0.2, c.seed)
+		for i, want := range c.want {
+			if got := b.Next(); got != want {
+				t.Errorf("seed %d attempt %d: Next() = %d, want %d", c.seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBackoffNoJitter(t *testing.T) {
+	b := NewBackoff(250*time.Millisecond, 2, 30*time.Second, 0, 99)
+	want := []time.Duration{
+		250 * time.Millisecond, 500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("attempt %d: Next() = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestBackoffReset pins that Reset rewinds the growth curve but not the
+// jitter stream: post-reset delays restart from the base yet keep
+// consuming the same seeded draw sequence.
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(time.Second, 1.5, 10*time.Second, 0.5, 5)
+	want := []time.Duration{598077585, 1110285564, 1148191237}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: Next() = %d, want %d", i, got, w)
+		}
+	}
+	if b.Attempt() != 3 {
+		t.Fatalf("Attempt() = %d, want 3", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", b.Attempt())
+	}
+	after := []time.Duration{701625555, 1140470701}
+	for i, w := range after {
+		if got := b.Next(); got != w {
+			t.Errorf("post-reset attempt %d: Next() = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestBackoffDeterministic: two instances with the same seed produce the
+// same sequence; different seeds diverge.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(250*time.Millisecond, 2, 30*time.Second, 0.3, 11)
+	b := NewBackoff(250*time.Millisecond, 2, 30*time.Second, 0.3, 11)
+	c := NewBackoff(250*time.Millisecond, 2, 30*time.Second, 0.3, 12)
+	diverged := false
+	for i := 0; i < 16; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			t.Fatalf("attempt %d: same seed diverged: %d vs %d", i, av, bv)
+		}
+		if av != cv {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 11 and 12 produced identical 16-draw sequences")
+	}
+}
+
+// TestBackoffJitterBounds: every jittered delay stays within
+// ((1-jitter)*curve, curve] of the unjittered curve.
+func TestBackoffJitterBounds(t *testing.T) {
+	const jitter = 0.4
+	b := NewBackoff(100*time.Millisecond, 2, 5*time.Second, jitter, 3)
+	for i := 0; i < 12; i++ {
+		curve := ExpBackoff(100e6, 2, 5e9, i)
+		got := float64(b.Next())
+		if got > curve || got <= curve*(1-jitter)-1 {
+			t.Errorf("attempt %d: delay %v outside (%v, %v]", i, got, curve*(1-jitter), curve)
+		}
+	}
+}
+
+func TestBackoffClamping(t *testing.T) {
+	// factor < 1 is raised to 1; jitter >= 1 is pulled under 1 so delays
+	// never reach zero.
+	b := NewBackoff(time.Second, 0.5, 0, 2, 8)
+	for i := 0; i < 8; i++ {
+		d := b.Next()
+		if d <= 0 || d > time.Second {
+			t.Fatalf("attempt %d: delay %v outside (0, 1s]", i, d)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
+)
+
+// SpecFactory assembles the supervise.Spec for a campaign created over
+// the API. The daemon supplies it so campaign creation reuses the
+// process's shared laboratory (dataset, pilot crowd) while the HTTP
+// layer stays ignorant of scheme assembly.
+type SpecFactory func(id string) (supervise.Spec, error)
+
+// CampaignHandler exposes a supervise.Supervisor over HTTP/JSON — the
+// multi-campaign face of the daemon, one failure domain per disaster
+// campaign:
+//
+//	POST /campaigns                     {"id":"hurricane-x"} -> health
+//	GET  /campaigns                     -> {"campaigns":[health...]}
+//	GET  /campaigns/{id}                -> health
+//	POST /campaigns/{id}/assess         {"context":"morning","imageIds":[...]} -> Response
+//	POST /campaigns/{id}/pause          -> health
+//	POST /campaigns/{id}/resume         -> health (resets a quarantine)
+//	POST /campaigns/{id}/archive        -> health (terminal)
+//	GET  /healthz                       -> 200 while no campaign is quarantined
+//	GET  /stats                         -> {"campaigns":[health...]}
+//	GET  /metrics                       -> Prometheus text exposition
+//
+// Supervision sentinels map onto transport codes: a full queue is 429
+// with Retry-After, lifecycle-state rejections (paused, quarantined,
+// archived, invalid transitions, duplicate IDs) are 409, unknown
+// campaigns 404, and shutdown 503.
+type CampaignHandler struct {
+	sup      *supervise.Supervisor
+	factory  SpecFactory
+	images   map[int]*imagery.Image
+	registry *obs.Registry
+	mux      *http.ServeMux
+	logger   *slog.Logger
+}
+
+var _ http.Handler = (*CampaignHandler)(nil)
+
+// CampaignHandlerOption customises a CampaignHandler.
+type CampaignHandlerOption func(*CampaignHandler)
+
+// WithCampaignLogger attaches a structured logger.
+func WithCampaignLogger(l *slog.Logger) CampaignHandlerOption {
+	return func(h *CampaignHandler) { h.logger = l }
+}
+
+// WithCampaignMetrics attaches the registry served at GET /metrics —
+// normally the same one the supervisor's labeled families land in.
+func WithCampaignMetrics(r *obs.Registry) CampaignHandlerOption {
+	return func(h *CampaignHandler) { h.registry = r }
+}
+
+// NewCampaignHandler builds the HTTP facade over sup. The image
+// registry resolves request image IDs; factory serves POST /campaigns
+// (nil disables creation over the API with 403).
+func NewCampaignHandler(sup *supervise.Supervisor, registry []*imagery.Image, factory SpecFactory, opts ...CampaignHandlerOption) (*CampaignHandler, error) {
+	if sup == nil {
+		return nil, errors.New("service: nil supervisor")
+	}
+	h := &CampaignHandler{
+		sup:     sup,
+		factory: factory,
+		images:  make(map[int]*imagery.Image, len(registry)),
+		mux:     http.NewServeMux(),
+	}
+	for _, im := range registry {
+		if im == nil {
+			return nil, errors.New("service: nil image in registry")
+		}
+		h.images[im.ID] = im
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	h.mux.HandleFunc("POST /campaigns", h.handleCreate)
+	h.mux.HandleFunc("GET /campaigns", h.handleList)
+	h.mux.HandleFunc("GET /campaigns/{id}", h.handleGet)
+	h.mux.HandleFunc("POST /campaigns/{id}/assess", h.handleCampaignAssess)
+	h.mux.HandleFunc("POST /campaigns/{id}/pause", h.handleLifecycle(sup.Pause))
+	h.mux.HandleFunc("POST /campaigns/{id}/resume", h.handleLifecycle(sup.Resume))
+	h.mux.HandleFunc("POST /campaigns/{id}/archive", h.handleLifecycle(sup.Archive))
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /images", h.handleImages)
+	return h, nil
+}
+
+// handleImages mirrors the single-service image-discovery endpoint:
+// the registry is shared across campaigns, so the ID list is global.
+func (h *CampaignHandler) handleImages(w http.ResponseWriter, r *http.Request) {
+	ids := make([]int, 0, len(h.images))
+	for id := range h.images {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	writeJSON(w, http.StatusOK, map[string]any{"imageIds": ids, "count": len(ids)})
+}
+
+// ServeHTTP wraps the mux with the same accounting and panic recovery
+// as the single-service Handler.
+func (h *CampaignHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	started := time.Now()
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			h.registry.Counter(MetricPanicsRecovered).Inc()
+			if h.logger != nil {
+				h.logger.Error("panic in handler", slog.String("path", r.URL.Path), slog.Any("panic", p))
+			}
+			if !rec.wroteHeader {
+				writeJSON(rec, http.StatusInternalServerError, errorBody{Error: "internal error"})
+			} else {
+				rec.status = http.StatusInternalServerError
+			}
+		}()
+		h.mux.ServeHTTP(rec, r)
+	}()
+	elapsed := time.Since(started)
+	path := r.URL.Path
+	if _, pattern := h.mux.Handler(r); pattern != "" {
+		path = pattern
+	}
+	if h.registry != nil {
+		h.registry.Histogram(MetricHTTPDuration, obs.DefBuckets, "path", path).Observe(elapsed.Seconds())
+		h.registry.Counter(MetricHTTPRequests, "path", path, "code", strconv.Itoa(rec.status)).Inc()
+	}
+	if h.logger != nil {
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("elapsed", elapsed),
+		}
+		if rec.status >= http.StatusInternalServerError {
+			h.logger.Error("request failed", attrs...)
+		} else {
+			h.logger.Debug("request", attrs...)
+		}
+	}
+}
+
+// writeSupError maps supervision sentinels to transport codes.
+func writeSupError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, supervise.ErrUnknownCampaign):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, supervise.ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, supervise.ErrPaused),
+		errors.Is(err, supervise.ErrQuarantined),
+		errors.Is(err, supervise.ErrArchived),
+		errors.Is(err, supervise.ErrInvalidTransition),
+		errors.Is(err, supervise.ErrDuplicateID):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, supervise.ErrShutdown):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// CreateCampaignRequest is the JSON body of POST /campaigns.
+type CreateCampaignRequest struct {
+	ID string `json:"id"`
+}
+
+func (h *CampaignHandler) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if h.factory == nil {
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "campaign creation over the API is disabled"})
+		return
+	}
+	var req CreateCampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "id must be non-empty"})
+		return
+	}
+	spec, err := h.factory(req.ID)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if _, err := h.sup.Create(spec); err != nil {
+		writeSupError(w, err)
+		return
+	}
+	health, err := h.sup.CampaignHealth(req.ID)
+	if err != nil {
+		writeSupError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, health)
+}
+
+// CampaignListResponse is the JSON body of GET /campaigns and /stats.
+type CampaignListResponse struct {
+	Campaigns []supervise.CampaignHealth `json:"campaigns"`
+}
+
+func (h *CampaignHandler) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CampaignListResponse{Campaigns: h.sup.Health()})
+}
+
+func (h *CampaignHandler) handleGet(w http.ResponseWriter, r *http.Request) {
+	health, err := h.sup.CampaignHealth(r.PathValue("id"))
+	if err != nil {
+		writeSupError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, health)
+}
+
+func (h *CampaignHandler) handleLifecycle(op func(string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := op(id); err != nil {
+			writeSupError(w, err)
+			return
+		}
+		health, err := h.sup.CampaignHealth(id)
+		if err != nil {
+			writeSupError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, health)
+	}
+}
+
+func (h *CampaignHandler) handleCampaignAssess(w http.ResponseWriter, r *http.Request) {
+	var req AssessRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		return
+	}
+	tctx, err := parseContext(req.Context)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if len(req.ImageIDs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "imageIds must be non-empty"})
+		return
+	}
+	images := make([]*imagery.Image, len(req.ImageIDs))
+	for i, id := range req.ImageIDs {
+		im, ok := h.images[id]
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown image id %d", id)})
+			return
+		}
+		images[i] = im
+	}
+	res, err := h.sup.Assess(r.Context(), r.PathValue("id"), tctx, images)
+	if err != nil {
+		writeSupError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignResponse(res, images))
+}
+
+// campaignResponse renders a supervised cycle in the same JSON shape as
+// the single-service POST /assess, so clients migrate between the two
+// without reparsing.
+func campaignResponse(res supervise.AssessResult, images []*imagery.Image) Response {
+	out := res.Output
+	queried := make(map[int]bool, len(out.Queried))
+	ids := make([]int, 0, len(out.Queried))
+	for _, idx := range out.Queried {
+		queried[idx] = true
+		ids = append(ids, images[idx].ID)
+	}
+	degradedIDs := make([]int, 0, len(out.Degraded))
+	for _, idx := range out.Degraded {
+		degradedIDs = append(degradedIDs, images[idx].ID)
+	}
+	resp := Response{
+		CycleIndex:            res.Cycle,
+		Assessments:           make([]Assessment, len(images)),
+		AlgorithmDelaySeconds: out.AlgorithmDelay.Seconds(),
+		CrowdDelaySeconds:     out.CrowdDelay.Seconds(),
+		SpentDollars:          out.SpentDollars,
+		QueriedImageIDs:       ids,
+		Requeries:             out.Requeries,
+		RefundedDollars:       out.RefundedDollars,
+	}
+	if len(degradedIDs) > 0 {
+		resp.DegradedImageIDs = degradedIDs
+	}
+	labels := out.Labels()
+	for i, im := range images {
+		source := "ai"
+		if queried[i] {
+			source = "crowd"
+		}
+		resp.Assessments[i] = Assessment{
+			ImageID:    im.ID,
+			Label:      labels[i],
+			LabelName:  labels[i].String(),
+			Confidence: out.Distributions[i][labels[i]],
+			Source:     source,
+		}
+	}
+	return resp
+}
+
+// handleHealthz reports fleet health: 200 while every campaign is
+// serving or deliberately paused, 503 once any campaign is quarantined
+// — the operator-attention signal — with the per-campaign detail either
+// way.
+func (h *CampaignHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	health := h.sup.Health()
+	quarantined := make([]string, 0)
+	for _, c := range health {
+		if c.State == "quarantined" {
+			quarantined = append(quarantined, c.ID)
+		}
+	}
+	body := map[string]any{"status": "ok", "campaigns": health}
+	status := http.StatusOK
+	if len(quarantined) > 0 {
+		body["status"] = "quarantined"
+		body["quarantined"] = quarantined
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (h *CampaignHandler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CampaignListResponse{Campaigns: h.sup.Health()})
+}
+
+func (h *CampaignHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.registry == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "metrics not enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.WriteHeader(http.StatusOK)
+	if err := h.registry.WritePrometheus(w); err != nil && h.logger != nil {
+		h.logger.Error("metrics write", slog.Any("err", err))
+	}
+}

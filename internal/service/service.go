@@ -22,6 +22,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/prof"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
 )
 
 // Assessment is one image's final verdict.
@@ -302,7 +303,9 @@ func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 func (s *Service) Start() {
 	s.startOnce.Do(func() {
 		s.started = true
-		go s.run()
+		// run() installs its own recovery; supervise.Go only names the
+		// goroutine and catches what the worker's own recover misses.
+		supervise.Go("service.worker", nil, s.run)
 	})
 }
 

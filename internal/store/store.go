@@ -271,6 +271,12 @@ func (s *Store) listCheckpoints() ([]checkpointInfo, error) {
 func (s *Store) WriteCheckpoint(cycles int, save func(w io.Writer) error) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.wal == nil {
+		// The supervised runtime fences an abandoned epoch by closing its
+		// store; a checkpoint attempt racing past that close must not
+		// write state the successor epoch no longer owns.
+		return 0, errors.New("store: closed")
+	}
 	if cycles < 0 {
 		return 0, fmt.Errorf("store: checkpoint cycle count %d negative", cycles)
 	}

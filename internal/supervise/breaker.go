@@ -1,0 +1,300 @@
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/simclock"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: submissions flow to the platform.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: submissions fast-fail with crowd.ErrUnavailable
+	// without touching the platform; the closed loop degrades the
+	// cycle to AI labels instead of mounting a requery storm.
+	BreakerOpen
+	// BreakerHalfOpen: the open interval elapsed; one probe submission
+	// is let through to test the platform.
+	BreakerHalfOpen
+)
+
+// String returns the label used in metrics and health JSON.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerStates lists the states, for one-hot metric emission.
+func BreakerStates() []BreakerState {
+	return []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen}
+}
+
+// BreakerConfig tunes a campaign's circuit breaker. The breaker is
+// clockless: it advances an internal probe clock by CallAdvance per
+// observed submission — mirroring the fault injector's convention that
+// a rejected post costs the requester ProbeAdvance of simulated time —
+// so its decisions are a pure function of the seed and the submission
+// history, and the recovery path's journal replay reproduces them
+// exactly.
+type BreakerConfig struct {
+	// Disabled turns the breaker off: WrapPlatform becomes the
+	// identity.
+	Disabled bool
+	// FailureThreshold is the consecutive-outage count that trips the
+	// breaker open (default 3).
+	FailureThreshold int
+	// ProbeBase is the first open interval on the probe clock
+	// (default 30m). Subsequent openings back off exponentially.
+	ProbeBase time.Duration
+	// ProbeFactor multiplies the open interval per consecutive opening
+	// (default 2).
+	ProbeFactor float64
+	// ProbeMax caps the open interval (default 4h).
+	ProbeMax time.Duration
+	// Jitter de-synchronises probe schedules across campaigns: each
+	// open interval is scaled by a seeded factor in ((1-Jitter), 1]
+	// (default 0.2).
+	Jitter float64
+	// CallAdvance is the probe-clock time one observed submission
+	// costs (default 10m, matching faults.Config.ProbeAdvance).
+	CallAdvance time.Duration
+	// HalfOpenProbes is how many consecutive successful probes close
+	// the breaker from half-open (default 1).
+	HalfOpenProbes int
+	// Seed drives the jitter stream.
+	Seed int64
+}
+
+// withDefaults fills unset knobs.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 3
+	}
+	if c.ProbeBase == 0 {
+		c.ProbeBase = 30 * time.Minute
+	}
+	if c.ProbeFactor == 0 {
+		c.ProbeFactor = 2
+	}
+	if c.ProbeMax == 0 {
+		c.ProbeMax = 4 * time.Hour
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.CallAdvance == 0 {
+		c.CallAdvance = 10 * time.Minute
+	}
+	if c.HalfOpenProbes == 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// BreakerHealth is a breaker snapshot for /healthz.
+type BreakerHealth struct {
+	State string `json:"state"`
+	// ConsecutiveFailures is the current closed-state outage streak.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Rejections counts submissions fast-failed while open.
+	Rejections int `json:"rejections"`
+	// Probes counts half-open probe submissions.
+	Probes int `json:"probes"`
+	// Opens counts transitions into the open state.
+	Opens int `json:"opens"`
+}
+
+// Breaker is a circuit breaker over core.CrowdPlatform. It is rebuilt
+// fresh on every campaign epoch: recovery replays the journaled
+// submission history through it, which reproduces the pre-crash breaker
+// state without persisting the breaker itself.
+type Breaker struct {
+	cfg      BreakerConfig
+	campaign string
+	metrics  metricsSink
+
+	mu       sync.Mutex
+	state    BreakerState
+	now      time.Duration // probe clock: CallAdvance per observed call
+	reopenAt time.Duration // probe-clock instant the next probe is due
+	consec   int           // consecutive outages while closed
+	probeOK  int           // consecutive successful half-open probes
+	backoff  *mathx.Backoff
+
+	rejections int
+	probes     int
+	opens      int
+}
+
+// metricsSink decouples the breaker from the registry so tests can run
+// without one; the supervisor passes a labeled emitter.
+type metricsSink interface {
+	breakerTransition(campaign string, from, to BreakerState)
+	breakerRejection(campaign string)
+	breakerProbe(campaign string, ok bool)
+}
+
+// NewBreaker builds a breaker for one campaign. metrics may be nil.
+func NewBreaker(cfg BreakerConfig, campaign string, metrics metricsSink) *Breaker {
+	cfg = cfg.withDefaults()
+	b := &Breaker{
+		cfg:      cfg,
+		campaign: campaign,
+		metrics:  metrics,
+		backoff:  mathx.NewBackoff(cfg.ProbeBase, cfg.ProbeFactor, cfg.ProbeMax, cfg.Jitter, cfg.Seed),
+	}
+	if metrics != nil {
+		metrics.breakerTransition(campaign, BreakerClosed, BreakerClosed)
+	}
+	return b
+}
+
+// Wrap places the breaker in front of a platform. The wrapped platform
+// sits inside core's journal recorder, so breaker rejections are
+// journaled as Unavailable submissions and replay through a fresh
+// breaker reproduces the same decisions.
+func (b *Breaker) Wrap(p core.CrowdPlatform) core.CrowdPlatform {
+	return &breakerPlatform{breaker: b, inner: p}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Health snapshots the breaker for /healthz.
+func (b *Breaker) Health() BreakerHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerHealth{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.consec,
+		Rejections:          b.rejections,
+		Probes:              b.probes,
+		Opens:               b.opens,
+	}
+}
+
+// transition moves the state machine and emits the labeled metrics.
+// Callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if to == BreakerOpen {
+		b.opens++
+	}
+	if b.metrics != nil {
+		b.metrics.breakerTransition(b.campaign, from, to)
+	}
+}
+
+// allow decides whether a submission may reach the platform, advancing
+// the probe clock one CallAdvance either way.
+func (b *Breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now += b.cfg.CallAdvance
+	switch b.state {
+	case BreakerOpen:
+		if b.now >= b.reopenAt {
+			b.probeOK = 0
+			b.transition(BreakerHalfOpen)
+			return true // this submission is the probe
+		}
+		b.rejections++
+		if b.metrics != nil {
+			b.metrics.breakerRejection(b.campaign)
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// record feeds a submission outcome back into the state machine.
+func (b *Breaker) record(outage bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case outage:
+		switch b.state {
+		case BreakerClosed:
+			b.consec++
+			if b.consec >= b.cfg.FailureThreshold {
+				b.reopenAt = b.now + b.backoff.Next()
+				b.transition(BreakerOpen)
+			}
+		case BreakerHalfOpen:
+			b.probes++
+			if b.metrics != nil {
+				b.metrics.breakerProbe(b.campaign, false)
+			}
+			b.reopenAt = b.now + b.backoff.Next()
+			b.transition(BreakerOpen)
+		}
+	case err == nil:
+		switch b.state {
+		case BreakerHalfOpen:
+			b.probes++
+			if b.metrics != nil {
+				b.metrics.breakerProbe(b.campaign, true)
+			}
+			b.probeOK++
+			if b.probeOK >= b.cfg.HalfOpenProbes {
+				b.consec = 0
+				b.backoff.Reset()
+				b.transition(BreakerClosed)
+			}
+		default:
+			b.consec = 0
+		}
+		// Hard (non-outage) platform errors are neutral: the cycle fails
+		// on its own; they say nothing about platform availability.
+	}
+}
+
+// breakerPlatform is the CrowdPlatform the closed loop actually calls.
+type breakerPlatform struct {
+	breaker *Breaker
+	inner   core.CrowdPlatform
+}
+
+var _ core.CrowdPlatform = (*breakerPlatform)(nil)
+
+// Submit implements core.CrowdPlatform. A rejection satisfies
+// errors.Is(err, crowd.ErrUnavailable), so core's existing outage
+// handling — degrade to AI labels, count the outage, never abort the
+// campaign — engages unchanged.
+func (p *breakerPlatform) Submit(clk *simclock.Clock, ctx crowd.TemporalContext, queries []crowd.Query) ([]crowd.QueryResult, error) {
+	if !p.breaker.allow() {
+		return nil, fmt.Errorf("supervise: circuit open: %w", crowd.ErrUnavailable)
+	}
+	results, err := p.inner.Submit(clk, ctx, queries)
+	p.breaker.record(errors.Is(err, crowd.ErrUnavailable), err)
+	return results, err
+}
+
+// Spent implements core.CrowdPlatform.
+func (p *breakerPlatform) Spent() float64 { return p.inner.Spent() }

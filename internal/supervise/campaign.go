@@ -1,0 +1,670 @@
+package supervise
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/classifier"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/crowd"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+	"github.com/crowdlearn/crowdlearn/internal/store"
+)
+
+// RestartPolicy is the deterministic seeded exponential-backoff-with-
+// jitter restart schedule of one campaign.
+type RestartPolicy struct {
+	// MaxRestarts is the restart budget: once a campaign has restarted
+	// this many times without an operator Resume resetting the count,
+	// the next failure quarantines it (default 5).
+	MaxRestarts int
+	// Base is the first restart delay (default 250ms).
+	Base time.Duration
+	// Factor multiplies the delay per consecutive restart (default 2).
+	Factor float64
+	// Max caps the delay (default 30s).
+	Max time.Duration
+	// Jitter scales each delay by a seeded factor in ((1-Jitter), 1]
+	// so campaigns that fail together do not restart in lockstep
+	// (default 0.2).
+	Jitter float64
+	// Seed drives the jitter stream.
+	Seed int64
+}
+
+// withDefaults fills unset knobs.
+func (p RestartPolicy) withDefaults() RestartPolicy {
+	if p.MaxRestarts == 0 {
+		p.MaxRestarts = 5
+	}
+	if p.Base == 0 {
+		p.Base = 250 * time.Millisecond
+	}
+	if p.Factor == 0 {
+		p.Factor = 2
+	}
+	if p.Max == 0 {
+		p.Max = 30 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// BuildContext carries the per-epoch hooks a Spec.Build callback must
+// wire into the scheme it assembles: the campaign's circuit breaker
+// around the crowd platform, and the campaign's durable journal into
+// core.Config.Journal.
+type BuildContext struct {
+	// WrapPlatform applies the campaign's circuit breaker; pass the
+	// assembled (possibly fault-injected) platform through it before
+	// handing it to the scheme.
+	WrapPlatform func(core.CrowdPlatform) core.CrowdPlatform
+	// Journal is the campaign's cycle journal, nil for campaigns
+	// without a StateDir. Wire it into core.Config.Journal.
+	Journal core.CycleJournal
+}
+
+// BuildFunc assembles a freshly bootstrapped scheme for one campaign
+// epoch. It is called at Create and again on every restart: each epoch
+// gets a brand-new scheme and platform so no state — learned weights,
+// RNG positions, half-applied mutations — leaks across a failure; the
+// recovery path then replays the journal to bring the fresh scheme to
+// the last durable state.
+type BuildFunc func(bc BuildContext) (core.Scheme, error)
+
+// Spec declares one campaign.
+type Spec struct {
+	// ID names the campaign in the API, metrics and logs.
+	ID string
+	// Build assembles the campaign's scheme; see BuildFunc.
+	Build BuildFunc
+	// StateDir, when non-empty, enables durable crash-safe persistence
+	// (internal/store) and restart-from-checkpoint. The built scheme
+	// must then be a *core.CrowdLearn. Empty runs the campaign without
+	// durability: a restart rebuilds from bootstrap and the cycle
+	// sequence starts over.
+	StateDir string
+	// CheckpointEvery is the checkpoint cadence in committed cycles
+	// (0 = only at shutdown/archive).
+	CheckpointEvery int
+	// RetainCheckpoints is the rotation depth
+	// (0 = store.DefaultRetainCheckpoints).
+	RetainCheckpoints int
+	// StoreFaults seeds persistence fault injection (chaos tests).
+	StoreFaults store.FaultConfig
+	// TrainSamples and Registry parameterise recovery: the bootstrap
+	// training samples and the image universe journaled cycles resolve
+	// their IDs against.
+	TrainSamples []classifier.Sample
+	Registry     []*imagery.Image
+	// Restart overrides the supervisor's default restart policy.
+	Restart *RestartPolicy
+	// Breaker overrides the supervisor's default breaker config.
+	Breaker *BreakerConfig
+}
+
+// AssessResult is one completed sensing cycle.
+type AssessResult struct {
+	// Campaign is the owning campaign's ID.
+	Campaign string `json:"campaign"`
+	// Cycle is the committed cycle index.
+	Cycle int `json:"cycle"`
+	// Output is the scheme's assessment.
+	Output core.CycleOutput `json:"-"`
+}
+
+// campaignStats is per-campaign lifetime accounting.
+type campaignStats struct {
+	CyclesRun      int     `json:"cyclesRun"`
+	CycleErrors    int     `json:"cycleErrors"`
+	ImagesAssessed int     `json:"imagesAssessed"`
+	CrowdQueries   int     `json:"crowdQueries"`
+	SpentDollars   float64 `json:"spentDollars"`
+	DegradedImages int     `json:"degradedImages"`
+	Stalls         int     `json:"stalls"`
+}
+
+// CampaignHealth is one campaign's health snapshot, served by /healthz.
+type CampaignHealth struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Mode is the degradation-ladder position: "full", "ai-only"
+	// (breaker open), "paused" or "quarantined".
+	Mode string `json:"mode"`
+	// Restarts is the count since the last budget reset; Budget the
+	// quarantine threshold; TotalRestarts the lifetime count.
+	Restarts      int    `json:"restarts"`
+	Budget        int    `json:"restartBudget"`
+	TotalRestarts int    `json:"totalRestarts"`
+	LastError     string `json:"lastError,omitempty"`
+	// NextCycle is the index the next sensing cycle will use.
+	NextCycle int  `json:"nextCycle"`
+	Durable   bool `json:"durable"`
+	// Stats carries lifetime cycle accounting.
+	Stats campaignStats `json:"stats"`
+	// Breaker is nil when the campaign runs without one.
+	Breaker *BreakerHealth `json:"breaker,omitempty"`
+	// Recovery reports how the current epoch's state was reconstructed
+	// (durable campaigns only).
+	Recovery *store.RecoveryReport `json:"recovery,omitempty"`
+}
+
+type campaignReq struct {
+	tctx   crowd.TemporalContext
+	images []*imagery.Image
+	reply  chan campaignReply
+}
+
+type campaignReply struct {
+	res AssessResult
+	err error
+}
+
+type ctlOp int
+
+const (
+	ctlPause ctlOp = iota
+	ctlResume
+	ctlArchive
+	ctlSnapshot
+)
+
+type ctlReq struct {
+	op    ctlOp
+	reply chan ctlReply
+}
+
+type ctlReply struct {
+	err   error
+	state []byte // ctlSnapshot: SaveState bytes
+}
+
+// Campaign is one supervised failure domain: a worker goroutine, an
+// epoch of runtime resources (scheme, store, journal, breaker), and the
+// restart bookkeeping that decides when failures turn into quarantine.
+type Campaign struct {
+	spec    Spec
+	sup     *Supervisor
+	restart RestartPolicy
+	brkCfg  BreakerConfig
+	backoff *mathx.Backoff // restart delays; survives epochs
+
+	requests chan campaignReq
+	ctl      chan ctlReq
+	kick     chan error
+	stop     chan struct{}
+	done     chan struct{}
+
+	// Everything below is worker-owned; the mutex exists only so
+	// health/state snapshots from other goroutines read consistent
+	// values.
+	state     State
+	restarts  int // since the last budget reset
+	total     int // lifetime
+	lastErr   error
+	nextCycle int
+	stats     campaignStats
+	recovery  *store.RecoveryReport
+
+	// Current epoch's resources.
+	sys     core.Scheme
+	durable *core.CrowdLearn // sys when the campaign persists state
+	st      *store.Store
+	journal *store.Journal
+	breaker *Breaker
+}
+
+// ID returns the campaign's identifier.
+func (c *Campaign) ID() string { return c.spec.ID }
+
+// State returns the lifecycle state.
+func (c *Campaign) State() State {
+	c.sup.mu.Lock()
+	defer c.sup.mu.Unlock()
+	return c.state
+}
+
+// setState transitions the lifecycle state and emits the one-hot gauge.
+func (c *Campaign) setState(to State, cause error) {
+	c.sup.mu.Lock()
+	from := c.state
+	c.state = to
+	c.lastErr = cause
+	c.sup.mu.Unlock()
+	for _, s := range States() {
+		v := 0.0
+		if s == to {
+			v = 1
+		}
+		c.sup.metrics.Gauge(MetricCampaignState, "campaign", c.spec.ID, "state", s.String()).Set(v)
+	}
+	if to == StateQuarantined {
+		c.sup.metrics.Counter(MetricCampaignQuarantines, "campaign", c.spec.ID).Inc()
+	}
+	if from != to {
+		c.sup.logger.Info("campaign state",
+			slog.String("campaign", c.spec.ID),
+			slog.String("from", from.String()),
+			slog.String("to", to.String()),
+			slog.Any("cause", cause))
+	}
+}
+
+// health snapshots the campaign.
+func (c *Campaign) health() CampaignHealth {
+	c.sup.mu.Lock()
+	h := CampaignHealth{
+		ID:            c.spec.ID,
+		State:         c.state.String(),
+		Mode:          "full",
+		Restarts:      c.restarts,
+		Budget:        c.restart.MaxRestarts,
+		TotalRestarts: c.total,
+		NextCycle:     c.nextCycle,
+		Durable:       c.spec.StateDir != "",
+		Stats:         c.stats,
+		Recovery:      c.recovery,
+	}
+	if c.lastErr != nil {
+		h.LastError = c.lastErr.Error()
+	}
+	br := c.breaker
+	state := c.state
+	c.sup.mu.Unlock()
+	if br != nil {
+		bh := br.Health()
+		h.Breaker = &bh
+		if bh.State != BreakerClosed.String() {
+			h.Mode = "ai-only"
+		}
+	}
+	switch state {
+	case StatePaused:
+		h.Mode = "paused"
+	case StateQuarantined:
+		h.Mode = "quarantined"
+	case StateArchived:
+		h.Mode = "archived"
+	case StateRestarting:
+		h.Mode = "restarting"
+	}
+	return h
+}
+
+// guardPanics converts a panic in epoch-assembly user code (the Build
+// callback, recovery replay through the live platform) into an error so
+// a panicking rebuild consumes a restart instead of killing the worker
+// goroutine — the resources a caller is blocked on.
+func guardPanics[T any](stage string, fn func() (T, error)) (out T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: %s: %v", ErrCyclePanicked, stage, p)
+		}
+	}()
+	return fn()
+}
+
+// buildEpoch assembles a fresh scheme, opens the state directory and
+// recovers the last durable state. On any error the store is closed and
+// no epoch resources are retained.
+func (c *Campaign) buildEpoch() error {
+	bc := BuildContext{WrapPlatform: func(p core.CrowdPlatform) core.CrowdPlatform { return p }}
+	var br *Breaker
+	if !c.brkCfg.Disabled {
+		br = NewBreaker(c.brkCfg, c.spec.ID, c.sup)
+		bc.WrapPlatform = br.Wrap
+	}
+	var (
+		st      *store.Store
+		journal *store.Journal
+		durable *core.CrowdLearn
+	)
+	if c.spec.StateDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:               c.spec.StateDir,
+			RetainCheckpoints: c.spec.RetainCheckpoints,
+			Faults:            c.spec.StoreFaults,
+		})
+		if err != nil {
+			return fmt.Errorf("supervise: campaign %s: %w", c.spec.ID, err)
+		}
+		// The checkpoint payload closes over the epoch's durable system,
+		// assigned below once Build returns. Metrics stay nil: the
+		// store's unlabeled gauges would clobber across campaigns.
+		journal = store.NewJournal(st, c.spec.CheckpointEvery, func(w io.Writer) error {
+			if durable == nil {
+				return errors.New("supervise: checkpoint before epoch assembly")
+			}
+			return durable.SaveState(w)
+		}, c.sup.logger, nil)
+		bc.Journal = journal
+	}
+	sys, err := guardPanics("build", func() (core.Scheme, error) { return c.spec.Build(bc) })
+	if err != nil {
+		if st != nil {
+			if cerr := st.Close(); cerr != nil {
+				c.sup.logger.Warn("store close after failed build", slog.String("campaign", c.spec.ID), slog.Any("err", cerr))
+			}
+		}
+		return fmt.Errorf("supervise: build campaign %s: %w", c.spec.ID, err)
+	}
+	var report *store.RecoveryReport
+	if st != nil {
+		cl, ok := sys.(*core.CrowdLearn)
+		if !ok {
+			if cerr := st.Close(); cerr != nil {
+				c.sup.logger.Warn("store close", slog.String("campaign", c.spec.ID), slog.Any("err", cerr))
+			}
+			return fmt.Errorf("supervise: campaign %s: StateDir requires a *core.CrowdLearn scheme, got %T", c.spec.ID, sys)
+		}
+		durable = cl
+		report, err = guardPanics("recovery", func() (*store.RecoveryReport, error) {
+			return st.Recover(cl, store.RecoverOptions{
+				TrainSamples:   c.spec.TrainSamples,
+				Registry:       c.spec.Registry,
+				ResyncPlatform: true,
+				Logger:         c.sup.logger,
+			})
+		})
+		if err != nil {
+			if cerr := st.Close(); cerr != nil {
+				c.sup.logger.Warn("store close after failed recovery", slog.String("campaign", c.spec.ID), slog.Any("err", cerr))
+			}
+			return fmt.Errorf("supervise: recover campaign %s: %w", c.spec.ID, err)
+		}
+		journal.NoteRecovered(report)
+	}
+	c.sup.mu.Lock()
+	c.sys = sys
+	c.durable = durable
+	c.st = st
+	c.journal = journal
+	c.breaker = br
+	c.recovery = report
+	if report != nil {
+		c.nextCycle = report.NextCycle
+	} else {
+		// No durability: the fresh scheme starts its history over.
+		c.nextCycle = 0
+	}
+	c.sup.mu.Unlock()
+	return nil
+}
+
+// teardownEpoch fences the current epoch: optionally write a final
+// checkpoint, then close the store so any straggling goroutine from
+// this epoch (a released stall, an abandoned cycle) fails its appends
+// instead of writing into state the next epoch owns.
+func (c *Campaign) teardownEpoch(checkpoint bool) {
+	c.sup.mu.Lock()
+	st, journal := c.st, c.journal
+	c.sys, c.durable, c.st, c.journal, c.breaker = nil, nil, nil, nil, nil
+	c.sup.mu.Unlock()
+	if journal != nil && checkpoint {
+		if err := journal.Checkpoint(); err != nil {
+			c.sup.logger.Warn("final checkpoint failed",
+				slog.String("campaign", c.spec.ID), slog.Any("err", err))
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			c.sup.logger.Warn("store close",
+				slog.String("campaign", c.spec.ID), slog.Any("err", err))
+		}
+	}
+}
+
+// loop is the campaign worker. It runs until supervisor shutdown; an
+// archived campaign's worker keeps draining requests with ErrArchived.
+func (c *Campaign) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			c.drain(ErrShutdown)
+			if s := c.State(); s == StateRunning || s == StatePaused || s == StateRestarting {
+				c.teardownEpoch(s != StateRestarting)
+			}
+			return
+		case ctl := <-c.ctl:
+			ctl.reply <- c.handleCtl(ctl.op)
+		case req := <-c.requests:
+			c.handleAssess(req)
+		}
+	}
+}
+
+// drain rejects every queued request so callers return deterministically.
+func (c *Campaign) drain(err error) {
+	for {
+		select {
+		case req := <-c.requests:
+			req.reply <- campaignReply{err: err}
+		default:
+			return
+		}
+	}
+}
+
+// stateErr maps a non-serving state to its sentinel (nil when serving).
+func stateErr(s State) error {
+	switch s {
+	case StatePaused:
+		return ErrPaused
+	case StateQuarantined:
+		return ErrQuarantined
+	case StateArchived:
+		return ErrArchived
+	default:
+		return nil
+	}
+}
+
+// handleCtl executes one lifecycle operation on the worker goroutine,
+// so epoch resources are never mutated concurrently with a cycle.
+func (c *Campaign) handleCtl(op ctlOp) ctlReply {
+	state := c.State()
+	switch op {
+	case ctlPause:
+		if state != StateRunning {
+			return ctlReply{err: fmt.Errorf("%w: pause from %s", ErrInvalidTransition, state)}
+		}
+		c.setState(StatePaused, nil)
+		return ctlReply{}
+	case ctlResume:
+		switch state {
+		case StatePaused:
+			c.setState(StateRunning, nil)
+			return ctlReply{}
+		case StateQuarantined:
+			// The operator vouches for the campaign: reset the restart
+			// budget and rebuild from the last durable state.
+			c.sup.mu.Lock()
+			c.restarts = 0
+			c.sup.mu.Unlock()
+			c.backoff.Reset()
+			if err := c.buildEpoch(); err != nil {
+				c.setState(StateQuarantined, err)
+				return ctlReply{err: err}
+			}
+			c.setState(StateRunning, nil)
+			return ctlReply{}
+		default:
+			return ctlReply{err: fmt.Errorf("%w: resume from %s", ErrInvalidTransition, state)}
+		}
+	case ctlArchive:
+		if state == StateArchived {
+			return ctlReply{err: ErrArchived}
+		}
+		// A final checkpoint only makes sense from a healthy epoch;
+		// quarantined state is already fenced on disk.
+		c.teardownEpoch(state == StateRunning || state == StatePaused)
+		c.setState(StateArchived, nil)
+		c.drain(ErrArchived)
+		return ctlReply{}
+	case ctlSnapshot:
+		c.sup.mu.Lock()
+		durable := c.durable
+		c.sup.mu.Unlock()
+		if durable == nil {
+			return ctlReply{err: fmt.Errorf("supervise: campaign %s: no durable system to snapshot", c.spec.ID)}
+		}
+		var buf bytes.Buffer
+		if err := durable.SaveState(&buf); err != nil {
+			return ctlReply{err: err}
+		}
+		return ctlReply{state: buf.Bytes()}
+	default:
+		return ctlReply{err: fmt.Errorf("supervise: unknown control op %d", op)}
+	}
+}
+
+// handleAssess runs one sensing cycle for a queued request.
+func (c *Campaign) handleAssess(req campaignReq) {
+	if err := stateErr(c.State()); err != nil {
+		req.reply <- campaignReply{err: err}
+		return
+	}
+	c.sup.mu.Lock()
+	cycle := c.nextCycle
+	sys := c.sys
+	c.sup.mu.Unlock()
+	in := core.CycleInput{Index: cycle, Context: req.tctx, Images: req.images}
+	out, err := c.runGuarded(sys, in)
+	if err == nil {
+		c.noteCycle(in, out)
+		req.reply <- campaignReply{res: AssessResult{Campaign: c.spec.ID, Cycle: cycle, Output: out}}
+		return
+	}
+	c.sup.mu.Lock()
+	c.stats.CycleErrors++
+	if errors.Is(err, ErrCycleStalled) {
+		c.stats.Stalls++
+	}
+	c.sup.mu.Unlock()
+	c.sup.metrics.Counter(MetricCampaignCycles, "campaign", c.spec.ID, "result", "error").Inc()
+	if errors.Is(err, ErrCycleStalled) {
+		c.sup.metrics.Counter(MetricCampaignStalls, "campaign", c.spec.ID).Inc()
+	}
+	// Restart before replying: when the error reaches the caller the
+	// campaign is already rebuilt (or quarantined), so an immediate
+	// retry lands on a recovered epoch instead of racing the restart.
+	if restartable(err) {
+		c.restartLoop(err)
+	}
+	req.reply <- campaignReply{err: err}
+}
+
+// restartable reports whether a cycle failure warrants tearing the
+// epoch down: recovered panics, watchdog stalls, and cycles whose
+// journal append failed (applied in memory but not durable — the
+// restart re-runs them from the last durable state). Ordinary cycle
+// errors (validation, budget exhaustion surfaced as errors, hard
+// platform faults) are returned to the caller without a restart.
+func restartable(err error) bool {
+	return errors.Is(err, ErrCyclePanicked) ||
+		errors.Is(err, ErrCycleStalled) ||
+		errors.Is(err, core.ErrCycleNotDurable)
+}
+
+// runGuarded executes one cycle in a nested goroutine so a panicking
+// or stalled scheme cannot take the worker down with it. The watchdog
+// (Options.StallTimeout) and the operator kick channel both abort the
+// wait; the abandoned cycle goroutine finishes into a buffered channel
+// and its epoch is fenced by the subsequent restart.
+func (c *Campaign) runGuarded(sys core.Scheme, in core.CycleInput) (core.CycleOutput, error) {
+	type result struct {
+		out core.CycleOutput
+		err error
+	}
+	ch := make(chan result, 1)
+	// A kick queued while no cycle was in flight aborts this one;
+	// that is the documented contract of Kick.
+	Go(fmt.Sprintf("campaign.%s.cycle", c.spec.ID), c.sup.logger, func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- result{err: fmt.Errorf("%w: %v", ErrCyclePanicked, p)}
+			}
+		}()
+		out, err := sys.RunCycle(in)
+		ch <- result{out, err}
+	})
+	var watch <-chan time.Time
+	if c.sup.stallTimeout > 0 {
+		watch = c.sup.after(c.sup.stallTimeout)
+	}
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-watch:
+		return core.CycleOutput{}, fmt.Errorf("%w: cycle %d made no progress within %v",
+			ErrCycleStalled, in.Index, c.sup.stallTimeout)
+	case kerr := <-c.kick:
+		return core.CycleOutput{}, fmt.Errorf("%w: cycle %d: %v", ErrCycleStalled, in.Index, kerr)
+	}
+}
+
+// noteCycle records a committed cycle's accounting.
+func (c *Campaign) noteCycle(in core.CycleInput, out core.CycleOutput) {
+	c.sup.mu.Lock()
+	c.nextCycle = in.Index + 1
+	c.stats.CyclesRun++
+	c.stats.ImagesAssessed += len(in.Images)
+	c.stats.CrowdQueries += len(out.Queried)
+	c.stats.SpentDollars += out.SpentDollars
+	c.stats.DegradedImages += len(out.Degraded)
+	c.sup.mu.Unlock()
+	c.sup.metrics.Counter(MetricCampaignCycles, "campaign", c.spec.ID, "result", "ok").Inc()
+}
+
+// restartLoop drives the restart policy after a restartable failure:
+// back off (seeded, jittered), fence the failed epoch, rebuild and
+// recover. Rebuild failures consume further restarts; an exhausted
+// budget quarantines the campaign.
+func (c *Campaign) restartLoop(cause error) {
+	c.setState(StateRestarting, cause)
+	for {
+		c.sup.mu.Lock()
+		exhausted := c.restarts >= c.restart.MaxRestarts
+		if !exhausted {
+			c.restarts++
+			c.total++
+		}
+		c.sup.mu.Unlock()
+		if exhausted {
+			c.teardownEpoch(false)
+			c.setState(StateQuarantined, cause)
+			c.drain(ErrQuarantined)
+			c.sup.logger.Error("campaign quarantined: restart budget exhausted",
+				slog.String("campaign", c.spec.ID),
+				slog.Int("budget", c.restart.MaxRestarts),
+				slog.Any("cause", cause))
+			return
+		}
+		c.sup.metrics.Counter(MetricCampaignRestarts, "campaign", c.spec.ID).Inc()
+		delay := c.backoff.Next()
+		c.sup.logger.Warn("campaign restarting",
+			slog.String("campaign", c.spec.ID),
+			slog.Int("restart", c.backoff.Attempt()),
+			slog.Duration("backoff", delay),
+			slog.Any("cause", cause))
+		c.sup.sleep(delay)
+		c.teardownEpoch(false)
+		if err := c.buildEpoch(); err != nil {
+			cause = err
+			c.sup.logger.Error("campaign rebuild failed",
+				slog.String("campaign", c.spec.ID), slog.Any("err", err))
+			continue
+		}
+		c.setState(StateRunning, nil)
+		return
+	}
+}
