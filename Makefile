@@ -90,6 +90,7 @@ bench:
 # incomparable between runs and the regression gate meaningless.
 BENCH_CMD = ( $(GO) test -bench 'BenchmarkTable2Accuracy' -benchtime 1x -benchmem -run xxx -timeout 60m . ; \
 	  $(GO) test -bench 'BenchmarkRunCycleParallel' -benchtime 300x -benchmem -run xxx -timeout 60m . ; \
+	  $(GO) test -bench 'BenchmarkRunCyclePipelined' -benchtime 150x -benchmem -run xxx -timeout 60m . ; \
 	  $(GO) test -bench 'BenchmarkCommitteeVote$$|BenchmarkCommitteeEntropy$$' -benchtime 100000x -benchmem -run xxx ./internal/qss/ )
 
 # Machine-readable parallel-scaling trajectory: reruns the tracked
@@ -104,10 +105,16 @@ bench-json:
 # The CI regression gate (DESIGN.md §12): rerun the tracked benchmark
 # set, compare against the committed BENCH_parallel.json baseline, fail
 # on >20% ns/op or >10% allocs/op regression, and leave the fresh record
-# at artefacts/bench-latest.json for artifact upload either way.
+# at artefacts/bench-latest.json for artifact upload either way. The
+# -min-speedup floor additionally requires workers=4 RunCycle to beat
+# workers=1 on a multi-core runner; benchjson skips it with a printed
+# notice when the run executed at GOMAXPROCS=1 (a single-core runner
+# cannot demonstrate parallel speedup — the grain policy collapses the
+# fan-out inline there).
 bench-gate:
 	@mkdir -p artefacts
-	$(BENCH_CMD) | $(GO) run ./cmd/benchjson -gate BENCH_parallel.json -o artefacts/bench-latest.json
+	$(BENCH_CMD) | $(GO) run ./cmd/benchjson -gate BENCH_parallel.json -o artefacts/bench-latest.json \
+		-min-speedup 'BenchmarkRunCycleParallel:4:1.0'
 
 # Regenerate every paper table/figure plus ablations into ./artefacts.
 artefacts:

@@ -12,10 +12,14 @@ package crowdlearn
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
 	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 var (
@@ -301,6 +305,88 @@ func BenchmarkRunCycleParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkRunCyclePipelined measures one journaled sensing cycle in
+// sequential and pipelined commit modes against a real durable store
+// (per-cycle WAL fsync, periodic snapshot-then-encode checkpoints).
+// mode=sequential commits each cycle synchronously (RunCycle);
+// mode=pipelined overlaps cycle N's commit with cycle N+1's compute
+// through BeginCycle and a detached commit — the RunCampaignPipelined
+// hot loop. Outputs and journal bytes are bit-identical across modes,
+// so the sequential/pipelined ns/op ratio is the commit-overlap
+// speedup; `make bench-json` records it in BENCH_parallel.json. Unlike
+// worker fan-out, this gain does not need multiple cores — the overlap
+// hides IO wait, not compute.
+func BenchmarkRunCyclePipelined(b *testing.B) {
+	for _, mode := range []string{"sequential", "pipelined"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			env := lab(b)
+			st, err := OpenStateStore(StateStoreOptions{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+			var sys *System
+			journal := NewStateJournal(st, 4, func(w io.Writer) error { return sys.SaveState(w) }, quiet, nil)
+			sys, err = env.NewSystemWith(func(cfg *SystemConfig) {
+				cfg.Journal = journal
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			journal.SetSnapshot(func() (func(w io.Writer) error, error) {
+				sn, serr := sys.SnapshotState()
+				if serr != nil {
+					return nil, serr
+				}
+				return sn.Encode, nil
+			})
+			contexts := []TemporalContext{Morning, Afternoon, Evening, Midnight}
+			test := env.Dataset.Test
+			perCycle := 10
+			windows := len(test) / perCycle
+			var join func() error
+			settle := func() {
+				if join == nil {
+					return
+				}
+				if err := join(); err != nil {
+					b.Fatal(err)
+				}
+				join = nil
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := i % windows
+				in := CycleInput{
+					Index:   i,
+					Context: contexts[i%len(contexts)],
+					Images:  test[w*perCycle : (w+1)*perCycle],
+				}
+				if mode == "sequential" {
+					if _, err := sys.RunCycle(in); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				_, commit, err := sys.BeginCycle(in)
+				settle() // epoch-merge barrier: previous commit lands first
+				if err != nil {
+					b.Fatal(err)
+				}
+				if commit.Detached() {
+					join = parallel.Detach(commit.Run)
+				} else if err := commit.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			settle()
+			b.StopTimer()
 		})
 	}
 }

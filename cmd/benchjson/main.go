@@ -50,6 +50,14 @@ type Result struct {
 	// Name is the full benchmark name including sub-benchmark path and
 	// the -cpu suffix, e.g. "BenchmarkRunCycleParallel/workers=4-8".
 	Name string `json:"name"`
+	// GoMaxProcs is the GOMAXPROCS the benchmark ran at, parsed from
+	// the -N suffix go test appends to the name (1 when absent). A
+	// workers=4 result at goMaxProcs 1 measures scheduling overhead,
+	// not parallelism — gates must read this before judging speedups.
+	GoMaxProcs int `json:"goMaxProcs"`
+	// Workers is the scheme worker count from the /workers=N sub-label
+	// (0 when the benchmark carries none).
+	Workers int `json:"workers,omitempty"`
 	// Iterations is the measured b.N.
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the reported ns/op.
@@ -75,8 +83,9 @@ type Report struct {
 	// Benchmarks are the parsed results in input order.
 	Benchmarks []Result `json:"benchmarks"`
 	// Speedups maps each benchmark family with workers=N sub-benchmarks
-	// to the ns/op ratio of workers=1 over workers=N. Values scale with
-	// the core count of the recording machine.
+	// to the ns/op ratio of workers=1 over workers=N, and each family
+	// with mode=X sub-benchmarks to the ratio of mode=sequential over
+	// mode=X. Values scale with the core count of the recording machine.
 	Speedups map[string]map[string]float64 `json:"speedups,omitempty"`
 	// Attribution ranks, per workers=N family, the pipeline stages by
 	// their contribution to the multi-worker slowdown, derived from the
@@ -161,7 +170,15 @@ func parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchjson: iterations in %q: %w", line, err)
 		}
-		res := Result{Name: m[1], Iterations: iters}
+		res := Result{Name: m[1], Iterations: iters, GoMaxProcs: 1}
+		if pm := cpuSuffix.FindStringSubmatch(m[1]); pm != nil {
+			if procs, err := strconv.Atoi(strings.TrimPrefix(pm[0], "-")); err == nil && procs > 0 {
+				res.GoMaxProcs = procs
+			}
+		}
+		if wm := workersLabel.FindStringSubmatch(m[1]); wm != nil {
+			res.Workers, _ = strconv.Atoi(wm[1])
+		}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -192,10 +209,21 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-var workersName = regexp.MustCompile(`^(Benchmark\S+)/workers=(\d+)(?:-\d+)?$`)
+var (
+	workersName = regexp.MustCompile(`^(Benchmark\S+)/workers=(\d+)(?:-\d+)?$`)
+	// workersLabel finds a workers sub-label anywhere in a benchmark
+	// name, including under further sub-benchmark path segments.
+	workersLabel = regexp.MustCompile(`/workers=(\d+)`)
+	// modeName matches execution-mode sub-benchmarks; mode=sequential
+	// is the speedup baseline for its family.
+	modeName = regexp.MustCompile(`^(Benchmark\S+)/mode=([A-Za-z]+)(?:-\d+)?$`)
+)
 
 // speedups derives the workers=1 / workers=N ns/op ratio per benchmark
-// family that exposes workers sub-benchmarks.
+// family that exposes workers sub-benchmarks, and the
+// mode=sequential / mode=X ratio per family exposing mode
+// sub-benchmarks (e.g. BenchmarkRunCyclePipelined's
+// sequential-vs-pipelined pair).
 func speedups(results []Result) map[string]map[string]float64 {
 	type entry struct{ workers, ns float64 }
 	families := make(map[string][]entry)
@@ -226,6 +254,31 @@ func speedups(results []Result) map[string]map[string]float64 {
 			ratios[strconv.Itoa(int(e.workers))] = base / e.ns
 		}
 		out[fam] = ratios
+	}
+	modes := make(map[string]map[string]float64)
+	for _, r := range results {
+		m := modeName.FindStringSubmatch(r.Name)
+		if m == nil || r.NsPerOp <= 0 {
+			continue
+		}
+		if modes[m[1]] == nil {
+			modes[m[1]] = make(map[string]float64)
+		}
+		modes[m[1]][m[2]] = r.NsPerOp
+	}
+	for fam, byMode := range modes {
+		base, ok := byMode["sequential"]
+		if !ok || base <= 0 {
+			continue
+		}
+		ratios := out[fam]
+		if ratios == nil {
+			ratios = make(map[string]float64, len(byMode))
+			out[fam] = ratios
+		}
+		for mode, ns := range byMode {
+			ratios[mode] = base / ns
+		}
 	}
 	if len(out) == 0 {
 		return nil
@@ -382,6 +435,56 @@ func gateCompare(base, cur *Report, maxNsPct, maxAllocsPct float64) []regression
 	return regs
 }
 
+// checkMinSpeedups enforces a comma-separated list of
+// "Family:label:min" assertions against the report's computed
+// speedups. The check is only meaningful on a multi-core runner: when
+// every parsed benchmark ran at GOMAXPROCS=1, each assertion is
+// skipped with a printed notice instead of failing, so single-core CI
+// runners do not produce false regressions (the grain policy collapses
+// multi-worker loops inline there and the expected ratio is ~1.0 at
+// best).
+func checkMinSpeedups(rep *Report, spec string) error {
+	maxProcs := 1
+	for _, b := range rep.Benchmarks {
+		if b.GoMaxProcs > maxProcs {
+			maxProcs = b.GoMaxProcs
+		}
+	}
+	var failures []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("invalid -min-speedup entry %q (want Family:label:min)", entry)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("invalid -min-speedup threshold in %q: %w", entry, err)
+		}
+		if maxProcs <= 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: min-speedup %s SKIPPED: run executed at GOMAXPROCS=1 (single-core runner cannot demonstrate parallel speedup)\n", entry)
+			continue
+		}
+		got, ok := rep.Speedups[parts[0]][parts[1]]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no speedup recorded for label %q", parts[0], parts[1]))
+			continue
+		}
+		if got < min {
+			failures = append(failures, fmt.Sprintf("%s[%s] = %.3fx, want >= %.3fx", parts[0], parts[1], got, min))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: min-speedup %s passed (%.3fx)\n", entry, got)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("min-speedup gate failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -396,6 +499,7 @@ func run(args []string, in io.Reader) error {
 	gate := fs.String("gate", "", "baseline trajectory to compare against; regressions beyond the thresholds fail the run after the output is written")
 	maxNs := fs.Float64("max-ns-regress", 20, "ns/op regression threshold for -gate, percent over baseline")
 	maxAllocs := fs.Float64("max-allocs-regress", 10, "allocs/op regression threshold for -gate, percent over baseline")
+	minSpeedup := fs.String("min-speedup", "", "comma-separated Family:label:min entries asserted against the run's computed speedups, e.g. BenchmarkRunCycleParallel:4:1.0; skipped with a notice when the run executed at GOMAXPROCS=1")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -412,6 +516,11 @@ func run(args []string, in io.Reader) error {
 	rep.RecordedAt = time.Now().UTC().Format(time.RFC3339)
 
 	var gateErr error
+	if *minSpeedup != "" {
+		if err := checkMinSpeedups(rep, *minSpeedup); err != nil {
+			gateErr = err
+		}
+	}
 	var baseline *Trajectory
 	if *gate != "" {
 		baseline, err = readTrajectory(*gate)
@@ -426,7 +535,7 @@ func run(args []string, in io.Reader) error {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION", r)
 		}
 		if len(regs) > 0 {
-			gateErr = fmt.Errorf("bench gate failed: %d regression(s) against %s", len(regs), *gate)
+			gateErr = errors.Join(gateErr, fmt.Errorf("bench gate failed: %d regression(s) against %s", len(regs), *gate))
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: gate passed, %d benchmark(s) within +%.0f%% ns/op / +%.0f%% allocs/op of %s\n",
 				len(rep.Benchmarks), *maxNs, *maxAllocs, *gate)

@@ -43,6 +43,70 @@ func TestParse(t *testing.T) {
 	if *vote.AllocsPerOp != 0 {
 		t.Errorf("vote allocs = %v, want 0", *vote.AllocsPerOp)
 	}
+	if b0.GoMaxProcs != 8 || b0.Workers != 1 {
+		t.Errorf("first benchmark goMaxProcs/workers = %d/%d, want 8/1", b0.GoMaxProcs, b0.Workers)
+	}
+	if b4 := rep.Benchmarks[2]; b4.Workers != 4 {
+		t.Errorf("workers=4 benchmark parsed workers %d", b4.Workers)
+	}
+	if vote.Workers != 0 || vote.GoMaxProcs != 8 {
+		t.Errorf("vote goMaxProcs/workers = %d/%d, want 8/0", vote.GoMaxProcs, vote.Workers)
+	}
+}
+
+// samplePipelined carries mode sub-benchmarks without a -cpu suffix,
+// as a GOMAXPROCS=1 runner emits them.
+const samplePipelined = `goos: linux
+BenchmarkRunCyclePipelined/mode=sequential 30 200000000 ns/op
+BenchmarkRunCyclePipelined/mode=pipelined 30 160000000 ns/op
+PASS
+`
+
+func TestModeSpeedups(t *testing.T) {
+	rep, err := parse(strings.NewReader(samplePipelined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks[0].GoMaxProcs != 1 {
+		t.Errorf("suffix-free benchmark goMaxProcs = %d, want 1", rep.Benchmarks[0].GoMaxProcs)
+	}
+	fam, ok := rep.Speedups["BenchmarkRunCyclePipelined"]
+	if !ok {
+		t.Fatalf("no mode speedup family: %+v", rep.Speedups)
+	}
+	want := map[string]float64{"sequential": 1.0, "pipelined": 200.0 / 160.0}
+	for k, v := range want {
+		if got := fam[k]; math.Abs(got-v) > 1e-9 {
+			t.Errorf("speedup[%s] = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestMinSpeedupGate(t *testing.T) {
+	multi, err := parse(strings.NewReader(sample)) // -8 suffix: multi-core run
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMinSpeedups(multi, "BenchmarkRunCycleParallel:4:1.0"); err != nil {
+		t.Errorf("3.6x speedup failed a 1.0x floor: %v", err)
+	}
+	if err := checkMinSpeedups(multi, "BenchmarkRunCycleParallel:4:5.0"); err == nil {
+		t.Error("3.6x speedup passed a 5.0x floor")
+	}
+	if err := checkMinSpeedups(multi, "BenchmarkRunCycleParallel:16:1.0"); err == nil {
+		t.Error("missing label passed the gate")
+	}
+	if err := checkMinSpeedups(multi, "garbage"); err == nil {
+		t.Error("malformed entry accepted")
+	}
+	// A GOMAXPROCS=1 run skips the assertion instead of failing.
+	single, err := parse(strings.NewReader(samplePipelined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMinSpeedups(single, "BenchmarkRunCyclePipelined:pipelined:99"); err != nil {
+		t.Errorf("single-core run must skip, got %v", err)
+	}
 }
 
 func TestSpeedups(t *testing.T) {

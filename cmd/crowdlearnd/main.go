@@ -255,6 +255,15 @@ func run(args []string, stdout io.Writer) error {
 		defer st.Close()
 		journal = store.NewJournal(st, *checkpointEvery,
 			func(w io.Writer) error { return sys.SaveState(w) }, logger, registry)
+		// Snapshot-then-encode seam for detached commits: capture
+		// checkpoint state synchronously, encode off the hot path.
+		journal.SetSnapshot(func() (func(io.Writer) error, error) {
+			sn, err := sys.SnapshotState()
+			if err != nil {
+				return nil, err
+			}
+			return sn.Encode, nil
+		})
 	}
 	sys, err = lab.NewSystemWith(func(cfg *core.Config) {
 		cfg.Metrics = registry

@@ -4,9 +4,17 @@
 // returns ({"traces": [...]}) or a bare array of cycle traces (what a
 // benchmark dumps via CROWDLEARN_TRACE_OUT), aggregates spans by stage,
 // and prints a flame-style text table: wall time, self time (wall minus
-// children), share of total cycle time, busy time and worker
+// children), share of elapsed cycle time, busy time and worker
 // utilization for profiled parallel stages, and allocation attribution
 // when traces carry sampler deltas.
+//
+// Cycle roots are placed on the wall clock via their recorded start
+// times rather than assumed to run back to back: when a pipelined
+// campaign overlaps cycle N+1's compute with cycle N's commit, the
+// header reports the interval-union pipeline wall alongside the summed
+// cycle wall, a PIPELINE TIMELINE section shows each cycle's offset and
+// its overlap with the previous one, and %CYCLE is taken against the
+// pipeline wall (so stage shares can sum past 100% under overlap).
 //
 // Usage:
 //
@@ -70,12 +78,33 @@ func (s *stageReport) utilization() float64 {
 	return float64(s.Busy) / float64(denom)
 }
 
+// cycleSpan is one cycle root on the wall-clock timeline: its offset
+// from the earliest recorded cycle start, its wall time, and how much
+// of it ran concurrently with the previous cycle.
+type cycleSpan struct {
+	Cycle   int           `json:"cycle"`
+	Offset  time.Duration `json:"offsetNanos"`
+	Wall    time.Duration `json:"wallNanos"`
+	Overlap time.Duration `json:"overlapNanos,omitempty"`
+}
+
 // report is the full aggregate crowdprof renders.
 type report struct {
 	Cycles int `json:"cycles"`
 	// CycleWall is the summed wall time of the cycle roots.
-	CycleWall time.Duration  `json:"cycleWallNanos"`
-	Stages    []*stageReport `json:"stages"`
+	CycleWall time.Duration `json:"cycleWallNanos"`
+	// PipelineWall is the wall-clock union of the cycle roots'
+	// [Start, Start+Wall] intervals. Pipelined campaigns overlap cycle
+	// N+1's compute with cycle N's commit, so CycleWall overstates
+	// elapsed time; PipelineWall is what a clock on the wall saw.
+	PipelineWall time.Duration `json:"pipelineWallNanos,omitempty"`
+	// Overlap is CycleWall minus PipelineWall: the total cycle time
+	// that ran concurrently with another cycle.
+	Overlap time.Duration `json:"overlapNanos,omitempty"`
+	// Timeline lists the cycle roots in wall-clock order when the
+	// traces carry start times.
+	Timeline []cycleSpan    `json:"timeline,omitempty"`
+	Stages   []*stageReport `json:"stages"`
 }
 
 // decode accepts either the service's TraceResponse envelope or a bare
@@ -169,6 +198,7 @@ func aggregate(traces []*obs.CycleTrace) *report {
 		rep.CycleWall += tr.Root.Wall
 		walk(tr.Root)
 	}
+	timeline(rep, traces)
 	for _, st := range stages {
 		rep.Stages = append(rep.Stages, st)
 	}
@@ -179,6 +209,58 @@ func aggregate(traces []*obs.CycleTrace) *report {
 		return rep.Stages[a].Stage < rep.Stages[b].Stage
 	})
 	return rep
+}
+
+// timeline fills the report's pipeline-overlap fields from the cycle
+// roots' start times. Roots without a recorded start (traces from
+// before start times were captured) are treated as strictly
+// sequential and contribute their full wall time to PipelineWall.
+func timeline(rep *report, traces []*obs.CycleTrace) {
+	type interval struct {
+		cycle      int
+		start, end time.Time
+	}
+	var ivs []interval
+	var sequential time.Duration
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		if tr.Root.Start.IsZero() {
+			sequential += tr.Root.Wall
+			continue
+		}
+		ivs = append(ivs, interval{tr.Cycle, tr.Root.Start, tr.Root.Start.Add(tr.Root.Wall)})
+	}
+	sort.Slice(ivs, func(a, b int) bool {
+		if !ivs[a].start.Equal(ivs[b].start) {
+			return ivs[a].start.Before(ivs[b].start)
+		}
+		return ivs[a].cycle < ivs[b].cycle
+	})
+	var union time.Duration
+	var frontier time.Time // end of the merged interval run so far
+	for i, iv := range ivs {
+		sp := cycleSpan{Cycle: iv.cycle, Offset: iv.start.Sub(ivs[0].start), Wall: iv.end.Sub(iv.start)}
+		if i > 0 && iv.start.Before(frontier) {
+			sp.Overlap = frontier.Sub(iv.start)
+			if sp.Overlap > sp.Wall {
+				sp.Overlap = sp.Wall
+			}
+		}
+		rep.Timeline = append(rep.Timeline, sp)
+		if i == 0 || !iv.start.Before(frontier) {
+			union += iv.end.Sub(iv.start)
+			frontier = iv.end
+		} else if iv.end.After(frontier) {
+			union += iv.end.Sub(frontier)
+			frontier = iv.end
+		}
+	}
+	rep.PipelineWall = union + sequential
+	if rep.Overlap = rep.CycleWall - rep.PipelineWall; rep.Overlap < 0 {
+		rep.Overlap = 0
+	}
 }
 
 func fmtDur(d time.Duration) string {
@@ -212,13 +294,25 @@ func fmtBytes(b int64) string {
 // renderText prints the flame-style stage table plus, for profiled
 // parallel stages, the per-worker breakdown and an attribution line.
 func renderText(w io.Writer, rep *report) {
-	fmt.Fprintf(w, "crowdprof: %d cycle(s), total cycle wall %s\n\n", rep.Cycles, fmtDur(rep.CycleWall))
+	fmt.Fprintf(w, "crowdprof: %d cycle(s), total cycle wall %s", rep.Cycles, fmtDur(rep.CycleWall))
+	if rep.Overlap > 0 {
+		fmt.Fprintf(w, ", pipeline wall %s (overlap %s, %.0f%% of cycle time ran concurrently)",
+			fmtDur(rep.PipelineWall), fmtDur(rep.Overlap), 100*float64(rep.Overlap)/float64(rep.CycleWall))
+	}
+	fmt.Fprintf(w, "\n\n")
+	// With pipelining, elapsed time is the interval union, so stage
+	// shares are taken against the pipeline wall — they can legitimately
+	// sum past 100% when cycles overlap.
+	cycleDenom := rep.CycleWall
+	if rep.PipelineWall > 0 {
+		cycleDenom = rep.PipelineWall
+	}
 	fmt.Fprintf(w, "%-16s %6s %10s %10s %7s %10s %10s %6s %10s %8s\n",
 		"STAGE", "COUNT", "WALL", "SELF", "%CYCLE", "MEAN", "BUSY", "UTIL", "ALLOC", "OBJECTS")
 	for _, st := range rep.Stages {
 		pct, util, mean := "-", "-", "-"
-		if rep.CycleWall > 0 && st.Stage != obs.SpanCycle {
-			pct = fmt.Sprintf("%.1f%%", 100*float64(st.Wall)/float64(rep.CycleWall))
+		if cycleDenom > 0 && st.Stage != obs.SpanCycle {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(st.Wall)/float64(cycleDenom))
 		}
 		if st.Loops > 0 {
 			util = fmt.Sprintf("%.0f%%", 100*st.utilization())
@@ -233,6 +327,18 @@ func renderText(w io.Writer, rep *report) {
 		fmt.Fprintf(w, "%-16s %6d %10s %10s %7s %10s %10s %6s %10s %8s\n",
 			st.Stage, st.Count, fmtDur(st.Wall), fmtDur(st.Self), pct, mean,
 			fmtDur(st.Busy), util, fmtBytes(st.AllocBytes), objects)
+	}
+
+	if rep.Overlap > 0 && len(rep.Timeline) > 0 {
+		fmt.Fprintf(w, "\nPIPELINE TIMELINE (cycle roots on the wall clock)\n")
+		fmt.Fprintf(w, "  %-6s %12s %10s %12s\n", "CYCLE", "START", "WALL", "OVERLAP(prev)")
+		for _, sp := range rep.Timeline {
+			overlap := "-"
+			if sp.Overlap > 0 {
+				overlap = fmtDur(sp.Overlap)
+			}
+			fmt.Fprintf(w, "  %-6d %12s %10s %12s\n", sp.Cycle, fmtDur(sp.Offset), fmtDur(sp.Wall), overlap)
+		}
 	}
 
 	parallelStages := make([]*stageReport, 0, len(rep.Stages))

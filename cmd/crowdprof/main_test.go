@@ -120,6 +120,80 @@ func TestAggregateBuildsStageAndWorkerBreakdown(t *testing.T) {
 	}
 }
 
+// pipelinedTraces builds cycle roots with controlled start times:
+// cycle 1 starts 60ms into cycle 0's 100ms window, as a pipelined
+// campaign produces when commit work overlaps the next compute.
+func pipelinedTraces(t *testing.T) []*obs.CycleTrace {
+	t.Helper()
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	mk := func(cycle int, offset, wall time.Duration) *obs.CycleTrace {
+		return &obs.CycleTrace{Cycle: cycle, Context: "morning", Root: &obs.Span{
+			Name:  obs.SpanCycle,
+			Start: base.Add(offset),
+			Wall:  wall,
+		}}
+	}
+	return []*obs.CycleTrace{
+		mk(0, 0, 100*time.Millisecond),
+		mk(1, 60*time.Millisecond, 100*time.Millisecond),
+	}
+}
+
+func TestAggregatePipelineOverlap(t *testing.T) {
+	rep := aggregate(pipelinedTraces(t))
+	if rep.CycleWall != 200*time.Millisecond {
+		t.Fatalf("summed cycle wall %v", rep.CycleWall)
+	}
+	if rep.PipelineWall != 160*time.Millisecond {
+		t.Fatalf("pipeline wall %v, want interval union 160ms", rep.PipelineWall)
+	}
+	if rep.Overlap != 40*time.Millisecond {
+		t.Fatalf("overlap %v, want 40ms", rep.Overlap)
+	}
+	if len(rep.Timeline) != 2 {
+		t.Fatalf("timeline %+v", rep.Timeline)
+	}
+	if sp := rep.Timeline[1]; sp.Cycle != 1 || sp.Offset != 60*time.Millisecond || sp.Overlap != 40*time.Millisecond {
+		t.Fatalf("cycle 1 timeline entry %+v", sp)
+	}
+	if sp := rep.Timeline[0]; sp.Overlap != 0 {
+		t.Fatalf("cycle 0 must not overlap a predecessor: %+v", sp)
+	}
+
+	var out bytes.Buffer
+	renderText(&out, rep)
+	text := out.String()
+	for _, want := range []string{"pipeline wall 160.00ms", "overlap 40.00ms", "PIPELINE TIMELINE", "OVERLAP(prev)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("overlap rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAggregateSequentialTraces pins the non-pipelined and legacy
+// shapes: back-to-back cycles report zero overlap and no timeline
+// section, and roots without start times fall back to a flat sequence.
+func TestAggregateSequentialTraces(t *testing.T) {
+	trs := pipelinedTraces(t)
+	trs[1].Root.Start = trs[0].Root.Start.Add(100 * time.Millisecond)
+	rep := aggregate(trs)
+	if rep.PipelineWall != rep.CycleWall || rep.Overlap != 0 {
+		t.Fatalf("sequential traces: pipeline %v overlap %v vs cycle wall %v",
+			rep.PipelineWall, rep.Overlap, rep.CycleWall)
+	}
+	var out bytes.Buffer
+	renderText(&out, rep)
+	if strings.Contains(out.String(), "PIPELINE TIMELINE") {
+		t.Fatalf("no-overlap run must not render a timeline:\n%s", out.String())
+	}
+
+	trs[0].Root.Start, trs[1].Root.Start = time.Time{}, time.Time{}
+	rep = aggregate(trs)
+	if rep.PipelineWall != rep.CycleWall || rep.Overlap != 0 || len(rep.Timeline) != 0 {
+		t.Fatalf("legacy traces without starts: %+v", rep)
+	}
+}
+
 func TestRunRendersTextAndJSON(t *testing.T) {
 	raw := recordedTraces(t)
 

@@ -79,6 +79,13 @@ type Scenario struct {
 	// ExpectBreakerOpen lists campaign indices whose script must trip
 	// the circuit breaker open at least once.
 	ExpectBreakerOpen []int
+	// Pipelined drives every campaign through core.RunCampaignPipelined
+	// against a store-backed journal instead of the supervised runtime:
+	// kills land while the previous cycle's detached commit may still be
+	// in flight, and recovery goes through store.Recover directly.
+	// Pipelined scenarios support panic kills only (no stalls, no store
+	// faults) and assert the same invariants via Check.
+	Pipelined bool
 }
 
 // storeFaultsEnabled mirrors store's unexported enabled check.
@@ -274,6 +281,9 @@ func (r *Runner) Run(sc Scenario, dir string) *Result {
 	perCycle := r.ImagesPerCycle
 	if perCycle == 0 {
 		perCycle = 10
+	}
+	if sc.Pipelined {
+		return r.runPipelined(sc, dir, logger, perCycle)
 	}
 	need := len(sc.Campaigns) * sc.Cycles * perCycle
 	if need > len(r.Env.Dataset.Test) {
@@ -502,6 +512,184 @@ func (r *Runner) referenceState(sc Scenario, i int, images []*imagery.Image, per
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// runPipelined drives a Scenario through core.RunCampaignPipelined:
+// each campaign runs against its own store-backed journal with the
+// snapshot-then-encode seam installed, so scripted panics land
+// mid-compute while the previous cycle's detached commit may still be
+// in flight. The harness treats a panic as a process death — it joins
+// no in-memory state, reopens the store, recovers through
+// store.Recover and resumes the pipelined campaign at the recovered
+// cycle. Results feed the unmodified Check: committed cycle counts,
+// fired-kill tallies and byte-identical recovery hold exactly as for
+// supervised scenarios (Health stays zero — no supervisor runs).
+func (r *Runner) runPipelined(sc Scenario, dir string, logger *slog.Logger, perCycle int) *Result {
+	res := &Result{Scenario: sc}
+	for _, plan := range sc.Campaigns {
+		if len(plan.StallAt) > 0 || storeFaultsEnabled(plan.StoreFaults) {
+			res.Err = fmt.Errorf("chaos: pipelined scenario %s supports panic kills only", sc.Name)
+			return res
+		}
+	}
+	if len(sc.ExpectQuarantine) > 0 {
+		res.Err = fmt.Errorf("chaos: pipelined scenario %s cannot quarantine (no supervisor)", sc.Name)
+		return res
+	}
+	need := len(sc.Campaigns) * sc.Cycles * perCycle
+	if need > len(r.Env.Dataset.Test) {
+		res.Err = fmt.Errorf("chaos: scenario %s needs %d test images, have %d", sc.Name, need, len(r.Env.Dataset.Test))
+		return res
+	}
+	results := make([]CampaignResult, len(sc.Campaigns))
+	var wg sync.WaitGroup
+	for i := range sc.Campaigns {
+		i := i
+		wg.Add(1)
+		supervise.Go(fmt.Sprintf("chaos.pipelined.c%02d", i), logger, func() {
+			defer wg.Done()
+			results[i] = r.drivePipelined(sc, i, dir, logger, perCycle)
+		})
+	}
+	wg.Wait()
+	for i := range results {
+		cres := &results[i]
+		if cres.FinalState == nil {
+			continue
+		}
+		images := r.Env.Dataset.Test[i*sc.Cycles*perCycle : (i+1)*sc.Cycles*perCycle]
+		ref, err := r.referenceState(sc, i, images, perCycle, cres.Committed)
+		if err != nil {
+			cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf("reference arm: %v", err))
+			continue
+		}
+		cres.RefState = ref
+	}
+	res.Campaigns = results
+	return res
+}
+
+// drivePipelined pushes one campaign to sc.Cycles committed cycles
+// through the pipelined runner, crash-recovering through the store
+// after every scripted panic.
+func (r *Runner) drivePipelined(sc Scenario, i int, dir string, logger *slog.Logger, perCycle int) CampaignResult {
+	id := fmt.Sprintf("c%02d", i)
+	cres := CampaignResult{ID: id}
+	plan := sc.Campaigns[i]
+	script := NewScript(plan)
+	seed := sc.Seed*1000 + int64(i)
+	brk := supervise.BreakerConfig{Seed: seed + 2}
+	if sc.Breaker != nil {
+		brk = *sc.Breaker
+		brk.Seed = seed + 2
+	}
+	faultCfg := plan.Faults
+	faultCfg.Seed = seed + 3
+	images := r.Env.Dataset.Test[i*sc.Cycles*perCycle : (i+1)*sc.Cycles*perCycle]
+	train := classifier.SamplesFromImages(r.Env.Dataset.Train)
+
+	fail := func(format string, args ...any) CampaignResult {
+		cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf(format, args...))
+		cres.PanicsFired, cres.StallsFired = script.Fired()
+		return cres
+	}
+
+	// build assembles a fresh epoch: store, journal with the snapshot
+	// seam, and a system on the same platform chain the supervised path
+	// uses (breaker → script → fault injector), all re-seeded
+	// identically so recovery replay resyncs the chain byte-exactly.
+	build := func() (*core.CrowdLearn, *store.Store, *store.Journal, error) {
+		st, err := store.Open(store.Options{Dir: fmt.Sprintf("%s/%s", dir, id)})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var sys *core.CrowdLearn
+		journal := store.NewJournal(st, 2, func(w io.Writer) error { return sys.SaveState(w) }, logger, nil)
+		inj, err := faults.New(r.Env.NewPlatform(), faultCfg)
+		if err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+		breaker := supervise.NewBreaker(brk, id, nil)
+		sys, err = r.Env.NewSystemOn(breaker.Wrap(script.Wrap(inj)), func(cfg *core.Config) {
+			cfg.Journal = journal
+		})
+		if err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+		journal.SetSnapshot(func() (func(w io.Writer) error, error) {
+			sn, serr := sys.SnapshotState()
+			if serr != nil {
+				return nil, serr
+			}
+			return sn.Encode, nil
+		})
+		return sys, st, journal, nil
+	}
+
+	// runFrom resumes the pipelined campaign at cycle start; a scripted
+	// panic surfaces as an error after RunCampaignPipelined's unwind has
+	// joined any in-flight detached commit.
+	runFrom := func(sys *core.CrowdLearn, start int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		cfg := core.CampaignConfig{Cycles: sc.Cycles - start, ImagesPerCycle: perCycle, StartCycle: start}
+		_, err = core.RunCampaignPipelined(sys, images[start*perCycle:], cfg)
+		return err
+	}
+
+	sys, st, _, err := build()
+	if err != nil {
+		return fail("open: %v", err)
+	}
+	defer func() { st.Close() }()
+	next, attempts := 0, 0
+	for next < sc.Cycles {
+		script.Arm()
+		rerr := runFrom(sys, next)
+		if rerr == nil {
+			next = sc.Cycles
+			break
+		}
+		cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf("cycle >=%d: %v", next, rerr))
+		attempts++
+		if attempts > sc.maxAttempts(i) {
+			return fail("gave up after %d attempts", attempts)
+		}
+		// Crash: everything in memory dies with the panic; the store's
+		// directory is all that survives.
+		if cerr := st.Close(); cerr != nil {
+			return fail("close after crash: %v", cerr)
+		}
+		var journal *store.Journal
+		sys, st, journal, err = build()
+		if err != nil {
+			return fail("reopen: %v", err)
+		}
+		report, rerr := st.Recover(sys, store.RecoverOptions{
+			TrainSamples:   train,
+			Registry:       r.Env.Dataset.Test,
+			ResyncPlatform: true,
+			Logger:         logger,
+		})
+		if rerr != nil {
+			return fail("recover: %v", rerr)
+		}
+		journal.NoteRecovered(report)
+		next = report.NextCycle
+	}
+	cres.PanicsFired, cres.StallsFired = script.Fired()
+	cres.Committed = next
+	var buf bytes.Buffer
+	if serr := sys.SaveState(&buf); serr != nil {
+		return fail("state snapshot: %v", serr)
+	}
+	cres.FinalState = buf.Bytes()
+	return cres
 }
 
 // Check verifies the supervision invariants and returns one line per

@@ -149,5 +149,13 @@ func Catalog() []Scenario {
 				clean,
 			},
 		},
+		{
+			// The pipelined runner's kill point: the panic fires during
+			// cycle 3's compute while cycle 2's detached commit is in
+			// flight, so recovery exercises the epoch-merge barrier's
+			// crash semantics rather than the supervised restart path.
+			Name: "pipelined-commit-kill", Seed: 35, Cycles: 5, Pipelined: true,
+			Campaigns: []CampaignPlan{{PanicAt: []int{3}}, clean},
+		},
 	}
 }

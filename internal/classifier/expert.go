@@ -77,6 +77,18 @@ type Expert interface {
 	Clone() Expert
 }
 
+// UpdateWorkerTuner is implemented by experts whose incremental Update
+// pass can have its internal gradient parallelism re-tuned after
+// construction. MIC uses it to force inner training to sequential when
+// it fans out one goroutine per expert retrain, so expert-level and
+// per-example parallelism do not multiply into oversubscription.
+type UpdateWorkerTuner interface {
+	// SetUpdateWorkers caps the per-minibatch parallelism of subsequent
+	// Update calls (1 = sequential, 0 = restore the configured value).
+	// Results are bit-identical at any setting.
+	SetUpdateWorkers(n int)
+}
+
 // mlpExpert is the shared implementation behind VGG16, BoVW and DDM.
 type mlpExpert struct {
 	name      string
@@ -84,13 +96,17 @@ type mlpExpert struct {
 	net       *neural.Network
 	netCfg    neural.Config
 	updateCfg neural.Config
-	inDim     int
-	cost      time.Duration
+	// updateWorkers, when positive, overrides updateCfg's worker count
+	// for Update passes (see UpdateWorkerTuner).
+	updateWorkers int
+	inDim         int
+	cost          time.Duration
 }
 
 var (
-	_ Expert        = (*mlpExpert)(nil)
-	_ IntoPredictor = (*mlpExpert)(nil)
+	_ Expert            = (*mlpExpert)(nil)
+	_ IntoPredictor     = (*mlpExpert)(nil)
+	_ UpdateWorkerTuner = (*mlpExpert)(nil)
 )
 
 // Options tunes expert construction.
@@ -202,11 +218,14 @@ func (e *mlpExpert) Update(samples []Sample) error {
 	}
 	// A short, gentle fine-tuning pass that continues from the current
 	// weights — not a full refit.
-	if _, err := e.net.TrainWith(examples, e.updateCfg.Epochs, e.updateCfg.LearningRate); err != nil {
+	if _, err := e.net.TrainWithWorkers(examples, e.updateCfg.Epochs, e.updateCfg.LearningRate, e.updateWorkers); err != nil {
 		return err
 	}
 	return nil
 }
+
+// SetUpdateWorkers implements UpdateWorkerTuner.
+func (e *mlpExpert) SetUpdateWorkers(n int) { e.updateWorkers = n }
 
 // Predict implements Expert.
 func (e *mlpExpert) Predict(im *imagery.Image) []float64 {

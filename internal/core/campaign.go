@@ -8,6 +8,7 @@ import (
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/parallel"
 )
 
 // CampaignConfig drives a scheme through the paper's evaluation protocol:
@@ -109,6 +110,106 @@ func RunCampaign(scheme Scheme, test []*imagery.Image, cfg CampaignConfig) (*Cam
 				scheme.Name(), idx, len(out.Distributions), len(in.Images))
 		}
 		result.Records = append(result.Records, CycleRecord{Input: in, Output: out})
+	}
+	if cfg.Tracer != nil {
+		traces := cfg.Tracer.Recent(cfg.Cycles)
+		// Recent is newest first; campaigns read chronologically.
+		for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
+			traces[i], traces[j] = traces[j], traces[i]
+		}
+		result.Traces = traces
+	}
+	return result, nil
+}
+
+// PipelinedScheme is a scheme whose cycle splits into a compute phase
+// and a detachable durability phase — the seam RunCampaignPipelined
+// overlaps on. CrowdLearn implements it via BeginCycle.
+type PipelinedScheme interface {
+	Name() string
+	BeginCycle(in CycleInput) (CycleOutput, *CycleCommit, error)
+}
+
+// RunCampaignPipelined is RunCampaign with the cycle commit pipelined:
+// while cycle N's durable commit (journal encode, WAL append, fsync,
+// periodic checkpoint write) runs on a detached goroutine, cycle N+1's
+// compute phase already executes. The compute chain itself stays
+// strictly sequential — every cycle's QSS/IPD/CQC/MIC step reads state
+// the previous cycle wrote, so overlapping compute would break the
+// bit-identity contract — which makes commit work the only overlap
+// that preserves DESIGN §9 determinism. The epoch-merge barrier:
+// cycle N's commit is joined before cycle N+1's commit may start (the
+// WAL stays in index order, at most one commit is ever in flight) and
+// a durability failure aborts the campaign before any later cycle is
+// acknowledged, wrapping ErrCycleNotDurable exactly like RunCampaign.
+//
+// Successful campaigns produce byte-identical results, records and
+// journal bytes to RunCampaign at any worker count. Commits from
+// journals that do not implement DetachedCycleJournal run inline on
+// the calling goroutine (they may read live state), making this
+// exactly RunCampaign for such schemes.
+func RunCampaignPipelined(scheme PipelinedScheme, test []*imagery.Image, cfg CampaignConfig) (*CampaignResult, error) {
+	if scheme == nil {
+		return nil, errors.New("core: nil scheme")
+	}
+	if err := cfg.Validate(len(test)); err != nil {
+		return nil, err
+	}
+	result := &CampaignResult{SchemeName: scheme.Name(), Records: make([]CycleRecord, 0, cfg.Cycles)}
+	var (
+		joinPrev func() error // pending detached commit of the previous cycle
+		prevIdx  int
+	)
+	settle := func() error {
+		if joinPrev == nil {
+			return nil
+		}
+		err := joinPrev()
+		joinPrev = nil
+		if err != nil {
+			return fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), prevIdx, err)
+		}
+		return nil
+	}
+	// A panic out of BeginCycle must not leak the in-flight commit
+	// goroutine: join it during the unwind so the journal is quiescent
+	// by the time any recover() observes the panic.
+	defer func() {
+		if joinPrev != nil {
+			_ = joinPrev()
+		}
+	}()
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		idx := cfg.StartCycle + cycle
+		in := CycleInput{
+			Index:   idx,
+			Context: cfg.contextOf(idx),
+			Images:  test[cycle*cfg.ImagesPerCycle : (cycle+1)*cfg.ImagesPerCycle],
+		}
+		out, commit, err := scheme.BeginCycle(in)
+		// Epoch-merge barrier: the previous commit must land before this
+		// cycle's commit may start, and its failure surfaces first — it
+		// is the earlier cycle.
+		if jerr := settle(); jerr != nil {
+			return nil, jerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), idx, err)
+		}
+		if len(out.Distributions) != len(in.Images) {
+			return nil, fmt.Errorf("core: %s cycle %d returned %d distributions for %d images",
+				scheme.Name(), idx, len(out.Distributions), len(in.Images))
+		}
+		if commit.Detached() {
+			joinPrev = parallel.Detach(commit.Run)
+			prevIdx = idx
+		} else if cerr := commit.Run(); cerr != nil {
+			return nil, fmt.Errorf("core: %s cycle %d: %w", scheme.Name(), idx, cerr)
+		}
+		result.Records = append(result.Records, CycleRecord{Input: in, Output: out})
+	}
+	if jerr := settle(); jerr != nil {
+		return nil, jerr
 	}
 	if cfg.Tracer != nil {
 		traces := cfg.Tracer.Recent(cfg.Cycles)

@@ -235,12 +235,81 @@ func (cl *CrowdLearn) Name() string { return "crowdlearn" }
 //	    crowd answers and CQC distils truthful labels; (4) MIC updates
 //	    expert weights, retrains the experts, and the truthful labels
 //	    replace the AI's on the queried images (crowd offloading).
+//
+// RunCycle is BeginCycle followed immediately by the commit: compute
+// and durability in one synchronous step, exactly the historical
+// behavior (a journal failure surfaces as ErrCycleNotDurable).
 func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
+	// detach=false: even a DetachedCycleJournal commits synchronously
+	// here, keeping RunCycle's trace (journal.append span) and metric
+	// ordering exactly as before the pipeline split.
+	out, commit, err := cl.beginCycle(in, false)
+	if err != nil {
+		return out, err
+	}
+	return out, commit.Run()
+}
+
+// CycleCommit is the durability phase of one sensing cycle, split off
+// by BeginCycle. Run performs (or completes) the journal commit and
+// returns nil only once the cycle is durable; a failure wraps
+// ErrCycleNotDurable exactly as RunCycle would.
+//
+// Detached reports whether the commit's remaining work is safe to run
+// on another goroutine while the next cycle computes: true when the
+// journal implements DetachedCycleJournal and has already captured
+// everything it needs from live state. A non-detached commit may touch
+// live system state and its open cycle trace, so it must be Run on the
+// caller's goroutine before the next BeginCycle.
+type CycleCommit struct {
+	fn       func() error
+	detached bool
+}
+
+// Detached reports whether Run is safe to call concurrently with the
+// next cycle's compute phase.
+func (c *CycleCommit) Detached() bool { return c != nil && c.detached }
+
+// Run completes the commit. Nil-safe; a commit with no journal work is
+// a no-op returning nil.
+func (c *CycleCommit) Run() error {
+	if c == nil || c.fn == nil {
+		return nil
+	}
+	return c.fn()
+}
+
+// BeginCycle runs the compute phase of one sensing cycle — everything
+// RunCycle does except making the cycle durable — and returns the
+// output plus the pending commit. This is the seam RunCampaignPipelined
+// overlaps on: with a DetachedCycleJournal the returned commit carries
+// only the encode/append/fsync/checkpoint work, all inputs already
+// captured, so it may run concurrently with the next cycle's compute;
+// the cycle trace stays open until the commit completes, so the
+// recorded span covers compute plus commit and overlapping cycles are
+// visible to trace consumers.
+// With a plain CycleJournal the commit is the historical synchronous
+// append (journal span recorded on the still-open cycle trace) and must
+// run on this goroutine before the next BeginCycle.
+//
+// The in-memory model mutations always stand once BeginCycle returns
+// nil; only durability is deferred. Callers must not acknowledge the
+// cycle until Run returns nil.
+func (cl *CrowdLearn) BeginCycle(in CycleInput) (CycleOutput, *CycleCommit, error) {
+	return cl.beginCycle(in, true)
+}
+
+// beginCycle is BeginCycle with detachment made explicit: detach=false
+// forces the synchronous commit path even for a DetachedCycleJournal,
+// which is what keeps RunCycle's observable behavior (journal span on
+// the cycle trace, failure bookkeeping order) identical to the
+// pre-pipeline implementation.
+func (cl *CrowdLearn) beginCycle(in CycleInput, detach bool) (CycleOutput, *CycleCommit, error) {
 	if err := in.Validate(); err != nil {
-		return CycleOutput{}, err
+		return CycleOutput{}, nil, err
 	}
 	if !cl.bootstrapped {
-		return CycleOutput{}, errors.New("core: CrowdLearn not bootstrapped")
+		return CycleOutput{}, nil, errors.New("core: CrowdLearn not bootstrapped")
 	}
 	ct := cl.cfg.Tracer.Begin(in.Index, in.Context.String())
 	// With a journal attached, wrap the platform so every crowd
@@ -254,33 +323,88 @@ func (cl *CrowdLearn) RunCycle(in CycleInput) (CycleOutput, error) {
 	if recorder != nil {
 		cl.platform = recorder.inner
 	}
-	if err == nil && recorder != nil {
-		rec := JournalCycle{
-			Index:       in.Index,
-			Context:     in.Context,
-			ImageIDs:    imageIDs(in.Images),
-			Submissions: recorder.subs,
-		}
-		jsp := ct.Span(SpanJournalAppend)
-		if jerr := cl.cfg.Journal.CycleCommitted(rec); jerr != nil {
-			// The in-memory mutations stand but the cycle is not durable;
-			// surface that as a cycle failure so the caller does not
-			// acknowledge work the journal cannot replay.
-			jsp.Fail(jerr)
-			err = fmt.Errorf("core: cycle %d: %w: %w", in.Index, ErrCycleNotDurable, jerr)
-		} else {
-			jsp.End()
-		}
-	}
 	if err != nil {
 		ct.Fail(err)
 		cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()
-	} else {
-		cl.observeCycle(in, out)
+		ct.End()
+		return out, nil, err
 	}
-	ct.End()
-	return out, err
+	if recorder == nil {
+		cl.observeCycle(in, out)
+		ct.End()
+		return out, &CycleCommit{}, nil
+	}
+	rec := JournalCycle{
+		Index:       in.Index,
+		Context:     in.Context,
+		ImageIDs:    imageIDs(in.Images),
+		Submissions: recorder.subs,
+	}
+	if dj, ok := cl.cfg.Journal.(DetachedCycleJournal); ok && detach {
+		// The journal captures any live-state snapshot it needs
+		// synchronously here; the returned closure is pure durability
+		// work. The cycle trace stays open and ends inside the commit,
+		// so the recorded cycle interval covers compute plus commit —
+		// that is what lets crowdprof see cycle N's span overlap cycle
+		// N+1's. The tracer supports concurrently open cycles, the
+		// epoch-merge barrier keeps at most one commit in flight, and
+		// the compute chain never touches an older cycle's trace, so
+		// the closure is the trace's sole remaining writer.
+		durable, jerr := dj.CycleCommittedDetached(rec)
+		if jerr != nil {
+			err = fmt.Errorf("core: cycle %d: %w: %w", in.Index, ErrCycleNotDurable, jerr)
+			ct.Fail(err)
+			cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()
+			ct.End()
+			return out, nil, err
+		}
+		cl.observeCycle(in, out)
+		index := in.Index
+		return out, &CycleCommit{detached: true, fn: func() error {
+			jsp := ct.Span(SpanJournalAppend)
+			if jerr := durable(); jerr != nil {
+				// The in-memory mutations stand but the cycle is not
+				// durable; surface that so the caller does not
+				// acknowledge work the journal cannot replay.
+				jsp.Fail(jerr)
+				werr := fmt.Errorf("core: cycle %d: %w: %w", index, ErrCycleNotDurable, jerr)
+				ct.Fail(werr)
+				ct.End()
+				cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()
+				return werr
+			}
+			jsp.End()
+			ct.End()
+			return nil
+		}}, nil
+	}
+	// Plain journal: the commit is the historical synchronous append.
+	// The cycle trace stays open so the append is recorded on it and
+	// the success/failure bookkeeping matches RunCycle exactly.
+	index := in.Index
+	return out, &CycleCommit{fn: func() error {
+		jsp := ct.Span(SpanJournalAppend)
+		jerr := cl.cfg.Journal.CycleCommitted(rec)
+		if jerr != nil {
+			jsp.Fail(jerr)
+			werr := fmt.Errorf("core: cycle %d: %w: %w", index, ErrCycleNotDurable, jerr)
+			ct.Fail(werr)
+			cl.cfg.Metrics.Counter(MetricCycleErrors).Inc()
+			ct.End()
+			return werr
+		}
+		jsp.End()
+		cl.observeCycle(in, out)
+		ct.End()
+		return nil
+	}}, nil
 }
+
+// voteGrain is the chunking cost hint for per-image committee voting:
+// one pooled forward pass per member is ~microseconds per image, so the
+// small per-cycle image windows collapse to the inline path instead of
+// fanning out work units too fine to amortize a goroutine handoff.
+var voteGrain = parallel.Grain{CostNs: 4_000}
 
 // runCycle is the cycle body; ct may be nil (every span call no-ops).
 func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, error) {
@@ -291,7 +415,7 @@ func (cl *CrowdLearn) runCycle(in CycleInput, ct *obs.CycleTrace) (CycleOutput, 
 	sp := ct.Span(SpanCommitteeVote)
 	sp.SetAttr("workers", parallel.Workers(cl.cfg.Workers))
 	rec := cl.cfg.Profiler.Loop(SpanCommitteeVote)
-	parallel.ForObs(cl.cfg.Workers, len(in.Images), rec.Obs(), func(i int) {
+	parallel.ForGrainObs(cl.cfg.Workers, len(in.Images), voteGrain, rec.Obs(), func(i int) {
 		out.Distributions[i] = cl.committee.VoteInto(in.Images[i], make([]float64, imagery.NumLabels))
 	})
 	rec.Annotate(sp)

@@ -18,6 +18,27 @@ type CycleJournal interface {
 	CycleCommitted(rec JournalCycle) error
 }
 
+// DetachedCycleJournal is the optional two-phase extension of
+// CycleJournal that RunCampaignPipelined overlaps on. A journal that
+// implements it splits the commit of one cycle into:
+//
+//  1. a synchronous capture phase (CycleCommittedDetached itself),
+//     which must copy everything the durable record needs from live
+//     system state — including any checkpoint snapshot that is due —
+//     before returning, and
+//  2. a detachable durable phase (the returned closure), which
+//     performs only encoding, appends, fsyncs and checkpoint writes
+//     against the captured data and is therefore safe to run on
+//     another goroutine while the next cycle mutates live state.
+//
+// The closure must be called exactly once; the cycle is durable only
+// when it returns nil. Journals that cannot make this split implement
+// only CycleJournal and are committed inline.
+type DetachedCycleJournal interface {
+	CycleJournal
+	CycleCommittedDetached(rec JournalCycle) (func() error, error)
+}
+
 // JournalCycle is everything needed to re-execute one committed cycle
 // deterministically: the cycle's inputs (image IDs resolved against the
 // image registry at replay time) and the outcome of every crowd

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/prof"
+)
+
+// memDetachedJournal implements DetachedCycleJournal in memory: both
+// commit paths append the same record, so sequential and pipelined
+// campaigns can compare their full journal sequences.
+type memDetachedJournal struct {
+	mu   sync.Mutex
+	recs []JournalCycle
+}
+
+func (m *memDetachedJournal) CycleCommitted(rec JournalCycle) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, rec)
+	return nil
+}
+
+func (m *memDetachedJournal) CycleCommittedDetached(rec JournalCycle) (func() error, error) {
+	return func() error { return m.CycleCommitted(rec) }, nil
+}
+
+// records returns a copy of the committed sequence.
+func (m *memDetachedJournal) records() []JournalCycle {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]JournalCycle(nil), m.recs...)
+}
+
+// campaignFingerprint drives a journaled campaign (6 cycles x 10
+// images) through either runner and returns the gob encoding of every
+// cycle record, the journal sequence, and the final system state — the
+// byte-level identity the pipelined runner must preserve.
+func campaignFingerprint(t *testing.T, workers int, pipelined, profiled bool) []byte {
+	t.Helper()
+	f := sharedFixture(t)
+	journal := &memDetachedJournal{}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Journal = journal
+	if profiled {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer(16)
+		cfg.Tracer.SetSampler(prof.AllocSampler{})
+		cfg.Profiler = prof.New(cfg.Metrics)
+	}
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatalf("workers=%d: bootstrap: %v", workers, err)
+	}
+	camp := CampaignConfig{Cycles: 6, ImagesPerCycle: 10}
+	var result *CampaignResult
+	if pipelined {
+		result, err = RunCampaignPipelined(cl, f.ds.Test[:60], camp)
+	} else {
+		result, err = RunCampaign(cl, f.ds.Test[:60], camp)
+	}
+	if err != nil {
+		t.Fatalf("workers=%d pipelined=%v: %v", workers, pipelined, err)
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i, rec := range result.Records {
+		if err := enc.Encode(rec.Output); err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
+	}
+	if err := enc.Encode(journal.records()); err != nil {
+		t.Fatalf("encode journal: %v", err)
+	}
+	if err := cl.SaveState(&buf); err != nil {
+		t.Fatalf("save state: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunCampaignPipelinedBitIdenticalToSequential is the pipeline
+// determinism contract of DESIGN.md §9: overlapping cycle N's durable
+// commit with cycle N+1's compute changes nothing observable — cycle
+// outputs, the journal's record sequence and the final checkpointable
+// state are byte-identical to the sequential runner at every worker
+// count.
+func TestRunCampaignPipelinedBitIdenticalToSequential(t *testing.T) {
+	want := campaignFingerprint(t, 1, false, false)
+	for _, workers := range []int{1, 2, 8} {
+		if got := campaignFingerprint(t, workers, true, false); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: pipelined campaign diverged from sequential run", workers)
+		}
+	}
+}
+
+// TestRunCampaignPipelinedBitIdenticalProfiled: attaching the full
+// observability stack to a pipelined campaign must not perturb it —
+// profiling is passive even with a commit goroutine in flight.
+func TestRunCampaignPipelinedBitIdenticalProfiled(t *testing.T) {
+	want := campaignFingerprint(t, 2, true, false)
+	if got := campaignFingerprint(t, 2, true, true); !bytes.Equal(got, want) {
+		t.Error("profiled pipelined campaign diverged from unprofiled run")
+	}
+}
+
+// failingDetachedJournal delegates to a memDetachedJournal but makes
+// the durable phase of one cycle fail, simulating an fsync error
+// surfacing on the detached commit goroutine.
+type failingDetachedJournal struct {
+	memDetachedJournal
+	failAt int
+}
+
+func (f *failingDetachedJournal) CycleCommittedDetached(rec JournalCycle) (func() error, error) {
+	if rec.Index == f.failAt {
+		return func() error { return fmt.Errorf("disk gone at cycle %d", rec.Index) }, nil
+	}
+	return f.memDetachedJournal.CycleCommittedDetached(rec)
+}
+
+// TestRunCampaignPipelinedCommitFailureAborts: a durability failure on
+// the detached commit aborts the campaign at the epoch-merge barrier —
+// wrapped in ErrCycleNotDurable exactly like the synchronous path —
+// and no later cycle's record is ever committed.
+func TestRunCampaignPipelinedCommitFailureAborts(t *testing.T) {
+	f := sharedFixture(t)
+	journal := &failingDetachedJournal{failAt: 3}
+	cfg := DefaultConfig()
+	cfg.Journal = journal
+	cl, err := New(cfg, freshPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Bootstrap(f.ds.Train, f.pilot); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCampaignPipelined(cl, f.ds.Test[:60], CampaignConfig{Cycles: 6, ImagesPerCycle: 10})
+	if err == nil {
+		t.Fatal("campaign survived a failed detached commit")
+	}
+	if !errors.Is(err, ErrCycleNotDurable) {
+		t.Errorf("error %v does not wrap ErrCycleNotDurable", err)
+	}
+	recs := journal.records()
+	if len(recs) != 3 {
+		t.Fatalf("journal holds %d records after failure at cycle 3, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Errorf("journal record %d has index %d (WAL out of order)", i, rec.Index)
+		}
+	}
+}

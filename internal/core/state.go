@@ -51,11 +51,22 @@ type systemState struct {
 	ReplayRNGPos   uint64
 }
 
-// SaveState checkpoints the system's learned state to w. The output is
-// byte-deterministic: two saves of identical systems produce identical
-// bytes, which is what lets recovery tests compare states with a plain
-// byte comparison.
-func (cl *CrowdLearn) SaveState(w io.Writer) error {
+// StateSnapshot is a captured copy of the system's learned state,
+// decoupled from the live system: once SnapshotState returns, future
+// cycles may mutate the system freely while WriteTo encodes the
+// snapshot on another goroutine. This is the snapshot-then-encode split
+// that keeps checkpoint serialization off the cycle hot path — the
+// capture is cheap (per-expert parameter blobs, a shallow copy of the
+// immutable replay samples, RNG positions), the top-level gob encode of
+// the full image payloads is the expensive part.
+type StateSnapshot struct {
+	state systemState
+}
+
+// SnapshotState captures the system's learned state synchronously and
+// returns it for deferred encoding. SaveState is exactly
+// SnapshotState followed by Encode; the bytes are identical.
+func (cl *CrowdLearn) SnapshotState() (*StateSnapshot, error) {
 	// The replay buffer only exists once Bootstrap has run; an
 	// unbootstrapped system checkpoints an empty buffer at position 0.
 	var acquired []classifier.Sample
@@ -74,24 +85,42 @@ func (cl *CrowdLearn) SaveState(w io.Writer) error {
 	for _, e := range cl.committee.Experts() {
 		pe, ok := e.(classifier.PersistentExpert)
 		if !ok {
-			return fmt.Errorf("core: expert %s is not persistable", e.Name())
+			return nil, fmt.Errorf("core: expert %s is not persistable", e.Name())
 		}
 		var buf bytes.Buffer
 		if err := pe.SaveState(&buf); err != nil {
-			return err
+			return nil, err
 		}
 		s.Experts = append(s.Experts, expertState{Name: e.Name(), State: buf.Bytes()})
 	}
 	var cqcBuf bytes.Buffer
 	if err := cl.quality.SaveState(&cqcBuf); err != nil {
-		return err
+		return nil, err
 	}
 	s.CQC = cqcBuf.Bytes()
 	s.CQCTrained = cl.quality.Trained()
-	if err := gob.NewEncoder(w).Encode(s); err != nil {
+	return &StateSnapshot{state: s}, nil
+}
+
+// Encode gob-encodes the snapshot to w. Safe to call after the live
+// system has moved on: the snapshot shares no mutable state with it.
+func (sn *StateSnapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(sn.state); err != nil {
 		return fmt.Errorf("core: save state: %w", err)
 	}
 	return nil
+}
+
+// SaveState checkpoints the system's learned state to w. The output is
+// byte-deterministic: two saves of identical systems produce identical
+// bytes, which is what lets recovery tests compare states with a plain
+// byte comparison.
+func (cl *CrowdLearn) SaveState(w io.Writer) error {
+	sn, err := cl.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return sn.Encode(w)
 }
 
 // RestoreState restores a checkpoint written by SaveState into a system

@@ -138,16 +138,40 @@ func (c *Calibrator) Retrain(committee *qss.Committee, samples []classifier.Samp
 	return c.RetrainObs(committee, samples, nil)
 }
 
+// retrainGrain pins the retrain fan-out at one expert per work unit:
+// an expert retrain is the coarsest unit in the whole cycle (hundreds
+// of milliseconds), so every handoff is worth paying for and chunks
+// must never batch two experts onto one worker while another idles.
+var retrainGrain = parallel.Grain{MinChunk: 1, CostNs: 1_000_000_000}
+
 // RetrainObs is Retrain with an optional scheduling observer on the
 // per-member fan-out (the profiling hook); a nil observer is exactly
 // Retrain. Observation is passive and cannot change results or error
 // selection.
+//
+// Parallelism is expert-granular: with cfg.Workers resolving above one,
+// each member's update pass runs as one coarse unit on its own worker
+// and the inner per-example gradient parallelism of every tunable
+// expert is forced to sequential, so three concurrent retrains cannot
+// multiply into per-example oversubscription. Experts hold disjoint
+// state and each expert's pass is internally sequential either way, so
+// the calibrated committee is bit-identical at any worker count.
 func (c *Calibrator) RetrainObs(committee *qss.Committee, samples []classifier.Sample, o parallel.Observer) error {
 	if len(samples) == 0 {
 		return nil
 	}
 	experts := committee.Experts()
-	return parallel.ForErrObs(c.cfg.Workers, len(experts), o, func(m int) error {
+	w, _ := retrainGrain.Effective(c.cfg.Workers, len(experts))
+	for _, e := range experts {
+		if tuner, ok := e.(classifier.UpdateWorkerTuner); ok {
+			if w > 1 {
+				tuner.SetUpdateWorkers(1)
+			} else {
+				tuner.SetUpdateWorkers(0)
+			}
+		}
+	}
+	return parallel.ForErrGrainObs(c.cfg.Workers, len(experts), retrainGrain, o, func(m int) error {
 		if err := experts[m].Update(samples); err != nil {
 			return fmt.Errorf("mic: retrain %s: %w", experts[m].Name(), err)
 		}

@@ -344,6 +344,27 @@ func (n *Network) TrainWith(examples []Example, epochs int, learningRate float64
 	return loss, err
 }
 
+// TrainWithWorkers is TrainWith with the worker count also overridden
+// for this call only; non-positive workers keeps the configured value.
+// MIC's expert-level retrain fan-out uses workers=1 here so the three
+// concurrent expert retrains do not multiply into per-example
+// oversubscription underneath.
+func (n *Network) TrainWithWorkers(examples []Example, epochs int, learningRate float64, workers int) (float64, error) {
+	saved := n.cfg
+	if epochs > 0 {
+		n.cfg.Epochs = epochs
+	}
+	if learningRate > 0 {
+		n.cfg.LearningRate = learningRate
+	}
+	if workers > 0 {
+		n.cfg.Workers = workers
+	}
+	loss, err := n.Train(examples)
+	n.cfg = saved
+	return loss, err
+}
+
 // layerGrads accumulates one layer's gradients over a minibatch.
 type layerGrads struct{ gw, gb []float64 }
 
@@ -453,11 +474,17 @@ func (n *Network) accumulate(gs []layerGrads, st *exampleStage) {
 	}
 }
 
+// trainGrain is the chunking cost hint for per-example backprop: one
+// forward+backward pass over the MLP shapes in this repository is tens
+// of microseconds, so default-sized minibatches only fan out when a
+// handoff actually pays for itself.
+var trainGrain = parallel.Grain{CostNs: 25_000}
+
 // trainBatch accumulates gradients over one minibatch and applies one
 // optimizer update. Returns the summed cross-entropy over the batch.
-// With cfg.Workers resolving above one, per-example passes run
-// concurrently and merge deterministically; the result is bit-identical
-// at any worker count.
+// With cfg.Workers and the batch shape resolving to more than one
+// grain-effective worker, per-example passes run concurrently and merge
+// deterministically; the result is bit-identical at any worker count.
 func (n *Network) trainBatch(examples []Example, idx []int) float64 {
 	ts := n.ensureTrainScratch()
 	gs := ts.gs
@@ -467,11 +494,11 @@ func (n *Network) trainBatch(examples []Example, idx []int) float64 {
 	}
 
 	var totalLoss float64
-	if w := parallel.Workers(n.cfg.Workers); w > 1 && len(idx) > 1 {
+	if w, _ := trainGrain.Effective(n.cfg.Workers, len(idx)); w > 1 {
 		for len(ts.staged) < len(idx) {
 			ts.staged = append(ts.staged, n.newExampleStage())
 		}
-		parallel.For(w, len(idx), func(p int) {
+		parallel.ForGrain(n.cfg.Workers, len(idx), trainGrain, func(p int) {
 			n.backprop(examples[idx[p]], &ts.staged[p])
 		})
 		for p := range idx { // deterministic merge: fixed example order

@@ -14,12 +14,23 @@
 // finishes sooner. There are no atomic float accumulations and no
 // worker-order merges anywhere in this repository.
 //
-// Scheduling is chunked work-stealing off a single atomic cursor:
-// contiguous index ranges keep cache locality on slice-shaped data while
-// the shared cursor keeps workers busy when item costs are skewed (tree
-// depths, expert sizes). Worker goroutines are spawned per call; the
-// loops this package serves are coarse enough (microseconds to minutes
-// per item) that pool reuse would buy nothing measurable.
+// Scheduling is segmented work stealing: the index space is split into
+// one contiguous segment per worker, each with its own atomic cursor.
+// A worker drains its own segment in chunk-sized claims and only then
+// steals from other segments, so under light contention every worker
+// processes a near-equal contiguous share (cache locality on
+// slice-shaped data) while skewed item costs (tree depths, expert
+// sizes) still rebalance through stealing. Worker goroutines are
+// spawned per call; the loops this package serves are coarse enough
+// (microseconds to minutes per item) that pool reuse would buy nothing
+// measurable.
+//
+// Chunk sizes are governed by Grain, a caller-supplied cost hint: a
+// chunk must be large enough to amortize the cross-goroutine handoff it
+// costs, and a loop whose total work cannot fill more than one such
+// chunk collapses to the inline sequential path. Callers that know an
+// item's order-of-magnitude cost pass it; the zero Grain preserves the
+// historical n/(workers·4) chunking.
 //
 // The *Obs loop variants accept an Observer that receives per-chunk
 // scheduling events — the measurement hook internal/prof builds its
@@ -46,14 +57,81 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// amortizeNs is the scheduling budget one chunk must pay for: the
+// order-of-magnitude cost of handing a work unit to another goroutine
+// (spawn share, cursor contention, cache warm-up) with a wide safety
+// margin. A chunk is sized so its useful work is ≥ this budget, which
+// is what turned the committed workers=4 RunCycle regression around:
+// ten-image voting loops at ~4µs/item no longer fan out at all.
+const amortizeNs = 100_000
+
+// Grain is a caller-supplied cost hint governing how a loop is cut into
+// chunks. The zero value preserves the historical policy (four chunks
+// per worker, minimum one item).
+type Grain struct {
+	// MinChunk is the smallest index range worth handing to another
+	// goroutine, for callers that know their natural batch shape
+	// (e.g. one expert retrain, one minibatch). 0 means no floor.
+	MinChunk int
+	// CostNs is the order-of-magnitude cost of one item in
+	// nanoseconds. When set, chunks are sized to ceil(amortize/cost)
+	// items so every handoff is paid for. 0 means unknown.
+	CostNs int64
+}
+
+// Effective resolves the shape a grained loop will actually run with:
+// the effective worker count and chunk size after applying the cost
+// policy. w == 1 means the loop will run inline on the caller's
+// goroutine. Callers with separate sequential code paths (e.g. the
+// neural trainer's staged-vs-sequential split) use this to pick a path
+// consistent with what the For* functions would do.
+func (g Grain) Effective(workers, n int) (w, chunk int) {
+	if n <= 0 {
+		return 1, 0
+	}
+	w = Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return 1, n
+	}
+	// Historical default: four chunks per worker balances locality
+	// against cost skew.
+	chunk = n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if g.MinChunk > chunk {
+		chunk = g.MinChunk
+	}
+	if g.CostNs > 0 {
+		if need := int((amortizeNs + g.CostNs - 1) / g.CostNs); need > chunk {
+			chunk = need
+		}
+	}
+	if chunk >= n {
+		return 1, n
+	}
+	if eff := (n + chunk - 1) / chunk; eff < w {
+		w = eff
+	}
+	if w <= 1 {
+		return 1, n
+	}
+	return w, chunk
+}
+
 // Observer receives scheduling events from one observed loop, the hook
 // the profiling layer (internal/prof) uses to attribute busy and idle
 // time per worker without this package ever reading a clock itself.
 //
 // Event contract: LoopStart is delivered on the calling goroutine before
-// any worker runs; ChunkStart/ChunkEnd pairs then arrive per contiguous
-// index range, each pair on the goroutine of the worker slot it names
-// (slots are disjoint, so per-slot state needs no locking); LoopEnd is
+// any worker runs, announcing the *effective* worker count and chunk
+// size after grain policy (an inline-collapsed loop reports workers=1,
+// chunk=n); ChunkStart/ChunkEnd pairs then arrive per contiguous index
+// range, each pair on the goroutine of the worker slot it names (slots
+// are disjoint, so per-slot state needs no locking); LoopEnd is
 // delivered on the calling goroutine after every worker has joined.
 // Observers must not mutate loop state — observation never influences
 // scheduling or results.
@@ -76,13 +154,24 @@ type Observer interface {
 // worker count of 1 — or n < 2 — executes inline on the caller's
 // goroutine in index order with no goroutines spawned.
 func For(workers, n int, fn func(i int)) {
-	ForWorker(workers, n, func(_, i int) { fn(i) })
+	ForWorkerGrainObs(workers, n, Grain{}, nil, func(_, i int) { fn(i) })
 }
 
 // ForObs is For with an optional scheduling observer; a nil observer is
 // exactly For.
 func ForObs(workers, n int, o Observer, fn func(i int)) {
-	ForWorkerObs(workers, n, o, func(_, i int) { fn(i) })
+	ForWorkerGrainObs(workers, n, Grain{}, o, func(_, i int) { fn(i) })
+}
+
+// ForGrain is For with a chunking cost hint.
+func ForGrain(workers, n int, g Grain, fn func(i int)) {
+	ForWorkerGrainObs(workers, n, g, nil, func(_, i int) { fn(i) })
+}
+
+// ForGrainObs is For with a chunking cost hint and an optional
+// scheduling observer.
+func ForGrainObs(workers, n int, g Grain, o Observer, fn func(i int)) {
+	ForWorkerGrainObs(workers, n, g, o, func(_, i int) { fn(i) })
 }
 
 // ForWorker is For where fn also receives the worker slot w in
@@ -96,7 +185,7 @@ func ForObs(workers, n int, o Observer, fn func(i int)) {
 // panics the surviving value is scheduling-dependent, but by then the
 // process is crashing anyway).
 func ForWorker(workers, n int, fn func(worker, i int)) {
-	ForWorkerObs(workers, n, nil, fn)
+	ForWorkerGrainObs(workers, n, Grain{}, nil, fn)
 }
 
 // ForWorkerObs is ForWorker with an optional scheduling observer. A nil
@@ -104,14 +193,35 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 // receives the event stream documented on Observer. Observation is
 // read-only: results are bit-identical with and without one.
 func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
+	ForWorkerGrainObs(workers, n, Grain{}, o, fn)
+}
+
+// segCursor is one segment's claim cursor, padded to a cache line so
+// workers draining their own segments do not false-share.
+type segCursor struct {
+	claimed atomic.Int64
+	_       [56]byte
+}
+
+// ForWorkerGrainObs is the full-generality loop: per-worker slots, a
+// chunking cost hint and an optional observer. All other loop variants
+// delegate here.
+//
+// Scheduling: the index space [0, n) is cut into one contiguous segment
+// per effective worker. Each worker drains its own segment in
+// chunk-sized claims off the segment's atomic cursor, then steals from
+// the other segments in ring order. The segment start keeps chunk
+// distribution near-even when item costs are uniform (every worker owns
+// ~n/w contiguous indices) while stealing preserves the load balancing
+// the single shared cursor used to provide — without its failure mode,
+// where the caller's slot 0 drained the whole cursor before spawned
+// goroutines were scheduled at all.
+func ForWorkerGrainObs(workers, n int, g Grain, o Observer, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers(workers)
-	if w > n {
-		w = n
-	}
-	if w <= 1 || n == 1 {
+	w, chunk := g.Effective(workers, n)
+	if w <= 1 {
 		if o != nil {
 			o.LoopStart(1, n, n)
 			o.ChunkStart(0, 0, n)
@@ -126,21 +236,31 @@ func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
 		return
 	}
 
-	// Chunked dynamic scheduling: contiguous ranges off one atomic
-	// cursor. Four chunks per worker balances locality against skew.
-	chunk := n / (w * 4)
-	if chunk < 1 {
-		chunk = 1
-	}
 	if o != nil {
 		o.LoopStart(w, n, chunk)
 	}
+	segs := make([]segCursor, w)
 	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-		once   sync.Once
-		fault  any
+		wg    sync.WaitGroup
+		once  sync.Once
+		fault any
 	)
+	// claim takes the next chunk of segment s, clamped to the segment
+	// bounds. Segment s owns [s·n/w, (s+1)·n/w); cursors are monotonic
+	// so an exhausted segment stays exhausted.
+	claim := func(s int) (lo, hi int, ok bool) {
+		base, end := s*n/w, (s+1)*n/w
+		off := int(segs[s].claimed.Add(int64(chunk))) - chunk
+		lo = base + off
+		if lo >= end {
+			return 0, 0, false
+		}
+		hi = lo + chunk
+		if hi > end {
+			hi = end
+		}
+		return lo, hi, true
+	}
 	body := func(slot int) {
 		defer wg.Done()
 		defer func() {
@@ -148,15 +268,18 @@ func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
 				once.Do(func() { fault = r })
 			}
 		}()
-		for {
-			hi := int(cursor.Add(int64(chunk)))
-			lo := hi - chunk
-			if lo >= n {
-				return
+		cur, misses := slot, 0
+		for misses < w {
+			lo, hi, ok := claim(cur)
+			if !ok {
+				cur++
+				if cur == w {
+					cur = 0
+				}
+				misses++
+				continue
 			}
-			if hi > n {
-				hi = n
-			}
+			misses = 0
 			if o != nil {
 				o.ChunkStart(slot, lo, hi)
 			}
@@ -172,6 +295,10 @@ func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
 	for slot := 1; slot < w; slot++ {
 		go body(slot)
 	}
+	// Give spawned workers a chance to reach their own segments before
+	// slot 0 starts; without this yield a single-P runtime let the
+	// caller drain essentially every chunk (5112/5120 observed).
+	runtime.Gosched()
 	body(0) // the caller is worker slot 0
 	wg.Wait()
 	if o != nil {
@@ -179,6 +306,39 @@ func ForWorkerObs(workers, n int, o Observer, fn func(worker, i int)) {
 	}
 	if fault != nil {
 		panic(fault)
+	}
+}
+
+// Detach runs fn on its own goroutine and returns a join function.
+// Calling join blocks until fn completes and returns fn's error; a
+// panic inside fn is captured and re-raised on the joining goroutine,
+// so a detached failure can never escape unsupervised. join may be
+// called more than once; every call reports the same outcome.
+//
+// This is the single-task complement to the fork-join loops above —
+// the seam core's pipelined campaign runner uses to overlap one
+// cycle's durable commit with the next cycle's compute.
+func Detach(fn func() error) (join func() error) {
+	done := make(chan struct{})
+	var (
+		err   error
+		fault any
+	)
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				fault = r
+			}
+		}()
+		err = fn()
+	}()
+	return func() error {
+		<-done
+		if fault != nil {
+			panic(fault)
+		}
+		return err
 	}
 }
 
@@ -198,14 +358,20 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // the fan-outs this serves (campaign arms, committee experts) are small
 // and their work is side-effect-free on failure.
 func ForErr(workers, n int, fn func(i int) error) error {
-	return ForErrObs(workers, n, nil, fn)
+	return ForErrGrainObs(workers, n, Grain{}, nil, fn)
 }
 
 // ForErrObs is ForErr with an optional scheduling observer; a nil
 // observer is exactly ForErr.
 func ForErrObs(workers, n int, o Observer, fn func(i int) error) error {
+	return ForErrGrainObs(workers, n, Grain{}, o, fn)
+}
+
+// ForErrGrainObs is ForErr with a chunking cost hint and an optional
+// scheduling observer.
+func ForErrGrainObs(workers, n int, g Grain, o Observer, fn func(i int) error) error {
 	errs := make([]error, n)
-	ForObs(workers, n, o, func(i int) { errs[i] = fn(i) })
+	ForGrainObs(workers, n, g, o, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err

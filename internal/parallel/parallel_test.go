@@ -240,6 +240,127 @@ func TestForErrObsPreservesErrorSelection(t *testing.T) {
 	}
 }
 
+func TestGrainEffective(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         Grain
+		workers   int
+		n         int
+		wantW     int
+		wantChunk int
+	}{
+		{"zero grain keeps historical chunking", Grain{}, 4, 100, 4, 6},
+		{"cheap cost hint below default is ignored", Grain{CostNs: 50_000}, 4, 100, 4, 6},
+		{"min chunk floor reduces workers", Grain{MinChunk: 50}, 4, 100, 2, 50},
+		{"expensive handoff collapses tiny loop inline", Grain{CostNs: 4_000}, 4, 10, 1, 10},
+		{"cost hint grows chunk", Grain{CostNs: 1_000}, 4, 1000, 4, 100},
+		{"single worker always inline", Grain{}, 1, 100, 1, 100},
+		{"empty loop", Grain{}, 4, 0, 1, 0},
+		{"one item", Grain{CostNs: 1}, 4, 1, 1, 1},
+	}
+	for _, tc := range cases {
+		w, chunk := tc.g.Effective(tc.workers, tc.n)
+		if w != tc.wantW || chunk != tc.wantChunk {
+			t.Errorf("%s: Effective(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.name, tc.workers, tc.n, w, chunk, tc.wantW, tc.wantChunk)
+		}
+	}
+}
+
+// TestGrainInlineCollapseObserved: a loop whose items are too cheap to
+// amortize a handoff must run inline and report itself as one worker,
+// one chunk — the signal internal/prof counts as an inline collapse.
+func TestGrainInlineCollapseObserved(t *testing.T) {
+	rec := &recordingObserver{}
+	var order []int
+	ForGrainObs(8, 10, Grain{CostNs: 4_000}, rec, func(i int) { order = append(order, i) })
+	if rec.workers != 1 || rec.chunk != 10 {
+		t.Fatalf("reported workers=%d chunk=%d, want 1/10 (inline collapse)", rec.workers, rec.chunk)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline collapse must run in index order; position %d got %d", i, v)
+		}
+	}
+}
+
+// TestGrainCoversEveryIndexOnce: grained scheduling must preserve the
+// exactly-once coverage contract at every worker count and hint shape.
+func TestGrainCoversEveryIndexOnce(t *testing.T) {
+	grains := []Grain{{}, {MinChunk: 7}, {CostNs: 500}, {MinChunk: 3, CostNs: 25_000}}
+	for _, g := range grains {
+		for _, workers := range []int{1, 2, 4, 16} {
+			for _, n := range []int{0, 1, 5, 64, 1000} {
+				hits := make([]int32, n)
+				ForGrain(workers, n, g, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("grain=%+v workers=%d n=%d: index %d hit %d times", g, workers, n, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// distObserver counts items per worker slot. Per-slot writes need no
+// locking: the Observer contract delivers each slot's events on one
+// goroutine.
+type distObserver struct {
+	items [64]int
+}
+
+func (d *distObserver) LoopStart(workers, n, chunk int) {}
+func (d *distObserver) ChunkStart(worker, lo, hi int)   { d.items[worker] += hi - lo }
+func (d *distObserver) ChunkEnd(worker, lo, hi int)     {}
+func (d *distObserver) LoopEnd()                        {}
+
+// TestChunkDistributionNearEven is the regression test for the
+// chunk-starvation bug: with the old single shared cursor, slot 0 (the
+// calling goroutine) claimed essentially every chunk before spawned
+// workers were scheduled — the profiler measured 5112/5120 items on one
+// worker. Segmented cursors give each worker its own contiguous share,
+// so for item counts ≫ workers every slot must process a meaningful
+// fraction even on an oversubscribed machine.
+func TestChunkDistributionNearEven(t *testing.T) {
+	const workers, n = 4, 4096
+	// Pin a single P so interleaving is decided by the Go scheduler's
+	// run queue, not by OS thread timeslices: with GOMAXPROCS > cores,
+	// millisecond-scale OS slices let one worker drain and steal most
+	// segments before the others' threads ever run, making the
+	// distribution a coin flip. One P plus the per-item yield below
+	// gives fair round-robin on any host — and the starved-worker bug
+	// this guards against was a single-P phenomenon in the first place.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	rec := &distObserver{}
+	ForWorkerObs(workers, n, rec, func(_, i int) {
+		// Yield so all workers interleave even on the single P.
+		runtime.Gosched()
+	})
+
+	total := 0
+	for slot := 0; slot < workers; slot++ {
+		total += rec.items[slot]
+	}
+	if total != n {
+		t.Fatalf("items accounted = %d, want %d", total, n)
+	}
+	// Each slot owns a ~n/w segment that others only steal after
+	// draining their own, so every slot must get a real share and no
+	// slot may monopolize the loop.
+	min := n / (8 * workers)
+	for slot := 0; slot < workers; slot++ {
+		if rec.items[slot] < min {
+			t.Errorf("slot %d processed %d items, want >= %d (starved)", slot, rec.items[slot], min)
+		}
+	}
+	if rec.items[0] > n/2 {
+		t.Errorf("slot 0 processed %d/%d items: caller monopolized the cursor", rec.items[0], n)
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

@@ -49,6 +49,15 @@ const (
 	// MetricUtilization distributes per-loop worker utilization
 	// (busy / (workers x wall), in [0,1]), per stage.
 	MetricUtilization = "crowdlearn_parallel_utilization"
+	// MetricInlineLoops counts loops the grain policy collapsed to the
+	// calling goroutine (effective workers == 1), per stage. A stage
+	// whose inline count tracks its loop count is paying zero
+	// fan-out overhead for loops too small to split.
+	MetricInlineLoops = "crowdlearn_parallel_inline_loops_total"
+	// MetricEffectiveWorkers distributes the effective worker counts
+	// loops ran with after grain policy, per stage. Compare against the
+	// configured worker count to see how often the scheduler downsized.
+	MetricEffectiveWorkers = "crowdlearn_parallel_effective_workers"
 )
 
 // Histogram bucket layouts for the profiler's distributions.
@@ -59,6 +68,8 @@ var (
 	ChunkSizeBuckets = obs.ExponentialBuckets(1, 2, 11)
 	// UtilizationBuckets covers [0,1] in tenths.
 	UtilizationBuckets = obs.LinearBuckets(0.1, 0.1, 10)
+	// EffectiveWorkerBuckets covers effective worker counts 1 to 16.
+	EffectiveWorkerBuckets = obs.LinearBuckets(1, 1, 16)
 )
 
 // WorkerProfile is one worker slot's share of a profiled loop.
@@ -256,6 +267,9 @@ type StageTotals struct {
 	Wait time.Duration `json:"waitNanos"`
 	// Workers is the worker count of the most recent loop.
 	Workers int `json:"workers"`
+	// InlineLoops is the number of loops the grain policy collapsed to
+	// the calling goroutine (effective workers == 1).
+	InlineLoops int64 `json:"inlineLoops"`
 }
 
 // Utilization is the stage's aggregate busy share of paid-for worker
@@ -289,6 +303,8 @@ func New(reg *obs.Registry) *Profiler {
 	reg.Help(MetricQueueWait, "Per-worker scheduling wait seconds (spawn latency and cursor handoff) per stage.")
 	reg.Help(MetricChunkSize, "Chunk sizes profiled loops ran with, per stage.")
 	reg.Help(MetricUtilization, "Per-loop worker utilization busy/(workers*wall) per stage.")
+	reg.Help(MetricInlineLoops, "Loops the grain policy collapsed to the calling goroutine per stage.")
+	reg.Help(MetricEffectiveWorkers, "Effective worker counts loops ran with after grain policy, per stage.")
 	return &Profiler{reg: reg, stages: make(map[string]*StageTotals)}
 }
 
@@ -323,6 +339,9 @@ func (p *Profiler) finish(lp *LoopProfile) {
 	st.Busy += busy
 	st.Idle += idle
 	st.Workers = lp.Workers
+	if lp.Workers <= 1 {
+		st.InlineLoops++
+	}
 	for _, w := range lp.PerWorker {
 		st.Chunks += w.Chunks
 		st.Wait += w.Wait
@@ -336,6 +355,10 @@ func (p *Profiler) finish(lp *LoopProfile) {
 	p.reg.Counter(MetricItems, "stage", lp.Stage).Add(float64(lp.Items))
 	p.reg.Histogram(MetricChunkSize, ChunkSizeBuckets, "stage", lp.Stage).Observe(float64(lp.Chunk))
 	p.reg.Histogram(MetricUtilization, UtilizationBuckets, "stage", lp.Stage).Observe(lp.Utilization())
+	p.reg.Histogram(MetricEffectiveWorkers, EffectiveWorkerBuckets, "stage", lp.Stage).Observe(float64(lp.Workers))
+	if lp.Workers <= 1 {
+		p.reg.Counter(MetricInlineLoops, "stage", lp.Stage).Inc()
+	}
 	wait := p.reg.Histogram(MetricQueueWait, QueueWaitBuckets, "stage", lp.Stage)
 	for slot, w := range lp.PerWorker {
 		ws := strconv.Itoa(slot)

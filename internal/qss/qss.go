@@ -110,9 +110,20 @@ func (c *Committee) SetWeights(w []float64) error {
 // is identical at any value.
 func (c *Committee) SetWorkers(n int) { c.workers = n }
 
+// expertGrain pins expert fan-outs at one member per work unit: a full
+// or incremental expert fit is the coarsest unit in the system, so no
+// chunk may batch two experts while a worker idles.
+var expertGrain = parallel.Grain{MinChunk: 1, CostNs: 1_000_000_000}
+
+// scoreGrain is the chunking cost hint for per-image committee scoring
+// (~microseconds per image: one pooled forward pass per member), so
+// small per-cycle image windows collapse to the inline path instead of
+// paying goroutine handoffs they cannot amortize.
+var scoreGrain = parallel.Grain{CostNs: 4_000}
+
 // Train trains every member on the samples, fanning out across experts.
 func (c *Committee) Train(samples []classifier.Sample) error {
-	return parallel.ForErr(c.workers, len(c.experts), func(m int) error {
+	return parallel.ForErrGrainObs(c.workers, len(c.experts), expertGrain, nil, func(m int) error {
 		if err := c.experts[m].Train(samples); err != nil {
 			return fmt.Errorf("qss: train %s: %w", c.experts[m].Name(), err)
 		}
@@ -232,7 +243,7 @@ func (s *Selector) Select(c *Committee, images []*imagery.Image, querySize int) 
 		querySize = len(images)
 	}
 	list := make([]scoredImage, len(images))
-	parallel.For(s.Workers, len(images), func(i int) {
+	parallel.ForGrain(s.Workers, len(images), scoreGrain, func(i int) {
 		list[i] = scoredImage{idx: i, entropy: c.Entropy(images[i])}
 	})
 	// Sort high-to-low entropy; ties break by index for determinism.

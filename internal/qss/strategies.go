@@ -156,7 +156,7 @@ func (s *StrategySelector) SelectObs(c *Committee, images []*imagery.Image, quer
 		querySize = len(images)
 	}
 	list := make([]scoredImage, len(images))
-	parallel.ForObs(s.Workers, len(images), o, func(i int) {
+	parallel.ForGrainObs(s.Workers, len(images), scoreGrain, o, func(i int) {
 		list[i] = scoredImage{idx: i, entropy: s.Strategy.Score(c, images[i])}
 	})
 	sort.Slice(list, func(i, j int) bool {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"io"
 	"log/slog"
 	"sync"
@@ -70,6 +71,13 @@ type Journal struct {
 	logger *slog.Logger
 	reg    *obs.Registry
 
+	// snapshot, when set via SetSnapshot, splits the checkpoint payload
+	// into a synchronous capture (the call itself) and a deferred
+	// encode (the returned function) so the expensive serialization can
+	// run off the cycle hot path. Set once at wiring time, before any
+	// commit; read-only afterwards.
+	snapshot func() (encode func(w io.Writer) error, err error)
+
 	mu             sync.Mutex
 	cycles         int // committed cycles (next cycle index)
 	lastCheckpoint time.Time
@@ -88,7 +96,22 @@ func NewJournal(st *Store, every int, save func(w io.Writer) error, logger *slog
 	return &Journal{store: st, every: every, save: save, logger: logger, reg: reg}
 }
 
-var _ core.CycleJournal = (*Journal)(nil)
+var (
+	_ core.CycleJournal         = (*Journal)(nil)
+	_ core.DetachedCycleJournal = (*Journal)(nil)
+)
+
+// SetSnapshot installs the snapshot-then-encode seam for detached
+// commits: fn must capture everything a checkpoint needs from live
+// system state synchronously and return a deferred encoder that is
+// safe to run after the system has moved on — normally built from the
+// system's SnapshotState. Call once at wiring time, before the first
+// commit. Without it, detached commits fall back to running the save
+// callback synchronously into a buffer during the capture phase, so
+// correctness never depends on it — only hot-path latency does.
+func (j *Journal) SetSnapshot(fn func() (encode func(w io.Writer) error, err error)) {
+	j.snapshot = fn
+}
 
 // NoteRecovered seeds the journal's cycle position after Store.Recover,
 // so checkpoint cadence and coverage counts continue from the recovered
@@ -131,14 +154,85 @@ func (j *Journal) CycleCommitted(rec core.JournalCycle) error {
 	return nil
 }
 
+// CycleCommittedDetached implements core.DetachedCycleJournal: the
+// two-phase commit the pipelined campaign runner overlaps on.
+//
+// The capture phase (this call) decides whether the commit will
+// checkpoint — the cadence the synchronous path would use — and, if
+// so, captures the checkpoint payload from live state: through the
+// SetSnapshot seam when one is installed (cheap capture, deferred
+// encode), otherwise by running the save callback into a buffer right
+// here. Either way the returned closure touches no live system state.
+//
+// The durable phase (the returned closure) appends the cycle record to
+// the WAL — a failure there fails the cycle, exactly like
+// CycleCommitted — and then writes the checkpoint if one was captured;
+// a checkpoint failure is logged and counted but does not fail the
+// cycle, because the WAL append already made it durable.
+func (j *Journal) CycleCommittedDetached(rec core.JournalCycle) (func() error, error) {
+	cycles := rec.Index + 1
+	var payload func(w io.Writer) error
+	if j.every > 0 && cycles%j.every == 0 {
+		if j.snapshot != nil {
+			encode, err := j.snapshot()
+			if err != nil {
+				j.logger.Warn("checkpoint snapshot failed; skipping periodic checkpoint", slog.Any("err", err))
+				j.reg.Counter(MetricCheckpoints, "result", "error").Inc()
+			} else {
+				payload = encode
+			}
+		} else {
+			// No snapshot seam: serialize live state now, while this
+			// goroutine still owns it; defer only the file write.
+			var buf bytes.Buffer
+			if err := j.save(&buf); err != nil {
+				j.logger.Warn("checkpoint snapshot failed; skipping periodic checkpoint", slog.Any("err", err))
+				j.reg.Counter(MetricCheckpoints, "result", "error").Inc()
+			} else {
+				data := buf.Bytes()
+				payload = func(w io.Writer) error {
+					_, werr := w.Write(data)
+					return werr
+				}
+			}
+		}
+	}
+	return func() error {
+		n, err := j.store.AppendCycle(rec)
+		if err != nil {
+			return err
+		}
+		j.reg.Counter(MetricWALRecords).Inc()
+		j.reg.Counter(MetricWALBytes).Add(float64(n))
+		j.mu.Lock()
+		j.cycles = cycles
+		j.mu.Unlock()
+		if payload != nil {
+			if cerr := j.writeCheckpoint(cycles, payload); cerr != nil {
+				j.logger.Warn("periodic checkpoint failed", slog.Any("err", cerr))
+			}
+		}
+		if age, ok := j.CheckpointAge(); ok {
+			j.reg.Gauge(MetricCheckpointAge).Set(age.Seconds())
+		}
+		return nil
+	}, nil
+}
+
 // Checkpoint writes a checkpoint covering every committed cycle —
 // called on the periodic cadence and on graceful shutdown (SIGTERM).
 func (j *Journal) Checkpoint() error {
 	j.mu.Lock()
 	cycles := j.cycles
 	j.mu.Unlock()
+	return j.writeCheckpoint(cycles, j.save)
+}
+
+// writeCheckpoint writes one checkpoint covering `cycles` cycles from
+// the given payload, with the shared metric and logging bookkeeping.
+func (j *Journal) writeCheckpoint(cycles int, payload func(w io.Writer) error) error {
 	start := time.Now()
-	n, err := j.store.WriteCheckpoint(cycles, j.save)
+	n, err := j.store.WriteCheckpoint(cycles, payload)
 	j.reg.Histogram(MetricCheckpointDuration, durationBuckets).Observe(time.Since(start).Seconds())
 	if err != nil {
 		j.reg.Counter(MetricCheckpoints, "result", "error").Inc()

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/experiments"
+)
+
+// runCyclesPipelined mirrors runCycles through the pipelined campaign
+// runner, so store-backed detached commits — WAL fsync and checkpoint
+// writes overlapping the next cycle's compute — are exercised for real.
+func runCyclesPipelined(t testing.TB, sys *core.CrowdLearn, env *experiments.Env, start, n int) {
+	t.Helper()
+	cfg := core.CampaignConfig{Cycles: n, ImagesPerCycle: imagesPerCycle, StartCycle: start}
+	images := env.Dataset.Test[start*imagesPerCycle : (start+n)*imagesPerCycle]
+	if _, err := core.RunCampaignPipelined(sys, images, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// journaledSystem opens a store in dir and wires a fresh system to it
+// through a journal with the snapshot-then-encode seam installed, the
+// way crowdlearnd and supervise do.
+func journaledSystem(t testing.TB, env *experiments.Env, dir string, every int) (*core.CrowdLearn, *Store, *Journal) {
+	t.Helper()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys *core.CrowdLearn
+	journal := NewJournal(st, every, func(w io.Writer) error { return sys.SaveState(w) }, testLogger(t), nil)
+	sys, err = env.NewSystemWith(func(cfg *core.Config) { cfg.Journal = journal })
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal.SetSnapshot(func() (func(w io.Writer) error, error) {
+		sn, serr := sys.SnapshotState()
+		if serr != nil {
+			return nil, serr
+		}
+		return sn.Encode, nil
+	})
+	return sys, st, journal
+}
+
+// TestPipelinedJournalBitIdenticalToSequential: the same campaign run
+// through RunCampaign and RunCampaignPipelined against two stores must
+// leave byte-identical WAL files and final system state. This is the
+// on-disk half of the §9 pipeline contract — detached commits with
+// snapshot-then-encode checkpoints change nothing the store persists.
+func TestPipelinedJournalBitIdenticalToSequential(t *testing.T) {
+	env := testEnv(t)
+
+	seqDir, pipeDir := t.TempDir(), t.TempDir()
+	seqSys, seqStore, _ := journaledSystem(t, env, seqDir, 4)
+	runCycles(t, seqSys, env, 0, totalCycles)
+	if err := seqStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pipeSys, pipeStore, _ := journaledSystem(t, env, pipeDir, 4)
+	runCyclesPipelined(t, pipeSys, env, 0, totalCycles)
+	if err := pipeStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqWAL, err := os.ReadFile(filepath.Join(seqDir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeWAL, err := os.ReadFile(filepath.Join(pipeDir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqWAL, pipeWAL) {
+		t.Errorf("pipelined WAL differs from sequential: %d bytes vs %d", len(pipeWAL), len(seqWAL))
+	}
+	if got, want := stateBytes(t, pipeSys), stateBytes(t, seqSys); !bytes.Equal(got, want) {
+		t.Error("pipelined final state differs from sequential")
+	}
+}
+
+// crashingJournal delegates to the real store journal but crashes the
+// durable phase of one cycle: the detached closure returns an error
+// without ever appending the record, as if the process died between
+// acknowledging the cycle's compute and landing its fsync.
+type crashingJournal struct {
+	*Journal
+	crashAt int
+}
+
+func (c *crashingJournal) CycleCommittedDetached(rec core.JournalCycle) (func() error, error) {
+	if rec.Index == c.crashAt {
+		return func() error { return errors.New("simulated crash before WAL append") }, nil
+	}
+	return c.Journal.CycleCommittedDetached(rec)
+}
+
+// TestPipelinedCrashRecoveryBitIdentical is the mid-pipeline
+// kill-and-recover contract: a campaign whose detached commit dies at
+// cycle crashAt — with cycle crashAt+1's compute potentially already
+// executed in memory — aborts with ErrCycleNotDurable, loses nothing
+// durable, recovers from the store, resumes pipelined, and ends with
+// state byte-identical to a process that never crashed.
+func TestPipelinedCrashRecoveryBitIdentical(t *testing.T) {
+	want := uninterruptedState(t)
+	env := testEnv(t)
+	dir := t.TempDir()
+
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys *core.CrowdLearn
+	journal := NewJournal(st, 4, func(w io.Writer) error { return sys.SaveState(w) }, testLogger(t), nil)
+	crasher := &crashingJournal{Journal: journal, crashAt: cyclesBeforeCrash}
+	sys, err = env.NewSystemWith(func(cfg *core.Config) { cfg.Journal = crasher })
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal.SetSnapshot(func() (func(w io.Writer) error, error) {
+		sn, serr := sys.SnapshotState()
+		if serr != nil {
+			return nil, serr
+		}
+		return sn.Encode, nil
+	})
+
+	cfg := core.CampaignConfig{Cycles: cyclesBeforeCrash + 1, ImagesPerCycle: imagesPerCycle}
+	_, err = core.RunCampaignPipelined(sys, env.Dataset.Test[:(cyclesBeforeCrash+1)*imagesPerCycle], cfg)
+	if err == nil {
+		t.Fatal("campaign survived the simulated commit crash")
+	}
+	if !errors.Is(err, core.ErrCycleNotDurable) {
+		t.Fatalf("error %v does not wrap ErrCycleNotDurable", err)
+	}
+	if err := st.Close(); err != nil { // crash: in-memory state is gone
+		t.Fatal(err)
+	}
+	sys = nil
+
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	restored, err := env.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := st2.Recover(restored, recoverOpts(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.NextCycle != cyclesBeforeCrash {
+		t.Fatalf("recovery resumes at cycle %d, want %d", report.NextCycle, cyclesBeforeCrash)
+	}
+	runCyclesPipelined(t, restored, env, cyclesBeforeCrash, cyclesAfterCrash)
+	if got := stateBytes(t, restored); !bytes.Equal(got, want) {
+		t.Error("recovered pipelined arm diverged from the uninterrupted reference")
+	}
+}

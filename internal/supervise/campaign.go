@@ -345,6 +345,19 @@ func (c *Campaign) buildEpoch() error {
 			}
 			return durable.SaveState(w)
 		}, c.sup.logger, nil)
+		// Snapshot-then-encode: detached commits capture checkpoint
+		// state synchronously and defer the expensive gob encode off
+		// the cycle hot path.
+		journal.SetSnapshot(func() (func(io.Writer) error, error) {
+			if durable == nil {
+				return nil, errors.New("supervise: checkpoint before epoch assembly")
+			}
+			sn, err := durable.SnapshotState()
+			if err != nil {
+				return nil, err
+			}
+			return sn.Encode, nil
+		})
 		bc.Journal = journal
 	}
 	sys, err := guardPanics("build", func() (core.Scheme, error) { return c.spec.Build(bc) })
