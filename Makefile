@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-equivalence crash-recovery chaos bench bench-json bench-gate cover-obs faults fuzz artefacts report clean
+.PHONY: all build vet lint test race race-equivalence crash-recovery chaos bench bench-json bench-gate load-json load-gate cover-obs faults fuzz artefacts report clean
 
 all: build lint test
 
@@ -115,6 +115,26 @@ bench-gate:
 	@mkdir -p artefacts
 	$(BENCH_CMD) | $(GO) run ./cmd/benchjson -gate BENCH_parallel.json -o artefacts/bench-latest.json \
 		-min-speedup 'BenchmarkRunCycleParallel:4:1.0'
+
+# Machine-readable overload trajectory: drive the assessment service
+# through an open-loop arrival ramp twice — once behind the admission
+# ladder, once with a plain unbounded queue — and append both arms to
+# the committed BENCH_service.json (previous record moves into the
+# document's history, so the file carries the overload-robustness
+# trajectory across PRs).
+load-json:
+	$(GO) run ./cmd/crowdload -o BENCH_service.json
+	@cat BENCH_service.json
+
+# The CI overload gate (DESIGN.md §14): re-measure both arms, require
+# the admission arm's goodput at 2x saturation to hold within 20% of
+# its peak (the baseline arm must collapse — that contrast is what
+# proves the ladder is doing the work), and check the committed
+# BENCH_service.json claims the same. The fresh record lands at
+# artefacts/load-latest.json for artifact upload either way.
+load-gate:
+	@mkdir -p artefacts
+	$(GO) run ./cmd/crowdload -gate BENCH_service.json -o artefacts/load-latest.json
 
 # Regenerate every paper table/figure plus ablations into ./artefacts.
 artefacts:

@@ -82,6 +82,7 @@ import (
 	"time"
 
 	crowdlearn "github.com/crowdlearn/crowdlearn"
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
@@ -111,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 	traceCap := fs.Int("trace-capacity", obs.DefaultTraceCapacity, "cycle traces retained for GET /trace")
 	workers := fs.Int("workers", 0, "goroutine fan-out for committee voting and model training (0 = GOMAXPROCS, 1 = sequential); assessments are bit-identical at any value")
 	queueDepth := fs.Int("queue-depth", 16, "bounded assessment queue; full queue answers 429 (0 = unbounded)")
+	admissionTarget := fs.Duration("admission-target", 0, "adaptive overload control: queue-delay target for the admission ladder — sustained waits above it degrade requests to AI-only labels before rejecting (0 = disabled)")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-assessment timeout, queue wait included (0 = none)")
 	stateDir := fs.String("state-dir", "", "durable state directory: checkpoints + write-ahead cycle log; recovery runs on startup (empty = no persistence)")
 	checkpointEvery := fs.Int("checkpoint-every", 8, "write a checkpoint every N committed cycles (0 = only on shutdown; requires -state-dir)")
@@ -143,6 +145,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *stallTimeout < 0 {
 		return fmt.Errorf("invalid -stall-timeout %v: must be non-negative", *stallTimeout)
+	}
+	if *admissionTarget < 0 {
+		return fmt.Errorf("invalid -admission-target %v: must be non-negative", *admissionTarget)
 	}
 	if *stateDir == "" {
 		explicit := ""
@@ -236,6 +241,7 @@ func run(args []string, stdout io.Writer) error {
 			checkpointRetain: *checkpointRetain,
 			stallTimeout:     *stallTimeout,
 			queueDepth:       *queueDepth,
+			admissionTarget:  *admissionTarget,
 		})
 	}
 
@@ -284,6 +290,9 @@ func run(args []string, stdout io.Writer) error {
 		service.WithQueueDepth(*queueDepth),
 		service.WithRequestTimeout(*requestTimeout),
 		service.WithBuildInfo(buildInfo),
+	}
+	if *admissionTarget > 0 {
+		svcOpts = append(svcOpts, service.WithAdmission(admission.Config{Target: *admissionTarget}))
 	}
 	if st != nil {
 		report, rerr := st.Recover(sys, store.RecoverOptions{
@@ -345,6 +354,7 @@ type campaignParams struct {
 	checkpointRetain int
 	stallTimeout     time.Duration
 	queueDepth       int
+	admissionTarget  time.Duration
 }
 
 // runCampaigns serves the supervised multi-campaign runtime: p.initial
@@ -352,12 +362,16 @@ type campaignParams struct {
 // isolated failure domain with its own scheme, breaker and (with a
 // state dir) durable store.
 func runCampaigns(lab *crowdlearn.Lab, ln net.Listener, logger *slog.Logger, registry *obs.Registry, p campaignParams) error {
-	sup := supervise.New(supervise.Options{
+	supOpts := supervise.Options{
 		Logger:       logger,
 		Metrics:      registry,
 		StallTimeout: p.stallTimeout,
 		QueueDepth:   p.queueDepth,
-	})
+	}
+	if p.admissionTarget > 0 {
+		supOpts.Admission = &admission.Config{Target: p.admissionTarget}
+	}
+	sup := supervise.New(supOpts)
 	factory := func(id string) (supervise.Spec, error) {
 		if strings.ContainsAny(id, "/\\ \t") {
 			return supervise.Spec{}, fmt.Errorf("invalid campaign id %q: no separators or spaces", id)

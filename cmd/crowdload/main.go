@@ -1,0 +1,592 @@
+// Command crowdload is the overload harness for the assessment
+// service: it stands up two real HTTP servers around a deterministic
+// stub scheme — one with adaptive admission control (internal/admission
+// wired through service.WithAdmission), one with the plain unbounded
+// queue — and drives both through the same open-loop arrival ramp
+// (0.5×, 1×, 1.5×, 2× of measured saturation) with hundreds to
+// thousands of concurrent POST /assess clients.
+//
+// Per step it records offered load, completions, shed (degraded)
+// responses, 429 rejections, p50/p99 latency, throughput and goodput
+// (in-SLO responses per second; AI-only shed responses count — a usable
+// label within the deadline is the point of degrading instead of
+// queueing). The run is committed as the BENCH_service.json trajectory
+// in the cmd/benchjson style: writing with -o pushes the previous
+// current record into a bounded history, so the file carries how
+// overload behaviour evolves across PRs.
+//
+// The headline number is goodputRatio: goodput at 2× saturation over
+// peak goodput. With admission control the service sheds to AI-only
+// labels and keeps the ratio near 1; without it the unbounded queue
+// grows until every response misses the SLO and the ratio collapses.
+//
+// With -gate the run doubles as the CI load gate: the committed
+// baseline document must itself show the property (admission arm
+// goodputRatio >= -min-goodput-ratio), the fresh run must reproduce it,
+// and the fresh baseline arm must collapse (<= -max-baseline-ratio) —
+// proving the controller, not the machine, holds goodput up. The fresh
+// record is written to -o first either way so CI can upload it as an
+// artifact on failure.
+//
+// Usage:
+//
+//	crowdload -o BENCH_service.json                                  # regenerate (make load-json)
+//	crowdload -gate BENCH_service.json -o artefacts/load-latest.json # CI gate (make load-gate)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/admission"
+	"github.com/crowdlearn/crowdlearn/internal/core"
+	"github.com/crowdlearn/crowdlearn/internal/imagery"
+	"github.com/crowdlearn/crowdlearn/internal/obs"
+	"github.com/crowdlearn/crowdlearn/internal/service"
+	"github.com/crowdlearn/crowdlearn/internal/supervise"
+)
+
+// loadScheme is the deterministic stand-in for a trained scheme: a full
+// sensing cycle burns a fixed service time, the degraded fast path a
+// fixed (much smaller) one, and labels derive from the image ID so the
+// handler always gets valid distributions.
+type loadScheme struct {
+	serviceTime  time.Duration
+	degradedTime time.Duration
+}
+
+func (s *loadScheme) Name() string { return "load-stub" }
+
+func (s *loadScheme) RunCycle(in core.CycleInput) (core.CycleOutput, error) {
+	time.Sleep(s.serviceTime)
+	return s.output(in, false), nil
+}
+
+// AssessDegraded is the AI-only shed tier the admission ladder degrades
+// to.
+func (s *loadScheme) AssessDegraded(in core.CycleInput) (core.CycleOutput, error) {
+	time.Sleep(s.degradedTime)
+	return s.output(in, true), nil
+}
+
+func (s *loadScheme) output(in core.CycleInput, degraded bool) core.CycleOutput {
+	out := core.CycleOutput{
+		Distributions:  make([][]float64, len(in.Images)),
+		AlgorithmDelay: s.serviceTime,
+	}
+	for i, im := range in.Images {
+		d := make([]float64, imagery.NumLabels)
+		d[im.ID%imagery.NumLabels] = 1
+		out.Distributions[i] = d
+		if degraded {
+			out.Degraded = append(out.Degraded, i)
+		}
+	}
+	return out
+}
+
+var _ core.Scheme = (*loadScheme)(nil)
+var _ core.DegradedAssessor = (*loadScheme)(nil)
+
+// StepRecord is one ramp step's client-side measurement.
+type StepRecord struct {
+	// Multiplier is the step's offered load as a fraction of measured
+	// saturation.
+	Multiplier float64 `json:"multiplier"`
+	// OfferedRPS is the open-loop arrival rate.
+	OfferedRPS float64 `json:"offeredRps"`
+	// Offered counts requests launched this step.
+	Offered int `json:"offered"`
+	// Completed counts 2xx full-cycle responses.
+	Completed int `json:"completed"`
+	// Degraded counts 2xx shed (AI-only) responses.
+	Degraded int `json:"degraded"`
+	// Rejected counts 429 responses.
+	Rejected int `json:"rejected"`
+	// Errors counts transport failures and non-2xx/429 statuses.
+	Errors int `json:"errors"`
+	// Late counts 2xx responses that missed the SLO deadline.
+	Late int `json:"late"`
+	// P50Ms / P99Ms are response-latency percentiles over 2xx and 429
+	// responses (milliseconds).
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	// ThroughputRPS is 2xx responses per second of step wall time.
+	ThroughputRPS float64 `json:"throughputRps"`
+	// GoodputRPS is in-SLO 2xx responses per second of step wall time.
+	GoodputRPS float64 `json:"goodputRps"`
+}
+
+// ArmReport is one server configuration's run through the ramp.
+type ArmReport struct {
+	// Name is "admission" or "baseline".
+	Name string `json:"name"`
+	// Admission reports whether the arm ran with the overload controller.
+	Admission bool `json:"admission"`
+	// Steps are the ramp measurements in offered-load order.
+	Steps []StepRecord `json:"steps"`
+	// PeakGoodputRPS is the best goodput over all steps.
+	PeakGoodputRPS float64 `json:"peakGoodputRps"`
+	// GoodputAt2xRPS is the goodput at the 2× saturation step.
+	GoodputAt2xRPS float64 `json:"goodputAt2xRps"`
+	// GoodputRatio is GoodputAt2xRPS / PeakGoodputRPS — the collapse
+	// indicator the gate reads.
+	GoodputRatio float64 `json:"goodputRatio"`
+	// Controller is the admission controller's final snapshot (admission
+	// arm only).
+	Controller *admission.Snapshot `json:"controller,omitempty"`
+}
+
+// Report is one recorded harness run.
+type Report struct {
+	// RecordedAt stamps the record (RFC 3339 UTC).
+	RecordedAt string `json:"recordedAt,omitempty"`
+	// Goos/Goarch/NumCPU identify the recording machine.
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	NumCPU int    `json:"numCpu"`
+	// SaturationRPS is the closed-loop measured single-worker capacity
+	// the ramp multipliers scale.
+	SaturationRPS float64 `json:"saturationRps"`
+	// ServiceTimeMs / DegradedTimeMs / SLOMs echo the harness knobs.
+	ServiceTimeMs  float64 `json:"serviceTimeMs"`
+	DegradedTimeMs float64 `json:"degradedTimeMs"`
+	SLOMs          float64 `json:"sloMs"`
+	// Arms holds the admission and baseline runs.
+	Arms []ArmReport `json:"arms"`
+}
+
+// Trajectory is the committed load document: the latest record plus the
+// records it replaced, newest first, bounded by -retain.
+type Trajectory struct {
+	// Schema identifies the document version ("crowdlearn-load/1").
+	Schema string `json:"schema"`
+	// Current is the most recent record.
+	Current *Report `json:"current"`
+	// History holds prior records, newest first.
+	History []*Report `json:"history,omitempty"`
+}
+
+// schemaV1 marks the load trajectory document format.
+const schemaV1 = "crowdlearn-load/1"
+
+// multipliers is the fixed open-loop ramp; the gate keys off the 2.0
+// step so it is always present.
+var multipliers = []float64{0.5, 1, 1.5, 2}
+
+func main() {
+	var (
+		out          = flag.String("o", "", "write the trajectory document to this path (append-with-history)")
+		gate         = flag.String("gate", "", "gate against this committed trajectory: exit non-zero when the property fails")
+		retain       = flag.Int("retain", 12, "history records to retain in the output document")
+		serviceTime  = flag.Duration("service-time", 4*time.Millisecond, "stub full-cycle service time")
+		degradedTime = flag.Duration("degraded-time", 200*time.Microsecond, "stub AI-only shed-tier service time")
+		slo          = flag.Duration("slo", 60*time.Millisecond, "end-to-end response deadline goodput is measured against")
+		step         = flag.Duration("step", 2*time.Second, "duration of each ramp step")
+		clientTO     = flag.Duration("client-timeout", 2*time.Second, "per-request client timeout")
+		target       = flag.Duration("target", 5*time.Millisecond, "admission queue-delay target (CoDel)")
+		minRatio     = flag.Float64("min-goodput-ratio", 0.8, "gate: minimum admission-arm goodput ratio at 2x saturation")
+		maxBaseline  = flag.Float64("max-baseline-ratio", 0.5, "gate: maximum baseline-arm goodput ratio at 2x (must collapse)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *gate, *retain, *serviceTime, *degradedTime, *slo, *step, *clientTO, *target, *minRatio, *maxBaseline); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, gate string, retain int, serviceTime, degradedTime, slo, step, clientTO, target time.Duration, minRatio, maxBaseline float64) error {
+	ds, err := imagery.Generate(imagery.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	images := ds.Test
+	if len(images) > 64 {
+		images = images[:64]
+	}
+
+	// In gate mode the committed document must itself exhibit the
+	// property: the trajectory is the proof, the fresh run the check
+	// that it still reproduces.
+	if gate != "" {
+		if err := gateCommitted(gate, minRatio); err != nil {
+			return err
+		}
+	}
+
+	client := &http.Client{
+		Timeout: clientTO,
+		Transport: &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 4096,
+		},
+	}
+
+	scheme := &loadScheme{serviceTime: serviceTime, degradedTime: degradedTime}
+	saturation, err := measureSaturation(scheme, images, client)
+	if err != nil {
+		return fmt.Errorf("saturation probe: %w", err)
+	}
+	fmt.Printf("saturation: %.0f req/s (service time %v)\n", saturation, serviceTime)
+
+	rep := &Report{
+		RecordedAt:     time.Now().UTC().Format(time.RFC3339),
+		Goos:           runtime.GOOS,
+		Goarch:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		SaturationRPS:  saturation,
+		ServiceTimeMs:  float64(serviceTime) / float64(time.Millisecond),
+		DegradedTimeMs: float64(degradedTime) / float64(time.Millisecond),
+		SLOMs:          float64(slo) / float64(time.Millisecond),
+	}
+
+	for _, name := range []string{"admission", "baseline"} {
+		ar, err := runArm(name, scheme, images, client, saturation, step, slo, target)
+		if err != nil {
+			return fmt.Errorf("arm %s: %w", name, err)
+		}
+		rep.Arms = append(rep.Arms, *ar)
+		fmt.Printf("arm %-9s peak %.0f req/s, at 2x %.0f req/s, ratio %.2f\n",
+			name, ar.PeakGoodputRPS, ar.GoodputAt2xRPS, ar.GoodputRatio)
+	}
+
+	if out != "" {
+		if err := writeTrajectory(out, rep, retain); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+
+	if gate != "" {
+		return gateFresh(rep, minRatio, maxBaseline)
+	}
+	return nil
+}
+
+// runArm stands up one server configuration and drives the full ramp
+// against it.
+func runArm(name string, scheme *loadScheme, images []*imagery.Image, client *http.Client, saturation float64, step, slo, target time.Duration) (*ArmReport, error) {
+	var opts []service.Option
+	withAdmission := name == "admission"
+	if withAdmission {
+		opts = append(opts,
+			service.WithAdmission(admission.Config{
+				Target:        target,
+				MinLimit:      1,
+				MaxLimit:      32,
+				InitialLimit:  4,
+				LatencyTarget: slo / 2,
+			}),
+			service.WithMetrics(obs.NewRegistry()))
+	}
+	svc, url, shutdown, err := startServer(scheme, images, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	ar := &ArmReport{Name: name, Admission: withAdmission}
+	for _, m := range multipliers {
+		rec := runStep(url, client, images, m, m*saturation, step, slo)
+		ar.Steps = append(ar.Steps, rec)
+		if rec.GoodputRPS > ar.PeakGoodputRPS {
+			ar.PeakGoodputRPS = rec.GoodputRPS
+		}
+		if m == 2 {
+			ar.GoodputAt2xRPS = rec.GoodputRPS
+		}
+	}
+	if ar.PeakGoodputRPS > 0 {
+		ar.GoodputRatio = ar.GoodputAt2xRPS / ar.PeakGoodputRPS
+	}
+	if withAdmission {
+		if snap := svc.Stats().Admission; snap != nil {
+			ar.Controller = snap
+		}
+	}
+	return ar, nil
+}
+
+// startServer builds a service around the scheme and serves its HTTP
+// handler on a loopback listener.
+func startServer(scheme *loadScheme, images []*imagery.Image, opts ...service.Option) (*service.Service, string, func(), error) {
+	svc, err := service.New(scheme, opts...)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	svc.Start()
+	h, err := service.NewHandler(svc, images)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	supervise.Go("crowdload.http", nil, func() { srv.Serve(ln) })
+	shutdown := func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	}
+	return svc, "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// measureSaturation runs a short closed loop against a plain server to
+// find the single-worker drain rate the ramp multipliers scale.
+func measureSaturation(scheme *loadScheme, images []*imagery.Image, client *http.Client) (float64, error) {
+	_, url, shutdown, err := startServer(scheme, images)
+	if err != nil {
+		return 0, err
+	}
+	defer shutdown()
+
+	const workers = 4
+	probe := 800 * time.Millisecond
+	var completed int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(probe)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		supervise.Go(fmt.Sprintf("crowdload.probe.%d", w), nil, func() {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				o := fire(client, url, images[i%len(images)].ID, "")
+				if o.status == http.StatusOK {
+					atomic.AddInt64(&completed, 1)
+				}
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if completed == 0 || elapsed <= 0 {
+		return 0, errors.New("no completions in probe window")
+	}
+	return float64(completed) / elapsed, nil
+}
+
+// outcome is one request's client-side observation.
+type outcome struct {
+	status  int
+	shed    bool
+	latency time.Duration
+	err     error
+}
+
+// fire posts one single-image /assess request.
+func fire(client *http.Client, url string, imageID int, campaign string) outcome {
+	body, _ := json.Marshal(map[string]any{
+		"context":  "morning",
+		"imageIds": []int{imageID},
+		"campaign": campaign,
+	})
+	started := time.Now()
+	resp, err := client.Post(url+"/assess", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{err: err, latency: time.Since(started)}
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Shed bool `json:"shed"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	_ = dec.Decode(&payload)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return outcome{status: resp.StatusCode, shed: payload.Shed, latency: time.Since(started)}
+}
+
+// runStep drives one open-loop arrival step: rate req/s for dur,
+// arrivals scheduled on an absolute timeline (no coordinated omission —
+// a slow server does not slow the arrival process down).
+func runStep(url string, client *http.Client, images []*imagery.Image, multiplier, rate float64, dur, slo time.Duration) StepRecord {
+	n := int(rate * dur.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(dur) / float64(n))
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rec       = StepRecord{Multiplier: multiplier, OfferedRPS: rate, Offered: n}
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		supervise.Go(fmt.Sprintf("crowdload.client.%d", i), nil, func() {
+			defer wg.Done()
+			// Four campaigns share the ramp so the fair-share tier has
+			// distinct buckets to arbitrate.
+			o := fire(client, url, images[i%len(images)].ID, fmt.Sprintf("c%02d", i%4))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case o.err != nil:
+				rec.Errors++
+				return
+			case o.status == http.StatusOK:
+				if o.shed {
+					rec.Degraded++
+				} else {
+					rec.Completed++
+				}
+				if o.latency > slo {
+					rec.Late++
+				}
+			case o.status == http.StatusTooManyRequests:
+				rec.Rejected++
+			default:
+				rec.Errors++
+			}
+			latencies = append(latencies, float64(o.latency)/float64(time.Millisecond))
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(latencies)
+	rec.P50Ms = percentile(latencies, 0.50)
+	rec.P99Ms = percentile(latencies, 0.99)
+	served := rec.Completed + rec.Degraded
+	rec.ThroughputRPS = float64(served) / elapsed
+	rec.GoodputRPS = float64(served-rec.Late) / elapsed
+	return rec
+}
+
+// percentile reads p (0..1) from sorted ms latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// gateCommitted asserts the committed trajectory document itself shows
+// the property: its current admission arm holds goodput at 2×.
+func gateCommitted(path string, minRatio float64) error {
+	doc, err := loadTrajectory(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if doc == nil || doc.Current == nil {
+		return fmt.Errorf("baseline %s: no current record", path)
+	}
+	arm := findArm(doc.Current, "admission")
+	if arm == nil {
+		return fmt.Errorf("baseline %s: no admission arm in current record", path)
+	}
+	if arm.GoodputRatio < minRatio {
+		return fmt.Errorf("baseline %s: committed admission goodput ratio %.2f < %.2f — the committed trajectory no longer shows the property; regenerate with make load-json on a quiet machine",
+			path, arm.GoodputRatio, minRatio)
+	}
+	fmt.Printf("committed %s: admission goodput ratio %.2f >= %.2f\n", path, arm.GoodputRatio, minRatio)
+	return nil
+}
+
+// gateFresh asserts the fresh run reproduces the property: admission
+// holds goodput at 2× saturation, the unprotected baseline collapses.
+func gateFresh(rep *Report, minRatio, maxBaseline float64) error {
+	adm := findArm(rep, "admission")
+	base := findArm(rep, "baseline")
+	if adm == nil || base == nil {
+		return errors.New("fresh run missing an arm")
+	}
+	var failures []string
+	if adm.GoodputRatio < minRatio {
+		failures = append(failures, fmt.Sprintf(
+			"admission arm goodput ratio %.2f < %.2f (goodput at 2x %.0f req/s, peak %.0f req/s)",
+			adm.GoodputRatio, minRatio, adm.GoodputAt2xRPS, adm.PeakGoodputRPS))
+	}
+	if base.GoodputRatio > maxBaseline {
+		failures = append(failures, fmt.Sprintf(
+			"baseline arm goodput ratio %.2f > %.2f — the unprotected service did not collapse, so the comparison proves nothing",
+			base.GoodputRatio, maxBaseline))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "GATE FAIL:", f)
+		}
+		return fmt.Errorf("%d gate failure(s)", len(failures))
+	}
+	fmt.Printf("GATE OK: admission ratio %.2f >= %.2f, baseline ratio %.2f <= %.2f\n",
+		adm.GoodputRatio, minRatio, base.GoodputRatio, maxBaseline)
+	return nil
+}
+
+// findArm returns the named arm of a report (nil if absent).
+func findArm(rep *Report, name string) *ArmReport {
+	for i := range rep.Arms {
+		if rep.Arms[i].Name == name {
+			return &rep.Arms[i]
+		}
+	}
+	return nil
+}
+
+// loadTrajectory reads a trajectory document; a missing file returns
+// (nil, nil).
+func loadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc Trajectory
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != schemaV1 {
+		return nil, fmt.Errorf("unknown schema %q (want %s)", doc.Schema, schemaV1)
+	}
+	return &doc, nil
+}
+
+// writeTrajectory appends rep to the document at path: the previous
+// current record moves into the bounded history.
+func writeTrajectory(path string, rep *Report, retain int) error {
+	doc, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	if doc == nil {
+		doc = &Trajectory{Schema: schemaV1}
+	}
+	if doc.Current != nil {
+		doc.History = append([]*Report{doc.Current}, doc.History...)
+	}
+	if retain >= 0 && len(doc.History) > retain {
+		doc.History = doc.History[:retain]
+	}
+	doc.Current = rep
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,384 @@
+// Package admission implements adaptive overload control for the
+// assessment service: queue-delay-targeted admission (CoDel-style), an
+// adaptive concurrency limit (AIMD on observed service latency),
+// per-campaign fair-share token buckets, and a priority-tiered shedding
+// ladder — degrade a request to AI-only labels before rejecting it
+// outright (DESIGN.md §14).
+//
+// The package is clockless: every method takes the current time as a
+// monotonic offset (time.Duration since an arbitrary epoch), so the
+// controller is fully deterministic under test and the load harness can
+// drive it from any clock. The one wall-clock edge is the client-side
+// Retry helper in retry.go, whose default Sleep seam is time.Sleep;
+// that single file is on the crowdlint no-wall-clock allowlist.
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome is one rung of the shedding ladder.
+type Outcome int
+
+const (
+	// Admit serves the request with the full crowd-AI sensing cycle.
+	Admit Outcome = iota
+	// Degrade serves the request from the weighted ensemble's AI verdict
+	// alone — much cheaper, no crowd round-trip, no committed cycle.
+	Degrade
+	// Reject sheds the request outright; the decision carries the
+	// Retry-After the transport layer should surface.
+	Reject
+)
+
+// String names the outcome for metric labels.
+func (o Outcome) String() string {
+	switch o {
+	case Admit:
+		return "admit"
+	case Degrade:
+		return "degrade"
+	case Reject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is the controller's verdict on one arriving request.
+type Decision struct {
+	// Outcome is the ladder rung the request landed on.
+	Outcome Outcome
+	// RetryAfter is the suggested client backoff, derived from the
+	// current backlog and the measured drain rate (Reject only).
+	RetryAfter time.Duration
+	// Reason labels why the request was shed ("" on Admit):
+	// "limit" (adaptive concurrency limit hit), "queue-delay" (queue
+	// wait above target for a sustained interval), "saturated" (hard
+	// cap), "fair-share" (campaign over its share during pressure).
+	Reason string
+}
+
+// Config parameterises a Controller. The zero value is usable; every
+// field has a production default.
+type Config struct {
+	// Target is the queue-wait the CoDel detector defends; queue delay
+	// above it sustained for Interval marks the service overloaded
+	// (default 25ms).
+	Target time.Duration
+	// Interval is how long queue wait must stay above Target before the
+	// overloaded state latches (default 4×Target).
+	Interval time.Duration
+	// MinLimit / MaxLimit bound the adaptive concurrency+queue limit.
+	// MaxLimit is also the hard cap past which requests are rejected
+	// regardless of tier (defaults 1 and 64).
+	MinLimit int
+	MaxLimit int
+	// InitialLimit seeds the AIMD limit (default MaxLimit/2).
+	InitialLimit int
+	// LatencyTarget is the end-to-end service latency (queue wait plus
+	// processing) the AIMD loop steers toward: completions above it
+	// multiplicatively shrink the limit, completions below it
+	// additively grow it (default 4×Target).
+	LatencyTarget time.Duration
+	// DecreaseFactor is the multiplicative cut applied to the limit on
+	// an overload signal, at most once per Interval (default 0.7).
+	DecreaseFactor float64
+	// CampaignRate is each campaign's fair-share refill in requests per
+	// second; CampaignBurst the bucket depth (defaults 50 and 2×rate).
+	// Fair share only bites while the service is shedding: under-limit,
+	// under-target traffic is admitted regardless (work conservation).
+	CampaignRate  float64
+	CampaignBurst float64
+	// MaxCampaigns bounds the bucket table; campaigns beyond it share
+	// fate with the admitted majority (fail-open, default 1024).
+	MaxCampaigns int
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Target <= 0 {
+		c.Target = 25 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 4 * c.Target
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 1
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 64
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = (c.MinLimit + c.MaxLimit) / 2
+		if c.InitialLimit < c.MinLimit {
+			c.InitialLimit = c.MinLimit
+		}
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 4 * c.Target
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = 0.7
+	}
+	if c.CampaignRate <= 0 {
+		c.CampaignRate = 50
+	}
+	if c.CampaignBurst <= 0 {
+		c.CampaignBurst = 2 * c.CampaignRate
+	}
+	if c.MaxCampaigns <= 0 {
+		c.MaxCampaigns = 1024
+	}
+	return c
+}
+
+// Controller is the admission state machine. Safe for concurrent use;
+// all decisions are serialised under one mutex (the critical sections
+// are tiny arithmetic).
+type Controller struct {
+	mu      sync.Mutex
+	cfg     Config
+	codel   codel
+	aimd    aimd
+	buckets buckets
+	drain   drainRate
+
+	inflight int // admitted or degraded, not yet Done/Abandoned
+
+	admitted  uint64
+	degraded  uint64
+	rejected  uint64
+	abandoned uint64
+}
+
+// NewController builds a controller.
+func NewController(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:     cfg,
+		codel:   codel{target: cfg.Target, interval: cfg.Interval},
+		aimd:    newAIMD(cfg),
+		buckets: newBuckets(cfg.CampaignRate, cfg.CampaignBurst, cfg.MaxCampaigns),
+	}
+}
+
+// Decide places one arriving request on the shedding ladder. campaign
+// identifies the fair-share bucket ("" shares a default bucket). On
+// Admit and Degrade the returned Ticket tracks the request through the
+// queue; the caller must call exactly one of Done or Abandon on it. On
+// Reject the ticket is nil.
+func (c *Controller) Decide(now time.Duration, campaign string) (Decision, *Ticket) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	fair := c.buckets.allow(now, campaign)
+	limit := c.aimd.limit()
+	overloaded := c.codel.overloaded
+
+	var dec Decision
+	switch {
+	case c.inflight >= c.cfg.MaxLimit:
+		dec = Decision{Outcome: Reject, Reason: "saturated"}
+	case c.inflight >= limit && !fair:
+		dec = Decision{Outcome: Reject, Reason: "limit"}
+	case c.inflight >= limit:
+		dec = Decision{Outcome: Degrade, Reason: "limit"}
+	case overloaded && !fair:
+		dec = Decision{Outcome: Degrade, Reason: "fair-share"}
+	case overloaded:
+		dec = Decision{Outcome: Degrade, Reason: "queue-delay"}
+	default:
+		dec = Decision{Outcome: Admit}
+	}
+
+	switch dec.Outcome {
+	case Reject:
+		c.rejected++
+		dec.RetryAfter = c.retryAfterLocked()
+		return dec, nil
+	case Degrade:
+		c.degraded++
+	default:
+		c.admitted++
+	}
+	c.inflight++
+	return dec, &Ticket{ctl: c, enqueued: now, degraded: dec.Outcome == Degrade}
+}
+
+// retryAfterLocked estimates how long a shed client should wait before
+// retrying: the time the current backlog needs to drain at the measured
+// completion rate, clamped to [1s, 30s].
+func (c *Controller) retryAfterLocked() time.Duration {
+	per := c.drain.perCompletion()
+	if per <= 0 {
+		return time.Second
+	}
+	d := time.Duration(float64(c.inflight+1) * float64(per))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// RetryAfter is the controller's current backlog-drain estimate — the
+// Retry-After the transport layer should attach to backpressure
+// rejections that bypassed Decide (e.g. a full bounded queue).
+func (c *Controller) RetryAfter(now time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retryAfterLocked()
+}
+
+// Snapshot is a point-in-time view of the controller for /stats and
+// metric gauges.
+type Snapshot struct {
+	// Limit is the current adaptive concurrency+queue limit.
+	Limit int `json:"limit"`
+	// Inflight counts admitted requests not yet completed or abandoned.
+	Inflight int `json:"inflight"`
+	// Overloaded reports whether queue delay has exceeded the target
+	// for a sustained interval (the CoDel latch).
+	Overloaded bool `json:"overloaded"`
+	// Admitted/Degraded/Rejected/Abandoned are lifetime decision counts.
+	Admitted  uint64 `json:"admitted"`
+	Degraded  uint64 `json:"degraded"`
+	Rejected  uint64 `json:"rejected"`
+	Abandoned uint64 `json:"abandoned"`
+	// RetryAfterSeconds is the current backlog-drain estimate.
+	RetryAfterSeconds float64 `json:"retryAfterSeconds"`
+}
+
+// Snapshot returns the current controller state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Limit:             c.aimd.limit(),
+		Inflight:          c.inflight,
+		Overloaded:        c.codel.overloaded,
+		Admitted:          c.admitted,
+		Degraded:          c.degraded,
+		Rejected:          c.rejected,
+		Abandoned:         c.abandoned,
+		RetryAfterSeconds: c.retryAfterLocked().Seconds(),
+	}
+}
+
+// Ticket tracks one admitted request from Decide to completion.
+type Ticket struct {
+	ctl      *Controller
+	enqueued time.Duration
+	degraded bool
+	dequeued bool
+	closed   bool
+}
+
+// Degraded reports whether the ticket was admitted on the degrade tier.
+func (t *Ticket) Degraded() bool { return t != nil && t.degraded }
+
+// Dequeued records that the worker picked the request up, feeding the
+// observed queue wait into the CoDel detector. Returns the queue wait.
+// Safe to skip (an abandoned request never dequeues); calling it twice
+// keeps only the first observation.
+func (t *Ticket) Dequeued(now time.Duration) time.Duration {
+	if t == nil {
+		return 0
+	}
+	wait := now - t.enqueued
+	if wait < 0 {
+		wait = 0
+	}
+	t.ctl.mu.Lock()
+	defer t.ctl.mu.Unlock()
+	if t.dequeued {
+		return wait
+	}
+	t.dequeued = true
+	t.ctl.codel.observe(now, wait)
+	if t.ctl.codel.overloaded {
+		t.ctl.aimd.decrease(now)
+	}
+	return wait
+}
+
+// Done releases the ticket after the request completed, feeding the
+// end-to-end latency into the AIMD loop (successful completions only)
+// and the completion into the drain-rate estimate.
+func (t *Ticket) Done(now time.Duration, ok bool) {
+	if t == nil {
+		return
+	}
+	t.ctl.mu.Lock()
+	defer t.ctl.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.ctl.inflight--
+	t.ctl.drain.observe(now)
+	if !ok {
+		return
+	}
+	if latency := now - t.enqueued; latency > t.ctl.cfg.LatencyTarget {
+		t.ctl.aimd.decrease(now)
+	} else {
+		t.ctl.aimd.increase()
+	}
+}
+
+// Abandon releases the ticket without a completion: the caller vanished
+// (context cancelled, enqueue failed) before the request was served.
+func (t *Ticket) Abandon(now time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ctl.mu.Lock()
+	defer t.ctl.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.ctl.inflight--
+	t.ctl.abandoned++
+}
+
+// drainRate is an EWMA of the interval between completions — the
+// service's measured drain rate, powering dynamic Retry-After.
+type drainRate struct {
+	last    time.Duration
+	started bool
+	ewma    time.Duration
+}
+
+// drainAlpha weights the newest completion interval.
+const drainAlpha = 0.2
+
+func (d *drainRate) observe(now time.Duration) {
+	if !d.started {
+		d.started = true
+		d.last = now
+		return
+	}
+	iv := now - d.last
+	d.last = now
+	if iv < 0 {
+		iv = 0
+	}
+	if d.ewma == 0 {
+		d.ewma = iv
+		return
+	}
+	d.ewma = time.Duration((1-drainAlpha)*float64(d.ewma) + drainAlpha*float64(iv))
+}
+
+// perCompletion is the smoothed seconds-per-completion (0 until two
+// completions have been seen).
+func (d *drainRate) perCompletion() time.Duration { return d.ewma }

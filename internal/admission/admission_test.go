@@ -1,0 +1,278 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// drive admits n requests, dequeues each after wait, completes each
+// after service, stepping a synthetic clock by step between arrivals.
+func drive(c *Controller, now *time.Duration, n int, wait, service, step time.Duration) (admitted, degraded, rejected int) {
+	for i := 0; i < n; i++ {
+		dec, tk := c.Decide(*now, "c")
+		switch dec.Outcome {
+		case Reject:
+			rejected++
+		case Degrade:
+			degraded++
+			tk.Dequeued(*now + wait)
+			tk.Done(*now+wait+service, true)
+		default:
+			admitted++
+			tk.Dequeued(*now + wait)
+			tk.Done(*now+wait+service, true)
+		}
+		*now += step
+	}
+	return
+}
+
+func TestHealthyTrafficAdmitted(t *testing.T) {
+	c := NewController(Config{})
+	var now time.Duration
+	adm, deg, rej := drive(c, &now, 100, time.Millisecond, 2*time.Millisecond, 10*time.Millisecond)
+	if deg != 0 || rej != 0 {
+		t.Fatalf("healthy traffic shed: admitted=%d degraded=%d rejected=%d", adm, deg, rej)
+	}
+	if s := c.Snapshot(); s.Overloaded {
+		t.Fatalf("overloaded latched on healthy traffic: %+v", s)
+	}
+}
+
+// TestCoDelLatchesOnSustainedDelay: queue wait above target for longer
+// than the interval flips the overload latch and subsequent requests
+// degrade; waits back under target release it.
+func TestCoDelLatchesOnSustainedDelay(t *testing.T) {
+	c := NewController(Config{Target: 10 * time.Millisecond, Interval: 40 * time.Millisecond, MaxLimit: 1000, InitialLimit: 1000})
+	var now time.Duration
+	// Sustained excess: every dequeue sees 50ms of wait across >interval.
+	drive(c, &now, 10, 50*time.Millisecond, time.Millisecond, 10*time.Millisecond)
+	if s := c.Snapshot(); !s.Overloaded {
+		t.Fatalf("overload not latched after sustained excess: %+v", s)
+	}
+	dec, tk := c.Decide(now, "c")
+	if dec.Outcome != Degrade {
+		t.Fatalf("outcome %v under latched overload, want Degrade", dec.Outcome)
+	}
+	tk.Dequeued(now)
+	tk.Done(now, true)
+	// Recovery: waits back under target release the latch.
+	drive(c, &now, 3, time.Millisecond, time.Millisecond, 10*time.Millisecond)
+	if s := c.Snapshot(); s.Overloaded {
+		t.Fatalf("overload latch not released: %+v", s)
+	}
+}
+
+// TestTransientSpikeDoesNotLatch: one bad dequeue inside the interval
+// is a burst, not overload.
+func TestTransientSpikeDoesNotLatch(t *testing.T) {
+	c := NewController(Config{Target: 10 * time.Millisecond, Interval: 40 * time.Millisecond})
+	var now time.Duration
+	drive(c, &now, 1, 50*time.Millisecond, time.Millisecond, 10*time.Millisecond)
+	drive(c, &now, 5, time.Millisecond, time.Millisecond, 10*time.Millisecond)
+	if s := c.Snapshot(); s.Overloaded {
+		t.Fatalf("single spike latched overload: %+v", s)
+	}
+}
+
+// TestAIMDLimit: slow completions shrink the limit multiplicatively
+// (once per window); fast completions grow it back additively.
+func TestAIMDLimit(t *testing.T) {
+	cfg := Config{Target: 10 * time.Millisecond, Interval: 40 * time.Millisecond, MinLimit: 1, MaxLimit: 64, InitialLimit: 32}
+	c := NewController(cfg)
+	start := c.Snapshot().Limit
+	var now time.Duration
+	// Two slow completions inside one window: one cut only.
+	drive(c, &now, 2, time.Millisecond, 200*time.Millisecond, time.Millisecond)
+	after := c.Snapshot().Limit
+	if want := int(float64(start) * 0.7); after != want {
+		t.Fatalf("limit after burst of slow completions %d, want one cut to %d", after, want)
+	}
+	// A second window of slow completions cuts again.
+	now += 100 * time.Millisecond
+	drive(c, &now, 1, time.Millisecond, 200*time.Millisecond, time.Millisecond)
+	second := c.Snapshot().Limit
+	if second >= after {
+		t.Fatalf("limit %d after second slow window, want < %d", second, after)
+	}
+	// Fast completions recover additively.
+	for i := 0; i < 2000; i++ {
+		drive(c, &now, 1, 0, time.Millisecond, 2*time.Millisecond)
+	}
+	if got := c.Snapshot().Limit; got <= second {
+		t.Fatalf("limit %d did not recover above %d", got, second)
+	}
+}
+
+// TestLadderOverLimit: beyond the adaptive limit, within-share traffic
+// degrades and over-share traffic rejects; beyond the hard cap
+// everything rejects.
+func TestLadderOverLimit(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 8, InitialLimit: 4, CampaignRate: 1, CampaignBurst: 2})
+	var now time.Duration
+	var tickets []*Ticket
+	// Fill to the adaptive limit with one campaign's burst allowance.
+	for i := 0; i < 4; i++ {
+		dec, tk := c.Decide(now, "a")
+		if i < 2 && dec.Outcome != Admit {
+			t.Fatalf("request %d outcome %v, want Admit", i, dec.Outcome)
+		}
+		if tk != nil {
+			tickets = append(tickets, tk)
+		}
+	}
+	// Campaign "a" is now over its burst of 2: over-limit + over-share
+	// rejects.
+	dec, _ := c.Decide(now, "a")
+	if dec.Outcome != Reject {
+		t.Fatalf("over-limit over-share outcome %v, want Reject", dec.Outcome)
+	}
+	if dec.RetryAfter < time.Second {
+		t.Fatalf("reject RetryAfter %v, want >= 1s floor", dec.RetryAfter)
+	}
+	// A fresh campaign still has tokens: over-limit within-share
+	// degrades instead.
+	dec, tk := c.Decide(now, "b")
+	if dec.Outcome != Degrade {
+		t.Fatalf("over-limit within-share outcome %v, want Degrade", dec.Outcome)
+	}
+	tickets = append(tickets, tk)
+	// Fill to the hard cap: everything rejects, fair share or not.
+	for len(tickets) < 8 {
+		_, tk := c.Decide(now, "fresh-"+string(rune('a'+len(tickets))))
+		if tk != nil {
+			tickets = append(tickets, tk)
+		}
+	}
+	dec, _ = c.Decide(now, "another")
+	if dec.Outcome != Reject || dec.Reason != "saturated" {
+		t.Fatalf("at hard cap: outcome %v reason %q, want Reject/saturated", dec.Outcome, dec.Reason)
+	}
+	for _, tk := range tickets {
+		tk.Done(now, true)
+	}
+	if s := c.Snapshot(); s.Inflight != 0 {
+		t.Fatalf("inflight %d after all tickets done, want 0", s.Inflight)
+	}
+}
+
+// TestFairShareRefills: an over-share campaign regains admission as its
+// bucket refills.
+func TestFairShareRefills(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 8, InitialLimit: 1, CampaignRate: 10, CampaignBurst: 1})
+	var now time.Duration
+	// Hold the single admitted slot so the limit tier is active.
+	_, hold := c.Decide(now, "hog")
+	if hold == nil {
+		t.Fatal("first request not admitted")
+	}
+	// "hog" has spent its burst: over-limit + over-share rejects.
+	if dec, _ := c.Decide(now, "hog"); dec.Outcome != Reject {
+		t.Fatalf("outcome %v, want Reject while bucket empty", dec.Outcome)
+	}
+	// 100ms at 10 tokens/s refills one token: degrades now.
+	now += 100 * time.Millisecond
+	dec, tk := c.Decide(now, "hog")
+	if dec.Outcome != Degrade {
+		t.Fatalf("outcome %v after refill, want Degrade", dec.Outcome)
+	}
+	tk.Done(now, true)
+	hold.Done(now, true)
+}
+
+// TestRetryAfterTracksDrainRate: the Retry-After estimate scales with
+// backlog over the measured completion rate.
+func TestRetryAfterTracksDrainRate(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 4, InitialLimit: 4})
+	var now time.Duration
+	// Completions 500ms apart establish the drain rate.
+	for i := 0; i < 10; i++ {
+		_, tk := c.Decide(now, "c")
+		tk.Dequeued(now)
+		now += 500 * time.Millisecond
+		tk.Done(now, true)
+	}
+	// Fill the queue, then reject: backlog of 4 at 2 completions/s
+	// should suggest about 2.5s (inflight+1 times 500ms).
+	var held []*Ticket
+	for i := 0; i < 4; i++ {
+		_, tk := c.Decide(now, "c")
+		held = append(held, tk)
+	}
+	dec, _ := c.Decide(now, "c")
+	if dec.Outcome != Reject {
+		t.Fatalf("outcome %v, want Reject at hard cap", dec.Outcome)
+	}
+	if dec.RetryAfter < 2*time.Second || dec.RetryAfter > 3*time.Second {
+		t.Fatalf("RetryAfter %v, want ~2.5s from drain rate", dec.RetryAfter)
+	}
+	for _, tk := range held {
+		tk.Done(now, true)
+	}
+}
+
+// TestAbandonReleasesSlot: abandoned tickets free capacity and count.
+func TestAbandonReleasesSlot(t *testing.T) {
+	c := NewController(Config{MinLimit: 1, MaxLimit: 2, InitialLimit: 2})
+	var now time.Duration
+	_, t1 := c.Decide(now, "c")
+	_, t2 := c.Decide(now, "c")
+	if dec, _ := c.Decide(now, "c"); dec.Outcome != Reject {
+		t.Fatalf("outcome %v at cap, want Reject", dec.Outcome)
+	}
+	t1.Abandon(now)
+	t1.Abandon(now) // double release is a no-op
+	dec, t3 := c.Decide(now, "c")
+	if dec.Outcome == Reject {
+		t.Fatalf("outcome %v after abandon freed a slot", dec.Outcome)
+	}
+	t2.Done(now, true)
+	t2.Done(now, true) // double done is a no-op
+	t3.Done(now, true)
+	s := c.Snapshot()
+	if s.Inflight != 0 || s.Abandoned != 1 {
+		t.Fatalf("snapshot %+v, want inflight 0 abandoned 1", s)
+	}
+}
+
+// TestDeterministic: identical call sequences produce identical
+// decision sequences and snapshots.
+func TestDeterministic(t *testing.T) {
+	run := func() ([]Outcome, Snapshot) {
+		c := NewController(Config{Target: 5 * time.Millisecond, Interval: 20 * time.Millisecond, MaxLimit: 16, InitialLimit: 8})
+		var now time.Duration
+		var outs []Outcome
+		var open []*Ticket
+		for i := 0; i < 200; i++ {
+			dec, tk := c.Decide(now, []string{"a", "b", "c"}[i%3])
+			outs = append(outs, dec.Outcome)
+			if tk != nil {
+				open = append(open, tk)
+			}
+			if i%2 == 1 && len(open) > 0 {
+				tk := open[0]
+				open = open[1:]
+				tk.Dequeued(now + 7*time.Millisecond)
+				tk.Done(now+9*time.Millisecond, true)
+			}
+			now += 3 * time.Millisecond
+		}
+		for _, tk := range open {
+			tk.Done(now, true)
+		}
+		return outs, c.Snapshot()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if len(o1) != len(o2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+}

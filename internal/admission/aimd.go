@@ -1,0 +1,61 @@
+package admission
+
+import "time"
+
+// aimd is the additive-increase/multiplicative-decrease concurrency
+// limit (the TCP congestion-avoidance law applied to a server's
+// admission window, as in Netflix's concurrency-limits): completions
+// under the latency target grow the limit by ~1 per limit completions;
+// an overload signal — a completion over target, or the CoDel detector
+// latching — cuts it multiplicatively, at most once per window so one
+// burst of slow completions costs one cut, not a collapse to MinLimit.
+type aimd struct {
+	cur      float64
+	min, max float64
+	dec      float64
+	window   time.Duration
+
+	cutArmed bool
+	lastCut  time.Duration
+}
+
+func newAIMD(cfg Config) aimd {
+	return aimd{
+		cur:    float64(cfg.InitialLimit),
+		min:    float64(cfg.MinLimit),
+		max:    float64(cfg.MaxLimit),
+		dec:    cfg.DecreaseFactor,
+		window: cfg.Interval,
+	}
+}
+
+// limit is the current integer limit (always >= MinLimit).
+func (a *aimd) limit() int {
+	l := int(a.cur)
+	if l < int(a.min) {
+		l = int(a.min)
+	}
+	return l
+}
+
+// increase applies one completion's additive growth.
+func (a *aimd) increase() {
+	a.cur += 1 / a.cur
+	if a.cur > a.max {
+		a.cur = a.max
+	}
+}
+
+// decrease applies one multiplicative cut, rate-limited to one per
+// window.
+func (a *aimd) decrease(now time.Duration) {
+	if a.cutArmed && now-a.lastCut < a.window {
+		return
+	}
+	a.cutArmed = true
+	a.lastCut = now
+	a.cur *= a.dec
+	if a.cur < a.min {
+		a.cur = a.min
+	}
+}

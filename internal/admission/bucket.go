@@ -1,0 +1,50 @@
+package admission
+
+import "time"
+
+// buckets is the per-campaign fair-share token table. Each campaign
+// refills at rate tokens/second up to burst; a request from a campaign
+// with no token is "over share". Fair share is advisory, not a hard
+// quota: the controller only consults it while the service is already
+// shedding, so an idle fleet never throttles its one active campaign
+// (work conservation), but under pressure the campaigns that caused the
+// pressure degrade and reject first.
+type buckets struct {
+	rate  float64
+	burst float64
+	max   int
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+func newBuckets(rate, burst float64, max int) buckets {
+	return buckets{rate: rate, burst: burst, max: max, m: make(map[string]*bucket)}
+}
+
+// allow reports whether campaign is within its fair share at monotonic
+// time now, consuming one token when it is.
+func (bs *buckets) allow(now time.Duration, campaign string) bool {
+	b, ok := bs.m[campaign]
+	if !ok {
+		if len(bs.m) >= bs.max {
+			// Table full: fail open rather than starving late arrivals.
+			return true
+		}
+		b = &bucket{tokens: bs.burst, last: now}
+		bs.m[campaign] = b
+	}
+	b.tokens += bs.rate * (now - b.last).Seconds()
+	if b.tokens > bs.burst {
+		b.tokens = bs.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

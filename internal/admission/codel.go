@@ -1,0 +1,37 @@
+package admission
+
+import "time"
+
+// codel is the queue-delay overload detector, after the CoDel AQM
+// control law (Nichols & Jacobson): transient bursts are fine, but
+// queue wait above target sustained for a full interval means the
+// standing queue is not draining — the service is overloaded and must
+// shed. The detector observes the wait of every dequeued request and
+// latches overloaded until the wait drops back below target.
+type codel struct {
+	target   time.Duration
+	interval time.Duration
+
+	// armed is set while waits are above target; aboveUntil is the
+	// deadline after which sustained excess latches overloaded.
+	armed      bool
+	aboveUntil time.Duration
+	overloaded bool
+}
+
+// observe feeds one dequeue's queue wait at monotonic time now.
+func (d *codel) observe(now, wait time.Duration) {
+	if wait < d.target {
+		d.armed = false
+		d.overloaded = false
+		return
+	}
+	if !d.armed {
+		d.armed = true
+		d.aboveUntil = now + d.interval
+		return
+	}
+	if now >= d.aboveUntil {
+		d.overloaded = true
+	}
+}

@@ -1,0 +1,212 @@
+package admission
+
+// This file is the package's one wall-clock edge: RetryPolicy's default
+// Sleep seam is time.Sleep, so clients block real time between
+// attempts. Everything else in the package takes time as a parameter.
+// internal/admission/retry.go is file-scoped on the crowdlint
+// no-wall-clock allowlist; tests and the chaos suite inject a no-op
+// Sleep and stay deterministic.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/mathx"
+)
+
+// retryableError marks a wrapped error as safe to retry, optionally
+// carrying the server's Retry-After hint. The sentinel chain is
+// preserved through Unwrap so errors.Is keeps matching.
+type retryableError struct {
+	err   error
+	after time.Duration
+	hint  bool
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Retryable implements the marker interface IsRetryable looks for.
+func (e *retryableError) Retryable() bool { return true }
+
+// RetryAfterHint implements the hint interface RetryAfterHint looks for.
+func (e *retryableError) RetryAfterHint() (time.Duration, bool) { return e.after, e.hint }
+
+// MarkRetryable wraps err as retryable: the request was shed by
+// backpressure or shutdown draining, not failed, and a retry (against
+// this replica later, or another replica now) can succeed.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// MarkRetryableAfter wraps err as retryable with a server-derived
+// Retry-After hint.
+func MarkRetryableAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err, after: after, hint: true}
+}
+
+// IsRetryable reports whether any error in the chain is marked
+// retryable (the Retryable() bool marker interface).
+func IsRetryable(err error) bool {
+	var m interface{ Retryable() bool }
+	return errors.As(err, &m) && m.Retryable()
+}
+
+// RetryAfterHint extracts the server's Retry-After hint from the error
+// chain, if one was attached.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var h interface{ RetryAfterHint() (time.Duration, bool) }
+	if errors.As(err, &h) {
+		return h.RetryAfterHint()
+	}
+	return 0, false
+}
+
+// ErrBudgetExhausted wraps the last attempt's error when the shared
+// retry budget refused a retry — the storm-prevention signal.
+var ErrBudgetExhausted = errors.New("admission: retry budget exhausted")
+
+// Budget is a token bucket shared across a fleet of retrying clients:
+// every first attempt earns Ratio tokens (capped at Cap) and every
+// retry spends one, bounding the fleet-wide retry amplification to
+// 1+Ratio even when a shed causes every client to want a retry at once.
+type Budget struct {
+	mu     sync.Mutex
+	ratio  float64
+	cap    float64
+	tokens float64
+}
+
+// NewBudget builds a budget earning ratio tokens per first attempt and
+// holding at most cap; non-positive arguments default to ratio 0.1 and
+// cap 10. The budget starts full so a cold fleet can absorb one shed.
+func NewBudget(ratio, cap float64) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if cap <= 0 {
+		cap = 10
+	}
+	return &Budget{ratio: ratio, cap: cap, tokens: cap}
+}
+
+// earn credits one first attempt.
+func (b *Budget) earn() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// spend consumes one retry token, reporting false when none remain.
+func (b *Budget) spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// RetryPolicy drives a client's retries against a shedding service:
+// capped seeded jittered exponential backoff, Retry-After honoring, an
+// attempt cap, and an optional shared Budget.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts including the first (default 4).
+	MaxAttempts int
+	// Base/Factor/Max/Jitter parameterise the mathx backoff curve
+	// (defaults 100ms, 2, 5s, 0.5).
+	Base   time.Duration
+	Factor float64
+	Max    time.Duration
+	Jitter float64
+	// Seed drives the jitter stream so concurrent clients with distinct
+	// seeds de-synchronise instead of retrying in lockstep.
+	Seed int64
+	// Budget, when non-nil, is consulted before every retry.
+	Budget *Budget
+	// Sleep is the wait seam (default time.Sleep).
+	Sleep func(time.Duration)
+	// Classify reports whether an error is worth retrying (default
+	// IsRetryable).
+	Classify func(error) bool
+}
+
+// Do runs op until it succeeds, fails terminally, exhausts the attempt
+// cap or the budget, or ctx is done. Between attempts it sleeps the
+// longer of the backoff schedule and the server's Retry-After hint.
+func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := p.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	factor := p.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	max := p.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = IsRetryable
+	}
+	backoff := mathx.NewBackoff(base, factor, max, jitter, p.Seed)
+
+	p.Budget.earn()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", cerr, attempt-1, err)
+			}
+			return cerr
+		}
+		err = op(ctx)
+		if err == nil || !classify(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("admission: %d attempts exhausted: %w", attempts, err)
+		}
+		if !p.Budget.spend() {
+			return fmt.Errorf("%w: %v", ErrBudgetExhausted, err)
+		}
+		delay := backoff.Next()
+		if after, ok := RetryAfterHint(err); ok && after > delay {
+			delay = after
+		}
+		sleep(delay)
+	}
+}

@@ -1,0 +1,177 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errShed = errors.New("shed")
+
+func TestMarkRetryable(t *testing.T) {
+	if IsRetryable(errShed) {
+		t.Fatal("plain error classified retryable")
+	}
+	err := MarkRetryableAfter(errShed, 3*time.Second)
+	if !IsRetryable(err) {
+		t.Fatal("marked error not classified retryable")
+	}
+	if !errors.Is(err, errShed) {
+		t.Fatal("marking broke the sentinel chain")
+	}
+	after, ok := RetryAfterHint(err)
+	if !ok || after != 3*time.Second {
+		t.Fatalf("hint %v/%v, want 3s/true", after, ok)
+	}
+	if _, ok := RetryAfterHint(MarkRetryable(errShed)); ok {
+		t.Fatal("hint reported without one attached")
+	}
+	if MarkRetryable(nil) != nil || MarkRetryableAfter(nil, time.Second) != nil {
+		t.Fatal("marking nil produced an error")
+	}
+}
+
+func TestRetrySucceedsAfterSheds(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Seed:        1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return MarkRetryable(errShed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls %d slept %d, want 3 and 2", calls, len(slept))
+	}
+	// Capped jittered exponential growth: the second delay draws from a
+	// doubled base; both stay positive and under the cap.
+	for i, d := range slept {
+		if d <= 0 || d > 5*time.Second {
+			t.Fatalf("delay %d = %v outside (0, 5s]", i, d)
+		}
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 2, Seed: 1, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return MarkRetryableAfter(errShed, 7*time.Second)
+		}
+		return nil
+	})
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want the 7s Retry-After to dominate the backoff draw", slept)
+	}
+}
+
+func TestRetryStopsOnTerminalError(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{Sleep: func(time.Duration) {}}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errShed // not marked retryable
+	})
+	if !errors.Is(err, errShed) || calls != 1 {
+		t.Fatalf("err %v calls %d, want terminal error after one call", err, calls)
+	}
+}
+
+func TestRetryAttemptCap(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return MarkRetryable(errShed)
+	})
+	if calls != 3 {
+		t.Fatalf("calls %d, want exactly MaxAttempts", calls)
+	}
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err %v lost the cause", err)
+	}
+}
+
+// TestRetryBudgetBoundsStorm: a fleet of synchronized clients against a
+// hard-down service spends the shared budget once; total attempts stay
+// near one per client instead of MaxAttempts per client.
+func TestRetryBudgetBoundsStorm(t *testing.T) {
+	budget := NewBudget(0.1, 5)
+	const clients = 100
+	attempts := 0
+	for i := 0; i < clients; i++ {
+		p := RetryPolicy{
+			MaxAttempts: 4,
+			Seed:        int64(i),
+			Budget:      budget,
+			Sleep:       func(time.Duration) {},
+		}
+		err := p.Do(context.Background(), func(context.Context) error {
+			attempts++
+			return MarkRetryable(errShed)
+		})
+		if !IsRetryable(err) && !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("client %d: err %v, want retryable or budget-exhausted", i, err)
+		}
+	}
+	// 100 first attempts earn 10 tokens; plus the initial 5 in the
+	// bucket, at most 15 retries may happen.
+	if max := clients + 15; attempts > max {
+		t.Fatalf("attempts %d, want <= %d (budget must bound the storm)", attempts, max)
+	}
+	if attempts <= clients {
+		t.Fatalf("attempts %d, want some retries to have spent the budget", attempts)
+	}
+}
+
+func TestRetryContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := RetryPolicy{
+		MaxAttempts: 10,
+		Sleep:       func(time.Duration) { cancel() },
+	}
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return MarkRetryable(errShed)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls %d, want 1 (cancellation during backoff stops the loop)", calls)
+	}
+}
+
+// TestRetryDeterministicDelays: the same seed replays the same delay
+// schedule.
+func TestRetryDeterministicDelays(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		p := RetryPolicy{MaxAttempts: 6, Seed: 42, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+		_ = p.Do(context.Background(), func(context.Context) error { return MarkRetryable(errShed) })
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delay counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
@@ -86,7 +89,45 @@ type Scenario struct {
 	// Pipelined scenarios support panic kills only (no stalls, no store
 	// faults) and assert the same invariants via Check.
 	Pipelined bool
+	// Overload, when non-nil, enables the fleet-wide admission controller
+	// (tight limits) and fires bursts of concurrent assessments at a
+	// dedicated "burst" campaign while the scripted campaigns run. The
+	// scenario then additionally asserts that shedding actually happened,
+	// that every burst failure was marked retryable, and that the burst
+	// target shed load without tripping supervision (zero restarts). The
+	// burst campaign is excluded from the committed-cycle and
+	// byte-equivalence invariants. Supervised scenarios only.
+	Overload *OverloadPlan
 }
+
+// OverloadPlan scripts the overload arm of a scenario.
+type OverloadPlan struct {
+	// Burst is the number of concurrent requests fired per round.
+	Burst int
+	// Rounds repeats the burst back-to-back.
+	Rounds int
+	// Retry drives every burst client through admission.RetryPolicy with
+	// a shared retry Budget and a no-op sleep — the retry-storm arm.
+	// False fires each request exactly once.
+	Retry bool
+}
+
+// overloadAdmission is the deliberately tight controller configuration
+// overload scenarios run under, so a modest burst reliably walks the
+// whole shedding ladder (admit → degrade → reject).
+func overloadAdmission() *admission.Config {
+	return &admission.Config{
+		Target:       time.Millisecond,
+		MinLimit:     1,
+		MaxLimit:     8,
+		InitialLimit: 2,
+	}
+}
+
+// overloadRejectBackstop bounds a scripted driver's shed-rejection spin
+// during bursts. It is a livelock backstop, not an invariant: rejections
+// are retryable by design and the driver yields between attempts.
+const overloadRejectBackstop = 1 << 20
 
 // storeFaultsEnabled mirrors store's unexported enabled check.
 func storeFaultsEnabled(c store.FaultConfig) bool {
@@ -238,6 +279,12 @@ type CampaignResult struct {
 	// PanicsFired / StallsFired are the script's kill tallies.
 	PanicsFired int
 	StallsFired int
+	// ShedResults counts driver assessments served on the admission
+	// degrade tier (overload scenarios; sheds commit no cycle).
+	ShedResults int
+	// OverloadRejects counts retryable admission rejections the driver
+	// absorbed while the fleet was shedding (overload scenarios).
+	OverloadRejects int
 	// AssessErrors are the per-attempt failures the driver observed.
 	AssessErrors []string
 }
@@ -246,10 +293,34 @@ type CampaignResult struct {
 type Result struct {
 	Scenario  Scenario
 	Campaigns []CampaignResult
+	// Overload is the burst arm's outcome (scenarios with an
+	// OverloadPlan).
+	Overload *OverloadResult
 	// Metrics is the registry's Prometheus rendering after the run.
 	Metrics string
 	// Err is a fatal harness error (scenario could not be driven).
 	Err error
+}
+
+// OverloadResult is what the burst clients observed.
+type OverloadResult struct {
+	// Requests is the number of burst clients (terminal outcomes).
+	Requests int
+	// FullCycles / Shed count successful responses by tier.
+	FullCycles int
+	Shed       int
+	// Rejected counts clients that ended with a retryable failure.
+	Rejected int
+	// BudgetDenied counts clients stopped by the shared retry budget
+	// (Retry arm only — the storm-amplification bound at work).
+	BudgetDenied int
+	// Attempts totals Assess invocations across all clients and retries.
+	Attempts int
+	// NonRetryable lists failures that were neither a success nor marked
+	// retryable nor budget-bounded — always an invariant violation.
+	NonRetryable []string
+	// BurstHealth is the burst campaign's final health snapshot.
+	BurstHealth supervise.CampaignHealth
 }
 
 // Runner drives scenarios against one shared laboratory environment.
@@ -292,11 +363,15 @@ func (r *Runner) Run(sc Scenario, dir string) *Result {
 	}
 
 	reg := obs.NewRegistry()
-	sup := supervise.New(supervise.Options{
+	supOpts := supervise.Options{
 		Logger:  logger,
 		Metrics: reg,
 		Sleep:   func(time.Duration) {}, // backoff delays are asserted, not slept
-	})
+	}
+	if sc.Overload != nil {
+		supOpts.Admission = overloadAdmission()
+	}
+	sup := supervise.New(supOpts)
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -365,6 +440,35 @@ func (r *Runner) Run(sc Scenario, dir string) *Result {
 		})
 	}
 
+	// The overload arm gets its own campaign so burst traffic (and the
+	// cycles it does commit) never perturbs the scripted campaigns'
+	// committed-cycle and byte-equivalence invariants.
+	if sc.Overload != nil {
+		seed := sc.Seed*1000 + 999
+		burstImages := r.Env.Dataset.Test[need:]
+		if len(burstImages) == 0 {
+			burstImages = r.Env.Dataset.Test
+		}
+		_, err := sup.Create(supervise.Spec{
+			ID:              "burst",
+			StateDir:        fmt.Sprintf("%s/burst", dir),
+			CheckpointEvery: 2,
+			TrainSamples:    train,
+			Registry:        r.Env.Dataset.Test,
+			Restart:         defaultRestart(seed + 1),
+			Breaker:         &supervise.BreakerConfig{Seed: seed + 2},
+			Build: func(bc supervise.BuildContext) (core.Scheme, error) {
+				return r.Env.NewSystemOn(bc.WrapPlatform(r.Env.NewPlatform()), func(cfg *core.Config) {
+					cfg.Journal = bc.Journal
+				})
+			},
+		})
+		if err != nil {
+			res.Err = fmt.Errorf("chaos: create burst campaign: %w", err)
+			return res
+		}
+	}
+
 	// Drive all campaigns concurrently: isolation failures (one
 	// campaign's restart corrupting another) only surface under
 	// concurrent load.
@@ -376,6 +480,17 @@ func (r *Runner) Run(sc Scenario, dir string) *Result {
 		supervise.Go("chaos.driver."+cr.id, logger, func() {
 			defer wg.Done()
 			results[i] = r.driveCampaign(sup, sc, i, cr.id, cr.script, cr.images, perCycle)
+		})
+	}
+	if sc.Overload != nil {
+		wg.Add(1)
+		supervise.Go("chaos.burst", logger, func() {
+			defer wg.Done()
+			burstImages := r.Env.Dataset.Test[need:]
+			if len(burstImages) == 0 {
+				burstImages = r.Env.Dataset.Test
+			}
+			res.Overload = r.driveBurst(sup, sc, logger, burstImages)
 		})
 	}
 	wg.Wait()
@@ -457,14 +572,33 @@ func (r *Runner) driveCampaign(sup *supervise.Supervisor, sc Scenario, idx int, 
 					fmt.Sprintf("cycle index skew: asked %d, ran %d", cycle, res.Cycle))
 				break
 			}
+			if res.Shed {
+				// Served on the degrade tier: usable labels, no committed
+				// cycle. Try the same cycle again once pressure eases.
+				cres.ShedResults++
+				continue
+			}
 			attempts = 0
 			continue
 		}
-		cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf("cycle %d: %v", cycle, err))
 		if errors.Is(err, supervise.ErrQuarantined) {
+			cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf("cycle %d: %v", cycle, err))
 			cres.Quarantined = true
 			break
 		}
+		if admission.IsRetryable(err) {
+			// Fleet-wide shedding, not a campaign failure: yield and retry
+			// until the burst drains (counted, with a livelock backstop).
+			cres.OverloadRejects++
+			if cres.OverloadRejects > overloadRejectBackstop {
+				cres.AssessErrors = append(cres.AssessErrors,
+					fmt.Sprintf("cycle %d: gave up after %d shed rejections", cycle, cres.OverloadRejects))
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		cres.AssessErrors = append(cres.AssessErrors, fmt.Sprintf("cycle %d: %v", cycle, err))
 		attempts++
 		if attempts > sc.maxAttempts(idx) {
 			cres.AssessErrors = append(cres.AssessErrors,
@@ -474,6 +608,77 @@ func (r *Runner) driveCampaign(sup *supervise.Supervisor, sc Scenario, idx int, 
 	}
 	cres.PanicsFired, cres.StallsFired = script.Fired()
 	return cres
+}
+
+// driveBurst fires the overload plan at the dedicated burst campaign:
+// Rounds waves of Burst concurrent assessments, optionally retried
+// through a shared-budget RetryPolicy. Every terminal outcome is
+// classified; anything that is neither success, retryable, nor
+// budget-bounded lands in NonRetryable and fails the scenario.
+func (r *Runner) driveBurst(sup *supervise.Supervisor, sc Scenario, logger *slog.Logger, images []*imagery.Image) *OverloadResult {
+	ov := sc.Overload
+	ores := &OverloadResult{}
+	var mu sync.Mutex
+	var attempts int64
+	// One budget across the whole fleet of burst clients: the
+	// storm-prevention bound under test in the Retry arm.
+	budget := admission.NewBudget(0.5, 4)
+	for round := 0; round < ov.Rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < ov.Burst; c++ {
+			idx := round*ov.Burst + c
+			wg.Add(1)
+			supervise.Go(fmt.Sprintf("chaos.burst.%d", idx), logger, func() {
+				defer wg.Done()
+				im := images[idx%len(images)]
+				op := func(ctx context.Context) error {
+					atomic.AddInt64(&attempts, 1)
+					ares, err := sup.Assess(ctx, "burst", crowd.Morning, []*imagery.Image{im})
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					if ares.Shed {
+						ores.Shed++
+					} else {
+						ores.FullCycles++
+					}
+					mu.Unlock()
+					return nil
+				}
+				var err error
+				if ov.Retry {
+					p := admission.RetryPolicy{
+						MaxAttempts: 3,
+						Seed:        sc.Seed*10000 + int64(idx),
+						Budget:      budget,
+						Sleep:       func(time.Duration) {}, // retries are data, not wall time
+					}
+					err = p.Do(context.Background(), op)
+				} else {
+					err = op(context.Background())
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				ores.Requests++
+				switch {
+				case err == nil:
+				case errors.Is(err, admission.ErrBudgetExhausted):
+					ores.BudgetDenied++
+				case admission.IsRetryable(err):
+					ores.Rejected++
+				default:
+					ores.NonRetryable = append(ores.NonRetryable, err.Error())
+				}
+			})
+		}
+		wg.Wait()
+	}
+	ores.Attempts = int(atomic.LoadInt64(&attempts))
+	if h, err := sup.CampaignHealth("burst"); err == nil {
+		ores.BurstHealth = h
+	}
+	return ores
 }
 
 // referenceState runs the uninterrupted arm: same seeds, same breaker,
@@ -751,6 +956,44 @@ func (res *Result) Check() []string {
 		if !strings.Contains(res.Metrics, needle) {
 			problems = append(problems, fmt.Sprintf("campaign %s: no closed→open breaker transition in /metrics", id))
 		}
+	}
+	if sc.Overload != nil {
+		problems = append(problems, res.checkOverload()...)
+	}
+	return problems
+}
+
+// checkOverload verifies the overload-arm invariants: shedding happened,
+// every burst failure stayed retryable, the burst target absorbed the
+// storm without tripping supervision, and the shedding is observable in
+// the fleet metrics.
+func (res *Result) checkOverload() []string {
+	var problems []string
+	o := res.Overload
+	if o == nil {
+		return []string{"overload: no burst result recorded"}
+	}
+	if want := res.Scenario.Overload.Burst * res.Scenario.Overload.Rounds; o.Requests != want {
+		problems = append(problems, fmt.Sprintf("overload: %d of %d burst clients reached a terminal outcome", o.Requests, want))
+	}
+	if len(o.NonRetryable) > 0 {
+		problems = append(problems, fmt.Sprintf("overload: %d non-retryable burst failures (first: %s)",
+			len(o.NonRetryable), o.NonRetryable[0]))
+	}
+	if o.Shed == 0 && o.Rejected == 0 && o.BudgetDenied == 0 {
+		problems = append(problems, "overload: burst never shed or rejected — the overload never materialised")
+	}
+	if o.BurstHealth.TotalRestarts != 0 {
+		problems = append(problems, fmt.Sprintf("overload: burst campaign restarted %d times — shedding must not trip supervision",
+			o.BurstHealth.TotalRestarts))
+	}
+	if res.Scenario.Overload.Retry && o.Attempts <= o.Requests {
+		problems = append(problems, fmt.Sprintf("overload: retry arm performed no retries (%d attempts for %d clients)",
+			o.Attempts, o.Requests))
+	}
+	needle := fmt.Sprintf("%s{campaign=\"burst\",decision=\"degrade\"}", supervise.MetricCampaignAdmission)
+	if !strings.Contains(res.Metrics, needle) {
+		problems = append(problems, "overload: no degrade decision for the burst campaign in /metrics")
 	}
 	return problems
 }

@@ -157,5 +157,30 @@ func Catalog() []Scenario {
 			Name: "pipelined-commit-kill", Seed: 35, Cycles: 5, Pipelined: true,
 			Campaigns: []CampaignPlan{{PanicAt: []int{3}}, clean},
 		},
+		{
+			// Fleet admission under a raw burst: 32 concurrent clients
+			// hammer a dedicated campaign while a scripted neighbour
+			// recovers from a panic. The ladder must degrade/reject
+			// instead of tripping supervision, and the survivors must
+			// stay byte-identical to the reference arm.
+			Name: "overload-burst", Seed: 36, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{2}},
+				clean,
+			},
+			Overload: &OverloadPlan{Burst: 16, Rounds: 2},
+		},
+		{
+			// Same storm, but every burst client retries through a
+			// shared retry budget. The budget — not luck — must bound
+			// the amplification, and shed rejections must stay
+			// retryable end to end.
+			Name: "retry-storm", Seed: 37, Cycles: 4,
+			Campaigns: []CampaignPlan{
+				{PanicAt: []int{3}},
+				clean,
+			},
+			Overload: &OverloadPlan{Burst: 24, Rounds: 3, Retry: true},
+		},
 	}
 }

@@ -312,6 +312,9 @@ func (cl *CrowdLearn) beginCycle(in CycleInput, detach bool) (CycleOutput, *Cycl
 		return CycleOutput{}, nil, errors.New("core: CrowdLearn not bootstrapped")
 	}
 	ct := cl.cfg.Tracer.Begin(in.Index, in.Context.String())
+	for _, a := range in.Attrs {
+		ct.SetAttr(a.Key, a.Value)
+	}
 	// With a journal attached, wrap the platform so every crowd
 	// interaction of this cycle is captured for the durable record.
 	var recorder *recordingPlatform
@@ -398,6 +401,33 @@ func (cl *CrowdLearn) beginCycle(in CycleInput, detach bool) (CycleOutput, *Cycl
 		ct.End()
 		return nil
 	}}, nil
+}
+
+var _ DegradedAssessor = (*CrowdLearn)(nil)
+
+// AssessDegraded implements DegradedAssessor: the overload-shedding
+// fast path. It answers from the committee's current weighted vote
+// alone — no crowd round-trip, no QSS/IPD/CQC/MIC, no learning. It
+// must not mutate any system state, consume a cycle index, draw from a
+// seeded RNG stream, or write the journal: a degraded burst leaves the
+// campaign's committed cycle sequence and its replay byte-identical.
+func (cl *CrowdLearn) AssessDegraded(in CycleInput) (CycleOutput, error) {
+	if err := in.Validate(); err != nil {
+		return CycleOutput{}, err
+	}
+	if !cl.bootstrapped {
+		return CycleOutput{}, errors.New("core: CrowdLearn not bootstrapped")
+	}
+	out := CycleOutput{
+		Distributions: make([][]float64, len(in.Images)),
+		Degraded:      make([]int, len(in.Images)),
+	}
+	for i, im := range in.Images {
+		out.Distributions[i] = cl.committee.VoteInto(im, make([]float64, imagery.NumLabels))
+		out.Degraded[i] = i
+	}
+	out.AlgorithmDelay = time.Duration(len(in.Images)) * (cl.maxMemberCost + cl.cfg.CommitteeOverheadPerImage)
+	return out, nil
 }
 
 // voteGrain is the chunking cost hint for per-image committee voting:

@@ -24,6 +24,19 @@ type CycleInput struct {
 	Context crowd.TemporalContext
 	// Images are the cycle's unseen data samples.
 	Images []*imagery.Image
+	// Attrs are observational key/values the scheme attaches to the
+	// cycle trace's root span (the serving layer's campaign label and
+	// admission queue wait). Purely diagnostic: they never influence the
+	// cycle's computation and are not journaled, so replay is unaffected.
+	Attrs []TraceAttr
+}
+
+// TraceAttr is one key/value destined for the cycle trace's root span.
+// An ordered slice rather than a map so trace assembly never iterates
+// an unordered map.
+type TraceAttr struct {
+	Key   string
+	Value any
 }
 
 // Validate checks the input.
@@ -101,6 +114,22 @@ type Scheme interface {
 	RunCycle(in CycleInput) (CycleOutput, error)
 }
 
+// DegradedAssessor is the optional fast path a scheme may offer the
+// serving layer's overload-shedding ladder: assess one batch from the
+// AI models alone — no crowd round-trip, no learning, no committed
+// cycle index, no journal write — so a shed request still returns
+// usable labels at a fraction of a full sensing cycle's cost. Every
+// returned image index must appear in CycleOutput.Degraded, mirroring
+// the crowd-failure fallback of CycleOutput (the PR 2 degradation
+// semantics: the distribution is the weighted ensemble's AI verdict).
+//
+// Implementations must be safe to call from the same goroutine that
+// calls RunCycle (the service worker serialises both) and must not
+// mutate scheme state, so a degraded burst leaves replay byte-identical.
+type DegradedAssessor interface {
+	AssessDegraded(in CycleInput) (CycleOutput, error)
+}
+
 // AIOnly wraps a single expert (VGG16, BoVW, DDM or Ensemble) as a
 // crowd-free scheme — the paper's AI-only baselines.
 type AIOnly struct {
@@ -130,5 +159,23 @@ func (a *AIOnly) RunCycle(in CycleInput) (CycleOutput, error) {
 		out.Distributions[i] = a.expert.Predict(im)
 	}
 	out.AlgorithmDelay = time.Duration(len(in.Images)) * a.expert.PerImageCost()
+	return out, nil
+}
+
+var _ DegradedAssessor = (*AIOnly)(nil)
+
+// AssessDegraded implements DegradedAssessor. An AI-only scheme's
+// degraded tier is its normal cycle (there is no crowd to skip), with
+// every image marked Degraded so the serving layer's accounting sees
+// the shed.
+func (a *AIOnly) AssessDegraded(in CycleInput) (CycleOutput, error) {
+	out, err := a.RunCycle(in)
+	if err != nil {
+		return out, err
+	}
+	out.Degraded = make([]int, len(in.Images))
+	for i := range in.Images {
+		out.Degraded[i] = i
+	}
 	return out, nil
 }

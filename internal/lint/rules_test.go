@@ -163,6 +163,9 @@ func TestWallClockDefaultAllowlist(t *testing.T) {
 		"internal/supervise": true,
 		"internal/core":      false,
 		"internal/parallel":  false,
+		// The admission controller must stay clockless; only its
+		// retry.go edge is allowed (see TestWallClockFileScope).
+		"internal/admission": false,
 	} {
 		pkg := loadFixture(t, "wallclock")
 		pkg.RelPath = rel
@@ -173,6 +176,31 @@ func TestWallClockDefaultAllowlist(t *testing.T) {
 		if !wantClean && len(got) == 0 {
 			t.Errorf("%s: expected findings outside the allowlist, got none", rel)
 		}
+	}
+}
+
+// TestWallClockFileScope verifies the rule's file-granular allowlist:
+// a ".go" entry clears exactly that file's wall-clock reads while the
+// rest of the package stays checked — the shape of the
+// internal/admission/retry.go default entry, where the retry helper's
+// Sleep seam is the package's one legal clocked edge.
+func TestWallClockFileScope(t *testing.T) {
+	pkg := loadFixture(t, "wallclock")
+	pkg.RelPath = "internal/admission"
+	pkg.Files[0].Name = "internal/admission/retry.go"
+	allowed := NewWallClock([]string{"internal/admission/retry.go"})
+	got := allowed.Check(pkg)
+	if len(got) == 0 {
+		t.Fatal("file-scoped allowlist silenced the whole package")
+	}
+	for _, d := range got {
+		if filepath.Base(d.Pos.Filename) == "alias.go" {
+			t.Fatalf("allowlisted file still reported: %v", d)
+		}
+	}
+	// The default allowlist behaves identically for the real entry.
+	if got := NewWallClock(nil).Check(pkg); len(got) == 0 {
+		t.Fatal("default allowlist silenced the non-retry files of internal/admission")
 	}
 }
 

@@ -156,6 +156,17 @@ func (c *CycleTrace) Span(name string) *Span {
 	return c.Root.Child(name)
 }
 
+// SetAttr attaches an attribute to the cycle's root span — the seam
+// core.CycleInput.Attrs flows through, so request-level context (the
+// owning campaign, the admission queue wait) lands on the cycle trace
+// while it is still open. Must not be called after End. Nil-safe.
+func (c *CycleTrace) SetAttr(key string, value any) {
+	if c == nil {
+		return
+	}
+	c.Root.SetAttr(key, value)
+}
+
 // Fail records a cycle-level error on the root span. Nil-safe.
 func (c *CycleTrace) Fail(err error) {
 	if c == nil || err == nil {

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
 	"github.com/crowdlearn/crowdlearn/internal/supervise"
@@ -165,7 +166,9 @@ func writeSupError(w http.ResponseWriter, err error) {
 	case errors.Is(err, supervise.ErrUnknownCampaign):
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, supervise.ErrBusy):
-		w.Header().Set("Retry-After", "1")
+		// Dynamic Retry-After: the admission controller's backlog-drain
+		// estimate rides the error as a hint ("1" without one).
+		w.Header().Set("Retry-After", retryAfterSeconds(err))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, supervise.ErrPaused),
 		errors.Is(err, supervise.ErrQuarantined),
@@ -219,6 +222,9 @@ func (h *CampaignHandler) handleCreate(w http.ResponseWriter, r *http.Request) {
 // CampaignListResponse is the JSON body of GET /campaigns and /stats.
 type CampaignListResponse struct {
 	Campaigns []supervise.CampaignHealth `json:"campaigns"`
+	// Admission is the fleet overload controller's live state; nil when
+	// admission control is disabled.
+	Admission *admission.Snapshot `json:"admission,omitempty"`
 }
 
 func (h *CampaignHandler) handleList(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +312,7 @@ func campaignResponse(res supervise.AssessResult, images []*imagery.Image) Respo
 		QueriedImageIDs:       ids,
 		Requeries:             out.Requeries,
 		RefundedDollars:       out.RefundedDollars,
+		Shed:                  res.Shed,
 	}
 	if len(degradedIDs) > 0 {
 		resp.DegradedImageIDs = degradedIDs
@@ -350,7 +357,10 @@ func (h *CampaignHandler) handleHealthz(w http.ResponseWriter, r *http.Request) 
 }
 
 func (h *CampaignHandler) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, CampaignListResponse{Campaigns: h.sup.Health()})
+	writeJSON(w, http.StatusOK, CampaignListResponse{
+		Campaigns: h.sup.Health(),
+		Admission: h.sup.Admission(),
+	})
 }
 
 func (h *CampaignHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {

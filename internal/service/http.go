@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/obs"
@@ -166,6 +167,9 @@ type AssessRequest struct {
 	Context string `json:"context"`
 	// ImageIDs reference registered images.
 	ImageIDs []int `json:"imageIds"`
+	// Campaign optionally identifies the submitting campaign for the
+	// admission controller's fair-share accounting.
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -179,6 +183,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Encoding errors after the header is written can only be logged by
 	// the caller's middleware; the body is best-effort at that point.
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds renders a backpressure error's Retry-After hint as
+// whole seconds, rounded up with a floor of 1 — the historical static
+// value when no hint is attached.
+func retryAfterSeconds(err error) string {
+	after, ok := admission.RetryAfterHint(err)
+	if !ok || after < time.Second {
+		return "1"
+	}
+	return strconv.Itoa(int((after + time.Second - 1) / time.Second))
 }
 
 func parseContext(name string) (crowd.TemporalContext, error) {
@@ -218,9 +233,9 @@ func (h *Handler) handleAssess(w http.ResponseWriter, r *http.Request) {
 		}
 		images[i] = im
 	}
-	resp, err := h.svc.Assess(r.Context(), Request{Context: ctx, Images: images})
-	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", "1")
+	resp, err := h.svc.Assess(r.Context(), Request{Context: ctx, Images: images, Campaign: req.Campaign})
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverloaded) {
+		w.Header().Set("Retry-After", retryAfterSeconds(err))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	}

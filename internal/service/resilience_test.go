@@ -8,9 +8,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
@@ -18,16 +20,24 @@ import (
 )
 
 // stubScheme is a controllable scheme for resilience tests: it can block
-// until released, panic on demand, and report degraded images.
+// until released, panic on demand, report degraded images, and count
+// full-cycle vs shed-tier executions for double-send assertions.
 type stubScheme struct {
 	block    chan struct{} // when non-nil, RunCycle waits for a receive
+	entered  chan struct{} // when non-nil, RunCycle signals entry
 	panics   int32         // remaining cycles that panic
 	degraded bool          // mark every input image degraded
+	cycles   int32         // atomic: RunCycle executions
+	sheds    int32         // atomic: AssessDegraded executions
 }
 
 func (s *stubScheme) Name() string { return "stub" }
 
 func (s *stubScheme) RunCycle(in core.CycleInput) (core.CycleOutput, error) {
+	atomic.AddInt32(&s.cycles, 1)
+	if s.entered != nil {
+		s.entered <- struct{}{}
+	}
 	if s.block != nil {
 		<-s.block
 	}
@@ -44,6 +54,21 @@ func (s *stubScheme) RunCycle(in core.CycleInput) (core.CycleOutput, error) {
 		for i := range in.Images {
 			out.Degraded = append(out.Degraded, i)
 		}
+	}
+	return out, nil
+}
+
+// AssessDegraded is the stub's AI-only shed tier.
+func (s *stubScheme) AssessDegraded(in core.CycleInput) (core.CycleOutput, error) {
+	atomic.AddInt32(&s.sheds, 1)
+	out := core.CycleOutput{
+		Distributions: make([][]float64, len(in.Images)),
+		Degraded:      make([]int, len(in.Images)),
+	}
+	for i := range out.Distributions {
+		out.Distributions[i] = make([]float64, imagery.NumLabels)
+		out.Distributions[i][0] = 1
+		out.Degraded[i] = i
 	}
 	return out, nil
 }
@@ -354,5 +379,234 @@ func TestHTTPQueueFullMapsTo429(t *testing.T) {
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAdmissionLadderShedsAndRejects: with the controller saturated, a
+// request lands on the degrade tier (AI-only labels, no committed
+// cycle) and one past the hard cap is rejected with a retryable
+// ErrOverloaded carrying a Retry-After hint.
+func TestAdmissionLadderShedsAndRejects(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{}), entered: make(chan struct{})}
+	reg := obs.NewRegistry()
+	svc, err := New(scheme,
+		WithMetrics(reg),
+		WithAdmission(admission.Config{MinLimit: 1, MaxLimit: 2, InitialLimit: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	type result struct {
+		resp Response
+		err  error
+	}
+	results := make(chan result, 2)
+	submit := func() {
+		resp, err := svc.Assess(context.Background(), oneImageRequest(ds))
+		results <- result{resp, err}
+	}
+
+	go submit()      // admitted: occupies the worker inside RunCycle
+	<-scheme.entered // worker is provably inside the blocked cycle
+	go submit()      // inflight >= limit: lands on the degrade tier
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Admission.Inflight != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := svc.Stats().Admission.Inflight; got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+
+	// Third arrival is past MaxLimit: rejected, retryable, with a hint.
+	_, err = svc.Assess(context.Background(), oneImageRequest(ds))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated Assess err %v, want ErrOverloaded", err)
+	}
+	if !admission.IsRetryable(err) {
+		t.Error("rejection not marked retryable")
+	}
+	if after, ok := admission.RetryAfterHint(err); !ok || after < time.Second {
+		t.Errorf("Retry-After hint %v ok=%v, want >= 1s", after, ok)
+	}
+
+	close(scheme.block)
+	var full, shed *result
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("held request failed: %v", r.err)
+		}
+		if r.resp.Shed {
+			shed = &r
+		} else {
+			full = &r
+		}
+	}
+	if full == nil || shed == nil {
+		t.Fatal("expected one full-cycle and one shed response")
+	}
+	if got := shed.resp.Assessments[0].Source; got != "ai" {
+		t.Errorf("shed response source %q, want ai", got)
+	}
+	if len(shed.resp.DegradedImageIDs) != 1 {
+		t.Errorf("shed response degraded IDs %v, want one", shed.resp.DegradedImageIDs)
+	}
+	// The shed response repeated the next uncommitted index instead of
+	// consuming a cycle: exactly one cycle committed, one shed served.
+	stats := svc.Stats()
+	if stats.CyclesRun != 1 || stats.ShedResponses != 1 {
+		t.Errorf("cyclesRun=%d shedResponses=%d, want 1/1", stats.CyclesRun, stats.ShedResponses)
+	}
+	if got := atomic.LoadInt32(&scheme.sheds); got != 1 {
+		t.Errorf("AssessDegraded ran %d times, want 1", got)
+	}
+	snap := stats.Admission
+	if snap.Admitted != 1 || snap.Degraded != 1 || snap.Rejected != 1 {
+		t.Errorf("snapshot admitted=%d degraded=%d rejected=%d, want 1/1/1",
+			snap.Admitted, snap.Degraded, snap.Rejected)
+	}
+	if got := reg.Counter(MetricAdmissionDecisions, "decision", "reject").Value(); got != 1 {
+		t.Errorf("reject decision counter %v, want 1", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryAfterSecondsRendering: the 429 Retry-After header is derived
+// from the error's drain-rate hint — integer seconds, rounded up, with
+// a 1s floor for unhinted or sub-second values.
+func TestRetryAfterSecondsRendering(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{errors.New("no hint"), "1"},
+		{admission.MarkRetryableAfter(errors.New("sub-second"), 200*time.Millisecond), "1"},
+		{admission.MarkRetryableAfter(errors.New("rounds up"), 6500*time.Millisecond), "7"},
+		{admission.MarkRetryableAfter(errors.New("exact"), 3*time.Second), "3"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.err); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestHTTPOverloadRetryAfter: an admission rejection surfaces over HTTP
+// as 429 with a Retry-After derived from the controller's drain
+// estimate (a parseable positive integer, not a hardcoded constant).
+func TestHTTPOverloadRetryAfter(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{}), entered: make(chan struct{})}
+	svc, err := New(scheme,
+		WithAdmission(admission.Config{MinLimit: 1, MaxLimit: 1, InitialLimit: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	h, err := NewHandler(svc, ds.Test[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func() *http.Response {
+		body := strings.NewReader(`{"context":"morning","imageIds":[` + strconv.Itoa(ds.Test[0].ID) + `]}`)
+		hr, err := http.Post(srv.URL+"/assess", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+	done := make(chan *http.Response, 1)
+	go func() { done <- post() }() // occupies the worker
+	<-scheme.entered
+
+	hr := post()
+	readAll(t, hr)
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", hr.StatusCode)
+	}
+	secs, err := strconv.Atoi(hr.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want integer seconds >= 1", hr.Header.Get("Retry-After"))
+	}
+
+	close(scheme.block)
+	readAll(t, <-done)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownRetryRace: retrying clients racing Shutdown — including
+// requests drained out of the queue by the exiting worker — always
+// terminate, every failure is classified retryable, and the number of
+// scheme executions equals the number of successful replies (no request
+// is ever served twice or dropped after being served). Run with -race.
+func TestShutdownRetryRace(t *testing.T) {
+	_, ds := fixture(t)
+	scheme := &stubScheme{block: make(chan struct{})}
+	svc, err := New(scheme, WithQueueDepth(8), WithAdmission(admission.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	const clients = 24
+	var wg sync.WaitGroup
+	var successes int32
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			p := admission.RetryPolicy{Seed: seed, Sleep: func(time.Duration) {}}
+			err := p.Do(context.Background(), func(ctx context.Context) error {
+				_, err := svc.Assess(ctx, oneImageRequest(ds))
+				return err
+			})
+			if err == nil {
+				atomic.AddInt32(&successes, 1)
+			}
+			errs <- err
+		}(int64(i))
+	}
+
+	// Hold the worker until requests are provably parked in the queue, so
+	// Shutdown's drain path is exercised, then release the cycle.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.requests) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- svc.Shutdown(ctx) }()
+	close(scheme.block)
+	if err := <-shutdownErr; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+
+	for err := range errs {
+		if err != nil && !admission.IsRetryable(err) {
+			t.Errorf("non-retryable failure under shutdown: %v", err)
+		}
+	}
+	served := atomic.LoadInt32(&scheme.cycles) + atomic.LoadInt32(&scheme.sheds)
+	if served != atomic.LoadInt32(&successes) {
+		t.Errorf("scheme served %d requests but %d callers succeeded (double-send or dropped reply)",
+			served, atomic.LoadInt32(&successes))
 	}
 }

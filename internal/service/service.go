@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
@@ -46,6 +47,10 @@ type Request struct {
 	Context crowd.TemporalContext
 	// Images are the batch's images.
 	Images []*imagery.Image
+	// Campaign identifies the submitting campaign for the admission
+	// controller's fair-share accounting ("" shares a default bucket).
+	// Ignored without WithAdmission.
+	Campaign string
 }
 
 // Response is the outcome of one sensing cycle.
@@ -69,6 +74,10 @@ type Response struct {
 	Requeries int `json:"requeries,omitempty"`
 	// RefundedDollars is the incentive money refunded this cycle.
 	RefundedDollars float64 `json:"refundedDollars,omitempty"`
+	// Shed marks a response served on the admission controller's degrade
+	// tier: AI-only labels, no crowd round-trip, no committed sensing
+	// cycle (CycleIndex repeats the next uncommitted index).
+	Shed bool `json:"shed,omitempty"`
 }
 
 // Stats summarises the service's lifetime activity.
@@ -93,6 +102,12 @@ type Stats struct {
 	// ExpertWeights maps committee expert names to their current weights;
 	// nil when the scheme does not expose them.
 	ExpertWeights map[string]float64 `json:"expertWeights,omitempty"`
+	// ShedResponses counts requests served on the admission degrade tier
+	// (AI-only labels instead of a full sensing cycle).
+	ShedResponses int `json:"shedResponses,omitempty"`
+	// Admission is the overload controller's live state (WithAdmission);
+	// nil when admission control is disabled.
+	Admission *admission.Snapshot `json:"admission,omitempty"`
 	// Recovery describes the startup state recovery (WithRecovery);
 	// nil when the service runs without a durable store.
 	Recovery *RecoveryStatus `json:"recovery,omitempty"`
@@ -135,6 +150,16 @@ type Service struct {
 	registry   *obs.Registry
 	tracer     *obs.Tracer
 
+	// admit, when non-nil, is the adaptive overload controller every
+	// Assess call consults before enqueueing (WithAdmission). degrader is
+	// the scheme's AI-only fast path for the Degrade tier (nil when the
+	// scheme offers none — degrade-tier requests then run full cycles).
+	// epoch anchors the monotonic offsets fed to the clockless controller.
+	admit    *admission.Controller
+	admitCfg *admission.Config
+	degrader core.DegradedAssessor
+	epoch    time.Time
+
 	requests       chan assessRequest
 	stop           chan struct{}
 	done           chan struct{}
@@ -164,6 +189,16 @@ const recentCapacity = 20
 type assessRequest struct {
 	req   Request
 	reply chan assessReply
+	// ctx is the caller's context; the worker checks it after dequeue so
+	// a request whose caller vanished while queued is abandoned instead
+	// of burning a sensing cycle on a reply nobody reads.
+	ctx context.Context
+	// ticket tracks the request through the admission controller (nil
+	// without WithAdmission). Once enqueued the worker owns its
+	// Done/Abandon; on failed enqueues the Assess caller abandons it.
+	ticket *admission.Ticket
+	// degraded routes the request to the scheme's AI-only fast path.
+	degraded bool
 }
 
 type assessReply struct {
@@ -179,6 +214,12 @@ var ErrNotRunning = errors.New("service: not running")
 // signal the HTTP layer maps to 429 with a Retry-After header.
 var ErrQueueFull = errors.New("service: request queue full")
 
+// ErrOverloaded is returned by Assess when the admission controller
+// sheds the request outright (WithAdmission, Reject tier). The error is
+// marked retryable and carries a Retry-After hint derived from the
+// measured drain rate; the HTTP layer maps it to 429.
+var ErrOverloaded = errors.New("service: overloaded, shedding load")
+
 // Metric names emitted by the assessment worker when a registry is
 // attached with WithMetrics.
 const (
@@ -192,6 +233,18 @@ const (
 	// MetricPanicsRecovered counts panics recovered from sensing cycles
 	// and HTTP handlers.
 	MetricPanicsRecovered = "crowdlearn_panics_recovered_total"
+	// MetricAdmissionDecisions counts admission ladder outcomes, labeled
+	// decision=admit|degrade|reject.
+	MetricAdmissionDecisions = "crowdlearn_admission_decisions_total"
+	// MetricRequestsAbandoned counts dequeued requests whose caller's
+	// context had already expired, skipped without running a cycle.
+	MetricRequestsAbandoned = "crowdlearn_requests_abandoned_total"
+	// MetricAdmissionLimit gauges the AIMD loop's current adaptive
+	// concurrency limit.
+	MetricAdmissionLimit = "crowdlearn_admission_limit"
+	// MetricQueueWait is a histogram of request queue wait in seconds —
+	// the signal the CoDel admission detector steers on.
+	MetricQueueWait = "crowdlearn_queue_wait_seconds"
 )
 
 // Option customises a Service.
@@ -224,6 +277,21 @@ func WithQueueDepth(n int) Option {
 // context.DeadlineExceeded. Zero (the default) disables the cap.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Service) { s.requestTimeout = d }
+}
+
+// WithAdmission enables adaptive overload control: every Assess call
+// consults an admission.Controller that targets queue delay
+// (CoDel-style), adapts the concurrency limit to observed latency
+// (AIMD), and enforces per-campaign fair shares while shedding. Shed
+// requests degrade to AI-only labels when the scheme implements
+// core.DegradedAssessor, and are rejected with ErrOverloaded plus a
+// drain-rate-derived Retry-After past the hard cap. The zero Config
+// uses production defaults.
+func WithAdmission(cfg admission.Config) Option {
+	return func(s *Service) {
+		c := cfg
+		s.admitCfg = &c
+	}
 }
 
 // WithStartCycle sets the index of the first sensing cycle, so a
@@ -265,9 +333,16 @@ func New(scheme core.Scheme, opts ...Option) (*Service, error) {
 		scheme: scheme,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		epoch:  time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.admitCfg != nil {
+		s.admit = admission.NewController(*s.admitCfg)
+		if d, ok := scheme.(core.DegradedAssessor); ok {
+			s.degrader = d
+		}
 	}
 	if s.queueDepth < 0 {
 		return nil, fmt.Errorf("service: queue depth %d must be non-negative", s.queueDepth)
@@ -289,9 +364,19 @@ func New(scheme core.Scheme, opts ...Option) (*Service, error) {
 		s.registry.Help(MetricAssessErrors, "Assessment requests that failed.")
 		s.registry.Help(MetricQueueRejected, "Assessment requests rejected by backpressure.")
 		s.registry.Help(MetricPanicsRecovered, "Panics recovered from cycles and HTTP handlers.")
+		s.registry.Help(MetricRequestsAbandoned, "Dequeued requests skipped because their caller's context had expired.")
+		if s.admit != nil {
+			s.registry.Help(MetricAdmissionDecisions, "Admission ladder outcomes by decision (admit/degrade/reject).")
+			s.registry.Help(MetricAdmissionLimit, "Current AIMD adaptive concurrency limit.")
+			s.registry.Help(MetricQueueWait, "Request queue wait in seconds (the CoDel admission signal).")
+		}
 	}
 	return s, nil
 }
+
+// now is the monotonic offset since service construction — the time
+// value fed to the clockless admission controller.
+func (s *Service) now() time.Duration { return time.Since(s.epoch) }
 
 // Registry returns the attached metrics registry (nil when disabled).
 func (s *Service) Registry() *obs.Registry { return s.registry }
@@ -334,7 +419,29 @@ func (s *Service) run() {
 			s.drain()
 			return
 		case req := <-s.requests:
-			resp, err := s.process(req.req)
+			wait := req.ticket.Dequeued(s.now())
+			if s.admit != nil {
+				s.registry.Histogram(MetricQueueWait, obs.DefBuckets).Observe(wait.Seconds())
+			}
+			if req.ctx != nil && req.ctx.Err() != nil {
+				// The caller vanished while queued; skip the cycle
+				// instead of computing a reply nobody reads.
+				s.registry.Counter(MetricRequestsAbandoned).Inc()
+				req.ticket.Abandon(s.now())
+				req.reply <- assessReply{err: req.ctx.Err()}
+				continue
+			}
+			var resp Response
+			var err error
+			if req.degraded {
+				resp, err = s.processDegraded(req)
+			} else {
+				resp, err = s.process(req, wait)
+			}
+			req.ticket.Done(s.now(), err == nil)
+			if s.admit != nil {
+				s.registry.Gauge(MetricAdmissionLimit).Set(float64(s.admit.Snapshot().Limit))
+			}
 			req.reply <- assessReply{resp: resp, err: err}
 		}
 	}
@@ -342,13 +449,17 @@ func (s *Service) run() {
 
 // drain rejects every request still queued at shutdown so their Assess
 // callers return deterministically instead of waiting on a dead worker.
-// Requests that race their enqueue past the closed stop channel are
-// caught by Assess's done-guard instead.
+// The error is marked retryable: shutdown typically precedes a restart
+// or a failover, so a well-behaved client resubmits elsewhere. Requests
+// that race their enqueue past the closed stop channel are caught by
+// Assess's done-guard instead.
 func (s *Service) drain() {
 	for {
 		select {
 		case req := <-s.requests:
-			req.reply <- assessReply{err: ErrNotRunning}
+			req.ticket.Abandon(s.now())
+			req.reply <- assessReply{err: admission.MarkRetryable(
+				fmt.Errorf("service: draining at shutdown: %w", ErrNotRunning))}
 		default:
 			return
 		}
@@ -359,6 +470,9 @@ func (s *Service) drain() {
 // concurrent use; batches are processed strictly in arrival order. With
 // WithQueueDepth set, a full queue rejects immediately with ErrQueueFull;
 // with WithRequestTimeout set, the whole call is bounded by that timeout.
+// With WithAdmission set, the overload controller may degrade the
+// request to AI-only labels (Response.Shed) or reject it with a
+// retryable ErrOverloaded carrying a Retry-After hint.
 func (s *Service) Assess(ctx context.Context, req Request) (Response, error) {
 	if !s.started {
 		return Response{}, ErrNotRunning
@@ -368,27 +482,47 @@ func (s *Service) Assess(ctx context.Context, req Request) (Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
 		defer cancel()
 	}
-	ar := assessRequest{req: req, reply: make(chan assessReply, 1)}
+	ar := assessRequest{req: req, ctx: ctx, reply: make(chan assessReply, 1)}
+	if s.admit != nil {
+		dec, ticket := s.admit.Decide(s.now(), req.Campaign)
+		s.registry.Counter(MetricAdmissionDecisions, "decision", dec.Outcome.String()).Inc()
+		if dec.Outcome == admission.Reject {
+			return Response{}, admission.MarkRetryableAfter(
+				fmt.Errorf("%w (%s)", ErrOverloaded, dec.Reason), dec.RetryAfter)
+		}
+		ar.ticket = ticket
+		// Degrade only routes to the fast path when the scheme has one;
+		// otherwise the tier collapses to Admit (work conservation).
+		ar.degraded = ticket.Degraded() && s.degrader != nil
+	}
 	if s.queueDepth > 0 {
 		select {
 		case s.requests <- ar:
 		case <-s.stop:
-			return Response{}, ErrNotRunning
+			ar.ticket.Abandon(s.now())
+			return Response{}, admission.MarkRetryable(ErrNotRunning)
 		case <-ctx.Done():
+			ar.ticket.Abandon(s.now())
 			return Response{}, ctx.Err()
 		default:
 			s.registry.Counter(MetricQueueRejected).Inc()
-			return Response{}, ErrQueueFull
+			ar.ticket.Abandon(s.now())
+			return Response{}, s.markQueueFull()
 		}
 	} else {
 		select {
 		case s.requests <- ar:
 		case <-s.stop:
-			return Response{}, ErrNotRunning
+			ar.ticket.Abandon(s.now())
+			return Response{}, admission.MarkRetryable(ErrNotRunning)
 		case <-ctx.Done():
+			ar.ticket.Abandon(s.now())
 			return Response{}, ctx.Err()
 		}
 	}
+	// Enqueued: the worker owns the ticket from here (Dequeued plus
+	// Done/Abandon); leaving early on ctx or done is safe because the
+	// worker checks req.ctx after dequeue and drain() covers shutdown.
 	select {
 	case rep := <-ar.reply:
 		return rep.resp, rep.err
@@ -399,17 +533,39 @@ func (s *Service) Assess(ctx context.Context, req Request) (Response, error) {
 		case rep := <-ar.reply:
 			return rep.resp, rep.err
 		default:
-			return Response{}, ErrNotRunning
+			ar.ticket.Abandon(s.now())
+			return Response{}, admission.MarkRetryable(ErrNotRunning)
 		}
 	case <-ctx.Done():
 		return Response{}, ctx.Err()
 	}
 }
 
+// markQueueFull wraps ErrQueueFull as retryable with the best available
+// Retry-After: the admission controller's backlog-drain estimate, or
+// the historical static 1s without one.
+func (s *Service) markQueueFull() error {
+	after := time.Second
+	if s.admit != nil {
+		after = s.admit.RetryAfter(s.now())
+	}
+	return admission.MarkRetryableAfter(ErrQueueFull, after)
+}
+
+// cycleAttrs labels the cycle trace with the serving-layer context an
+// admission-controlled request carries: its queue wait and campaign.
+func cycleAttrs(req Request, wait time.Duration) []core.TraceAttr {
+	attrs := []core.TraceAttr{{Key: "queueWaitMs", Value: wait.Milliseconds()}}
+	if req.Campaign != "" {
+		attrs = append(attrs, core.TraceAttr{Key: "campaign", Value: req.Campaign})
+	}
+	return attrs
+}
+
 // process runs one sensing cycle on the worker goroutine. A panicking
 // scheme is recovered into an error so one poisoned cycle cannot kill
 // the worker and wedge every future request.
-func (s *Service) process(req Request) (resp Response, err error) {
+func (s *Service) process(ar assessRequest, wait time.Duration) (resp Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.registry.Counter(MetricPanicsRecovered).Inc()
@@ -417,16 +573,21 @@ func (s *Service) process(req Request) (resp Response, err error) {
 			resp, err = Response{}, fmt.Errorf("service: recovered panic in sensing cycle: %v", r)
 		}
 	}()
+	req := ar.req
 	s.mu.Lock()
 	cycle := s.nextCycle
 	s.mu.Unlock()
 
-	started := time.Now()
-	out, err := s.scheme.RunCycle(core.CycleInput{
+	in := core.CycleInput{
 		Index:   cycle,
 		Context: req.Context,
 		Images:  req.Images,
-	})
+	}
+	if s.admit != nil {
+		in.Attrs = cycleAttrs(req, wait)
+	}
+	started := time.Now()
+	out, err := s.scheme.RunCycle(in)
 	s.registry.Histogram(MetricAssessDuration, obs.DefBuckets).Observe(time.Since(started).Seconds())
 	if err != nil {
 		s.registry.Counter(MetricAssessErrors).Inc()
@@ -505,6 +666,67 @@ func (s *Service) process(req Request) (resp Response, err error) {
 	return resp, nil
 }
 
+// processDegraded serves one request from the scheme's AI-only fast
+// path (core.DegradedAssessor): no crowd round-trip, no learning, and —
+// critically — no committed cycle. The response repeats the next
+// uncommitted cycle index without consuming it, mutates no scheme
+// state and writes no journal, so a degraded burst leaves the durable
+// cycle sequence and its replay byte-identical.
+func (s *Service) processDegraded(ar assessRequest) (resp Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.registry.Counter(MetricPanicsRecovered).Inc()
+			s.registry.Counter(MetricAssessErrors).Inc()
+			resp, err = Response{}, fmt.Errorf("service: recovered panic in degraded assessment: %v", r)
+		}
+	}()
+	req := ar.req
+	s.mu.Lock()
+	cycle := s.nextCycle
+	s.mu.Unlock()
+
+	started := time.Now()
+	out, err := s.degrader.AssessDegraded(core.CycleInput{
+		Index:   cycle,
+		Context: req.Context,
+		Images:  req.Images,
+	})
+	s.registry.Histogram(MetricAssessDuration, obs.DefBuckets).Observe(time.Since(started).Seconds())
+	if err != nil {
+		s.registry.Counter(MetricAssessErrors).Inc()
+		return Response{}, err
+	}
+
+	resp = Response{
+		CycleIndex:            cycle,
+		Assessments:           make([]Assessment, len(req.Images)),
+		AlgorithmDelaySeconds: out.AlgorithmDelay.Seconds(),
+		Shed:                  true,
+	}
+	resp.DegradedImageIDs = make([]int, 0, len(req.Images))
+	labels := out.Labels()
+	for i, im := range req.Images {
+		resp.Assessments[i] = Assessment{
+			ImageID:    im.ID,
+			Label:      labels[i],
+			LabelName:  labels[i].String(),
+			Confidence: out.Distributions[i][labels[i]],
+			Source:     "ai",
+		}
+		resp.DegradedImageIDs = append(resp.DegradedImageIDs, im.ID)
+	}
+
+	s.mu.Lock()
+	s.stats.ShedResponses++
+	s.stats.ImagesAssessed += len(req.Images)
+	s.recent = append(s.recent, resp)
+	if len(s.recent) > recentCapacity {
+		s.recent = s.recent[len(s.recent)-recentCapacity:]
+	}
+	s.mu.Unlock()
+	return resp, nil
+}
+
 // Degraded reports whether any response in the recent window fell back
 // to AI labels after crowd failures — the service is still serving, but
 // its crowd channel is impaired. Surfaced as status "degraded" (HTTP 200)
@@ -532,6 +754,11 @@ func (s *Service) Recent() []Response {
 // Stats returns a snapshot of lifetime statistics.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if s.admit != nil {
+		snap := s.admit.Snapshot()
+		st.Admission = &snap
+	}
+	return st
 }

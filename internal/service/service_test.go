@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -176,7 +177,9 @@ func TestShutdownStopsAssess(t *testing.T) {
 	if err := svc.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Assess(context.Background(), Request{Context: crowd.Morning, Images: ds.Test[:1]}); err != ErrNotRunning {
+	// The stopped-service error keeps the sentinel and is marked
+	// retryable: shutdown usually precedes a restart or failover.
+	if _, err := svc.Assess(context.Background(), Request{Context: crowd.Morning, Images: ds.Test[:1]}); !errors.Is(err, ErrNotRunning) {
 		t.Errorf("Assess after Shutdown = %v, want ErrNotRunning", err)
 	}
 	// Double shutdown is safe.

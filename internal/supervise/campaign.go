@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/classifier"
 	"github.com/crowdlearn/crowdlearn/internal/core"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
@@ -114,10 +115,14 @@ type Spec struct {
 type AssessResult struct {
 	// Campaign is the owning campaign's ID.
 	Campaign string `json:"campaign"`
-	// Cycle is the committed cycle index.
+	// Cycle is the committed cycle index — or, for a Shed result, the
+	// next uncommitted index, repeated without being consumed.
 	Cycle int `json:"cycle"`
 	// Output is the scheme's assessment.
 	Output core.CycleOutput `json:"-"`
+	// Shed marks a result served on the admission controller's degrade
+	// tier: AI-only labels, no committed sensing cycle, no journal write.
+	Shed bool `json:"shed,omitempty"`
 }
 
 // campaignStats is per-campaign lifetime accounting.
@@ -129,6 +134,9 @@ type campaignStats struct {
 	SpentDollars   float64 `json:"spentDollars"`
 	DegradedImages int     `json:"degradedImages"`
 	Stalls         int     `json:"stalls"`
+	// ShedCycles counts requests served on the admission degrade tier
+	// (AI-only labels, no committed cycle).
+	ShedCycles int `json:"shedCycles,omitempty"`
 }
 
 // CampaignHealth is one campaign's health snapshot, served by /healthz.
@@ -160,6 +168,12 @@ type campaignReq struct {
 	tctx   crowd.TemporalContext
 	images []*imagery.Image
 	reply  chan campaignReply
+	// ticket tracks the request through the fleet-wide admission
+	// controller (nil without Options.Admission). The worker feeds its
+	// queue wait via Dequeued; the Assess caller owns Done/Abandon.
+	ticket *admission.Ticket
+	// degraded routes the cycle to the scheme's AI-only fast path.
+	degraded bool
 }
 
 type campaignReply struct {
@@ -542,6 +556,7 @@ func (c *Campaign) handleCtl(op ctlOp) ctlReply {
 
 // handleAssess runs one sensing cycle for a queued request.
 func (c *Campaign) handleAssess(req campaignReq) {
+	wait := req.ticket.Dequeued(c.sup.nowd())
 	if err := stateErr(c.State()); err != nil {
 		req.reply <- campaignReply{err: err}
 		return
@@ -551,6 +566,20 @@ func (c *Campaign) handleAssess(req campaignReq) {
 	sys := c.sys
 	c.sup.mu.Unlock()
 	in := core.CycleInput{Index: cycle, Context: req.tctx, Images: req.images}
+	if req.ticket != nil {
+		in.Attrs = []core.TraceAttr{
+			{Key: "campaign", Value: c.spec.ID},
+			{Key: "queueWaitMs", Value: wait.Milliseconds()},
+		}
+	}
+	if req.degraded {
+		if deg, ok := sys.(core.DegradedAssessor); ok {
+			c.handleDegraded(deg, req, in)
+			return
+		}
+		// The scheme offers no fast path; the degrade tier collapses to
+		// a full cycle (work conservation).
+	}
 	out, err := c.runGuarded(sys, in)
 	if err == nil {
 		c.noteCycle(in, out)
@@ -570,6 +599,33 @@ func (c *Campaign) handleAssess(req campaignReq) {
 	// Restart before replying: when the error reaches the caller the
 	// campaign is already rebuilt (or quarantined), so an immediate
 	// retry lands on a recovered epoch instead of racing the restart.
+	if restartable(err) {
+		c.restartLoop(err)
+	}
+	req.reply <- campaignReply{err: err}
+}
+
+// handleDegraded serves one request from the scheme's AI-only fast
+// path: no crowd round-trip, no learning, no committed cycle index, no
+// journal write — the campaign's durable cycle sequence and its replay
+// stay byte-identical through a shed burst. Panics are converted to
+// errors (and consume a restart) exactly like full cycles.
+func (c *Campaign) handleDegraded(deg core.DegradedAssessor, req campaignReq, in core.CycleInput) {
+	out, err := guardPanics("degraded-assess", func() (core.CycleOutput, error) {
+		return deg.AssessDegraded(in)
+	})
+	if err == nil {
+		c.sup.mu.Lock()
+		c.stats.ShedCycles++
+		c.sup.mu.Unlock()
+		c.sup.metrics.Counter(MetricCampaignCycles, "campaign", c.spec.ID, "result", "shed").Inc()
+		req.reply <- campaignReply{res: AssessResult{Campaign: c.spec.ID, Cycle: in.Index, Output: out, Shed: true}}
+		return
+	}
+	c.sup.mu.Lock()
+	c.stats.CycleErrors++
+	c.sup.mu.Unlock()
+	c.sup.metrics.Counter(MetricCampaignCycles, "campaign", c.spec.ID, "result", "error").Inc()
 	if restartable(err) {
 		c.restartLoop(err)
 	}

@@ -15,7 +15,8 @@ const (
 	// campaign).
 	MetricCampaignRestarts = "crowdlearn_campaign_restarts_total"
 	// MetricCampaignCycles counts sensing cycles by result (labels:
-	// campaign, result = "ok" | "error").
+	// campaign, result = "ok" | "error" | "shed" — shed cycles served
+	// AI-only labels on the admission degrade tier).
 	MetricCampaignCycles = "crowdlearn_campaign_cycles_total"
 	// MetricCampaignStalls counts cycles aborted by the watchdog or an
 	// operator kick (label: campaign).
@@ -35,6 +36,12 @@ const (
 	// MetricBreakerProbes counts half-open recovery probes by result
 	// (labels: campaign, result = "ok" | "fail").
 	MetricBreakerProbes = "crowdlearn_breaker_probes_total"
+	// MetricCampaignAdmission counts fleet admission-ladder outcomes
+	// (labels: campaign, decision = "admit" | "degrade" | "reject").
+	// Deliberately distinct from the single-service
+	// crowdlearn_admission_decisions_total so the two label sets never
+	// collide in a shared registry.
+	MetricCampaignAdmission = "crowdlearn_campaign_admission_total"
 )
 
 // registerHelp attaches HELP text for the runtime's metrics. Safe on a
@@ -49,4 +56,5 @@ func registerHelp(r *obs.Registry) {
 	r.Help(MetricBreakerTransitions, "Circuit-breaker state transitions.")
 	r.Help(MetricBreakerRejections, "Crowd submissions fast-failed by an open breaker.")
 	r.Help(MetricBreakerProbes, "Half-open recovery probes by result.")
+	r.Help(MetricCampaignAdmission, "Fleet admission-ladder outcomes per campaign.")
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/crowdlearn/crowdlearn/internal/admission"
 	"github.com/crowdlearn/crowdlearn/internal/crowd"
 	"github.com/crowdlearn/crowdlearn/internal/imagery"
 	"github.com/crowdlearn/crowdlearn/internal/mathx"
@@ -39,6 +40,13 @@ type Options struct {
 	// chaos suite runs restart storms without wall-clock waits.
 	Sleep func(time.Duration)
 	After func(time.Duration) <-chan time.Time
+	// Admission, when non-nil, enables adaptive overload control across
+	// the whole fleet: one shared admission.Controller decides every
+	// Assess, with per-campaign fair-share buckets keyed by campaign ID.
+	// Shed requests degrade to the scheme's AI-only fast path
+	// (core.DegradedAssessor) or reject with a retryable ErrBusy carrying
+	// a drain-rate-derived Retry-After.
+	Admission *admission.Config
 }
 
 // Supervisor hosts campaigns as isolated failure domains.
@@ -51,6 +59,10 @@ type Supervisor struct {
 	queueDepth   int
 	sleep        func(time.Duration)
 	after        func(time.Duration) <-chan time.Time
+	// admit is the fleet-wide overload controller (nil when disabled);
+	// epoch anchors the monotonic offsets fed to its clockless API.
+	admit *admission.Controller
+	epoch time.Time
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
@@ -72,7 +84,7 @@ func New(opts Options) *Supervisor {
 		opts.After = time.After
 	}
 	registerHelp(opts.Metrics)
-	return &Supervisor{
+	s := &Supervisor{
 		logger:       opts.Logger,
 		metrics:      opts.Metrics,
 		restart:      opts.Restart.withDefaults(),
@@ -81,8 +93,26 @@ func New(opts Options) *Supervisor {
 		queueDepth:   opts.QueueDepth,
 		sleep:        opts.Sleep,
 		after:        opts.After,
+		epoch:        time.Now(),
 		campaigns:    make(map[string]*Campaign),
 	}
+	if opts.Admission != nil {
+		s.admit = admission.NewController(*opts.Admission)
+	}
+	return s
+}
+
+// nowd is the monotonic offset fed to the clockless admission controller.
+func (s *Supervisor) nowd() time.Duration { return time.Since(s.epoch) }
+
+// Admission snapshots the fleet-wide overload controller (nil when
+// admission control is disabled) for the /stats surface.
+func (s *Supervisor) Admission() *admission.Snapshot {
+	if s.admit == nil {
+		return nil
+	}
+	snap := s.admit.Snapshot()
+	return &snap
 }
 
 // seedFor derives a stable per-campaign seed from its ID so campaigns
@@ -185,7 +215,10 @@ func (s *Supervisor) IDs() []string {
 
 // Assess enqueues one sensing cycle on a campaign and waits for its
 // result. A full queue fails fast with ErrBusy; a paused, quarantined
-// or archived campaign rejects with its state's sentinel.
+// or archived campaign rejects with its state's sentinel. With
+// Options.Admission set, the fleet-wide overload controller may degrade
+// the cycle to AI-only labels (AssessResult.Shed) or reject it with a
+// retryable ErrBusy carrying a drain-rate-derived Retry-After.
 func (s *Supervisor) Assess(ctx context.Context, id string, tctx crowd.TemporalContext, images []*imagery.Image) (AssessResult, error) {
 	c, err := s.get(id)
 	if err != nil {
@@ -197,32 +230,55 @@ func (s *Supervisor) Assess(ctx context.Context, id string, tctx crowd.TemporalC
 		return AssessResult{}, serr
 	}
 	req := campaignReq{tctx: tctx, images: images, reply: make(chan campaignReply, 1)}
+	if s.admit != nil {
+		dec, ticket := s.admit.Decide(s.nowd(), id)
+		s.metrics.Counter(MetricCampaignAdmission,
+			"campaign", id, "decision", dec.Outcome.String()).Inc()
+		if dec.Outcome == admission.Reject {
+			return AssessResult{}, admission.MarkRetryableAfter(
+				fmt.Errorf("%w: %s (admission: %s)", ErrBusy, id, dec.Reason), dec.RetryAfter)
+		}
+		req.ticket = ticket
+		req.degraded = ticket.Degraded()
+	}
 	select {
 	case c.requests <- req:
 	case <-c.stop:
+		req.ticket.Abandon(s.nowd())
 		return AssessResult{}, ErrShutdown
 	case <-c.done:
+		req.ticket.Abandon(s.nowd())
 		return AssessResult{}, ErrShutdown
 	case <-ctx.Done():
+		req.ticket.Abandon(s.nowd())
 		return AssessResult{}, ctx.Err()
 	default:
+		req.ticket.Abandon(s.nowd())
+		if s.admit != nil {
+			return AssessResult{}, admission.MarkRetryableAfter(
+				fmt.Errorf("%w: %s", ErrBusy, id), s.admit.RetryAfter(s.nowd()))
+		}
 		return AssessResult{}, fmt.Errorf("%w: %s", ErrBusy, id)
 	}
 	select {
 	case reply := <-req.reply:
+		req.ticket.Done(s.nowd(), reply.err == nil)
 		return reply.res, reply.err
 	case <-c.done:
 		// Worker gone — drained shutdown replies are buffered, so prefer
 		// one if it raced the close.
 		select {
 		case reply := <-req.reply:
+			req.ticket.Done(s.nowd(), reply.err == nil)
 			return reply.res, reply.err
 		default:
+			req.ticket.Abandon(s.nowd())
 			return AssessResult{}, fmt.Errorf("%w: campaign %s worker exited", ErrShutdown, id)
 		}
 	case <-ctx.Done():
 		// The worker still holds the request; its buffered reply is
 		// dropped on the floor.
+		req.ticket.Abandon(s.nowd())
 		return AssessResult{}, ctx.Err()
 	}
 }
