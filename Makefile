@@ -25,7 +25,8 @@ lint:
 		exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/crowdlint ./...
+	$(GO) run ./cmd/crowdlint -baseline lint-baseline.json ./...
+	$(GO) run ./cmd/crowdlint -tests -rules no-copied-locks-by-value,goroutine-ownership ./...
 
 # -shuffle=on randomises test execution order to flush out inter-test
 # state dependence.

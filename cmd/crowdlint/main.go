@@ -13,10 +13,15 @@
 //
 // Flags:
 //
-//	-json    emit diagnostics as a JSON array instead of text
-//	-rules   comma-separated rule subset to run (default: all)
-//	-tests   also lint _test.go files
-//	-list    print the available rules and exit
+//	-json            emit diagnostics as a JSON array instead of text
+//	-rules           comma-separated rule subset to run (default: all)
+//	-tests           also lint _test.go files
+//	-list            print the available rules and exit
+//	-graph           print the name-resolved call graph and exit
+//	-baseline FILE   fail if //lint:ignore counts grew past FILE
+//	-write-baseline FILE  record current ignore counts to FILE
+//	-summary         print per-rule finding counts after diagnostics
+//	-report FILE     write a JSON report (findings + per-rule counts)
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/crowdlearn/crowdlearn/internal/lint"
@@ -50,6 +56,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	withTests := fs.Bool("tests", false, "also lint _test.go files")
 	list := fs.Bool("list", false, "print available rules and exit")
+	graph := fs.Bool("graph", false, "print the name-resolved call graph and exit")
+	baseline := fs.String("baseline", "", "baseline file; fail when //lint:ignore counts grew past it")
+	writeBaseline := fs.String("write-baseline", "", "record current //lint:ignore counts to this file and exit")
+	summary := fs.Bool("summary", false, "print per-rule finding counts after diagnostics")
+	report := fs.String("report", "", "write a JSON report (findings + per-rule counts) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,7 +102,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *graph {
+		var sb strings.Builder
+		lint.NewProgram(pkgs).Graph().WriteText(&sb)
+		fmt.Fprint(stdout, sb.String())
+		return 0
+	}
+	if *writeBaseline != "" {
+		if err := lint.CountIgnores(pkgs).Write(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+		return 0
+	}
+	baselineFailed := false
+	if *baseline != "" {
+		accepted, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+		for _, p := range accepted.Compare(lint.CountIgnores(pkgs)) {
+			fmt.Fprintln(stderr, "crowdlint: baseline:", p)
+			baselineFailed = true
+		}
+	}
+
 	diags := lint.NewRunner(rules).Run(pkgs)
+	if *report != "" {
+		if err := writeReport(*report, diags); err != nil {
+			fmt.Fprintln(stderr, "crowdlint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		out := make([]jsonDiagnostic, len(diags))
 		for i, d := range diags {
@@ -114,13 +157,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	if *summary {
+		for _, line := range summarize(diags) {
+			fmt.Fprintln(stdout, line)
+		}
+	}
 	if len(diags) > 0 {
 		if !*jsonOut {
 			fmt.Fprintf(stderr, "crowdlint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
+	if baselineFailed {
+		return 1
+	}
 	return 0
+}
+
+// summarize renders per-rule finding counts, sorted by rule name.
+func summarize(diags []lint.Diagnostic) []string {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	out := []string{fmt.Sprintf("crowdlint summary: %d finding(s)", len(diags))}
+	for _, r := range rules {
+		out = append(out, fmt.Sprintf("  %-28s %d", r, counts[r]))
+	}
+	return out
+}
+
+// jsonReport is the CI artifact shape: the findings plus per-rule
+// counts.
+type jsonReport struct {
+	Total    int              `json:"total"`
+	Counts   map[string]int   `json:"counts"`
+	Findings []jsonDiagnostic `json:"findings"`
+}
+
+func writeReport(path string, diags []lint.Diagnostic) error {
+	rep := jsonReport{
+		Total:    len(diags),
+		Counts:   map[string]int{},
+		Findings: make([]jsonDiagnostic, len(diags)),
+	}
+	for i, d := range diags {
+		rep.Counts[d.Rule]++
+		rep.Findings[i] = jsonDiagnostic{
+			Rule:    d.Rule,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // load resolves one pattern: dir/... walks the subtree, a plain dir is

@@ -110,6 +110,111 @@ func TestJSONOutputShape(t *testing.T) {
 	}
 }
 
+// TestJSONGolden pins the exact machine-readable diagnostic shape —
+// field names, ordering, indentation — against a committed golden
+// file, so downstream report consumers (the CI artifact) never see a
+// silent format change.
+func TestJSONGolden(t *testing.T) {
+	goldenPath, err := filepath.Abs(filepath.Join("testdata", "diagnostics.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("JSON output diverged from testdata/diagnostics.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			stdout.String(), golden)
+	}
+}
+
+// TestBaselineRatchet exercises the ignore-count gate: a tree whose
+// suppression count exceeds the accepted baseline fails even when the
+// findings themselves are suppressed.
+func TestBaselineRatchet(t *testing.T) {
+	suppressed := `package p
+
+import "time"
+
+func stamp() int64 {
+	//lint:ignore no-wall-clock test fixture
+	return time.Now().Unix()
+}
+`
+	root := writeModule(t, map[string]string{"internal/p/p.go": suppressed})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", "accepted.json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline: exit = %d; stderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-baseline", "accepted.json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("at-baseline run: exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	// Zero accepted ignores: the existing suppression now counts as
+	// growth and must fail the run despite zero findings.
+	if err := os.WriteFile("strict.json", []byte(`{"total":0,"rules":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "strict.json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("over-baseline run: exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "grew from 0 to 1") {
+		t.Errorf("stderr missing growth message: %s", stderr.String())
+	}
+}
+
+// TestSummaryAndReport checks the per-rule count summary and the CI
+// report artifact.
+func TestSummaryAndReport(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-summary", "-report", "report.json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"crowdlint summary: 2 finding(s)", "no-global-rand", "no-wall-clock"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout.String())
+		}
+	}
+	data, err := os.ReadFile("report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Total != 2 || rep.Counts["no-wall-clock"] != 1 || len(rep.Findings) != 2 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+// TestGraphOutput checks -graph emits the call-graph listing instead of
+// diagnostics.
+func TestGraphOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/p/p.go": "package p\n\nfunc a() { b() }\n\nfunc b() {}\n",
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-graph", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "internal/p.a") {
+		t.Errorf("graph output missing caller node:\n%s", stdout.String())
+	}
+}
+
 func TestRuleSelection(t *testing.T) {
 	root := writeModule(t, map[string]string{"internal/p/p.go": dirtyFile})
 	chdir(t, root)
@@ -138,6 +243,8 @@ func TestListRules(t *testing.T) {
 	for _, rule := range []string{
 		"no-wall-clock", "no-global-rand", "ordered-map-range",
 		"no-copied-locks-by-value", "checked-errors-in-store",
+		"determinism-taint", "ticket-lifecycle",
+		"no-lock-across-commit", "goroutine-ownership",
 	} {
 		if !strings.Contains(stdout.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())

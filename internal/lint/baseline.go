@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline records the repository's accepted //lint:ignore debt. The
+// committed lint-baseline.json pins it: the gate fails when the total
+// grows, so every new suppression is a conscious, reviewed decision —
+// the count may only ratchet down.
+type Baseline struct {
+	Total int            `json:"total"`
+	Rules map[string]int `json:"rules"`
+}
+
+// CountIgnores tallies well-formed ignore directives across packages,
+// per rule. A directive naming two rules counts once for each.
+func CountIgnores(pkgs []*Package) Baseline {
+	b := Baseline{Rules: map[string]int{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ignores, _ := parseIgnores(pkg.Fset, f.AST)
+			for _, dir := range ignores {
+				for rule := range dir.rules {
+					b.Rules[rule]++
+					b.Total++
+				}
+			}
+		}
+	}
+	return b
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.Rules == nil {
+		b.Rules = map[string]int{}
+	}
+	return b, nil
+}
+
+// WriteBaseline writes a baseline file in a stable format.
+func (b Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare lists the regressions current has over the accepted
+// baseline: total growth and any per-rule growth. Empty means the gate
+// passes.
+func (b Baseline) Compare(current Baseline) []string {
+	var problems []string
+	if current.Total > b.Total {
+		problems = append(problems, fmt.Sprintf(
+			"//lint:ignore count grew from %d to %d; fix the finding instead of suppressing it, or deliberately re-baseline with -write-baseline",
+			b.Total, current.Total))
+	}
+	rules := make([]string, 0, len(current.Rules))
+	for rule := range current.Rules {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		if current.Rules[rule] > b.Rules[rule] {
+			problems = append(problems, fmt.Sprintf(
+				"rule %s: ignores grew from %d to %d", rule, b.Rules[rule], current.Rules[rule]))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-program view the deep rules analyze: every
+// loaded package plus a lazily built, name-resolved call graph over
+// them. Cross-package analyses (determinism taint, goroutine
+// ownership, serialization reachability) see their full precision only
+// when the whole tree is loaded — linting a single directory still
+// works, with the graph restricted to what was loaded.
+type Program struct {
+	Pkgs []*Package
+
+	graph *CallGraph
+}
+
+// NewProgram builds a Program over the loaded packages.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs}
+}
+
+// ProgramRule is a rule that analyzes the whole program at once instead
+// of one package at a time. The Runner invokes CheckProgram exactly
+// once per run; the embedded Rule's Check is the single-package
+// convenience form (used by fixtures) and must behave as
+// CheckProgram(NewProgram([]*Package{pkg})).
+type ProgramRule interface {
+	Rule
+	CheckProgram(prog *Program) []Diagnostic
+}
+
+// FuncNode is one declared function or method in the program.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// edge kinds in the call graph.
+const (
+	// EdgeStatic is an object-resolved direct call.
+	EdgeStatic = "static"
+	// EdgeDynamic is a name-resolved candidate for an interface-method
+	// or abstract call: every program method with the matching name is
+	// a possible target, which over-approximates — the right direction
+	// for a checker.
+	EdgeDynamic = "dynamic"
+)
+
+// CallGraph is the program's name-resolved call graph: static edges
+// where the type checker resolves the callee to a declaration, plus
+// dynamic edges from interface-method call sites to every concrete
+// method of the same name. External (stdlib) callees appear as nodes
+// without a Decl, so reachability can pass through declared-only
+// knowledge like (*os.File).Sync.
+type CallGraph struct {
+	// Nodes maps every function object seen — declared in the program
+	// or referenced in it — to its node (Decl nil for externals).
+	Nodes map[*types.Func]*FuncNode
+	// Callees lists the outgoing edges per caller.
+	Callees map[*types.Func][]Edge
+	// byName indexes the program's declared methods and functions by
+	// bare name, the dynamic-resolution key.
+	byName map[string][]*types.Func
+}
+
+// Edge is one call edge.
+type Edge struct {
+	From *types.Func
+	To   *types.Func
+	Kind string
+	Pos  token.Pos
+}
+
+// Graph returns the program's call graph, building it on first use.
+func (prog *Program) Graph() *CallGraph {
+	if prog.graph == nil {
+		prog.graph = buildCallGraph(prog.Pkgs)
+	}
+	return prog.graph
+}
+
+// FuncDecls iterates the program's function declarations in
+// deterministic (package, file, position) order, with their resolved
+// objects. Declarations the type checker could not resolve are skipped.
+func (prog *Program) FuncDecls(visit func(pkg *Package, fd *ast.FuncDecl, fn *types.Func)) {
+	for _, pkg := range prog.Pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				visit(pkg, fd, fn)
+			}
+		}
+	}
+}
+
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Nodes:   make(map[*types.Func]*FuncNode),
+		Callees: make(map[*types.Func][]Edge),
+		byName:  make(map[string][]*types.Func),
+	}
+	prog := &Program{Pkgs: pkgs}
+	// Pass 1: register every declared function.
+	prog.FuncDecls(func(pkg *Package, fd *ast.FuncDecl, fn *types.Func) {
+		g.Nodes[fn] = &FuncNode{Obj: fn, Decl: fd, Pkg: pkg}
+		g.byName[fn.Name()] = append(g.byName[fn.Name()], fn)
+	})
+	// Pass 2: edges.
+	prog.FuncDecls(func(pkg *Package, fd *ast.FuncDecl, caller *types.Func) {
+		if fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pkg.calleeOf(call)
+			if callee == nil {
+				return true
+			}
+			if node, declared := g.Nodes[callee]; declared && node.Decl != nil {
+				g.addEdge(caller, callee, EdgeStatic, call.Pos())
+				return true
+			}
+			// Interface method: fan out to every declared method of the
+			// same name whose receiver type implements the interface — a
+			// dynamic-dispatch over-approximation, but filtered so a
+			// common method name (State, Encode) does not connect
+			// unrelated types.
+			if iface := interfaceOf(callee); iface != nil {
+				for _, cand := range g.byName[callee.Name()] {
+					if g.Nodes[cand].Decl == nil || g.Nodes[cand].Decl.Recv == nil {
+						continue
+					}
+					if implementsIface(cand, iface) {
+						g.addEdge(caller, cand, EdgeDynamic, call.Pos())
+					}
+				}
+			}
+			// External callee: keep the node so reachability can test
+			// for it (e.g. (*os.File).Sync), but it has no outgoing
+			// edges.
+			if _, ok := g.Nodes[callee]; !ok {
+				g.Nodes[callee] = &FuncNode{Obj: callee}
+			}
+			g.addEdge(caller, callee, EdgeStatic, call.Pos())
+			return true
+		})
+	})
+	return g
+}
+
+func (g *CallGraph) addEdge(from, to *types.Func, kind string, pos token.Pos) {
+	g.Callees[from] = append(g.Callees[from], Edge{From: from, To: to, Kind: kind, Pos: pos})
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	return interfaceOf(fn) != nil
+}
+
+// interfaceOf returns the interface fn is declared on, or nil when fn is
+// not an interface method.
+func interfaceOf(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsIface reports whether the method's receiver type (or a
+// pointer to it) implements the interface.
+func implementsIface(method *types.Func, iface *types.Interface) bool {
+	sig, ok := method.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
+// Reachable computes the functions reachable from the given roots,
+// following static edges always and dynamic edges when followDynamic is
+// set. The result maps each reached function to the root it was first
+// reached from (roots map to themselves); traversal order is
+// deterministic.
+func (g *CallGraph) Reachable(roots []*types.Func, followDynamic bool) map[*types.Func]*types.Func {
+	reached := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := reached[r]; !ok {
+			reached[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		root := reached[cur]
+		edges := append([]Edge(nil), g.Callees[cur]...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Pos < edges[j].Pos })
+		for _, e := range edges {
+			if e.Kind == EdgeDynamic && !followDynamic {
+				continue
+			}
+			if _, ok := reached[e.To]; !ok {
+				reached[e.To] = root
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return reached
+}
+
+// ReachesExternal reports, for every declared function, whether any of
+// the named external functions is transitively reachable from it
+// through static edges. want is keyed by funcQName (e.g.
+// "os.(File).Sync"). Used by no-lock-across-commit to find
+// fsync-reaching call paths.
+func (g *CallGraph) ReachesExternal(want map[string]bool) map[*types.Func]string {
+	// Reverse-reach: seed with matching nodes, walk callers.
+	callers := make(map[*types.Func][]*types.Func)
+	for from, edges := range g.Callees {
+		for _, e := range edges {
+			if e.Kind != EdgeStatic {
+				continue
+			}
+			callers[e.To] = append(callers[e.To], from)
+		}
+	}
+	out := make(map[*types.Func]string)
+	var queue []*types.Func
+	for fn := range g.Nodes {
+		if name := funcQName(fn); want[name] {
+			out[fn] = name
+			queue = append(queue, fn)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return funcQName(queue[i]) < funcQName(queue[j]) })
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		why := out[cur]
+		cs := append([]*types.Func(nil), callers[cur]...)
+		sort.Slice(cs, func(i, j int) bool { return funcQName(cs[i]) < funcQName(cs[j]) })
+		for _, c := range cs {
+			if _, ok := out[c]; !ok {
+				out[c] = why
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// RootsNamed returns the declared functions whose bare name satisfies
+// match, sorted for deterministic traversal.
+func (g *CallGraph) RootsNamed(match func(string) bool) []*types.Func {
+	var roots []*types.Func
+	for name, fns := range g.byName {
+		if !match(name) {
+			continue
+		}
+		for _, fn := range fns {
+			if g.Nodes[fn].Decl != nil {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return funcQName(roots[i]) < funcQName(roots[j]) })
+	return roots
+}
+
+// WriteText renders the graph as sorted "caller -> callee [kind]"
+// lines, the crowdlint -graph output.
+func (g *CallGraph) WriteText(w *strings.Builder) {
+	var lines []string
+	for from, edges := range g.Callees {
+		if g.Nodes[from] == nil || g.Nodes[from].Decl == nil {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, e := range edges {
+			line := fmt.Sprintf("%s -> %s [%s]", funcQName(from), funcQName(e.To), e.Kind)
+			if !seen[line] {
+				seen[line] = true
+				lines = append(lines, line)
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		w.WriteString(l)
+		w.WriteByte('\n')
+	}
+}

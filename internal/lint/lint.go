@@ -57,7 +57,10 @@ func DefaultRules() []Rule {
 		NewMapRange(),
 		NewCopyLocks(),
 		NewCheckedErrors(nil),
-		NewNakedGoroutine(nil),
+		NewDeterminismTaint(),
+		NewTicketLifecycle(),
+		NewLockAcrossCommit(),
+		NewGoroutineOwnership(nil),
 	}
 }
 
@@ -141,24 +144,37 @@ func NewRunner(rules []Rule) *Runner {
 }
 
 // Run checks every package and returns the surviving diagnostics in
-// deterministic order.
+// deterministic order. Per-package rules run once per package;
+// ProgramRules run once over the whole load, so cross-package analyses
+// see every call edge the load produced.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	var all []Diagnostic
+	// Ignore tables are global, keyed by the diagnostic filename: a
+	// program rule may report into any loaded file.
+	ignores := make(map[string]map[int]ignoreDirective)
 	for _, pkg := range pkgs {
-		// Ignore tables are per file within the package.
-		ignores := make(map[string]map[int]ignoreDirective)
 		for _, f := range pkg.Files {
 			ig, bad := parseIgnores(pkg.Fset, f.AST)
 			ignores[f.Name] = ig
 			all = append(all, bad...)
 		}
-		for _, rule := range r.Rules {
-			for _, d := range rule.Check(pkg) {
-				if suppressed(ignores[d.Pos.Filename], d) {
-					continue
-				}
-				all = append(all, d)
+	}
+	keep := func(diags []Diagnostic) {
+		for _, d := range diags {
+			if suppressed(ignores[d.Pos.Filename], d) {
+				continue
 			}
+			all = append(all, d)
+		}
+	}
+	prog := NewProgram(pkgs)
+	for _, rule := range r.Rules {
+		if pr, ok := rule.(ProgramRule); ok {
+			keep(pr.CheckProgram(prog))
+			continue
+		}
+		for _, pkg := range pkgs {
+			keep(rule.Check(pkg))
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

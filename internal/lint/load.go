@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,9 +21,10 @@ type SourceFile struct {
 }
 
 // Package is one directory's worth of parsed Go files — the unit rules
-// operate on. Loading is purely syntactic (no type checking, no export
-// data), which keeps the tool dependency-free and fast; rules use
-// conservative AST heuristics instead of go/types.
+// operate on. Loading is syntactic first (go/ast, resilient to any
+// input), then a best-effort go/types pass (typecheck.go) attaches real
+// type information: rules prefer Types/TypesInfo when present and fall
+// back to conservative AST heuristics when not.
 type Package struct {
 	// RelPath is the module-root-relative directory with forward
 	// slashes, e.g. "internal/qss". Allow/deny lists match against it.
@@ -36,6 +38,17 @@ type Package struct {
 	// TopLevelNames indexes every package-level identifier declared in
 	// the package, used to detect shadowed import names.
 	TopLevelNames map[string]bool
+	// Path is the package's import path (ModulePath-prefixed; synthetic
+	// for directories outside the compiled tree, e.g. fixtures).
+	Path string
+	// Types and TypesInfo carry the go/types result when the type-check
+	// pass succeeded; TypeErrors collects what it reported either way.
+	// Both may be nil — every consumer must tolerate their absence.
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error
+	// externalTest marks the foo_test half of a split directory.
+	externalTest bool
 }
 
 // Config controls loading.
@@ -43,8 +56,12 @@ type Config struct {
 	// IncludeTests loads _test.go files too. Off by default: tests
 	// legitimately measure wall time and seed throwaway generators, and
 	// the invariants under enforcement are about state that crosses a
-	// checkpoint boundary.
+	// checkpoint boundary. External foo_test packages load as their own
+	// *Package so the type checker sees each under its real name.
 	IncludeTests bool
+	// SkipTypeCheck leaves Types/TypesInfo nil: pure-syntactic loading,
+	// used by engine tests that exercise the AST fallbacks.
+	SkipTypeCheck bool
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.
@@ -103,14 +120,22 @@ func LoadTree(root string, cfg Config) ([]*Package, error) {
 			return err
 		}
 		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+			pkgs = append(pkgs, splitTestFiles(pkg)...)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].RelPath < pkgs[j].RelPath })
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].RelPath != pkgs[j].RelPath {
+			return pkgs[i].RelPath < pkgs[j].RelPath
+		}
+		return pkgs[i].Path < pkgs[j].Path
+	})
+	if !cfg.SkipTypeCheck {
+		typeCheckPackages(fset, modRoot, pkgs)
+	}
 	return pkgs, nil
 }
 
@@ -126,7 +151,16 @@ func LoadDir(dir string, cfg Config) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return loadDir(token.NewFileSet(), modRoot, abs, cfg)
+	fset := token.NewFileSet()
+	pkg, err := loadDir(fset, modRoot, abs, cfg)
+	if err != nil || pkg == nil {
+		return pkg, err
+	}
+	pkgs := splitTestFiles(pkg)
+	if !cfg.SkipTypeCheck {
+		typeCheckPackages(fset, modRoot, pkgs)
+	}
+	return pkgs[0], nil
 }
 
 func loadDir(fset *token.FileSet, modRoot, dir string, cfg Config) (*Package, error) {

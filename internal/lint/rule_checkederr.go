@@ -14,11 +14,9 @@ var DefaultCheckedErrorScopes = []string{
 	"internal/core/journal.go",
 }
 
-// errReturningMethods are method names that, on the I/O types used in
-// the persistence layer, return an error worth checking. Matched by
-// bare name — over-approximate on purpose: in a durability-critical
-// package, a method that *looks* like I/O should have its error
-// handled or carry an explicit ignore with a reason.
+// errReturningMethods is the syntactic fallback's method-name table,
+// used only when a package has no type information. Matched by bare
+// name — over-approximate on purpose.
 var errReturningMethods = map[string]bool{
 	"Close":       true,
 	"Sync":        true,
@@ -33,8 +31,8 @@ var errReturningMethods = map[string]bool{
 	"Decode":      true,
 }
 
-// errReturningPkgFuncs are package-level stdlib functions whose error
-// results guard durability when called from the store.
+// errReturningPkgFuncs is the syntactic fallback's table of stdlib
+// package functions whose error results guard durability.
 var errReturningPkgFuncs = map[string]map[string]bool{
 	"os": {
 		"Remove": true, "RemoveAll": true, "Rename": true,
@@ -48,12 +46,22 @@ var errReturningPkgFuncs = map[string]map[string]bool{
 // scopes, an error result must not be dropped — neither by a bare call
 // statement nor by assigning it to the blank identifier. A swallowed
 // fsync or append error means acknowledging a cycle that is not durable
-// (DESIGN.md §10). Deliberate best-effort discards (cleanup on an
-// already-failing path) must carry //lint:ignore with the reason.
+// (DESIGN.md §10).
 //
-// Deferred calls are exempt: `defer f.Close()` on read-only paths is
-// idiomatic, and the store's write paths already close-and-check
-// explicitly before renaming.
+// With type information the rule is exact: a call discards an error iff
+// its (final) result type IS error — no name tables. Two exemptions:
+//
+//   - Deferred calls: `defer f.Close()` on read-only paths is idiomatic,
+//     and the store's write paths close-and-check explicitly.
+//   - Error-path cleanup: a discard that is followed, in the same
+//     block, by a return of a non-nil error is releasing resources on a
+//     path that already reports failure — `f.Close(); return
+//     fmt.Errorf(...)` does not swallow anything the caller would have
+//     seen.
+//
+// Best-effort discards on success paths (prune, temp-file sweeps) still
+// need //lint:ignore with a reason. Without type information the rule
+// falls back to the historical name-table heuristic.
 type CheckedErrors struct {
 	scopes []string
 }
@@ -70,38 +78,25 @@ func NewCheckedErrors(scopes []string) *CheckedErrors {
 func (r *CheckedErrors) Name() string { return "checked-errors-in-store" }
 
 func (r *CheckedErrors) Doc() string {
-	return "forbid discarded error results (bare call or blank assignment) in the durable store and journal hook"
+	return "forbid discarded error results in the durable store and journal hook (type-checked, error-path cleanup exempt)"
 }
 
+var errorType = types.Universe.Lookup("error").Type()
+
 func (r *CheckedErrors) Check(pkg *Package) []Diagnostic {
-	localErrFuncs := errorReturningFuncs(pkg)
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		if !matchesScope(pkg.RelPath, f.Name, r.scopes) {
 			continue
 		}
-		returnsError := func(call *ast.CallExpr) bool {
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				return localErrFuncs[fun.Name]
-			case *ast.SelectorExpr:
-				if errReturningMethods[fun.Sel.Name] || localErrFuncs[fun.Sel.Name] {
-					return true
-				}
-				if x, ok := fun.X.(*ast.Ident); ok {
-					for path, funcs := range errReturningPkgFuncs {
-						if name := importName(f.AST, path); name != "" &&
-							pkg.isPkgRef(x, name) && funcs[fun.Sel.Name] {
-							return true
-						}
-					}
-				}
-			}
-			return false
-		}
+		returnsError := r.errorDetector(pkg, f)
+		exempt := errorPathStmts(pkg, f)
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
+				if exempt[s] {
+					return true
+				}
 				call, ok := s.X.(*ast.CallExpr)
 				if !ok || !returnsError(call) {
 					return true
@@ -113,12 +108,120 @@ func (r *CheckedErrors) Check(pkg *Package) []Diagnostic {
 						types.ExprString(call.Fun)),
 				})
 			case *ast.AssignStmt:
+				if exempt[s] {
+					return true
+				}
 				diags = append(diags, r.checkAssign(pkg, s, returnsError)...)
 			}
 			return true
 		})
 	}
 	return diags
+}
+
+// errorDetector returns the predicate deciding whether a call yields a
+// discardable error: exact result-type inspection when the package is
+// typed, the name-table heuristic otherwise.
+func (r *CheckedErrors) errorDetector(pkg *Package, f *SourceFile) func(*ast.CallExpr) bool {
+	if pkg.Typed() {
+		return func(call *ast.CallExpr) bool {
+			// A type conversion is not a call with results.
+			if pkg.calleeOf(call) == nil {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if _, isType := pkg.ObjectOf(id).(*types.TypeName); isType {
+						return false
+					}
+				}
+			}
+			return lastResultIsError(pkg.TypeOf(call))
+		}
+	}
+	localErrFuncs := errorReturningFuncs(pkg)
+	return func(call *ast.CallExpr) bool {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return localErrFuncs[fun.Name]
+		case *ast.SelectorExpr:
+			if errReturningMethods[fun.Sel.Name] || localErrFuncs[fun.Sel.Name] {
+				return true
+			}
+			if x, ok := fun.X.(*ast.Ident); ok {
+				for path, funcs := range errReturningPkgFuncs {
+					if name := importName(f.AST, path); name != "" &&
+						pkg.isPkgRef(x, name) && funcs[fun.Sel.Name] {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+}
+
+// lastResultIsError reports whether a call's result type ends in error.
+func lastResultIsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, errorType)
+}
+
+// errorPathStmts collects statements exempt under the error-path
+// cleanup rule: everything preceding, in the same statement list, a
+// return whose results include a non-nil error expression. Requires
+// type information; the syntactic fallback has no exemption.
+func errorPathStmts(pkg *Package, f *SourceFile) map[ast.Stmt]bool {
+	out := map[ast.Stmt]bool{}
+	if !pkg.Typed() {
+		return out
+	}
+	mark := func(list []ast.Stmt) {
+		last := -1
+		for i, s := range list {
+			if isErrorReturn(pkg, s) {
+				last = i
+			}
+		}
+		for i := 0; i < last; i++ {
+			out[list[i]] = true
+		}
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			mark(b.List)
+		case *ast.CaseClause:
+			mark(b.Body)
+		case *ast.CommClause:
+			mark(b.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// isErrorReturn reports whether a statement returns a non-nil error
+// value.
+func isErrorReturn(pkg *Package, s ast.Stmt) bool {
+	ret, ok := s.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if t := pkg.TypeOf(res); t != nil && types.Identical(t, errorType) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkAssign flags blank-identifier discards of error results: the
@@ -159,7 +262,7 @@ func (r *CheckedErrors) checkAssign(pkg *Package, s *ast.AssignStmt, returnsErro
 }
 
 // errorReturningFuncs lists the package's own functions and methods
-// whose final result is `error`.
+// whose final result is `error`, for the syntactic fallback.
 func errorReturningFuncs(pkg *Package) map[string]bool {
 	out := make(map[string]bool)
 	for _, f := range pkg.Files {

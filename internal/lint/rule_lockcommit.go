@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fsyncQNames are the external functions that constitute a durable
+// commit: holding a mutex across one of these stalls every contending
+// goroutine for a disk flush.
+var fsyncQNames = map[string]bool{
+	"os.(File).Sync": true,
+}
+
+// detachQName is the async-commit seam: parallel.Detach hands work to
+// another goroutine and returns a join — spawning it under a lock
+// invites lock-ordering deadlocks between the holder and the detached
+// body.
+const detachQName = "internal/parallel.Detach"
+
+// lockFsyncExempt lists packages whose own locks legitimately serialise
+// fsync: the durable store's mutex-serialised append IS the WAL
+// protocol (DESIGN §10) — the lock exists precisely to order
+// write+fsync pairs.
+var lockFsyncExempt = []string{
+	"internal/store",
+}
+
+// LockAcrossCommit is rule no-lock-across-commit: while a sync.Mutex /
+// RWMutex is held, a function must not block on commit-grade
+// operations — channel sends/receives/selects, parallel.Detach, or
+// calls that transitively reach a WAL fsync ((*os.File).Sync, found
+// through the call graph). A lock held across a blocking rendezvous
+// couples unrelated goroutines' latencies at best and deadlocks at
+// worst; a lock held across an fsync turns every contender into a
+// disk-latency hostage.
+//
+// Lock intervals are tracked structurally per function in statement
+// order: X.Lock()/X.RLock() opens an interval for the rendered
+// expression X, X.Unlock()/X.RUnlock() closes it, and `defer
+// X.Unlock()` holds it to the end of the function. Function literals
+// are separate scopes (their bodies run later, not under the
+// spawn-site lock).
+type LockAcrossCommit struct{}
+
+// NewLockAcrossCommit builds the rule.
+func NewLockAcrossCommit() *LockAcrossCommit { return &LockAcrossCommit{} }
+
+func (r *LockAcrossCommit) Name() string { return "no-lock-across-commit" }
+
+func (r *LockAcrossCommit) Doc() string {
+	return "forbid holding a mutex across channel operations, parallel.Detach, or fsync-reaching calls (call-graph verified)"
+}
+
+// Check is the single-package form used by fixtures.
+func (r *LockAcrossCommit) Check(pkg *Package) []Diagnostic {
+	return r.CheckProgram(NewProgram([]*Package{pkg}))
+}
+
+func (r *LockAcrossCommit) CheckProgram(prog *Program) []Diagnostic {
+	fsync := prog.Graph().ReachesExternal(fsyncQNames)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Typed() {
+			continue
+		}
+		fsyncExempt := matchesScope(pkg.RelPath, "", lockFsyncExempt)
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				bodies := []*ast.BlockStmt{fd.Body}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+						bodies = append(bodies, fl.Body)
+					}
+					return true
+				})
+				for _, body := range bodies {
+					lw := &lockWalk{
+						pkg:         pkg,
+						fsync:       fsync,
+						fsyncExempt: fsyncExempt,
+					}
+					lw.block(body.List)
+					diags = append(diags, lw.diags...)
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// heldLock is one open lock interval.
+type heldLock struct {
+	expr string // rendered lock expression, e.g. "s.mu"
+	line int
+}
+
+type lockWalk struct {
+	pkg         *Package
+	fsync       map[*types.Func]string
+	fsyncExempt bool
+	held        []heldLock
+	diags       []Diagnostic
+}
+
+func (lw *lockWalk) holding() *heldLock {
+	if len(lw.held) == 0 {
+		return nil
+	}
+	return &lw.held[len(lw.held)-1]
+}
+
+func (lw *lockWalk) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		lw.stmt(s)
+	}
+}
+
+func (lw *lockWalk) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if lw.lockOp(st.X, false) {
+			return
+		}
+		lw.expr(st.X)
+	case *ast.DeferStmt:
+		// defer X.Unlock() holds the lock to the end of the function —
+		// by doing nothing here, the interval simply never closes.
+		if lw.isLockMethod(st.Call, "Unlock") || lw.isLockMethod(st.Call, "RUnlock") {
+			return
+		}
+		// Other deferred calls run after the function body; their
+		// arguments are evaluated now.
+		for _, arg := range st.Call.Args {
+			lw.expr(arg)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			lw.expr(e)
+		}
+		for _, e := range st.Lhs {
+			lw.expr(e)
+		}
+	case *ast.SendStmt:
+		lw.violate(st.Pos(), "channel send")
+		lw.expr(st.Value)
+	case *ast.SelectStmt:
+		lw.violate(st.Pos(), "select")
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lw.block(cc.Body)
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lw.stmt(st.Init)
+		}
+		lw.expr(st.Cond)
+		lw.block(st.Body.List)
+		if st.Else != nil {
+			lw.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			lw.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			lw.expr(st.Cond)
+		}
+		lw.block(st.Body.List)
+	case *ast.RangeStmt:
+		if t := lw.pkg.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				lw.violate(st.Pos(), "channel receive (range)")
+			}
+		}
+		lw.expr(st.X)
+		lw.block(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lw.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			lw.expr(st.Tag)
+		}
+		lw.caseBodies(st.Body)
+	case *ast.TypeSwitchStmt:
+		lw.caseBodies(st.Body)
+	case *ast.BlockStmt:
+		lw.block(st.List)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			lw.expr(e)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs elsewhere; only the arguments are
+		// evaluated under the lock.
+		for _, arg := range st.Call.Args {
+			lw.expr(arg)
+		}
+	case *ast.LabeledStmt:
+		lw.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lw.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (lw *lockWalk) caseBodies(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			lw.block(cc.Body)
+		}
+	}
+}
+
+// lockOp recognises and applies Lock/Unlock statements; it reports
+// whether the expression was one.
+func (lw *lockWalk) lockOp(e ast.Expr, _ bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, target := lw.lockMethod(call)
+	switch name {
+	case "Lock", "RLock":
+		lw.held = append(lw.held, heldLock{expr: target, line: lw.pkg.Fset.Position(call.Pos()).Line})
+		return true
+	case "Unlock", "RUnlock":
+		for i := len(lw.held) - 1; i >= 0; i-- {
+			if lw.held[i].expr == target {
+				lw.held = append(lw.held[:i], lw.held[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (lw *lockWalk) isLockMethod(call *ast.CallExpr, want string) bool {
+	name, _ := lw.lockMethod(call)
+	return name == want
+}
+
+// lockMethod classifies a call as a sync mutex operation, returning
+// the method name and the rendered lock expression ("" when it is not
+// one).
+func (lw *lockWalk) lockMethod(call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	callee := lw.pkg.calleeOf(call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, types.ExprString(sel.X)
+}
+
+// expr scans an expression (excluding nested function literals) for
+// blocking operations executed while a lock is held.
+func (lw *lockWalk) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lw.violate(x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			lw.checkCall(x)
+		}
+		return true
+	})
+}
+
+func (lw *lockWalk) checkCall(call *ast.CallExpr) {
+	callee := lw.pkg.calleeOf(call)
+	if callee == nil {
+		return
+	}
+	q := funcQName(callee)
+	if q == detachQName {
+		lw.violate(call.Pos(), "parallel.Detach")
+		return
+	}
+	if lw.fsyncExempt {
+		return
+	}
+	if why, ok := lw.fsync[callee]; ok && why != "" {
+		lw.violatef(call.Pos(), "call to %s, which reaches %s", q, why)
+	}
+}
+
+func (lw *lockWalk) violate(pos token.Pos, what string) {
+	lw.violatef(pos, "%s", what)
+}
+
+func (lw *lockWalk) violatef(pos token.Pos, format string, args ...any) {
+	h := lw.holding()
+	if h == nil {
+		return
+	}
+	lw.diags = append(lw.diags, Diagnostic{
+		Rule: "no-lock-across-commit",
+		Pos:  lw.pkg.Fset.Position(pos),
+		Message: fmt.Sprintf("%s while holding %s (locked at line %d); release the lock before blocking — a held lock across a commit point stalls every contender",
+			fmt.Sprintf(format, args...), h.expr, h.line),
+	})
+}

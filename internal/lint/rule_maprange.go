@@ -50,9 +50,13 @@ func isSerializationRoot(name string) bool {
 // saves of identical state differ — exactly what the durable store's
 // byte-identical recovery guarantee (PR 4) cannot tolerate.
 //
-// Map-ness is decided syntactically: map-typed locals, params, results,
-// package vars, named map types, and struct fields declared with map
-// type anywhere in the package.
+// With type information both halves are exact: map-ness comes from the
+// range operand's underlying type, and reachability follows
+// object-resolved same-package calls (a method named State on an
+// unrelated type no longer joins the serialization set). Without type
+// information the rule falls back to the historical syntactic
+// approximation: name-matched reachability and declared-map-type
+// tracking.
 type MapRange struct{}
 
 // NewMapRange builds the rule.
@@ -73,9 +77,26 @@ type pkgMapInfo struct {
 }
 
 func (r *MapRange) Check(pkg *Package) []Diagnostic {
-	info := collectMapInfo(pkg)
 	decls := packageFuncs(pkg)
-	reachable := reachableFrom(decls, isSerializationRoot)
+	var reachable map[*ast.FuncDecl]string
+	var rangesMap func(e ast.Expr, fd *ast.FuncDecl) bool
+	if pkg.Typed() {
+		reachable = typedReachableFrom(pkg, decls, isSerializationRoot)
+		rangesMap = func(e ast.Expr, _ *ast.FuncDecl) bool {
+			t := pkg.TypeOf(e)
+			if t == nil {
+				return false
+			}
+			_, ok := t.Underlying().(*types.Map)
+			return ok
+		}
+	} else {
+		info := collectMapInfo(pkg)
+		reachable = reachableFrom(decls, isSerializationRoot)
+		rangesMap = func(e ast.Expr, fd *ast.FuncDecl) bool {
+			return isMapExpr(e, info, localMapVars(fd, info))
+		}
+	}
 	var diags []Diagnostic
 	// Deterministic order: walk decls in file/position order.
 	for _, fd := range decls {
@@ -83,13 +104,12 @@ func (r *MapRange) Check(pkg *Package) []Diagnostic {
 		if !ok {
 			continue
 		}
-		locals := localMapVars(fd.decl, info)
 		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true
 			}
-			if !isMapExpr(rng.X, info, locals) {
+			if !rangesMap(rng.X, fd.decl) {
 				return true
 			}
 			if !rangeOrderObservable(rng) || isSortedKeysCollect(rng) {
@@ -105,6 +125,51 @@ func (r *MapRange) Check(pkg *Package) []Diagnostic {
 		})
 	}
 	return diags
+}
+
+// typedReachableFrom computes reachability through object-resolved
+// same-package calls: an edge exists only when the callee identifier
+// resolves to one of this package's declarations, so common method
+// names on unrelated types no longer connect. The value is the root
+// that first reached the declaration.
+func typedReachableFrom(pkg *Package, decls []funcInfo, isRoot func(string) bool) map[*ast.FuncDecl]string {
+	byObj := make(map[types.Object]*ast.FuncDecl)
+	for _, fd := range decls {
+		if obj := pkg.ObjectOf(fd.decl.Name); obj != nil {
+			byObj[obj] = fd.decl
+		}
+	}
+	reached := make(map[*ast.FuncDecl]string)
+	var queue []*ast.FuncDecl
+	for _, fd := range decls {
+		if isRoot(fd.name) {
+			reached[fd.decl] = fd.name
+			queue = append(queue, fd.decl)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		root := reached[cur]
+		ast.Inspect(cur.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pkg.calleeOf(call)
+			if callee == nil {
+				return true
+			}
+			if fd, ok := byObj[callee]; ok {
+				if _, seen := reached[fd]; !seen {
+					reached[fd] = root
+					queue = append(queue, fd)
+				}
+			}
+			return true
+		})
+	}
+	return reached
 }
 
 // funcInfo pairs a declaration with its lookup name.

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefaultGoroutineAllow lists packages whose spawns may be
+// fire-and-forget: the supervised runtime (its recover-wrapped spawn
+// IS the ownership mechanism) and the fork-join engine built on it.
+// Everywhere else a spawn must carry join evidence.
+var DefaultGoroutineAllow = []string{
+	"internal/parallel",
+	"internal/supervise",
+}
+
+// GoroutineOwnership is rule goroutine-ownership, the call-graph
+// successor to no-naked-goroutine. Every `go` statement must prove its
+// goroutine is owned by someone:
+//
+//   - WaitGroup join: the spawned body (or a function it reaches through
+//     static calls) calls Done on a sync.WaitGroup object that some
+//     function Waits on — same object, verified by identity, not by
+//     name.
+//   - Channel handshake: the body closes or sends on a channel object
+//     that is received from (or ranged over) elsewhere in the program.
+//   - Supervised spawn: the body installs a deferred recover. This is
+//     the internal/supervise idiom and is only accepted inside the
+//     allowlisted runtime packages — a recovered-but-unjoined goroutine
+//     anywhere else is still a leak, just a quieter one.
+//
+// Without type information the rule degrades to the old syntactic
+// check: any `go` outside the allowlist is flagged.
+type GoroutineOwnership struct {
+	allow []string
+}
+
+// NewGoroutineOwnership builds the rule with the given allowlist
+// (DefaultGoroutineAllow when nil).
+func NewGoroutineOwnership(allow []string) *GoroutineOwnership {
+	if allow == nil {
+		allow = DefaultGoroutineAllow
+	}
+	return &GoroutineOwnership{allow: allow}
+}
+
+func (r *GoroutineOwnership) Name() string { return "goroutine-ownership" }
+
+func (r *GoroutineOwnership) Doc() string {
+	return "every spawned goroutine must be joined (WaitGroup or channel, object-identity verified through the call graph) or supervised"
+}
+
+// Check is the single-package form used by fixtures.
+func (r *GoroutineOwnership) Check(pkg *Package) []Diagnostic {
+	return r.CheckProgram(NewProgram([]*Package{pkg}))
+}
+
+func (r *GoroutineOwnership) CheckProgram(prog *Program) []Diagnostic {
+	ev := collectJoinEvidence(prog)
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		allowed := matchesScope(pkg.RelPath, "", r.allow)
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if !pkg.Typed() {
+						if !allowed {
+							diags = append(diags, r.flag(pkg, g))
+						}
+						return true
+					}
+					joined, supervised := r.classify(prog, pkg, fd, g, ev)
+					if joined || (supervised && allowed) {
+						return true
+					}
+					diags = append(diags, r.flag(pkg, g))
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func (r *GoroutineOwnership) flag(pkg *Package, g *ast.GoStmt) Diagnostic {
+	return Diagnostic{
+		Rule: "goroutine-ownership",
+		Pos:  pkg.Fset.Position(g.Pos()),
+		Message: "goroutine has no owner: the spawned body never signals a joined WaitGroup or a received channel, " +
+			"and it is not a supervised-runtime spawn; join it, or route it through parallel.Run/Detach or supervise.Go",
+	}
+}
+
+// joinEvidence is the program-wide set of join points, keyed by object
+// identity so a Done in one function matches a Wait in another.
+type joinEvidence struct {
+	waited   map[types.Object]bool // WaitGroup objects with a Wait call
+	received map[types.Object]bool // channel objects received from or ranged over
+}
+
+func collectJoinEvidence(prog *Program) *joinEvidence {
+	ev := &joinEvidence{
+		waited:   map[types.Object]bool{},
+		received: map[types.Object]bool{},
+	}
+	for _, pkg := range prog.Pkgs {
+		if !pkg.Typed() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						if callee := pkg.calleeOf(x); callee != nil && isSyncWaitGroupMethod(callee, "Wait") {
+							if obj := exprObj(pkg, sel.X); obj != nil {
+								ev.waited[obj] = true
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if x.Op == token.ARROW {
+						if obj := exprObj(pkg, x.X); obj != nil {
+							ev.received[obj] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if t := pkg.TypeOf(x.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							if obj := exprObj(pkg, x.X); obj != nil {
+								ev.received[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return ev
+}
+
+// classify resolves the spawned bodies for one go statement and scans
+// them for ownership evidence.
+func (r *GoroutineOwnership) classify(prog *Program, pkg *Package, encl *ast.FuncDecl, g *ast.GoStmt, ev *joinEvidence) (joined, supervised bool) {
+	bodies := spawnBodies(prog, pkg, encl, g)
+	for _, b := range bodies {
+		j, s := scanOwnership(b.pkg, b.body, ev)
+		joined = joined || j
+		supervised = supervised || s
+	}
+	return joined, supervised
+}
+
+// spawnBody pairs a function body with the package whose type info
+// describes it.
+type spawnBody struct {
+	pkg  *Package
+	body *ast.BlockStmt
+}
+
+// spawnBodies resolves the code a go statement will run: a literal
+// body, a local func-value (resolved to its single FuncLit
+// assignment), or a declared function — plus everything reachable from
+// the bodies through static calls, so Done in a helper still counts.
+func spawnBodies(prog *Program, pkg *Package, encl *ast.FuncDecl, g *ast.GoStmt) []spawnBody {
+	var bodies []spawnBody
+	var roots []*types.Func
+
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		bodies = append(bodies, spawnBody{pkg, fun.Body})
+	case *ast.Ident:
+		if callee := pkg.calleeOf(g.Call); callee != nil {
+			roots = append(roots, callee)
+		} else if lit := localFuncLit(encl, pkg, fun); lit != nil {
+			bodies = append(bodies, spawnBody{pkg, lit.Body})
+		}
+	default:
+		if callee := pkg.calleeOf(g.Call); callee != nil {
+			roots = append(roots, callee)
+		}
+	}
+
+	// Static calls inside literal bodies seed the reachability sweep.
+	for _, b := range bodies {
+		ast.Inspect(b.body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := b.pkg.calleeOf(call); callee != nil {
+					roots = append(roots, callee)
+				}
+			}
+			return true
+		})
+	}
+	if len(roots) > 0 {
+		graph := prog.Graph()
+		for fn := range graph.Reachable(roots, false) {
+			node := graph.Nodes[fn]
+			if node == nil || node.Decl == nil || node.Decl.Body == nil || node.Pkg == nil {
+				continue
+			}
+			bodies = append(bodies, spawnBody{node.Pkg, node.Decl.Body})
+		}
+	}
+	return bodies
+}
+
+// localFuncLit finds the single FuncLit assigned to a local identifier
+// inside the enclosing declaration (the `body := func(...){...}; go
+// body(x)` idiom).
+func localFuncLit(encl *ast.FuncDecl, pkg *Package, id *ast.Ident) *ast.FuncLit {
+	obj := pkg.ObjectOf(id)
+	if obj == nil || encl.Body == nil {
+		return nil
+	}
+	var found *ast.FuncLit
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pkg.ObjectOf(lid) != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+				found = lit
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanOwnership looks through one body for join signals and deferred
+// recovers.
+func scanOwnership(pkg *Package, body *ast.BlockStmt, ev *joinEvidence) (joined, supervised bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if callee := pkg.calleeOf(x); callee != nil && isSyncWaitGroupMethod(callee, "Done") {
+					if obj := exprObj(pkg, sel.X); obj != nil && ev.waited[obj] {
+						joined = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if obj := exprObj(pkg, x.Args[0]); obj != nil && ev.received[obj] {
+						joined = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := exprObj(pkg, x.Chan); obj != nil && ev.received[obj] {
+				joined = true
+			}
+		case *ast.DeferStmt:
+			if deferredRecovers(pkg, x) {
+				supervised = true
+			}
+		}
+		return true
+	})
+	return joined, supervised
+}
+
+// deferredRecovers reports whether a defer statement installs a
+// recover — either `defer func(){ ... recover() ... }()` or a deferred
+// declared function whose body recovers.
+func deferredRecovers(pkg *Package, d *ast.DeferStmt) bool {
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if callee := pkg.calleeOf(d.Call); callee != nil {
+		// Only same-package declared helpers are resolvable to a body
+		// here; that covers the supervise idiom.
+		return false
+	}
+	if body == nil {
+		return false
+	}
+	recovers := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+			if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); isBuiltin {
+				recovers = true
+			}
+		}
+		return true
+	})
+	return recovers
+}
+
+func isSyncWaitGroupMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), "sync", "WaitGroup")
+}
+
+// exprObj resolves the object identity of a lock/waitgroup/channel
+// expression: a named variable or a struct field (the same field
+// object across every method of the type).
+func exprObj(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.ObjectOf(x)
+	case *ast.SelectorExpr:
+		if pkg.TypesInfo != nil {
+			if sel, ok := pkg.TypesInfo.Selections[x]; ok {
+				return sel.Obj()
+			}
+		}
+		return pkg.ObjectOf(x.Sel)
+	case *ast.StarExpr:
+		return exprObj(pkg, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprObj(pkg, x.X)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,751 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// taintMathxPath is the sanctioned randomness seam: internal/mathx owns
+// the raw source constructors, wraps them in CountingSource for
+// checkpointed consumers, and is therefore the one package where
+// calling rand.NewSource is not a finding.
+const taintMathxPath = "internal/mathx"
+
+// maxTaintIters caps the summary fixpoint. The lattice is finite
+// (source bit + one bit per parameter, all monotone), so the loop
+// terminates on its own; the cap is a backstop against a convergence
+// bug ever hanging the lint gate.
+const maxTaintIters = 32
+
+// DeterminismTaint is rule determinism-taint: a value derived from the
+// wall clock (time.Now/Since/Until) or from a raw math/rand source
+// constructed outside internal/mathx must never flow into state that a
+// SaveState/SnapshotState root reads into the checkpoint. Such a value
+// is different on every run, so a checkpoint containing it breaks the
+// byte-identical crash-recovery replay (DESIGN §9/§10) in a way no
+// round-trip test can catch deterministically.
+//
+// The analysis is interprocedural: function summaries record whether a
+// function returns source-derived taint, which parameters it forwards
+// to its results, and which parameters it writes into checkpointed
+// fields; a program-wide field-taint map (field-sensitive,
+// object-insensitive) carries flows through struct state between
+// functions. Summaries iterate to a fixpoint, then a reporting pass
+// emits each finding at the position of the taint *source* — the
+// time.Now() call — because that is the line that must change.
+//
+// Sanctioned seams are modeled, not allowlisted: mathx.NewCountedRand
+// summaries compute clean because the rand constructors inside
+// internal/mathx are not sources (the CountingSource position is part
+// of saved state, which is exactly what makes those draws replayable).
+type DeterminismTaint struct{}
+
+// NewDeterminismTaint builds the rule.
+func NewDeterminismTaint() *DeterminismTaint { return &DeterminismTaint{} }
+
+func (r *DeterminismTaint) Name() string { return "determinism-taint" }
+
+func (r *DeterminismTaint) Doc() string {
+	return "forbid wall-clock or raw-rand derived values from flowing into SaveState/SnapshotState-reachable state (interprocedural taint)"
+}
+
+// Check is the single-package form used by fixtures.
+func (r *DeterminismTaint) Check(pkg *Package) []Diagnostic {
+	return r.CheckProgram(NewProgram([]*Package{pkg}))
+}
+
+func (r *DeterminismTaint) CheckProgram(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	roots := g.RootsNamed(func(n string) bool {
+		return n == "SaveState" || n == "SnapshotState"
+	})
+	if len(roots) == 0 {
+		return nil
+	}
+	a := newTaintAnalysis(prog, g.Reachable(roots, true))
+	a.collectSaved()
+	if len(a.savedFields) == 0 && len(a.savedVars) == 0 {
+		return nil
+	}
+	for i := 0; i < maxTaintIters; i++ {
+		a.changed = false
+		a.pass(false)
+		if !a.changed {
+			break
+		}
+	}
+	a.pass(true)
+	return a.diagnostics()
+}
+
+// taintSource identifies where a tainted value was born.
+type taintSource struct {
+	pos  token.Position
+	what string // e.g. "time.Now()"
+}
+
+// taintVal is the abstract value of an expression: possibly carrying
+// source-born taint, possibly derived from the enclosing function's
+// parameters (a bitmask, receiver first).
+type taintVal struct {
+	src    *taintSource
+	params uint64
+}
+
+func (v *taintVal) tainted() bool { return v != nil && (v.src != nil || v.params != 0) }
+
+// savedSink describes one checkpointed location (a struct field or
+// package var read by a save root).
+type savedSink struct {
+	desc string // e.g. "committee.Committee.weights"
+	root string // the save root that reads it, e.g. "core.(CrowdLearn).SnapshotState"
+}
+
+// funcSummary is the interprocedural knowledge about one declared
+// function, grown monotonically across fixpoint passes.
+type funcSummary struct {
+	ret        *taintVal         // taint of any result value
+	paramSinks map[int]savedSink // params written into checkpointed state
+}
+
+type taintAnalysis struct {
+	prog    *Program
+	reached map[*types.Func]*types.Func
+
+	savedFields map[*types.Var]savedSink
+	savedVars   map[*types.Var]savedSink
+
+	summaries  map[*types.Func]*funcSummary
+	fieldTaint map[*types.Var]*taintVal
+	varTaint   map[*types.Var]*taintVal
+	envs       map[*types.Func]map[types.Object]*taintVal
+
+	changed bool
+	report  bool
+	found   map[string]Diagnostic
+}
+
+func newTaintAnalysis(prog *Program, reached map[*types.Func]*types.Func) *taintAnalysis {
+	return &taintAnalysis{
+		prog:        prog,
+		reached:     reached,
+		savedFields: make(map[*types.Var]savedSink),
+		savedVars:   make(map[*types.Var]savedSink),
+		summaries:   make(map[*types.Func]*funcSummary),
+		fieldTaint:  make(map[*types.Var]*taintVal),
+		varTaint:    make(map[*types.Var]*taintVal),
+		envs:        make(map[*types.Func]map[types.Object]*taintVal),
+		found:       make(map[string]Diagnostic),
+	}
+}
+
+// collectSaved walks every save-reachable declared function and records
+// each struct field and package-level variable it reads: that set is
+// the checkpointed state the taint must not reach.
+func (a *taintAnalysis) collectSaved() {
+	a.prog.FuncDecls(func(pkg *Package, fd *ast.FuncDecl, fn *types.Func) {
+		root, ok := a.reached[fn]
+		if !ok || fd.Body == nil {
+			return
+		}
+		rootName := funcQName(root)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pkg.TypesInfo.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, seen := a.savedFields[field]; !seen {
+					a.savedFields[field] = savedSink{
+						desc: fieldDesc(sel.Recv(), field),
+						root: rootName,
+					}
+				}
+			case *ast.Ident:
+				obj, ok := pkg.TypesInfo.Uses[e].(*types.Var)
+				if !ok || obj.Parent() == nil || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Parent() != obj.Pkg().Scope() {
+					return true
+				}
+				if _, seen := a.savedVars[obj]; !seen {
+					a.savedVars[obj] = savedSink{
+						desc: shortPkgPath(obj.Pkg().Path()) + "." + obj.Name(),
+						root: rootName,
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// fieldDesc renders "Type.field" for messages.
+func fieldDesc(recv types.Type, field *types.Var) string {
+	for {
+		p, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		obj := named.Obj()
+		prefix := ""
+		if obj.Pkg() != nil {
+			prefix = shortPkgPath(obj.Pkg().Path()) + "."
+		}
+		return prefix + obj.Name() + "." + field.Name()
+	}
+	return field.Name()
+}
+
+// pass runs one flow-insensitive sweep over every declared function
+// body, growing summaries and the global field/var taint. With report
+// set it additionally records diagnostics (done once, after the
+// fixpoint, so findings are stable and deduplicated).
+func (a *taintAnalysis) pass(report bool) {
+	a.report = report
+	a.prog.FuncDecls(func(pkg *Package, fd *ast.FuncDecl, fn *types.Func) {
+		if fd.Body == nil {
+			return
+		}
+		fa := &fnTaint{a: a, pkg: pkg, fn: fn, sum: a.summary(fn)}
+		fa.env = a.envs[fn]
+		if fa.env == nil {
+			fa.env = make(map[types.Object]*taintVal)
+			a.envs[fn] = fa.env
+			seedParams(fn, fa.env)
+		}
+		fa.dynTargets = dynTargetsOf(a.prog.Graph(), fn)
+		fa.walk(fd.Body)
+		fa.flushNamedResults()
+	})
+}
+
+// seedParams initialises the parameter objects with their own taint
+// bits: receiver first, then parameters in order.
+func seedParams(fn *types.Func, env map[types.Object]*taintVal) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	idx := 0
+	if recv := sig.Recv(); recv != nil {
+		env[recv] = &taintVal{params: 1}
+		idx = 1
+	}
+	for i := 0; i < sig.Params().Len() && idx < 64; i++ {
+		env[sig.Params().At(i)] = &taintVal{params: 1 << idx}
+		idx++
+	}
+}
+
+func (a *taintAnalysis) summary(fn *types.Func) *funcSummary {
+	s := a.summaries[fn]
+	if s == nil {
+		s = &funcSummary{paramSinks: make(map[int]savedSink)}
+		a.summaries[fn] = s
+	}
+	return s
+}
+
+// mergeInto folds src into *dst, tracking monotone growth.
+func (a *taintAnalysis) mergeInto(dst **taintVal, src *taintVal) {
+	if !src.tainted() {
+		return
+	}
+	if *dst == nil {
+		*dst = &taintVal{}
+	}
+	d := *dst
+	if d.src == nil && src.src != nil {
+		d.src = src.src
+		a.changed = true
+	}
+	if grown := d.params | src.params; grown != d.params {
+		d.params = grown
+		a.changed = true
+	}
+}
+
+// dynTargetsOf indexes the caller's dynamic call-graph edges by call
+// position, so interface-method call sites apply the summaries of
+// every concrete candidate.
+func dynTargetsOf(g *CallGraph, fn *types.Func) map[token.Pos][]*types.Func {
+	var out map[token.Pos][]*types.Func
+	for _, e := range g.Callees[fn] {
+		if e.Kind != EdgeDynamic {
+			continue
+		}
+		if out == nil {
+			out = make(map[token.Pos][]*types.Func)
+		}
+		out[e.Pos] = append(out[e.Pos], e.To)
+	}
+	return out
+}
+
+// fnTaint is the per-function walker for one pass.
+type fnTaint struct {
+	a          *taintAnalysis
+	pkg        *Package
+	fn         *types.Func
+	sum        *funcSummary
+	env        map[types.Object]*taintVal
+	dynTargets map[token.Pos][]*types.Func
+}
+
+// walk processes every statement in the body. The analysis is
+// flow-insensitive; statement forms that bind or move values are
+// interpreted, everything else is reached through the generic
+// expression evaluation of calls.
+func (fa *fnTaint) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			fa.assign(s)
+		case *ast.ValueSpec:
+			for i, val := range s.Values {
+				rv := fa.taintOf(val)
+				if len(s.Values) == len(s.Names) {
+					fa.bindIdent(s.Names[i], rv)
+				} else {
+					for _, name := range s.Names {
+						fa.bindIdent(name, rv)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			rv := fa.taintOf(s.X)
+			if s.Key != nil {
+				fa.assignTo(s.Key, rv)
+			}
+			if s.Value != nil {
+				fa.assignTo(s.Value, rv)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				fa.a.mergeInto(&fa.sum.ret, fa.taintOf(res))
+			}
+		case *ast.SendStmt:
+			// ch <- v taints the channel object, so a later receive from
+			// the same variable observes it.
+			fa.assignTo(s.Chan, fa.taintOf(s.Value))
+		case *ast.CallExpr:
+			fa.taintOf(s)
+		}
+		return true
+	})
+}
+
+// flushNamedResults merges the taint accumulated in named result
+// objects into the return summary (covers bare `return`).
+func (fa *fnTaint) flushNamedResults() {
+	sig, ok := fa.fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		res := sig.Results().At(i)
+		if res.Name() == "" {
+			continue
+		}
+		if v, ok := fa.env[res]; ok {
+			fa.a.mergeInto(&fa.sum.ret, v)
+		}
+	}
+}
+
+func (fa *fnTaint) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value: every binding conservatively carries the call's
+		// combined taint.
+		rv := fa.taintOf(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			fa.assignTo(lhs, rv)
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if i < len(s.Lhs) {
+			fa.assignTo(s.Lhs[i], fa.taintOf(rhs))
+		}
+	}
+}
+
+// assignTo propagates rv into an lvalue: locals and package vars via
+// the taint environments, struct fields via the program-wide field
+// taint (where the checkpointed-state sink check fires).
+func (fa *fnTaint) assignTo(lhs ast.Expr, rv *taintVal) {
+	if !rv.tainted() {
+		return
+	}
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		fa.bindIdent(l, rv)
+	case *ast.SelectorExpr:
+		if sel, ok := fa.pkg.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			if field, ok := sel.Obj().(*types.Var); ok {
+				fa.a.taintField(field, rv)
+				if sink, saved := fa.a.savedFields[field]; saved {
+					fa.sinkHit(rv, sink, l.Pos())
+				}
+				return
+			}
+		}
+		// Qualified package var pkg.V.
+		if obj, ok := fa.pkg.TypesInfo.Uses[l.Sel].(*types.Var); ok {
+			fa.bindVar(obj, rv)
+		}
+	case *ast.IndexExpr:
+		fa.assignTo(l.X, rv)
+	case *ast.StarExpr:
+		fa.assignTo(l.X, rv)
+	case *ast.ParenExpr:
+		fa.assignTo(l.X, rv)
+	}
+}
+
+func (fa *fnTaint) bindIdent(id *ast.Ident, rv *taintVal) {
+	if id.Name == "_" || !rv.tainted() {
+		return
+	}
+	obj := fa.pkg.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		fa.bindVar(v, rv)
+		return
+	}
+	dst := fa.env[obj]
+	fa.a.mergeInto(&dst, rv)
+	fa.env[obj] = dst
+}
+
+func (fa *fnTaint) bindVar(v *types.Var, rv *taintVal) {
+	if rv.src != nil {
+		dst := fa.a.varTaint[v]
+		fa.a.mergeInto(&dst, &taintVal{src: rv.src})
+		fa.a.varTaint[v] = dst
+	}
+	if sink, saved := fa.a.savedVars[v]; saved {
+		fa.sinkHit(rv, sink, v.Pos())
+	}
+}
+
+// taintField records source-born taint against a struct field. The
+// field-taint map crosses function boundaries (it is how a value
+// parked in struct state in one function reaches a read in another),
+// so it only ever carries source taint: parameter bits are meaningful
+// solely inside the function that owns the parameters, and letting
+// them escape through a shared field would fabricate flows between
+// unrelated functions that happen to touch the same field.
+func (a *taintAnalysis) taintField(field *types.Var, rv *taintVal) {
+	if rv == nil || rv.src == nil {
+		return
+	}
+	dst := a.fieldTaint[field]
+	a.mergeInto(&dst, &taintVal{src: rv.src})
+	a.fieldTaint[field] = dst
+}
+
+// sinkHit records the consequences of tainted data reaching a
+// checkpointed location: a diagnostic when the taint is source-born,
+// and a summary paramSink when it derives from the enclosing
+// function's parameters (so callers passing source-born values get
+// flagged at their source).
+func (fa *fnTaint) sinkHit(rv *taintVal, sink savedSink, pos token.Pos) {
+	if !rv.tainted() {
+		return
+	}
+	if rv.src != nil && fa.a.report {
+		fa.a.emit(rv.src, sink)
+	}
+	if rv.params != 0 {
+		for i := 0; i < 64; i++ {
+			if rv.params&(1<<i) == 0 {
+				continue
+			}
+			if _, ok := fa.sum.paramSinks[i]; !ok {
+				fa.sum.paramSinks[i] = sink
+				fa.a.changed = true
+			}
+		}
+	}
+}
+
+func (a *taintAnalysis) emit(src *taintSource, sink savedSink) {
+	key := src.pos.String() + "|" + sink.desc
+	if _, ok := a.found[key]; ok {
+		return
+	}
+	a.found[key] = Diagnostic{
+		Rule: "determinism-taint",
+		Pos:  src.pos,
+		Message: fmt.Sprintf("%s value flows into %s, which %s reads into the checkpoint; replay cannot reproduce it — take time from the cycle input/simclock and randomness from a mathx.CountingSource",
+			src.what, sink.desc, sink.root),
+	}
+}
+
+func (a *taintAnalysis) diagnostics() []Diagnostic {
+	diags := make([]Diagnostic, 0, len(a.found))
+	for _, d := range a.found {
+		diags = append(diags, d)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// taintOf evaluates the abstract taint of an expression.
+func (fa *fnTaint) taintOf(e ast.Expr) *taintVal {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := fa.pkg.ObjectOf(x)
+		if obj == nil {
+			return nil
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return fa.a.varTaint[v]
+		}
+		return fa.env[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := fa.pkg.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			// Field reads are strictly field-sensitive: the taint of the
+			// base value does not project onto its fields (a struct that
+			// carries one tainted field is not tainted in its others).
+			// Whole-value flows still propagate through assignments and
+			// calls.
+			if field, ok := sel.Obj().(*types.Var); ok {
+				return fa.a.fieldTaint[field]
+			}
+			return nil
+		}
+		if obj, ok := fa.pkg.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return fa.a.varTaint[obj]
+		}
+		// Method value: taint of the receiver.
+		return fa.taintOf(x.X)
+	case *ast.CallExpr:
+		return fa.callTaint(x)
+	case *ast.BinaryExpr:
+		var out *taintVal
+		fa.a.mergeInto(&out, fa.taintOf(x.X))
+		fa.a.mergeInto(&out, fa.taintOf(x.Y))
+		return out
+	case *ast.UnaryExpr:
+		return fa.taintOf(x.X)
+	case *ast.StarExpr:
+		return fa.taintOf(x.X)
+	case *ast.ParenExpr:
+		return fa.taintOf(x.X)
+	case *ast.IndexExpr:
+		return fa.taintOf(x.X)
+	case *ast.SliceExpr:
+		return fa.taintOf(x.X)
+	case *ast.TypeAssertExpr:
+		return fa.taintOf(x.X)
+	case *ast.CompositeLit:
+		return fa.compositeTaint(x)
+	case *ast.FuncLit:
+		// The closure body runs against the shared environment (captured
+		// objects are the same *types.Var), so walking it here keeps its
+		// effects; the function value itself carries no taint.
+		return nil
+	}
+	return nil
+}
+
+// compositeTaint evaluates a composite literal. Struct literals record
+// each element's taint against the corresponding field (mirroring the
+// field-sensitive read model, and firing the checkpointed-state sink
+// check when the field is saved); the literal value itself also
+// carries the merged element taint so whole-value assignments into a
+// saved location still flag.
+func (fa *fnTaint) compositeTaint(lit *ast.CompositeLit) *taintVal {
+	var structType *types.Struct
+	if tv, ok := fa.pkg.TypesInfo.Types[lit]; ok && tv.Type != nil {
+		structType, _ = tv.Type.Underlying().(*types.Struct)
+	}
+	var out *taintVal
+	for i, elt := range lit.Elts {
+		var field *types.Var
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok && structType != nil {
+				field, _ = fa.pkg.TypesInfo.Uses[id].(*types.Var)
+			}
+		} else if structType != nil && i < structType.NumFields() {
+			field = structType.Field(i)
+		}
+		rv := fa.taintOf(val)
+		fa.a.mergeInto(&out, rv)
+		if field != nil && rv.tainted() {
+			fa.a.taintField(field, rv)
+			if sink, saved := fa.a.savedFields[field]; saved {
+				fa.sinkHit(rv, sink, val.Pos())
+			}
+		}
+	}
+	return out
+}
+
+// callTaint evaluates a call: recognising taint sources, applying
+// declared-function summaries (including dynamic interface
+// candidates), and conservatively propagating argument taint through
+// externals.
+func (fa *fnTaint) callTaint(call *ast.CallExpr) *taintVal {
+	// Type conversion: taint of the converted operand.
+	if tv, ok := fa.pkg.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return fa.taintOf(call.Args[0])
+	}
+	callee := fa.pkg.calleeOf(call)
+	if callee == nil {
+		// Builtin, func value or closure call: merge operand taint.
+		var out *taintVal
+		fa.a.mergeInto(&out, fa.taintOf(call.Fun))
+		for _, arg := range call.Args {
+			fa.a.mergeInto(&out, fa.taintOf(arg))
+		}
+		return out
+	}
+	if src := fa.sourceOf(call, callee); src != nil {
+		return &taintVal{src: src}
+	}
+	targets := fa.calleeTargets(call, callee)
+	if len(targets) == 0 {
+		// External: result carries the merged operand taint.
+		var out *taintVal
+		for i := 0; i < fa.operandCount(call, callee); i++ {
+			fa.a.mergeInto(&out, fa.operand(call, callee, i))
+		}
+		return out
+	}
+	var out *taintVal
+	for _, target := range targets {
+		sum := fa.a.summary(target)
+		if sum.ret != nil {
+			if sum.ret.src != nil {
+				fa.a.mergeInto(&out, &taintVal{src: sum.ret.src})
+			}
+			for i := 0; i < 64; i++ {
+				if sum.ret.params&(1<<i) != 0 {
+					fa.a.mergeInto(&out, fa.operand(call, target, i))
+				}
+			}
+		}
+		for i := 0; i < 64; i++ {
+			sink, ok := sum.paramSinks[i]
+			if !ok {
+				continue
+			}
+			fa.sinkHit(fa.operand(call, target, i), sink, call.Pos())
+		}
+	}
+	return out
+}
+
+// calleeTargets resolves the summarised targets of a call: the static
+// callee when it is declared in the program, or the dynamic-edge
+// candidates for an interface method.
+func (fa *fnTaint) calleeTargets(call *ast.CallExpr, callee *types.Func) []*types.Func {
+	g := fa.a.prog.Graph()
+	if node := g.Nodes[callee]; node != nil && node.Decl != nil {
+		return []*types.Func{callee}
+	}
+	if isInterfaceMethod(callee) {
+		return fa.dynTargets[call.Pos()]
+	}
+	return nil
+}
+
+// operandCount is the number of abstract parameters at a call site
+// (receiver included).
+func (fa *fnTaint) operandCount(call *ast.CallExpr, callee *types.Func) int {
+	n := len(call.Args)
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		n++
+	}
+	return n
+}
+
+// operand returns the taint of abstract parameter i at the call site:
+// index 0 is the receiver for methods, arguments follow; variadic
+// overflow maps onto the final parameter.
+func (fa *fnTaint) operand(call *ast.CallExpr, callee *types.Func, i int) *taintVal {
+	sig, _ := callee.Type().(*types.Signature)
+	hasRecv := sig != nil && sig.Recv() != nil
+	if hasRecv {
+		if i == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return fa.taintOf(sel.X)
+			}
+			return nil
+		}
+		i--
+	}
+	if i < len(call.Args) {
+		return fa.taintOf(call.Args[i])
+	}
+	// Final variadic parameter: merge every trailing argument.
+	if sig != nil && sig.Variadic() && i == sig.Params().Len()-1 {
+		var out *taintVal
+		for j := i; j < len(call.Args); j++ {
+			fa.a.mergeInto(&out, fa.taintOf(call.Args[j]))
+		}
+		return out
+	}
+	return nil
+}
+
+// sourceOf recognises taint-source calls: wall-clock reads anywhere,
+// and raw math/rand source constructors outside internal/mathx (inside
+// mathx they are the implementation of the sanctioned CountingSource
+// seam).
+func (fa *fnTaint) sourceOf(call *ast.CallExpr, callee *types.Func) *taintSource {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var what string
+	switch pkg.Path() {
+	case "time":
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			what = "time." + callee.Name() + "() wall-clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if fa.pkg.RelPath == taintMathxPath || strings.HasPrefix(fa.pkg.RelPath, taintMathxPath+"/") {
+			return nil
+		}
+		switch callee.Name() {
+		case "NewSource", "NewPCG", "NewChaCha8":
+			what = "raw rand." + callee.Name() + "() (position not checkpointed)"
+		}
+	}
+	if what == "" {
+		return nil
+	}
+	return &taintSource{pos: fa.pkg.Fset.Position(call.Pos()), what: what}
+}

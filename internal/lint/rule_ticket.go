@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// admissionPkgPath is where the ticketed-admission controller lives.
+const admissionPkgPath = ModulePath + "/internal/admission"
+
+// ticketResolveMethods are the calls that settle a ticket's lifecycle.
+var ticketResolveMethods = map[string]bool{
+	"Done":    true,
+	"Abandon": true,
+}
+
+// TicketLifecycle is rule ticket-lifecycle: an *admission.Ticket is a
+// linear resource — every ticket acquired (typically from
+// Controller.Decide) must be resolved with Done or Abandon on every
+// path out of the acquiring function, or explicitly handed off
+// (passed to another function, stored, returned, captured). A leaked
+// ticket permanently occupies an admission slot, so the controller
+// slowly strangles itself under error paths that return early — the
+// exact bug class the crowdload trajectory cannot reproduce reliably.
+//
+// The check walks the function body structurally, tracking liveness
+// per path: a `return` while the ticket is live is flagged at the
+// return; falling off the end while live is flagged at the
+// acquisition. Nil guards are understood (`if t != nil { ... }` — the
+// ticket cannot leak on the nil path), and any escaping use transfers
+// ownership and ends tracking.
+type TicketLifecycle struct{}
+
+// NewTicketLifecycle builds the rule.
+func NewTicketLifecycle() *TicketLifecycle { return &TicketLifecycle{} }
+
+func (r *TicketLifecycle) Name() string { return "ticket-lifecycle" }
+
+func (r *TicketLifecycle) Doc() string {
+	return "every acquired *admission.Ticket must be resolved (Done/Abandon) or handed off on all paths out of the acquiring function"
+}
+
+func (r *TicketLifecycle) Check(pkg *Package) []Diagnostic {
+	if !pkg.Typed() {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, body := range functionBodies(fd) {
+				diags = append(diags, checkTicketBody(pkg, body)...)
+			}
+		}
+	}
+	return diags
+}
+
+// functionBodies returns the declaration's body plus every function
+// literal inside it: each is its own ownership scope (a ticket born in
+// a closure must be settled by the closure; a ticket captured by a
+// closure has escaped its parent).
+func functionBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// isTicketPtr reports whether t is *admission.Ticket.
+func isTicketPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return isNamedType(t, admissionPkgPath, "Ticket")
+}
+
+// checkTicketBody finds every ticket birth in the body (excluding
+// nested function literals, which are their own scope) and walks the
+// body per ticket.
+func checkTicketBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	births := ticketBirths(pkg, body)
+	for _, b := range births {
+		if ticketEscapes(pkg, body, b) {
+			continue
+		}
+		tw := &ticketWalk{pkg: pkg, birth: b}
+		if live := tw.block(body.List, false); live {
+			diags = append(diags, Diagnostic{
+				Rule: "ticket-lifecycle",
+				Pos:  pkg.Fset.Position(b.assign.Pos()),
+				Message: fmt.Sprintf("admission ticket %s is acquired here but not resolved before the function ends; call Done or Abandon on every path",
+					b.obj.Name()),
+			})
+		}
+		diags = append(diags, tw.diags...)
+	}
+	return diags
+}
+
+// ticketBirth is one acquisition: an assignment binding a call result
+// of type *admission.Ticket to a local.
+type ticketBirth struct {
+	obj    types.Object
+	assign *ast.AssignStmt
+}
+
+// ticketBirths scans the body (skipping nested function literals) for
+// acquisitions.
+func ticketBirths(pkg *Package, body *ast.BlockStmt) []*ticketBirth {
+	var births []*ticketBirth
+	inspectScope(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) == 0 {
+			return
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall && len(as.Rhs) == 1 {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pkg.ObjectOf(id)
+			if obj == nil || !isTicketPtr(obj.Type()) {
+				continue
+			}
+			// Only the binding assignment counts as a birth; a plain
+			// re-assignment of an existing ticket variable from a call is
+			// also one (the previous value must already be settled).
+			births = append(births, &ticketBirth{obj: obj, assign: as})
+		}
+	})
+	return births
+}
+
+// inspectScope walks the block like ast.Inspect but does not descend
+// into function literals.
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// ticketEscapes reports whether the ticket has any ownership-
+// transferring use in the body: passed as an argument, returned,
+// stored into a field/element/other variable, sent on a channel, or
+// captured by a function literal. Resolution then becomes the
+// transferee's obligation.
+func ticketEscapes(pkg *Package, body *ast.BlockStmt, b *ticketBirth) bool {
+	escaped := false
+	// Captured by any nested function literal?
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pkg.ObjectOf(id) == b.obj {
+				escaped = true
+			}
+			return true
+		})
+		return !escaped
+	})
+	if escaped {
+		return true
+	}
+	// Any use that is not a method call on the ticket, a nil
+	// comparison, or one of its own binding assignments?
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // not pushed; Inspect skips its nil pop too
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.ObjectOf(id) == b.obj {
+			if escapingUse(stack, id) {
+				escaped = true
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return escaped
+}
+
+// escapingUse classifies one ticket identifier use by its parent node:
+// method calls on the ticket (receiver position) and nil comparisons
+// keep ownership local, as does the LHS of an assignment (the binding
+// itself); every other position — call argument, return value,
+// composite literal, channel send, address-of, RHS of an assignment —
+// transfers ownership.
+func escapingUse(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return p.X != id // t.Method / t.Field receiver use is local
+	case *ast.BinaryExpr:
+		return p.Op != token.EQL && p.Op != token.NEQ
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// ticketWalk is the per-ticket structural path walker.
+type ticketWalk struct {
+	pkg   *Package
+	birth *ticketBirth
+	diags []Diagnostic
+}
+
+// block walks a statement list, returning the ticket's liveness at its
+// end given liveness at entry.
+func (tw *ticketWalk) block(stmts []ast.Stmt, live bool) bool {
+	for _, s := range stmts {
+		live = tw.stmt(s, live)
+	}
+	return live
+}
+
+func (tw *ticketWalk) stmt(s ast.Stmt, live bool) bool {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if st == tw.birth.assign {
+			return true
+		}
+		return live
+	case *ast.ExprStmt:
+		if live && tw.resolves(st.X) {
+			return false
+		}
+		return live
+	case *ast.DeferStmt:
+		// defer t.Done(...) settles every subsequent exit.
+		if tw.isResolveCall(st.Call) {
+			return false
+		}
+		return live
+	case *ast.ReturnStmt:
+		if live {
+			tw.diags = append(tw.diags, Diagnostic{
+				Rule: "ticket-lifecycle",
+				Pos:  tw.pkg.Fset.Position(st.Pos()),
+				Message: fmt.Sprintf("return leaks admission ticket %s (acquired at line %d); call Done or Abandon before returning",
+					tw.birth.obj.Name(), tw.pkg.Fset.Position(tw.birth.assign.Pos()).Line),
+			})
+		}
+		return false // path ends
+	case *ast.IfStmt:
+		if st.Init != nil {
+			live = tw.stmt(st.Init, live)
+		}
+		thenEntry, elseEntry := live, live
+		// Nil guards: the ticket cannot leak on the path where it is
+		// nil (every Ticket method is nil-safe, and a nil ticket holds
+		// no slot).
+		switch tw.nilCheck(st.Cond) {
+		case token.EQL: // if t == nil
+			thenEntry = false
+		case token.NEQ: // if t != nil
+			elseEntry = false
+		}
+		thenLive := tw.block(st.Body.List, thenEntry)
+		elseLive := elseEntry
+		if st.Else != nil {
+			elseLive = tw.stmt(st.Else, elseEntry)
+		}
+		return thenLive || elseLive
+	case *ast.BlockStmt:
+		return tw.block(st.List, live)
+	case *ast.ForStmt:
+		body := tw.block(st.Body.List, live)
+		return live || body
+	case *ast.RangeStmt:
+		body := tw.block(st.Body.List, live)
+		return live || body
+	case *ast.SwitchStmt:
+		return tw.clauses(st.Body, live)
+	case *ast.TypeSwitchStmt:
+		return tw.clauses(st.Body, live)
+	case *ast.SelectStmt:
+		return tw.selectClauses(st.Body, live)
+	case *ast.LabeledStmt:
+		return tw.stmt(st.Stmt, live)
+	case *ast.GoStmt:
+		return live
+	default:
+		return live
+	}
+}
+
+// clauses merges a switch body: liveness is the OR across clause
+// exits, plus the entry liveness when no default clause guarantees a
+// clause runs.
+func (tw *ticketWalk) clauses(body *ast.BlockStmt, live bool) bool {
+	out := false
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if tw.block(cc.Body, live) {
+			out = true
+		}
+	}
+	if !hasDefault {
+		out = out || live
+	}
+	return out
+}
+
+// selectClauses merges a select body: a select without default blocks
+// until some case runs, so liveness is the OR across cases only.
+func (tw *ticketWalk) selectClauses(body *ast.BlockStmt, live bool) bool {
+	out := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if tw.block(cc.Body, live) {
+			out = true
+		}
+	}
+	return out
+}
+
+// resolves reports whether the expression is a Done/Abandon call on
+// the tracked ticket.
+func (tw *ticketWalk) resolves(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return tw.isResolveCall(call)
+}
+
+func (tw *ticketWalk) isResolveCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !ticketResolveMethods[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && tw.pkg.ObjectOf(id) == tw.birth.obj
+}
+
+// nilCheck recognises `t == nil` / `t != nil` conditions on the
+// tracked ticket, returning the operator (or ILLEGAL).
+func (tw *ticketWalk) nilCheck(cond ast.Expr) token.Token {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return token.ILLEGAL
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isTicket := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && tw.pkg.ObjectOf(id) == tw.birth.obj
+	}
+	if (isTicket(be.X) && isNil(be.Y)) || (isNil(be.X) && isTicket(be.Y)) {
+		return be.Op
+	}
+	return token.ILLEGAL
+}

@@ -101,11 +101,42 @@ func TestRuleFixtures(t *testing.T) {
 			},
 		},
 		{
-			fixture: "goroutine",
-			rules:   func(*Package) []Rule { return []Rule{NewNakedGoroutine(nil)} },
+			fixture: "ownership",
+			rules:   func(*Package) []Rule { return []Rule{NewGoroutineOwnership(nil)} },
 			want: []string{
-				"goroutine.go 7:2 no-naked-goroutine",
-				"goroutine.go 12:2 no-naked-goroutine",
+				"ownership.go 12:2 goroutine-ownership",
+				"ownership.go 18:2 goroutine-ownership",
+				"ownership.go 27:2 goroutine-ownership",
+			},
+		},
+		{
+			// The two-hop case (29:33) pins the acceptance criterion:
+			// a wall-clock value laundered through two calls into
+			// saved state is reported at the source position.
+			fixture: "taint",
+			rules:   func(*Package) []Rule { return []Rule{NewDeterminismTaint()} },
+			want: []string{
+				"taint.go 24:11 determinism-taint",
+				"taint.go 29:33 determinism-taint",
+				"taint.go 40:9 determinism-taint",
+			},
+		},
+		{
+			fixture: "ticket",
+			rules:   func(*Package) []Rule { return []Rule{NewTicketLifecycle()} },
+			want: []string{
+				"ticket.go 20:3 ticket-lifecycle",
+				"ticket.go 30:2 ticket-lifecycle",
+			},
+		},
+		{
+			fixture: "lockcommit",
+			rules:   func(*Package) []Rule { return []Rule{NewLockAcrossCommit()} },
+			want: []string{
+				"lockcommit.go 22:2 no-lock-across-commit",
+				"lockcommit.go 30:9 no-lock-across-commit",
+				"lockcommit.go 37:2 no-lock-across-commit",
+				"lockcommit.go 50:6 no-lock-across-commit",
 			},
 		},
 		{
@@ -204,28 +235,41 @@ func TestWallClockFileScope(t *testing.T) {
 	}
 }
 
-// TestGoroutineDefaultAllowlist pins where bare go statements are
-// legal: the pool and the supervision runtime own goroutine spawning;
-// everything else must route through them. Guards against the
-// allowlist silently widening to a package that would then leak
-// unrecovered goroutines.
+// TestGoroutineDefaultAllowlist pins where a recovered-but-unjoined
+// spawn is legal: only the supervised runtime packages, whose
+// recover-wrapped spawn IS the ownership mechanism. Joins are accepted
+// anywhere; naked spawns nowhere. Guards against the allowlist
+// silently widening to a package that would then leak unsupervised
+// goroutines.
 func TestGoroutineDefaultAllowlist(t *testing.T) {
-	rule := NewNakedGoroutine(nil)
-	for rel, wantClean := range map[string]bool{
+	rule := NewGoroutineOwnership(nil)
+	for rel, supervisedOK := range map[string]bool{
 		"internal/parallel":  true,
 		"internal/supervise": true,
 		"internal/service":   false,
 		"internal/core":      false,
 		"cmd/crowdlearnd":    false,
 	} {
-		pkg := loadFixture(t, "goroutine")
+		pkg := loadFixture(t, "ownership")
 		pkg.RelPath = rel
-		got := rule.Check(pkg)
-		if wantClean && len(got) != 0 {
-			t.Errorf("%s: default allowlist should cover it, got %d findings: %v", rel, len(got), render(got))
+		got := render(rule.Check(pkg))
+		naked, recovered := false, false
+		for _, d := range got {
+			switch d {
+			case "ownership.go 12:2 goroutine-ownership":
+				naked = true
+			case "ownership.go 27:2 goroutine-ownership":
+				recovered = true
+			}
 		}
-		if !wantClean && len(got) == 0 {
-			t.Errorf("%s: expected findings outside the allowlist, got none", rel)
+		if !naked {
+			t.Errorf("%s: the naked spawn must be flagged regardless of package, got %v", rel, got)
+		}
+		if supervisedOK && recovered {
+			t.Errorf("%s: a recovered spawn inside the supervised runtime should pass, got %v", rel, got)
+		}
+		if !supervisedOK && !recovered {
+			t.Errorf("%s: a recovered spawn outside the supervised runtime must be flagged, got %v", rel, got)
 		}
 	}
 }
@@ -254,7 +298,10 @@ func TestRuleMetadata(t *testing.T) {
 		"ordered-map-range",
 		"no-copied-locks-by-value",
 		"checked-errors-in-store",
-		"no-naked-goroutine",
+		"determinism-taint",
+		"ticket-lifecycle",
+		"no-lock-across-commit",
+		"goroutine-ownership",
 	}
 	rules := DefaultRules()
 	if got := RuleNames(rules); len(got) != len(wantNames) {

@@ -52,3 +52,24 @@ func suppressed(f *os.File) {
 	//lint:ignore checked-errors-in-store fixture exercising the suppression path
 	f.Close()
 }
+
+// Clean under the typed rule: cleanup discards on a path that already
+// returns a non-nil error (error-path cleanup exemption).
+func okErrorPathCleanup(f *os.File, path string) error {
+	if _, err := f.Write(nil); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// Clean under the typed rule: a method named like I/O that returns no
+// error has nothing to discard (the name-table fallback would flag it).
+type quietSink struct{}
+
+func (quietSink) Sync() {}
+
+func okNoErrorResult(q quietSink) {
+	q.Sync()
+}

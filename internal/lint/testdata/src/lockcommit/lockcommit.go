@@ -1,0 +1,84 @@
+// Package lockcommit exercises rule no-lock-across-commit: no mutex
+// held across channel operations, parallel.Detach, or fsync-reaching
+// calls.
+package lockcommit
+
+import (
+	"os"
+	"sync"
+)
+
+type wal struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	f    *os.File
+	seq  int
+	work chan int
+}
+
+// Lock held across a channel send.
+func (w *wal) badSend(v int) {
+	w.mu.Lock()
+	w.work <- v
+	w.mu.Unlock()
+}
+
+// Deferred unlock holds the lock across the receive in the return.
+func (w *wal) badRecv() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return <-w.work
+}
+
+// Lock held across a select.
+func (w *wal) badSelect(stop chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-stop:
+	default:
+	}
+}
+
+func (w *wal) flush() error { return w.f.Sync() }
+
+// Lock held across a call that reaches (*os.File).Sync through the
+// call graph.
+func (w *wal) badFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.flush()
+}
+
+// Clean: the lock is released before the send.
+func (w *wal) okRelease(v int) {
+	w.mu.Lock()
+	w.seq++
+	w.mu.Unlock()
+	w.work <- v
+}
+
+// Clean: the literal body runs in another goroutine, after the spawn;
+// only the spawn itself happens under the lock.
+func (w *wal) okSpawn() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		w.work <- 1
+	}()
+}
+
+// Clean: reads under RLock with no blocking operation.
+func (w *wal) okRead() int {
+	w.rw.RLock()
+	defer w.rw.RUnlock()
+	return w.seq
+}
+
+// Suppressed send under lock.
+func (w *wal) approved(v int) {
+	w.mu.Lock()
+	//lint:ignore no-lock-across-commit fixture: deliberate send under lock
+	w.work <- v
+	w.mu.Unlock()
+}

@@ -1,0 +1,81 @@
+// Package ownership is a lint fixture for rule goroutine-ownership:
+// spawned goroutines must be joined (WaitGroup or channel, by object
+// identity) or be a supervised-runtime spawn.
+package ownership
+
+import "sync"
+
+func work() {}
+
+// Naked spawn: no join signal at all.
+func bad() {
+	go work() // want: goroutine-ownership
+}
+
+// Done without a matching Wait anywhere is not a join.
+func badHalfJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want: goroutine-ownership
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Recovered but unjoined: supervision only counts inside the
+// supervised runtime packages, and this fixture is not one.
+func badRecovered() {
+	go func() { // want: goroutine-ownership
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+// pool joins through a struct field: Done runs in a helper reached via
+// the call graph, Wait on the same field object in another method.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) step() {
+	defer p.wg.Done()
+	work()
+}
+
+func (p *pool) run(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.step()
+	}
+	p.wg.Wait()
+}
+
+// Channel handshake: the body closes done, the spawner receives it.
+func handshake() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// Local func-value spawn with a WaitGroup join, the fork-join engine's
+// own idiom.
+func forkJoin(n int) {
+	var wg sync.WaitGroup
+	body := func() {
+		defer wg.Done()
+		work()
+	}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go body()
+	}
+	wg.Wait()
+}
+
+// Suppressed naked spawn.
+func suppressed() {
+	//lint:ignore goroutine-ownership fixture exercising the suppression path
+	go work()
+}

@@ -1,0 +1,55 @@
+// Package taint exercises rule determinism-taint: wall-clock and raw
+// rand values must not reach state a SaveState root reads.
+package taint
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sys struct {
+	last    time.Time // checkpointed: SaveState reads it
+	seed    int64     // checkpointed
+	scratch time.Time // never saved
+}
+
+// SaveState is the checkpoint root: the fields it reads are the
+// protected set.
+func (s *sys) SaveState() []byte {
+	return []byte{byte(s.last.Second()), byte(s.seed)}
+}
+
+// Direct flow: flagged at the time.Now call.
+func (s *sys) touch() {
+	s.last = time.Now()
+}
+
+// Two-hop laundering: the source in stamp is reported even though the
+// write happens two calls away in set.
+func stamp() time.Time { return time.Now() }
+
+func wrap() time.Time { return stamp() }
+
+func (s *sys) set(t time.Time) { s.last = t }
+
+func (s *sys) update() { s.set(wrap()) }
+
+// Raw rand source outside internal/mathx: its draws are not
+// position-checkpointed, so values derived from it must not be saved.
+func (s *sys) reseed() {
+	src := rand.NewSource(42)
+	s.seed = src.Int63()
+}
+
+// Clean: the field is never read by a save root.
+func (s *sys) note() { s.scratch = time.Now() }
+
+// Clean: wall clock that never flows toward the checkpoint.
+func elapsed(since time.Time) time.Duration { return time.Since(since) }
+
+// Suppressed: the directive sits on the source line, where the finding
+// is reported.
+func (s *sys) approved() {
+	//lint:ignore determinism-taint fixture: deliberate wall-clock save
+	s.last = time.Now()
+}

@@ -1,0 +1,80 @@
+// Package ticket exercises rule ticket-lifecycle: every acquired
+// *admission.Ticket must be resolved on all paths.
+package ticket
+
+import (
+	"errors"
+	"time"
+
+	"github.com/crowdlearn/crowdlearn/internal/admission"
+)
+
+func now() time.Duration { return 0 }
+
+func work() error { return errors.New("boom") }
+
+// Leak: the early error return skips Done.
+func leaky(ctl *admission.Controller, c string) error {
+	_, t := ctl.Decide(now(), c)
+	if err := work(); err != nil {
+		return err
+	}
+	t.Done(now(), true)
+	return nil
+}
+
+// Leak: the ticket falls off the end unresolved (reads do not settle
+// it).
+func dangling(ctl *admission.Controller, c string) bool {
+	_, t := ctl.Decide(now(), c)
+	return t.Degraded()
+}
+
+// Clean: resolved on both paths.
+func clean(ctl *admission.Controller, c string) error {
+	_, t := ctl.Decide(now(), c)
+	if err := work(); err != nil {
+		t.Abandon(now())
+		return err
+	}
+	t.Done(now(), true)
+	return nil
+}
+
+// Clean: a deferred resolve settles every exit after it.
+func deferred(ctl *admission.Controller, c string) error {
+	_, t := ctl.Decide(now(), c)
+	defer t.Abandon(now())
+	return work()
+}
+
+// Clean: the nil path cannot leak (Ticket methods are nil-safe and a
+// nil ticket holds no slot).
+func nilGuarded(ctl *admission.Controller, c string) {
+	_, t := ctl.Decide(now(), c)
+	if t == nil {
+		return
+	}
+	t.Done(now(), true)
+}
+
+// Clean: returning the ticket hands ownership to the caller.
+func handoff(ctl *admission.Controller, c string) *admission.Ticket {
+	_, t := ctl.Decide(now(), c)
+	return t
+}
+
+// Clean: passing the ticket to a helper hands ownership off.
+func delegated(ctl *admission.Controller, c string) {
+	_, t := ctl.Decide(now(), c)
+	settle(t)
+}
+
+func settle(t *admission.Ticket) { t.Abandon(now()) }
+
+// Suppressed leak.
+func approved(ctl *admission.Controller, c string) {
+	//lint:ignore ticket-lifecycle fixture: deliberately leaked
+	_, t := ctl.Decide(now(), c)
+	_ = t.Degraded()
+}

@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the engine's type-checking layer: a self-built source
+// importer over go/build plus a dependency-ordered go/types pass. It
+// upgrades the loader from purely syntactic packages to fully
+// type-checked ones while keeping the module's zero-external-dependency
+// constraint — everything here is go/build + go/types + go/parser.
+//
+// Resolution strategy, per import path:
+//
+//   - module-internal paths (ModulePath/...) are located under the
+//     module root and type-checked from source with full bodies, so
+//     rules see real objects for every module identifier;
+//   - everything else (the stdlib) is located through go/build with
+//     cgo disabled — forcing the pure-Go file selection that exists
+//     for every platform — and type-checked with IgnoreFuncBodies:
+//     rules only need the stdlib's declared surface (time.Now's
+//     signature, sync.Mutex's method set), not its function bodies.
+//
+// Type checking is best-effort by design: errors are collected on the
+// package (TypeErrors) instead of failing the load, and every rule
+// that consumes type information degrades to its syntactic
+// approximation when Types is nil. A broken GOROOT therefore weakens
+// the gate instead of breaking the build — and TestRepoIsClean pins
+// that the real tree does type-check, so the weakening cannot go
+// unnoticed in CI.
+
+// ModulePath is the module's import path prefix; module-internal
+// imports are resolved against the source tree rather than GOROOT.
+const ModulePath = "github.com/crowdlearn/crowdlearn"
+
+// stdlibCache shares checked non-module packages across sessions: the
+// stdlib's declared surface is immutable for the life of the process,
+// and no diagnostic ever reports a position inside it, so reusing the
+// package objects across FileSets is safe and saves re-checking the
+// transitive stdlib on every LoadDir (fixture tests load many small
+// directories). Module packages are never shared — their objects must
+// match the session's own TypesInfo maps.
+var stdlibCache = struct {
+	sync.Mutex
+	pkgs map[string]*types.Package
+}{pkgs: make(map[string]*types.Package)}
+
+// typeChecker owns one type-checking session: a shared FileSet, the
+// import cache, and the go/build context used to locate non-module
+// packages.
+type typeChecker struct {
+	fset    *token.FileSet
+	modRoot string
+	ctxt    build.Context
+	// cache maps import path → checked package. Failed imports cache a
+	// nil entry so a missing dependency is reported once, not once per
+	// importer.
+	cache map[string]*types.Package
+	// checking guards against import cycles through the source
+	// importer.
+	checking map[string]bool
+	// fallback is the stdlib's own source importer, used only if the
+	// go/build lookup fails (e.g. an unusual GOROOT layout).
+	fallback types.Importer
+}
+
+func newTypeChecker(fset *token.FileSet, modRoot string) *typeChecker {
+	ctxt := build.Default
+	// Force the pure-Go file selection: cgo-transitive packages (net,
+	// os/user) have portable fallbacks behind build tags, and declared
+	// surface is all the rules need.
+	ctxt.CgoEnabled = false
+	return &typeChecker{
+		fset:     fset,
+		modRoot:  modRoot,
+		ctxt:     ctxt,
+		cache:    make(map[string]*types.Package),
+		checking: make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the strategy above.
+func (tc *typeChecker) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := tc.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import %q previously failed", path)
+		}
+		return pkg, nil
+	}
+	module := path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+	if !module {
+		stdlibCache.Lock()
+		pkg := stdlibCache.pkgs[path]
+		stdlibCache.Unlock()
+		if pkg != nil {
+			tc.cache[path] = pkg
+			return pkg, nil
+		}
+	}
+	if tc.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	tc.checking[path] = true
+	defer delete(tc.checking, path)
+
+	pkg, err := tc.importSource(path)
+	if err != nil && !strings.HasPrefix(path, ModulePath) {
+		if fb, ferr := tc.fallback.Import(path); ferr == nil {
+			pkg, err = fb, nil
+		}
+	}
+	if err != nil {
+		tc.cache[path] = nil
+		return nil, err
+	}
+	tc.cache[path] = pkg
+	if !module {
+		stdlibCache.Lock()
+		stdlibCache.pkgs[path] = pkg
+		stdlibCache.Unlock()
+	}
+	return pkg, nil
+}
+
+// dirFor locates the source directory for an import path.
+func (tc *typeChecker) dirFor(path string) (dir string, module bool, err error) {
+	if path == ModulePath {
+		return tc.modRoot, true, nil
+	}
+	if rest, ok := strings.CutPrefix(path, ModulePath+"/"); ok {
+		return filepath.Join(tc.modRoot, filepath.FromSlash(rest)), true, nil
+	}
+	bp, err := tc.ctxt.Import(path, tc.modRoot, build.FindOnly)
+	if err != nil {
+		return "", false, fmt.Errorf("lint: locate %q: %w", path, err)
+	}
+	return bp.Dir, false, nil
+}
+
+// importSource type-checks one package from source, signature-only:
+// an *imported* package only contributes declared surface. Packages
+// actually under analysis are checked with full bodies by
+// checkPackage, which then replaces the cache entry in dependency
+// order, so anything both imported and analyzed is checked exactly
+// once.
+func (tc *typeChecker) importSource(path string) (*types.Package, error) {
+	dir, _, err := tc.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := tc.parseDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, errs := tc.check(path, files, true, nil)
+	if pkg == nil || !pkg.Complete() {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("lint: type-check %q: %v", path, errs[0])
+		}
+		return nil, fmt.Errorf("lint: type-check %q failed", path)
+	}
+	return pkg, nil
+}
+
+// parseDir parses the build-selected (non-test) files of one package
+// directory into the shared FileSet.
+func (tc *typeChecker) parseDir(path, dir string) ([]*ast.File, error) {
+	bp, err := tc.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read %q: %w", path, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(tc.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check runs go/types over the files. Errors are collected, not fatal:
+// go/types recovers per declaration, and partial information is far
+// more useful to the rules than none. When info is non-nil it is filled
+// with the full Uses/Defs/Types/Selections record the deep rules
+// consume.
+func (tc *typeChecker) check(path string, files []*ast.File, sigOnly bool, info *types.Info) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer:         tc,
+		IgnoreFuncBodies: sigOnly,
+		FakeImportC:      true,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	if info == nil {
+		info = newTypesInfo()
+	}
+	pkg, _ := conf.Check(path, tc.fset, files, info)
+	return pkg, info, errs
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheckPackages type-checks the loaded module packages in
+// dependency order, attaching Types/TypesInfo to each. Packages are
+// checked through the same importer, so cross-package references
+// resolve to identical type objects — the property the call graph and
+// taint summaries rely on.
+func typeCheckPackages(fset *token.FileSet, modRoot string, pkgs []*Package) {
+	tc := newTypeChecker(fset, modRoot)
+	// Seed import paths. Packages outside the module tree proper (e.g.
+	// fixture directories under testdata) still get a synthetic path so
+	// they can be checked; nothing imports them by it.
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		if p.Path == "" {
+			p.Path = ModulePath
+			if p.RelPath != "" {
+				p.Path = ModulePath + "/" + p.RelPath
+			}
+		}
+		byPath[p.Path] = p
+	}
+	// Dependency order: visit each package's module-internal imports
+	// first. Cycles are impossible in a compiling module; a cycle through
+	// on-disk state degrades to a TypeError via the importer guard.
+	var order []*Package
+	visited := make(map[*Package]bool)
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p] {
+			return
+		}
+		visited[p] = true
+		for _, f := range p.Files {
+			for _, imp := range f.AST.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if dep, ok := byPath[ipath]; ok && dep != p {
+					visit(dep)
+				}
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	for _, p := range order {
+		checkPackage(tc, p)
+	}
+}
+
+// checkPackage type-checks one loaded package in place. Mixed
+// directories (a package plus its external _test package) are split by
+// splitTestFiles before this point, so all files here share a package
+// name.
+func checkPackage(tc *typeChecker, p *Package) {
+	files := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		files[i] = f.AST
+	}
+	pkg, info, errs := tc.check(p.Path, files, false, nil)
+	p.Types = pkg
+	p.TypesInfo = info
+	p.TypeErrors = errs
+	// Future imports of this path must see the test-augmented, fully
+	// checked package object, not a signature-only re-check.
+	if pkg != nil {
+		tc.cache[p.Path] = pkg
+	}
+}
+
+// splitTestFiles partitions a directory's parsed files into the primary
+// package and (when IncludeTests loaded any) the external _test
+// package, which is a distinct package for the type checker. Returns
+// the primary package and, possibly, the external test package.
+func splitTestFiles(pkg *Package) []*Package {
+	var primary, external []*SourceFile
+	base := ""
+	for _, f := range pkg.Files {
+		name := f.AST.Name.Name
+		if strings.HasSuffix(name, "_test") {
+			external = append(external, f)
+			base = strings.TrimSuffix(name, "_test")
+			continue
+		}
+		primary = append(primary, f)
+	}
+	// A directory holding only an external test package (rare but
+	// legal) keeps its files as the primary set.
+	if len(primary) == 0 {
+		return []*Package{pkg}
+	}
+	// Guard against a directory whose "_test"-suffixed package name is
+	// actually the package's real name (no primary counterpart).
+	if len(external) > 0 && base != "" {
+		found := false
+		for _, f := range primary {
+			if f.AST.Name.Name == base {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return []*Package{pkg}
+		}
+	}
+	if len(external) == 0 {
+		return []*Package{pkg}
+	}
+	pkg.Files = primary
+	ext := &Package{
+		RelPath:       pkg.RelPath,
+		Dir:           pkg.Dir,
+		Fset:          pkg.Fset,
+		Files:         external,
+		TopLevelNames: make(map[string]bool),
+		Path:          pkg.Path + "_test",
+		externalTest:  true,
+	}
+	for _, f := range ext.Files {
+		collectTopLevel(f.AST, ext.TopLevelNames)
+	}
+	// Rebuild the primary package's top-level index without the
+	// external files' declarations.
+	pkg.TopLevelNames = make(map[string]bool)
+	for _, f := range pkg.Files {
+		collectTopLevel(f.AST, pkg.TopLevelNames)
+	}
+	return []*Package{pkg, ext}
+}
+
+// --- typed lookup helpers shared by the rules ---
+
+// TypeOf returns the type of expr, or nil when unavailable.
+func (p *Package) TypeOf(expr ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(expr)
+}
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Typed reports whether the package carries usable type information.
+func (p *Package) Typed() bool { return p.Types != nil && p.TypesInfo != nil }
+
+// calleeOf resolves the static callee of a call expression: a declared
+// function, a method (concrete or interface), or nil for calls through
+// function values and type conversions.
+func (p *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcQName renders a *types.Func as "pkgpath.Name" or
+// "pkgpath.(Recv).Name" for diagnostics and the -graph output.
+func funcQName(fn *types.Func) string {
+	if fn == nil {
+		return "<unknown>"
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = shortPkgPath(fn.Pkg().Path()) + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s(%s).%s", pkgPath, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkgPath + fn.Name()
+}
+
+// shortPkgPath strips the module prefix for readable diagnostics.
+func shortPkgPath(path string) string {
+	if rest, ok := strings.CutPrefix(path, ModulePath+"/"); ok {
+		return rest
+	}
+	if path == ModulePath {
+		return "."
+	}
+	return path
+}
+
+// isNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

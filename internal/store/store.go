@@ -173,21 +173,21 @@ func (s *Store) openWAL() error {
 			_, err = f.Write(encodeWALHeader())
 		}
 		if err != nil {
-			f.Close() //lint:ignore checked-errors-in-store already failing; the init error is reported, the handle is dead
+			f.Close()
 			return fmt.Errorf("store: init WAL: %w", err)
 		}
 	} else if validLen < int64(len(data)) {
 		if err := f.Truncate(validLen); err != nil {
-			f.Close() //lint:ignore checked-errors-in-store already failing; the truncate error is reported, the handle is dead
+			f.Close()
 			return fmt.Errorf("store: truncate torn WAL tail: %w", err)
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close() //lint:ignore checked-errors-in-store already failing; the sync error is reported, the handle is dead
+		f.Close()
 		return fmt.Errorf("store: sync WAL: %w", err)
 	}
 	if _, err := f.Seek(0, 2); err != nil {
-		f.Close() //lint:ignore checked-errors-in-store already failing; the seek error is reported, the handle is dead
+		f.Close()
 		return fmt.Errorf("store: seek WAL: %w", err)
 	}
 	s.wal = f
@@ -217,8 +217,8 @@ func (s *Store) AppendCycle(rec core.JournalCycle) (int64, error) {
 	}
 	frame := encodeWALRecord(payload.Bytes())
 	if keep, torn := s.faults.tornWAL(len(frame)); torn {
-		s.wal.Write(frame[:keep]) //lint:ignore checked-errors-in-store test-only fault injection deliberately leaves a torn record and reports failure below
-		s.wal.Sync()              //lint:ignore checked-errors-in-store test-only fault injection; the append is reported as failed regardless
+		s.wal.Write(frame[:keep])
+		s.wal.Sync()
 		return 0, fmt.Errorf("store: injected fault: WAL append torn after %d/%d bytes", keep, len(frame))
 	}
 	if _, err := s.wal.Write(frame); err != nil {
@@ -294,17 +294,17 @@ func (s *Store) WriteCheckpoint(cycles int, save func(w io.Writer) error) (int64
 		return 0, fmt.Errorf("store: checkpoint temp: %w", err)
 	}
 	if _, err := f.Write(frame[:keep]); err != nil {
-		f.Close()      //lint:ignore checked-errors-in-store already failing; the write error is reported, the temp file is abandoned
-		os.Remove(tmp) //lint:ignore checked-errors-in-store best-effort cleanup; an orphaned temp is swept by the next Open
+		f.Close()
+		os.Remove(tmp)
 		return 0, fmt.Errorf("store: checkpoint write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()      //lint:ignore checked-errors-in-store already failing; the fsync error is reported, the temp file is abandoned
-		os.Remove(tmp) //lint:ignore checked-errors-in-store best-effort cleanup; an orphaned temp is swept by the next Open
+		f.Close()
+		os.Remove(tmp)
 		return 0, fmt.Errorf("store: checkpoint fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp) //lint:ignore checked-errors-in-store best-effort cleanup; an orphaned temp is swept by the next Open
+		os.Remove(tmp)
 		return 0, fmt.Errorf("store: checkpoint close: %w", err)
 	}
 	if s.faults.failRename() {
@@ -313,7 +313,7 @@ func (s *Store) WriteCheckpoint(cycles int, save func(w io.Writer) error) (int64
 		return 0, errors.New("store: injected fault: checkpoint rename failed")
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp) //lint:ignore checked-errors-in-store best-effort cleanup; an orphaned temp is swept by the next Open
+		os.Remove(tmp)
 		return 0, fmt.Errorf("store: checkpoint rename: %w", err)
 	}
 	if err := s.syncDir(); err != nil {
